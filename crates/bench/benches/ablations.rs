@@ -1,0 +1,101 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * simplex pivot rule (Dantzig-with-Bland-fallback vs pure Bland);
+//! * closed-form detection vs the generic tuple-counting engine;
+//! * single-stage `S_m` solve vs the lexicographic min-precompute
+//!   refinement (also reports the precompute delta as a side effect of
+//!   its setup assertions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redundancy_core::{AssignmentMinimizing, Balanced, Scheme};
+use redundancy_lp::{PivotRule, Problem, Relation, Sense, SimplexOptions};
+
+fn fig2_style_lp(dim: usize) -> Problem {
+    // A hand-rolled S_m-shaped LP so the pivot-rule ablation does not go
+    // through the core crate's fixed options.
+    let mut lp = Problem::new(Sense::Minimize);
+    let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+    for (i, v) in vars.iter().enumerate() {
+        lp.set_objective(*v, (i + 1) as f64);
+    }
+    let cover: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+    lp.add_constraint(&cover, Relation::Ge, 100_000.0);
+    for k in 1..dim {
+        let mut terms = vec![(vars[k - 1], -0.5)];
+        let mut scale = 0.5f64;
+        for i in (k + 1)..=dim {
+            let coeff = 0.5 * redundancy_stats::special::binomial(i as u64, k as u64);
+            scale = scale.max(coeff);
+            terms.push((vars[i - 1], coeff));
+        }
+        for t in &mut terms {
+            t.1 /= scale;
+        }
+        lp.add_constraint(&terms, Relation::Ge, 0.0);
+    }
+    lp
+}
+
+fn bench_pivot_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pivot_rule");
+    group.sample_size(20);
+    let lp = fig2_style_lp(16);
+    for (name, rule) in [
+        ("adaptive_dantzig", PivotRule::default()),
+        ("pure_bland", PivotRule::Bland),
+        ("pure_dantzig", PivotRule::Dantzig),
+    ] {
+        let opts = SimplexOptions {
+            pivot_rule: rule,
+            ..SimplexOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| lp.solve_with(&opts).unwrap().pivots)
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_detection_path");
+    let bal = Balanced::new(1_000_000, 0.5).unwrap();
+    let prof = bal.detection_profile();
+    group.bench_function("closed_form_p_kp", |b| {
+        b.iter(|| bal.p_nonasymptotic(3, 0.1).unwrap())
+    });
+    group.bench_function("generic_engine_p_kp", |b| {
+        b.iter(|| prof.p_nonasymptotic(3, 0.1).unwrap().unwrap())
+    });
+    group.finish();
+}
+
+fn bench_lexicographic_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lexicographic");
+    group.sample_size(20);
+    // Sanity of the ablation claim: the refinement shrinks precompute at
+    // equal assignment cost (m = 6: 1923 → ~320).
+    let base = AssignmentMinimizing::solve(100_000, 0.5, 6).unwrap();
+    let refined = AssignmentMinimizing::solve_min_precompute(100_000, 0.5, 6).unwrap();
+    assert!(refined.precompute_required() < base.precompute_required());
+    assert!((refined.objective() - base.objective()).abs() < 1.0);
+
+    group.bench_function("single_stage_solve_m16", |b| {
+        b.iter(|| AssignmentMinimizing::solve(100_000, 0.5, 16).unwrap().objective())
+    });
+    group.bench_function("min_precompute_solve_m16", |b| {
+        b.iter(|| {
+            AssignmentMinimizing::solve_min_precompute(100_000, 0.5, 16)
+                .unwrap()
+                .precompute_required()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pivot_rules,
+    bench_detection_paths,
+    bench_lexicographic_refinement
+);
+criterion_main!(benches);

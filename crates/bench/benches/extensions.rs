@@ -1,0 +1,122 @@
+//! Benchmarks for the workspace extensions: presolve, MPS, the reactive
+//! platform, survival careers, sampled estimation, and goodness-of-fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redundancy_core::RealizedPlan;
+use redundancy_lp::{parse_mps, solve_with_presolve, write_mps, Problem, Relation, Sense};
+use redundancy_sim::engine::CampaignConfig;
+use redundancy_sim::experiment::{sampled_detection_experiment, ExperimentConfig};
+use redundancy_sim::rounds::{run_platform, PlatformConfig};
+use redundancy_sim::survival::career;
+use redundancy_sim::task::expand_plan;
+use redundancy_sim::{AdversaryModel, CheatStrategy};
+use redundancy_stats::gof::{chi_square_test, regularized_gamma_q};
+use redundancy_stats::{DeterministicRng, Histogram, P2Quantile};
+
+fn s_m_lp(dim: usize) -> Problem {
+    let mut lp = Problem::new(Sense::Minimize);
+    let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+    for (i, v) in vars.iter().enumerate() {
+        lp.set_objective(*v, (i + 1) as f64);
+    }
+    let cover: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+    lp.add_constraint(&cover, Relation::Ge, 100_000.0);
+    for k in 1..dim {
+        let mut terms = vec![(vars[k - 1], -0.5)];
+        for i in (k + 1)..=dim {
+            terms.push((
+                vars[i - 1],
+                0.5 * redundancy_stats::special::binomial(i as u64, k as u64),
+            ));
+        }
+        lp.add_constraint(&terms, Relation::Ge, 0.0);
+    }
+    lp
+}
+
+fn bench_lp_tooling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_lp_tooling");
+    let lp = s_m_lp(10);
+    let doc = write_mps(&lp, "S10");
+    group.bench_function("mps_write_s10", |b| b.iter(|| write_mps(&lp, "S10").len()));
+    group.bench_function("mps_parse_s10", |b| {
+        b.iter(|| parse_mps(&doc).unwrap().num_variables())
+    });
+    group.bench_function("presolve_and_solve_s10", |b| {
+        b.iter(|| solve_with_presolve(&lp).unwrap().0.objective)
+    });
+    group.finish();
+}
+
+fn bench_platform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_platform");
+    group.sample_size(10);
+    let plan = RealizedPlan::balanced(5_000, 0.75).unwrap();
+    group.bench_function("ten_round_platform_5k_tasks", |b| {
+        let cfg = PlatformConfig::strict(9_000, 1_000, CheatStrategy::AtLeast { min_copies: 1 });
+        let mut rng = DeterministicRng::new(1);
+        b.iter(|| run_platform(&plan, &cfg, 10, &mut rng).rounds.len())
+    });
+    group.bench_function("single_adversary_career", |b| {
+        let tasks = expand_plan(&plan);
+        let cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.1 },
+            CheatStrategy::AtLeast { min_copies: 1 },
+        );
+        let mut rng = DeterministicRng::new(2);
+        b.iter(|| career(&tasks, &cfg, &mut rng).0)
+    });
+    group.finish();
+}
+
+fn bench_sampled_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_sampled");
+    group.sample_size(10);
+    let plan = RealizedPlan::balanced(10_000_000, 0.5).unwrap();
+    let campaign = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: 0.1 },
+        CheatStrategy::AtLeast { min_copies: 1 },
+    );
+    group.bench_function("sampled_10k_of_10m_tasks", |b| {
+        b.iter(|| {
+            sampled_detection_experiment(&plan, &campaign, 10_000, &ExperimentConfig::new(1, 3))
+                .outcome
+                .total_attempted()
+        })
+    });
+    group.finish();
+}
+
+fn bench_statistics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_statistics");
+    group.bench_function("regularized_gamma_q", |b| {
+        b.iter(|| regularized_gamma_q(8.0, 11.5))
+    });
+    group.bench_function("chi_square_20_bins", |b| {
+        let mut hist = Histogram::new();
+        let mut rng = DeterministicRng::new(4);
+        for _ in 0..10_000 {
+            hist.record(rng.below(20) as usize);
+        }
+        let probs = vec![0.05f64; 20];
+        b.iter(|| chi_square_test(&hist, &probs, 5.0).unwrap().p_value)
+    });
+    group.bench_function("p2_quantile_push", |b| {
+        let mut q = P2Quantile::new(0.5);
+        let mut rng = DeterministicRng::new(5);
+        b.iter(|| {
+            q.push(rng.uniform());
+            q.estimate()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp_tooling,
+    bench_platform,
+    bench_sampled_estimation,
+    bench_statistics
+);
+criterion_main!(benches);

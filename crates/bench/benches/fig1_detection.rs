@@ -1,0 +1,58 @@
+//! Benchmark for regenerating Figure 1: non-asymptotic detection curves
+//! for the Balanced distribution and the `S₉` / `S₂₆` LP optima.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use redundancy_core::{AssignmentMinimizing, Balanced, Scheme};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(20);
+
+    group.bench_function("balanced_curve_21_points", |b| {
+        let bal = Balanced::new(100_000, 0.5).unwrap();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for step in 0..=20 {
+                let p = step as f64 * 0.025;
+                acc += bal.p_nonasymptotic(1, p).unwrap();
+            }
+            acc
+        })
+    });
+
+    group.bench_function("s9_effective_detection_curve", |b| {
+        let s9 = AssignmentMinimizing::solve(100_000, 0.5, 9).unwrap();
+        let prof = s9.verified_profile();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for step in 0..=20 {
+                let p = step as f64 * 0.025;
+                acc += prof.effective_detection(p).unwrap();
+            }
+            acc
+        })
+    });
+
+    group.bench_function("s26_solve_plus_curve", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let s26 = AssignmentMinimizing::solve(1_000_000, 0.5, 26).unwrap();
+                let prof = s26.verified_profile();
+                prof.effective_detection(0.1).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("generic_engine_balanced_profile", |b| {
+        let bal = Balanced::new(100_000, 0.5).unwrap();
+        let prof = bal.detection_profile();
+        b.iter(|| prof.effective_detection(0.1).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmark for regenerating Figure 2: the full `S_m` LP sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redundancy_core::AssignmentMinimizing;
+
+fn bench_lp_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_lp");
+    group.sample_size(20);
+
+    for &dim in &[4usize, 8, 16, 26] {
+        group.bench_with_input(BenchmarkId::new("solve_s_m", dim), &dim, |b, &dim| {
+            b.iter(|| AssignmentMinimizing::solve(100_000, 0.5, dim).unwrap().objective())
+        });
+    }
+
+    group.bench_function("full_sweep_2_to_26", |b| {
+        b.iter(|| {
+            AssignmentMinimizing::sweep(100_000, 0.5, 2..=26)
+                .unwrap()
+                .len()
+        })
+    });
+
+    group.bench_function("figure2_row_with_detection_minima", |b| {
+        b.iter(|| {
+            let sol = AssignmentMinimizing::solve(100_000, 0.5, 16).unwrap();
+            let prof = sol.verified_profile();
+            [0.05, 0.10, 0.15]
+                .iter()
+                .map(|&p| prof.effective_detection(p).unwrap())
+                .sum::<f64>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_sweep);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Benchmark for regenerating Figure 3: redundancy-factor curves across ε.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redundancy_core::{bounds, Balanced, GolleStubblebine, Scheme};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+
+    group.bench_function("closed_form_curves_19_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..20 {
+                let eps = i as f64 * 0.05;
+                acc += Balanced::factor_for_threshold(eps).unwrap();
+                acc += GolleStubblebine::factor_for_threshold(eps).unwrap();
+                acc += bounds::lower_bound_factor(eps).unwrap();
+            }
+            acc
+        })
+    });
+
+    group.bench_function("balanced_break_even_bisection", |b| {
+        b.iter(Balanced::break_even_with_simple)
+    });
+
+    group.bench_function("materialize_balanced_distribution_n1e6", |b| {
+        let bal = Balanced::new(1_000_000, 0.5).unwrap();
+        b.iter(|| bal.distribution().total_assignments())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

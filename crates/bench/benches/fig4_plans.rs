@@ -1,0 +1,43 @@
+//! Benchmark for regenerating Figure 4 and the Section 6 examples:
+//! realizing integer plans (floors, tail partition, ringer sizing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redundancy_core::RealizedPlan;
+
+fn bench_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_plans");
+
+    for &n in &[100_000u64, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("realize_balanced", n), &n, |b, &n| {
+            b.iter(|| RealizedPlan::balanced(n, 0.75).unwrap().total_assignments())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("realize_golle_stubblebine", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    RealizedPlan::golle_stubblebine(n, 0.75)
+                        .unwrap()
+                        .total_assignments()
+                })
+            },
+        );
+    }
+
+    group.bench_function("section6_extreme_case_n1e7_eps099", |b| {
+        b.iter(|| {
+            let plan = RealizedPlan::balanced(10_000_000, 0.99).unwrap();
+            (plan.tail_tasks(), plan.ringer_tasks())
+        })
+    });
+
+    group.bench_function("plan_effective_detection", |b| {
+        let plan = RealizedPlan::balanced(1_000_000, 0.75).unwrap();
+        b.iter(|| plan.effective_detection(0.1).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_plans);
+criterion_main!(benches);

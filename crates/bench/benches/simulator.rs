@@ -1,0 +1,60 @@
+//! Simulator throughput benchmarks: campaign engine, two-phase trials,
+//! and the samplers they sit on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use redundancy_core::RealizedPlan;
+use redundancy_sim::engine::{run_campaign, CampaignConfig};
+use redundancy_sim::outcome::CampaignOutcome;
+use redundancy_sim::task::expand_plan;
+use redundancy_sim::two_phase::{two_phase_batch, TwoPhaseConfig};
+use redundancy_sim::{AdversaryModel, CheatStrategy};
+use redundancy_stats::samplers::{sample_binomial, sample_hypergeometric};
+use redundancy_stats::DeterministicRng;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    for &n in &[1_000u64, 10_000] {
+        let plan = RealizedPlan::balanced(n, 0.6).unwrap();
+        let tasks = expand_plan(&plan);
+        let cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.1 },
+            CheatStrategy::Always,
+        );
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("balanced_always_cheat", n), &n, |b, _| {
+            let mut rng = DeterministicRng::new(1);
+            b.iter(|| {
+                let mut out = CampaignOutcome::default();
+                run_campaign(&tasks, &cfg, &mut rng, &mut out);
+                out.total_detected()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_phase");
+    group.bench_function("batch_1000_trials_n1e6", |b| {
+        let cfg = TwoPhaseConfig::new(1_000_000, 0.001);
+        let mut rng = DeterministicRng::new(2);
+        b.iter(|| two_phase_batch(&cfg, 1_000, &mut rng).cheatable_trials)
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    group.bench_function("binomial_n12_p01", |b| {
+        let mut rng = DeterministicRng::new(3);
+        b.iter(|| sample_binomial(&mut rng, 12, 0.1))
+    });
+    group.bench_function("hypergeometric_20k_2k_12", |b| {
+        let mut rng = DeterministicRng::new(4);
+        b.iter(|| sample_hypergeometric(&mut rng, 20_000, 2_000, 12))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_two_phase, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Parameter grids shared by the benchmark targets.
+
+/// Detection thresholds swept by the figure benchmarks.
+pub const EPSILONS: [f64; 4] = [0.25, 0.5, 0.75, 0.9];
+
+/// Adversary proportions swept by the non-asymptotic benchmarks.
+pub const PROPORTIONS: [f64; 4] = [0.0, 0.05, 0.1, 0.15];
+
+/// Paper-scale task counts.
+pub const TASK_COUNTS: [u64; 3] = [10_000, 100_000, 1_000_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_well_formed() {
+        assert!(EPSILONS.iter().all(|&e| 0.0 < e && e < 1.0));
+        assert!(EPSILONS.windows(2).all(|w| w[0] < w[1]));
+        assert!(PROPORTIONS.iter().all(|&p| (0.0..1.0).contains(&p)));
+        assert!(TASK_COUNTS.iter().all(|&n| n > 0));
+    }
+}

@@ -1,0 +1,5 @@
+//! Shared helpers for the criterion benchmark suite.
+//!
+//! The actual benchmarks live in `benches/`; this library hosts small
+//! utilities (parameter grids, fixture builders) reused across them.
+pub mod fixtures;

@@ -1,0 +1,574 @@
+//! Hand-rolled argument parsing for the `redundancy` command.
+//!
+//! The grammar is flat: a subcommand followed by `--key value` pairs.
+//! Parsing is strict — unknown flags and malformed values are errors, not
+//! silently ignored — because a supervisor mistyping `--epsilon` should
+//! not deploy an unprotected computation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which scheme a command operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeName {
+    /// The paper's Balanced distribution.
+    Balanced,
+    /// Golle–Stubblebine geometric distribution.
+    GolleStubblebine,
+    /// Plain 2-fold redundancy.
+    Simple,
+    /// Extended Balanced with a minimum multiplicity.
+    Extended,
+}
+
+impl SchemeName {
+    fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "balanced" | "bal" => Ok(SchemeName::Balanced),
+            "golle-stubblebine" | "gs" => Ok(SchemeName::GolleStubblebine),
+            "simple" => Ok(SchemeName::Simple),
+            "extended" | "extended-balanced" => Ok(SchemeName::Extended),
+            other => Err(ArgError::BadValue {
+                flag: "--scheme".into(),
+                value: other.into(),
+                expected: "balanced | golle-stubblebine | simple | extended",
+            }),
+        }
+    }
+}
+
+/// A fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `redundancy plan`
+    Plan {
+        /// Scheme to realize.
+        scheme: SchemeName,
+        /// Task count.
+        tasks: u64,
+        /// Detection threshold.
+        epsilon: f64,
+        /// §7 minimum multiplicity (extended scheme only).
+        min_multiplicity: Option<usize>,
+        /// Adversary share the guarantee must survive (boosts ε).
+        proportion: f64,
+        /// Optional JSON output path.
+        json: Option<String>,
+    },
+    /// `redundancy analyze`
+    Analyze {
+        /// Scheme to analyze.
+        scheme: SchemeName,
+        /// Task count.
+        tasks: u64,
+        /// Detection threshold.
+        epsilon: f64,
+        /// Adversary share for the non-asymptotic columns.
+        proportion: f64,
+    },
+    /// `redundancy advise`
+    Advise {
+        /// Task count.
+        tasks: u64,
+        /// Required detection threshold.
+        epsilon: f64,
+        /// Worst-case adversary share.
+        adversary: f64,
+        /// Precompute budget in tasks.
+        precompute_budget: u64,
+        /// Optional minimum multiplicity requirement.
+        min_multiplicity: Option<usize>,
+    },
+    /// `redundancy simulate`
+    Simulate {
+        /// Scheme to simulate.
+        scheme: SchemeName,
+        /// Task count per campaign.
+        tasks: u64,
+        /// Detection threshold.
+        epsilon: f64,
+        /// Adversary assignment share.
+        proportion: f64,
+        /// Number of campaigns.
+        campaigns: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `redundancy solve-sm`
+    SolveSm {
+        /// Task count.
+        tasks: u64,
+        /// Detection threshold.
+        epsilon: f64,
+        /// System dimension m.
+        dim: usize,
+        /// Use the lexicographic min-precompute refinement.
+        min_precompute: bool,
+        /// Optional MPS export path.
+        mps: Option<String>,
+    },
+    /// `redundancy help [command]`
+    Help {
+        /// Command to describe, if any.
+        topic: Option<String>,
+    },
+}
+
+/// Argument-parsing failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgError {
+    /// No subcommand given.
+    NoCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag for the subcommand.
+    UnknownFlag {
+        /// The offending flag.
+        flag: String,
+        /// The subcommand being parsed.
+        command: &'static str,
+    },
+    /// Flag present but no value followed.
+    MissingValue(String),
+    /// A required flag was absent.
+    MissingFlag {
+        /// The absent flag.
+        flag: &'static str,
+        /// The subcommand being parsed.
+        command: &'static str,
+    },
+    /// Value failed to parse or was out of range.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The rejected value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::NoCommand => write!(f, "no command given; try `redundancy help`"),
+            ArgError::UnknownCommand(c) => {
+                write!(f, "unknown command `{c}`; try `redundancy help`")
+            }
+            ArgError::UnknownFlag { flag, command } => {
+                write!(f, "unknown flag `{flag}` for `{command}`")
+            }
+            ArgError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            ArgError::MissingFlag { flag, command } => {
+                write!(f, "`{command}` requires `{flag}`")
+            }
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value `{value}` for `{flag}` (expected {expected})"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Collect `--key value` pairs after the subcommand.
+fn collect_flags(argv: &[String]) -> Result<HashMap<String, String>, ArgError> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = &argv[i];
+        if !key.starts_with("--") {
+            return Err(ArgError::UnknownCommand(key.clone()));
+        }
+        // Boolean flags take no value.
+        if key == "--min-precompute" {
+            flags.insert(key.clone(), "true".into());
+            i += 1;
+            continue;
+        }
+        let Some(value) = argv.get(i + 1) else {
+            return Err(ArgError::MissingValue(key.clone()));
+        };
+        flags.insert(key.clone(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+struct FlagSet<'a> {
+    flags: HashMap<String, String>,
+    command: &'static str,
+    allowed: &'a [&'static str],
+}
+
+impl<'a> FlagSet<'a> {
+    fn new(
+        argv: &[String],
+        command: &'static str,
+        allowed: &'a [&'static str],
+    ) -> Result<Self, ArgError> {
+        let flags = collect_flags(argv)?;
+        for key in flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError::UnknownFlag {
+                    flag: key.clone(),
+                    command,
+                });
+            }
+        }
+        Ok(FlagSet {
+            flags,
+            command,
+            allowed,
+        })
+    }
+
+    fn required<T: std::str::FromStr>(
+        &self,
+        flag: &'static str,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        debug_assert!(self.allowed.contains(&flag));
+        let raw = self.flags.get(flag).ok_or(ArgError::MissingFlag {
+            flag,
+            command: self.command,
+        })?;
+        raw.parse().map_err(|_| ArgError::BadValue {
+            flag: flag.into(),
+            value: raw.clone(),
+            expected,
+        })
+    }
+
+    fn optional<T: std::str::FromStr>(
+        &self,
+        flag: &'static str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| ArgError::BadValue {
+                flag: flag.into(),
+                value: raw.clone(),
+                expected,
+            }),
+        }
+    }
+
+    fn or_default<T: std::str::FromStr>(
+        &self,
+        flag: &'static str,
+        expected: &'static str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        Ok(self.optional(flag, expected)?.unwrap_or(default))
+    }
+
+    fn scheme(&self, default: SchemeName) -> Result<SchemeName, ArgError> {
+        match self.flags.get("--scheme") {
+            None => Ok(default),
+            Some(raw) => SchemeName::parse(raw),
+        }
+    }
+}
+
+fn check_unit_interval(flag: &'static str, value: f64, open_top: bool) -> Result<f64, ArgError> {
+    let ok = if open_top {
+        (0.0..1.0).contains(&value)
+    } else {
+        0.0 < value && value < 1.0
+    };
+    if ok && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ArgError::BadValue {
+            flag: flag.into(),
+            value: value.to_string(),
+            expected: "a number strictly inside (0, 1)",
+        })
+    }
+}
+
+/// Parse a full argv (excluding the program name) into a [`Command`].
+pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
+    let Some(command) = argv.first() else {
+        return Err(ArgError::NoCommand);
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "plan" => {
+            let f = FlagSet::new(
+                rest,
+                "plan",
+                &[
+                    "--scheme",
+                    "--tasks",
+                    "--epsilon",
+                    "--min-multiplicity",
+                    "--proportion",
+                    "--json",
+                ],
+            )?;
+            Ok(Command::Plan {
+                scheme: f.scheme(SchemeName::Balanced)?,
+                tasks: f.required("--tasks", "a positive integer")?,
+                epsilon: check_unit_interval(
+                    "--epsilon",
+                    f.required("--epsilon", "a number in (0, 1)")?,
+                    false,
+                )?,
+                min_multiplicity: f.optional("--min-multiplicity", "a positive integer")?,
+                proportion: check_unit_interval(
+                    "--proportion",
+                    f.or_default("--proportion", "a number in [0, 1)", 0.0)?,
+                    true,
+                )
+                .or_else(|e| if f.flags.contains_key("--proportion") { Err(e) } else { Ok(0.0) })?,
+                json: f.optional("--json", "a file path")?,
+            })
+        }
+        "analyze" => {
+            let f = FlagSet::new(
+                rest,
+                "analyze",
+                &["--scheme", "--tasks", "--epsilon", "--proportion"],
+            )?;
+            Ok(Command::Analyze {
+                scheme: f.scheme(SchemeName::Balanced)?,
+                tasks: f.required("--tasks", "a positive integer")?,
+                epsilon: check_unit_interval(
+                    "--epsilon",
+                    f.required("--epsilon", "a number in (0, 1)")?,
+                    false,
+                )?,
+                proportion: f.or_default("--proportion", "a number in [0, 1)", 0.0)?,
+            })
+        }
+        "advise" => {
+            let f = FlagSet::new(
+                rest,
+                "advise",
+                &[
+                    "--tasks",
+                    "--epsilon",
+                    "--adversary",
+                    "--precompute-budget",
+                    "--min-multiplicity",
+                ],
+            )?;
+            Ok(Command::Advise {
+                tasks: f.required("--tasks", "a positive integer")?,
+                epsilon: check_unit_interval(
+                    "--epsilon",
+                    f.required("--epsilon", "a number in (0, 1)")?,
+                    false,
+                )?,
+                adversary: f.or_default("--adversary", "a number in [0, 1)", 0.0)?,
+                precompute_budget: f.or_default("--precompute-budget", "an integer", 0)?,
+                min_multiplicity: f.optional("--min-multiplicity", "a positive integer")?,
+            })
+        }
+        "simulate" => {
+            let f = FlagSet::new(
+                rest,
+                "simulate",
+                &[
+                    "--scheme",
+                    "--tasks",
+                    "--epsilon",
+                    "--proportion",
+                    "--campaigns",
+                    "--seed",
+                ],
+            )?;
+            Ok(Command::Simulate {
+                scheme: f.scheme(SchemeName::Balanced)?,
+                tasks: f.required("--tasks", "a positive integer")?,
+                epsilon: check_unit_interval(
+                    "--epsilon",
+                    f.required("--epsilon", "a number in (0, 1)")?,
+                    false,
+                )?,
+                proportion: f.or_default("--proportion", "a number in [0, 1)", 0.0)?,
+                campaigns: f.or_default("--campaigns", "a positive integer", 20)?,
+                seed: f.or_default("--seed", "a 64-bit integer", 20_050_926)?,
+            })
+        }
+        "solve-sm" => {
+            let f = FlagSet::new(
+                rest,
+                "solve-sm",
+                &["--tasks", "--epsilon", "--dim", "--min-precompute", "--mps"],
+            )?;
+            Ok(Command::SolveSm {
+                tasks: f.required("--tasks", "a positive integer")?,
+                epsilon: check_unit_interval(
+                    "--epsilon",
+                    f.required("--epsilon", "a number in (0, 1)")?,
+                    false,
+                )?,
+                dim: f.required("--dim", "an integer ≥ 2")?,
+                min_precompute: f.flags.contains_key("--min-precompute"),
+                mps: f.optional("--mps", "a file path")?,
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help {
+            topic: rest.first().cloned(),
+        }),
+        other => Err(ArgError::UnknownCommand(other.into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn plan_full_parse() {
+        let cmd = parse_args(&argv(&[
+            "plan",
+            "--scheme",
+            "gs",
+            "--tasks",
+            "1000",
+            "--epsilon",
+            "0.5",
+            "--json",
+            "out.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Plan {
+                scheme: SchemeName::GolleStubblebine,
+                tasks: 1000,
+                epsilon: 0.5,
+                min_multiplicity: None,
+                proportion: 0.0,
+                json: Some("out.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cmd = parse_args(&argv(&["simulate", "--tasks", "10", "--epsilon", "0.5"])).unwrap();
+        match cmd {
+            Command::Simulate {
+                scheme,
+                campaigns,
+                seed,
+                proportion,
+                ..
+            } => {
+                assert_eq!(scheme, SchemeName::Balanced);
+                assert_eq!(campaigns, 20);
+                assert_eq!(seed, 20_050_926);
+                assert_eq!(proportion, 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(parse_args(&[]), Err(ArgError::NoCommand));
+        assert!(matches!(
+            parse_args(&argv(&["frobnicate"])),
+            Err(ArgError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv(&["plan", "--tasks", "10", "--epsilon", "0.5", "--bogus", "1"])),
+            Err(ArgError::UnknownFlag { .. })
+        ));
+        assert!(matches!(
+            parse_args(&argv(&["plan", "--tasks"])),
+            Err(ArgError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv(&["plan", "--epsilon", "0.5"])),
+            Err(ArgError::MissingFlag { flag: "--tasks", .. })
+        ));
+        assert!(matches!(
+            parse_args(&argv(&["plan", "--tasks", "ten", "--epsilon", "0.5"])),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_args(&argv(&["plan", "--tasks", "10", "--epsilon", "1.5"])),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn scheme_aliases() {
+        assert_eq!(SchemeName::parse("bal").unwrap(), SchemeName::Balanced);
+        assert_eq!(
+            SchemeName::parse("golle-stubblebine").unwrap(),
+            SchemeName::GolleStubblebine
+        );
+        assert_eq!(
+            SchemeName::parse("extended-balanced").unwrap(),
+            SchemeName::Extended
+        );
+        assert!(SchemeName::parse("magic").is_err());
+    }
+
+    #[test]
+    fn solve_sm_boolean_flag() {
+        let cmd = parse_args(&argv(&[
+            "solve-sm",
+            "--tasks",
+            "1000",
+            "--epsilon",
+            "0.5",
+            "--dim",
+            "6",
+            "--min-precompute",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::SolveSm {
+                min_precompute, dim, ..
+            } => {
+                assert!(min_precompute);
+                assert_eq!(dim, 6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_topic() {
+        assert_eq!(
+            parse_args(&argv(&["help", "plan"])).unwrap(),
+            Command::Help {
+                topic: Some("plan".into())
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["--help"])).unwrap(),
+            Command::Help { topic: None }
+        );
+    }
+
+    #[test]
+    fn error_messages_read_well() {
+        let e = ArgError::MissingFlag {
+            flag: "--tasks",
+            command: "plan",
+        };
+        assert!(e.to_string().contains("--tasks"));
+        let e2 = ArgError::BadValue {
+            flag: "--epsilon".into(),
+            value: "2".into(),
+            expected: "a number in (0, 1)",
+        };
+        assert!(e2.to_string().contains("(0, 1)"));
+    }
+}

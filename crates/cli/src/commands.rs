@@ -1,0 +1,591 @@
+//! Command implementations: each returns the report it would print.
+
+use crate::args::{Command, SchemeName};
+use crate::USAGE;
+use redundancy_core::{
+    advise, AssignmentMinimizing, CoreError, ExtendedBalanced, RealizedPlan,
+    Requirements, Scheme,
+};
+use redundancy_sim::{detection_experiment, AdversaryModel, CheatStrategy, ExperimentConfig};
+use redundancy_stats::table::{fnum, inum, Table};
+use std::fmt::Write as _;
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// A domain error from the core library.
+    Core(CoreError),
+    /// An I/O failure writing an output file.
+    Io(String),
+    /// A semantic error detected at dispatch time.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Core(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Invalid(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::Core(e)
+    }
+}
+
+/// Build the plan a (scheme, parameters) combination describes.
+fn build_plan(
+    scheme: SchemeName,
+    tasks: u64,
+    epsilon: f64,
+    min_multiplicity: Option<usize>,
+    proportion: f64,
+) -> Result<RealizedPlan, CliError> {
+    // Boost ε so the guarantee survives the stated adversary share.
+    let effective_eps = if proportion > 0.0 {
+        1.0 - (1.0 - epsilon).powf(1.0 / (1.0 - proportion))
+    } else {
+        epsilon
+    };
+    if effective_eps >= 1.0 || effective_eps.is_nan() {
+        return Err(CliError::Invalid(format!(
+            "threshold {epsilon} is unreachable at adversary proportion {proportion}"
+        )));
+    }
+    match scheme {
+        SchemeName::Balanced => Ok(RealizedPlan::balanced(tasks, effective_eps)?),
+        SchemeName::GolleStubblebine => {
+            Ok(RealizedPlan::golle_stubblebine(tasks, effective_eps)?)
+        }
+        SchemeName::Simple => Ok(RealizedPlan::k_fold(tasks, 2, epsilon)?),
+        SchemeName::Extended => {
+            let m = min_multiplicity.unwrap_or(2);
+            let ext = ExtendedBalanced::new(tasks, effective_eps, m)?;
+            RealizedPlan::from_ideal_weights("extended-balanced", tasks, effective_eps, |i| {
+                ext.ideal_weight(i)
+            })
+            .map_err(CliError::Core)
+        }
+    }
+}
+
+/// Dispatch a parsed command.
+pub fn dispatch(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help { topic } => Ok(help(topic.as_deref())),
+        Command::Plan {
+            scheme,
+            tasks,
+            epsilon,
+            min_multiplicity,
+            proportion,
+            json,
+        } => plan(*scheme, *tasks, *epsilon, *min_multiplicity, *proportion, json.as_deref()),
+        Command::Analyze {
+            scheme,
+            tasks,
+            epsilon,
+            proportion,
+        } => analyze(*scheme, *tasks, *epsilon, *proportion),
+        Command::Advise {
+            tasks,
+            epsilon,
+            adversary,
+            precompute_budget,
+            min_multiplicity,
+        } => advise_cmd(*tasks, *epsilon, *adversary, *precompute_budget, *min_multiplicity),
+        Command::Simulate {
+            scheme,
+            tasks,
+            epsilon,
+            proportion,
+            campaigns,
+            seed,
+        } => simulate(*scheme, *tasks, *epsilon, *proportion, *campaigns, *seed),
+        Command::SolveSm {
+            tasks,
+            epsilon,
+            dim,
+            min_precompute,
+            mps,
+        } => solve_sm(*tasks, *epsilon, *dim, *min_precompute, mps.as_deref()),
+    }
+}
+
+fn help(topic: Option<&str>) -> String {
+    match topic {
+        Some("plan") => "\
+redundancy plan --tasks <N> --epsilon <E> [--scheme S] [--min-multiplicity M]
+                [--proportion P] [--json PATH]
+
+Builds a deployable integer plan (floored buckets, tail partition, ringers).
+With --proportion, the threshold is boosted so the guarantee holds against an
+adversary controlling that share of assignments (Proposition 3).
+"
+        .into(),
+        Some("analyze") => "\
+redundancy analyze --tasks <N> --epsilon <E> [--scheme S] [--proportion P]
+
+Prints per-tuple-size detection probabilities and cost metrics.
+"
+        .into(),
+        Some("advise") => "\
+redundancy advise --tasks <N> --epsilon <E> [--adversary P]
+                  [--precompute-budget B] [--min-multiplicity M]
+
+Picks the cheapest scheme meeting the requirements and explains why.
+"
+        .into(),
+        Some("simulate") => "\
+redundancy simulate --tasks <N> --epsilon <E> [--scheme S] [--proportion P]
+                    [--campaigns C] [--seed SEED]
+
+Runs full Monte-Carlo campaigns (assignment, collusion, verification) and
+reports empirical detection rates with Wilson 95% intervals.
+"
+        .into(),
+        Some("solve-sm") => "\
+redundancy solve-sm --tasks <N> --epsilon <E> --dim <M>
+                    [--min-precompute] [--mps PATH]
+
+Solves the assignment-minimizing LP S_m; --min-precompute applies the
+lexicographic refinement; --mps exports the LP in MPS format.
+"
+        .into(),
+        _ => USAGE.into(),
+    }
+}
+
+fn plan(
+    scheme: SchemeName,
+    tasks: u64,
+    epsilon: f64,
+    min_multiplicity: Option<usize>,
+    proportion: f64,
+    json: Option<&str>,
+) -> Result<String, CliError> {
+    let plan = build_plan(scheme, tasks, epsilon, min_multiplicity, proportion)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "plan: {} over {} tasks", plan.scheme(), inum(tasks));
+    let _ = writeln!(
+        out,
+        "guarantee: detection >= {epsilon} for every tuple size{}",
+        if proportion > 0.0 {
+            format!(" up to adversary share {proportion} (threshold boosted to {:.4})", plan.epsilon())
+        } else {
+            String::new()
+        }
+    );
+    let mut table = Table::new(&["multiplicity", "tasks", "kind"]);
+    table.numeric();
+    for p in plan.partitions() {
+        table.row(&[
+            &p.multiplicity.to_string(),
+            &inum(p.tasks),
+            &format!("{:?}", p.kind),
+        ]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "total assignments: {} (factor {:.4}); precomputed tasks: {}",
+        inum(plan.total_assignments()),
+        plan.redundancy_factor(),
+        plan.precomputed_tasks()
+    );
+    let _ = writeln!(
+        out,
+        "effective detection at p = 0: {:.4}; at p = 0.1: {:.4}",
+        plan.effective_detection(0.0)?,
+        plan.effective_detection(0.1)?
+    );
+    if let Some(path) = json {
+        let body = serde_json::to_string_pretty(&plan)
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        std::fs::write(path, body).map_err(|e| CliError::Io(e.to_string()))?;
+        let _ = writeln!(out, "[plan written to {path}]");
+    }
+    Ok(out)
+}
+
+fn analyze(
+    scheme: SchemeName,
+    tasks: u64,
+    epsilon: f64,
+    proportion: f64,
+) -> Result<String, CliError> {
+    let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
+    let profile = plan.detection_profile();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "analysis: {} at eps = {epsilon}, N = {}",
+        plan.scheme(),
+        inum(tasks)
+    );
+    let mut table = Table::new(&["k", "P_k (asymptotic)", &format!("P_k at p = {proportion}")]);
+    table.numeric();
+    let dim = profile.dimension().min(12);
+    for k in 1..=dim {
+        let asym = profile
+            .p_asymptotic(k)
+            .map(|v| fnum(v, 4))
+            .unwrap_or_else(|| "-".into());
+        let nonasym = profile
+            .p_nonasymptotic(k, proportion)?
+            .map(|v| fnum(v, 4))
+            .unwrap_or_else(|| "-".into());
+        table.row(&[&k.to_string(), &asym, &nonasym]);
+    }
+    out.push_str(&table.render());
+    let (eff, waste) = redundancy_core::wasted_assignments(&profile)?;
+    let _ = writeln!(
+        out,
+        "effective detection: {:.4} at p = 0, {:.4} at p = {proportion}",
+        eff,
+        profile.effective_detection(proportion)?
+    );
+    let _ = writeln!(
+        out,
+        "cost: {} assignments (factor {:.4}); wasted vs optimal-at-this-protection: {}",
+        inum(plan.total_assignments()),
+        plan.redundancy_factor(),
+        inum(waste.round() as u64)
+    );
+    Ok(out)
+}
+
+fn advise_cmd(
+    tasks: u64,
+    epsilon: f64,
+    adversary: f64,
+    precompute_budget: u64,
+    min_multiplicity: Option<usize>,
+) -> Result<String, CliError> {
+    let req = Requirements {
+        n_tasks: tasks,
+        epsilon,
+        max_adversary_proportion: adversary,
+        precompute_budget,
+        min_multiplicity,
+    };
+    let advice = advise(&req)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "recommendation: {:?}", advice.choice);
+    let _ = writeln!(out, "  {}", advice.rationale);
+    let _ = writeln!(
+        out,
+        "  cost: {:.0} assignments (factor {:.4}); precompute {:.0} tasks",
+        advice.total_assignments, advice.redundancy_factor, advice.precompute
+    );
+    let _ = writeln!(
+        out,
+        "  delivers detection {:.4} up to adversary share {adversary}",
+        advice.effective_detection
+    );
+    Ok(out)
+}
+
+fn simulate(
+    scheme: SchemeName,
+    tasks: u64,
+    epsilon: f64,
+    proportion: f64,
+    campaigns: u64,
+    seed: u64,
+) -> Result<String, CliError> {
+    let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
+    let est = detection_experiment(
+        &plan,
+        AdversaryModel::AssignmentFraction { p: proportion },
+        CheatStrategy::AtLeast { min_copies: 1 },
+        &ExperimentConfig::new(campaigns, seed),
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "simulated {} campaigns of {} ({} tasks each, adversary share {proportion}, seed {seed})",
+        campaigns,
+        plan.scheme(),
+        inum(tasks)
+    );
+    let mut table = Table::new(&["k", "attacks", "detected", "rate", "95% CI"]);
+    table.numeric();
+    let mut any = false;
+    for k in 1..est.outcome.cheats_attempted.len() {
+        let Some(prop) = est.at_tuple(k) else { continue };
+        any = true;
+        let (lo, hi) = prop.wilson_interval(1.96);
+        table.row(&[
+            &k.to_string(),
+            &prop.trials().to_string(),
+            &prop.successes().to_string(),
+            &fnum(prop.estimate(), 4),
+            &format!("[{}, {}]", fnum(lo, 4), fnum(hi, 4)),
+        ]);
+    }
+    if any {
+        out.push_str(&table.render());
+    } else {
+        let _ = writeln!(out, "(no attacks occurred — adversary share too small)");
+    }
+    let _ = writeln!(
+        out,
+        "wrong results accepted: {}; false flags: {}",
+        est.outcome.wrong_accepted, est.outcome.false_flags
+    );
+    Ok(out)
+}
+
+fn solve_sm(
+    tasks: u64,
+    epsilon: f64,
+    dim: usize,
+    min_precompute: bool,
+    mps: Option<&str>,
+) -> Result<String, CliError> {
+    let sol = if min_precompute {
+        AssignmentMinimizing::solve_min_precompute(tasks, epsilon, dim)?
+    } else {
+        AssignmentMinimizing::solve(tasks, epsilon, dim)?
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "S_{dim} at N = {}, eps = {epsilon}{}",
+        inum(tasks),
+        if min_precompute {
+            " (min-precompute refinement)"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(
+        out,
+        "objective: {:.1} assignments (factor {:.4}); precompute: {:.1} tasks; {} pivots",
+        sol.objective(),
+        sol.objective() / tasks as f64,
+        sol.precompute_required(),
+        sol.pivots()
+    );
+    let mut table = Table::new(&["multiplicity", "tasks"]);
+    table.numeric();
+    for (i, w) in sol.distribution().iter() {
+        table.row(&[&i.to_string(), &fnum(w, 2)]);
+    }
+    out.push_str(&table.render());
+    if let Some(path) = mps {
+        // Rebuild the LP for export (the solver does not retain it).
+        let mut lp = redundancy_lp::Problem::new(redundancy_lp::Sense::Minimize);
+        let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+        for (i, v) in vars.iter().enumerate() {
+            lp.set_objective(*v, (i + 1) as f64);
+        }
+        let cover: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&cover, redundancy_lp::Relation::Ge, tasks as f64);
+        for k in 1..dim {
+            let mut terms = vec![(vars[k - 1], -epsilon)];
+            for i in (k + 1)..=dim {
+                terms.push((
+                    vars[i - 1],
+                    (1.0 - epsilon) * redundancy_stats::special::binomial(i as u64, k as u64),
+                ));
+            }
+            lp.add_constraint(&terms, redundancy_lp::Relation::Ge, 0.0);
+        }
+        let doc = redundancy_lp::write_mps(&lp, &format!("S{dim}"));
+        std::fs::write(path, doc).map_err(|e| CliError::Io(e.to_string()))?;
+        let _ = writeln!(out, "[LP exported to {path}]");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn run(parts: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        dispatch(&parse_args(&argv).unwrap())
+    }
+
+    #[test]
+    fn plan_balanced_reports_guarantee() {
+        let out = run(&["plan", "--tasks", "10000", "--epsilon", "0.75"]).unwrap();
+        assert!(out.contains("balanced"));
+        assert!(out.contains("Tail") || out.contains("tail"));
+        assert!(out.contains("effective detection"));
+    }
+
+    #[test]
+    fn plan_with_proportion_boosts() {
+        let out = run(&[
+            "plan",
+            "--tasks",
+            "10000",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.2",
+        ])
+        .unwrap();
+        assert!(out.contains("boosted"), "{out}");
+    }
+
+    #[test]
+    fn plan_json_round_trips() {
+        let path = std::env::temp_dir().join("cli_plan_test.json");
+        let p = path.to_string_lossy().into_owned();
+        let out = run(&[
+            "plan", "--tasks", "5000", "--epsilon", "0.5", "--json", &p,
+        ])
+        .unwrap();
+        assert!(out.contains("written"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        let plan: RealizedPlan = serde_json::from_str(&body).unwrap();
+        assert_eq!(plan.n_tasks(), 5000);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analyze_all_schemes() {
+        for scheme in ["balanced", "gs", "simple", "extended"] {
+            let out = run(&[
+                "analyze",
+                "--scheme",
+                scheme,
+                "--tasks",
+                "10000",
+                "--epsilon",
+                "0.5",
+                "--proportion",
+                "0.1",
+            ])
+            .unwrap();
+            assert!(out.contains("effective detection"), "{scheme}: {out}");
+        }
+    }
+
+    #[test]
+    fn advise_prefers_balanced_under_adversary() {
+        let out = run(&[
+            "advise",
+            "--tasks",
+            "100000",
+            "--epsilon",
+            "0.5",
+            "--adversary",
+            "0.1",
+        ])
+        .unwrap();
+        assert!(out.contains("Balanced"), "{out}");
+    }
+
+    #[test]
+    fn simulate_reports_rates() {
+        let out = run(&[
+            "simulate",
+            "--tasks",
+            "2000",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.1",
+            "--campaigns",
+            "3",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(out.contains("95% CI"), "{out}");
+        assert!(out.contains("wrong results accepted"));
+    }
+
+    #[test]
+    fn simulate_zero_adversary_notes_no_attacks() {
+        let out = run(&[
+            "simulate",
+            "--tasks",
+            "500",
+            "--epsilon",
+            "0.5",
+            "--campaigns",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("no attacks"), "{out}");
+    }
+
+    #[test]
+    fn solve_sm_and_mps_export() {
+        let path = std::env::temp_dir().join("cli_sm_test.mps");
+        let p = path.to_string_lossy().into_owned();
+        let out = run(&[
+            "solve-sm",
+            "--tasks",
+            "100000",
+            "--epsilon",
+            "0.5",
+            "--dim",
+            "5",
+            "--mps",
+            &p,
+        ])
+        .unwrap();
+        assert!(out.contains("602"), "S_5 precompute anchor missing: {out}");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("ENDATA"));
+        // Round trip: the exported LP re-solves to the same objective.
+        let reparsed = redundancy_lp::parse_mps(&doc).unwrap();
+        let re_obj = reparsed.solve().unwrap().objective;
+        assert!((re_obj - 138_554.2).abs() < 1.0, "{re_obj}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn solve_sm_min_precompute_flag() {
+        let base = run(&["solve-sm", "--tasks", "100000", "--epsilon", "0.5", "--dim", "6"])
+            .unwrap();
+        let refined = run(&[
+            "solve-sm",
+            "--tasks",
+            "100000",
+            "--epsilon",
+            "0.5",
+            "--dim",
+            "6",
+            "--min-precompute",
+        ])
+        .unwrap();
+        assert!(base.contains("1923"), "{base}");
+        assert!(refined.contains("refinement"), "{refined}");
+    }
+
+    #[test]
+    fn help_text_everywhere() {
+        for topic in [None, Some("plan"), Some("analyze"), Some("advise"), Some("simulate"), Some("solve-sm"), Some("unknown")] {
+            let out = help(topic);
+            assert!(out.contains("redundancy"), "{topic:?}");
+        }
+    }
+
+    #[test]
+    fn unreachable_boost_is_an_error() {
+        let argv: Vec<String> = [
+            "plan", "--tasks", "100", "--epsilon", "0.9999999999999999", "--proportion", "0.99",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        // ε parses inside (0,1) but boosting pushes it to 1.
+        let parsed = parse_args(&argv);
+        if let Ok(cmd) = parsed {
+            assert!(dispatch(&cmd).is_err());
+        }
+    }
+}

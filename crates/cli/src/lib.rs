@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # redundancy-cli — the `redundancy` command
+//!
+//! A supervisor-facing command-line tool over the whole workspace:
+//!
+//! ```text
+//! redundancy plan     --scheme balanced --tasks 1000000 --epsilon 0.75 [--json plan.json]
+//! redundancy analyze  --tasks 1000000 --epsilon 0.75 [--proportion 0.1] [--scheme gs]
+//! redundancy advise   --tasks 200000 --epsilon 0.5 --adversary 0.1 --precompute-budget 100
+//! redundancy simulate --tasks 20000 --epsilon 0.5 --proportion 0.1 --campaigns 30 [--seed 1]
+//! redundancy solve-sm --tasks 100000 --epsilon 0.5 --dim 16 [--mps out.mps] [--min-precompute]
+//! ```
+//!
+//! Every command is a pure function from parsed arguments to a report
+//! string (plus optional file side effects), so the whole surface is unit
+//! tested without spawning processes.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, ArgError, Command};
+
+/// Entry point shared by `main` and the tests: parse and dispatch.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let command = parse_args(argv).map_err(|e| e.to_string())?;
+    commands::dispatch(&command).map_err(|e| e.to_string())
+}
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+redundancy — optimal redundancy strategies for distributed computations
+           (Szajda, Lawson, Owen; IEEE CLUSTER 2005)
+
+USAGE:
+    redundancy <COMMAND> [OPTIONS]
+
+COMMANDS:
+    plan       Build a deployable task-distribution plan
+    analyze    Detection probabilities and costs for a scheme
+    advise     Pick the cheapest scheme for operational requirements
+    simulate   Monte-Carlo campaign simulation with a colluding adversary
+    solve-sm   Solve an assignment-minimizing LP system S_m
+    help       Show this message
+
+COMMON OPTIONS:
+    --tasks <N>            number of tasks (required by most commands)
+    --epsilon <0..1>       detection threshold
+    --scheme <NAME>        balanced | golle-stubblebine | simple | extended
+    --proportion <0..1>    adversary's assignment share (default 0)
+    --seed <U64>           RNG seed for randomized commands
+
+Run `redundancy help <COMMAND>` for command-specific options.
+";

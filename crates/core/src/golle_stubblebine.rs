@@ -1,0 +1,248 @@
+//! The Golle–Stubblebine geometric distribution (Section 3.1).
+//!
+//! Golle and Stubblebine [Financial Crypto 2001] assign `gᵢ = (1−c)·c^{i−1}·N`
+//! tasks with multiplicity `i` for a fixed ratio `0 < c < 1` — a geometric
+//! law.  Key facts re-derived and implemented here:
+//!
+//! * total assignments `N/(1−c)`, i.e. redundancy factor `1/(1−c)`;
+//! * asymptotic detection `P_k = 1 − (1−c)^{k+1}`, *increasing* in `k`;
+//! * non-asymptotic `P_{k,p} = 1 − (1 − c(1−p))^{k+1}`;
+//! * to guarantee threshold ε for every `k` it suffices to cover `k = 1`:
+//!   `c = 1 − √(1−ε)`, giving redundancy factor `1/√(1−ε)` — cheaper than
+//!   simple redundancy exactly when `ε < 3/4`.
+//!
+//! The paper's key observation (and the seed of the Balanced distribution):
+//! since `P_k` *increases* with `k`, an intelligent adversary always attacks
+//! singletons, so the extra protection bought at higher `k` is wasted
+//! resources.
+
+use crate::distribution::Distribution;
+use crate::error::{check_proportion, check_threshold, CoreError};
+use crate::scheme::Scheme;
+
+/// Relative weight below which the ideal geometric tail is truncated when
+/// materializing a [`Distribution`] (the closed forms remain exact).
+const TAIL_CUTOFF: f64 = 1e-12;
+
+/// The Golle–Stubblebine geometric distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GolleStubblebine {
+    n: u64,
+    c: f64,
+}
+
+impl GolleStubblebine {
+    /// Create from an explicit geometric ratio `0 < c < 1`.
+    pub fn with_ratio(n: u64, c: f64) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidTaskCount {
+                value: n,
+                reason: "a computation needs at least one task",
+            });
+        }
+        if !(c.is_finite() && 0.0 < c && c < 1.0) {
+            return Err(CoreError::InvalidRatio { value: c });
+        }
+        Ok(GolleStubblebine { n, c })
+    }
+
+    /// Tune `c` for asymptotic detection threshold `ε`: the binding
+    /// constraint is `k = 1`, giving `c = 1 − √(1−ε)`.
+    pub fn for_threshold(n: u64, epsilon: f64) -> Result<Self, CoreError> {
+        check_threshold(epsilon)?;
+        GolleStubblebine::with_ratio(n, 1.0 - (1.0 - epsilon).sqrt())
+    }
+
+    /// Tune `c` so the threshold holds even when the adversary controls
+    /// proportion `p` of assignments: `c = (1 − √(1−ε)) / (1−p)`.
+    ///
+    /// Fails with [`CoreError::UnreachableThreshold`] when that would need
+    /// `c ≥ 1`.
+    pub fn for_threshold_nonasymptotic(n: u64, epsilon: f64, p: f64) -> Result<Self, CoreError> {
+        check_threshold(epsilon)?;
+        check_proportion(p)?;
+        let c = (1.0 - (1.0 - epsilon).sqrt()) / (1.0 - p);
+        if c >= 1.0 {
+            return Err(CoreError::UnreachableThreshold {
+                epsilon,
+                proportion: p,
+            });
+        }
+        GolleStubblebine::with_ratio(n, c)
+    }
+
+    /// The geometric ratio `c`.
+    pub fn ratio(&self) -> f64 {
+        self.c
+    }
+
+    /// Closed-form asymptotic detection probability
+    /// `P_k = 1 − (1−c)^{k+1}`.
+    pub fn p_asymptotic(&self, k: usize) -> f64 {
+        1.0 - (1.0 - self.c).powi(k as i32 + 1)
+    }
+
+    /// Closed-form non-asymptotic detection probability
+    /// `P_{k,p} = 1 − (1 − c(1−p))^{k+1}`.
+    pub fn p_nonasymptotic(&self, k: usize, p: f64) -> Result<f64, CoreError> {
+        check_proportion(p)?;
+        Ok(1.0 - (1.0 - self.c * (1.0 - p)).powi(k as i32 + 1))
+    }
+
+    /// Closed-form redundancy factor `1/(1−c)`.
+    pub fn redundancy_factor_exact(&self) -> f64 {
+        1.0 / (1.0 - self.c)
+    }
+
+    /// Closed-form total assignments `N/(1−c)`.
+    pub fn total_assignments_exact(&self) -> f64 {
+        self.n as f64 / (1.0 - self.c)
+    }
+
+    /// Redundancy factor needed to guarantee `ε` asymptotically:
+    /// `1/√(1−ε)` (cheaper than simple redundancy iff `ε < 3/4`).
+    pub fn factor_for_threshold(epsilon: f64) -> Result<f64, CoreError> {
+        check_threshold(epsilon)?;
+        Ok(1.0 / (1.0 - epsilon).sqrt())
+    }
+
+    /// Non-asymptotic redundancy factor `1 / (1 − (1−√(1−ε))/(1−p))`.
+    pub fn factor_for_threshold_nonasymptotic(epsilon: f64, p: f64) -> Result<f64, CoreError> {
+        let gs = GolleStubblebine::for_threshold_nonasymptotic(1, epsilon, p)?;
+        Ok(gs.redundancy_factor_exact())
+    }
+}
+
+impl Scheme for GolleStubblebine {
+    fn name(&self) -> &'static str {
+        "golle-stubblebine"
+    }
+
+    fn n_tasks(&self) -> u64 {
+        self.n
+    }
+
+    /// Materialize the geometric weights, truncating the tail once the
+    /// remaining mass is a `TAIL_CUTOFF` fraction of `N` (the truncated mass
+    /// is folded into the final bucket so `Σ xᵢ = N` exactly).
+    fn distribution(&self) -> Distribution {
+        let n = self.n as f64;
+        let mut weights = Vec::new();
+        let mut remaining = n;
+        let mut w = (1.0 - self.c) * n; // g₁
+        while remaining > TAIL_CUTOFF * n && w > TAIL_CUTOFF * n {
+            weights.push(w.min(remaining));
+            remaining -= w.min(remaining);
+            w *= self.c;
+        }
+        if remaining > 0.0 {
+            weights.push(remaining);
+        }
+        Distribution::from_weights(weights)
+    }
+
+    fn guaranteed_detection(&self) -> Option<f64> {
+        // The binding constraint is k = 1: P₁ = 1 − (1−c)².
+        Some(self.p_asymptotic(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(GolleStubblebine::with_ratio(0, 0.5).is_err());
+        assert!(GolleStubblebine::with_ratio(10, 0.0).is_err());
+        assert!(GolleStubblebine::with_ratio(10, 1.0).is_err());
+        assert!(GolleStubblebine::for_threshold(10, 1.5).is_err());
+        assert!(GolleStubblebine::with_ratio(10, 0.3).is_ok());
+    }
+
+    #[test]
+    fn threshold_tuning_half() {
+        // ε = 0.5 → c = 1 − √0.5, factor = √2.
+        let gs = GolleStubblebine::for_threshold(1000, 0.5).unwrap();
+        assert!((gs.ratio() - (1.0 - 0.5f64.sqrt())).abs() < 1e-12);
+        assert!((gs.redundancy_factor_exact() - 2.0f64.sqrt()).abs() < 1e-12);
+        // Guaranteed detection equals ε exactly at k = 1.
+        assert!((gs.p_asymptotic(1) - 0.5).abs() < 1e-12);
+        assert!((gs.guaranteed_detection().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_increases_with_k() {
+        // Section 3.1's key observation: P_k strictly increases in k, so the
+        // adversary's best attack is always the singleton.
+        let gs = GolleStubblebine::for_threshold(1000, 0.5).unwrap();
+        let mut prev = gs.p_asymptotic(1);
+        for k in 2..10 {
+            let pk = gs.p_asymptotic(k);
+            assert!(pk > prev, "P_{k} must exceed P_{}", k - 1);
+            prev = pk;
+        }
+    }
+
+    #[test]
+    fn cheaper_than_simple_iff_eps_below_three_quarters() {
+        assert!(GolleStubblebine::factor_for_threshold(0.74).unwrap() < 2.0);
+        assert!((GolleStubblebine::factor_for_threshold(0.75).unwrap() - 2.0).abs() < 1e-12);
+        assert!(GolleStubblebine::factor_for_threshold(0.76).unwrap() > 2.0);
+    }
+
+    #[test]
+    fn closed_forms_match_generic_engine() {
+        let gs = GolleStubblebine::for_threshold(1_000_000, 0.6).unwrap();
+        let prof = gs.detection_profile();
+        for k in 1..12 {
+            let generic = prof.p_asymptotic(k).unwrap();
+            let closed = gs.p_asymptotic(k);
+            assert!(
+                (generic - closed).abs() < 1e-4,
+                "k={k}: generic {generic} vs closed {closed}"
+            );
+            for &p in &[0.05, 0.2] {
+                let generic_p = prof.p_nonasymptotic(k, p).unwrap().unwrap();
+                let closed_p = gs.p_nonasymptotic(k, p).unwrap();
+                assert!(
+                    (generic_p - closed_p).abs() < 1e-4,
+                    "k={k},p={p}: {generic_p} vs {closed_p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_mass_and_assignments() {
+        let gs = GolleStubblebine::with_ratio(100_000, 0.4).unwrap();
+        let d = gs.distribution();
+        assert!((d.total_tasks() - 100_000.0).abs() < 1e-6);
+        let rel = (d.total_assignments() - gs.total_assignments_exact()).abs()
+            / gs.total_assignments_exact();
+        assert!(rel < 1e-9, "{} vs {}", d.total_assignments(), gs.total_assignments_exact());
+    }
+
+    #[test]
+    fn geometric_shape() {
+        let gs = GolleStubblebine::with_ratio(1000, 0.5).unwrap();
+        let d = gs.distribution();
+        // g₁ = 500, g₂ = 250, …
+        assert!((d.weight(1) - 500.0).abs() < 1e-9);
+        assert!((d.weight(2) - 250.0).abs() < 1e-9);
+        assert!((d.weight(3) - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonasymptotic_tuning() {
+        let gs = GolleStubblebine::for_threshold_nonasymptotic(1000, 0.5, 0.1).unwrap();
+        // P_{1,p} should be ≥ 0.5 at p = 0.1 by construction (equality).
+        let p1 = gs.p_nonasymptotic(1, 0.1).unwrap();
+        assert!((p1 - 0.5).abs() < 1e-12, "{p1}");
+        // Unreachable when (1−√(1−ε)) ≥ (1−p).
+        assert!(matches!(
+            GolleStubblebine::for_threshold_nonasymptotic(1000, 0.99, 0.95),
+            Err(CoreError::UnreachableThreshold { .. })
+        ));
+    }
+}

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! # redundancy-core
+//!
+//! A complete implementation of the task-distribution theory from
+//! **"Toward an Optimal Redundancy Strategy for Distributed Computations"**
+//! (Szajda, Lawson, Owen — IEEE CLUSTER 2005), plus everything needed to
+//! deploy it on a real volunteer-computing platform.
+//!
+//! ## The problem
+//!
+//! Volunteer platforms (SETI@home-style) execute tasks on untrusted hosts
+//! and defend result integrity with redundancy: hand out several copies of
+//! each task and compare.  Plain 2-fold ("simple") redundancy fails against
+//! *collusion* — an adversary holding both copies of a task returns matching
+//! wrong answers and is never caught.  The paper asks for the cheapest
+//! *static* assignment of multiplicities that guarantees a detection
+//! probability of at least ε against a cheater **regardless of how many
+//! copies of a task she controls**.
+//!
+//! ## What this crate provides
+//!
+//! | Item | Module | Paper reference |
+//! |---|---|---|
+//! | Distribution vectors, redundancy factors | [`distribution`] | §2.1 |
+//! | Detection probabilities `P_k`, `P_{k,p}` | [`probability`] | §2.2, §5 |
+//! | Simple / m-fold redundancy baseline | [`simple`] | §1 |
+//! | Golle–Stubblebine geometric scheme | [`golle_stubblebine`] | §3.1 |
+//! | **The Balanced distribution** | [`balanced`] | §4, Thm 1, Prop 3 |
+//! | Assignment-minimizing LP optima `S_m` | [`minimizing`] | §3.2, Fact 1 |
+//! | Lower bound & equality property | [`bounds`] | Prop 1, Prop 2 |
+//! | Integer plans, tail partition, ringers | [`plan`] | §6 |
+//! | Minimum-multiplicity extension | [`extended`] | §7 |
+//! | Scheme-selection advisor | [`advisor`] | §4–5 discussion |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use redundancy_core::{Balanced, RealizedPlan, Scheme};
+//!
+//! // One million tasks, guarantee 75% cheat-detection at any tuple size.
+//! let scheme = Balanced::new(1_000_000, 0.75)?;
+//! assert!(scheme.redundancy_factor_exact() < 2.0); // cheaper than 2-fold!
+//!
+//! // Deployable integer plan: floors + tail partition + 2 ringers.
+//! let plan = RealizedPlan::balanced(1_000_000, 0.75)?;
+//! assert!(plan.effective_detection(0.0)? >= 0.75);
+//! assert_eq!(plan.ringer_tasks(), 2);
+//! # Ok::<(), redundancy_core::CoreError>(())
+//! ```
+
+pub mod advisor;
+pub mod balanced;
+pub mod bounds;
+pub mod distribution;
+pub mod error;
+pub mod extended;
+pub mod golle_stubblebine;
+pub mod minimizing;
+pub mod plan;
+pub mod probability;
+pub mod scheme;
+pub mod simple;
+
+pub use advisor::{advise, comparison_row, reference_plans, Advice, Requirements};
+pub use balanced::Balanced;
+pub use bounds::{equality_gap, lower_bound_factor, wasted_assignments};
+pub use distribution::Distribution;
+pub use error::CoreError;
+pub use extended::ExtendedBalanced;
+pub use golle_stubblebine::GolleStubblebine;
+pub use minimizing::AssignmentMinimizing;
+pub use plan::{Partition, PartitionKind, RealizedPlan};
+pub use probability::DetectionProfile;
+pub use scheme::Scheme;
+pub use simple::KFold;

@@ -1,0 +1,552 @@
+//! The assignment-minimizing distributions `S_m` (Section 3.2, Fact 1,
+//! Figures 1 and 2).
+//!
+//! `S_m` is the linear program
+//!
+//! ```text
+//! minimize   Σ_{i=1}^{m} i·xᵢ
+//! subject to Σ xᵢ ≥ N                                  (C₀)
+//!            (1−ε)·Σ_{i=k+1}^{m} C(i,k)·xᵢ ≥ ε·x_k      (C_k, k = 1..m−1)
+//!            xᵢ ≥ 0
+//! ```
+//!
+//! Its optimum is the cheapest dimension-`m` distribution meeting every
+//! detection constraint an `m`-dimensional distribution *can* meet; the
+//! `x_m` bucket cannot satisfy `C_m` by comparison alone and must be
+//! **precomputed** by the supervisor (Figure 2's "Precomputing Required"
+//! column).  As `m` grows the optimum approaches Proposition 1's
+//! `2N/(2−ε)` bound, the precompute requirement falls — and the
+//! non-asymptotic detection minima collapse, which is the paper's argument
+//! for preferring the Balanced distribution.
+//!
+//! Every solve is audited with the independent optimality checker from
+//! `redundancy-lp` before being returned.
+
+use crate::distribution::Distribution;
+use crate::error::{check_threshold, CoreError};
+use crate::probability::DetectionProfile;
+use crate::scheme::Scheme;
+use redundancy_lp::{verify_solution, Problem, Relation, Sense};
+use redundancy_stats::special::binomial;
+
+/// Smallest dimension for which `S_m` is a meaningful system.
+pub const MIN_DIMENSION: usize = 2;
+
+/// Assemble the `S_m` linear program.  With `budget = Some(z)` the total
+/// assignment count is capped at `z` and the objective switches to
+/// minimizing the precompute bucket `x_m` (stage 2 of the lexicographic
+/// solve).
+fn build_system(
+    n: u64,
+    epsilon: f64,
+    dimension: usize,
+    budget: Option<f64>,
+) -> (Problem, Vec<redundancy_lp::VarId>) {
+    let mut lp = Problem::new(Sense::Minimize);
+    let vars: Vec<_> = (1..=dimension)
+        .map(|i| lp.add_variable(format!("x{i}")))
+        .collect();
+    let assignment_cost: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64))
+        .collect();
+    match budget {
+        None => {
+            for &(v, c) in &assignment_cost {
+                lp.set_objective(v, c);
+            }
+        }
+        Some(z) => {
+            lp.set_objective(vars[dimension - 1], 1.0);
+            lp.add_constraint(&assignment_cost, Relation::Le, z);
+        }
+    }
+    // C₀: Σ xᵢ ≥ N.
+    let cover: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+    lp.add_constraint(&cover, Relation::Ge, n as f64);
+    // C_k for k = 1..m−1: (1−ε)·Σ_{i>k} C(i,k)·xᵢ − ε·x_k ≥ 0.
+    // Binomial coefficients reach ~10¹¹ at the dimensions Figure 1 sweeps,
+    // so each row is normalized by its largest coefficient to keep the
+    // simplex well-scaled.
+    for k in 1..dimension {
+        let mut terms = vec![(vars[k - 1], -epsilon)];
+        let mut scale = epsilon;
+        for i in (k + 1)..=dimension {
+            let coeff = (1.0 - epsilon) * binomial(i as u64, k as u64);
+            scale = scale.max(coeff);
+            terms.push((vars[i - 1], coeff));
+        }
+        for (_, c) in &mut terms {
+            *c /= scale;
+        }
+        lp.add_constraint(&terms, Relation::Ge, 0.0);
+    }
+    (lp, vars)
+}
+
+/// Run the independent LP audit, mapping failures into [`CoreError`].
+fn audit(lp: &Problem, solution: &redundancy_lp::Solution) -> Result<(), CoreError> {
+    let report = verify_solution(lp, solution);
+    if report.is_ok(1e-6) {
+        Ok(())
+    } else {
+        Err(CoreError::AuditFailure {
+            report: format!("{report:?}"),
+        })
+    }
+}
+
+/// An optimal solution of the system `S_m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentMinimizing {
+    n: u64,
+    epsilon: f64,
+    dimension: usize,
+    distribution: Distribution,
+    objective: f64,
+    pivots: usize,
+}
+
+impl AssignmentMinimizing {
+    /// Solve `S_m` for `n` tasks at threshold ε and dimension `m`.
+    pub fn solve(n: u64, epsilon: f64, dimension: usize) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidTaskCount {
+                value: n,
+                reason: "a computation needs at least one task",
+            });
+        }
+        check_threshold(epsilon)?;
+        if dimension < MIN_DIMENSION {
+            return Err(CoreError::DimensionTooSmall {
+                dimension,
+                minimum: MIN_DIMENSION,
+            });
+        }
+        let (lp, _vars) = build_system(n, epsilon, dimension, None);
+        let solution = lp.solve().map_err(|e| CoreError::LpFailure {
+            message: e.to_string(),
+        })?;
+        audit(&lp, &solution)?;
+        let weights: Vec<f64> = solution.values[..dimension].to_vec();
+        let distribution = Distribution::from_weights(weights);
+        let objective = distribution.total_assignments();
+        Ok(AssignmentMinimizing {
+            n,
+            epsilon,
+            dimension,
+            distribution,
+            objective,
+            pivots: solution.pivots,
+        })
+    }
+
+    /// Like [`AssignmentMinimizing::solve`], but lexicographically refined:
+    /// among all assignment-optimal solutions, pick the one with the least
+    /// precompute `x_m`.
+    ///
+    /// The `S_m` optimal face is frequently degenerate — several vertices
+    /// share the minimum assignment count but differ wildly in `x_m` (at
+    /// `N = 10⁵, ε = ½, m = 6` the precompute ranges from ~320 to ~1923
+    /// across the face).  The paper reports plain single-stage vertices
+    /// (which [`AssignmentMinimizing::solve`] reproduces); this variant is
+    /// our refinement, strictly better for a supervisor with a precompute
+    /// budget, and the `ablations` bench quantifies the difference.
+    pub fn solve_min_precompute(
+        n: u64,
+        epsilon: f64,
+        dimension: usize,
+    ) -> Result<Self, CoreError> {
+        let base = AssignmentMinimizing::solve(n, epsilon, dimension)?;
+        let (lp2, _vars) = build_system(
+            n,
+            epsilon,
+            dimension,
+            Some(base.objective * (1.0 + 1e-9)),
+        );
+        let Ok(solution) = lp2.solve() else {
+            return Ok(base); // numerical edge: keep the stage-1 vertex
+        };
+        audit(&lp2, &solution)?;
+        let weights: Vec<f64> = solution.values[..dimension].to_vec();
+        let distribution = Distribution::from_weights(weights);
+        let objective = distribution.total_assignments();
+        Ok(AssignmentMinimizing {
+            n,
+            epsilon,
+            dimension,
+            distribution,
+            objective,
+            pivots: base.pivots + solution.pivots,
+        })
+    }
+
+    /// Solve the *equality-augmented* system of Section 5: minimize total
+    /// assignments subject to `Σ xᵢ = N` and `P_k = ε` exactly for
+    /// `k = 1..m−1`.
+    ///
+    /// The paper: "when the S systems are augmented so that the solution
+    /// must satisfy `P_k = ε`, the resulting optimal solutions are
+    /// virtually indistinguishable from the Balanced distribution" — the
+    /// `equality_solution_approximates_balanced` test verifies exactly
+    /// that, bucket by bucket.
+    pub fn solve_with_equalities(
+        n: u64,
+        epsilon: f64,
+        dimension: usize,
+    ) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidTaskCount {
+                value: n,
+                reason: "a computation needs at least one task",
+            });
+        }
+        check_threshold(epsilon)?;
+        if dimension < MIN_DIMENSION {
+            return Err(CoreError::DimensionTooSmall {
+                dimension,
+                minimum: MIN_DIMENSION,
+            });
+        }
+        let mut lp = Problem::new(Sense::Minimize);
+        let vars: Vec<_> = (1..=dimension)
+            .map(|i| lp.add_variable(format!("x{i}")))
+            .collect();
+        for (i, v) in vars.iter().enumerate() {
+            lp.set_objective(*v, (i + 1) as f64);
+        }
+        let cover: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&cover, Relation::Eq, n as f64);
+        for k in 1..dimension {
+            let mut terms = vec![(vars[k - 1], -epsilon)];
+            let mut scale = epsilon;
+            for i in (k + 1)..=dimension {
+                let coeff = (1.0 - epsilon) * binomial(i as u64, k as u64);
+                scale = scale.max(coeff);
+                terms.push((vars[i - 1], coeff));
+            }
+            for (_, c) in &mut terms {
+                *c /= scale;
+            }
+            lp.add_constraint(&terms, Relation::Eq, 0.0);
+        }
+        let solution = lp.solve().map_err(|e| CoreError::LpFailure {
+            message: e.to_string(),
+        })?;
+        audit(&lp, &solution)?;
+        let weights: Vec<f64> = solution.values[..dimension].to_vec();
+        let distribution = Distribution::from_weights(weights);
+        let objective = distribution.total_assignments();
+        Ok(AssignmentMinimizing {
+            n,
+            epsilon,
+            dimension,
+            distribution,
+            objective,
+            pivots: solution.pivots,
+        })
+    }
+
+    /// Solve `S_m` for a range of dimensions (the Figure 2 sweep).
+    pub fn sweep(
+        n: u64,
+        epsilon: f64,
+        dims: impl IntoIterator<Item = usize>,
+    ) -> Result<Vec<Self>, CoreError> {
+        dims.into_iter()
+            .map(|m| AssignmentMinimizing::solve(n, epsilon, m))
+            .collect()
+    }
+
+    /// The first dimension `m` from which the optimum's precompute
+    /// requirement falls below `limit` *and stays below it* up to
+    /// `max_dimension` (how Figure 1 selects `S₉` for `N = 10⁵` and `S₂₆`
+    /// for `N = 10⁶` at a 1000-task limit — precompute is not monotone in
+    /// `m`, dipping at `S₅` before jumping back at `S₆`, so the stable
+    /// crossing is the meaningful one).
+    pub fn first_dimension_under_precompute(
+        n: u64,
+        epsilon: f64,
+        limit: f64,
+        max_dimension: usize,
+    ) -> Result<Option<Self>, CoreError> {
+        let sweep = AssignmentMinimizing::sweep(n, epsilon, MIN_DIMENSION..=max_dimension)?;
+        let last_violation = sweep
+            .iter()
+            .rposition(|s| s.precompute_required() >= limit);
+        let first_stable = match last_violation {
+            Some(idx) if idx + 1 < sweep.len() => idx + 1,
+            Some(_) => return Ok(None),
+            None => 0,
+        };
+        Ok(sweep.into_iter().nth(first_stable))
+    }
+
+    /// The detection threshold ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The system dimension `m`.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of tasks the supervisor must precompute: the `x_m` bucket
+    /// (its `C_m` constraint cannot be met by comparison).
+    pub fn precompute_required(&self) -> f64 {
+        self.distribution.weight(self.dimension)
+    }
+
+    /// LP objective = total assignments at the optimum.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Simplex pivots the solve took (diagnostic).
+    pub fn pivots(&self) -> usize {
+        self.pivots
+    }
+
+    /// Detection profile with the `x_m` bucket marked precomputed — the
+    /// "valid m-dimensional distribution augmented by verification" of
+    /// Section 2.2.
+    pub fn verified_profile(&self) -> DetectionProfile {
+        DetectionProfile::from_distribution(&self.distribution).verify_bucket(self.dimension)
+    }
+
+    /// Support of the optimum (multiplicities with nonzero weight).  Fact 1
+    /// observes this concentrates on `{1, 2, m}` (occasionally one more
+    /// interior point).
+    pub fn support(&self) -> Vec<usize> {
+        self.distribution.iter().map(|(i, _)| i).collect()
+    }
+}
+
+impl Scheme for AssignmentMinimizing {
+    fn name(&self) -> &'static str {
+        "assignment-minimizing"
+    }
+
+    fn n_tasks(&self) -> u64 {
+        self.n
+    }
+
+    fn distribution(&self) -> Distribution {
+        self.distribution.clone()
+    }
+
+    /// ε, counting the precomputed top bucket (without verification the
+    /// guarantee would be 0 at `k = m`).
+    fn guaranteed_detection(&self) -> Option<f64> {
+        Some(self.epsilon)
+    }
+
+    fn detection_profile(&self) -> DetectionProfile {
+        self.verified_profile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(AssignmentMinimizing::solve(0, 0.5, 5).is_err());
+        assert!(AssignmentMinimizing::solve(100, 0.0, 5).is_err());
+        assert!(matches!(
+            AssignmentMinimizing::solve(100, 0.5, 1),
+            Err(CoreError::DimensionTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_two_matches_hand_solution() {
+        // S₂: min x₁ + 2x₂ s.t. x₁ + x₂ ≥ N, (1−ε)·2·x₂ ≥ ε·x₁.
+        // Equalities bind: x₁ = 2N(1−ε)/(2−ε), x₂ = Nε/(2−ε) — exactly the
+        // relaxed optimum of Proposition 1 (dimension 2 has no further
+        // constraints).
+        let n = 100_000u64;
+        let eps = 0.5;
+        let sol = AssignmentMinimizing::solve(n, eps, 2).unwrap();
+        let d = sol.distribution();
+        let x1 = 2.0 * n as f64 * (1.0 - eps) / (2.0 - eps);
+        let x2 = n as f64 * eps / (2.0 - eps);
+        assert!((d.weight(1) - x1).abs() < 1e-4, "{} vs {x1}", d.weight(1));
+        assert!((d.weight(2) - x2).abs() < 1e-4);
+        assert!((sol.objective() - 2.0 * n as f64 / (2.0 - eps)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn optimum_satisfies_all_constraints() {
+        let sol = AssignmentMinimizing::solve(100_000, 0.5, 8).unwrap();
+        let prof = sol.verified_profile();
+        assert!(prof.satisfies_threshold(0.5, 1e-7));
+        // Task coverage.
+        assert!((sol.distribution().total_tasks() - 100_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn objective_decreases_toward_lower_bound() {
+        let n = 100_000u64;
+        let eps = 0.5;
+        let bound = crate::bounds::lower_bound_assignments(n, eps).unwrap();
+        // S₂ has no C₂ constraint and attains the bound exactly (its whole
+        // x₂ bucket is precomputed); every S_m with m ≥ 3 sits strictly
+        // above it, approaching as m grows.
+        let s2 = AssignmentMinimizing::solve(n, eps, 2).unwrap();
+        assert!((s2.objective() - bound).abs() < 1e-3);
+        let mut prev = f64::INFINITY;
+        for m in [4usize, 8, 16, 24] {
+            let sol = AssignmentMinimizing::solve(n, eps, m).unwrap();
+            assert!(sol.objective() > bound, "m={m} beats Proposition 1");
+            // Global trend is decreasing from m = 4 on (the paper notes the
+            // localized S₃→S₄ exception, which our spaced grid avoids).
+            assert!(sol.objective() <= prev + 1e-6, "m={m}");
+            prev = sol.objective();
+        }
+        // By m = 24 the optimum is within 1.5% of the bound.
+        assert!(prev < bound * 1.015);
+    }
+
+    #[test]
+    fn support_concentrates_on_one_two_and_top() {
+        // Fact 1: most mass on multiplicities 1 and 2, a small top bucket.
+        let sol = AssignmentMinimizing::solve(100_000, 0.5, 16).unwrap();
+        let support = sol.support();
+        assert!(support.contains(&1));
+        assert!(support.contains(&2));
+        assert!(support.contains(&16));
+        // Interior support is at most one extra point.
+        let interior: Vec<_> = support
+            .iter()
+            .filter(|&&i| i > 2 && i < 16)
+            .collect();
+        assert!(interior.len() <= 1, "support {support:?}");
+        let d = sol.distribution();
+        let mass12 = d.weight(1) + d.weight(2);
+        assert!(mass12 / d.total_tasks() > 0.95, "mass at 1,2 = {mass12}");
+    }
+
+    #[test]
+    fn precompute_required_falls_with_dimension() {
+        let hi = AssignmentMinimizing::solve(100_000, 0.5, 6)
+            .unwrap()
+            .precompute_required();
+        let lo = AssignmentMinimizing::solve(100_000, 0.5, 20)
+            .unwrap()
+            .precompute_required();
+        assert!(lo < hi, "{lo} vs {hi}");
+    }
+
+    #[test]
+    fn paper_figure2_precompute_anchors() {
+        // The two precompute values whose digits survived the paper's OCR:
+        // S₅ requires 602 tasks and S₆ jumps to 1923 (N = 10⁵, ε = ½) — the
+        // "localized exception" of Section 3.2.
+        let s5 = AssignmentMinimizing::solve(100_000, 0.5, 5).unwrap();
+        assert!((s5.precompute_required() - 602.41).abs() < 0.5, "{}", s5.precompute_required());
+        let s6 = AssignmentMinimizing::solve(100_000, 0.5, 6).unwrap();
+        assert!((s6.precompute_required() - 1923.08).abs() < 0.5, "{}", s6.precompute_required());
+        assert!(s6.precompute_required() > s5.precompute_required());
+    }
+
+    #[test]
+    fn paper_s3_to_s4_factor_increase() {
+        // Section 3.2's other localized exception: the redundancy factor
+        // rises between S₃ and S₄.
+        let s3 = AssignmentMinimizing::solve(100_000, 0.5, 3).unwrap();
+        let s4 = AssignmentMinimizing::solve(100_000, 0.5, 4).unwrap();
+        assert!(s4.objective() > s3.objective());
+    }
+
+    #[test]
+    fn min_precompute_refinement_never_worse() {
+        for m in [5usize, 6, 8, 12] {
+            let base = AssignmentMinimizing::solve(100_000, 0.5, m).unwrap();
+            let refined =
+                AssignmentMinimizing::solve_min_precompute(100_000, 0.5, m).unwrap();
+            assert!(
+                refined.precompute_required() <= base.precompute_required() + 1e-6,
+                "m={m}: refined {} vs base {}",
+                refined.precompute_required(),
+                base.precompute_required()
+            );
+            assert!((refined.objective() - base.objective()).abs() < base.objective() * 1e-6);
+            assert!(refined.verified_profile().satisfies_threshold(0.5, 1e-6));
+        }
+        // At m = 6 the refinement is dramatic: 1923 → ~320.
+        let refined = AssignmentMinimizing::solve_min_precompute(100_000, 0.5, 6).unwrap();
+        assert!(refined.precompute_required() < 400.0, "{}", refined.precompute_required());
+    }
+
+    #[test]
+    fn first_dimension_under_precompute_finds_fig1_systems() {
+        // Figure 1: S₉ is the first system stably needing < 1000
+        // precomputed tasks at N = 10⁵ (ε = ½): the sequence runs
+        // S₅ = 602 (transient dip), S₆ = 1923, S₇ = 1408, S₈ = 1075,
+        // S₉ = 847 and decreasing thereafter.
+        let sol = AssignmentMinimizing::first_dimension_under_precompute(100_000, 0.5, 1000.0, 30)
+            .unwrap()
+            .unwrap();
+        assert_eq!(sol.dimension(), 9, "expected the paper's S₉");
+        assert!((sol.precompute_required() - 847.46).abs() < 1.0);
+    }
+
+    #[test]
+    fn nonasymptotic_minimum_collapses_with_p() {
+        // Section 5 / Figure 2: the LP optima lose detection power fast as
+        // the adversary's proportion grows, unlike Balanced.
+        let sol = AssignmentMinimizing::solve(100_000, 0.5, 16).unwrap();
+        let prof = sol.verified_profile();
+        let at0 = prof.effective_detection(0.0).unwrap();
+        let at15 = prof.effective_detection(0.15).unwrap();
+        assert!(at0 >= 0.5 - 1e-7);
+        assert!(at15 < 0.35, "min P at p=0.15 is {at15}");
+        // Balanced at the same p only drops to 1 − 0.5^{0.85} ≈ 0.445.
+        let bal = crate::balanced::Balanced::new(100_000, 0.5).unwrap();
+        assert!(bal.p_nonasymptotic(1, 0.15).unwrap() > at15);
+    }
+
+    #[test]
+    fn equality_solution_approximates_balanced() {
+        // Section 5: equality-augmented optima ≈ the Balanced distribution.
+        let n = 1_000_000u64;
+        let eps = 0.5;
+        let dim = 12usize;
+        let sol = AssignmentMinimizing::solve_with_equalities(n, eps, dim).unwrap();
+        let bal = crate::balanced::Balanced::new(n, eps).unwrap();
+        // Bucket-by-bucket agreement over the meaningful range (the last
+        // couple of buckets absorb the truncated Poisson tail).
+        for i in 1..=dim - 3 {
+            let got = sol.distribution().weight(i);
+            let want = bal.ideal_weight(i);
+            let rel = (got - want).abs() / want.max(1.0);
+            assert!(rel < 0.01, "i={i}: LP {got} vs Balanced {want}");
+        }
+        // And the costs agree to a fraction of a percent.
+        let rel_cost = (sol.objective() - bal.total_assignments_exact()).abs()
+            / bal.total_assignments_exact();
+        assert!(rel_cost < 5e-3, "cost gap {rel_cost}");
+        // Equality system costs MORE than the plain S_m optimum (it gave up
+        // the freedom to over-cover cheaply)...
+        let plain = AssignmentMinimizing::solve(n, eps, dim).unwrap();
+        assert!(sol.objective() > plain.objective());
+        // ...and every constraint is met with equality.
+        let prof = DetectionProfile::from_distribution(&sol.distribution());
+        for k in 1..=dim - 3 {
+            let pk = prof.p_asymptotic(k).unwrap();
+            assert!((pk - eps).abs() < 1e-6, "k={k}: {pk}");
+        }
+    }
+
+    #[test]
+    fn sweep_returns_one_solution_per_dimension() {
+        let sols = AssignmentMinimizing::sweep(10_000, 0.5, [2, 3, 4]).unwrap();
+        assert_eq!(sols.len(), 3);
+        assert_eq!(sols[0].dimension(), 2);
+        assert_eq!(sols[2].dimension(), 4);
+    }
+}

@@ -1,0 +1,546 @@
+//! Realizing a theoretical distribution on a real platform (Section 6).
+//!
+//! The ideal weights `aᵢ` are fractional and extend to arbitrarily large
+//! multiplicities; a deployed supervisor needs integers and a cap.  The
+//! paper's adaptation, implemented here as [`RealizedPlan`]:
+//!
+//! 1. round each `aᵢ` **down** to an integer;
+//! 2. stop at `i_f`, the first multiplicity whose ideal weight drops below
+//!    one (`i_f = O(log((1−ε)N/ε))`);
+//! 3. sweep all still-unassigned tasks into a **tail partition** at
+//!    multiplicity `i_f` (a handful of tasks — Lagrange's remainder bounds
+//!    it by roughly `i_f + 1/(1−γ/i_f)`);
+//! 4. add `r` precomputed **ringer** tasks at multiplicity `i_f + 1`, with
+//!    `r` the smallest integer restoring `P_k ≥ ε` for every `k` — in
+//!    particular `k = i_f`, which comparison alone cannot protect.  The
+//!    paper's closed form is `r > ε·x_{i_f} / ((1−ε)(i_f+1))`; the
+//!    implementation computes the requirement from the generic tuple
+//!    counts so rounding effects at every `k` are covered too.
+//!
+//! Worked examples from the paper, reproduced in the tests below:
+//! `N = 10⁷, ε = 0.99` gives `i_f = 20`, a 12-task tail (240 of ~4.65 M
+//! assignments) and 57 ringers; `N = 10⁶, ε = 0.75` gives `i_f = 11`, a
+//! 5-task tail and 2 ringers.
+
+use crate::balanced::Balanced;
+use crate::distribution::Distribution;
+use crate::error::{check_threshold, CoreError};
+use crate::golle_stubblebine::GolleStubblebine;
+use crate::minimizing::AssignmentMinimizing;
+use crate::probability::DetectionProfile;
+use crate::scheme::Scheme;
+use redundancy_stats::special::binomial;
+use serde::{Deserialize, Serialize};
+
+/// Why a partition exists in a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionKind {
+    /// Floor of an ideal weight bucket.
+    Normal,
+    /// The sweep-up of leftover tasks at multiplicity `i_f`.
+    Tail,
+    /// Supervisor-precomputed ringer tasks.
+    Ringer,
+    /// Ordinary tasks whose results the supervisor verifies directly (the
+    /// top bucket of an assignment-minimizing distribution).
+    Verified,
+}
+
+/// A group of `tasks` tasks all assigned with the same `multiplicity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Copies handed out per task.
+    pub multiplicity: usize,
+    /// Number of tasks in this partition.
+    pub tasks: u64,
+    /// Provenance/treatment of the partition.
+    pub kind: PartitionKind,
+}
+
+/// An integral, deployable task-distribution plan.
+///
+/// ```
+/// use redundancy_core::RealizedPlan;
+/// // The paper's §6 "typical" example: N = 10⁶, ε = 0.75.
+/// let plan = RealizedPlan::balanced(1_000_000, 0.75)?;
+/// assert_eq!(plan.tail_multiplicity(), Some(11));
+/// assert_eq!(plan.tail_tasks(), 5);
+/// assert_eq!(plan.ringer_tasks(), 2);
+/// assert!(plan.effective_detection(0.0)? >= 0.75);
+/// # Ok::<(), redundancy_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealizedPlan {
+    scheme: String,
+    n_tasks: u64,
+    epsilon: f64,
+    partitions: Vec<Partition>,
+}
+
+impl RealizedPlan {
+    /// Realize an arbitrary ideal weight function (Section 6's procedure).
+    ///
+    /// `ideal(i)` must be the scheme's theoretical `aᵢ` (non-negative,
+    /// eventually `< 1` and decreasing to zero).
+    pub fn from_ideal_weights(
+        scheme: impl Into<String>,
+        n: u64,
+        epsilon: f64,
+        ideal: impl Fn(usize) -> f64,
+    ) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidTaskCount {
+                value: n,
+                reason: "a computation needs at least one task",
+            });
+        }
+        check_threshold(epsilon)?;
+        let mut partitions = Vec::new();
+        let mut assigned = 0u64;
+        let mut i = 1usize;
+        let i_f = loop {
+            let a = ideal(i);
+            assert!(a.is_finite() && a >= 0.0, "ideal weight a_{i} = {a}");
+            if a < 1.0 {
+                break i;
+            }
+            let count = (a.floor() as u64).min(n - assigned);
+            if count > 0 {
+                partitions.push(Partition {
+                    multiplicity: i,
+                    tasks: count,
+                    kind: PartitionKind::Normal,
+                });
+                assigned += count;
+            }
+            if assigned == n {
+                break i + 1;
+            }
+            i += 1;
+            assert!(i <= 100_000, "ideal weights never fell below 1");
+        };
+        let leftover = n - assigned;
+        if leftover > 0 {
+            partitions.push(Partition {
+                multiplicity: i_f,
+                tasks: leftover,
+                kind: PartitionKind::Tail,
+            });
+        }
+        let mut plan = RealizedPlan {
+            scheme: scheme.into(),
+            n_tasks: n,
+            epsilon,
+            partitions,
+        };
+        let ringers = plan.required_ringers();
+        if ringers > 0 {
+            let top = plan.max_multiplicity();
+            plan.partitions.push(Partition {
+                multiplicity: top + 1,
+                tasks: ringers,
+                kind: PartitionKind::Ringer,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Realize the Balanced distribution (the paper's recommended
+    /// deployment).
+    pub fn balanced(n: u64, epsilon: f64) -> Result<Self, CoreError> {
+        let scheme = Balanced::new(n, epsilon)?;
+        RealizedPlan::from_ideal_weights("balanced", n, epsilon, |i| scheme.ideal_weight(i))
+    }
+
+    /// Realize the Golle–Stubblebine distribution tuned for threshold ε
+    /// (Figure 4's middle column: same tail/ringer treatment as Balanced).
+    pub fn golle_stubblebine(n: u64, epsilon: f64) -> Result<Self, CoreError> {
+        let scheme = GolleStubblebine::for_threshold(n, epsilon)?;
+        let c = scheme.ratio();
+        RealizedPlan::from_ideal_weights("golle-stubblebine", n, epsilon, move |i| {
+            (1.0 - c) * c.powi(i as i32 - 1) * n as f64
+        })
+    }
+
+    /// Plain m-fold redundancy as a plan (no tail, no ringers — and no
+    /// collusion guarantee; its nominal ε is recorded as given for
+    /// comparison tables).
+    pub fn k_fold(n: u64, multiplicity: usize, nominal_epsilon: f64) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidTaskCount {
+                value: n,
+                reason: "a computation needs at least one task",
+            });
+        }
+        if multiplicity == 0 {
+            return Err(CoreError::InvalidMinMultiplicity {
+                value: multiplicity,
+            });
+        }
+        check_threshold(nominal_epsilon)?;
+        Ok(RealizedPlan {
+            scheme: if multiplicity == 2 {
+                "simple-redundancy".into()
+            } else {
+                "k-fold-redundancy".into()
+            },
+            n_tasks: n,
+            epsilon: nominal_epsilon,
+            partitions: vec![Partition {
+                multiplicity,
+                tasks: n,
+                kind: PartitionKind::Normal,
+            }],
+        })
+    }
+
+    /// Integerize an assignment-minimizing LP optimum.  Buckets are floored
+    /// and every leftover task joins the verified top bucket (conservative:
+    /// verification only strengthens detection).
+    pub fn from_minimizing(sol: &AssignmentMinimizing) -> Result<Self, CoreError> {
+        let dist = sol.distribution();
+        let n = sol.n_tasks();
+        let dim = sol.dimension();
+        let mut partitions = Vec::new();
+        let mut assigned = 0u64;
+        for i in 1..dim {
+            let count = dist.weight(i).floor() as u64;
+            let count = count.min(n - assigned);
+            if count > 0 {
+                partitions.push(Partition {
+                    multiplicity: i,
+                    tasks: count,
+                    kind: PartitionKind::Normal,
+                });
+                assigned += count;
+            }
+        }
+        let top = n - assigned;
+        if top > 0 {
+            partitions.push(Partition {
+                multiplicity: dim,
+                tasks: top,
+                kind: PartitionKind::Verified,
+            });
+        }
+        Ok(RealizedPlan {
+            scheme: "assignment-minimizing".into(),
+            n_tasks: n,
+            epsilon: sol.epsilon(),
+            partitions,
+        })
+    }
+
+    /// Name of the underlying scheme.
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Ordinary task count (the computation's `N`; excludes ringers).
+    pub fn n_tasks(&self) -> u64 {
+        self.n_tasks
+    }
+
+    /// The detection threshold the plan was built for.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// All partitions, in ascending multiplicity order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Largest multiplicity over non-ringer partitions (the paper's `i_f`
+    /// when a tail exists).
+    pub fn max_multiplicity(&self) -> usize {
+        self.partitions
+            .iter()
+            .filter(|p| p.kind != PartitionKind::Ringer)
+            .map(|p| p.multiplicity)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The tail partition's multiplicity `i_f`, if a tail exists.
+    pub fn tail_multiplicity(&self) -> Option<usize> {
+        self.partitions
+            .iter()
+            .find(|p| p.kind == PartitionKind::Tail)
+            .map(|p| p.multiplicity)
+    }
+
+    /// Number of tasks in the tail partition (0 if none).
+    pub fn tail_tasks(&self) -> u64 {
+        self.partitions
+            .iter()
+            .filter(|p| p.kind == PartitionKind::Tail)
+            .map(|p| p.tasks)
+            .sum()
+    }
+
+    /// Number of ringer tasks (0 if none).
+    pub fn ringer_tasks(&self) -> u64 {
+        self.partitions
+            .iter()
+            .filter(|p| p.kind == PartitionKind::Ringer)
+            .map(|p| p.tasks)
+            .sum()
+    }
+
+    /// Tasks the supervisor must compute itself (ringers + verified).
+    pub fn precomputed_tasks(&self) -> u64 {
+        self.partitions
+            .iter()
+            .filter(|p| matches!(p.kind, PartitionKind::Ringer | PartitionKind::Verified))
+            .map(|p| p.tasks)
+            .sum()
+    }
+
+    /// Total assignments including ringer copies.
+    pub fn total_assignments(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.multiplicity as u64 * p.tasks)
+            .sum()
+    }
+
+    /// Redundancy factor: assignments per ordinary task.
+    pub fn redundancy_factor(&self) -> f64 {
+        self.total_assignments() as f64 / self.n_tasks as f64
+    }
+
+    /// The plan's task counts as a [`Distribution`] (ringers included).
+    pub fn distribution(&self) -> Distribution {
+        let dim = self
+            .partitions
+            .iter()
+            .map(|p| p.multiplicity)
+            .max()
+            .unwrap_or(0);
+        let mut weights = vec![0.0; dim];
+        for p in &self.partitions {
+            weights[p.multiplicity - 1] += p.tasks as f64;
+        }
+        Distribution::from_weights(weights)
+    }
+
+    /// Detection profile: ringers and verified buckets count as
+    /// precomputed.
+    pub fn detection_profile(&self) -> DetectionProfile {
+        let mut profile = DetectionProfile::from_normal(vec![]);
+        for p in &self.partitions {
+            profile = match p.kind {
+                PartitionKind::Ringer | PartitionKind::Verified => {
+                    profile.with_precomputed(p.multiplicity, p.tasks as f64)
+                }
+                _ => profile.merge_normal(p.multiplicity, p.tasks as f64),
+            };
+        }
+        profile
+    }
+
+    /// Effective detection probability at adversary proportion `p`.
+    pub fn effective_detection(&self, p: f64) -> Result<f64, CoreError> {
+        self.detection_profile().effective_detection(p)
+    }
+
+    /// Smallest ringer count making `P_k ≥ ε` for every `k` (ringers placed
+    /// at `max_multiplicity() + 1`).
+    fn required_ringers(&self) -> u64 {
+        let top = self.max_multiplicity();
+        if top == 0 {
+            return 0;
+        }
+        let ringer_mult = top + 1;
+        // Ordinary (non-precomputed) counts per multiplicity.
+        let mut counts = vec![0.0f64; top + 1];
+        for p in &self.partitions {
+            if !matches!(p.kind, PartitionKind::Ringer | PartitionKind::Verified) {
+                counts[p.multiplicity] += p.tasks as f64;
+            }
+        }
+        let eps = self.epsilon;
+        let mut needed = 0.0f64;
+        for k in 1..=top {
+            let undetected = counts[k];
+            if undetected == 0.0 {
+                continue;
+            }
+            // Σ_{i≥k} C(i,k)·n_i over ordinary tasks.
+            let mut tuples = 0.0;
+            for (i, &c) in counts.iter().enumerate().skip(k) {
+                if c > 0.0 {
+                    tuples += binomial(i as u64, k as u64) * c;
+                }
+            }
+            // Need undetected ≤ (1−ε)(tuples + C(r_mult, k)·r).
+            let deficit = undetected / (1.0 - eps) - tuples;
+            if deficit > 0.0 {
+                needed = needed.max(deficit / binomial(ringer_mult as u64, k as u64));
+            }
+        }
+        needed.ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_extreme_n1e7_eps099() {
+        // Section 6: N = 10⁷, ε = 0.99 → i_f = 20, tail 12 tasks (240
+        // assignments), 57 ringers, ~4.65 M total assignments.
+        let plan = RealizedPlan::balanced(10_000_000, 0.99).unwrap();
+        assert_eq!(plan.tail_multiplicity(), Some(20));
+        assert_eq!(plan.tail_tasks(), 12);
+        assert_eq!(plan.ringer_tasks(), 57);
+        // Ideal total is N·γ/ε = 10⁷·ln(100)/0.99 ≈ 46.52 M; the OCR's
+        // "4,65?,?88 total assignments" lost a digit group.
+        let total = plan.total_assignments();
+        assert!(
+            (46_400_000..46_600_000).contains(&total),
+            "total assignments {total}"
+        );
+        // Tail cost: 12 × 20 = 240 assignments, negligible.
+        assert_eq!(plan.tail_tasks() * 20, 240);
+    }
+
+    #[test]
+    fn paper_example_typical_n1e6_eps075() {
+        // Section 6: N = 10⁶, ε = 0.75 → i_f = 11, tail 5 tasks, 2 ringers.
+        let plan = RealizedPlan::balanced(1_000_000, 0.75).unwrap();
+        assert_eq!(plan.tail_multiplicity(), Some(11));
+        assert_eq!(plan.tail_tasks(), 5);
+        assert_eq!(plan.ringer_tasks(), 2);
+    }
+
+    #[test]
+    fn plan_covers_every_task_exactly() {
+        for (n, eps) in [(1_000u64, 0.5), (100_000, 0.75), (12_345, 0.6)] {
+            let plan = RealizedPlan::balanced(n, eps).unwrap();
+            let ordinary: u64 = plan
+                .partitions()
+                .iter()
+                .filter(|p| p.kind != PartitionKind::Ringer)
+                .map(|p| p.tasks)
+                .sum();
+            assert_eq!(ordinary, n, "N={n}, ε={eps}");
+        }
+    }
+
+    #[test]
+    fn plan_meets_threshold_at_every_k() {
+        for (n, eps) in [(100_000u64, 0.5), (1_000_000, 0.75), (50_000, 0.9)] {
+            let plan = RealizedPlan::balanced(n, eps).unwrap();
+            let prof = plan.detection_profile();
+            assert!(
+                prof.satisfies_threshold(eps, 1e-9),
+                "N={n}, ε={eps}: effective {}",
+                prof.effective_detection(0.0).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn ringers_match_paper_closed_form() {
+        // r = ⌈ε·x_{i_f} / ((1−ε)(i_f+1))⌉ when only the top bucket binds.
+        let plan = RealizedPlan::balanced(10_000_000, 0.99).unwrap();
+        let x_if = plan.tail_tasks() as f64;
+        let i_f = plan.tail_multiplicity().unwrap() as f64;
+        let r_formula = (0.99 * x_if / (0.01 * (i_f + 1.0))).ceil() as u64;
+        assert_eq!(plan.ringer_tasks(), r_formula);
+    }
+
+    #[test]
+    fn gs_plan_has_tail_and_ringers_too() {
+        // Figure 4's GS column receives the same tail + ringer treatment.
+        let plan = RealizedPlan::golle_stubblebine(1_000_000, 0.75).unwrap();
+        assert!(plan.tail_tasks() > 0);
+        assert!(plan.ringer_tasks() > 0);
+        assert!(plan.detection_profile().satisfies_threshold(0.75, 1e-9));
+        // GS costs more than Balanced at the same ε (Figure 4: > 50k more).
+        let bal = RealizedPlan::balanced(1_000_000, 0.75).unwrap();
+        assert!(
+            plan.total_assignments() > bal.total_assignments() + 50_000,
+            "GS {} vs balanced {}",
+            plan.total_assignments(),
+            bal.total_assignments()
+        );
+    }
+
+    #[test]
+    fn k_fold_plan_is_flat() {
+        let plan = RealizedPlan::k_fold(1_000, 2, 0.5).unwrap();
+        assert_eq!(plan.total_assignments(), 2_000);
+        assert_eq!(plan.ringer_tasks(), 0);
+        assert_eq!(plan.tail_tasks(), 0);
+        assert_eq!(plan.effective_detection(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn minimizing_plan_is_verified_on_top() {
+        let sol = AssignmentMinimizing::solve(100_000, 0.5, 10).unwrap();
+        let plan = RealizedPlan::from_minimizing(&sol).unwrap();
+        assert!(plan.precomputed_tasks() > 0);
+        let ordinary: u64 = plan
+            .partitions()
+            .iter()
+            .map(|p| p.tasks)
+            .sum();
+        assert_eq!(ordinary, 100_000);
+        assert!(plan.detection_profile().satisfies_threshold(0.5, 1e-6));
+    }
+
+    #[test]
+    fn balanced_realization_cost_is_near_ideal() {
+        let n = 1_000_000u64;
+        let eps = 0.75;
+        let plan = RealizedPlan::balanced(n, eps).unwrap();
+        let ideal = Balanced::new(n, eps).unwrap().total_assignments_exact();
+        let rel = (plan.total_assignments() as f64 - ideal).abs() / ideal;
+        assert!(rel < 1e-3, "realized {} vs ideal {ideal}", plan.total_assignments());
+    }
+
+    #[test]
+    fn small_n_edge_case_still_valid() {
+        let plan = RealizedPlan::balanced(100, 0.5).unwrap();
+        let ordinary: u64 = plan
+            .partitions()
+            .iter()
+            .filter(|p| p.kind != PartitionKind::Ringer)
+            .map(|p| p.tasks)
+            .sum();
+        assert_eq!(ordinary, 100);
+        assert!(plan.detection_profile().satisfies_threshold(0.5, 1e-9));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(RealizedPlan::balanced(0, 0.5).is_err());
+        assert!(RealizedPlan::k_fold(10, 0, 0.5).is_err());
+        assert!(RealizedPlan::k_fold(0, 2, 0.5).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = RealizedPlan::balanced(10_000, 0.5).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: RealizedPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn partitions_report_consistent_totals() {
+        let plan = RealizedPlan::balanced(250_000, 0.6).unwrap();
+        let manual: u64 = plan
+            .partitions()
+            .iter()
+            .map(|p| p.multiplicity as u64 * p.tasks)
+            .sum();
+        assert_eq!(manual, plan.total_assignments());
+        let d = plan.distribution();
+        assert!((d.total_assignments() - manual as f64).abs() < 1e-6);
+    }
+}

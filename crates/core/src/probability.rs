@@ -1,0 +1,377 @@
+//! The detection-probability engine (Section 2.2 of the paper).
+//!
+//! An adversary holding `k` copies of one task cheats by returning the same
+//! wrong answer on all `k`.  She escapes iff the task's true multiplicity is
+//! exactly `k` **and** the supervisor did not precompute that task.  The
+//! conditional detection probabilities are therefore ratios of `k`-tuple
+//! counts:
+//!
+//! * **asymptotic** (adversary holds a vanishing share of assignments):
+//!
+//!   `P_k = Σ_{i>k} C(i,k)·t_i + r_k  ∕  ( t_k + Σ_{i>k} C(i,k)·t_i )`
+//!
+//!   where `t_i = n_i + r_i` is the total task count at multiplicity `i`,
+//!   split into `n_i` ordinary and `r_i` precomputed ("ringer") tasks;
+//!
+//! * **non-asymptotic** (adversary holds proportion `p` of assignments,
+//!   each copy independently with probability `p`):
+//!
+//!   `P_{k,p} = 1 − n_k ∕ Σ_{i≥k} C(i,k)·(1−p)^{i−k}·t_i`.
+//!
+//! Both are evaluated with an overflow-free product recurrence, so the
+//! engine handles every distribution in this workspace (dimensions ≤ ~80)
+//! at full double precision.  The closed forms proved in the paper
+//! (Theorem 1, Proposition 3, the Golle–Stubblebine formulas) are tested
+//! against this generic engine throughout the workspace.
+
+use crate::distribution::Distribution;
+use crate::error::{check_proportion, CoreError};
+use serde::{Deserialize, Serialize};
+
+/// Task counts by multiplicity, split into ordinary and precomputed tasks.
+///
+/// Precomputed tasks (the paper's *ringers*, and the verified top-
+/// multiplicity partition of the assignment-minimizing distributions)
+/// always catch a cheater, whatever fraction of their copies she holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionProfile {
+    /// `normal[j]` = ordinary tasks with multiplicity `j + 1`.
+    normal: Vec<f64>,
+    /// `precomputed[j]` = supervisor-verified tasks with multiplicity `j+1`.
+    precomputed: Vec<f64>,
+}
+
+impl DetectionProfile {
+    /// Profile of a plain distribution with no precomputed tasks.
+    pub fn from_distribution(dist: &Distribution) -> Self {
+        DetectionProfile {
+            normal: dist.as_slice().to_vec(),
+            precomputed: vec![],
+        }
+    }
+
+    /// Build from explicit ordinary counts (index 0 ↦ multiplicity 1).
+    pub fn from_normal(normal: Vec<f64>) -> Self {
+        DetectionProfile {
+            normal,
+            precomputed: vec![],
+        }
+    }
+
+    /// Add `count` precomputed tasks at `multiplicity` (builder style).
+    pub fn with_precomputed(mut self, multiplicity: usize, count: f64) -> Self {
+        assert!(multiplicity >= 1, "multiplicity must be ≥ 1");
+        assert!(count >= 0.0 && count.is_finite(), "bad ringer count");
+        if multiplicity > self.precomputed.len() {
+            self.precomputed.resize(multiplicity, 0.0);
+        }
+        self.precomputed[multiplicity - 1] += count;
+        self
+    }
+
+    /// Add `count` ordinary tasks at `multiplicity` (builder style).
+    pub fn merge_normal(mut self, multiplicity: usize, count: f64) -> Self {
+        assert!(multiplicity >= 1, "multiplicity must be ≥ 1");
+        assert!(count >= 0.0 && count.is_finite(), "bad task count");
+        if multiplicity > self.normal.len() {
+            self.normal.resize(multiplicity, 0.0);
+        }
+        self.normal[multiplicity - 1] += count;
+        self
+    }
+
+    /// Reclassify the `multiplicity` bucket of ordinary tasks as
+    /// precomputed (used for the top partition of assignment-minimizing
+    /// distributions, which the supervisor must verify).
+    pub fn verify_bucket(mut self, multiplicity: usize) -> Self {
+        assert!(multiplicity >= 1);
+        let moved = if multiplicity <= self.normal.len() {
+            std::mem::take(&mut self.normal[multiplicity - 1])
+        } else {
+            0.0
+        };
+        if moved > 0.0 {
+            self = self.with_precomputed(multiplicity, moved);
+        }
+        self
+    }
+
+    /// Largest multiplicity present.
+    pub fn dimension(&self) -> usize {
+        let n = self
+            .normal
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .map_or(0, |j| j + 1);
+        let r = self
+            .precomputed
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .map_or(0, |j| j + 1);
+        n.max(r)
+    }
+
+    /// Total tasks (ordinary + precomputed).
+    pub fn total_tasks(&self) -> f64 {
+        self.normal.iter().sum::<f64>() + self.precomputed.iter().sum::<f64>()
+    }
+
+    /// Total precomputed tasks.
+    pub fn precomputed_tasks(&self) -> f64 {
+        self.precomputed.iter().sum()
+    }
+
+    /// Total assignments (ordinary + precomputed copies).
+    pub fn total_assignments(&self) -> f64 {
+        let count = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .map(|(j, &w)| (j + 1) as f64 * w)
+                .sum::<f64>()
+        };
+        count(&self.normal) + count(&self.precomputed)
+    }
+
+    fn normal_at(&self, multiplicity: usize) -> f64 {
+        self.normal.get(multiplicity - 1).copied().unwrap_or(0.0)
+    }
+
+    fn total_at(&self, multiplicity: usize) -> f64 {
+        self.normal_at(multiplicity)
+            + self
+                .precomputed
+                .get(multiplicity - 1)
+                .copied()
+                .unwrap_or(0.0)
+    }
+
+    /// `Σ_{i≥k} C(i,k)·(1−p)^{i−k}·t_i` via the ratio recurrence
+    /// `term(i+1)/term(i) = (i+1)/(i+1−k) · (1−p)`, which never forms a
+    /// large binomial coefficient explicitly.
+    fn discounted_tuples(&self, k: usize, p: f64) -> f64 {
+        let dim = self.dimension();
+        if k == 0 || k > dim {
+            return 0.0;
+        }
+        let q = 1.0 - p;
+        let mut factor = 1.0; // C(k,k)·q⁰
+        let mut total = factor * self.total_at(k);
+        for i in k..dim {
+            // advance factor from multiplicity i to i+1
+            factor *= (i + 1) as f64 / (i + 1 - k) as f64 * q;
+            total += factor * self.total_at(i + 1);
+        }
+        total
+    }
+
+    /// Asymptotic detection probability `P_k` for an adversary holding `k`
+    /// copies of a task (Section 2.2).  Returns `None` when no `k`-tuple can
+    /// exist (no task has multiplicity ≥ k).
+    pub fn p_asymptotic(&self, k: usize) -> Option<f64> {
+        let all = self.discounted_tuples(k, 0.0);
+        if all <= 0.0 {
+            return None;
+        }
+        let undetected = self.normal_at(k);
+        Some(1.0 - undetected / all)
+    }
+
+    /// Non-asymptotic detection probability `P_{k,p}` when the adversary
+    /// holds proportion `p` of all assignments (each copy independently).
+    ///
+    /// Returns `Ok(None)` when no `k`-tuple can arise.
+    pub fn p_nonasymptotic(&self, k: usize, p: f64) -> Result<Option<f64>, CoreError> {
+        check_proportion(p)?;
+        let all = self.discounted_tuples(k, p);
+        if all <= 0.0 {
+            return Ok(None);
+        }
+        Ok(Some(1.0 - self.normal_at(k) / all))
+    }
+
+    /// The *effective* detection probability at adversary proportion `p`:
+    /// the minimum of `P_{k,p}` over every `k` an intelligent adversary
+    /// could exploit (Section 5: "the effective detection probability
+    /// provided by a distribution is the minimum, over all relevant k, of
+    /// `P_{k,p}`").
+    pub fn effective_detection(&self, p: f64) -> Result<f64, CoreError> {
+        check_proportion(p)?;
+        let dim = self.dimension();
+        let mut min_p = 1.0f64;
+        for k in 1..=dim {
+            if let Some(pk) = self.p_nonasymptotic(k, p)? {
+                min_p = min_p.min(pk);
+            }
+        }
+        Ok(min_p)
+    }
+
+    /// The multiplicity the adversary should attack: the argmin of
+    /// `P_{k,p}`, together with that probability.
+    pub fn weakest_tuple(&self, p: f64) -> Result<Option<(usize, f64)>, CoreError> {
+        check_proportion(p)?;
+        let dim = self.dimension();
+        let mut best: Option<(usize, f64)> = None;
+        for k in 1..=dim {
+            if let Some(pk) = self.p_nonasymptotic(k, p)? {
+                if best.is_none_or(|(_, b)| pk < b) {
+                    best = Some((k, pk));
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// True if every asymptotic constraint `C_k : P_k ≥ ε − tol` holds for
+    /// `k = 1 .. dimension` (the paper's validity notion, with precomputed
+    /// tasks standing in for the unverifiable top constraint).
+    pub fn satisfies_threshold(&self, epsilon: f64, tol: f64) -> bool {
+        let dim = self.dimension();
+        (1..=dim).all(|k| match self.p_asymptotic(k) {
+            Some(pk) => pk >= epsilon - tol,
+            None => true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(normal: &[f64]) -> DetectionProfile {
+        DetectionProfile::from_normal(normal.to_vec())
+    }
+
+    #[test]
+    fn simple_redundancy_detects_singletons_not_pairs() {
+        // x₂ = N: P₁ = 1 (a lone copy is always paired with an honest one),
+        // P₂ = 0 (holding both copies is never caught).
+        let prof = profile(&[0.0, 1000.0]);
+        assert_eq!(prof.p_asymptotic(1), Some(1.0));
+        assert_eq!(prof.p_asymptotic(2), Some(0.0));
+        assert_eq!(prof.p_asymptotic(3), None);
+        assert_eq!(prof.effective_detection(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_two_bucket_case() {
+        // x₁ = 60, x₂ = 40: 1-tuples from >1: C(2,1)·40 = 80;
+        // P₁ = 80/(60+80) = 4/7.
+        let prof = profile(&[60.0, 40.0]);
+        let p1 = prof.p_asymptotic(1).unwrap();
+        assert!((p1 - 4.0 / 7.0).abs() < 1e-12);
+        // P₂ = 0: nothing above multiplicity 2.
+        assert_eq!(prof.p_asymptotic(2), Some(0.0));
+    }
+
+    #[test]
+    fn three_bucket_case_with_binomials() {
+        // x₁ = 10, x₂ = 5, x₃ = 2.
+        // P₁: detected = 2·5 + 3·2 = 16, all = 10 + 16 = 26 → 16/26.
+        // P₂: detected = C(3,2)·2 = 6, all = 5 + 6 = 11 → 6/11.
+        let prof = profile(&[10.0, 5.0, 2.0]);
+        assert!((prof.p_asymptotic(1).unwrap() - 16.0 / 26.0).abs() < 1e-12);
+        assert!((prof.p_asymptotic(2).unwrap() - 6.0 / 11.0).abs() < 1e-12);
+        assert_eq!(prof.p_asymptotic(3), Some(0.0));
+    }
+
+    #[test]
+    fn nonasymptotic_reduces_to_asymptotic_at_zero() {
+        let prof = profile(&[10.0, 5.0, 2.0, 1.0]);
+        for k in 1..=4 {
+            let asym = prof.p_asymptotic(k).unwrap();
+            let at0 = prof.p_nonasymptotic(k, 0.0).unwrap().unwrap();
+            assert!((asym - at0).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn nonasymptotic_decreases_with_p() {
+        let prof = profile(&[100.0, 50.0, 10.0]);
+        let p_small = prof.p_nonasymptotic(1, 0.01).unwrap().unwrap();
+        let p_large = prof.p_nonasymptotic(1, 0.4).unwrap().unwrap();
+        assert!(p_large < p_small);
+    }
+
+    #[test]
+    fn nonasymptotic_hand_case() {
+        // x₁ = 1, x₂ = 1, k = 1, p = 0.5:
+        // all = C(1,1)·1 + C(2,1)·0.5·1 = 2 → P = 1 − 1/2 = 0.5.
+        let prof = profile(&[1.0, 1.0]);
+        let p = prof.p_nonasymptotic(1, 0.5).unwrap().unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precomputed_tasks_always_detect() {
+        // All tasks multiplicity 2 and precomputed: P₂ = 1.
+        let prof = profile(&[]).with_precomputed(2, 100.0);
+        assert_eq!(prof.p_asymptotic(2), Some(1.0));
+        assert_eq!(prof.p_asymptotic(1), Some(1.0));
+        assert_eq!(prof.precomputed_tasks(), 100.0);
+    }
+
+    #[test]
+    fn ringers_lift_the_top_constraint() {
+        // Paper §6 formula: with x_m ordinary tasks at multiplicity m and r
+        // ringers at m+1, P_m = (m+1)r / (x_m + (m+1)r).
+        let m = 20usize;
+        let x_m = 12.0;
+        let r = 57.0;
+        let prof = profile(&[0.0; 19]) // nothing below m
+            .with_precomputed(m + 1, r)
+            .merge_normal(m, x_m);
+        let expect = (m as f64 + 1.0) * r / (x_m + (m as f64 + 1.0) * r);
+        let got = prof.p_asymptotic(m).unwrap();
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn verify_bucket_moves_mass() {
+        let prof = profile(&[10.0, 5.0, 3.0]).verify_bucket(3);
+        assert_eq!(prof.precomputed_tasks(), 3.0);
+        // P₃ becomes 1: all multiplicity-3 tasks are verified.
+        assert_eq!(prof.p_asymptotic(3), Some(1.0));
+        assert_eq!(prof.total_tasks(), 18.0);
+    }
+
+    #[test]
+    fn weakest_tuple_identifies_attack_point() {
+        let prof = profile(&[0.0, 100.0, 1.0]);
+        // k = 2 is nearly uncovered; k = 1 and (via the x₃ bucket) k = 3...
+        let (k, p) = prof.weakest_tuple(0.0).unwrap().unwrap();
+        assert_eq!(k, 3, "multiplicity-3 tasks are fully cheatable");
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn effective_detection_validates_p() {
+        let prof = profile(&[1.0]);
+        assert!(prof.effective_detection(1.0).is_err());
+        assert!(prof.p_nonasymptotic(1, -0.1).is_err());
+    }
+
+    #[test]
+    fn satisfies_threshold_checks_all_k() {
+        let good = profile(&[0.0, 10.0]).verify_bucket(2);
+        assert!(good.satisfies_threshold(0.99, 1e-12));
+        let bad = profile(&[0.0, 10.0]);
+        assert!(!bad.satisfies_threshold(0.5, 1e-12));
+    }
+
+    #[test]
+    fn totals_and_dimension() {
+        let prof = profile(&[2.0, 3.0]).with_precomputed(4, 1.0);
+        assert_eq!(prof.dimension(), 4);
+        assert_eq!(prof.total_tasks(), 6.0);
+        assert_eq!(prof.total_assignments(), 2.0 + 6.0 + 4.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let prof = profile(&[1.0, 2.0]).with_precomputed(3, 4.0);
+        let json = serde_json::to_string(&prof).unwrap();
+        let back: DetectionProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(prof, back);
+    }
+}

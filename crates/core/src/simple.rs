@@ -1,0 +1,109 @@
+//! Simple (m-fold) redundancy — the baseline every deployed platform used
+//! at the time of the paper.
+//!
+//! Every task is assigned exactly `m` times (typically `m = 2`).  Matching
+//! results are accepted, so an adversary controlling all `m` copies of a
+//! task "can cheat with impunity" (Section 1): the scheme's guaranteed
+//! detection threshold is zero, whatever `m`.
+
+use crate::distribution::Distribution;
+use crate::error::CoreError;
+use crate::scheme::Scheme;
+
+/// `m`-fold redundancy: `x_m = N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KFold {
+    n: u64,
+    m: usize,
+}
+
+impl KFold {
+    /// Create `m`-fold redundancy over `n` tasks (`m ≥ 1`).
+    pub fn new(n: u64, m: usize) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidTaskCount {
+                value: n,
+                reason: "a computation needs at least one task",
+            });
+        }
+        if m == 0 {
+            return Err(CoreError::InvalidMinMultiplicity { value: m });
+        }
+        Ok(KFold { n, m })
+    }
+
+    /// Classic simple redundancy (`m = 2`), the paper's main baseline.
+    pub fn simple(n: u64) -> Result<Self, CoreError> {
+        KFold::new(n, 2)
+    }
+
+    /// The multiplicity every task receives.
+    pub fn multiplicity(&self) -> usize {
+        self.m
+    }
+}
+
+impl Scheme for KFold {
+    fn name(&self) -> &'static str {
+        if self.m == 2 {
+            "simple-redundancy"
+        } else {
+            "k-fold-redundancy"
+        }
+    }
+
+    fn n_tasks(&self) -> u64 {
+        self.n
+    }
+
+    fn distribution(&self) -> Distribution {
+        let mut w = vec![0.0; self.m];
+        w[self.m - 1] = self.n as f64;
+        Distribution::from_weights(w)
+    }
+
+    /// Zero: an adversary holding all `m` copies is never detected.
+    fn guaranteed_detection(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_redundancy_has_factor_two() {
+        let s = KFold::simple(1_000_000).unwrap();
+        assert_eq!(s.name(), "simple-redundancy");
+        assert_eq!(s.redundancy_factor(), 2.0);
+        assert_eq!(s.total_assignments(), 2_000_000.0);
+        assert_eq!(s.multiplicity(), 2);
+    }
+
+    #[test]
+    fn collusion_breaks_simple_redundancy() {
+        let s = KFold::simple(100).unwrap();
+        let prof = s.detection_profile();
+        assert_eq!(prof.p_asymptotic(2), Some(0.0));
+        assert_eq!(s.effective_detection(0.0).unwrap(), 0.0);
+        assert_eq!(s.guaranteed_detection(), Some(0.0));
+    }
+
+    #[test]
+    fn higher_fold_counts() {
+        let s = KFold::new(10, 5).unwrap();
+        assert_eq!(s.name(), "k-fold-redundancy");
+        assert_eq!(s.redundancy_factor(), 5.0);
+        // Still zero guarantee: a 5-tuple holder cheats freely.
+        assert_eq!(s.detection_profile().p_asymptotic(5), Some(0.0));
+        // But sub-tuple holders are always caught.
+        assert_eq!(s.detection_profile().p_asymptotic(3), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(KFold::new(0, 2).is_err());
+        assert!(KFold::new(10, 0).is_err());
+    }
+}

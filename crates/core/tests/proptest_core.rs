@@ -1,0 +1,151 @@
+//! Property-based tests for redundancy-core, focused on the relationships
+//! between schemes, plans, and the detection engine.
+
+use proptest::prelude::*;
+use redundancy_core::{
+    AssignmentMinimizing, Balanced, DetectionProfile, ExtendedBalanced, GolleStubblebine,
+    RealizedPlan, Scheme,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The detection engine is scale-invariant: multiplying every task
+    /// count by a constant leaves every P_{k,p} unchanged.
+    #[test]
+    fn detection_is_scale_invariant(
+        weights in proptest::collection::vec(0.0f64..1e4, 1..10),
+        scale in 0.1f64..50.0,
+        p_cent in 0u32..90,
+    ) {
+        let a = DetectionProfile::from_normal(weights.clone());
+        let b = DetectionProfile::from_normal(
+            weights.iter().map(|w| w * scale).collect());
+        let p = p_cent as f64 / 100.0;
+        for k in 1..=a.dimension() {
+            let pa = a.p_nonasymptotic(k, p).unwrap();
+            let pb = b.p_nonasymptotic(k, p).unwrap();
+            match (pa, pb) {
+                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9, "k={}", k),
+                (None, None) => {}
+                _ => prop_assert!(false, "presence mismatch at k={}", k),
+            }
+        }
+    }
+
+    /// P_{k,p} is non-increasing in p for every profile and k (more
+    /// adversary control never helps the supervisor).
+    #[test]
+    fn detection_monotone_in_p(
+        weights in proptest::collection::vec(0.0f64..1e4, 2..8),
+    ) {
+        let prof = DetectionProfile::from_normal(weights);
+        for k in 1..=prof.dimension() {
+            let mut prev = f64::INFINITY;
+            for step in 0..10 {
+                let p = step as f64 * 0.1;
+                if let Some(v) = prof.p_nonasymptotic(k, p).unwrap() {
+                    prop_assert!(v <= prev + 1e-12, "k={} p={}", k, p);
+                    prev = v;
+                }
+            }
+        }
+    }
+
+    /// The Balanced guarantee is tight: lowering ε strictly lowers cost,
+    /// and the cost function is continuous in ε (no realization cliffs
+    /// bigger than rounding).
+    #[test]
+    fn balanced_cost_monotone_in_eps(eps_cent in 10u32..90) {
+        let n = 100_000u64;
+        let lo = Balanced::new(n, eps_cent as f64 / 100.0).unwrap();
+        let hi = Balanced::new(n, (eps_cent + 5) as f64 / 100.0).unwrap();
+        prop_assert!(hi.total_assignments_exact() > lo.total_assignments_exact());
+        let plan_lo = RealizedPlan::balanced(n, eps_cent as f64 / 100.0).unwrap();
+        let diff = plan_lo.total_assignments() as f64 - lo.total_assignments_exact();
+        prop_assert!(diff.abs() < 0.01 * lo.total_assignments_exact(),
+            "realization cliff {}", diff);
+    }
+
+    /// GS tuned for a threshold is never cheaper than Balanced at the same
+    /// threshold, for any N (Figure 3 pointwise, at realized-plan level).
+    #[test]
+    fn gs_never_cheaper_than_balanced(
+        n in 10_000u64..300_000,
+        eps_cent in 10u32..90,
+    ) {
+        let eps = eps_cent as f64 / 100.0;
+        let bal = Balanced::new(n, eps).unwrap();
+        let gs = GolleStubblebine::for_threshold(n, eps).unwrap();
+        prop_assert!(gs.total_assignments_exact() > bal.total_assignments_exact());
+    }
+
+    /// Extended Balanced at min multiplicity m never assigns below m and
+    /// always costs at least m per task.
+    #[test]
+    fn extended_respects_minimum(
+        n in 1_000u64..200_000,
+        eps_cent in 10u32..90,
+        m in 1usize..6,
+    ) {
+        let eps = eps_cent as f64 / 100.0;
+        let ext = ExtendedBalanced::new(n, eps, m).unwrap();
+        let d = ext.distribution();
+        for i in 1..m {
+            prop_assert_eq!(d.weight(i), 0.0);
+        }
+        prop_assert!(ext.redundancy_factor_exact() >= m as f64 - 1e-9);
+    }
+
+    /// S_m optima: feasible, cheaper than or equal to the (m-truncated)
+    /// Balanced cost, and never below the Proposition 1 bound.
+    #[test]
+    fn minimizing_sandwich(
+        n in 10_000u64..200_000,
+        eps_cent in 20u32..80,
+        dim in 3usize..14,
+    ) {
+        let eps = eps_cent as f64 / 100.0;
+        let sol = AssignmentMinimizing::solve(n, eps, dim).unwrap();
+        let bound = redundancy_core::bounds::lower_bound_assignments(n, eps).unwrap();
+        prop_assert!(sol.objective() >= bound - 1e-6 * bound);
+        // The Balanced distribution is infinite-dimensional; only from a
+        // moderate dimension on is the finite optimum guaranteed to undercut
+        // it (at very small m the truncation premium can exceed Balanced's
+        // equality-shaped cost — observed at e.g. N=10⁴, ε=0.2, m=4).
+        if dim >= 10 {
+            let bal = Balanced::new(n, eps).unwrap();
+            prop_assert!(sol.objective() <= bal.total_assignments_exact() * (1.0 + 1e-9));
+        }
+        prop_assert!(sol.verified_profile().satisfies_threshold(eps, 1e-6));
+    }
+
+    /// Plans survive a serde round trip byte-for-byte semantically.
+    #[test]
+    fn plan_serde_round_trip(
+        n in 1_000u64..100_000,
+        eps_cent in 10u32..95,
+    ) {
+        let plan = RealizedPlan::balanced(n, eps_cent as f64 / 100.0).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: RealizedPlan = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(plan, back);
+    }
+
+    /// `verify_bucket` conserves tasks and never lowers any detection
+    /// probability.
+    #[test]
+    fn verification_only_helps(
+        weights in proptest::collection::vec(1.0f64..1e4, 2..8),
+        bucket in 1usize..8,
+    ) {
+        let before = DetectionProfile::from_normal(weights.clone());
+        let after = DetectionProfile::from_normal(weights).verify_bucket(bucket);
+        prop_assert!((before.total_tasks() - after.total_tasks()).abs() < 1e-9);
+        for k in 1..=before.dimension() {
+            if let (Some(b), Some(a)) = (before.p_asymptotic(k), after.p_asymptotic(k)) {
+                prop_assert!(a >= b - 1e-12, "k={}: {} -> {}", k, b, a);
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! A minimal dense row-major matrix used by the simplex tableau.
+//!
+//! The solver never needs BLAS-grade performance — the paper's LPs have at
+//! most a few dozen rows — but it does need predictable layout and cheap row
+//! operations, which a flat `Vec<f64>` provides.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `rows × cols` matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "ragged rows passed to Matrix::from_rows"
+        );
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Borrow row `r` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// `row_to += factor * row_from` (the rows must be distinct).
+    ///
+    /// This is the single hot operation in the simplex pivot.
+    #[inline]
+    pub fn axpy_rows(&mut self, row_to: usize, row_from: usize, factor: f64) {
+        assert_ne!(row_to, row_from, "axpy_rows requires distinct rows");
+        if factor == 0.0 {
+            return;
+        }
+        let cols = self.cols;
+        let (lo, hi) = if row_to < row_from {
+            (row_to, row_from)
+        } else {
+            (row_from, row_to)
+        };
+        // Split the backing storage so the two rows can be borrowed
+        // simultaneously without copying.
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        let lo_row = &mut head[lo * cols..lo * cols + cols];
+        let hi_row = &mut tail[..cols];
+        let (dst, src): (&mut [f64], &[f64]) = if row_to == hi {
+            (hi_row, lo_row)
+        } else {
+            (lo_row, hi_row)
+        };
+        for (t, f) in dst.iter_mut().zip(src) {
+            *t += factor * *f;
+        }
+    }
+
+    /// Multiply row `r` by `factor`.
+    #[inline]
+    pub fn scale_row(&mut self, r: usize, factor: f64) {
+        for v in self.row_mut(r) {
+            *v *= factor;
+        }
+    }
+
+    /// Matrix-vector product `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        (0..self.rows)
+            .map(|r| dot(self.row(r), x))
+            .collect()
+    }
+
+    /// Transposed matrix-vector product `Aᵀ·y`.
+    pub fn mul_vec_transposed(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "dimension mismatch in mul_vec_transposed");
+        let mut out = vec![0.0; self.cols];
+        for (r, &yr) in y.iter().enumerate() {
+            if yr == 0.0 {
+                continue;
+            }
+            for (o, a) in out.iter_mut().zip(self.row(r)) {
+                *o += yr * a;
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                write!(f, "{:10.4}", self[(r, c)])?;
+                if c + 1 < self.cols {
+                    write!(f, ", ")?;
+                }
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Solve the square linear system `A·x = b` by Gaussian elimination with
+/// partial pivoting, returning `None` if `A` is numerically singular.
+///
+/// Used by the simplex driver to recover dual values (`Bᵀy = c_B`) from the
+/// optimal basis independently of the tableau, which keeps the duals immune
+/// to accumulated pivot round-off.
+pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve_linear_system requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length must match matrix dimension");
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot: pick the largest magnitude entry in this column.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[(r, col)]))
+            .max_by(|x, y| x.1.abs().total_cmp(&y.1.abs()))?;
+        if pivot_val.abs() < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot_row, c)];
+                m[(pivot_row, c)] = tmp;
+            }
+            rhs.swap(col, pivot_row);
+        }
+        for r in col + 1..n {
+            let factor = m[(r, col)] / m[(col, col)];
+            if factor != 0.0 {
+                for c in col..n {
+                    let v = m[(col, c)];
+                    m[(r, c)] -= factor * v;
+                }
+                rhs[r] -= factor * rhs[col];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = rhs[col];
+        for c in col + 1..n {
+            acc -= m[(col, c)] * x[c];
+        }
+        x[col] = acc / m[(col, col)];
+    }
+    Some(x)
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Infinity norm of the elementwise difference of two vectors.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn axpy_downward_and_upward() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![10.0, 20.0]]);
+        m.axpy_rows(1, 0, 2.0); // row1 += 2*row0
+        assert_eq!(m.row(1), &[12.0, 24.0]);
+        m.axpy_rows(0, 1, -1.0); // row0 -= row1
+        assert_eq!(m.row(0), &[-11.0, -22.0]);
+    }
+
+    #[test]
+    fn axpy_zero_factor_is_noop() {
+        let mut m = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let before = m.clone();
+        m.axpy_rows(1, 0, 0.0);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn scale_row_works() {
+        let mut m = Matrix::from_rows(&[vec![1.0, -2.0]]);
+        m.scale_row(0, -0.5);
+        assert_eq!(m.row(0), &[-0.5, 1.0]);
+    }
+
+    #[test]
+    fn mat_vec_products() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.mul_vec_transposed(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn linear_solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let x = solve_linear_system(&a, &[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (got, want) in x.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-9, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn linear_solve_detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve_linear_system(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn linear_solve_requires_pivoting() {
+        // Zero on the diagonal: naive elimination without pivoting would fail.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve_linear_system(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[1.5, 5.0]), 0.5);
+    }
+}

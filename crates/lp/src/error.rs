@@ -1,0 +1,98 @@
+//! Error type for the LP solver.
+
+use std::fmt;
+
+/// Everything that can go wrong while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The feasible region is empty (proved by a positive phase-I optimum).
+    Infeasible {
+        /// Residual infeasibility measure (phase-I objective value).
+        infeasibility: f64,
+    },
+    /// The objective is unbounded in the optimization direction.
+    Unbounded {
+        /// Index (in the standard form) of the column along which the
+        /// objective can be improved indefinitely.
+        ray_column: usize,
+    },
+    /// The pivot loop exceeded its iteration budget.
+    ///
+    /// With Bland's rule engaged this indicates a genuinely enormous problem
+    /// (or a bug), never cycling.
+    IterationLimit {
+        /// The budget that was exhausted.
+        limit: usize,
+    },
+    /// A constraint or objective referenced a variable that does not exist.
+    UnknownVariable {
+        /// The offending variable index.
+        index: usize,
+        /// Number of variables actually declared.
+        declared: usize,
+    },
+    /// The problem contains a non-finite coefficient, bound, or objective.
+    NonFiniteData {
+        /// Human-readable location of the bad datum.
+        location: String,
+    },
+    /// The problem has no variables or no constraints where they are required.
+    EmptyProblem,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible { infeasibility } => write!(
+                f,
+                "linear program is infeasible (phase-I residual {infeasibility:.3e})"
+            ),
+            LpError::Unbounded { ray_column } => write!(
+                f,
+                "linear program is unbounded (improving ray along standard-form column {ray_column})"
+            ),
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+            LpError::UnknownVariable { index, declared } => write!(
+                f,
+                "variable index {index} out of range ({declared} variables declared)"
+            ),
+            LpError::NonFiniteData { location } => {
+                write!(f, "non-finite coefficient in {location}")
+            }
+            LpError::EmptyProblem => write!(f, "problem has no variables"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            LpError::Infeasible { infeasibility: 1.0 }.to_string(),
+            LpError::Unbounded { ray_column: 3 }.to_string(),
+            LpError::IterationLimit { limit: 10 }.to_string(),
+            LpError::UnknownVariable { index: 7, declared: 2 }.to_string(),
+            LpError::NonFiniteData { location: "row 1".into() }.to_string(),
+            LpError::EmptyProblem.to_string(),
+        ];
+        assert!(msgs[0].contains("infeasible"));
+        assert!(msgs[1].contains("unbounded"));
+        assert!(msgs[2].contains("limit"));
+        assert!(msgs[3].contains("out of range"));
+        assert!(msgs[4].contains("non-finite"));
+        assert!(msgs[5].contains("no variables"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LpError::EmptyProblem);
+        assert!(e.to_string().contains("no variables"));
+    }
+}

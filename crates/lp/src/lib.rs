@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! # redundancy-lp — a dense two-phase simplex solver
+//!
+//! The CLUSTER 2005 paper *Toward an Optimal Redundancy Strategy for
+//! Distributed Computations* derives its *assignment-minimizing*
+//! distributions as optima of small linear programs (the systems `S_m` of
+//! Section 3.2).  The authors used an unspecified LP package; this crate is
+//! the from-scratch substrate that replaces it.
+//!
+//! The solver is a classical dense, tableau-based, two-phase primal simplex:
+//!
+//! * arbitrary `≤` / `≥` / `=` constraints and free or non-negative
+//!   variables are normalized into standard equality form
+//!   (`min cᵀx  s.t.  Ax = b, x ≥ 0, b ≥ 0`) by [`standard::StandardForm`];
+//! * phase I minimizes the sum of artificial variables to find a basic
+//!   feasible solution (or proves infeasibility);
+//! * phase II minimizes the true objective, detecting unboundedness;
+//! * [Bland's rule] is available (and automatically engaged after prolonged
+//!   degeneracy) so the method provably terminates on every input.
+//!
+//! The LPs in this workspace are tiny — at most a few dozen variables — so a
+//! dense `O(m·n)`-per-pivot tableau is both simple and more than fast enough;
+//! every solve in the paper's Figure 2 sweep completes in well under a
+//! millisecond.  Solutions carry enough information ([`Solution`]) for the
+//! independent optimality audit in [`verify`].
+//!
+//! [Bland's rule]: https://en.wikipedia.org/wiki/Bland%27s_rule
+//!
+//! ## Quick example
+//!
+//! ```
+//! use redundancy_lp::{Problem, Relation, Sense};
+//!
+//! // min  x + 2y   s.t.  x + y >= 4,  y <= 3,  x,y >= 0
+//! let mut p = Problem::new(Sense::Minimize);
+//! let x = p.add_variable("x");
+//! let y = p.add_variable("y");
+//! p.set_objective(x, 1.0);
+//! p.set_objective(y, 2.0);
+//! p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+//! p.add_constraint(&[(y, 1.0)], Relation::Le, 3.0);
+//! let sol = p.solve().unwrap();
+//! assert!((sol.objective - 4.0).abs() < 1e-9); // x = 4, y = 0
+//! ```
+
+pub mod dense;
+pub mod error;
+pub mod mps;
+pub mod presolve;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+pub mod standard;
+pub mod verify;
+
+pub use error::LpError;
+pub use mps::{parse_mps, write_mps};
+pub use presolve::{presolve, solve_with_presolve, PresolveStats, Reduction};
+pub use problem::{Problem, Relation, Sense, VarId, VarKind};
+pub use simplex::{PivotRule, SimplexOptions};
+pub use solution::{Solution, Status};
+pub use verify::{verify_solution, VerifyReport};
+
+/// Default numerical tolerance used throughout the solver.
+///
+/// Chosen for well-scaled double-precision problems; callers solving badly
+/// scaled systems should scale their data rather than loosen this.
+pub const DEFAULT_TOL: f64 = 1e-9;

@@ -1,0 +1,444 @@
+//! MPS-format import/export for linear programs.
+//!
+//! [MPS] is the lingua franca of LP solvers; supporting it lets the `S_m`
+//! systems this workspace generates be cross-checked against any external
+//! solver (and lets externally authored models run through this one).
+//!
+//! The dialect implemented is the fixed-keyword free-format core used by
+//! virtually every tool:
+//!
+//! * sections `NAME`, `ROWS`, `COLUMNS`, `RHS`, `BOUNDS` (only `FR` —
+//!   everything else in this workspace is the default `x ≥ 0`), `ENDATA`;
+//! * row types `N` (objective), `L` (≤), `G` (≥), `E` (=);
+//! * one or two (column, value) pairs per COLUMNS/RHS line.
+//!
+//! MPS carries no optimization direction; by convention (and like most
+//! tools) [`parse_mps`] produces a **minimization** problem, and
+//! [`write_mps`] annotates maximization problems by negating the objective
+//! into min-form with a `* OBJSENSE MAX (negated below)` comment so the
+//! round trip preserves semantics.
+//!
+//! [MPS]: https://en.wikipedia.org/wiki/MPS_(format)
+
+use crate::error::LpError;
+use crate::problem::{Problem, Relation, Sense, VarKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Render `problem` in MPS format.
+pub fn write_mps(problem: &Problem, name: &str) -> String {
+    let mut out = String::new();
+    let maximize = problem_sense(problem) == Sense::Maximize;
+    if maximize {
+        out.push_str("* OBJSENSE MAX (negated below)\n");
+    }
+    let _ = writeln!(out, "NAME          {name}");
+    out.push_str("ROWS\n N  COST\n");
+    for i in 0..problem.num_constraints() {
+        let tag = match constraint_relation(problem, i) {
+            Relation::Le => 'L',
+            Relation::Ge => 'G',
+            Relation::Eq => 'E',
+        };
+        let _ = writeln!(out, " {tag}  R{i}");
+    }
+    out.push_str("COLUMNS\n");
+    for v in 0..problem.num_variables() {
+        let col = sanitize(problem.variable_name_at(v), v);
+        let obj = problem.objective_coefficient(v);
+        let obj = if maximize { -obj } else { obj };
+        if obj != 0.0 {
+            let _ = writeln!(out, "    {col}  COST  {obj}");
+        }
+        for (ri, coeff) in column_entries(problem, v) {
+            let _ = writeln!(out, "    {col}  R{ri}  {coeff}");
+        }
+    }
+    out.push_str("RHS\n");
+    for i in 0..problem.num_constraints() {
+        let rhs = constraint_rhs(problem, i);
+        if rhs != 0.0 {
+            let _ = writeln!(out, "    RHS  R{i}  {rhs}");
+        }
+    }
+    let free: Vec<usize> = (0..problem.num_variables())
+        .filter(|&v| problem.variable_kind(v) == VarKind::Free)
+        .collect();
+    if !free.is_empty() {
+        out.push_str("BOUNDS\n");
+        for v in free {
+            let col = sanitize(problem.variable_name_at(v), v);
+            let _ = writeln!(out, " FR BND  {col}");
+        }
+    }
+    out.push_str("ENDATA\n");
+    out
+}
+
+/// Parse an MPS document into a minimization [`Problem`].
+pub fn parse_mps(text: &str) -> Result<Problem, LpError> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Rows,
+        Columns,
+        Rhs,
+        Bounds,
+        Done,
+    }
+    let mut section = Section::None;
+    let mut problem = Problem::new(Sense::Minimize);
+    let mut objective_row: Option<String> = None;
+    /// Relation, accumulated (variable, coefficient) terms, right-hand side.
+    type RowBody = (Relation, Vec<(usize, f64)>, f64);
+    let mut row_order: Vec<String> = Vec::new();
+    let mut rows: HashMap<String, RowBody> = HashMap::new();
+    let mut obj_terms: Vec<(usize, f64)> = Vec::new();
+    let mut columns: HashMap<String, usize> = HashMap::new();
+    let mut free_vars: Vec<usize> = Vec::new();
+
+    let bad = |line: &str| LpError::NonFiniteData {
+        location: format!("MPS line: {line}"),
+    };
+
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.trim_start().starts_with('*') || line.trim().is_empty() {
+            continue;
+        }
+        let is_header = !line.starts_with(' ') && !line.starts_with('\t');
+        if is_header {
+            let mut parts = line.split_whitespace();
+            match parts.next().unwrap_or("") {
+                "NAME" => {}
+                "ROWS" => section = Section::Rows,
+                "COLUMNS" => section = Section::Columns,
+                "RHS" => section = Section::Rhs,
+                "RANGES" => {
+                    return Err(LpError::NonFiniteData {
+                        location: "MPS RANGES section is not supported".into(),
+                    })
+                }
+                "BOUNDS" => section = Section::Bounds,
+                "ENDATA" => {
+                    section = Section::Done;
+                    break;
+                }
+                other => {
+                    return Err(LpError::NonFiniteData {
+                        location: format!("unknown MPS section {other}"),
+                    })
+                }
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match section {
+            Section::Rows => {
+                if fields.len() != 2 {
+                    return Err(bad(line));
+                }
+                match fields[0] {
+                    "N" => {
+                        if objective_row.is_none() {
+                            objective_row = Some(fields[1].to_string());
+                        }
+                    }
+                    tag @ ("L" | "G" | "E") => {
+                        let rel = match tag {
+                            "L" => Relation::Le,
+                            "G" => Relation::Ge,
+                            _ => Relation::Eq,
+                        };
+                        row_order.push(fields[1].to_string());
+                        rows.insert(fields[1].to_string(), (rel, Vec::new(), 0.0));
+                    }
+                    _ => return Err(bad(line)),
+                }
+            }
+            Section::Columns => {
+                // col row val [row val]
+                if fields.len() != 3 && fields.len() != 5 {
+                    return Err(bad(line));
+                }
+                let col = fields[0];
+                let var = *columns.entry(col.to_string()).or_insert_with(|| {
+                    problem.add_variable(col).index()
+                });
+                for pair in fields[1..].chunks(2) {
+                    let row = pair[0];
+                    let value: f64 = pair[1].parse().map_err(|_| bad(line))?;
+                    if Some(row) == objective_row.as_deref() {
+                        obj_terms.push((var, value));
+                    } else if let Some(entry) = rows.get_mut(row) {
+                        entry.1.push((var, value));
+                    } else {
+                        return Err(LpError::NonFiniteData {
+                            location: format!("MPS references unknown row {row}"),
+                        });
+                    }
+                }
+            }
+            Section::Rhs => {
+                if fields.len() != 3 && fields.len() != 5 {
+                    return Err(bad(line));
+                }
+                for pair in fields[1..].chunks(2) {
+                    let row = pair[0];
+                    let value: f64 = pair[1].parse().map_err(|_| bad(line))?;
+                    if let Some(entry) = rows.get_mut(row) {
+                        entry.2 = value;
+                    } else if Some(row) != objective_row.as_deref() {
+                        return Err(LpError::NonFiniteData {
+                            location: format!("MPS RHS for unknown row {row}"),
+                        });
+                    }
+                }
+            }
+            Section::Bounds => {
+                // TYPE BNDNAME COL [VALUE]
+                if fields.len() < 3 {
+                    return Err(bad(line));
+                }
+                match fields[0] {
+                    "FR" => {
+                        let Some(&var) = columns.get(fields[2]) else {
+                            return Err(LpError::NonFiniteData {
+                                location: format!("MPS bound for unknown column {}", fields[2]),
+                            });
+                        };
+                        free_vars.push(var);
+                    }
+                    other => {
+                        return Err(LpError::NonFiniteData {
+                            location: format!("unsupported MPS bound type {other}"),
+                        })
+                    }
+                }
+            }
+            Section::None | Section::Done => return Err(bad(line)),
+        }
+    }
+    if section != Section::Done {
+        return Err(LpError::NonFiniteData {
+            location: "MPS document missing ENDATA".into(),
+        });
+    }
+
+    // Free variables must be re-declared; rebuild the problem preserving
+    // column order (cheap and keeps Problem's invariants intact).
+    let mut rebuilt = Problem::new(Sense::Minimize);
+    let mut ids = Vec::with_capacity(problem.num_variables());
+    for v in 0..problem.num_variables() {
+        let name = problem.variable_name_at(v).to_string();
+        let id = if free_vars.contains(&v) {
+            rebuilt.add_free_variable(name)
+        } else {
+            rebuilt.add_variable(name)
+        };
+        ids.push(id);
+    }
+    for (v, c) in obj_terms {
+        rebuilt.set_objective(ids[v], c);
+    }
+    for name in &row_order {
+        let (rel, terms, rhs) = &rows[name];
+        let id_terms: Vec<_> = terms.iter().map(|&(v, c)| (ids[v], c)).collect();
+        rebuilt.add_constraint(&id_terms, *rel, *rhs);
+    }
+    rebuilt.validate()?;
+    Ok(rebuilt)
+}
+
+fn sanitize(name: &str, index: usize) -> String {
+    let clean: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if clean.is_empty() {
+        format!("X{index}")
+    } else {
+        clean
+    }
+}
+
+// --- Small read-only views over Problem internals (crate-private). -------
+
+fn problem_sense(p: &Problem) -> Sense {
+    p.sense
+}
+
+fn constraint_relation(p: &Problem, i: usize) -> Relation {
+    p.constraints[i].relation
+}
+
+fn constraint_rhs(p: &Problem, i: usize) -> f64 {
+    p.constraints[i].rhs
+}
+
+fn column_entries(p: &Problem, var: usize) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for (ri, cons) in p.constraints.iter().enumerate() {
+        let coeff: f64 = cons
+            .terms
+            .iter()
+            .filter(|&&(v, _)| v == var)
+            .map(|&(_, c)| c)
+            .sum();
+        if coeff != 0.0 {
+            out.push((ri, coeff));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation, Sense};
+
+    fn sample() -> Problem {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x1");
+        let y = p.add_variable("x2");
+        let z = p.add_free_variable("z");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 2.0);
+        p.set_objective(z, -0.5);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        p.add_constraint(&[(x, 3.0), (z, -1.0)], Relation::Le, 30.0);
+        p.add_constraint(&[(y, 1.0), (z, 1.0)], Relation::Eq, 4.0);
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_optimum() {
+        let original = sample();
+        let mps = write_mps(&original, "SAMPLE");
+        let parsed = parse_mps(&mps).unwrap();
+        let a = original.solve().unwrap();
+        let b = parsed.solve().unwrap();
+        assert!(
+            (a.objective - b.objective).abs() < 1e-7,
+            "{} vs {}",
+            a.objective,
+            b.objective
+        );
+        for (va, vb) in a.values.iter().zip(&b.values) {
+            assert!((va - vb).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn maximization_round_trips_via_negation() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 3.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        let mps = write_mps(&p, "MAXCASE");
+        assert!(mps.contains("OBJSENSE MAX"));
+        let parsed = parse_mps(&mps).unwrap();
+        // Parsed min-form optimum is the negation of the max optimum.
+        let max_opt = p.solve().unwrap().objective;
+        let min_opt = parsed.solve().unwrap().objective;
+        assert!((max_opt + min_opt).abs() < 1e-9, "{max_opt} vs {min_opt}");
+    }
+
+    #[test]
+    fn writer_emits_all_sections() {
+        let mps = write_mps(&sample(), "SAMPLE");
+        for needle in ["NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA", " G  R0", " L  R1", " E  R2", " FR BND"] {
+            assert!(mps.contains(needle), "missing {needle} in:\n{mps}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_mps("NAME X\nROWS\n N COST\nCOLUMNS\n").is_err()); // no ENDATA
+        assert!(parse_mps("GARBAGE\nENDATA\n").is_err()); // unknown section
+        let unknown_row = "NAME T\nROWS\n N  COST\n G  R0\nCOLUMNS\n    x  R9  1.0\nRHS\nENDATA\n";
+        assert!(parse_mps(unknown_row).is_err());
+        let bad_number = "NAME T\nROWS\n N  COST\n G  R0\nCOLUMNS\n    x  R0  abc\nRHS\nENDATA\n";
+        assert!(parse_mps(bad_number).is_err());
+        let ranges = "NAME T\nROWS\n N  COST\nRANGES\nENDATA\n";
+        assert!(parse_mps(ranges).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let doc = "\
+* a comment
+NAME          T
+
+ROWS
+ N  COST
+ G  R0
+COLUMNS
+    x  COST  1.0  R0  1.0
+RHS
+    RHS  R0  5.0
+ENDATA
+";
+        let p = parse_mps(doc).unwrap();
+        let s = p.solve().unwrap();
+        assert!((s.objective - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_pair_column_lines_parse() {
+        let doc = "\
+NAME T
+ROWS
+ N  COST
+ G  R0
+ G  R1
+COLUMNS
+    x  R0  1.0  R1  2.0
+    x  COST  1.0
+RHS
+    RHS  R0  3.0  R1  10.0
+ENDATA
+";
+        let p = parse_mps(doc).unwrap();
+        let s = p.solve().unwrap();
+        // x >= 3 and 2x >= 10 → x = 5.
+        assert!((s.objective - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn s_m_system_survives_the_round_trip() {
+        // The real consumer: export an S_m LP, re-import, same optimum.
+        use redundancy_stats_free::*;
+        let mut lp = Problem::new(Sense::Minimize);
+        let dim = 6usize;
+        let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+        for (i, v) in vars.iter().enumerate() {
+            lp.set_objective(*v, (i + 1) as f64);
+        }
+        let cover: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&cover, Relation::Ge, 100_000.0);
+        for k in 1..dim {
+            let mut terms = vec![(vars[k - 1], -0.5)];
+            for i in (k + 1)..=dim {
+                terms.push((vars[i - 1], 0.5 * binom(i as u64, k as u64)));
+            }
+            lp.add_constraint(&terms, Relation::Ge, 0.0);
+        }
+        let direct = lp.solve().unwrap().objective;
+        let round = parse_mps(&write_mps(&lp, "SM")).unwrap().solve().unwrap().objective;
+        assert!((direct - round).abs() < 1e-6 * direct, "{direct} vs {round}");
+    }
+
+    /// Tiny local binomial so the test avoids a cyclic dev-dependency on
+    /// redundancy-stats.
+    mod redundancy_stats_free {
+        pub fn binom(n: u64, k: u64) -> f64 {
+            let k = k.min(n - k);
+            let mut acc = 1.0f64;
+            for j in 0..k {
+                acc = acc * (n - j) as f64 / (j + 1) as f64;
+            }
+            acc
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Presolve: cheap problem reductions applied before the simplex.
+//!
+//! The reductions implemented are the classical safe ones:
+//!
+//! 1. **empty constraints** — rows with no (nonzero) coefficients are
+//!    either trivially satisfiable (dropped) or prove infeasibility;
+//! 2. **singleton constraints** — a row touching exactly one variable is a
+//!    bound; `x ≤ b` with `b < 0` for a non-negative variable proves
+//!    infeasibility, `x ≥ b` with `b ≤ 0` is redundant and dropped;
+//! 3. **fixed variables** — `x = c` rows substitute the value through the
+//!    problem and remove the variable;
+//! 4. **duplicate rows** — identical (scaled) rows keep only the tightest.
+//!
+//! The driver returns a [`Reduction`] able to map a solution of the reduced
+//! problem back to the original variable space.  Presolve is optional —
+//! `Problem::solve` does not invoke it implicitly — but
+//! [`solve_with_presolve`] bundles the pipeline, and the property tests
+//! assert end-to-end equivalence with direct solves.
+
+use crate::error::LpError;
+use crate::problem::{Problem, Relation, VarKind};
+use crate::solution::Solution;
+use std::collections::HashMap;
+
+/// Outcome of presolving: a reduced problem plus recovery data.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The reduced problem (may have fewer variables and rows).
+    pub reduced: Problem,
+    /// For each original variable: either its fixed value or its index in
+    /// the reduced problem.
+    mapping: Vec<VarFate>,
+    /// Constant contribution of fixed variables to the objective.
+    objective_offset: f64,
+    /// Original row index for each surviving reduced row.
+    row_origin: Vec<usize>,
+    /// Total number of original rows.
+    original_rows: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarFate {
+    Kept(usize),
+    Fixed(f64),
+}
+
+/// Statistics about what presolve removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Rows dropped as trivially satisfied.
+    pub empty_rows: usize,
+    /// Redundant singleton bounds dropped.
+    pub redundant_bounds: usize,
+    /// Variables eliminated by `x = c` rows.
+    pub fixed_variables: usize,
+    /// Duplicate rows merged.
+    pub duplicate_rows: usize,
+}
+
+impl Reduction {
+    /// Map a solution of the reduced problem back to original coordinates.
+    pub fn recover(&self, reduced_solution: &Solution) -> Solution {
+        let mut values = Vec::with_capacity(self.mapping.len());
+        for fate in &self.mapping {
+            values.push(match *fate {
+                VarFate::Kept(j) => reduced_solution.values[j],
+                VarFate::Fixed(v) => v,
+            });
+        }
+        let mut duals = vec![0.0; self.original_rows];
+        for (new_r, &old_r) in self.row_origin.iter().enumerate() {
+            duals[old_r] = reduced_solution.duals.get(new_r).copied().unwrap_or(0.0);
+        }
+        Solution {
+            status: reduced_solution.status,
+            objective: reduced_solution.objective + self.objective_offset,
+            values,
+            duals,
+            pivots: reduced_solution.pivots,
+        }
+    }
+
+    /// The constant objective contribution of eliminated variables.
+    pub fn objective_offset(&self) -> f64 {
+        self.objective_offset
+    }
+}
+
+/// Run the presolve reductions on `problem`.
+///
+/// Returns the reduction (with statistics) or an infeasibility proof.
+pub fn presolve(problem: &Problem) -> Result<(Reduction, PresolveStats), LpError> {
+    problem.validate()?;
+    let tol = crate::DEFAULT_TOL;
+    let mut stats = PresolveStats::default();
+    let n = problem.num_variables();
+
+    // --- Pass 1: find variables fixed by singleton equality rows. -------
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    for cons in &problem.constraints {
+        let nz: Vec<(usize, f64)> = cons
+            .terms
+            .iter()
+            .fold(HashMap::<usize, f64>::new(), |mut acc, &(v, c)| {
+                *acc.entry(v).or_default() += c;
+                acc
+            })
+            .into_iter()
+            .filter(|&(_, c)| c.abs() > tol)
+            .collect();
+        if nz.len() == 1 && cons.relation == Relation::Eq {
+            let (v, c) = nz[0];
+            let value = cons.rhs / c;
+            if problem.variable_kind(v) == VarKind::NonNegative && value < -tol {
+                return Err(LpError::Infeasible {
+                    infeasibility: -value,
+                });
+            }
+            if let Some(prev) = fixed[v] {
+                if (prev - value).abs() > tol {
+                    return Err(LpError::Infeasible {
+                        infeasibility: (prev - value).abs(),
+                    });
+                }
+            } else {
+                fixed[v] = Some(value);
+                stats.fixed_variables += 1;
+            }
+        }
+    }
+
+    // --- Build the reduced problem. --------------------------------------
+    let mut reduced = Problem::new(problem.sense);
+    let mut mapping = Vec::with_capacity(n);
+    let mut objective_offset = 0.0;
+    for (v, fate) in fixed.iter().enumerate() {
+        match fate {
+            Some(value) => {
+                mapping.push(VarFate::Fixed(*value));
+                let coeff = problem.objective_coefficient(v);
+                objective_offset += coeff * value;
+            }
+            None => {
+                let id = match problem.variable_kind(v) {
+                    VarKind::Free => reduced.add_free_variable(problem.variable_name_at(v)),
+                    VarKind::NonNegative => reduced.add_variable(problem.variable_name_at(v)),
+                };
+                reduced.set_objective(id, problem.objective_coefficient(v));
+                mapping.push(VarFate::Kept(id.index()));
+            }
+        }
+    }
+
+    // --- Pass 2: rebuild rows, dropping trivial / duplicate ones. --------
+    let mut row_origin = Vec::new();
+    // signature → (reduced row index, relation, rhs) for duplicate folding
+    let mut seen: HashMap<Vec<(usize, i64)>, usize> = HashMap::new();
+    let quantize = |c: f64| (c / tol).round() as i64;
+
+    for (ri, cons) in problem.constraints.iter().enumerate() {
+        // Aggregate coefficients, substitute fixed variables.
+        let mut rhs = cons.rhs;
+        let mut terms: HashMap<usize, f64> = HashMap::new();
+        for &(v, c) in &cons.terms {
+            match mapping[v] {
+                VarFate::Fixed(value) => rhs -= c * value,
+                VarFate::Kept(j) => *terms.entry(j).or_default() += c,
+            }
+        }
+        let mut nz: Vec<(usize, f64)> = terms
+            .into_iter()
+            .filter(|&(_, c)| c.abs() > tol)
+            .collect();
+        nz.sort_by_key(|&(j, _)| j);
+
+        if nz.is_empty() {
+            // 0 relation rhs: satisfied or infeasible.
+            let violated = match cons.relation {
+                Relation::Le => rhs < -tol,
+                Relation::Ge => rhs > tol,
+                Relation::Eq => rhs.abs() > tol,
+            };
+            if violated {
+                return Err(LpError::Infeasible {
+                    infeasibility: rhs.abs(),
+                });
+            }
+            stats.empty_rows += 1;
+            continue;
+        }
+
+        // Redundant singleton lower bounds on non-negative variables.
+        if nz.len() == 1 && cons.relation == Relation::Ge {
+            let (j, c) = nz[0];
+            let kept_kind = reduced.variable_kind(j);
+            if kept_kind == VarKind::NonNegative && c > 0.0 && rhs <= tol {
+                stats.redundant_bounds += 1;
+                continue;
+            }
+            // x ≤ b with b < 0 proves infeasibility (written as c·x ≥ rhs
+            // with c < 0, rhs > 0).
+            if kept_kind == VarKind::NonNegative && c < 0.0 && rhs > tol {
+                return Err(LpError::Infeasible { infeasibility: rhs });
+            }
+        }
+        if nz.len() == 1 && cons.relation == Relation::Le {
+            let (j, c) = nz[0];
+            if reduced.variable_kind(j) == VarKind::NonNegative && c > 0.0 && rhs < -tol {
+                return Err(LpError::Infeasible {
+                    infeasibility: -rhs,
+                });
+            }
+            if reduced.variable_kind(j) == VarKind::NonNegative && c < 0.0 && rhs >= -tol {
+                stats.redundant_bounds += 1;
+                continue;
+            }
+        }
+
+        // Duplicate detection: normalize by the first coefficient.
+        let scale = nz[0].1;
+        let mut signature: Vec<(usize, i64)> = Vec::with_capacity(nz.len() + 2);
+        signature.push((usize::MAX, quantize(rhs / scale)));
+        signature.push((
+            usize::MAX - 1,
+            match (cons.relation, scale > 0.0) {
+                (Relation::Eq, _) => 0,
+                (Relation::Le, true) | (Relation::Ge, false) => 1,
+                (Relation::Ge, true) | (Relation::Le, false) => 2,
+            },
+        ));
+        for &(j, c) in &nz {
+            signature.push((j, quantize(c / scale)));
+        }
+        if seen.contains_key(&signature) {
+            stats.duplicate_rows += 1;
+            continue;
+        }
+        seen.insert(signature, row_origin.len());
+
+        let id_terms: Vec<_> = nz
+            .iter()
+            .map(|&(j, c)| (reduced.variable_id(j), c))
+            .collect();
+        reduced.add_constraint(&id_terms, cons.relation, rhs);
+        row_origin.push(ri);
+    }
+
+    Ok((
+        Reduction {
+            reduced,
+            mapping,
+            objective_offset,
+            row_origin,
+            original_rows: problem.num_constraints(),
+        },
+        stats,
+    ))
+}
+
+/// Presolve, solve the reduced problem, and map the solution back.
+pub fn solve_with_presolve(problem: &Problem) -> Result<(Solution, PresolveStats), LpError> {
+    let (reduction, stats) = presolve(problem)?;
+    if reduction.reduced.num_variables() == 0 {
+        // Everything fixed: the solution is fully determined.
+        let values: Vec<f64> = reduction
+            .mapping
+            .iter()
+            .map(|f| match *f {
+                VarFate::Fixed(v) => v,
+                VarFate::Kept(_) => unreachable!("no kept variables"),
+            })
+            .collect();
+        return Ok((
+            Solution {
+                status: crate::solution::Status::Optimal,
+                objective: reduction.objective_offset,
+                values,
+                duals: vec![0.0; problem.num_constraints()],
+                pivots: 0,
+            },
+            stats,
+        ));
+    }
+    let inner = reduction.reduced.solve()?;
+    Ok((reduction.recover(&inner), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation, Sense};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-7
+    }
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        // min x + y s.t. y = 3, x + y >= 5  →  x = 2, obj = 5.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(y, 1.0)], Relation::Eq, 3.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
+        let (sol, stats) = solve_with_presolve(&p).unwrap();
+        assert_eq!(stats.fixed_variables, 1);
+        assert!(close(sol.value(x), 2.0));
+        assert!(close(sol.value(y), 3.0));
+        assert!(close(sol.objective, 5.0));
+    }
+
+    #[test]
+    fn conflicting_fixes_prove_infeasibility() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.add_constraint(&[(x, 1.0)], Relation::Eq, 1.0);
+        p.add_constraint(&[(x, 2.0)], Relation::Eq, 6.0);
+        assert!(matches!(presolve(&p), Err(LpError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn negative_fix_of_nonnegative_variable_is_infeasible() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.add_constraint(&[(x, 1.0)], Relation::Eq, -2.0);
+        assert!(matches!(presolve(&p), Err(LpError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn empty_rows_dropped_or_rejected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 0.0)], Relation::Le, 5.0); // trivially true
+        let (red, stats) = presolve(&p).unwrap();
+        assert_eq!(stats.empty_rows, 1);
+        assert_eq!(red.reduced.num_constraints(), 0);
+
+        let mut q = Problem::new(Sense::Minimize);
+        let y = q.add_variable("y");
+        q.add_constraint(&[(y, 0.0)], Relation::Ge, 5.0); // 0 >= 5
+        assert!(matches!(presolve(&q), Err(LpError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn redundant_lower_bounds_dropped() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 0.0); // x >= 0: redundant
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, -3.0); // also redundant
+        let (red, stats) = presolve(&p).unwrap();
+        assert_eq!(stats.redundant_bounds, 2);
+        assert_eq!(red.reduced.num_constraints(), 0);
+    }
+
+    #[test]
+    fn singleton_upper_bound_conflict_detected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.add_constraint(&[(x, 1.0)], Relation::Le, -1.0); // x <= -1, x >= 0
+        assert!(matches!(presolve(&p), Err(LpError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn duplicate_rows_merged() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        p.add_constraint(&[(x, 2.0), (y, 2.0)], Relation::Ge, 8.0); // same row ×2
+        let (red, stats) = presolve(&p).unwrap();
+        assert_eq!(stats.duplicate_rows, 1);
+        assert_eq!(red.reduced.num_constraints(), 1);
+        let (sol, _) = solve_with_presolve(&p).unwrap();
+        assert!(close(sol.objective, 4.0));
+    }
+
+    #[test]
+    fn fully_fixed_problem_short_circuits() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 3.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Eq, 2.0);
+        let (sol, _) = solve_with_presolve(&p).unwrap();
+        assert!(close(sol.objective, 6.0));
+        assert!(close(sol.value(x), 2.0));
+        assert_eq!(sol.pivots, 0);
+    }
+
+    #[test]
+    fn presolved_matches_direct_solve_on_a_real_system() {
+        // An S_m-flavoured problem with an extra fixed variable and
+        // duplicated constraint thrown in.
+        let mut p = Problem::new(Sense::Minimize);
+        let x1 = p.add_variable("x1");
+        let x2 = p.add_variable("x2");
+        let x3 = p.add_variable("x3");
+        let z = p.add_variable("z");
+        p.set_objective(x1, 1.0);
+        p.set_objective(x2, 2.0);
+        p.set_objective(x3, 3.0);
+        p.set_objective(z, 10.0);
+        p.add_constraint(&[(x1, 1.0), (x2, 1.0), (x3, 1.0)], Relation::Ge, 100.0);
+        p.add_constraint(
+            &[(x1, -0.5), (x2, 1.0), (x3, 1.5)],
+            Relation::Ge,
+            0.0,
+        );
+        p.add_constraint(
+            &[(x1, -1.0), (x2, 2.0), (x3, 3.0)],
+            Relation::Ge,
+            0.0,
+        ); // duplicate (×2)
+        p.add_constraint(&[(z, 1.0)], Relation::Eq, 7.0);
+        let direct = p.solve().unwrap();
+        let (pre, stats) = solve_with_presolve(&p).unwrap();
+        assert!(close(direct.objective, pre.objective), "{} vs {}", direct.objective, pre.objective);
+        assert!(stats.duplicate_rows >= 1);
+        assert!(stats.fixed_variables == 1);
+        for (a, b) in direct.values.iter().zip(&pre.values) {
+            assert!(close(*a, *b), "{direct:?} vs {pre:?}");
+        }
+        // Recovered duals keep original row positions.
+        assert_eq!(pre.duals.len(), 4);
+    }
+}

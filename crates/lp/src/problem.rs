@@ -1,0 +1,278 @@
+//! User-facing linear program builder.
+//!
+//! A [`Problem`] collects variables, an objective, and constraints in the
+//! natural "modeling" form; [`Problem::solve`] normalizes it to standard form
+//! and runs the two-phase simplex.
+
+use crate::error::LpError;
+use crate::simplex::{self, SimplexOptions};
+use crate::solution::Solution;
+use crate::standard::StandardForm;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Relation of a linear constraint to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// Opaque handle to a variable of a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Positional index of the variable (order of `add_variable` calls).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Sign restriction of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// `x ≥ 0` (the default, and the only kind the paper's LPs need).
+    NonNegative,
+    /// Unrestricted in sign; internally split into a difference of two
+    /// non-negative variables.
+    Free,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub(crate) name: String,
+    pub(crate) kind: VarKind,
+    pub(crate) objective: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    /// Sparse row: (variable index, coefficient).
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: f64,
+}
+
+/// A linear program in modeling form.
+///
+/// ```
+/// use redundancy_lp::{Problem, Relation, Sense};
+/// let mut p = Problem::new(Sense::Maximize);
+/// let x = p.add_variable("x");
+/// p.set_objective(x, 3.0);
+/// p.add_constraint(&[(x, 1.0)], Relation::Le, 2.0);
+/// assert!((p.solve().unwrap().objective - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) variables: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Create an empty problem with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Problem {
+            sense,
+            variables: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Declare a non-negative variable and return its handle.
+    pub fn add_variable(&mut self, name: impl Into<String>) -> VarId {
+        self.add_variable_kind(name, VarKind::NonNegative)
+    }
+
+    /// Declare a sign-unrestricted variable and return its handle.
+    pub fn add_free_variable(&mut self, name: impl Into<String>) -> VarId {
+        self.add_variable_kind(name, VarKind::Free)
+    }
+
+    fn add_variable_kind(&mut self, name: impl Into<String>, kind: VarKind) -> VarId {
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable {
+            name: name.into(),
+            kind,
+            objective: 0.0,
+        });
+        id
+    }
+
+    /// Set the objective coefficient of `var` (default 0).
+    pub fn set_objective(&mut self, var: VarId, coeff: f64) {
+        self.variables[var.0].objective = coeff;
+    }
+
+    /// Add the constraint `Σ coeff·var  relation  rhs`.
+    ///
+    /// Repeated variables in `terms` are summed.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], relation: Relation, rhs: f64) {
+        self.constraints.push(Constraint {
+            terms: terms.iter().map(|&(v, c)| (v.0, c)).collect(),
+            relation,
+            rhs,
+        });
+    }
+
+    /// Number of declared variables.
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable (for diagnostics).
+    pub fn variable_name(&self, var: VarId) -> &str {
+        &self.variables[var.0].name
+    }
+
+    /// Name of the variable at positional `index`.
+    pub fn variable_name_at(&self, index: usize) -> &str {
+        &self.variables[index].name
+    }
+
+    /// Sign restriction of the variable at positional `index`.
+    pub fn variable_kind(&self, index: usize) -> VarKind {
+        self.variables[index].kind
+    }
+
+    /// Objective coefficient of the variable at positional `index`.
+    pub fn objective_coefficient(&self, index: usize) -> f64 {
+        self.variables[index].objective
+    }
+
+    /// Handle for the variable at positional `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn variable_id(&self, index: usize) -> VarId {
+        assert!(index < self.variables.len(), "variable index out of range");
+        VarId(index)
+    }
+
+    /// Validate all data is finite and all indices are in range.
+    pub fn validate(&self) -> Result<(), LpError> {
+        if self.variables.is_empty() {
+            return Err(LpError::EmptyProblem);
+        }
+        for v in &self.variables {
+            if !v.objective.is_finite() {
+                return Err(LpError::NonFiniteData {
+                    location: format!("objective coefficient of variable {}", v.name),
+                });
+            }
+        }
+        for (ci, c) in self.constraints.iter().enumerate() {
+            if !c.rhs.is_finite() {
+                return Err(LpError::NonFiniteData {
+                    location: format!("right-hand side of constraint {ci}"),
+                });
+            }
+            for &(vi, coeff) in &c.terms {
+                if vi >= self.variables.len() {
+                    return Err(LpError::UnknownVariable {
+                        index: vi,
+                        declared: self.variables.len(),
+                    });
+                }
+                if !coeff.is_finite() {
+                    return Err(LpError::NonFiniteData {
+                        location: format!("constraint {ci}, variable index {vi}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve with default options.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solve with explicit simplex options.
+    pub fn solve_with(&self, options: &SimplexOptions) -> Result<Solution, LpError> {
+        self.validate()?;
+        let sf = StandardForm::from_problem(self);
+        let raw = simplex::solve_standard(&sf, options)?;
+        Ok(sf.recover(self, raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_bookkeeping() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_free_variable("y");
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 0.0);
+        assert_eq!(p.num_variables(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.variable_name(x), "x");
+        assert_eq!(p.variable_name(y), "y");
+        assert_eq!(x.index(), 0);
+        assert_eq!(y.index(), 1);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let p = Problem::new(Sense::Minimize);
+        assert_eq!(p.validate(), Err(LpError::EmptyProblem));
+    }
+
+    #[test]
+    fn validate_rejects_nan_objective() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, f64::NAN);
+        assert!(matches!(p.validate(), Err(LpError::NonFiniteData { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_nan_rhs_and_coeff() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.add_constraint(&[(x, 1.0)], Relation::Le, f64::INFINITY);
+        assert!(matches!(p.validate(), Err(LpError::NonFiniteData { .. })));
+
+        let mut p2 = Problem::new(Sense::Minimize);
+        let x2 = p2.add_variable("x");
+        p2.add_constraint(&[(x2, f64::NAN)], Relation::Le, 1.0);
+        assert!(matches!(p2.validate(), Err(LpError::NonFiniteData { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_variable() {
+        let mut p = Problem::new(Sense::Minimize);
+        let _x = p.add_variable("x");
+        // Forge a constraint against a variable from another problem.
+        p.constraints.push(Constraint {
+            terms: vec![(5, 1.0)],
+            relation: Relation::Le,
+            rhs: 1.0,
+        });
+        assert!(matches!(p.validate(), Err(LpError::UnknownVariable { .. })));
+    }
+}

@@ -1,0 +1,671 @@
+//! The two-phase primal simplex engine operating on a [`StandardForm`].
+//!
+//! The implementation keeps a full dense tableau: `m` constraint rows plus a
+//! reduced-cost row, with a basis map from rows to columns.  Phase I
+//! introduces artificial variables only for rows that do not already carry a
+//! usable slack column, minimizes their sum to prove feasibility, pivots
+//! residual artificials out of the basis (deleting linearly dependent rows),
+//! and phase II then minimizes the true objective.
+//!
+//! Pivot selection defaults to Dantzig's rule (most negative reduced cost)
+//! and switches to Bland's rule after a run of degenerate pivots, which makes
+//! termination unconditional while keeping the common case fast.
+
+use crate::dense::{self, Matrix};
+use crate::error::LpError;
+use crate::standard::StandardForm;
+use crate::DEFAULT_TOL;
+
+/// Column-selection rule for the entering variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotRule {
+    /// Most negative reduced cost (fast in practice; can cycle in theory).
+    Dantzig,
+    /// Lowest-index negative reduced cost (provably terminating).
+    Bland,
+    /// Dantzig until `degenerate_limit` consecutive degenerate pivots occur,
+    /// then Bland for the remainder of the phase.  The default.
+    Adaptive {
+        /// Number of consecutive zero-progress pivots tolerated before
+        /// switching to Bland's rule.
+        degenerate_limit: usize,
+    },
+}
+
+impl Default for PivotRule {
+    fn default() -> Self {
+        PivotRule::Adaptive {
+            degenerate_limit: 32,
+        }
+    }
+}
+
+/// Knobs for the simplex driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexOptions {
+    /// Numerical tolerance for feasibility, optimality, and pivot magnitude.
+    pub tol: f64,
+    /// Hard cap on pivots per phase.
+    pub max_iters: usize,
+    /// Entering-column selection rule.
+    pub pivot_rule: PivotRule,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            tol: DEFAULT_TOL,
+            max_iters: 50_000,
+            pivot_rule: PivotRule::default(),
+        }
+    }
+}
+
+/// Solution in standard-form coordinates, before mapping back to the
+/// original problem.
+#[derive(Debug, Clone)]
+pub struct RawSolution {
+    /// Values of the standard-form columns.
+    pub x: Vec<f64>,
+    /// Minimization-sense objective value.
+    pub objective: f64,
+    /// Dual value per standard-form row (0 for rows proved redundant).
+    pub duals: Vec<f64>,
+    /// Total pivots across both phases.
+    pub pivots: usize,
+}
+
+/// Dense simplex tableau: constraint rows plus one reduced-cost row.
+struct Tableau {
+    /// `m × (ncols + 1)`; the final column is the right-hand side.
+    t: Matrix,
+    /// Reduced-cost row, length `ncols + 1`; the final entry is `-z`.
+    obj: Vec<f64>,
+    /// `basis[r]` = column currently basic in row `r`.
+    basis: Vec<usize>,
+    ncols: usize,
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded { column: usize },
+}
+
+impl Tableau {
+    fn rhs(&self, r: usize) -> f64 {
+        self.t[(r, self.ncols)]
+    }
+
+    /// Load the cost vector `c` and price out the current basis so the
+    /// reduced-cost row is consistent.
+    fn set_costs(&mut self, c: &[f64]) {
+        self.obj = vec![0.0; self.ncols + 1];
+        self.obj[..c.len()].copy_from_slice(c);
+        for r in 0..self.basis.len() {
+            let cb = self.obj[self.basis[r]];
+            if cb != 0.0 {
+                let row: Vec<f64> = self.t.row(r).to_vec();
+                for (o, v) in self.obj.iter_mut().zip(&row) {
+                    *o -= cb * v;
+                }
+            }
+        }
+    }
+
+    /// Current objective value (the reduced-cost row stores `-z`).
+    fn objective(&self) -> f64 {
+        -self.obj[self.ncols]
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.t[(row, col)];
+        debug_assert!(p.abs() > 0.0, "pivot on zero element");
+        self.t.scale_row(row, 1.0 / p);
+        // Re-normalize the pivot position exactly to dampen round-off drift.
+        self.t[(row, col)] = 1.0;
+        for r in 0..self.t.rows() {
+            if r != row {
+                let f = self.t[(r, col)];
+                if f != 0.0 {
+                    self.t.axpy_rows(r, row, -f);
+                    self.t[(r, col)] = 0.0;
+                }
+            }
+        }
+        let f = self.obj[col];
+        if f != 0.0 {
+            let row_vals: Vec<f64> = self.t.row(row).to_vec();
+            for (o, v) in self.obj.iter_mut().zip(&row_vals) {
+                *o -= f * v;
+            }
+            self.obj[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Select the entering column under `rule`, considering only columns
+    /// where `allowed` is true.
+    fn entering(&self, rule: PivotRule, bland: bool, tol: f64, allowed: &[bool]) -> Option<usize> {
+        let use_bland = bland || rule == PivotRule::Bland;
+        let mut best: Option<(usize, f64)> = None;
+        for (j, &ok) in allowed.iter().enumerate().take(self.ncols) {
+            if !ok {
+                continue;
+            }
+            let rj = self.obj[j];
+            if rj < -tol {
+                if use_bland {
+                    return Some(j);
+                }
+                match best {
+                    Some((_, b)) if rj >= b => {}
+                    _ => best = Some((j, rj)),
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Minimum-ratio test for entering column `col`.  Ties are broken by the
+    /// smallest basis column index (lexicographic safeguard).
+    fn leaving(&self, col: usize, tol: f64) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.t.rows() {
+            let a = self.t[(r, col)];
+            if a > tol {
+                let ratio = self.rhs(r) / a;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - tol
+                            || ((ratio - bratio).abs() <= tol
+                                && self.basis[r] < self.basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Run pivots until optimality or unboundedness under the given costs.
+    fn optimize(
+        &mut self,
+        opts: &SimplexOptions,
+        allowed: &[bool],
+        pivots: &mut usize,
+    ) -> Result<PhaseOutcome, LpError> {
+        let mut degenerate_run = 0usize;
+        let mut bland = false;
+        for _ in 0..opts.max_iters {
+            let Some(col) = self.entering(opts.pivot_rule, bland, opts.tol, allowed) else {
+                return Ok(PhaseOutcome::Optimal);
+            };
+            let Some(row) = self.leaving(col, opts.tol) else {
+                return Ok(PhaseOutcome::Unbounded { column: col });
+            };
+            let progress = self.rhs(row) / self.t[(row, col)];
+            if progress.abs() <= opts.tol {
+                degenerate_run += 1;
+                if let PivotRule::Adaptive { degenerate_limit } = opts.pivot_rule {
+                    if degenerate_run >= degenerate_limit {
+                        bland = true;
+                    }
+                }
+            } else {
+                degenerate_run = 0;
+            }
+            self.pivot(row, col);
+            *pivots += 1;
+        }
+        Err(LpError::IterationLimit {
+            limit: opts.max_iters,
+        })
+    }
+}
+
+/// Solve a standard-form LP, returning standard-form primal/dual values.
+pub fn solve_standard(sf: &StandardForm, opts: &SimplexOptions) -> Result<RawSolution, LpError> {
+    let m = sf.num_rows();
+    let n = sf.num_columns();
+    if m == 0 {
+        // min cᵀx over x ≥ 0: unbounded along any negative cost direction,
+        // otherwise x = 0.
+        if let Some(j) = sf.c.iter().position(|&cj| cj < -opts.tol) {
+            return Err(LpError::Unbounded { ray_column: j });
+        }
+        return Ok(RawSolution {
+            x: vec![0.0; n],
+            objective: 0.0,
+            duals: vec![],
+            pivots: 0,
+        });
+    }
+
+    // --- Build tableau with artificials where no unit column exists. -----
+    let mut basis = vec![usize::MAX; m];
+    for j in 0..n {
+        // A column usable as an initial basic column: exactly one +1 entry
+        // and zeros elsewhere, in a row that still needs a basic variable.
+        let mut unit_row = None;
+        let mut ok = true;
+        for r in 0..m {
+            let v = sf.a[(r, j)];
+            if v == 0.0 {
+                continue;
+            }
+            if v == 1.0 && unit_row.is_none() {
+                unit_row = Some(r);
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            if let Some(r) = unit_row {
+                if basis[r] == usize::MAX {
+                    basis[r] = j;
+                }
+            }
+        }
+    }
+    let art_rows: Vec<usize> = (0..m).filter(|&r| basis[r] == usize::MAX).collect();
+    let n_art = art_rows.len();
+    let ncols = n + n_art;
+    let mut t = Matrix::zeros(m, ncols + 1);
+    for r in 0..m {
+        for j in 0..n {
+            t[(r, j)] = sf.a[(r, j)];
+        }
+        t[(r, ncols)] = sf.b[r];
+    }
+    for (k, &r) in art_rows.iter().enumerate() {
+        t[(r, n + k)] = 1.0;
+        basis[r] = n + k;
+    }
+    let mut tab = Tableau {
+        t,
+        obj: vec![0.0; ncols + 1],
+        basis,
+        ncols,
+    };
+    let mut pivots = 0usize;
+
+    // --- Phase I -----------------------------------------------------------
+    if n_art > 0 {
+        let mut c1 = vec![0.0; ncols];
+        for k in 0..n_art {
+            c1[n + k] = 1.0;
+        }
+        tab.set_costs(&c1);
+        let allowed = vec![true; ncols];
+        match tab.optimize(opts, &allowed, &mut pivots)? {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded { .. } => {
+                // The phase-I objective is bounded below by zero, so a
+                // reported improving ray is round-off (a reduced cost just
+                // past the tolerance with no usable pivot).  Stop here and
+                // let the residual-infeasibility check below decide.
+            }
+        }
+        let infeasibility = tab.objective();
+        if infeasibility > opts.tol.max(1e-7) {
+            return Err(LpError::Infeasible { infeasibility });
+        }
+        // Drive remaining artificials out of the basis; rows that cannot be
+        // pivoted are linearly dependent and are dropped below.
+        let mut drop_rows = Vec::new();
+        for r in 0..m {
+            if tab.basis[r] >= n {
+                let mut pivoted = false;
+                for j in 0..n {
+                    if tab.t[(r, j)].abs() > opts.tol {
+                        tab.pivot(r, j);
+                        pivots += 1;
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    drop_rows.push(r);
+                }
+            }
+        }
+        if !drop_rows.is_empty() {
+            return solve_after_dropping(sf, opts, &drop_rows, pivots);
+        }
+    }
+
+    // --- Phase II ----------------------------------------------------------
+    tab.set_costs(&sf.c);
+    let mut allowed = vec![true; ncols];
+    for a in allowed.iter_mut().skip(n) {
+        *a = false; // artificial columns are frozen out
+    }
+    match tab.optimize(opts, &allowed, &mut pivots)? {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded { column } => {
+            return Err(LpError::Unbounded { ray_column: column })
+        }
+    }
+
+    // --- Extract primal and dual values ------------------------------------
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        let j = tab.basis[r];
+        if j < n {
+            x[j] = tab.rhs(r).max(0.0);
+        }
+    }
+    let objective = dense::dot(&sf.c, &x);
+    let duals = recover_duals(sf, &tab.basis, &(0..m).collect::<Vec<_>>(), m);
+    Ok(RawSolution {
+        x,
+        objective,
+        duals,
+        pivots,
+    })
+}
+
+/// Re-solve after deleting linearly dependent rows discovered in phase I.
+///
+/// Rebuilding is simpler than surgically removing tableau rows and, because
+/// redundancy is rare and the matrices tiny, costs nothing in practice.
+fn solve_after_dropping(
+    sf: &StandardForm,
+    opts: &SimplexOptions,
+    drop_rows: &[usize],
+    prior_pivots: usize,
+) -> Result<RawSolution, LpError> {
+    let keep: Vec<usize> = (0..sf.num_rows())
+        .filter(|r| !drop_rows.contains(r))
+        .collect();
+    let n = sf.num_columns();
+    let mut a = Matrix::zeros(keep.len(), n);
+    let mut b = Vec::with_capacity(keep.len());
+    for (new_r, &old_r) in keep.iter().enumerate() {
+        for j in 0..n {
+            a[(new_r, j)] = sf.a[(old_r, j)];
+        }
+        b.push(sf.b[old_r]);
+    }
+    let reduced = StandardForm {
+        a,
+        b,
+        c: sf.c.clone(),
+        origins: sf.origins.clone(),
+        row_scale: vec![1.0; keep.len()],
+        maximized: sf.maximized,
+    };
+    let mut raw = solve_standard(&reduced, opts)?;
+    raw.pivots += prior_pivots;
+    // Scatter duals back to the original row positions; dropped (redundant)
+    // rows take dual 0, which satisfies complementary slackness trivially.
+    let mut duals = vec![0.0; sf.num_rows()];
+    for (new_r, &old_r) in keep.iter().enumerate() {
+        duals[old_r] = raw.duals[new_r];
+    }
+    raw.duals = duals;
+    Ok(raw)
+}
+
+/// Recover duals by solving `Bᵀ·y = c_B` for the optimal basis `B`.
+fn recover_duals(sf: &StandardForm, basis: &[usize], rows: &[usize], m: usize) -> Vec<f64> {
+    let n = sf.num_columns();
+    let k = rows.len();
+    let mut bt = Matrix::zeros(k, k);
+    let mut cb = vec![0.0; k];
+    for (bi, (&row_set_idx, &col)) in rows.iter().zip(basis).enumerate() {
+        let _ = row_set_idx;
+        for (ri, &row) in rows.iter().enumerate() {
+            // Bᵀ entry (bi, ri) = A[row, basis[bi]]
+            bt[(bi, ri)] = if col < n { sf.a[(row, col)] } else { 0.0 };
+        }
+        cb[bi] = if col < n { sf.c[col] } else { 0.0 };
+    }
+    match dense::solve_linear_system(&bt, &cb) {
+        Some(y) => {
+            let mut duals = vec![0.0; m];
+            for (ri, &row) in rows.iter().enumerate() {
+                duals[row] = y[ri];
+            }
+            duals
+        }
+        // Singular basis matrix can only arise from severe degeneracy; fall
+        // back to zero duals rather than failing the whole solve, since the
+        // primal solution remains valid.
+        None => vec![0.0; m],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  →  z = 36 at (2,6).
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 3.0);
+        p.set_objective(y, 5.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows_needs_phase_one() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 → (7,3), z = 23.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 2.0);
+        p.set_objective(y, 3.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        p.add_constraint(&[(y, 1.0)], Relation::Ge, 3.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 23.0);
+        assert_close(s.value(x), 7.0);
+        assert_close(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, 3x + y = 7 → x = 2, y = 1.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0);
+        p.add_constraint(&[(x, 3.0), (y, 1.0)], Relation::Eq, 7.0);
+        let s = p.solve().unwrap();
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        assert!(matches!(p.solve(), Err(LpError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 0.0);
+        assert!(matches!(p.solve(), Err(LpError::Unbounded { .. })));
+    }
+
+    #[test]
+    fn unconstrained_min_of_nonnegative_vars_is_zero() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 5.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn unconstrained_negative_cost_is_unbounded() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, -5.0);
+        assert!(matches!(p.solve(), Err(LpError::Unbounded { .. })));
+    }
+
+    #[test]
+    fn free_variable_goes_negative() {
+        // min y s.t. y >= -5 with y free → y = -5.
+        let mut p = Problem::new(Sense::Minimize);
+        let y = p.add_free_variable("y");
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(y, 1.0)], Relation::Ge, -5.0);
+        let s = p.solve().unwrap();
+        assert_close(s.value(y), -5.0);
+    }
+
+    #[test]
+    fn redundant_rows_are_tolerated() {
+        // Same equality twice: phase I leaves a basic artificial on a
+        // dependent row, exercising the row-dropping path.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        p.add_constraint(&[(x, 2.0), (y, 2.0)], Relation::Eq, 6.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 3.0);
+        assert_close(s.value(x), 3.0);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale (1955): cycles under naive Dantzig with certain tie-breaks;
+        // the adaptive Bland fallback must terminate at z = -0.05.
+        let mut p = Problem::new(Sense::Minimize);
+        let x1 = p.add_variable("x1");
+        let x2 = p.add_variable("x2");
+        let x3 = p.add_variable("x3");
+        let x4 = p.add_variable("x4");
+        p.set_objective(x1, -0.75);
+        p.set_objective(x2, 150.0);
+        p.set_objective(x3, -0.02);
+        p.set_objective(x4, 6.0);
+        p.add_constraint(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, -0.05);
+    }
+
+    #[test]
+    fn bland_rule_only_also_solves() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 2.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 3.0);
+        let opts = SimplexOptions {
+            pivot_rule: PivotRule::Bland,
+            ..SimplexOptions::default()
+        };
+        let s = p.solve_with(&opts).unwrap();
+        assert_close(s.objective, 7.0);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 2.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        let opts = SimplexOptions {
+            max_iters: 0,
+            ..SimplexOptions::default()
+        };
+        assert!(matches!(
+            p.solve_with(&opts),
+            Err(LpError::IterationLimit { limit: 0 })
+        ));
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality() {
+        // min 2x + 3y s.t. x + y >= 10, x - y <= 2.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 2.0);
+        p.set_objective(y, 3.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 2.0);
+        let s = p.solve().unwrap();
+        // Optimal primal: minimize cost along x + y = 10 ⇒ prefer x (cost 2)
+        // until x - y = 2 binds: x = 6, y = 4, z = 24.
+        assert_close(s.objective, 24.0);
+        // Strong duality: bᵀy = cᵀx.
+        let dual_obj = 10.0 * s.duals[0] + 2.0 * s.duals[1];
+        assert_close(dual_obj, s.objective);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x >= -3 written as -x <= 3 internally; optimum x = 0 for min x.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, -1.0)], Relation::Le, 3.0);
+        let s = p.solve().unwrap();
+        assert_close(s.value(x), 0.0);
+    }
+
+    #[test]
+    fn degenerate_problem_solves() {
+        // Multiple constraints active at the optimum (degenerate vertex).
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(&[(y, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 2.0);
+        p.add_constraint(&[(x, 2.0), (y, 1.0)], Relation::Le, 3.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 2.0);
+    }
+}

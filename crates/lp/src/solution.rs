@@ -1,0 +1,63 @@
+//! Solution types returned by the solver.
+
+use crate::problem::VarId;
+
+/// Termination status of a successful solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+}
+
+/// An optimal solution to a [`crate::Problem`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Termination status (always [`Status::Optimal`]; infeasible/unbounded
+    /// outcomes are reported as [`crate::LpError`] instead).
+    pub status: Status,
+    /// Objective value in the problem's original sense.
+    pub objective: f64,
+    /// Primal values, indexed like the problem's variables.
+    pub values: Vec<f64>,
+    /// Dual values (one per constraint, in a `min` convention: for a
+    /// minimization problem, `y_i ≥ 0` for `≥` rows and `y_i ≤ 0` for `≤`
+    /// rows at optimality).
+    pub duals: Vec<f64>,
+    /// Number of simplex pivots performed across both phases.
+    pub pivots: usize,
+}
+
+impl Solution {
+    /// Value of one variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Indices of variables that are (numerically) nonzero.
+    pub fn support(&self, tol: f64) -> Vec<usize> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v.abs() > tol)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_filters_by_tolerance() {
+        let s = Solution {
+            status: Status::Optimal,
+            objective: 0.0,
+            values: vec![1.0, 1e-12, -2.0, 0.0],
+            duals: vec![],
+            pivots: 0,
+        };
+        assert_eq!(s.support(1e-9), vec![0, 2]);
+        assert_eq!(s.value(VarId(2)), -2.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Normalization of a modeling-form [`Problem`] into standard equality form.
+//!
+//! Standard form here means
+//!
+//! ```text
+//! min cᵀx   subject to   A·x = b,   x ≥ 0,   b ≥ 0,
+//! ```
+//!
+//! obtained by
+//!
+//! * negating the objective of a maximization problem,
+//! * splitting each free variable into a difference of two non-negative ones,
+//! * adding a slack (`≤`) or surplus (`≥`) column per inequality, and
+//! * scaling rows so every right-hand side is non-negative.
+//!
+//! [`StandardForm::recover`] maps a standard-form solution back onto the
+//! original variables, objective sense, and constraint duals.
+
+use crate::dense::Matrix;
+use crate::problem::{Problem, Relation, Sense, VarKind};
+use crate::simplex::RawSolution;
+use crate::solution::{Solution, Status};
+
+/// How one standard-form column maps back to the original problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnOrigin {
+    /// The column is the original variable `index` (or its positive part).
+    Positive(usize),
+    /// The column is the negative part of free variable `index`.
+    Negative(usize),
+    /// Slack or surplus column for constraint `index`.
+    Slack(usize),
+}
+
+/// A problem normalized to `min cᵀx, A·x = b, x ≥ 0, b ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Constraint matrix (m × n).
+    pub a: Matrix,
+    /// Right-hand side, all entries ≥ 0.
+    pub b: Vec<f64>,
+    /// Objective coefficients (minimization sense).
+    pub c: Vec<f64>,
+    /// Provenance of each column.
+    pub origins: Vec<ColumnOrigin>,
+    /// `-1.0` for rows whose sign was flipped to make `b ≥ 0`, else `+1.0`.
+    pub row_scale: Vec<f64>,
+    /// Whether the original problem was a maximization.
+    pub maximized: bool,
+}
+
+impl StandardForm {
+    /// Normalize `problem` (assumed validated) into standard form.
+    pub fn from_problem(problem: &Problem) -> Self {
+        let mut origins = Vec::new();
+        // Column index of each original variable's positive part; negative
+        // parts (for free variables) live at `neg_col[i]`.
+        let mut pos_col = Vec::with_capacity(problem.variables.len());
+        let mut neg_col = vec![None; problem.variables.len()];
+        for (i, v) in problem.variables.iter().enumerate() {
+            pos_col.push(origins.len());
+            origins.push(ColumnOrigin::Positive(i));
+            if v.kind == VarKind::Free {
+                neg_col[i] = Some(origins.len());
+                origins.push(ColumnOrigin::Negative(i));
+            }
+        }
+        let slack_base = origins.len();
+        let mut n_slacks = 0usize;
+        for (ci, cons) in problem.constraints.iter().enumerate() {
+            if cons.relation != Relation::Eq {
+                origins.push(ColumnOrigin::Slack(ci));
+                n_slacks += 1;
+            }
+        }
+        let n = origins.len();
+        let m = problem.constraints.len();
+        let mut a = Matrix::zeros(m, n);
+        let mut b = vec![0.0; m];
+        let mut row_scale = vec![1.0; m];
+        let mut slack_cursor = slack_base;
+        let _ = n_slacks;
+        for (ri, cons) in problem.constraints.iter().enumerate() {
+            for &(vi, coeff) in &cons.terms {
+                a[(ri, pos_col[vi])] += coeff;
+                if let Some(nc) = neg_col[vi] {
+                    a[(ri, nc)] -= coeff;
+                }
+            }
+            match cons.relation {
+                Relation::Le => {
+                    a[(ri, slack_cursor)] = 1.0;
+                    slack_cursor += 1;
+                }
+                Relation::Ge => {
+                    a[(ri, slack_cursor)] = -1.0;
+                    slack_cursor += 1;
+                }
+                Relation::Eq => {}
+            }
+            b[ri] = cons.rhs;
+            if b[ri] < 0.0 {
+                row_scale[ri] = -1.0;
+                b[ri] = -b[ri];
+                for c in 0..n {
+                    a[(ri, c)] = -a[(ri, c)];
+                }
+            }
+        }
+        let maximized = problem.sense == Sense::Maximize;
+        let mut c = vec![0.0; n];
+        for (i, v) in problem.variables.iter().enumerate() {
+            let coeff = if maximized { -v.objective } else { v.objective };
+            c[pos_col[i]] = coeff;
+            if let Some(nc) = neg_col[i] {
+                c[nc] = -coeff;
+            }
+        }
+        StandardForm {
+            a,
+            b,
+            c,
+            origins,
+            row_scale,
+            maximized,
+        }
+    }
+
+    /// Number of standard-form columns.
+    pub fn num_columns(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Number of rows (constraints).
+    pub fn num_rows(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Map a raw standard-form solution back to the original problem space.
+    pub fn recover(&self, problem: &Problem, raw: RawSolution) -> Solution {
+        let mut values = vec![0.0; problem.num_variables()];
+        for (col, origin) in self.origins.iter().enumerate() {
+            match *origin {
+                ColumnOrigin::Positive(i) => values[i] += raw.x[col],
+                ColumnOrigin::Negative(i) => values[i] -= raw.x[col],
+                ColumnOrigin::Slack(_) => {}
+            }
+        }
+        // Recompute the objective from original coefficients: cheap, and it
+        // sidesteps sign bookkeeping entirely.
+        let objective = problem
+            .variables
+            .iter()
+            .zip(&values)
+            .map(|(v, &x)| v.objective * x)
+            .sum();
+        // Undo row scaling on duals; a maximization problem's duals are the
+        // negation of the minimized surrogate's.
+        let duals = raw
+            .duals
+            .iter()
+            .zip(&self.row_scale)
+            .map(|(&y, &s)| {
+                let y = y * s;
+                if self.maximized {
+                    -y
+                } else {
+                    y
+                }
+            })
+            .collect();
+        Solution {
+            status: Status::Optimal,
+            objective,
+            values,
+            duals,
+            pivots: raw.pivots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation, Sense};
+
+    fn toy() -> Problem {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_free_variable("y");
+        p.set_objective(x, 2.0);
+        p.set_objective(y, -1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 3.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, -2.0);
+        p.add_constraint(&[(y, 2.0)], Relation::Eq, 1.0);
+        p
+    }
+
+    #[test]
+    fn column_layout_and_slacks() {
+        let sf = StandardForm::from_problem(&toy());
+        // Columns: x, y+, y-, slack(c0), surplus(c1). Eq row adds none.
+        assert_eq!(sf.num_columns(), 5);
+        assert_eq!(sf.num_rows(), 3);
+        assert_eq!(
+            sf.origins,
+            vec![
+                ColumnOrigin::Positive(0),
+                ColumnOrigin::Positive(1),
+                ColumnOrigin::Negative(1),
+                ColumnOrigin::Slack(0),
+                ColumnOrigin::Slack(1),
+            ]
+        );
+        // Row 0 (≤): slack +1.
+        assert_eq!(sf.a[(0, 3)], 1.0);
+        // Row 1 (≥ with negative rhs): flipped, so surplus -1 became +1 and
+        // the x coefficient flipped to -1 with rhs +2.
+        assert_eq!(sf.row_scale[1], -1.0);
+        assert_eq!(sf.b[1], 2.0);
+        assert_eq!(sf.a[(1, 0)], -1.0);
+        assert_eq!(sf.a[(1, 4)], 1.0);
+        // Free variable split shows up with opposite signs.
+        assert_eq!(sf.a[(2, 1)], 2.0);
+        assert_eq!(sf.a[(2, 2)], -2.0);
+        assert_eq!(sf.c, vec![2.0, -1.0, 1.0, 0.0, 0.0]);
+        assert!(!sf.maximized);
+    }
+
+    #[test]
+    fn maximization_negates_costs() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 3.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        let sf = StandardForm::from_problem(&p);
+        assert_eq!(sf.c[0], -3.0);
+        assert!(sf.maximized);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.add_constraint(&[(x, 1.0), (x, 2.0)], Relation::Eq, 6.0);
+        let sf = StandardForm::from_problem(&p);
+        assert_eq!(sf.a[(0, 0)], 3.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Independent certification of a claimed LP solution.
+//!
+//! [`verify_solution`] re-checks, from the original modeling-form data and
+//! without trusting any solver internals:
+//!
+//! 1. **primal feasibility** — every constraint and sign restriction holds
+//!    within tolerance;
+//! 2. **dual sign feasibility** — duals carry the sign their relation
+//!    requires for the problem's sense;
+//! 3. **strong duality** — `bᵀy` matches the primal objective;
+//! 4. **complementary slackness** — non-binding constraints have zero duals.
+//!
+//! The redundancy-core crate runs this audit on every assignment-minimizing
+//! distribution it computes, so a simplex bug cannot silently corrupt the
+//! paper's Figure 1/Figure 2 reproductions.
+
+use crate::problem::{Problem, Relation, Sense, VarKind};
+use crate::solution::Solution;
+
+/// Outcome of auditing a solution, with worst-case violation magnitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Largest violation of any primal constraint (0 if all hold).
+    pub primal_violation: f64,
+    /// Largest violation of a variable sign restriction.
+    pub sign_violation: f64,
+    /// Largest dual with the wrong sign for its relation.
+    pub dual_sign_violation: f64,
+    /// `|bᵀy − cᵀx|`, the strong-duality gap.
+    pub duality_gap: f64,
+    /// Largest `|yᵢ·slackᵢ|` (complementary slackness residual).
+    pub complementarity: f64,
+}
+
+impl VerifyReport {
+    /// True if every audit passes at tolerance `tol` (the duality-style
+    /// checks use a relative-scaled tolerance).
+    pub fn is_ok(&self, tol: f64) -> bool {
+        self.primal_violation <= tol
+            && self.sign_violation <= tol
+            && self.dual_sign_violation <= tol
+            && self.duality_gap <= tol
+            && self.complementarity <= tol
+    }
+}
+
+/// Audit `solution` against `problem`. Tolerances scale with the magnitude
+/// of the data so large-N problems (the paper uses N up to 10⁷) verify
+/// cleanly.
+pub fn verify_solution(problem: &Problem, solution: &Solution) -> VerifyReport {
+    let x = &solution.values;
+    let scale = 1.0_f64
+        .max(solution.objective.abs())
+        .max(x.iter().fold(0.0_f64, |m, v| m.max(v.abs())));
+
+    let mut primal_violation = 0.0_f64;
+    let mut complementarity = 0.0_f64;
+    let mut dual_sign_violation = 0.0_f64;
+    let mut dual_objective = 0.0_f64;
+
+    for (ci, cons) in problem.constraints.iter().enumerate() {
+        let lhs: f64 = cons.terms.iter().map(|&(vi, c)| c * x[vi]).sum();
+        let slack = lhs - cons.rhs;
+        let violation = match cons.relation {
+            Relation::Le => slack.max(0.0),
+            Relation::Ge => (-slack).max(0.0),
+            Relation::Eq => slack.abs(),
+        };
+        primal_violation = primal_violation.max(violation / scale);
+
+        let y = solution.duals.get(ci).copied().unwrap_or(0.0);
+        dual_objective += y * cons.rhs;
+        // Sign convention (minimization): y ≥ 0 for ≥ rows, y ≤ 0 for ≤ rows.
+        // For maximization the convention flips.
+        let signed = match (problem.sense, cons.relation) {
+            (_, Relation::Eq) => 0.0,
+            (Sense::Minimize, Relation::Ge) | (Sense::Maximize, Relation::Le) => (-y).max(0.0),
+            (Sense::Minimize, Relation::Le) | (Sense::Maximize, Relation::Ge) => y.max(0.0),
+        };
+        dual_sign_violation = dual_sign_violation.max(signed / scale);
+        complementarity = complementarity.max((y * slack).abs() / (scale * scale).max(scale));
+    }
+
+    let mut sign_violation = 0.0_f64;
+    for (v, &val) in problem.variables.iter().zip(x) {
+        if v.kind == VarKind::NonNegative {
+            sign_violation = sign_violation.max((-val).max(0.0) / scale);
+        }
+    }
+
+    let duality_gap = (dual_objective - solution.objective).abs() / scale;
+
+    VerifyReport {
+        primal_violation,
+        sign_violation,
+        dual_sign_violation,
+        duality_gap,
+        complementarity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation, Sense};
+    use crate::solution::Status;
+
+    fn diet_problem() -> Problem {
+        // min 0.6x + 1.0y s.t. 10x + 4y >= 20, 5x + 5y >= 20, x,y >= 0.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 0.6);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 10.0), (y, 4.0)], Relation::Ge, 20.0);
+        p.add_constraint(&[(x, 5.0), (y, 5.0)], Relation::Ge, 20.0);
+        p
+    }
+
+    #[test]
+    fn solver_output_passes_audit() {
+        let p = diet_problem();
+        let s = p.solve().unwrap();
+        let report = verify_solution(&p, &s);
+        assert!(report.is_ok(1e-7), "{report:?}");
+    }
+
+    #[test]
+    fn audit_catches_infeasible_point() {
+        let p = diet_problem();
+        let fake = Solution {
+            status: Status::Optimal,
+            objective: 0.0,
+            values: vec![0.0, 0.0],
+            duals: vec![0.0, 0.0],
+            pivots: 0,
+        };
+        let report = verify_solution(&p, &fake);
+        assert!(report.primal_violation > 1.0);
+    }
+
+    #[test]
+    fn audit_catches_negative_variable() {
+        let p = diet_problem();
+        let fake = Solution {
+            status: Status::Optimal,
+            objective: 100.0,
+            values: vec![100.0, -1.0],
+            duals: vec![0.0, 0.0],
+            pivots: 0,
+        };
+        let report = verify_solution(&p, &fake);
+        assert!(report.sign_violation > 0.0);
+    }
+
+    #[test]
+    fn audit_catches_wrong_duals() {
+        let p = diet_problem();
+        let mut s = p.solve().unwrap();
+        s.duals = vec![-5.0, -5.0]; // wrong sign for ≥ rows under min
+        let report = verify_solution(&p, &s);
+        assert!(report.dual_sign_violation > 0.0 || report.duality_gap > 0.0);
+    }
+
+    #[test]
+    fn audit_catches_duality_gap() {
+        let p = diet_problem();
+        let mut s = p.solve().unwrap();
+        s.duals = vec![0.0, 0.0];
+        let report = verify_solution(&p, &s);
+        assert!(report.duality_gap > 0.1);
+    }
+
+    #[test]
+    fn maximization_duals_verify() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 3.0);
+        p.set_objective(y, 5.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let s = p.solve().unwrap();
+        let report = verify_solution(&p, &s);
+        assert!(report.is_ok(1e-7), "{report:?}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate random bounded LPs, solve them, and check
+//! (a) the independent audit in `redundancy_lp::verify` passes, and
+//! (b) no randomly sampled feasible point beats the reported optimum.
+
+use proptest::prelude::*;
+use redundancy_lp::{verify_solution, Problem, Relation, Sense};
+
+/// Build a bounded random minimization LP:
+/// `min cᵀx  s.t.  Aᵢx ≥ bᵢ (coverage rows), x ≤ u (box), x ≥ 0`.
+///
+/// Non-negative costs plus box constraints guarantee the LP is feasible
+/// (x = u is feasible when every row satisfies Aᵢu ≥ bᵢ, enforced by
+/// construction) and bounded.
+fn random_lp(
+    n: usize,
+    costs: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    demands: Vec<f64>,
+    upper: f64,
+) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let vars: Vec<_> = (0..n).map(|i| p.add_variable(format!("x{i}"))).collect();
+    for (v, c) in vars.iter().zip(&costs) {
+        p.set_objective(*v, *c);
+    }
+    for (row, &d) in rows.iter().zip(&demands) {
+        let lhs_at_upper: f64 = row.iter().sum::<f64>() * upper;
+        // Clamp demand so the all-`upper` point stays feasible.
+        let demand = d.min(lhs_at_upper * 0.9);
+        let terms: Vec<_> = vars.iter().copied().zip(row.iter().copied()).collect();
+        p.add_constraint(&terms, Relation::Ge, demand);
+    }
+    for v in &vars {
+        p.add_constraint(&[(*v, 1.0)], Relation::Le, upper);
+    }
+    p
+}
+
+fn feasible(
+    rows: &[Vec<f64>],
+    demands: &[f64],
+    upper: f64,
+    x: &[f64],
+) -> bool {
+    if x.iter().any(|&v| v < 0.0 || v > upper) {
+        return false;
+    }
+    rows.iter().zip(demands).all(|(row, &d)| {
+        let lhs: f64 = row.iter().zip(x).map(|(a, v)| a * v).sum();
+        let lhs_at_upper: f64 = row.iter().sum::<f64>() * upper;
+        lhs >= d.min(lhs_at_upper * 0.9) - 1e-9
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solver_beats_random_feasible_points(
+        n in 2usize..5,
+        seed_costs in proptest::collection::vec(0.1f64..10.0, 5),
+        seed_rows in proptest::collection::vec(
+            proptest::collection::vec(0.05f64..4.0, 5), 1..4),
+        seed_demands in proptest::collection::vec(0.5f64..20.0, 4),
+        samples in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 5), 16),
+        upper in 2.0f64..20.0,
+    ) {
+        let costs: Vec<f64> = seed_costs[..n].to_vec();
+        let rows: Vec<Vec<f64>> = seed_rows.iter().map(|r| r[..n].to_vec()).collect();
+        let demands: Vec<f64> = seed_demands[..rows.len()].to_vec();
+        let p = random_lp(n, costs.clone(), rows.clone(), demands.clone(), upper);
+        let sol = p.solve().expect("bounded feasible LP must solve");
+
+        // Independent audit: feasibility, duality gap, complementary slackness.
+        let report = verify_solution(&p, &sol);
+        prop_assert!(report.is_ok(1e-6), "audit failed: {report:?}");
+
+        // The optimum must not be beaten by any sampled feasible point.
+        for s in &samples {
+            let x: Vec<f64> = s[..n].iter().map(|u| u * upper).collect();
+            if feasible(&rows, &demands, upper, &x) {
+                let obj: f64 = costs.iter().zip(&x).map(|(c, v)| c * v).sum();
+                prop_assert!(
+                    sol.objective <= obj + 1e-6,
+                    "solver {:.6} beaten by sample {:.6}", sol.objective, obj
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equality_lps_solve_and_audit(
+        a in 0.2f64..5.0,
+        b in 0.2f64..5.0,
+        rhs in 1.0f64..50.0,
+        c1 in 0.1f64..10.0,
+        c2 in 0.1f64..10.0,
+    ) {
+        // min c1·x + c2·y  s.t.  a·x + b·y = rhs — optimum picks the cheaper
+        // cost-per-unit-of-constraint variable.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, c1);
+        p.set_objective(y, c2);
+        p.add_constraint(&[(x, a), (y, b)], Relation::Eq, rhs);
+        let sol = p.solve().expect("must solve");
+        let expect = (c1 / a).min(c2 / b) * rhs;
+        prop_assert!((sol.objective - expect).abs() < 1e-6 * expect.max(1.0),
+            "got {} expected {}", sol.objective, expect);
+        let report = verify_solution(&p, &sol);
+        prop_assert!(report.is_ok(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn presolve_preserves_the_optimum(
+        n in 2usize..5,
+        seed_costs in proptest::collection::vec(0.1f64..10.0, 5),
+        seed_rows in proptest::collection::vec(
+            proptest::collection::vec(0.05f64..4.0, 5), 1..4),
+        seed_demands in proptest::collection::vec(0.5f64..20.0, 4),
+        upper in 2.0f64..20.0,
+        fix_value in 0.0f64..5.0,
+    ) {
+        let costs: Vec<f64> = seed_costs[..n].to_vec();
+        let rows: Vec<Vec<f64>> = seed_rows.iter().map(|r| r[..n].to_vec()).collect();
+        let demands: Vec<f64> = seed_demands[..rows.len()].to_vec();
+        let mut p = random_lp(n, costs, rows.clone(), demands, upper);
+        // Adjoin an extra fixed variable and a duplicated constraint so the
+        // reductions actually fire.
+        let extra = p.add_variable("extra");
+        p.set_objective(extra, 1.0);
+        p.add_constraint(&[(extra, 2.0)], Relation::Eq, 2.0 * fix_value);
+        let direct = p.solve().expect("solvable");
+        let (pre, _stats) = redundancy_lp::solve_with_presolve(&p).expect("solvable");
+        prop_assert!(
+            (direct.objective - pre.objective).abs() < 1e-6 * direct.objective.abs().max(1.0),
+            "direct {} vs presolved {}", direct.objective, pre.objective
+        );
+        prop_assert!((pre.value(extra) - fix_value).abs() < 1e-9);
+        let report = verify_solution(&p, &pre);
+        prop_assert!(report.primal_violation < 1e-6 && report.sign_violation < 1e-6,
+            "{report:?}");
+    }
+
+    #[test]
+    fn mps_round_trip_preserves_optimum(
+        n in 2usize..5,
+        seed_costs in proptest::collection::vec(0.1f64..10.0, 5),
+        seed_rows in proptest::collection::vec(
+            proptest::collection::vec(0.05f64..4.0, 5), 1..4),
+        seed_demands in proptest::collection::vec(0.5f64..20.0, 4),
+        upper in 2.0f64..20.0,
+    ) {
+        let costs: Vec<f64> = seed_costs[..n].to_vec();
+        let rows: Vec<Vec<f64>> = seed_rows.iter().map(|r| r[..n].to_vec()).collect();
+        let demands: Vec<f64> = seed_demands[..rows.len()].to_vec();
+        let p = random_lp(n, costs, rows, demands, upper);
+        let direct = p.solve().expect("solvable");
+        let doc = redundancy_lp::write_mps(&p, "PROP");
+        let reparsed = redundancy_lp::parse_mps(&doc).expect("round trip parses");
+        let re = reparsed.solve().expect("round trip solves");
+        prop_assert!(
+            (direct.objective - re.objective).abs()
+                < 1e-6 * direct.objective.abs().max(1.0),
+            "direct {} vs round-trip {}", direct.objective, re.objective
+        );
+    }
+
+    #[test]
+    fn infeasible_boxes_are_detected(lo in 1.0f64..10.0, gap in 0.5f64..5.0) {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, lo + gap);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, lo);
+        let infeasible = matches!(
+            p.solve(),
+            Err(redundancy_lp::LpError::Infeasible { .. })
+        );
+        prop_assert!(infeasible);
+    }
+}

@@ -1,0 +1,128 @@
+#![warn(missing_docs)]
+
+//! # redundancy-repro — regenerate every table and figure of the paper
+//!
+//! One binary per exhibit (see DESIGN.md's per-experiment index):
+//!
+//! | Binary | Exhibit | Output |
+//! |---|---|---|
+//! | `fig1_detection_vs_p` | Figure 1 | detection vs adversary proportion, Balanced vs `S₉`/`S₂₆` |
+//! | `fig2_minimizing_table` | Figure 2 | per-dimension precompute / factor / min `P_{k,p}` table |
+//! | `fig3_redundancy_factors` | Figure 3 | redundancy factor vs ε for all four curves |
+//! | `fig4_assignment_table` | Figure 4 | per-multiplicity task counts, Balanced vs GS vs simple |
+//! | `sec6_implementation` | §6 | worked tail/ringer examples |
+//! | `sec7_extension` | §7 | minimum-multiplicity redundancy factors |
+//! | `theory_checks` | Thm 1, Props 1–3 | numeric verification of every analytic claim |
+//! | `appendix_a_collusion` | Appendix A | two-phase `p²N` law and `1/√N` threshold |
+//! | `empirical_detection` | (ours) | simulated `P̂_{k,p}` vs closed forms |
+//!
+//! Every binary prints a plain-text table (via `redundancy_stats::table`)
+//! and, when given `--csv <path>`, also writes machine-readable CSV.  All
+//! randomized binaries take `--seed <u64>` (default 20050926, the
+//! CLUSTER 2005 conference date) so EXPERIMENTS.md is exactly replayable.
+
+use std::fmt::Write as _;
+
+/// Shared CLI conventions for the repro binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// RNG seed (`--seed`).
+    pub seed: u64,
+    /// Optional CSV output path (`--csv`).
+    pub csv: Option<String>,
+    /// Scale factor for Monte-Carlo effort (`--trials-scale`), ≥ 1.
+    pub trials_scale: u64,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            seed: 20_050_926,
+            csv: None,
+            trials_scale: 1,
+        }
+    }
+}
+
+impl Cli {
+    /// Parse from `std::env::args`, ignoring unknown flags.
+    pub fn parse() -> Self {
+        let mut cli = Cli::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" if i + 1 < args.len() => {
+                    cli.seed = args[i + 1].parse().unwrap_or(cli.seed);
+                    i += 1;
+                }
+                "--csv" if i + 1 < args.len() => {
+                    cli.csv = Some(args[i + 1].clone());
+                    i += 1;
+                }
+                "--trials-scale" if i + 1 < args.len() => {
+                    cli.trials_scale = args[i + 1].parse::<u64>().unwrap_or(1).max(1);
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        cli
+    }
+
+    /// Write CSV rows if `--csv` was given.
+    pub fn maybe_write_csv(&self, header: &str, rows: &[Vec<String>]) {
+        let Some(path) = &self.csv else { return };
+        let mut out = String::new();
+        out.push_str(header);
+        out.push('\n');
+        for row in rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("warning: could not write CSV to {path}: {e}");
+        } else {
+            println!("\n[csv written to {path}]");
+        }
+    }
+}
+
+/// Print a standard exhibit banner.
+pub fn banner(exhibit: &str, description: &str) {
+    println!("=== {exhibit} ===");
+    println!("{description}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli() {
+        let cli = Cli::default();
+        assert_eq!(cli.seed, 20_050_926);
+        assert!(cli.csv.is_none());
+        assert_eq!(cli.trials_scale, 1);
+    }
+
+    #[test]
+    fn csv_noop_without_flag() {
+        let cli = Cli::default();
+        cli.maybe_write_csv("a,b", &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn csv_writes_when_asked() {
+        let path = std::env::temp_dir().join("repro_cli_test.csv");
+        let cli = Cli {
+            csv: Some(path.to_string_lossy().into_owned()),
+            ..Cli::default()
+        };
+        cli.maybe_write_csv("a,b", &[vec!["1".into(), "2".into()]]);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,176 @@
+//! The global colluding adversary: control model and cheating strategy.
+//!
+//! The paper's adversary (Section 2) is *global* and *intelligent*: she
+//! knows the distribution algorithm and the protection measures, controls
+//! many participants, and colludes perfectly across them — but she does
+//! not know the multiplicity of the tasks she holds, only how many copies
+//! of each landed in her hands.
+
+use serde::{Deserialize, Serialize};
+
+/// How the adversary's share of the platform is modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdversaryModel {
+    /// Each assignment independently lands with the adversary with
+    /// probability `p` — the exact model behind the paper's `P_{k,p}`.
+    AssignmentFraction {
+        /// Adversary's proportion of assignments, `0 ≤ p < 1`.
+        p: f64,
+    },
+    /// The adversary owns `adversary` of `total` equal-throughput accounts
+    /// (the Sybil picture from the paper's introduction); assignments are
+    /// dealt to accounts uniformly at random.
+    SybilAccounts {
+        /// Pool size.
+        total: u32,
+        /// Accounts the adversary registered.
+        adversary: u32,
+    },
+}
+
+impl AdversaryModel {
+    /// The (expected) proportion of assignments the adversary controls.
+    pub fn proportion(&self) -> f64 {
+        match *self {
+            AdversaryModel::AssignmentFraction { p } => p,
+            AdversaryModel::SybilAccounts { total, adversary } => {
+                adversary as f64 / total as f64
+            }
+        }
+    }
+
+    /// Validate the model's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            AdversaryModel::AssignmentFraction { p } => {
+                if p.is_finite() && (0.0..1.0).contains(&p) {
+                    Ok(())
+                } else {
+                    Err(format!("assignment fraction p = {p} outside [0, 1)"))
+                }
+            }
+            AdversaryModel::SybilAccounts { total, adversary } => {
+                if total == 0 {
+                    Err("participant pool is empty".into())
+                } else if adversary >= total {
+                    Err(format!(
+                        "adversary owns {adversary} of {total} accounts — nobody honest remains"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Which of her tasks the adversary attacks, given only the number of
+/// copies `k` she holds of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheatStrategy {
+    /// Never cheat (honest baseline / false-positive calibration).
+    Never,
+    /// Cheat on every task she holds at least one copy of (the naive
+    /// adversary; heavily punished by every scheme).
+    Always,
+    /// Cheat exactly on the tasks of which she holds `k` copies — the
+    /// conditional experiment behind `P_{k,p}`.
+    ExactTuples {
+        /// The tuple size to attack.
+        k: u32,
+    },
+    /// Cheat on every task of which she holds at least `min_copies`
+    /// copies (an adversary betting that many copies ⇒ full control).
+    AtLeast {
+        /// Minimum holding to trigger an attack.
+        min_copies: u32,
+    },
+    /// The intelligent adversary of Section 3.1: attack the tuple size
+    /// with the lowest detection probability under the announced scheme
+    /// (for Golle–Stubblebine that is always `k = 1`; for Balanced all
+    /// sizes are equally protected so the choice is irrelevant).
+    WeakestTuple {
+        /// The tuple size the adversary computed to be weakest.
+        k: u32,
+    },
+}
+
+impl CheatStrategy {
+    /// Does the adversary cheat on a task of which she holds `copies`?
+    #[inline]
+    pub fn cheats_on(&self, copies: u32) -> bool {
+        if copies == 0 {
+            return false;
+        }
+        match *self {
+            CheatStrategy::Never => false,
+            CheatStrategy::Always => true,
+            CheatStrategy::ExactTuples { k } | CheatStrategy::WeakestTuple { k } => copies == k,
+            CheatStrategy::AtLeast { min_copies } => copies >= min_copies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_proportions() {
+        assert_eq!(
+            AdversaryModel::AssignmentFraction { p: 0.25 }.proportion(),
+            0.25
+        );
+        assert_eq!(
+            AdversaryModel::SybilAccounts {
+                total: 200,
+                adversary: 50
+            }
+            .proportion(),
+            0.25
+        );
+    }
+
+    #[test]
+    fn model_validation() {
+        assert!(AdversaryModel::AssignmentFraction { p: 0.0 }.validate().is_ok());
+        assert!(AdversaryModel::AssignmentFraction { p: 1.0 }.validate().is_err());
+        assert!(AdversaryModel::AssignmentFraction { p: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(AdversaryModel::SybilAccounts {
+            total: 10,
+            adversary: 3
+        }
+        .validate()
+        .is_ok());
+        assert!(AdversaryModel::SybilAccounts {
+            total: 10,
+            adversary: 10
+        }
+        .validate()
+        .is_err());
+        assert!(AdversaryModel::SybilAccounts {
+            total: 0,
+            adversary: 0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn strategies_decide_correctly() {
+        assert!(!CheatStrategy::Never.cheats_on(5));
+        assert!(CheatStrategy::Always.cheats_on(1));
+        assert!(!CheatStrategy::Always.cheats_on(0));
+        let exact = CheatStrategy::ExactTuples { k: 2 };
+        assert!(exact.cheats_on(2));
+        assert!(!exact.cheats_on(1));
+        assert!(!exact.cheats_on(3));
+        let at_least = CheatStrategy::AtLeast { min_copies: 3 };
+        assert!(!at_least.cheats_on(2));
+        assert!(at_least.cheats_on(3));
+        assert!(at_least.cheats_on(7));
+        assert!(CheatStrategy::WeakestTuple { k: 1 }.cheats_on(1));
+    }
+}

@@ -1,0 +1,275 @@
+//! The campaign engine: one full supervisor round against the adversary.
+//!
+//! For every task the engine draws how many copies the adversary holds
+//! (binomial under [`AdversaryModel::AssignmentFraction`]; hypergeometric
+//! under [`AdversaryModel::SybilAccounts`], since real platforms send the
+//! copies of one task to *distinct* hosts), materializes the returned
+//! result values — honest, honestly-faulty, or colluded-wrong — and runs
+//! the supervisor's comparison, tallying detections per tuple size.
+
+use crate::adversary::{AdversaryModel, CheatStrategy};
+use crate::outcome::CampaignOutcome;
+use crate::supervisor::{Supervisor, VerificationPolicy};
+use crate::task::{colluded_wrong_result, correct_result, faulty_result, TaskSpec};
+use redundancy_stats::samplers::{sample_binomial, sample_hypergeometric};
+use redundancy_stats::DeterministicRng;
+
+/// Everything a campaign needs besides its task list and RNG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// How the adversary's platform share is modeled.
+    pub adversary: AdversaryModel,
+    /// Which holdings she attacks.
+    pub strategy: CheatStrategy,
+    /// Probability an honest copy returns a wrong (non-malicious) result.
+    pub honest_error_rate: f64,
+    /// The supervisor's reconciliation policy.
+    pub policy: VerificationPolicy,
+}
+
+impl CampaignConfig {
+    /// Standard configuration: no honest faults, unanimity required.
+    pub fn new(adversary: AdversaryModel, strategy: CheatStrategy) -> Self {
+        CampaignConfig {
+            adversary,
+            strategy,
+            honest_error_rate: 0.0,
+            policy: VerificationPolicy::Unanimous,
+        }
+    }
+
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.adversary.validate()?;
+        if !(0.0..=1.0).contains(&self.honest_error_rate) {
+            return Err(format!(
+                "honest error rate {} outside [0, 1]",
+                self.honest_error_rate
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Run one campaign over `tasks`, accumulating into `outcome`.
+///
+/// The engine is deterministic given the RNG state, so campaigns replay
+/// exactly under the Monte-Carlo driver's per-chunk seeds.
+pub fn run_campaign(
+    tasks: &[TaskSpec],
+    config: &CampaignConfig,
+    rng: &mut DeterministicRng,
+    outcome: &mut CampaignOutcome,
+) {
+    debug_assert!(config.validate().is_ok(), "invalid campaign config");
+    let supervisor = Supervisor::new(config.policy);
+    outcome.campaigns += 1;
+    let mut results = Vec::with_capacity(32);
+    for task in tasks {
+        let mult = task.multiplicity as u64;
+        outcome.tasks += 1;
+        outcome.assignments += mult;
+        let held = match config.adversary {
+            AdversaryModel::AssignmentFraction { p } => sample_binomial(rng, mult, p),
+            AdversaryModel::SybilAccounts { total, adversary } => {
+                // Copies of one task go to distinct accounts.
+                sample_hypergeometric(rng, total as u64, adversary as u64, mult.min(total as u64))
+            }
+        } as u32;
+        outcome.holdings.record(held as usize);
+        let cheats = config.strategy.cheats_on(held);
+
+        // Materialize the returned copies: the adversary's first, then the
+        // honest hosts'.
+        results.clear();
+        let wrong = colluded_wrong_result(task.id);
+        let right = correct_result(task.id);
+        for _ in 0..held {
+            results.push(if cheats { wrong } else { right });
+        }
+        for j in held as u64..mult {
+            let faulty =
+                config.honest_error_rate > 0.0 && rng.bernoulli(config.honest_error_rate);
+            results.push(if faulty {
+                faulty_result(task.id, j ^ rng.next_raw())
+            } else {
+                right
+            });
+        }
+
+        let verdict = supervisor.verify(task, &results);
+        if cheats {
+            outcome.record_cheat(held as usize, verdict.flagged);
+            if verdict.accepted == Some(wrong) {
+                outcome.wrong_accepted += 1;
+            }
+        } else if verdict.flagged {
+            outcome.false_flags += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::expand_plan;
+    use redundancy_core::RealizedPlan;
+
+    fn specs(n: u64, eps: f64) -> Vec<TaskSpec> {
+        expand_plan(&RealizedPlan::balanced(n, eps).unwrap())
+    }
+
+    fn run(tasks: &[TaskSpec], cfg: &CampaignConfig, seed: u64) -> CampaignOutcome {
+        let mut rng = DeterministicRng::new(seed);
+        let mut out = CampaignOutcome::default();
+        run_campaign(tasks, cfg, &mut rng, &mut out);
+        out
+    }
+
+    #[test]
+    fn honest_campaign_has_no_flags() {
+        let tasks = specs(5_000, 0.5);
+        let cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.0 },
+            CheatStrategy::Never,
+        );
+        let out = run(&tasks, &cfg, 1);
+        assert_eq!(out.total_attempted(), 0);
+        assert_eq!(out.false_flags, 0);
+        assert_eq!(out.wrong_accepted, 0);
+        assert_eq!(out.tasks, tasks.len() as u64);
+    }
+
+    #[test]
+    fn naive_always_cheater_detected_at_proposition3_rate() {
+        // Under Balanced, P_{k,p} is the *same* for every k (Proposition
+        // 3), so even the cheat-on-everything adversary is detected per
+        // attack at exactly 1 − (1−ε)^{1−p} — here ≈ 0.4257.
+        let tasks = specs(5_000, 0.5);
+        let cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        );
+        let out = run(&tasks, &cfg, 2);
+        assert!(out.total_attempted() > 500);
+        let rate = out.overall_detection_rate().unwrap();
+        let expect = 1.0 - 0.5f64.powf(0.8);
+        assert!((rate - expect).abs() < 0.03, "overall detection {rate} vs {expect}");
+    }
+
+    #[test]
+    fn full_control_without_ringers_escapes() {
+        // 2-fold plan, adversary holds both copies, cheats: never flagged,
+        // wrong result accepted — the paper's motivating failure.
+        let plan = RealizedPlan::k_fold(2_000, 2, 0.5).unwrap();
+        let tasks = expand_plan(&plan);
+        let cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.3 },
+            CheatStrategy::ExactTuples { k: 2 },
+        );
+        let out = run(&tasks, &cfg, 3);
+        assert!(out.total_attempted() > 50);
+        assert_eq!(out.total_detected(), 0, "collusion on both copies is invisible");
+        assert_eq!(out.wrong_accepted, out.total_attempted());
+    }
+
+    #[test]
+    fn balanced_plan_detects_at_epsilon_rate() {
+        // ExactTuples(1) at small p: detection rate should be near
+        // P_{1,p} = 1 − (1−ε)^{1−p}.
+        let eps = 0.5;
+        let p = 0.1;
+        let tasks = specs(20_000, eps);
+        let cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p },
+            CheatStrategy::ExactTuples { k: 1 },
+        );
+        let mut out = CampaignOutcome::default();
+        let mut rng = DeterministicRng::new(4);
+        for _ in 0..10 {
+            run_campaign(&tasks, &cfg, &mut rng, &mut out);
+        }
+        let expect = 1.0 - (1.0 - eps).powf(1.0 - p);
+        let rate = out.detection_rate(1).unwrap();
+        assert!(
+            (rate - expect).abs() < 0.02,
+            "empirical {rate} vs closed-form {expect}"
+        );
+    }
+
+    #[test]
+    fn sybil_model_matches_fraction_model_closely() {
+        let tasks = specs(20_000, 0.75);
+        let frac = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.1 },
+            CheatStrategy::ExactTuples { k: 2 },
+        );
+        let sybil = CampaignConfig::new(
+            AdversaryModel::SybilAccounts {
+                total: 10_000,
+                adversary: 1_000,
+            },
+            CheatStrategy::ExactTuples { k: 2 },
+        );
+        let a = run(&tasks, &frac, 5);
+        let b = run(&tasks, &sybil, 5);
+        let ra = a.detection_rate(2).unwrap_or(1.0);
+        let rb = b.detection_rate(2).unwrap_or(1.0);
+        assert!((ra - rb).abs() < 0.08, "{ra} vs {rb}");
+    }
+
+    #[test]
+    fn honest_errors_cause_false_flags_only() {
+        let tasks = specs(10_000, 0.5);
+        let mut cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.0 },
+            CheatStrategy::Never,
+        );
+        cfg.honest_error_rate = 0.02;
+        let out = run(&tasks, &cfg, 6);
+        assert!(out.false_flags > 0, "2% fault rate must trip comparisons");
+        assert_eq!(out.total_attempted(), 0);
+    }
+
+    #[test]
+    fn ringers_catch_full_control_cheats() {
+        // Attack exactly the tail multiplicity i_f: without ringers those
+        // cheats would all escape; the plan's ringers must catch ≈ ε of the
+        // i_f-tuples (the adversary cannot distinguish tail tasks from
+        // ringers).
+        // A near-total adversary (p = 0.9) frequently holds all i_f copies
+        // of tail tasks; only ringers stand between her and free cheating.
+        let plan = RealizedPlan::balanced(100_000, 0.75).unwrap();
+        let i_f = plan.tail_multiplicity().unwrap() as u32;
+        let tasks = expand_plan(&plan);
+        let cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.9 },
+            CheatStrategy::ExactTuples { k: i_f },
+        );
+        let mut out = CampaignOutcome::default();
+        let mut rng = DeterministicRng::new(7);
+        for _ in 0..300 {
+            run_campaign(&tasks, &cfg, &mut rng, &mut out);
+        }
+        let attempted = out.cheats_attempted.get(i_f as usize).copied().unwrap_or(0);
+        assert!(attempted > 200, "need i_f-tuple attacks, got {attempted}");
+        let rate = out.detection_rate(i_f as usize).unwrap();
+        assert!(rate > 0.1, "ringers must catch i_f-tuple cheats, rate {rate}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.5 },
+            CheatStrategy::Never,
+        );
+        assert!(cfg.validate().is_ok());
+        cfg.honest_error_rate = 1.5;
+        assert!(cfg.validate().is_err());
+        let bad = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 1.0 },
+            CheatStrategy::Never,
+        );
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Monte-Carlo experiment driver: empirical `P̂_{k,p}` with confidence
+//! intervals, multi-threaded and exactly reproducible.
+
+use crate::adversary::{AdversaryModel, CheatStrategy};
+use crate::engine::{run_campaign, CampaignConfig};
+use crate::outcome::CampaignOutcome;
+use crate::task::{expand_plan, TaskSpec};
+use redundancy_core::RealizedPlan;
+use redundancy_stats::parallel::{run_trials, TrialConfig};
+use redundancy_stats::Proportion;
+
+/// Monte-Carlo parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Number of independent campaigns.
+    pub campaigns: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+}
+
+impl ExperimentConfig {
+    /// `campaigns` campaigns from `seed`, auto threads.
+    pub fn new(campaigns: u64, seed: u64) -> Self {
+        ExperimentConfig {
+            campaigns,
+            seed,
+            threads: 0,
+        }
+    }
+}
+
+/// Empirical detection estimates from a batch of campaigns.
+#[derive(Debug, Clone)]
+pub struct DetectionEstimate {
+    /// Raw aggregated outcome.
+    pub outcome: CampaignOutcome,
+}
+
+impl DetectionEstimate {
+    /// Estimated `P̂_{k,p}` as a [`Proportion`] (None if `k` never attacked).
+    pub fn at_tuple(&self, k: usize) -> Option<Proportion> {
+        let attempted = *self.outcome.cheats_attempted.get(k)?;
+        if attempted == 0 {
+            return None;
+        }
+        let mut p = Proportion::new();
+        p.push_batch(self.outcome.cheats_detected[k], attempted);
+        Some(p)
+    }
+
+    /// Overall detection proportion across every attacked tuple size.
+    pub fn overall(&self) -> Proportion {
+        let mut p = Proportion::new();
+        p.push_batch(
+            self.outcome.total_detected(),
+            self.outcome.total_attempted(),
+        );
+        p
+    }
+
+    /// True if the closed-form probability `expected` lies inside the
+    /// Wilson 99% interval of the `k`-tuple estimate (vacuously true when
+    /// `k` was never attacked).
+    pub fn consistent_with(&self, k: usize, expected: f64) -> bool {
+        match self.at_tuple(k) {
+            Some(p) => p.consistent_with(expected, 2.576),
+            None => true,
+        }
+    }
+}
+
+/// Run `config.campaigns` campaigns of `plan` under the given adversary and
+/// strategy, in parallel, and aggregate detections.
+pub fn detection_experiment(
+    plan: &RealizedPlan,
+    adversary: AdversaryModel,
+    strategy: CheatStrategy,
+    config: &ExperimentConfig,
+) -> DetectionEstimate {
+    let campaign = CampaignConfig::new(adversary, strategy);
+    detection_experiment_with(plan, &campaign, config)
+}
+
+/// As [`detection_experiment`] but with full campaign configuration
+/// (honest fault rate, verification policy).
+pub fn detection_experiment_with(
+    plan: &RealizedPlan,
+    campaign: &CampaignConfig,
+    config: &ExperimentConfig,
+) -> DetectionEstimate {
+    campaign
+        .validate()
+        .expect("invalid campaign configuration");
+    let tasks: Vec<TaskSpec> = expand_plan(plan);
+    let trial_cfg = TrialConfig {
+        trials: config.campaigns,
+        chunk_size: 4,
+        threads: config.threads,
+        seed: config.seed,
+    };
+    let outcome: CampaignOutcome = run_trials(
+        &trial_cfg,
+        |rng, _i, acc: &mut CampaignOutcome| run_campaign(&tasks, campaign, rng, acc),
+        |a, b| a.merge(&b),
+    );
+    DetectionEstimate { outcome }
+}
+
+/// Estimate detection rates for a *huge* plan by sampling tasks instead of
+/// enumerating all of them.
+///
+/// A supervisor planning a 10⁸-task computation does not need to simulate
+/// every task to know its detection profile: per-task outcomes are i.i.d.
+/// across tasks of the same partition, so sampling `samples` tasks with
+/// probabilities proportional to partition sizes (a Walker alias table)
+/// yields the same estimator at a fraction of the cost.  The estimates are
+/// unbiased for `P̂_{k,p}`; only totals (tasks/assignments) are scaled.
+pub fn sampled_detection_experiment(
+    plan: &RealizedPlan,
+    campaign: &CampaignConfig,
+    samples: u64,
+    config: &ExperimentConfig,
+) -> DetectionEstimate {
+    use redundancy_stats::samplers::AliasTable;
+    campaign
+        .validate()
+        .expect("invalid campaign configuration");
+    // One representative TaskSpec per partition + its weight.
+    let mut reps: Vec<TaskSpec> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    for (next_id, p) in plan.partitions().iter().enumerate() {
+        reps.push(TaskSpec {
+            id: crate::task::TaskId(next_id as u64),
+            multiplicity: p.multiplicity as u32,
+            precomputed: matches!(
+                p.kind,
+                redundancy_core::PartitionKind::Ringer | redundancy_core::PartitionKind::Verified
+            ),
+        });
+        weights.push(p.tasks as f64);
+    }
+    let table = AliasTable::new(&weights).expect("plan has tasks");
+    let trial_cfg = TrialConfig {
+        trials: config.campaigns,
+        chunk_size: 4,
+        threads: config.threads,
+        seed: config.seed,
+    };
+    let outcome: CampaignOutcome = run_trials(
+        &trial_cfg,
+        |rng, _i, acc: &mut CampaignOutcome| {
+            // Draw `samples` tasks ∝ partition sizes and run one campaign
+            // over the sampled multiset.
+            let sampled: Vec<TaskSpec> =
+                (0..samples).map(|_| reps[table.sample(rng)]).collect();
+            run_campaign(&sampled, campaign, rng, acc);
+        },
+        |a, b| a.merge(&b),
+    );
+    DetectionEstimate { outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_empirical_matches_proposition3() {
+        // P̂_{k,p} for k = 1, 2 must bracket 1 − (1−ε)^{1−p}.
+        let eps = 0.5;
+        let p = 0.15;
+        let plan = RealizedPlan::balanced(20_000, eps).unwrap();
+        let est = detection_experiment(
+            &plan,
+            AdversaryModel::AssignmentFraction { p },
+            CheatStrategy::AtLeast { min_copies: 1 },
+            &ExperimentConfig::new(40, 12345),
+        );
+        let expect = 1.0 - (1.0 - eps).powf(1.0 - p);
+        for k in 1..=3usize {
+            assert!(
+                est.consistent_with(k, expect),
+                "k={k}: {:?} vs {expect}",
+                est.at_tuple(k).map(|p| p.estimate())
+            );
+        }
+        assert!(est.outcome.campaigns == 40);
+    }
+
+    #[test]
+    fn determinism_across_thread_counts() {
+        let plan = RealizedPlan::balanced(2_000, 0.5).unwrap();
+        let run = |threads| {
+            let cfg = ExperimentConfig {
+                campaigns: 12,
+                seed: 7,
+                threads,
+            };
+            detection_experiment(
+                &plan,
+                AdversaryModel::AssignmentFraction { p: 0.2 },
+                CheatStrategy::Always,
+                &cfg,
+            )
+            .outcome
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.cheats_attempted, b.cheats_attempted);
+        assert_eq!(a.cheats_detected, b.cheats_detected);
+        assert_eq!(a.wrong_accepted, b.wrong_accepted);
+    }
+
+    #[test]
+    fn simple_redundancy_fails_empirically() {
+        let plan = RealizedPlan::k_fold(5_000, 2, 0.5).unwrap();
+        let est = detection_experiment(
+            &plan,
+            AdversaryModel::AssignmentFraction { p: 0.3 },
+            CheatStrategy::ExactTuples { k: 2 },
+            &ExperimentConfig::new(10, 99),
+        );
+        let pair = est.at_tuple(2).unwrap();
+        assert_eq!(pair.estimate(), 0.0, "pair collusion is never caught");
+        assert!(est.outcome.wrong_accepted > 0);
+    }
+
+    #[test]
+    fn sampled_estimator_matches_full_enumeration() {
+        // A 10⁷-task plan is far too big to enumerate per campaign; the
+        // sampled estimator must still land on Proposition 3.
+        let eps = 0.5;
+        let p = 0.1;
+        let plan = RealizedPlan::balanced(10_000_000, eps).unwrap();
+        let campaign = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p },
+            CheatStrategy::AtLeast { min_copies: 1 },
+        );
+        let est = sampled_detection_experiment(
+            &plan,
+            &campaign,
+            20_000,
+            &ExperimentConfig::new(30, 555),
+        );
+        let expect = 1.0 - (1.0 - eps).powf(1.0 - p);
+        assert!(
+            est.consistent_with(1, expect),
+            "{:?} vs {expect}",
+            est.at_tuple(1).map(|q| q.estimate())
+        );
+        assert!(est.outcome.total_attempted() > 10_000);
+    }
+
+    #[test]
+    fn sampled_estimator_is_deterministic() {
+        let plan = RealizedPlan::balanced(1_000_000, 0.75).unwrap();
+        let campaign = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        );
+        let run = || {
+            sampled_detection_experiment(&plan, &campaign, 2_000, &ExperimentConfig::new(5, 9))
+                .outcome
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cheats_attempted, b.cheats_attempted);
+        assert_eq!(a.cheats_detected, b.cheats_detected);
+    }
+
+    #[test]
+    fn overall_proportion_aggregates() {
+        let plan = RealizedPlan::balanced(5_000, 0.5).unwrap();
+        let est = detection_experiment(
+            &plan,
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+            &ExperimentConfig::new(5, 3),
+        );
+        let overall = est.overall();
+        assert!(overall.trials() > 0);
+        // Proposition 3 at p = 0.2: every tuple size detects at ≈ 0.4257.
+        let expect = 1.0 - 0.5f64.powf(0.8);
+        assert!((overall.estimate() - expect).abs() < 0.05, "{}", overall.estimate());
+    }
+}

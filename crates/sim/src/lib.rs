@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # redundancy-sim — a volunteer distributed-computing platform simulator
+//!
+//! The paper evaluates its distribution schemes analytically; this crate is
+//! the synthetic platform that *exercises* them end-to-end and confirms
+//! every closed form empirically.  It models exactly the world of the
+//! paper's Section 2:
+//!
+//! * a **supervisor** creates tasks according to a deployable
+//!   [`RealizedPlan`](redundancy_core::RealizedPlan) (multiplicities, tail
+//!   partition, ringers), hands assignments to participants, collects
+//!   results, and compares copies (flagging any disagreement; ringer and
+//!   verified tasks are checked against precomputed answers);
+//! * a pool of **participants** executes assignments; honest ones return
+//!   the correct result (optionally with a non-malicious error rate — the
+//!   fault model of the platforms the paper cites);
+//! * a **global colluding adversary** controls a share of the platform —
+//!   either a fixed proportion of assignments, or a set of Sybil accounts
+//!   in a participant pool — sees how many copies of each task she holds,
+//!   and cheats according to a pluggable [`CheatStrategy`]: identical wrong
+//!   results on every copy of the attacked task;
+//! * the supervisor's verdicts are tallied per tuple size, yielding
+//!   empirical detection probabilities `P̂_{k,p}` with Wilson intervals,
+//!   directly comparable to the paper's `P_{k,p}` formulas.
+//!
+//! [`engine::run_campaign`] materializes participants, result values, and
+//! the full compare-based verification path (what a real deployment does);
+//! the Monte-Carlo driver in [`experiment`] runs it under deterministic
+//! seeds with multi-threaded chunking.  [`two_phase`] additionally
+//! implements Appendix A's two-phase simple-redundancy protocol and its
+//! `p²N` collusion bound.
+
+pub mod adversary;
+pub mod engine;
+pub mod experiment;
+pub mod outcome;
+pub mod participant;
+pub mod rounds;
+pub mod supervisor;
+pub mod survival;
+pub mod task;
+pub mod two_phase;
+
+pub use adversary::{AdversaryModel, CheatStrategy};
+pub use engine::{run_campaign, CampaignConfig};
+pub use experiment::{
+    detection_experiment, sampled_detection_experiment, DetectionEstimate, ExperimentConfig,
+};
+pub use outcome::CampaignOutcome;
+pub use participant::ParticipantPool;
+pub use rounds::{run_platform, PlatformConfig, PlatformHistory, RoundReport};
+pub use supervisor::Supervisor;
+pub use survival::{survival_experiment, SurvivalOutcome};
+pub use task::{correct_result, ResultValue, TaskId, TaskSpec};
+pub use two_phase::{two_phase_trial, TwoPhaseConfig, TwoPhaseOutcome};

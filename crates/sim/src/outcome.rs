@@ -1,0 +1,143 @@
+//! Per-campaign bookkeeping: what the adversary tried, what the supervisor
+//! caught.
+
+use redundancy_stats::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Tallies from one or more simulated campaigns.
+///
+/// Per-`k` vectors are indexed by the number of copies the adversary held
+/// of the attacked task (index 0 unused).  `merge` is commutative and
+/// associative so outcomes fold cleanly across Monte-Carlo threads.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// Campaigns aggregated into this outcome.
+    pub campaigns: u64,
+    /// Ordinary + ringer tasks processed.
+    pub tasks: u64,
+    /// Assignments handed out.
+    pub assignments: u64,
+    /// `cheats_attempted[k]`: tasks attacked while holding `k` copies.
+    pub cheats_attempted: Vec<u64>,
+    /// `cheats_detected[k]`: of those, how many the supervisor flagged.
+    pub cheats_detected: Vec<u64>,
+    /// Cheated tasks whose wrong result was *accepted* (recorded) by the
+    /// supervisor — the damage metric.
+    pub wrong_accepted: u64,
+    /// Tasks flagged without any cheating (honest faults) — the
+    /// false-positive metric.
+    pub false_flags: u64,
+    /// Distribution of the adversary's holdings per task (diagnostic).
+    #[serde(skip)]
+    pub holdings: Histogram,
+}
+
+impl CampaignOutcome {
+    /// Record one attacked task: the adversary held `k` copies and the
+    /// supervisor did (or did not) flag it.
+    pub fn record_cheat(&mut self, k: usize, detected: bool) {
+        if k >= self.cheats_attempted.len() {
+            self.cheats_attempted.resize(k + 1, 0);
+            self.cheats_detected.resize(k + 1, 0);
+        }
+        self.cheats_attempted[k] += 1;
+        if detected {
+            self.cheats_detected[k] += 1;
+        }
+    }
+
+    /// Total attacks across all tuple sizes.
+    pub fn total_attempted(&self) -> u64 {
+        self.cheats_attempted.iter().sum()
+    }
+
+    /// Total detected attacks.
+    pub fn total_detected(&self) -> u64 {
+        self.cheats_detected.iter().sum()
+    }
+
+    /// Empirical detection rate at tuple size `k`, if any attack occurred.
+    pub fn detection_rate(&self, k: usize) -> Option<f64> {
+        let attempted = *self.cheats_attempted.get(k)? ;
+        if attempted == 0 {
+            return None;
+        }
+        Some(self.cheats_detected[k] as f64 / attempted as f64)
+    }
+
+    /// Overall empirical detection rate.
+    pub fn overall_detection_rate(&self) -> Option<f64> {
+        let a = self.total_attempted();
+        if a == 0 {
+            None
+        } else {
+            Some(self.total_detected() as f64 / a as f64)
+        }
+    }
+
+    /// Fold another outcome into this one.
+    pub fn merge(&mut self, other: &CampaignOutcome) {
+        self.campaigns += other.campaigns;
+        self.tasks += other.tasks;
+        self.assignments += other.assignments;
+        if other.cheats_attempted.len() > self.cheats_attempted.len() {
+            self.cheats_attempted.resize(other.cheats_attempted.len(), 0);
+            self.cheats_detected.resize(other.cheats_detected.len(), 0);
+        }
+        for (a, &b) in self.cheats_attempted.iter_mut().zip(&other.cheats_attempted) {
+            *a += b;
+        }
+        for (a, &b) in self.cheats_detected.iter_mut().zip(&other.cheats_detected) {
+            *a += b;
+        }
+        self.wrong_accepted += other.wrong_accepted;
+        self.false_flags += other.false_flags;
+        self.holdings.merge(&other.holdings);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut o = CampaignOutcome::default();
+        o.record_cheat(2, true);
+        o.record_cheat(2, false);
+        o.record_cheat(5, true);
+        assert_eq!(o.total_attempted(), 3);
+        assert_eq!(o.total_detected(), 2);
+        assert_eq!(o.detection_rate(2), Some(0.5));
+        assert_eq!(o.detection_rate(5), Some(1.0));
+        assert_eq!(o.detection_rate(1), None);
+        assert_eq!(o.detection_rate(99), None);
+        assert!((o.overall_detection_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_outcome_rates() {
+        let o = CampaignOutcome::default();
+        assert_eq!(o.overall_detection_rate(), None);
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = CampaignOutcome {
+            campaigns: 1,
+            ..CampaignOutcome::default()
+        };
+        a.record_cheat(1, true);
+        let mut b = CampaignOutcome {
+            campaigns: 2,
+            wrong_accepted: 4,
+            ..CampaignOutcome::default()
+        };
+        b.record_cheat(3, false);
+        a.merge(&b);
+        assert_eq!(a.campaigns, 3);
+        assert_eq!(a.cheats_attempted, vec![0, 1, 0, 1]);
+        assert_eq!(a.cheats_detected, vec![0, 1, 0, 0]);
+        assert_eq!(a.wrong_accepted, 4);
+    }
+}

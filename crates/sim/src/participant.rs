@@ -1,0 +1,97 @@
+//! Participants: honest volunteers and adversary-controlled Sybil accounts.
+//!
+//! The paper's adversary "can obtain hundreds of user names, each of which
+//! can be assigned thousands of tasks" — i.e. she holds some share of the
+//! participant pool.  [`ParticipantPool`] models a pool of `total`
+//! equal-throughput accounts of which the first `adversary` are hers;
+//! assignments dealt uniformly at random then give her each copy with
+//! probability ≈ `adversary/total`, connecting the Sybil picture to the
+//! paper's proportion-`p` analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a participant account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParticipantId(pub u32);
+
+/// A pool of volunteer accounts, a prefix of which is adversary-controlled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParticipantPool {
+    total: u32,
+    adversary: u32,
+}
+
+impl ParticipantPool {
+    /// Create a pool of `total` accounts with `adversary` of them colluding.
+    ///
+    /// # Panics
+    /// Panics if `total == 0` or `adversary > total`.
+    pub fn new(total: u32, adversary: u32) -> Self {
+        assert!(total > 0, "pool must have at least one participant");
+        assert!(
+            adversary <= total,
+            "adversary accounts ({adversary}) exceed the pool ({total})"
+        );
+        ParticipantPool { total, adversary }
+    }
+
+    /// An all-honest pool.
+    pub fn honest(total: u32) -> Self {
+        ParticipantPool::new(total, 0)
+    }
+
+    /// Number of accounts.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of adversary-controlled accounts.
+    pub fn adversary_accounts(&self) -> u32 {
+        self.adversary
+    }
+
+    /// The adversary's share of the pool (her expected assignment share).
+    pub fn adversary_proportion(&self) -> f64 {
+        self.adversary as f64 / self.total as f64
+    }
+
+    /// Whether an account is adversary-controlled.
+    pub fn is_adversary(&self, id: ParticipantId) -> bool {
+        id.0 < self.adversary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_accounting() {
+        let pool = ParticipantPool::new(1000, 100);
+        assert_eq!(pool.total(), 1000);
+        assert_eq!(pool.adversary_accounts(), 100);
+        assert!((pool.adversary_proportion() - 0.1).abs() < 1e-12);
+        assert!(pool.is_adversary(ParticipantId(0)));
+        assert!(pool.is_adversary(ParticipantId(99)));
+        assert!(!pool.is_adversary(ParticipantId(100)));
+    }
+
+    #[test]
+    fn honest_pool() {
+        let pool = ParticipantPool::honest(10);
+        assert_eq!(pool.adversary_proportion(), 0.0);
+        assert!(!pool.is_adversary(ParticipantId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversized_adversary_rejected() {
+        ParticipantPool::new(10, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_pool_rejected() {
+        ParticipantPool::new(0, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The supervisor's result-verification logic.
+//!
+//! Deployed platforms either demand unanimity among returned copies or run
+//! a quorum/majority vote (BOINC-style).  Both are implemented; in either
+//! case *any* disagreement flags the task for investigation, and ringer /
+//! verified tasks are checked against the supervisor's precomputed answer.
+
+use crate::task::{correct_result, ResultValue, TaskSpec};
+use serde::{Deserialize, Serialize};
+
+/// How copies of a task are reconciled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerificationPolicy {
+    /// Accept only if all copies agree; any mismatch flags the task.
+    Unanimous,
+    /// Accept the plurality value (ties flag); mismatches still flag the
+    /// task for investigation, but a colluding majority's value would be
+    /// *recorded* as the result — the `wrong_accepted` metric exposes this.
+    Majority,
+}
+
+/// The supervisor's verdict on one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// The result the supervisor records, if any.
+    pub accepted: Option<ResultValue>,
+    /// True if the task was flagged for investigation (mismatch among
+    /// copies, or a precomputed-answer mismatch).
+    pub flagged: bool,
+}
+
+/// The verifying supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Supervisor {
+    policy: VerificationPolicy,
+}
+
+impl Supervisor {
+    /// Create a supervisor with the given reconciliation policy.
+    pub fn new(policy: VerificationPolicy) -> Self {
+        Supervisor { policy }
+    }
+
+    /// The reconciliation policy in force.
+    pub fn policy(&self) -> VerificationPolicy {
+        self.policy
+    }
+
+    /// Reconcile the returned copies of one task.
+    ///
+    /// # Panics
+    /// Panics if `results` is empty — every task has at least one copy.
+    pub fn verify(&self, task: &TaskSpec, results: &[ResultValue]) -> Verdict {
+        assert!(!results.is_empty(), "task verified with no results");
+        if task.precomputed {
+            // Supervisor knows the answer: any wrong copy is caught.
+            let expected = correct_result(task.id);
+            let any_wrong = results.iter().any(|&r| r != expected);
+            return Verdict {
+                accepted: Some(expected),
+                flagged: any_wrong,
+            };
+        }
+        let first = results[0];
+        let unanimous = results.iter().all(|&r| r == first);
+        if unanimous {
+            return Verdict {
+                accepted: Some(first),
+                flagged: false,
+            };
+        }
+        match self.policy {
+            VerificationPolicy::Unanimous => Verdict {
+                accepted: None,
+                flagged: true,
+            },
+            VerificationPolicy::Majority => {
+                // Plurality vote over at most a few dozen values: the
+                // quadratic scan beats a hash map at these sizes.
+                let mut best: Option<(ResultValue, usize)> = None;
+                let mut tie = false;
+                for (i, &candidate) in results.iter().enumerate() {
+                    if results[..i].contains(&candidate) {
+                        continue; // counted already
+                    }
+                    let count = results.iter().filter(|&&r| r == candidate).count();
+                    match best {
+                        Some((_, c)) if count == c => tie = true,
+                        Some((_, c)) if count > c => {
+                            best = Some((candidate, count));
+                            tie = false;
+                        }
+                        None => best = Some((candidate, count)),
+                        _ => {}
+                    }
+                }
+                Verdict {
+                    accepted: if tie { None } else { best.map(|(v, _)| v) },
+                    flagged: true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{colluded_wrong_result, TaskId};
+
+    fn task(precomputed: bool) -> TaskSpec {
+        TaskSpec {
+            id: TaskId(42),
+            multiplicity: 3,
+            precomputed,
+        }
+    }
+
+    #[test]
+    fn unanimous_agreement_accepts() {
+        let s = Supervisor::new(VerificationPolicy::Unanimous);
+        let r = correct_result(TaskId(42));
+        let v = s.verify(&task(false), &[r, r, r]);
+        assert_eq!(v.accepted, Some(r));
+        assert!(!v.flagged);
+    }
+
+    #[test]
+    fn unanimous_collusion_is_invisible_without_honest_copy() {
+        // The core threat: all copies adversary-held, same wrong value.
+        let s = Supervisor::new(VerificationPolicy::Unanimous);
+        let w = colluded_wrong_result(TaskId(42));
+        let v = s.verify(&task(false), &[w, w, w]);
+        assert!(!v.flagged, "collusion across all copies is undetectable");
+        assert_eq!(v.accepted, Some(w), "and the wrong result is accepted");
+    }
+
+    #[test]
+    fn mismatch_flags_under_unanimous() {
+        let s = Supervisor::new(VerificationPolicy::Unanimous);
+        let r = correct_result(TaskId(42));
+        let w = colluded_wrong_result(TaskId(42));
+        let v = s.verify(&task(false), &[r, w, r]);
+        assert!(v.flagged);
+        assert_eq!(v.accepted, None);
+    }
+
+    #[test]
+    fn majority_accepts_plurality_but_still_flags() {
+        let s = Supervisor::new(VerificationPolicy::Majority);
+        let r = correct_result(TaskId(42));
+        let w = colluded_wrong_result(TaskId(42));
+        let v = s.verify(&task(false), &[w, w, r]);
+        assert!(v.flagged);
+        assert_eq!(v.accepted, Some(w), "colluding majority wins the vote");
+        let v2 = s.verify(&task(false), &[r, w, r]);
+        assert_eq!(v2.accepted, Some(r));
+    }
+
+    #[test]
+    fn majority_tie_accepts_nothing() {
+        let s = Supervisor::new(VerificationPolicy::Majority);
+        let r = correct_result(TaskId(42));
+        let w = colluded_wrong_result(TaskId(42));
+        let v = s.verify(
+            &TaskSpec {
+                id: TaskId(42),
+                multiplicity: 2,
+                precomputed: false,
+            },
+            &[r, w],
+        );
+        assert!(v.flagged);
+        assert_eq!(v.accepted, None);
+    }
+
+    #[test]
+    fn precomputed_tasks_always_catch_wrong_results() {
+        for policy in [VerificationPolicy::Unanimous, VerificationPolicy::Majority] {
+            let s = Supervisor::new(policy);
+            let w = colluded_wrong_result(TaskId(42));
+            // Even unanimous wrong answers are caught on a ringer.
+            let v = s.verify(&task(true), &[w, w, w]);
+            assert!(v.flagged, "ringer must catch unanimous collusion");
+            assert_eq!(v.accepted, Some(correct_result(TaskId(42))));
+            // And correct answers pass.
+            let r = correct_result(TaskId(42));
+            let v2 = s.verify(&task(true), &[r, r, r]);
+            assert!(!v2.flagged);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no results")]
+    fn empty_results_panic() {
+        Supervisor::new(VerificationPolicy::Unanimous).verify(&task(false), &[]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Tasks and results.
+//!
+//! A simulated task's "computation" is a keyed 64-bit mix of its id: cheap,
+//! deterministic, and collision-free enough that any wrong result disagrees
+//! with the correct one.  Adversaries return a *colluded* wrong value —
+//! identical across all copies they hold, per the paper's cheating model.
+
+use redundancy_core::{PartitionKind, RealizedPlan};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task within one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+/// A computed result value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResultValue(pub u64);
+
+/// The correct result of a task: a SplitMix64-style finalizer of the id.
+pub fn correct_result(task: TaskId) -> ResultValue {
+    let mut z = task.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ResultValue(z ^ (z >> 31))
+}
+
+/// The colluding adversary's agreed-upon wrong result for a task.
+///
+/// Distinct from the correct result by construction.
+pub fn colluded_wrong_result(task: TaskId) -> ResultValue {
+    let ResultValue(c) = correct_result(task);
+    ResultValue(c ^ 0xDEAD_BEEF_CAFE_F00D)
+}
+
+/// An honestly-faulty result (non-malicious error), parameterized so
+/// different faulty hosts disagree with each other too.
+pub fn faulty_result(task: TaskId, salt: u64) -> ResultValue {
+    let ResultValue(c) = correct_result(task);
+    ResultValue(c.wrapping_add(0x1000_0000_0000_0001).rotate_left((salt % 63) as u32 + 1))
+}
+
+/// Static description of one task in a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// The task's id.
+    pub id: TaskId,
+    /// Number of copies handed out.
+    pub multiplicity: u32,
+    /// True if the supervisor knows the answer in advance (ringer or
+    /// verified partition) — cheating on it is always caught.
+    pub precomputed: bool,
+}
+
+/// Expand a [`RealizedPlan`] into concrete task specs.
+///
+/// Task ids are assigned contiguously in partition order, so the expansion
+/// is deterministic and `specs.len()` equals ordinary tasks + ringers.
+pub fn expand_plan(plan: &RealizedPlan) -> Vec<TaskSpec> {
+    let mut specs = Vec::with_capacity((plan.n_tasks() + plan.ringer_tasks()) as usize);
+    let mut next_id = 0u64;
+    for p in plan.partitions() {
+        let precomputed = matches!(p.kind, PartitionKind::Ringer | PartitionKind::Verified);
+        for _ in 0..p.tasks {
+            specs.push(TaskSpec {
+                id: TaskId(next_id),
+                multiplicity: p.multiplicity as u32,
+                precomputed,
+            });
+            next_id += 1;
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_result_is_deterministic_and_spread() {
+        assert_eq!(correct_result(TaskId(1)), correct_result(TaskId(1)));
+        assert_ne!(correct_result(TaskId(1)), correct_result(TaskId(2)));
+        let distinct: std::collections::HashSet<_> =
+            (0..10_000).map(|i| correct_result(TaskId(i))).collect();
+        assert_eq!(distinct.len(), 10_000);
+    }
+
+    #[test]
+    fn wrong_results_disagree_with_correct() {
+        for i in 0..1000 {
+            let t = TaskId(i);
+            assert_ne!(colluded_wrong_result(t), correct_result(t));
+            assert_ne!(faulty_result(t, i), correct_result(t));
+        }
+    }
+
+    #[test]
+    fn faulty_results_vary_with_salt() {
+        let t = TaskId(7);
+        assert_ne!(faulty_result(t, 1), faulty_result(t, 2));
+    }
+
+    #[test]
+    fn expand_plan_counts_and_flags() {
+        let plan = RealizedPlan::balanced(10_000, 0.75).unwrap();
+        let specs = expand_plan(&plan);
+        assert_eq!(
+            specs.len() as u64,
+            plan.n_tasks() + plan.ringer_tasks()
+        );
+        let precomputed = specs.iter().filter(|s| s.precomputed).count() as u64;
+        assert_eq!(precomputed, plan.ringer_tasks());
+        // Ids contiguous.
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.id, TaskId(i as u64));
+        }
+        // Total assignments match the plan.
+        let total: u64 = specs.iter().map(|s| s.multiplicity as u64).sum();
+        assert_eq!(total, plan.total_assignments());
+    }
+
+    #[test]
+    fn expand_simple_plan() {
+        let plan = RealizedPlan::k_fold(100, 3, 0.5).unwrap();
+        let specs = expand_plan(&plan);
+        assert_eq!(specs.len(), 100);
+        assert!(specs.iter().all(|s| s.multiplicity == 3 && !s.precomputed));
+    }
+}

@@ -1,0 +1,183 @@
+//! Appendix A: collusion under two-phase simple redundancy.
+//!
+//! Each task is assigned once in phase one and once in phase two (the
+//! "only one copy outstanding at a time" variant of simple redundancy).
+//! An adversary controlling proportion `p` of participants receives `p·N`
+//! of the assignments in each phase; the number of tasks she receives in
+//! *both* phases — tasks she fully controls — is hypergeometric with mean
+//! `(pN)²/N = p²·N`.  She is expected to fully control at least one task
+//! as soon as `p ≥ 1/√N`: at SETI@home scale (millions of tasks), a
+//! fraction of a percent of the participants suffices.
+
+use redundancy_stats::samplers::sample_hypergeometric;
+use redundancy_stats::{DeterministicRng, RunningMoments};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the two-phase protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoPhaseConfig {
+    /// Number of tasks `N`.
+    pub n_tasks: u64,
+    /// Adversary's proportion of participants (and hence of each phase's
+    /// assignments), `0 ≤ p < 1`.
+    pub proportion: f64,
+}
+
+impl TwoPhaseConfig {
+    /// Create a validated configuration.
+    ///
+    /// # Panics
+    /// Panics on `n_tasks == 0` or `p ∉ [0, 1)`.
+    pub fn new(n_tasks: u64, proportion: f64) -> Self {
+        assert!(n_tasks > 0, "need at least one task");
+        assert!(
+            proportion.is_finite() && (0.0..1.0).contains(&proportion),
+            "proportion {proportion} outside [0, 1)"
+        );
+        TwoPhaseConfig {
+            n_tasks,
+            proportion,
+        }
+    }
+
+    /// Assignments the adversary receives per phase: `⌊p·N⌋`.
+    pub fn per_phase_holdings(&self) -> u64 {
+        (self.proportion * self.n_tasks as f64).floor() as u64
+    }
+
+    /// Appendix A's closed-form expectation of fully controlled tasks,
+    /// `≈ p²·N` (exactly `w²/N` with `w = ⌊pN⌋`).
+    pub fn expected_full_control(&self) -> f64 {
+        let w = self.per_phase_holdings() as f64;
+        w * w / self.n_tasks as f64
+    }
+
+    /// The critical proportion `1/√N` above which the adversary expects to
+    /// fully control at least one task.
+    pub fn critical_proportion(&self) -> f64 {
+        1.0 / (self.n_tasks as f64).sqrt()
+    }
+}
+
+/// Result of a batch of two-phase trials.
+#[derive(Debug, Clone, Default)]
+pub struct TwoPhaseOutcome {
+    /// Moments of the fully-controlled task count.
+    pub full_control: RunningMoments,
+    /// Trials in which at least one task was fully controlled (⇒ the
+    /// adversary can cheat with impunity on it).
+    pub cheatable_trials: u64,
+    /// Total trials.
+    pub trials: u64,
+}
+
+impl TwoPhaseOutcome {
+    /// Fraction of trials where the adversary could cheat undetected.
+    pub fn cheatable_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.cheatable_trials as f64 / self.trials as f64
+        }
+    }
+
+    /// Merge another outcome.
+    pub fn merge(&mut self, other: &TwoPhaseOutcome) {
+        self.full_control.merge(&other.full_control);
+        self.cheatable_trials += other.cheatable_trials;
+        self.trials += other.trials;
+    }
+}
+
+/// One two-phase trial: draw the overlap between the adversary's phase-one
+/// and phase-two task sets.
+///
+/// Phase one hands her a uniform `w`-subset of the `N` tasks; phase two,
+/// independently, another; the overlap is `Hypergeometric(N, w, w)`.
+pub fn two_phase_trial(config: &TwoPhaseConfig, rng: &mut DeterministicRng) -> u64 {
+    let w = config.per_phase_holdings();
+    sample_hypergeometric(rng, config.n_tasks, w, w)
+}
+
+/// Run `trials` independent two-phase trials.
+pub fn two_phase_batch(
+    config: &TwoPhaseConfig,
+    trials: u64,
+    rng: &mut DeterministicRng,
+) -> TwoPhaseOutcome {
+    let mut out = TwoPhaseOutcome::default();
+    for _ in 0..trials {
+        let overlap = two_phase_trial(config, rng);
+        out.full_control.push(overlap as f64);
+        if overlap >= 1 {
+            out.cheatable_trials += 1;
+        }
+        out.trials += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expectation_matches_p_squared_n() {
+        // E[overlap] = w²/N ≈ p²N; Monte Carlo must agree within CI.
+        let cfg = TwoPhaseConfig::new(10_000, 0.05);
+        let mut rng = DeterministicRng::new(42);
+        let out = two_phase_batch(&cfg, 4_000, &mut rng);
+        let expect = cfg.expected_full_control(); // 25.0
+        assert!((expect - 25.0).abs() < 1e-9);
+        let mean = out.full_control.mean();
+        let se = out.full_control.standard_error();
+        assert!(
+            (mean - expect).abs() < 4.0 * se + 0.05,
+            "mean {mean} vs {expect} (se {se})"
+        );
+    }
+
+    #[test]
+    fn critical_proportion_threshold() {
+        // Just above 1/√N the adversary almost always controls some task;
+        // far below, almost never.
+        let n = 10_000u64;
+        let crit = TwoPhaseConfig::new(n, 0.5).critical_proportion();
+        assert!((crit - 0.01).abs() < 1e-12);
+
+        let mut rng = DeterministicRng::new(7);
+        let above = two_phase_batch(&TwoPhaseConfig::new(n, 3.0 * crit), 500, &mut rng);
+        // E = 9 tasks ⇒ nearly every trial is cheatable.
+        assert!(above.cheatable_fraction() > 0.95, "{}", above.cheatable_fraction());
+
+        let below = two_phase_batch(&TwoPhaseConfig::new(n, crit / 10.0), 500, &mut rng);
+        // E = 0.01 ⇒ almost never.
+        assert!(below.cheatable_fraction() < 0.1, "{}", below.cheatable_fraction());
+    }
+
+    #[test]
+    fn zero_proportion_never_controls() {
+        let cfg = TwoPhaseConfig::new(100, 0.0);
+        let mut rng = DeterministicRng::new(1);
+        let out = two_phase_batch(&cfg, 50, &mut rng);
+        assert_eq!(out.cheatable_trials, 0);
+        assert_eq!(out.full_control.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let cfg = TwoPhaseConfig::new(1_000, 0.1);
+        let mut rng = DeterministicRng::new(2);
+        let mut a = two_phase_batch(&cfg, 100, &mut rng);
+        let b = two_phase_batch(&cfg, 100, &mut rng);
+        a.merge(&b);
+        assert_eq!(a.trials, 200);
+        assert_eq!(a.full_control.count(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_proportion_panics() {
+        TwoPhaseConfig::new(10, 1.0);
+    }
+}

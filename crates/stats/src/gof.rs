@@ -1,0 +1,324 @@
+//! Goodness-of-fit testing: Pearson's chi-square against a discrete law.
+//!
+//! The empirical-validation layer needs a principled way to say "the
+//! simulator's multiplicity draws really follow the zero-truncated Poisson
+//! law" rather than eyeballing a histogram.  This module provides:
+//!
+//! * [`regularized_gamma_q`] — the upper regularized incomplete gamma
+//!   function `Q(a, x)`, via the standard series / continued-fraction pair
+//!   (Numerical-Recipes style), which is exactly the chi-square survival
+//!   function `P(X² ≥ x) = Q(df/2, x/2)`;
+//! * [`chi_square_test`] — Pearson's statistic over observed counts vs a
+//!   probability vector, with automatic pooling of low-expectation bins
+//!   (the usual `E ≥ 5` rule) and a p-value.
+
+use crate::estimate::Histogram;
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// Pearson's X² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom after pooling (bins − 1).
+    pub degrees_of_freedom: usize,
+    /// `P(X²_df ≥ statistic)` — small values reject the null.
+    pub p_value: f64,
+    /// Bins actually compared (after pooling).
+    pub bins_used: usize,
+}
+
+impl ChiSquare {
+    /// True if the data is consistent with the law at significance `alpha`
+    /// (i.e. the null is *not* rejected).
+    pub fn consistent(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Upper regularized incomplete gamma `Q(a, x) = Γ(a, x)/Γ(a)`.
+///
+/// Series representation for `x < a + 1`, Lentz continued fraction
+/// otherwise; absolute accuracy ~1e-12 across the range used here.
+///
+/// # Panics
+/// Panics on `a ≤ 0` or `x < 0`.
+pub fn regularized_gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && a.is_finite(), "shape must be positive, got {a}");
+    assert!(x >= 0.0 && x.is_finite(), "argument must be ≥ 0, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - lower_gamma_series(a, x)
+    } else {
+        upper_gamma_cf(a, x)
+    }
+}
+
+/// `P(a, x)` by its power series (valid / fast for `x < a + 1`).
+fn lower_gamma_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp()
+}
+
+/// `Q(a, x)` by the Lentz modified continued fraction (for `x ≥ a + 1`).
+fn upper_gamma_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (a * x.ln() - x - ln_gamma(a)).exp() * h
+}
+
+/// Lanczos approximation of `ln Γ(z)` for `z > 0`.
+fn ln_gamma(z: f64) -> f64 {
+    // Lanczos (g = 7, n = 9) coefficients.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_1,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if z < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * z).sin()).ln() - ln_gamma(1.0 - z);
+    }
+    let z = z - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (z + i as f64);
+    }
+    let t = z + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Pearson chi-square test of `observed` counts against `expected_probs`.
+///
+/// ```
+/// use redundancy_stats::{chi_square_test, Histogram};
+/// let mut h = Histogram::new();
+/// h.record_n(0, 5_020);
+/// h.record_n(1, 4_980);
+/// let fair = chi_square_test(&h, &[0.5, 0.5], 5.0).unwrap();
+/// assert!(fair.consistent(0.05)); // a fair coin stays a fair coin
+/// let biased = chi_square_test(&h, &[0.8, 0.2], 5.0).unwrap();
+/// assert!(!biased.consistent(0.05));
+/// ```
+///
+/// `expected_probs` need not sum to one: any residual mass is pooled into
+/// an implicit overflow bin together with observations beyond the vector.
+/// Bins with expected count `< min_expected` (default rule: 5) are pooled
+/// right-to-left.  Returns `None` if fewer than two usable bins remain.
+pub fn chi_square_test(
+    observed: &Histogram,
+    expected_probs: &[f64],
+    min_expected: f64,
+) -> Option<ChiSquare> {
+    let total = observed.total() as f64;
+    if total == 0.0 {
+        return None;
+    }
+    assert!(
+        expected_probs.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)),
+        "expected_probs must be probabilities"
+    );
+    // Build (observed, expected) pairs, with an overflow bin at the end.
+    let used_mass: f64 = expected_probs.iter().sum();
+    let max_obs = observed.max_value().unwrap_or(0);
+    let mut pairs: Vec<(f64, f64)> = (0..expected_probs.len())
+        .map(|v| (observed.count(v) as f64, expected_probs[v] * total))
+        .collect();
+    let overflow_obs: f64 = (expected_probs.len()..=max_obs)
+        .map(|v| observed.count(v) as f64)
+        .sum();
+    let overflow_exp = (1.0 - used_mass).max(0.0) * total;
+    if overflow_obs > 0.0 || overflow_exp > 0.0 {
+        pairs.push((overflow_obs, overflow_exp));
+    }
+    // Pool low-expectation bins right-to-left into their left neighbor.
+    let mut pooled: Vec<(f64, f64)> = Vec::with_capacity(pairs.len());
+    for pair in pairs {
+        pooled.push(pair);
+        // Merge backwards while the tail bin is under-populated.
+        while pooled.len() > 1 {
+            let last = *pooled.last().unwrap();
+            if last.1 >= min_expected {
+                break;
+            }
+            pooled.pop();
+            let prev = pooled.last_mut().unwrap();
+            prev.0 += last.0;
+            prev.1 += last.1;
+        }
+    }
+    // The first bin may still be small: merge forward once if needed.
+    while pooled.len() > 1 && pooled[0].1 < min_expected {
+        let first = pooled.remove(0);
+        pooled[0].0 += first.0;
+        pooled[0].1 += first.1;
+    }
+    if pooled.len() < 2 {
+        return None;
+    }
+    let statistic: f64 = pooled
+        .iter()
+        .filter(|&&(_, e)| e > 0.0)
+        .map(|&(o, e)| (o - e) * (o - e) / e)
+        .sum();
+    let df = pooled.len() - 1;
+    let p_value = regularized_gamma_q(df as f64 / 2.0, statistic / 2.0);
+    Some(ChiSquare {
+        statistic,
+        degrees_of_freedom: df,
+        p_value,
+        bins_used: pooled.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DeterministicRng;
+    use crate::samplers::sample_zero_truncated_poisson;
+    use crate::special::zero_truncated_poisson_pmf;
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_q_reference_values() {
+        // Q(1, x) = e^{-x} (chi-square df=2 survival at 2x).
+        for x in [0.1, 1.0, 3.0, 10.0] {
+            assert!(
+                (regularized_gamma_q(1.0, x) - (-x).exp()).abs() < 1e-12,
+                "x={x}"
+            );
+        }
+        // Q(1/2, x) = erfc(√x): check at x where erfc is tabulated.
+        // erfc(1) ≈ 0.157299207.
+        assert!((regularized_gamma_q(0.5, 1.0) - 0.157_299_207).abs() < 1e-8);
+        // Boundaries.
+        assert_eq!(regularized_gamma_q(2.0, 0.0), 1.0);
+        assert!(regularized_gamma_q(3.0, 1e6) < 1e-100);
+    }
+
+    #[test]
+    fn gamma_q_is_monotone_in_x() {
+        let mut prev = 1.0;
+        for i in 0..50 {
+            let x = i as f64 * 0.5;
+            let q = regularized_gamma_q(4.0, x);
+            assert!(q <= prev + 1e-15);
+            prev = q;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gamma_q_validates_shape() {
+        regularized_gamma_q(0.0, 1.0);
+    }
+
+    #[test]
+    fn chi_square_accepts_the_true_law() {
+        // Draw from ZTP(ln 4) and test against its own pmf.
+        let lambda = 4f64.ln();
+        let mut rng = DeterministicRng::new(20_050_926);
+        let mut hist = Histogram::new();
+        for _ in 0..20_000 {
+            hist.record(sample_zero_truncated_poisson(&mut rng, lambda) as usize);
+        }
+        let probs: Vec<f64> = (0..15)
+            .map(|k| zero_truncated_poisson_pmf(lambda, k as u64))
+            .collect();
+        let result = chi_square_test(&hist, &probs, 5.0).unwrap();
+        assert!(
+            result.consistent(0.01),
+            "true law rejected: {result:?}"
+        );
+        assert!(result.degrees_of_freedom >= 3);
+    }
+
+    #[test]
+    fn chi_square_rejects_the_wrong_law() {
+        // Draw from ZTP(ln 4) but test against ZTP(ln 2): must reject hard.
+        let mut rng = DeterministicRng::new(99);
+        let mut hist = Histogram::new();
+        for _ in 0..20_000 {
+            hist.record(sample_zero_truncated_poisson(&mut rng, 4f64.ln()) as usize);
+        }
+        let wrong: Vec<f64> = (0..15)
+            .map(|k| zero_truncated_poisson_pmf(2f64.ln(), k as u64))
+            .collect();
+        let result = chi_square_test(&hist, &wrong, 5.0).unwrap();
+        assert!(!result.consistent(0.01), "wrong law accepted: {result:?}");
+        assert!(result.p_value < 1e-6);
+    }
+
+    #[test]
+    fn chi_square_handles_degenerate_inputs() {
+        let empty = Histogram::new();
+        assert!(chi_square_test(&empty, &[0.5, 0.5], 5.0).is_none());
+        // One effective bin after pooling → None.
+        let mut h = Histogram::new();
+        h.record_n(0, 10);
+        assert!(chi_square_test(&h, &[1.0], 5.0).is_none());
+    }
+
+    #[test]
+    fn pooling_respects_min_expected() {
+        let mut h = Histogram::new();
+        h.record_n(0, 500);
+        h.record_n(1, 480);
+        h.record_n(2, 20);
+        // Fourth bin expectation (4 < 5) must pool into the third,
+        // leaving observed (20) vs expected (16 + 4 = 20) in the merged
+        // bin — a perfect fit.
+        let probs = [0.5, 0.48, 0.016, 0.004];
+        let result = chi_square_test(&h, &probs, 5.0).unwrap();
+        assert_eq!(result.bins_used, 3, "{result:?}");
+        assert!(result.statistic < 1e-9, "{result:?}");
+        assert!(result.consistent(0.05), "{result:?}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Deterministic multi-threaded Monte-Carlo trial runner.
+//!
+//! Trials are partitioned into fixed-size chunks; chunk `c` always runs with
+//! the RNG seeded from `SeedSequence::derive(c)`, so results are identical
+//! whatever the thread count — including single-threaded CI machines.
+//! Worker threads pull chunk indices from a shared atomic counter and send
+//! partial results over a `crossbeam` channel; the caller folds them with an
+//! order-insensitive `merge`.
+
+use crate::rng::{DeterministicRng, SeedSequence};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration for [`run_trials`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrialConfig {
+    /// Total number of trials to run.
+    pub trials: u64,
+    /// Trials per deterministic chunk (seed granularity).
+    pub chunk_size: u64,
+    /// Worker threads; 0 means "use available parallelism".
+    pub threads: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl TrialConfig {
+    /// A reasonable default: `trials` trials in chunks of 256 with
+    /// auto-detected thread count.
+    pub fn new(trials: u64, seed: u64) -> Self {
+        TrialConfig {
+            trials,
+            chunk_size: 256,
+            threads: 0,
+            seed,
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Run `config.trials` independent trials of `trial`, folding per-chunk
+/// accumulators with `merge`.
+///
+/// * `trial(rng, global_index)` runs one trial and updates an accumulator;
+/// * accumulators start from `A::default()` per chunk and are merged in
+///   arbitrary order, so `merge` must be commutative and associative.
+///
+/// ```
+/// use redundancy_stats::parallel::{run_trials, TrialConfig};
+/// use redundancy_stats::Proportion;
+/// // Estimate P(heads) of a fair coin.
+/// let acc: Proportion = run_trials(
+///     &TrialConfig::new(10_000, 42),
+///     |rng, _i, acc: &mut Proportion| acc.push(rng.bernoulli(0.5)),
+///     |a, b| a.merge(&b),
+/// );
+/// assert!((acc.estimate() - 0.5).abs() < 0.02);
+/// ```
+pub fn run_trials<A, F, M>(config: &TrialConfig, trial: F, merge: M) -> A
+where
+    A: Default + Send,
+    F: Fn(&mut DeterministicRng, u64, &mut A) + Sync,
+    M: Fn(&mut A, A),
+{
+    assert!(config.chunk_size > 0, "chunk_size must be positive");
+    let n_chunks = config.trials.div_ceil(config.chunk_size);
+    let seq = SeedSequence::new(config.seed);
+    let next_chunk = AtomicU64::new(0);
+    let threads = config.effective_threads().max(1).min(n_chunks.max(1) as usize);
+
+    let run_chunk = |chunk: u64| -> A {
+        let mut rng = DeterministicRng::new(seq.derive(chunk));
+        let mut acc = A::default();
+        let start = chunk * config.chunk_size;
+        let end = (start + config.chunk_size).min(config.trials);
+        for i in start..end {
+            trial(&mut rng, i, &mut acc);
+        }
+        acc
+    };
+
+    if threads == 1 || n_chunks <= 1 {
+        let mut total = A::default();
+        for chunk in 0..n_chunks {
+            merge(&mut total, run_chunk(chunk));
+        }
+        return total;
+    }
+
+    let (tx, rx) = crossbeam::channel::unbounded::<A>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next_chunk;
+            let run_chunk = &run_chunk;
+            scope.spawn(move || loop {
+                let chunk = next.fetch_add(1, Ordering::Relaxed);
+                if chunk >= n_chunks {
+                    break;
+                }
+                // Ship each chunk's accumulator to the collector; merging
+                // here would need `M: Sync` for no measurable gain at the
+                // chunk sizes this workspace uses.
+                tx.send(run_chunk(chunk)).expect("collector alive");
+            });
+        }
+        drop(tx);
+        let mut total = A::default();
+        for acc in rx {
+            merge(&mut total, acc);
+        }
+        total
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{Proportion, RunningMoments};
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let run = |threads: usize| -> (u64, u64) {
+            let cfg = TrialConfig {
+                trials: 5_000,
+                chunk_size: 128,
+                threads,
+                seed: 99,
+            };
+            let p: Proportion = run_trials(
+                &cfg,
+                |rng, _i, acc: &mut Proportion| acc.push(rng.bernoulli(0.3)),
+                |a, b| a.merge(&b),
+            );
+            (p.successes(), p.trials())
+        };
+        let single = run(1);
+        let quad = run(4);
+        assert_eq!(single, quad);
+        assert_eq!(single.1, 5_000);
+    }
+
+    #[test]
+    fn covers_every_trial_index_exactly_once() {
+        #[derive(Default)]
+        struct Seen(Vec<u64>);
+        let cfg = TrialConfig {
+            trials: 1_000,
+            chunk_size: 64,
+            threads: 3,
+            seed: 5,
+        };
+        let seen: Seen = run_trials(
+            &cfg,
+            |_rng, i, acc: &mut Seen| acc.0.push(i),
+            |a, mut b| a.0.append(&mut b.0),
+        );
+        let mut v = seen.0;
+        v.sort_unstable();
+        assert_eq!(v, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mean_estimate_converges() {
+        let cfg = TrialConfig::new(50_000, 1234);
+        let m: RunningMoments = run_trials(
+            &cfg,
+            |rng, _i, acc: &mut RunningMoments| acc.push(rng.uniform()),
+            |a, b| a.merge(&b),
+        );
+        assert_eq!(m.count(), 50_000);
+        assert!((m.mean() - 0.5).abs() < 0.01, "{}", m.mean());
+    }
+
+    #[test]
+    fn zero_trials_yields_default() {
+        let cfg = TrialConfig::new(0, 7);
+        let p: Proportion = run_trials(
+            &cfg,
+            |_rng, _i, acc: &mut Proportion| acc.push(true),
+            |a, b| a.merge(&b),
+        );
+        assert_eq!(p.trials(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size")]
+    fn zero_chunk_size_panics() {
+        let cfg = TrialConfig {
+            trials: 10,
+            chunk_size: 0,
+            threads: 1,
+            seed: 0,
+        };
+        let _: Proportion =
+            run_trials(&cfg, |_r, _i, _a: &mut Proportion| {}, |a, b| a.merge(&b));
+    }
+}

@@ -1,0 +1,231 @@
+//! Streaming quantile estimation: the P² (Jain & Chlamtac 1985) algorithm.
+//!
+//! The survival experiments report "how many free cheats does the *median*
+//! adversary get?" — a quantile of a distribution observed one career at a
+//! time.  P² maintains five markers and estimates any fixed quantile in
+//! O(1) memory with piecewise-parabolic interpolation, exact until five
+//! observations have arrived.
+
+/// Streaming estimator of a single fixed quantile.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    /// Target quantile in (0, 1).
+    q: f64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+    /// Initial buffer until five observations exist.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Create an estimator for quantile `q` (e.g. 0.5 for the median).
+    ///
+    /// # Panics
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "observations must be finite");
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (h, &v) in self.heights.iter_mut().zip(&self.initial) {
+                    *h = v;
+                }
+            }
+            return;
+        }
+
+        // Locate the cell containing x and clamp the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let delta = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (delta >= 1.0 && right_gap > 1.0) || (delta <= -1.0 && left_gap < -1.0) {
+                let d = delta.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate (`None` before the first observation).
+    ///
+    /// Exact (by sorting) while fewer than five observations exist.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut sorted = self.initial.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let rank = (self.q * (sorted.len() - 1) as f64).round() as usize;
+            return sorted.get(rank).copied();
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DeterministicRng;
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn rejects_bad_quantile() {
+        P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn exact_for_small_samples() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.push(3.0);
+        assert_eq!(p.estimate(), Some(3.0));
+        p.push(1.0);
+        p.push(2.0);
+        assert_eq!(p.estimate(), Some(2.0));
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.quantile(), 0.5);
+    }
+
+    #[test]
+    fn median_of_uniform_converges_to_half() {
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = DeterministicRng::new(1);
+        for _ in 0..100_000 {
+            p.push(rng.uniform());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "{est}");
+    }
+
+    #[test]
+    fn tail_quantile_of_uniform() {
+        let mut p = P2Quantile::new(0.95);
+        let mut rng = DeterministicRng::new(2);
+        for _ in 0..100_000 {
+            p.push(rng.uniform());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.95).abs() < 0.01, "{est}");
+    }
+
+    #[test]
+    fn exponential_median_matches_ln2() {
+        // Median of Exp(1) is ln 2 ≈ 0.693.
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = DeterministicRng::new(3);
+        for _ in 0..100_000 {
+            let u: f64 = rng.uniform().max(f64::MIN_POSITIVE);
+            p.push(-u.ln());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - std::f64::consts::LN_2).abs() < 0.02, "{est}");
+    }
+
+    #[test]
+    fn sorted_and_reverse_sorted_streams() {
+        for reverse in [false, true] {
+            let mut p = P2Quantile::new(0.25);
+            let n = 10_000;
+            for i in 0..n {
+                let v = if reverse { n - i } else { i } as f64;
+                p.push(v);
+            }
+            let est = p.estimate().unwrap();
+            let want = 0.25 * n as f64;
+            assert!(
+                (est - want).abs() < 0.05 * n as f64,
+                "reverse={reverse}: {est} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let mut p = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            p.push(7.0);
+        }
+        assert_eq!(p.estimate(), Some(7.0));
+    }
+}

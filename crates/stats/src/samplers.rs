@@ -1,0 +1,430 @@
+//! Exact samplers for the discrete distributions the simulator needs.
+//!
+//! All samplers take the workspace's [`DeterministicRng`] so simulation runs
+//! replay bit-for-bit.  They favour exactness and clarity over asymptotic
+//! cleverness: the simulator draws multiplicities (≤ ~80), per-task copy
+//! counts, and adversary assignments, none of which need BTPE-class
+//! algorithms at these sizes.
+
+use crate::rng::DeterministicRng;
+use crate::special::poisson_pmf;
+
+/// Sample from `Binomial(n, p)` by CDF inversion.
+///
+/// Exact for the full parameter range; `O(n·p)` expected work, which is tiny
+/// for the simulator's n (a task's multiplicity).  For very large `n` the
+/// recurrence walks outward from the mode to stay `O(√(n p (1−p)))` in the
+/// common case.
+pub fn sample_binomial(rng: &mut DeterministicRng, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Work with p ≤ ½ and mirror, halving the expected walk length.
+    if p > 0.5 {
+        return n - sample_binomial(rng, n, 1.0 - p);
+    }
+    let u = rng.uniform();
+    // Inversion from k = 0: pmf(0) = (1−p)^n, ratio pmf(k+1)/pmf(k) =
+    // (n−k)/(k+1) · p/(1−p).
+    let mut k = 0u64;
+    let mut pmf = (1.0 - p).powi(n as i32);
+    if pmf == 0.0 {
+        // (1−p)^n underflowed: n is astronomically large relative to this
+        // simulator's use; fall back to a normal approximation draw clamped
+        // into range (documented inexactness, unreachable in-workspace).
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let z = standard_normal(rng);
+        return (mean + sd * z).round().clamp(0.0, n as f64) as u64;
+    }
+    let mut cdf = pmf;
+    let odds = p / (1.0 - p);
+    while u > cdf && k < n {
+        pmf *= (n - k) as f64 / (k + 1) as f64 * odds;
+        cdf += pmf;
+        k += 1;
+    }
+    k
+}
+
+/// Sample from `Hypergeometric(total, successes, draws)`: the number of
+/// "success" items in a uniform `draws`-subset of a `total`-element
+/// population containing `successes` marked items.
+///
+/// This models exactly the paper's Appendix-A question: of the adversary's
+/// second-phase assignments, how many hit tasks she already held in phase
+/// one.  Exact CDF inversion.
+pub fn sample_hypergeometric(
+    rng: &mut DeterministicRng,
+    total: u64,
+    successes: u64,
+    draws: u64,
+) -> u64 {
+    assert!(successes <= total, "successes {successes} > total {total}");
+    assert!(draws <= total, "draws {draws} > total {total}");
+    if draws == 0 || successes == 0 {
+        return 0;
+    }
+    let k_min = draws.saturating_sub(total - successes);
+    let k_max = successes.min(draws);
+    // pmf(k) = C(s,k)·C(t−s,d−k)/C(t,d); walk the ratio
+    // pmf(k+1)/pmf(k) = (s−k)(d−k) / ((k+1)(t−s−d+k+1)).
+    let mut k = k_min;
+    let mut pmf = (crate::special::ln_binomial(successes, k_min)
+        + crate::special::ln_binomial(total - successes, draws - k_min)
+        - crate::special::ln_binomial(total, draws))
+    .exp();
+    let u = rng.uniform();
+    let mut cdf = pmf;
+    while u > cdf && k < k_max {
+        // `k ≥ k_min = draws − (total − successes)` keeps this subtraction
+        // non-negative when grouped as below.
+        let remaining_failures = (total - successes + k + 1) - draws;
+        let ratio = (successes - k) as f64 * (draws - k) as f64
+            / ((k + 1) as f64 * remaining_failures as f64);
+        pmf *= ratio;
+        cdf += pmf;
+        k += 1;
+    }
+    k
+}
+
+/// Sample from `Poisson(λ)` by inversion from the mode-adjacent start.
+pub fn sample_poisson(rng: &mut DeterministicRng, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "bad λ = {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    let u = rng.uniform();
+    let mut k = 0u64;
+    let mut pmf = (-lambda).exp();
+    if pmf > 0.0 {
+        let mut cdf = pmf;
+        while u > cdf {
+            k += 1;
+            pmf *= lambda / k as f64;
+            cdf += pmf;
+            if k > (20.0 * lambda + 100.0) as u64 {
+                break; // numerically exhausted tail
+            }
+        }
+        return k;
+    }
+    // λ large enough that e^{−λ} underflows: start at the mode.
+    let mode = lambda.floor() as u64;
+    let mut lo = mode;
+    let mut hi = mode;
+    let mut p_lo = poisson_pmf(lambda, mode);
+    let mut p_hi = p_lo;
+    let mut acc = p_lo;
+    let target = rng.uniform();
+    loop {
+        if acc >= target {
+            return hi;
+        }
+        // Extend alternately on both sides of the mode.
+        if hi - mode <= mode - lo && p_hi > 0.0 {
+            p_hi *= lambda / (hi + 1) as f64;
+            hi += 1;
+            acc += p_hi;
+            if acc >= target {
+                return hi;
+            }
+        }
+        if lo > 0 && p_lo > 0.0 {
+            p_lo *= lo as f64 / lambda;
+            lo -= 1;
+            acc += p_lo;
+            if acc >= target {
+                return lo;
+            }
+        }
+        if p_lo <= 0.0 && p_hi <= 0.0 {
+            return mode;
+        }
+    }
+}
+
+/// Sample from the zero-truncated Poisson(λ): `P(k) ∝ λ^k/k!` for `k ≥ 1`.
+///
+/// This is the law of a single task's multiplicity under the paper's
+/// Balanced distribution.  Inversion starting at `k = 1`.
+pub fn sample_zero_truncated_poisson(rng: &mut DeterministicRng, lambda: f64) -> u64 {
+    assert!(lambda > 0.0 && lambda.is_finite(), "λ must be positive");
+    let norm = 1.0 - (-lambda).exp();
+    let u = rng.uniform() * norm;
+    let mut k = 1u64;
+    let mut pmf = lambda * (-lambda).exp();
+    let mut cdf = pmf;
+    while u > cdf {
+        k += 1;
+        pmf *= lambda / k as f64;
+        cdf += pmf;
+        if k > (20.0 * lambda + 200.0) as u64 {
+            break;
+        }
+    }
+    k
+}
+
+/// Sample from `Geometric(q)` on `{1, 2, 3, …}` (number of trials to first
+/// success): the per-task multiplicity law of the Golle–Stubblebine
+/// distribution with `q = 1 − c`.
+pub fn sample_geometric(rng: &mut DeterministicRng, q: f64) -> u64 {
+    assert!(q > 0.0 && q <= 1.0, "q must be in (0,1], got {q}");
+    if q == 1.0 {
+        return 1;
+    }
+    // Inversion: k = ⌈ln(1−u)/ln(1−q)⌉.
+    let u = rng.uniform();
+    let k = ((1.0 - u).ln() / (1.0 - q).ln()).ceil();
+    (k as u64).max(1)
+}
+
+/// Standard normal draw (Box–Muller), used only for clamped fallbacks.
+fn standard_normal(rng: &mut DeterministicRng) -> f64 {
+    let u1 = rng.uniform().max(f64::MIN_POSITIVE);
+    let u2 = rng.uniform();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Walker alias table for O(1) sampling from a fixed categorical
+/// distribution.
+///
+/// The simulator uses this to draw task multiplicities proportionally to a
+/// distribution's weights when generating random campaigns.
+///
+/// ```
+/// use redundancy_stats::{AliasTable, DeterministicRng};
+/// let table = AliasTable::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = DeterministicRng::new(1);
+/// let mut ones = 0;
+/// for _ in 0..10_000 { if table.sample(&mut rng) == 1 { ones += 1; } }
+/// assert!((ones as f64 / 10_000.0 - 0.75).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights; returns `None` if the weights are
+    /// empty, contain a negative/non-finite value, or sum to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 || weights.iter().any(|&w| w < 0.0 || !w.is_finite())
+        {
+            return None;
+        }
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Round-off stragglers saturate at probability one.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no categories (never constructed; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw a category index.
+    pub fn sample(&self, rng: &mut DeterministicRng) -> usize {
+        let i = rng.below(self.prob.len() as u64) as usize;
+        if rng.uniform() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(samples: impl Iterator<Item = u64>, n: usize) -> f64 {
+        samples.take(n).map(|x| x as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = DeterministicRng::new(1);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn binomial_mean_and_bounds() {
+        let mut rng = DeterministicRng::new(2);
+        let n = 40u64;
+        let p = 0.3;
+        let trials = 40_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let x = sample_binomial(&mut rng, n, p);
+            assert!(x <= n);
+            sum += x as f64;
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 12.0).abs() < 0.12, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_mirrored_branch() {
+        let mut rng = DeterministicRng::new(3);
+        let mean = mean_of((0..20_000).map(|_| sample_binomial(&mut rng, 20, 0.9)), 20_000);
+        assert!((mean - 18.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn hypergeometric_edges_and_support() {
+        let mut rng = DeterministicRng::new(4);
+        assert_eq!(sample_hypergeometric(&mut rng, 10, 0, 5), 0);
+        assert_eq!(sample_hypergeometric(&mut rng, 10, 4, 0), 0);
+        for _ in 0..2_000 {
+            let x = sample_hypergeometric(&mut rng, 20, 8, 15);
+            // Support: max(0, 15−12)=3 ≤ x ≤ min(8,15)=8.
+            assert!((3..=8).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn hypergeometric_mean() {
+        // E = d·s/t = 12·30/100 = 3.6.
+        let mut rng = DeterministicRng::new(5);
+        let mean = mean_of(
+            (0..40_000).map(|_| sample_hypergeometric(&mut rng, 100, 30, 12)),
+            40_000,
+        );
+        assert!((mean - 3.6).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_small_lambda() {
+        let mut rng = DeterministicRng::new(6);
+        let mean = mean_of((0..60_000).map(|_| sample_poisson(&mut rng, 1.3863)), 60_000);
+        assert!((mean - 1.3863).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_fallback_path() {
+        let mut rng = DeterministicRng::new(7);
+        let lam = 800.0; // e^{-800} underflows; exercises the mode walk
+        let mean = mean_of((0..4_000).map(|_| sample_poisson(&mut rng, lam)), 4_000);
+        assert!((mean - lam).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = DeterministicRng::new(8);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn zero_truncated_poisson_never_zero_and_mean() {
+        let mut rng = DeterministicRng::new(9);
+        // Mean of ZTP(λ) is λ/(1−e^{−λ}); at λ = ln 2 this is 2·ln 2 ≈ 1.3863.
+        let lam = std::f64::consts::LN_2;
+        let trials = 60_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let x = sample_zero_truncated_poisson(&mut rng, lam);
+            assert!(x >= 1);
+            sum += x as f64;
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 2.0 * lam).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_support_and_mean() {
+        let mut rng = DeterministicRng::new(10);
+        let q = 0.25;
+        let trials = 60_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let x = sample_geometric(&mut rng, q);
+            assert!(x >= 1);
+            sum += x as f64;
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 4.0).abs() < 0.06, "mean {mean}");
+        assert_eq!(sample_geometric(&mut rng, 1.0), 1);
+    }
+
+    #[test]
+    fn alias_table_rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [5.0, 1.0, 3.0, 0.0, 1.0];
+        let table = AliasTable::new(&weights).unwrap();
+        assert_eq!(table.len(), 5);
+        assert!(!table.is_empty());
+        let mut rng = DeterministicRng::new(11);
+        let mut counts = [0u32; 5];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, (&c, &w)) in counts.iter().zip(&weights).enumerate() {
+            let got = c as f64 / trials as f64;
+            let want = w / total;
+            assert!((got - want).abs() < 0.01, "cat {i}: {got} vs {want}");
+        }
+        assert_eq!(counts[3], 0, "zero-weight category must never be drawn");
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let table = AliasTable::new(&[2.5]).unwrap();
+        let mut rng = DeterministicRng::new(12);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Log-factorials and binomial coefficients.
+//!
+//! The detection-probability formulas of the paper are built from binomial
+//! coefficients `C(i, k)` with `i` up to the largest task multiplicity
+//! (≤ ~80 in every experiment) and from Poisson weights `γ^i / i!`.  Exact
+//! `u128` arithmetic covers the full multiplicity range; a Stirling-series
+//! `ln Γ` covers everything beyond the precomputed table.
+
+/// Factorials 0!..20! are exactly representable in `u64`.
+const FACTORIALS: [u64; 21] = [
+    1,
+    1,
+    2,
+    6,
+    24,
+    120,
+    720,
+    5040,
+    40320,
+    362880,
+    3628800,
+    39916800,
+    479001600,
+    6227020800,
+    87178291200,
+    1307674368000,
+    20922789888000,
+    355687428096000,
+    6402373705728000,
+    121645100408832000,
+    2432902008176640000,
+];
+
+/// Size of the precomputed `ln(n!)` table.
+const LN_FACT_TABLE_SIZE: usize = 256;
+
+fn ln_fact_table() -> &'static [f64; LN_FACT_TABLE_SIZE] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; LN_FACT_TABLE_SIZE]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0; LN_FACT_TABLE_SIZE];
+        for n in 2..LN_FACT_TABLE_SIZE {
+            t[n] = t[n - 1] + (n as f64).ln();
+        }
+        t
+    })
+}
+
+/// `ln(n!)`, exact summation below 256, Stirling's series above.
+///
+/// ```
+/// use redundancy_stats::ln_factorial;
+/// assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_factorial(n: u64) -> f64 {
+    if (n as usize) < LN_FACT_TABLE_SIZE {
+        return ln_fact_table()[n as usize];
+    }
+    // Stirling series: ln n! ≈ n ln n − n + ½ln(2πn) + 1/(12n) − 1/(360n³).
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+/// `ln C(n, k)`; returns `f64::NEG_INFINITY` when `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Binomial coefficient `C(n, k)` as `f64`.
+///
+/// Exact (via `u128`) whenever the intermediate products fit, which covers
+/// every multiplicity the paper's distributions produce; falls back to the
+/// log-space evaluation otherwise.
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    if k == 0 {
+        return 1.0;
+    }
+    // Multiplicative formula in u128; abort to log-space on overflow risk.
+    let mut num: u128 = 1;
+    let mut den: u128 = 1;
+    for j in 0..k {
+        let next_num = num.checked_mul((n - j) as u128);
+        let next_den = den.checked_mul((j + 1) as u128);
+        match (next_num, next_den) {
+            (Some(nn), Some(dd)) => {
+                num = nn;
+                den = dd;
+                // Keep the fraction reduced to delay overflow.
+                let g = gcd(num, den);
+                num /= g;
+                den /= g;
+            }
+            _ => return ln_binomial(n, k).exp(),
+        }
+    }
+    debug_assert_eq!(den, 1);
+    if num <= (1u128 << 100) {
+        num as f64 / den as f64
+    } else {
+        ln_binomial(n, k).exp()
+    }
+}
+
+/// Exact factorial for `n ≤ 20`.
+pub fn factorial_u64(n: u64) -> Option<u64> {
+    FACTORIALS.get(n as usize).copied()
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Poisson probability mass `e^{−λ} λ^k / k!`, computed in log space for
+/// stability at large `k`.
+pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
+    if lambda <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    (-lambda + k as f64 * lambda.ln() - ln_factorial(k)).exp()
+}
+
+/// Zero-truncated Poisson mass `λ^k / (k! (e^λ − 1))` for `k ≥ 1`.
+///
+/// This is exactly the shape of the paper's Balanced distribution
+/// (Theorem 1's proof identifies `a_i / N` with this law at
+/// `λ = ln(1/(1−ε))`).
+pub fn zero_truncated_poisson_pmf(lambda: f64, k: u64) -> f64 {
+    if k == 0 || lambda <= 0.0 {
+        return 0.0;
+    }
+    poisson_pmf(lambda, k) / (1.0 - (-lambda).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_matches_exact_small() {
+        for n in 0..21u64 {
+            let exact = (FACTORIALS[n as usize] as f64).ln();
+            assert!(
+                (ln_factorial(n) - exact).abs() < 1e-10,
+                "n={n}: {} vs {exact}",
+                ln_factorial(n)
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_stirling_region_is_accurate() {
+        // Compare table value at 255 with Stirling at 256 via the recurrence.
+        let lhs = ln_factorial(256);
+        let rhs = ln_factorial(255) + 256f64.ln();
+        assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+        // Recurrence deep in the Stirling region too.
+        let lhs2 = ln_factorial(10_000);
+        let rhs2 = ln_factorial(9_999) + 10_000f64.ln();
+        assert!((lhs2 - rhs2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn binomial_exact_values() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 10), 1.0);
+        assert_eq!(binomial(10, 11), 0.0);
+        assert_eq!(binomial(52, 5), 2_598_960.0);
+    }
+
+    #[test]
+    fn binomial_large_values_match_log_space() {
+        for (n, k) in [(80u64, 40u64), (64, 20), (100, 3), (70, 35)] {
+            let direct = binomial(n, k);
+            let logged = ln_binomial(n, k).exp();
+            let rel = (direct - logged).abs() / logged;
+            assert!(rel < 1e-9, "C({n},{k}): {direct} vs {logged}");
+        }
+    }
+
+    #[test]
+    fn binomial_symmetry_and_pascal() {
+        for n in 1..60u64 {
+            for k in 0..=n {
+                let lhs = binomial(n, k);
+                assert_eq!(lhs, binomial(n, n - k), "symmetry at ({n},{k})");
+                if k >= 1 {
+                    let pascal = binomial(n - 1, k - 1) + binomial(n - 1, k);
+                    let rel = (lhs - pascal).abs() / lhs.max(1.0);
+                    assert!(rel < 1e-12, "pascal at ({n},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factorial_u64_bounds() {
+        assert_eq!(factorial_u64(0), Some(1));
+        assert_eq!(factorial_u64(20), Some(2432902008176640000));
+        assert_eq!(factorial_u64(21), None);
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        for lambda in [0.1, std::f64::consts::LN_2, 2.0 * std::f64::consts::LN_2, 100f64.ln()] {
+            let total: f64 = (0..200).map(|k| poisson_pmf(lambda, k)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "λ={lambda}: {total}");
+        }
+    }
+
+    #[test]
+    fn poisson_pmf_degenerate_lambda() {
+        assert_eq!(poisson_pmf(0.0, 0), 1.0);
+        assert_eq!(poisson_pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn zero_truncated_poisson_sums_to_one_and_skips_zero() {
+        for lambda in [0.2, std::f64::consts::LN_2, 2.0] {
+            assert_eq!(zero_truncated_poisson_pmf(lambda, 0), 0.0);
+            let total: f64 = (1..200)
+                .map(|k| zero_truncated_poisson_pmf(lambda, k))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "λ={lambda}: {total}");
+        }
+    }
+
+    #[test]
+    fn ztp_matches_balanced_distribution_shape() {
+        // At λ = ln(1/(1−ε)), N·ZTP(i) must equal N((1−ε)/ε)·λ^i/i!.
+        let eps = 0.75f64;
+        let lambda = (1.0 / (1.0 - eps)).ln();
+        for i in 1..30u64 {
+            let ztp = zero_truncated_poisson_pmf(lambda, i);
+            let direct = ((1.0 - eps) / eps) * lambda.powi(i as i32)
+                / factorial_u64(i).map(|f| f as f64).unwrap_or_else(|| ln_factorial(i).exp());
+            assert!((ztp - direct).abs() < 1e-12 * direct.max(1e-300), "i={i}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Fixed-width plain-text table rendering.
+//!
+//! The reproduction binaries print the paper's tables (Figures 2 and 4 are
+//! tables; Figures 1 and 3 print as aligned series); this module gives them
+//! one consistent renderer so EXPERIMENTS.md diffs stay clean.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple fixed-width table builder.
+///
+/// ```
+/// use redundancy_stats::table::{Align, Table};
+/// let mut t = Table::new(&["scheme", "factor"]);
+/// t.align(1, Align::Right);
+/// t.row(&["balanced", "1.386"]);
+/// let s = t.render();
+/// assert!(s.contains("balanced"));
+/// assert!(s.lines().count() >= 3); // header, rule, row
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers (all left-aligned).
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns: vec![Align::Left; headers.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the alignment of column `col`.
+    pub fn align(&mut self, col: usize, align: Align) -> &mut Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Right-align every column except the first (the common numeric shape).
+    pub fn numeric(&mut self) -> &mut Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} does not match {} headers",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Append a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string with a header rule, two-space gutters, and
+    /// per-column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, (cell, &w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match self.aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{cell:<w$}");
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{cell:>w$}");
+                    }
+                }
+            }
+            // Trim trailing padding for tidy diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&self.headers, &mut out);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a float with `digits` decimal places.
+pub fn fnum(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Format an integer with thousands separators (`1,234,567`), matching the
+/// paper's table typography.
+pub fn inum(x: u64) -> String {
+    let s = x.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.align(1, Align::Right);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numbers end at the same column.
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn numeric_helper_right_aligns_tail_columns() {
+        let mut t = Table::new(&["k", "a", "b"]);
+        t.numeric();
+        assert_eq!(t.aligns, vec![Align::Left, Align::Right, Align::Right]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["one", "two"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        t.row_owned(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fnum(1.23456, 3), "1.235");
+        assert_eq!(inum(0), "0");
+        assert_eq!(inum(999), "999");
+        assert_eq!(inum(1000), "1,000");
+        assert_eq!(inum(1_234_567), "1,234,567");
+        assert_eq!(inum(46_517_018), "46,517,018");
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the numerics/sampling substrate.
+
+use proptest::prelude::*;
+use redundancy_stats::samplers::{
+    sample_binomial, sample_geometric, sample_hypergeometric, sample_zero_truncated_poisson,
+    AliasTable,
+};
+use redundancy_stats::special::{binomial, ln_binomial, ln_factorial};
+use redundancy_stats::{DeterministicRng, Histogram, Proportion, RunningMoments, SeedSequence};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `ln C(n,k)` and the direct `C(n,k)` agree wherever both are finite.
+    #[test]
+    fn binomial_log_consistency(n in 0u64..120, k in 0u64..120) {
+        let direct = binomial(n, k);
+        if k > n {
+            prop_assert_eq!(direct, 0.0);
+            prop_assert!(ln_binomial(n, k).is_infinite());
+        } else {
+            let logged = ln_binomial(n, k).exp();
+            let rel = (direct - logged).abs() / logged.max(1.0);
+            prop_assert!(rel < 1e-9, "C({},{}) {} vs {}", n, k, direct, logged);
+        }
+    }
+
+    /// Factorial recurrence holds across the table/Stirling seam.
+    #[test]
+    fn ln_factorial_recurrence(n in 1u64..5_000) {
+        let lhs = ln_factorial(n);
+        let rhs = ln_factorial(n - 1) + (n as f64).ln();
+        prop_assert!((lhs - rhs).abs() < 1e-8, "n={}", n);
+    }
+
+    /// Binomial samples live on the right support and match the mean.
+    #[test]
+    fn binomial_sampler_mean(n in 1u64..60, p_cent in 0u32..=100, seed in 0u64..1000) {
+        let p = p_cent as f64 / 100.0;
+        let mut rng = DeterministicRng::new(seed);
+        let trials = 3_000u32;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let x = sample_binomial(&mut rng, n, p);
+            prop_assert!(x <= n);
+            sum += x as f64;
+        }
+        let mean = sum / trials as f64;
+        let expect = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        prop_assert!((mean - expect).abs() < 5.0 * sd / (trials as f64).sqrt() + 1e-9,
+            "n={} p={} mean {} expect {}", n, p, mean, expect);
+    }
+
+    /// Hypergeometric samples respect their support bounds.
+    #[test]
+    fn hypergeometric_support(
+        total in 1u64..500,
+        succ_frac in 0u32..=100,
+        draw_frac in 0u32..=100,
+        seed in 0u64..500,
+    ) {
+        let successes = total * succ_frac as u64 / 100;
+        let draws = total * draw_frac as u64 / 100;
+        let mut rng = DeterministicRng::new(seed);
+        for _ in 0..50 {
+            let x = sample_hypergeometric(&mut rng, total, successes, draws);
+            let lo = draws.saturating_sub(total - successes);
+            let hi = successes.min(draws);
+            prop_assert!((lo..=hi).contains(&x), "x={} not in [{},{}]", x, lo, hi);
+        }
+    }
+
+    /// Zero-truncated Poisson never returns zero and matches its mean.
+    #[test]
+    fn ztp_support_and_mean(lam_cent in 5u32..300, seed in 0u64..200) {
+        let lam = lam_cent as f64 / 100.0;
+        let mut rng = DeterministicRng::new(seed);
+        let trials = 2_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let x = sample_zero_truncated_poisson(&mut rng, lam);
+            prop_assert!(x >= 1);
+            sum += x as f64;
+        }
+        let mean = sum / trials as f64;
+        let expect = lam / (1.0 - (-lam).exp());
+        prop_assert!((mean - expect).abs() < 0.15 + expect * 0.05,
+            "λ={}: {} vs {}", lam, mean, expect);
+    }
+
+    /// Geometric sampler: support ≥ 1, mean 1/q.
+    #[test]
+    fn geometric_mean(q_cent in 5u32..=100, seed in 0u64..200) {
+        let q = q_cent as f64 / 100.0;
+        let mut rng = DeterministicRng::new(seed);
+        let trials = 3_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let x = sample_geometric(&mut rng, q);
+            prop_assert!(x >= 1);
+            sum += x as f64;
+        }
+        let mean = sum / trials as f64;
+        prop_assert!((mean - 1.0 / q).abs() < 0.35 / q / (trials as f64 / 1000.0).sqrt() + 0.05,
+            "q={}: mean {}", q, mean);
+    }
+
+    /// Alias tables never emit zero-weight categories and hit positive ones.
+    #[test]
+    fn alias_table_support(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..12),
+        seed in 0u64..200,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = DeterministicRng::new(seed);
+        let mut seen = vec![false; weights.len()];
+        for _ in 0..2_000 {
+            let c = table.sample(&mut rng);
+            prop_assert!(weights[c] > 0.0, "zero-weight category {} drawn", c);
+            seen[c] = true;
+        }
+        // Heaviest category must be represented.
+        let heaviest = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        prop_assert!(seen[heaviest]);
+    }
+
+    /// Welford merge equals sequential accumulation on arbitrary splits.
+    #[test]
+    fn moments_merge_associative(
+        data in proptest::collection::vec(-1e6f64..1e6, 2..200),
+        cut_frac in 0u32..=100,
+    ) {
+        let cut = (data.len() * cut_frac as usize / 100).min(data.len());
+        let mut whole = RunningMoments::new();
+        for &x in &data { whole.push(x); }
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        for &x in &data[..cut] { a.push(x); }
+        for &x in &data[cut..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((a.sample_variance() - whole.sample_variance()).abs()
+            < 1e-6 * whole.sample_variance().abs().max(1.0));
+    }
+
+    /// Wilson intervals always contain the point estimate and live in [0,1].
+    #[test]
+    fn wilson_contains_estimate(successes in 0u64..500, extra in 0u64..500) {
+        let trials = successes + extra;
+        prop_assume!(trials > 0);
+        let mut p = Proportion::new();
+        p.push_batch(successes, trials);
+        let (lo, hi) = p.wilson_interval(1.96);
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= p.estimate() + 1e-12 && p.estimate() <= hi + 1e-12);
+    }
+
+    /// Histograms: total equals sum of counts; merge is additive.
+    #[test]
+    fn histogram_additivity(
+        a_vals in proptest::collection::vec(0usize..40, 0..100),
+        b_vals in proptest::collection::vec(0usize..40, 0..100),
+    ) {
+        let mut a = Histogram::new();
+        for &v in &a_vals { a.record(v); }
+        let mut b = Histogram::new();
+        for &v in &b_vals { b.record(v); }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.total(), (a_vals.len() + b_vals.len()) as u64);
+        for v in 0..40 {
+            prop_assert_eq!(merged.count(v), a.count(v) + b.count(v));
+        }
+    }
+
+    /// Seed sequences: derive is injective in practice over small ranges
+    /// and independent of call order.
+    #[test]
+    fn seed_sequence_stability(root in 0u64..u64::MAX, i in 0u64..10_000, j in 0u64..10_000) {
+        let seq = SeedSequence::new(root);
+        prop_assert_eq!(seq.derive(i), SeedSequence::new(root).derive(i));
+        if i != j {
+            prop_assert_ne!(seq.derive(i), seq.derive(j));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Scheme shootout: let the advisor pick a plan for your requirements.
+//!
+//! Run with `cargo run -p redundancy-examples --bin scheme_shootout`.
+//!
+//! Three supervisors with different operational constraints ask the
+//! advisor for the cheapest scheme that meets them; a comparison table of
+//! the reference plans is printed alongside each verdict.
+
+use redundancy_core::{advise, comparison_row, reference_plans, Requirements};
+use redundancy_stats::table::{fnum, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenarios = [
+        (
+            "research lab: robust against a 10% adversary",
+            Requirements {
+                n_tasks: 200_000,
+                epsilon: 0.5,
+                max_adversary_proportion: 0.10,
+                precompute_budget: 100,
+                min_multiplicity: None,
+            },
+        ),
+        (
+            "trusted-ish grid: tiny adversary, big precompute budget",
+            Requirements {
+                n_tasks: 200_000,
+                epsilon: 0.5,
+                max_adversary_proportion: 0.0,
+                precompute_budget: 5_000,
+                min_multiplicity: None,
+            },
+        ),
+        (
+            "fault-prone platform: every task at least twice",
+            Requirements {
+                n_tasks: 200_000,
+                epsilon: 0.5,
+                max_adversary_proportion: 0.05,
+                precompute_budget: 100,
+                min_multiplicity: Some(2),
+            },
+        ),
+    ];
+
+    for (label, req) in scenarios {
+        println!("### {label}");
+        let advice = advise(&req)?;
+        println!("advisor picks: {:?}", advice.choice);
+        println!("  {}", advice.rationale);
+        println!(
+            "  cost: {:.0} assignments (factor {:.4}), precompute {:.0}, detection {:.2} at p = {}",
+            advice.total_assignments,
+            advice.redundancy_factor,
+            advice.precompute,
+            advice.effective_detection,
+            req.max_adversary_proportion
+        );
+
+        let mut table = Table::new(&["reference plan", "factor", "effective detection"]);
+        table.numeric();
+        for plan in reference_plans(req.n_tasks, req.epsilon)? {
+            let (name, factor, eff) = comparison_row(&req, &plan)?;
+            table.row(&[&name, &fnum(factor, 4), &fnum(eff, 4)]);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Tuning ε and stress-testing the guarantee against adversary growth.
+//!
+//! Run with `cargo run -p redundancy-examples --bin tuning`.
+//!
+//! Two sweeps a supervisor actually performs:
+//!
+//! 1. **Cost of assurance**: how the redundancy factor and precompute of
+//!    the Balanced plan grow with the detection threshold ε;
+//! 2. **Guarantee under siege**: with ε fixed, how the effective detection
+//!    degrades as the adversary's assignment share p grows — closed form
+//!    (Proposition 3) next to a full platform simulation.
+
+use redundancy_core::RealizedPlan;
+use redundancy_sim::{
+    detection_experiment, AdversaryModel, CheatStrategy, ExperimentConfig,
+};
+use redundancy_stats::table::{fnum, inum, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 100_000u64;
+
+    println!("Sweep 1: cost of assurance (N = {n})\n");
+    let mut cost = Table::new(&[
+        "eps",
+        "factor",
+        "assignments",
+        "tail mult.",
+        "ringers",
+        "vs simple",
+    ]);
+    cost.numeric();
+    for eps in [0.1, 0.25, 0.5, 0.6, 0.75, 0.9, 0.95] {
+        let plan = RealizedPlan::balanced(n, eps)?;
+        let delta = plan.total_assignments() as i64 - 2 * n as i64;
+        cost.row(&[
+            &fnum(eps, 2),
+            &fnum(plan.redundancy_factor(), 4),
+            &inum(plan.total_assignments()),
+            &plan.tail_multiplicity().unwrap_or(0).to_string(),
+            &plan.ringer_tasks().to_string(),
+            &format!("{}{}", if delta >= 0 { "+" } else { "-" }, inum(delta.unsigned_abs())),
+        ]);
+    }
+    print!("{}", cost.render());
+    println!("\nBelow eps \u{2248} 0.797 the guarantee is cheaper than unguaranteed 2-fold redundancy.\n");
+
+    let eps = 0.6;
+    println!("Sweep 2: adversary growth (eps = {eps}, Balanced plan, N = 20,000)\n");
+    let plan = RealizedPlan::balanced(20_000, eps)?;
+    let bal = redundancy_core::Balanced::new(20_000, eps)?;
+    let mut siege = Table::new(&["p", "closed form", "simulated", "attacks"]);
+    siege.numeric();
+    for p in [0.0, 0.05, 0.1, 0.2, 0.3, 0.4] {
+        let est = detection_experiment(
+            &plan,
+            AdversaryModel::AssignmentFraction { p },
+            CheatStrategy::AtLeast { min_copies: 1 },
+            &ExperimentConfig::new(10, 777),
+        );
+        let overall = est.overall();
+        let closed = bal.p_nonasymptotic(1, p)?;
+        siege.row(&[
+            &fnum(p, 2),
+            &fnum(closed, 4),
+            &if overall.trials() > 0 {
+                fnum(overall.estimate(), 4)
+            } else {
+                "-".into()
+            },
+            &overall.trials().to_string(),
+        ]);
+    }
+    print!("{}", siege.render());
+    println!(
+        "\nProposition 3 in action: detection decays only as 1-(1-eps)^(1-p),\n\
+         and the simulation tracks the closed form at every p."
+    );
+    Ok(())
+}

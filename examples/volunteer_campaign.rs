@@ -1,0 +1,86 @@
+//! A SETI-style volunteer campaign under attack, end to end.
+//!
+//! Run with `cargo run -p redundancy-examples --bin volunteer_campaign`.
+//!
+//! A supervisor distributes 50,000 signal-analysis tasks to a pool of
+//! 20,000 volunteer accounts.  Unknown to them, a determined adversary has
+//! registered 2,000 Sybil accounts (10 % of the pool — the paper's
+//! introduction notes SETI@home saw days with 5,000+ new user names) and
+//! colludes across all of them, cheating on every task she touches.  The
+//! honest volunteers also suffer a 0.5 % non-malicious error rate.
+//!
+//! We run the same campaign under three plans — simple redundancy,
+//! Golle–Stubblebine, and Balanced — and compare what the supervisor
+//! catches, what slips through, and what each plan costs.
+
+use redundancy_core::RealizedPlan;
+use redundancy_sim::engine::CampaignConfig;
+use redundancy_sim::experiment::{detection_experiment_with, ExperimentConfig};
+use redundancy_sim::supervisor::VerificationPolicy;
+use redundancy_sim::{AdversaryModel, CheatStrategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_tasks = 50_000u64;
+    let epsilon = 0.6;
+    let adversary = AdversaryModel::SybilAccounts {
+        total: 20_000,
+        adversary: 2_000,
+    };
+
+    println!(
+        "Campaign: {n_tasks} tasks, 20,000 volunteer accounts, 2,000 of them Sybils \
+         (p = {:.0}%), honest fault rate 0.5%.\n",
+        adversary.proportion() * 100.0
+    );
+    println!(
+        "{:<20} {:>12} {:>8} {:>10} {:>12} {:>12} {:>11}",
+        "plan", "assignments", "factor", "attacks", "detected", "undetected", "false flags"
+    );
+
+    let plans = [
+        ("simple-redundancy", RealizedPlan::k_fold(n_tasks, 2, epsilon)?),
+        (
+            "golle-stubblebine",
+            RealizedPlan::golle_stubblebine(n_tasks, epsilon)?,
+        ),
+        ("balanced", RealizedPlan::balanced(n_tasks, epsilon)?),
+    ];
+
+    for (name, plan) in &plans {
+        let campaign = CampaignConfig {
+            adversary,
+            strategy: CheatStrategy::Always,
+            honest_error_rate: 0.005,
+            policy: VerificationPolicy::Unanimous,
+        };
+        let est = detection_experiment_with(plan, &campaign, &ExperimentConfig::new(8, 2005));
+        let o = &est.outcome;
+        println!(
+            "{:<20} {:>12} {:>8.4} {:>10} {:>12} {:>12} {:>11}",
+            name,
+            plan.total_assignments(),
+            plan.redundancy_factor(),
+            o.total_attempted(),
+            o.total_detected(),
+            o.total_attempted() - o.total_detected(),
+            o.false_flags,
+        );
+    }
+
+    println!();
+    println!("Reading the table:");
+    println!(
+        "- Simple redundancy hands the adversary every task she fully controls\n\
+         \u{20}  (its undetected count is dominated by 2-tuples she owns outright)."
+    );
+    println!(
+        "- Balanced catches a guaranteed fraction of attacks at ~30% fewer\n\
+         \u{20}  assignments than simple redundancy, and its per-attack detection is\n\
+         \u{20}  the same whatever tuple size the adversary holds (Proposition 3)."
+    );
+    println!(
+        "- Golle-Stubblebine protects too, but pays more assignments for extra\n\
+         \u{20}  protection at tuple sizes a smart adversary simply avoids."
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Integration: the `redundancy` CLI drives the whole stack end to end.
+
+use redundancy_cli::run;
+
+fn cli(parts: &[&str]) -> Result<String, String> {
+    let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+    run(&argv)
+}
+
+#[test]
+fn plan_analyze_simulate_pipeline() {
+    // Plan a computation, analyze it, and simulate it — the three commands
+    // must tell a consistent story at eps = 0.75.
+    let plan = cli(&["plan", "--tasks", "100000", "--epsilon", "0.75"]).unwrap();
+    assert!(plan.contains("factor 1.84"), "{plan}");
+    let analyze = cli(&[
+        "analyze", "--tasks", "100000", "--epsilon", "0.75", "--proportion", "0.1",
+    ])
+    .unwrap();
+    // Proposition 3 at p = 0.1: 1 - 0.25^0.9 ≈ 0.7128.
+    assert!(analyze.contains("0.7129"), "{analyze}");
+    let simulate = cli(&[
+        "simulate", "--tasks", "20000", "--epsilon", "0.75", "--proportion", "0.1",
+        "--campaigns", "10", "--seed", "42",
+    ])
+    .unwrap();
+    // The simulated k = 1 rate appears and is near 0.71.
+    let line = simulate
+        .lines()
+        .find(|l| l.trim_start().starts_with('1') && l.contains('['))
+        .expect("k = 1 row present");
+    assert!(line.contains("0.7"), "{line}");
+}
+
+#[test]
+fn errors_propagate_as_messages() {
+    let err = cli(&["plan", "--tasks", "0", "--epsilon", "0.5"]).unwrap_err();
+    assert!(err.contains("task"), "{err}");
+    let err2 = cli(&["nonsense"]).unwrap_err();
+    assert!(err2.contains("unknown command"), "{err2}");
+}
+
+#[test]
+fn help_is_always_available() {
+    let out = cli(&["help"]).unwrap();
+    assert!(out.contains("USAGE"));
+    let out2 = cli(&["help", "solve-sm"]).unwrap();
+    assert!(out2.contains("--min-precompute"));
+}

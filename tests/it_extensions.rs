@@ -1,0 +1,142 @@
+//! Integration: the workspace extensions (presolve, MPS, survival,
+//! reactive platform, goodness-of-fit) working across crate boundaries.
+
+use redundancy_core::{AssignmentMinimizing, Balanced, RealizedPlan, Scheme};
+use redundancy_lp::{parse_mps, solve_with_presolve, write_mps, Problem, Relation, Sense};
+use redundancy_sim::rounds::{run_platform, PlatformConfig};
+use redundancy_sim::survival::{expected_free_cheats, survival_experiment};
+use redundancy_sim::{CheatStrategy};
+use redundancy_stats::gof::chi_square_test;
+use redundancy_stats::samplers::sample_zero_truncated_poisson;
+use redundancy_stats::special::zero_truncated_poisson_pmf;
+use redundancy_stats::{DeterministicRng, Histogram};
+
+/// Rebuild an S_m LP directly (the CLI's export path does the same).
+fn s_m_problem(n: u64, eps: f64, dim: usize) -> Problem {
+    let mut lp = Problem::new(Sense::Minimize);
+    let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+    for (i, v) in vars.iter().enumerate() {
+        lp.set_objective(*v, (i + 1) as f64);
+    }
+    let cover: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+    lp.add_constraint(&cover, Relation::Ge, n as f64);
+    for k in 1..dim {
+        let mut terms = vec![(vars[k - 1], -eps)];
+        for i in (k + 1)..=dim {
+            terms.push((
+                vars[i - 1],
+                (1.0 - eps) * redundancy_stats::special::binomial(i as u64, k as u64),
+            ));
+        }
+        lp.add_constraint(&terms, Relation::Ge, 0.0);
+    }
+    lp
+}
+
+#[test]
+fn s_m_survives_mps_round_trip_and_presolve() {
+    let lp = s_m_problem(100_000, 0.5, 8);
+    let direct = lp.solve().unwrap().objective;
+    // MPS round trip.
+    let round = parse_mps(&write_mps(&lp, "S8"))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .objective;
+    assert!((direct - round).abs() < 1e-6 * direct);
+    // Presolve path.
+    let (pre, _stats) = solve_with_presolve(&lp).unwrap();
+    assert!((direct - pre.objective).abs() < 1e-6 * direct);
+    // And all three agree with the core crate's (row-scaled) solver.
+    let core = AssignmentMinimizing::solve(100_000, 0.5, 8).unwrap();
+    assert!((core.objective() - direct).abs() < 1e-6 * direct);
+}
+
+#[test]
+fn balanced_multiplicity_law_passes_chi_square() {
+    // The per-task multiplicity of the Balanced distribution is
+    // zero-truncated Poisson(γ); draw from the sampler and test against
+    // the pmf the core crate's weights are built from.
+    let eps = 0.75;
+    let bal = Balanced::new(1_000_000, eps).unwrap();
+    let gamma = bal.gamma();
+    let mut rng = DeterministicRng::new(20_050_926);
+    let mut hist = Histogram::new();
+    for _ in 0..30_000 {
+        hist.record(sample_zero_truncated_poisson(&mut rng, gamma) as usize);
+    }
+    let probs: Vec<f64> = (0..20)
+        .map(|k| zero_truncated_poisson_pmf(gamma, k as u64))
+        .collect();
+    let result = chi_square_test(&hist, &probs, 5.0).unwrap();
+    assert!(result.consistent(0.01), "{result:?}");
+
+    // Cross-check the materialized plan proportions against the same law.
+    let plan_props = bal.distribution().proportions();
+    for (idx, &p) in plan_props.iter().take(6).enumerate() {
+        let want = zero_truncated_poisson_pmf(gamma, idx as u64 + 1);
+        assert!((p - want).abs() < 1e-9, "i={}", idx + 1);
+    }
+}
+
+#[test]
+fn realized_plan_task_counts_pass_chi_square() {
+    // The integer plan's empirical multiplicity distribution must be
+    // statistically indistinguishable from the ideal ZTP law.
+    let eps = 0.6;
+    let plan = RealizedPlan::balanced(200_000, eps).unwrap();
+    let gamma = (1.0 / (1.0 - eps)).ln();
+    let mut hist = Histogram::new();
+    for p in plan.partitions() {
+        if p.kind != redundancy_core::PartitionKind::Ringer {
+            hist.record_n(p.multiplicity, p.tasks);
+        }
+    }
+    let probs: Vec<f64> = (0..25)
+        .map(|k| zero_truncated_poisson_pmf(gamma, k as u64))
+        .collect();
+    let result = chi_square_test(&hist, &probs, 5.0).unwrap();
+    assert!(
+        result.consistent(0.001),
+        "plan deviates from ideal law: {result:?}"
+    );
+}
+
+#[test]
+fn survival_and_platform_views_agree() {
+    // The single-career geometric law and the multi-round platform must
+    // tell one story: per-attempt detection ε (at small adversary share)
+    // implies careers of ~(1−ε)/ε free cheats and fast Sybil extinction.
+    let eps = 0.75;
+    let plan = RealizedPlan::balanced(10_000, eps).unwrap();
+
+    let cfg = redundancy_sim::engine::CampaignConfig::new(
+        redundancy_sim::AdversaryModel::AssignmentFraction { p: 0.05 },
+        CheatStrategy::AtLeast { min_copies: 1 },
+    );
+    let survival = survival_experiment(&plan, &cfg, 600, 1);
+    let p_eff = plan.effective_detection(0.05).unwrap();
+    let expect = expected_free_cheats(p_eff);
+    let mean = survival.free_cheats.mean();
+    assert!(
+        (mean - expect).abs() < 4.0 * survival.free_cheats.standard_error() + 0.05,
+        "career mean {mean} vs geometric {expect}"
+    );
+
+    let platform = PlatformConfig::strict(9_500, 500, CheatStrategy::AtLeast { min_copies: 1 });
+    let mut rng = DeterministicRng::new(2);
+    let history = run_platform(&plan, &platform, 15, &mut rng);
+    assert!(
+        history.extinction_round().is_some(),
+        "bans must extinguish the Sybils"
+    );
+}
+
+#[test]
+fn min_precompute_refinement_keeps_validity_across_crates() {
+    let refined = AssignmentMinimizing::solve_min_precompute(100_000, 0.5, 9).unwrap();
+    let plan = RealizedPlan::from_minimizing(&refined).unwrap();
+    assert!(plan.detection_profile().satisfies_threshold(0.5, 1e-6));
+    let base = AssignmentMinimizing::solve(100_000, 0.5, 9).unwrap();
+    assert!(refined.precompute_required() <= base.precompute_required() + 1e-6);
+}

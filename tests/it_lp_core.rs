@@ -1,0 +1,105 @@
+//! Integration: the LP solver and the core crate agree on the `S_m`
+//! systems, and the LP audit machinery guards the pipeline end to end.
+
+use redundancy_core::{bounds, AssignmentMinimizing, Scheme};
+use redundancy_lp::{verify_solution, Problem, Relation, Sense};
+use redundancy_stats::special::binomial;
+
+/// Rebuild the S_m LP independently of the core crate (no row scaling) and
+/// check both formulations land on the same optimum.
+fn raw_s_m(n: u64, eps: f64, dim: usize) -> Problem {
+    let mut lp = Problem::new(Sense::Minimize);
+    let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+    for (i, v) in vars.iter().enumerate() {
+        lp.set_objective(*v, (i + 1) as f64);
+    }
+    let cover: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+    lp.add_constraint(&cover, Relation::Ge, n as f64);
+    for k in 1..dim {
+        let mut terms = vec![(vars[k - 1], -eps)];
+        for i in (k + 1)..=dim {
+            terms.push((vars[i - 1], (1.0 - eps) * binomial(i as u64, k as u64)));
+        }
+        lp.add_constraint(&terms, Relation::Ge, 0.0);
+    }
+    lp
+}
+
+#[test]
+fn scaled_and_unscaled_formulations_agree() {
+    for dim in [3usize, 6, 10, 14] {
+        let core_sol = AssignmentMinimizing::solve(100_000, 0.5, dim).unwrap();
+        let raw = raw_s_m(100_000, 0.5, dim);
+        let raw_sol = raw.solve().unwrap();
+        let rel = (core_sol.objective() - raw_sol.objective).abs() / raw_sol.objective;
+        assert!(rel < 1e-7, "dim={dim}: {} vs {}", core_sol.objective(), raw_sol.objective);
+        let report = verify_solution(&raw, &raw_sol);
+        assert!(report.is_ok(1e-6), "dim={dim}: {report:?}");
+    }
+}
+
+#[test]
+fn lp_duals_certify_the_optimum() {
+    // Strong duality on the raw S_8 system: bᵀy = cᵀx, so the dual vector
+    // is a *certificate* that no cheaper distribution exists.
+    let raw = raw_s_m(100_000, 0.5, 8);
+    let sol = raw.solve().unwrap();
+    let dual_obj: f64 = 100_000.0 * sol.duals[0]; // only C₀ has nonzero rhs
+    assert!(
+        (dual_obj - sol.objective).abs() / sol.objective < 1e-7,
+        "duality gap: {dual_obj} vs {}",
+        sol.objective
+    );
+}
+
+#[test]
+fn lp_objective_sandwiched_by_theory() {
+    // Proposition 1 bound below, Balanced cost above (Balanced satisfies
+    // strictly more — its equality pattern — so it cannot be cheaper than
+    // the LP optimum of the same dimension... but it IS comparable to the
+    // infinite system; the finite S_m must sit between the bound and any
+    // valid m-dimensional distribution's cost, e.g. the truncated
+    // Balanced's).
+    let n = 100_000u64;
+    let eps = 0.5;
+    let bound = bounds::lower_bound_assignments(n, eps).unwrap();
+    for dim in [6usize, 10, 16] {
+        let sol = AssignmentMinimizing::solve(n, eps, dim).unwrap();
+        assert!(sol.objective() >= bound - 1e-3, "dim={dim}");
+        let bal = redundancy_core::Balanced::new(n, eps).unwrap();
+        assert!(
+            sol.objective() <= bal.total_assignments_exact() + 1.0,
+            "dim={dim}: S_m must not cost more than Balanced"
+        );
+    }
+}
+
+#[test]
+fn infeasible_core_requests_surface_as_errors() {
+    // ε = 1 is rejected before the LP layer.
+    assert!(AssignmentMinimizing::solve(100, 1.0, 5).is_err());
+    assert!(AssignmentMinimizing::solve(100, 0.5, 1).is_err());
+}
+
+#[test]
+fn sweep_supports_match_fact1_shape() {
+    // Fact 1: mass concentrates on {1, 2} with a small top bucket (plus at
+    // most a couple of interior helpers at low dimensions).
+    for sol in AssignmentMinimizing::sweep(100_000, 0.5, [8usize, 12, 20]).unwrap() {
+        let d = sol.distribution();
+        let frac12 = (d.weight(1) + d.weight(2)) / d.total_tasks();
+        assert!(frac12 > 0.95, "dim={}: {frac12}", sol.dimension());
+        assert!(d.weight(sol.dimension()) > 0.0, "top bucket present");
+    }
+}
+
+#[test]
+fn other_epsilons_solve_cleanly() {
+    // The paper says "similar behavior is observed for all relevant ε".
+    for eps in [0.25, 0.6, 0.75, 0.9] {
+        let sol = AssignmentMinimizing::solve(50_000, eps, 12).unwrap();
+        assert!(sol.verified_profile().satisfies_threshold(eps, 1e-6), "eps={eps}");
+        let bound = bounds::lower_bound_assignments(50_000, eps).unwrap();
+        assert!(sol.objective() > bound, "eps={eps}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Integration: every concrete number that survived in the paper's text,
+//! in one place.  This file is the executable record behind EXPERIMENTS.md.
+
+use redundancy_core::{
+    bounds, AssignmentMinimizing, Balanced, ExtendedBalanced, GolleStubblebine, RealizedPlan,
+};
+use redundancy_integration::assert_close;
+
+#[test]
+fn gs_cheaper_than_simple_iff_eps_below_075() {
+    // §3.1: "their scheme requires fewer resources than simple redundancy
+    // provided ε < 0.75".
+    assert!(GolleStubblebine::factor_for_threshold(0.7499).unwrap() < 2.0);
+    assert!(GolleStubblebine::factor_for_threshold(0.7501).unwrap() > 2.0);
+}
+
+#[test]
+fn prop1_bound_is_4_thirds_at_eps_half() {
+    // §3.2: "the lower bound redundancy factor of 4/3 ... (with ε = 0.5)".
+    assert_close(
+        bounds::lower_bound_factor(0.5).unwrap(),
+        4.0 / 3.0,
+        1e-12,
+        "Prop 1 at eps = 1/2",
+    );
+}
+
+#[test]
+fn fig2_anchor_s5_602_and_s6_1923() {
+    // §3.2: "in moving from the solution for S_5 to the solution for S_6,
+    // the amount of precomputing increases from 602 tasks to [1]923 tasks"
+    // (N = 100,000, ε = 0.5; the OCR dropped the leading 1).
+    let s5 = AssignmentMinimizing::solve(100_000, 0.5, 5).unwrap();
+    let s6 = AssignmentMinimizing::solve(100_000, 0.5, 6).unwrap();
+    assert_close(s5.precompute_required(), 602.41, 0.5, "S_5 precompute");
+    assert_close(s6.precompute_required(), 1923.08, 0.5, "S_6 precompute");
+}
+
+#[test]
+fn fig2_anchor_s3_to_s4_factor_rises() {
+    // §3.2: "in moving from systems S_3 to S_4, the redundancy factor
+    // increases".
+    let s3 = AssignmentMinimizing::solve(100_000, 0.5, 3).unwrap();
+    let s4 = AssignmentMinimizing::solve(100_000, 0.5, 4).unwrap();
+    assert!(s4.objective() > s3.objective());
+}
+
+#[test]
+fn fig1_selection_s9_and_s26() {
+    // Figure 1 caption: the first finite-dimensional solutions requiring
+    // fewer than 1000 precomputed tasks are S_9 at N = 100,000 and S_26 at
+    // N = 1,000,000 (ε = 1/2).
+    let s9 = AssignmentMinimizing::first_dimension_under_precompute(100_000, 0.5, 1000.0, 30)
+        .unwrap()
+        .unwrap();
+    assert_eq!(s9.dimension(), 9);
+    let s26 =
+        AssignmentMinimizing::first_dimension_under_precompute(1_000_000, 0.5, 1000.0, 30)
+            .unwrap()
+            .unwrap();
+    assert_eq!(s26.dimension(), 26);
+}
+
+#[test]
+fn balanced_redundancy_factor_values() {
+    // Theorem 1.3: factor = ln(1/(1−ε))/ε.
+    assert_close(
+        Balanced::factor_for_threshold(0.5).unwrap(),
+        2.0 * std::f64::consts::LN_2 / 1.0,
+        1e-12,
+        "eps = 0.5 (2 ln 2 ≈ 1.3863)",
+    );
+    assert_close(
+        Balanced::factor_for_threshold(0.75).unwrap(),
+        (4.0f64).ln() / 0.75,
+        1e-12,
+        "eps = 0.75",
+    );
+}
+
+#[test]
+fn fig4_totals_n1e6_eps075() {
+    // Figure 4: Balanced saves > 50,000 assignments over both GS and
+    // simple redundancy at N = 10⁶, ε = 0.75 (our realized totals:
+    // 1,848,440 vs 2,000,048 vs 2,000,000 — actual savings ≈ 151,600).
+    let bal = RealizedPlan::balanced(1_000_000, 0.75).unwrap();
+    let gs = RealizedPlan::golle_stubblebine(1_000_000, 0.75).unwrap();
+    assert!(gs.total_assignments() - bal.total_assignments() > 50_000);
+    assert!(2_000_000 - bal.total_assignments() > 50_000);
+    assert_close(
+        bal.total_assignments() as f64,
+        1_848_440.0,
+        1_000.0,
+        "balanced realized total",
+    );
+}
+
+#[test]
+fn sec6_extreme_example() {
+    // §6: N = 10⁷, ε = 0.99 → i_f = 20, tail 12 tasks (240 assignments of
+    // ~46.5 M), 57 ringers.
+    let plan = RealizedPlan::balanced(10_000_000, 0.99).unwrap();
+    assert_eq!(plan.tail_multiplicity(), Some(20));
+    assert_eq!(plan.tail_tasks(), 12);
+    assert_eq!(plan.ringer_tasks(), 57);
+    assert!((46_400_000..46_600_000).contains(&plan.total_assignments()));
+}
+
+#[test]
+fn sec6_typical_example() {
+    // §6: N = 10⁶, ε = 0.75 → i_f = 11, tail 5, 2 ringers.
+    let plan = RealizedPlan::balanced(1_000_000, 0.75).unwrap();
+    assert_eq!(plan.tail_multiplicity(), Some(11));
+    assert_eq!(plan.tail_tasks(), 5);
+    assert_eq!(plan.ringer_tasks(), 2);
+}
+
+#[test]
+fn sec7_factors_and_extra_cost() {
+    // §7: factors 2.259, 3.192, 4.152, 5.126 for min multiplicities 2–5 at
+    // ε = 0.5, and +25,900 assignments over simple redundancy at N = 10⁵.
+    let expect = [(2, 2.2589), (3, 3.1923), (4, 4.1522), (5, 5.1256)];
+    for (m, want) in expect {
+        let ext = ExtendedBalanced::new(100_000, 0.5, m).unwrap();
+        assert_close(
+            ext.redundancy_factor_exact(),
+            want,
+            0.001,
+            &format!("sec7 m={m}"),
+        );
+    }
+    let ext2 = ExtendedBalanced::new(100_000, 0.5, 2).unwrap();
+    assert_close(
+        ext2.total_assignments_exact() - 200_000.0,
+        25_889.0,
+        50.0,
+        "extra cost over simple",
+    );
+}
+
+#[test]
+fn appendix_a_critical_proportion() {
+    // Appendix A: expected fully controlled tasks ≈ p²N; threshold 1/√N.
+    use redundancy_sim::two_phase::TwoPhaseConfig;
+    let cfg = TwoPhaseConfig::new(1_000_000, 0.001);
+    assert_close(cfg.expected_full_control(), 1.0, 1e-9, "p²N at p = 1/√N");
+    assert_close(cfg.critical_proportion(), 0.001, 1e-12, "1/√N");
+}
+
+#[test]
+fn balanced_beats_gs_pointwise() {
+    // §4 / Figure 3: "the redundancy factor of the Balanced distribution
+    // is less than that of the Golle-Stubblebine distribution for
+    // 0 < ε < 1".
+    for i in 1..=99 {
+        let eps = i as f64 / 100.0;
+        assert!(
+            Balanced::factor_for_threshold(eps).unwrap()
+                < GolleStubblebine::factor_for_threshold(eps).unwrap(),
+            "eps={eps}"
+        );
+    }
+}

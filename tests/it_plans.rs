@@ -1,0 +1,112 @@
+//! Integration: realized plans (Section 6) across a parameter grid.
+
+use redundancy_core::{PartitionKind, RealizedPlan};
+use redundancy_integration::{assert_close, balanced_pkp, EPSILONS};
+
+fn ordinary_tasks(plan: &RealizedPlan) -> u64 {
+    plan.partitions()
+        .iter()
+        .filter(|p| p.kind != PartitionKind::Ringer)
+        .map(|p| p.tasks)
+        .sum()
+}
+
+#[test]
+fn balanced_plans_cover_and_guarantee_across_grid() {
+    for &eps in &EPSILONS {
+        for n in [997u64, 10_000, 250_000] {
+            let plan = RealizedPlan::balanced(n, eps).unwrap();
+            assert_eq!(ordinary_tasks(&plan), n, "coverage at N={n}, eps={eps}");
+            let eff = plan.effective_detection(0.0).unwrap();
+            assert!(
+                eff >= eps - 1e-9,
+                "N={n}, eps={eps}: effective {eff}"
+            );
+            // Realization overhead stays tiny (rounding + ringers dominate
+            // at small N, so the bound scales with 1/N).
+            let ideal = n as f64 * (1.0 / (1.0 - eps)).ln() / eps;
+            let rel = (plan.total_assignments() as f64 - ideal).abs() / ideal;
+            let allowed = 0.005 + 30.0 / n as f64;
+            assert!(rel < allowed, "N={n}, eps={eps}: overhead {rel}");
+        }
+    }
+}
+
+#[test]
+fn gs_plans_cover_and_guarantee() {
+    for &eps in &[0.25, 0.5, 0.75] {
+        let plan = RealizedPlan::golle_stubblebine(100_000, eps).unwrap();
+        assert_eq!(ordinary_tasks(&plan), 100_000);
+        assert!(plan.effective_detection(0.0).unwrap() >= eps - 1e-9);
+    }
+}
+
+#[test]
+fn plan_detection_tracks_proposition3_nonasymptotically() {
+    let plan = RealizedPlan::balanced(200_000, 0.5).unwrap();
+    for &p in &[0.0, 0.05, 0.1] {
+        let eff = plan.effective_detection(p).unwrap();
+        // The plan's minimum can only fall below the ideal curve by
+        // rounding dust; it must track Proposition 3 closely.
+        assert_close(eff, balanced_pkp(0.5, p), 5e-3, &format!("p={p}"));
+    }
+}
+
+#[test]
+fn partitions_are_sorted_and_typed() {
+    let plan = RealizedPlan::balanced(50_000, 0.75).unwrap();
+    let mults: Vec<usize> = plan.partitions().iter().map(|p| p.multiplicity).collect();
+    let mut sorted = mults.clone();
+    sorted.sort_unstable();
+    assert_eq!(mults, sorted, "partitions ascend in multiplicity");
+    // Exactly one tail, ringers last.
+    let tails = plan
+        .partitions()
+        .iter()
+        .filter(|p| p.kind == PartitionKind::Tail)
+        .count();
+    assert!(tails <= 1);
+    if plan.ringer_tasks() > 0 {
+        assert_eq!(
+            plan.partitions().last().unwrap().kind,
+            PartitionKind::Ringer
+        );
+    }
+}
+
+#[test]
+fn plan_json_round_trips_with_full_fidelity() {
+    let plan = RealizedPlan::balanced(12_345, 0.6).unwrap();
+    let json = serde_json::to_string_pretty(&plan).unwrap();
+    let back: RealizedPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(plan, back);
+    assert_eq!(back.effective_detection(0.0).unwrap(), plan.effective_detection(0.0).unwrap());
+}
+
+#[test]
+fn minimizing_plans_integerize_safely() {
+    for dim in [5usize, 9, 16] {
+        let sol = redundancy_core::AssignmentMinimizing::solve(100_000, 0.5, dim).unwrap();
+        let plan = RealizedPlan::from_minimizing(&sol).unwrap();
+        let total: u64 = plan.partitions().iter().map(|p| p.tasks).sum();
+        assert_eq!(total, 100_000, "dim={dim}");
+        assert!(
+            plan.detection_profile().satisfies_threshold(0.5, 1e-6),
+            "dim={dim}"
+        );
+        // Integerization cost vs the LP optimum is sub-percent.
+        let rel =
+            (plan.total_assignments() as f64 - sol.objective()).abs() / sol.objective();
+        assert!(rel < 0.01, "dim={dim}: {rel}");
+    }
+}
+
+#[test]
+fn extreme_thresholds_still_realize() {
+    // Near the boundaries of the supported ε range.
+    for eps in [0.01, 0.99] {
+        let plan = RealizedPlan::balanced(100_000, eps).unwrap();
+        assert_eq!(ordinary_tasks(&plan), 100_000);
+        assert!(plan.effective_detection(0.0).unwrap() >= eps - 1e-9, "eps={eps}");
+    }
+}

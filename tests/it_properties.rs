@@ -1,0 +1,141 @@
+//! Property-based tests on the workspace's core invariants (proptest).
+
+use proptest::prelude::*;
+use redundancy_core::{
+    bounds, Balanced, DetectionProfile, Distribution, GolleStubblebine, RealizedPlan, Scheme,
+};
+use redundancy_integration::balanced_pkp;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Theorem 1 over random (N, ε): coverage, equality, total cost.
+    #[test]
+    fn theorem1_holds_for_random_parameters(
+        n in 1_000u64..2_000_000,
+        eps_cent in 5u32..95,
+    ) {
+        let eps = eps_cent as f64 / 100.0;
+        let bal = Balanced::new(n, eps).unwrap();
+        let total: f64 = (1..160).map(|i| bal.ideal_weight(i)).sum();
+        prop_assert!((total - n as f64).abs() < 1e-3 * (n as f64).max(1.0));
+        let exact = bal.total_assignments_exact();
+        let expect = n as f64 * (1.0 / (1.0 - eps)).ln() / eps;
+        prop_assert!((exact - expect).abs() < 1e-6 * expect);
+        // Lower bound (Prop 1) respected with room to spare.
+        prop_assert!(exact > bounds::lower_bound_assignments(n, eps).unwrap());
+    }
+
+    /// Realized plans: exact coverage and the ε guarantee, for random
+    /// parameters.
+    #[test]
+    fn realized_plans_always_valid(
+        n in 500u64..500_000,
+        eps_cent in 10u32..95,
+    ) {
+        let eps = eps_cent as f64 / 100.0;
+        let plan = RealizedPlan::balanced(n, eps).unwrap();
+        let ordinary: u64 = plan
+            .partitions()
+            .iter()
+            .filter(|p| p.kind != redundancy_core::PartitionKind::Ringer)
+            .map(|p| p.tasks)
+            .sum();
+        prop_assert_eq!(ordinary, n);
+        let eff = plan.effective_detection(0.0).unwrap();
+        prop_assert!(eff >= eps - 1e-9, "eff {} < eps {}", eff, eps);
+    }
+
+    /// Proposition 3 shape: P_{k,p} decreasing in p, independent of k.
+    #[test]
+    fn proposition3_monotone_and_flat(
+        eps_cent in 10u32..90,
+        p_cent in 0u32..80,
+    ) {
+        let eps = eps_cent as f64 / 100.0;
+        let p = p_cent as f64 / 100.0;
+        let v = balanced_pkp(eps, p);
+        prop_assert!(v <= eps + 1e-12);
+        prop_assert!(v >= 0.0);
+        if p_cent > 0 {
+            prop_assert!(v < balanced_pkp(eps, (p_cent - 1) as f64 / 100.0) + 1e-12);
+        }
+        // Against the generic engine at two tuple sizes.
+        let bal = Balanced::new(100_000, eps).unwrap();
+        let prof = bal.detection_profile();
+        for k in [1usize, 2] {
+            if let Some(generic) = prof.p_nonasymptotic(k, p).unwrap() {
+                prop_assert!((generic - v).abs() < 1e-3, "k={}: {} vs {}", k, generic, v);
+            }
+        }
+    }
+
+    /// The generic detection engine is monotone: adding ringers can only
+    /// raise every detection probability.
+    #[test]
+    fn ringers_never_hurt(
+        weights in proptest::collection::vec(0.0f64..1_000.0, 1..8),
+        ringer_mult in 1usize..10,
+        ringers in 1.0f64..50.0,
+    ) {
+        let base = DetectionProfile::from_normal(weights.clone());
+        let with = DetectionProfile::from_normal(weights)
+            .with_precomputed(ringer_mult, ringers);
+        let dim = with.dimension();
+        for k in 1..=dim {
+            let before = base.p_asymptotic(k);
+            let after = with.p_asymptotic(k);
+            if let (Some(b), Some(a)) = (before, after) {
+                prop_assert!(a >= b - 1e-12, "k={}: {} -> {}", k, b, a);
+            }
+        }
+    }
+
+    /// GS detection increases with k; its minimum is at k = 1 and equals
+    /// 1 − (1−c)².
+    #[test]
+    fn gs_minimum_is_at_singletons(c_cent in 5u32..95) {
+        let c = c_cent as f64 / 100.0;
+        let gs = GolleStubblebine::with_ratio(1_000_000, c).unwrap();
+        let mut prev = gs.p_asymptotic(1);
+        prop_assert!((prev - (1.0 - (1.0 - c) * (1.0 - c))).abs() < 1e-12);
+        for k in 2..12 {
+            let pk = gs.p_asymptotic(k);
+            prop_assert!(pk > prev);
+            prev = pk;
+        }
+    }
+
+    /// Distribution arithmetic: scaling preserves the redundancy factor;
+    /// proportions always sum to 1.
+    #[test]
+    fn distribution_invariants(
+        weights in proptest::collection::vec(0.0f64..1e6, 1..12),
+        scale in 0.01f64..100.0,
+    ) {
+        let d = Distribution::from_weights(weights);
+        prop_assume!(d.total_tasks() > 0.0);
+        let s = d.scaled(scale);
+        let rel = (s.redundancy_factor() - d.redundancy_factor()).abs()
+            / d.redundancy_factor().max(1e-12);
+        prop_assert!(rel < 1e-9);
+        let sum: f64 = d.proportions().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Detection probabilities are genuine probabilities for arbitrary
+    /// profiles and p.
+    #[test]
+    fn detection_in_unit_interval(
+        weights in proptest::collection::vec(0.0f64..1e5, 1..10),
+        p_cent in 0u32..99,
+    ) {
+        let prof = DetectionProfile::from_normal(weights);
+        let p = p_cent as f64 / 100.0;
+        for k in 1..=prof.dimension() {
+            if let Some(v) = prof.p_nonasymptotic(k, p).unwrap() {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "k={} v={}", k, v);
+            }
+        }
+    }
+}

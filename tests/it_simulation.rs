@@ -1,0 +1,161 @@
+//! Integration: full platform simulations confirm the analytic detection
+//! guarantees for every scheme (the workspace's empirical validation).
+
+use redundancy_core::RealizedPlan;
+use redundancy_integration::{balanced_pkp, gs_pkp};
+use redundancy_sim::engine::CampaignConfig;
+use redundancy_sim::experiment::{
+    detection_experiment, detection_experiment_with, ExperimentConfig,
+};
+use redundancy_sim::supervisor::VerificationPolicy;
+use redundancy_sim::two_phase::{two_phase_batch, TwoPhaseConfig};
+use redundancy_sim::{AdversaryModel, CheatStrategy};
+use redundancy_stats::DeterministicRng;
+
+#[test]
+fn balanced_empirical_brackets_proposition3_on_grid() {
+    for (eps, p, seed) in [(0.5, 0.05, 1u64), (0.5, 0.15, 2), (0.75, 0.10, 3)] {
+        let plan = RealizedPlan::balanced(20_000, eps).unwrap();
+        let est = detection_experiment(
+            &plan,
+            AdversaryModel::AssignmentFraction { p },
+            CheatStrategy::AtLeast { min_copies: 1 },
+            &ExperimentConfig::new(25, seed),
+        );
+        let closed = balanced_pkp(eps, p);
+        for k in 1..=2usize {
+            assert!(
+                est.consistent_with(k, closed),
+                "eps={eps} p={p} k={k}: {:?} vs {closed}",
+                est.at_tuple(k).map(|q| q.estimate())
+            );
+        }
+    }
+}
+
+#[test]
+fn gs_empirical_brackets_closed_form() {
+    let eps = 0.5;
+    let p = 0.1;
+    let plan = RealizedPlan::golle_stubblebine(20_000, eps).unwrap();
+    let est = detection_experiment(
+        &plan,
+        AdversaryModel::AssignmentFraction { p },
+        CheatStrategy::AtLeast { min_copies: 1 },
+        &ExperimentConfig::new(25, 7),
+    );
+    let c = 1.0 - (1.0 - eps).sqrt();
+    for k in 1..=2usize {
+        let closed = gs_pkp(c, k, p);
+        assert!(
+            est.consistent_with(k, closed),
+            "k={k}: {:?} vs {closed}",
+            est.at_tuple(k).map(|q| q.estimate())
+        );
+    }
+}
+
+#[test]
+fn simple_redundancy_pair_collusion_always_succeeds() {
+    let plan = RealizedPlan::k_fold(10_000, 2, 0.5).unwrap();
+    let est = detection_experiment(
+        &plan,
+        AdversaryModel::AssignmentFraction { p: 0.2 },
+        CheatStrategy::ExactTuples { k: 2 },
+        &ExperimentConfig::new(15, 11),
+    );
+    let pair = est.at_tuple(2).unwrap();
+    assert_eq!(pair.estimate(), 0.0);
+    assert!(est.outcome.wrong_accepted > 100);
+}
+
+#[test]
+fn sybil_pool_matches_assignment_fraction_analysis() {
+    // The Sybil model (hypergeometric per task) must produce detection
+    // rates statistically indistinguishable from the p-fraction model.
+    let eps = 0.5;
+    let plan = RealizedPlan::balanced(20_000, eps).unwrap();
+    let est = detection_experiment(
+        &plan,
+        AdversaryModel::SybilAccounts {
+            total: 50_000,
+            adversary: 5_000,
+        },
+        CheatStrategy::AtLeast { min_copies: 1 },
+        &ExperimentConfig::new(25, 13),
+    );
+    let closed = balanced_pkp(eps, 0.1);
+    assert!(
+        est.consistent_with(1, closed),
+        "{:?} vs {closed}",
+        est.at_tuple(1).map(|q| q.estimate())
+    );
+}
+
+#[test]
+fn majority_policy_accepts_colluded_values_but_flags_them() {
+    let plan = RealizedPlan::k_fold(5_000, 3, 0.5).unwrap();
+    let campaign = CampaignConfig {
+        adversary: AdversaryModel::AssignmentFraction { p: 0.5 },
+        strategy: CheatStrategy::ExactTuples { k: 2 },
+        honest_error_rate: 0.0,
+        policy: VerificationPolicy::Majority,
+    };
+    let est = detection_experiment_with(&plan, &campaign, &ExperimentConfig::new(10, 17));
+    // Holding 2 of 3 copies: flagged (the honest copy disagrees) AND the
+    // colluded value wins the vote — the quorum pitfall.
+    let two = est.at_tuple(2).unwrap();
+    assert_eq!(two.estimate(), 1.0, "mismatch always flags");
+    assert!(est.outcome.wrong_accepted > 0, "yet the wrong value is recorded");
+}
+
+#[test]
+fn honest_faults_do_not_inflate_cheat_detection() {
+    let plan = RealizedPlan::balanced(10_000, 0.5).unwrap();
+    let campaign = CampaignConfig {
+        adversary: AdversaryModel::AssignmentFraction { p: 0.0 },
+        strategy: CheatStrategy::Never,
+        honest_error_rate: 0.01,
+        policy: VerificationPolicy::Unanimous,
+    };
+    let est = detection_experiment_with(&plan, &campaign, &ExperimentConfig::new(10, 19));
+    assert_eq!(est.outcome.total_attempted(), 0);
+    assert!(est.outcome.false_flags > 0);
+}
+
+#[test]
+fn appendix_a_mean_matches_p_squared_n_at_scale() {
+    let cfg = TwoPhaseConfig::new(1_000_000, 0.002);
+    let mut rng = DeterministicRng::new(23);
+    let out = two_phase_batch(&cfg, 2_000, &mut rng);
+    let expect = cfg.expected_full_control(); // 4.0
+    let mean = out.full_control.mean();
+    let se = out.full_control.standard_error();
+    assert!(
+        (mean - expect).abs() < 4.0 * se + 0.01,
+        "mean {mean} vs {expect} (se {se})"
+    );
+    // Well above the 1/√N threshold ⇒ essentially always cheatable.
+    assert!(out.cheatable_fraction() > 0.9);
+}
+
+#[test]
+fn cross_seed_stability_of_estimates() {
+    // Different seeds must give statistically compatible estimates (a
+    // regression guard against seed-dependent bias in the chunked runner).
+    let plan = RealizedPlan::balanced(20_000, 0.5).unwrap();
+    let run = |seed| {
+        detection_experiment(
+            &plan,
+            AdversaryModel::AssignmentFraction { p: 0.1 },
+            CheatStrategy::AtLeast { min_copies: 1 },
+            &ExperimentConfig::new(20, seed),
+        )
+        .at_tuple(1)
+        .unwrap()
+        .estimate()
+    };
+    let a = run(100);
+    let b = run(200);
+    assert!((a - b).abs() < 0.02, "{a} vs {b}");
+}

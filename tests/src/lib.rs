@@ -1,0 +1,43 @@
+//! Shared helpers for the cross-crate integration tests.
+
+/// Detection thresholds covering the paper's operating range.
+pub const EPSILONS: [f64; 4] = [0.25, 0.5, 0.75, 0.9];
+
+/// Adversary proportions used across the non-asymptotic checks.
+pub const PROPORTIONS: [f64; 4] = [0.0, 0.05, 0.10, 0.15];
+
+/// Assert two floats agree within an absolute tolerance, with context.
+pub fn assert_close(got: f64, want: f64, tol: f64, context: &str) {
+    assert!(
+        (got - want).abs() <= tol,
+        "{context}: got {got}, want {want} (tol {tol})"
+    );
+}
+
+/// Balanced closed form `P_{k,p} = 1 − (1−ε)^{1−p}` (Proposition 3).
+pub fn balanced_pkp(eps: f64, p: f64) -> f64 {
+    1.0 - (1.0 - eps).powf(1.0 - p)
+}
+
+/// Golle–Stubblebine closed form `P_{k,p} = 1 − (1 − c(1−p))^{k+1}`.
+pub fn gs_pkp(c: f64, k: usize, p: f64) -> f64 {
+    1.0 - (1.0 - c * (1.0 - p)).powi(k as i32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_at_zero() {
+        assert_close(balanced_pkp(0.5, 0.0), 0.5, 1e-12, "balanced at p=0");
+        let c = 1.0 - 0.5f64.sqrt();
+        assert_close(gs_pkp(c, 1, 0.0), 0.5, 1e-12, "GS k=1 at p=0");
+    }
+
+    #[test]
+    #[should_panic(expected = "tol")]
+    fn assert_close_fires() {
+        assert_close(1.0, 2.0, 0.1, "deliberate");
+    }
+}
