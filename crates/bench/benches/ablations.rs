@@ -14,7 +14,9 @@ fn fig2_style_lp(dim: usize) -> Problem {
     // A hand-rolled S_m-shaped LP so the pivot-rule ablation does not go
     // through the core crate's fixed options.
     let mut lp = Problem::new(Sense::Minimize);
-    let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+    let vars: Vec<_> = (1..=dim)
+        .map(|i| lp.add_variable(format!("x{i}")))
+        .collect();
     for (i, v) in vars.iter().enumerate() {
         lp.set_objective(*v, (i + 1) as f64);
     }
@@ -49,9 +51,7 @@ fn bench_pivot_rules(c: &mut Criterion) {
             pivot_rule: rule,
             ..SimplexOptions::default()
         };
-        group.bench_function(name, |b| {
-            b.iter(|| lp.solve_with(&opts).unwrap().pivots)
-        });
+        group.bench_function(name, |b| b.iter(|| lp.solve_with(&opts).unwrap().pivots));
     }
     group.finish();
 }
@@ -80,7 +80,11 @@ fn bench_lexicographic_refinement(c: &mut Criterion) {
     assert!((refined.objective() - base.objective()).abs() < 1.0);
 
     group.bench_function("single_stage_solve_m16", |b| {
-        b.iter(|| AssignmentMinimizing::solve(100_000, 0.5, 16).unwrap().objective())
+        b.iter(|| {
+            AssignmentMinimizing::solve(100_000, 0.5, 16)
+                .unwrap()
+                .objective()
+        })
     });
     group.bench_function("min_precompute_solve_m16", |b| {
         b.iter(|| {

@@ -15,7 +15,9 @@ use redundancy_stats::{DeterministicRng, Histogram, P2Quantile};
 
 fn s_m_lp(dim: usize) -> Problem {
     let mut lp = Problem::new(Sense::Minimize);
-    let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+    let vars: Vec<_> = (1..=dim)
+        .map(|i| lp.add_variable(format!("x{i}")))
+        .collect();
     for (i, v) in vars.iter().enumerate() {
         lp.set_objective(*v, (i + 1) as f64);
     }

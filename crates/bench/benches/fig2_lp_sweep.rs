@@ -9,7 +9,11 @@ fn bench_lp_sweep(c: &mut Criterion) {
 
     for &dim in &[4usize, 8, 16, 26] {
         group.bench_with_input(BenchmarkId::new("solve_s_m", dim), &dim, |b, &dim| {
-            b.iter(|| AssignmentMinimizing::solve(100_000, 0.5, dim).unwrap().objective())
+            b.iter(|| {
+                AssignmentMinimizing::solve(100_000, 0.5, dim)
+                    .unwrap()
+                    .objective()
+            })
         });
     }
 

@@ -107,6 +107,33 @@ pub enum Command {
         /// Optional MPS export path.
         mps: Option<String>,
     },
+    /// `redundancy faults`
+    Faults {
+        /// Scheme to simulate.
+        scheme: SchemeName,
+        /// Task count per campaign.
+        tasks: u64,
+        /// Detection threshold.
+        epsilon: f64,
+        /// Adversary assignment share.
+        proportion: f64,
+        /// Number of campaigns per sweep row.
+        campaigns: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Largest per-assignment drop rate in the sweep.
+        drop_rate: f64,
+        /// Straggler probability applied to every row.
+        straggler_rate: f64,
+        /// Mean straggler delay, in ticks.
+        straggler_delay: f64,
+        /// Ticks the supervisor waits before re-issuing a copy.
+        timeout: u64,
+        /// Re-issue budget per assignment.
+        retries: u32,
+        /// Sweep rows above zero (the zero-fault baseline is always row 0).
+        steps: u32,
+    },
     /// `redundancy help [command]`
     Help {
         /// Command to describe, if any.
@@ -291,6 +318,36 @@ fn check_unit_interval(flag: &'static str, value: f64, open_top: bool) -> Result
     }
 }
 
+/// A fault-injection probability: any value in the closed interval [0, 1].
+fn check_rate(flag: &'static str, value: f64) -> Result<f64, ArgError> {
+    if (0.0..=1.0).contains(&value) && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ArgError::BadValue {
+            flag: flag.into(),
+            value: value.to_string(),
+            expected: "a probability in [0, 1]",
+        })
+    }
+}
+
+/// A count that must be at least 1 (timeouts, sweep steps).
+fn check_nonzero<T: Into<u64> + Copy>(
+    flag: &'static str,
+    value: T,
+    expected: &'static str,
+) -> Result<T, ArgError> {
+    if value.into() == 0 {
+        Err(ArgError::BadValue {
+            flag: flag.into(),
+            value: "0".into(),
+            expected,
+        })
+    } else {
+        Ok(value)
+    }
+}
+
 /// Parse a full argv (excluding the program name) into a [`Command`].
 pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
     let Some(command) = argv.first() else {
@@ -325,7 +382,13 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     f.or_default("--proportion", "a number in [0, 1)", 0.0)?,
                     true,
                 )
-                .or_else(|e| if f.flags.contains_key("--proportion") { Err(e) } else { Ok(0.0) })?,
+                .or_else(|e| {
+                    if f.flags.contains_key("--proportion") {
+                        Err(e)
+                    } else {
+                        Ok(0.0)
+                    }
+                })?,
                 json: f.optional("--json", "a file path")?,
             })
         }
@@ -414,6 +477,62 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 mps: f.optional("--mps", "a file path")?,
             })
         }
+        "faults" => {
+            let f = FlagSet::new(
+                rest,
+                "faults",
+                &[
+                    "--scheme",
+                    "--tasks",
+                    "--epsilon",
+                    "--proportion",
+                    "--campaigns",
+                    "--seed",
+                    "--drop-rate",
+                    "--straggler-rate",
+                    "--straggler-delay",
+                    "--timeout",
+                    "--retries",
+                    "--steps",
+                ],
+            )?;
+            Ok(Command::Faults {
+                scheme: f.scheme(SchemeName::Balanced)?,
+                tasks: f.required("--tasks", "a positive integer")?,
+                epsilon: check_unit_interval(
+                    "--epsilon",
+                    f.required("--epsilon", "a number in (0, 1)")?,
+                    false,
+                )?,
+                proportion: check_unit_interval(
+                    "--proportion",
+                    f.or_default("--proportion", "a number in [0, 1)", 0.1)?,
+                    true,
+                )?,
+                campaigns: f.or_default("--campaigns", "a positive integer", 20)?,
+                seed: f.or_default("--seed", "a 64-bit integer", 20_050_926)?,
+                drop_rate: check_rate(
+                    "--drop-rate",
+                    f.or_default("--drop-rate", "a probability in [0, 1]", 0.5)?,
+                )?,
+                straggler_rate: check_rate(
+                    "--straggler-rate",
+                    f.or_default("--straggler-rate", "a probability in [0, 1]", 0.0)?,
+                )?,
+                straggler_delay: f.or_default("--straggler-delay", "ticks >= 1", 4.0)?,
+                timeout: check_nonzero(
+                    "--timeout",
+                    f.or_default("--timeout", "a positive number of ticks", 8u64)?,
+                    "a positive number of ticks",
+                )?,
+                retries: f.or_default("--retries", "a small integer", 3)?,
+                steps: check_nonzero(
+                    "--steps",
+                    f.or_default("--steps", "a positive integer", 5u32)?,
+                    "a positive number of sweep steps",
+                )?,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help {
             topic: rest.first().cloned(),
         }),
@@ -484,7 +603,15 @@ mod tests {
             Err(ArgError::UnknownCommand(_))
         ));
         assert!(matches!(
-            parse_args(&argv(&["plan", "--tasks", "10", "--epsilon", "0.5", "--bogus", "1"])),
+            parse_args(&argv(&[
+                "plan",
+                "--tasks",
+                "10",
+                "--epsilon",
+                "0.5",
+                "--bogus",
+                "1"
+            ])),
             Err(ArgError::UnknownFlag { .. })
         ));
         assert!(matches!(
@@ -493,7 +620,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_args(&argv(&["plan", "--epsilon", "0.5"])),
-            Err(ArgError::MissingFlag { flag: "--tasks", .. })
+            Err(ArgError::MissingFlag {
+                flag: "--tasks",
+                ..
+            })
         ));
         assert!(matches!(
             parse_args(&argv(&["plan", "--tasks", "ten", "--epsilon", "0.5"])),
@@ -534,13 +664,125 @@ mod tests {
         .unwrap();
         match cmd {
             Command::SolveSm {
-                min_precompute, dim, ..
+                min_precompute,
+                dim,
+                ..
             } => {
                 assert!(min_precompute);
                 assert_eq!(dim, 6);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn faults_defaults_and_overrides() {
+        let cmd = parse_args(&argv(&["faults", "--tasks", "1000", "--epsilon", "0.5"])).unwrap();
+        match cmd {
+            Command::Faults {
+                drop_rate,
+                straggler_rate,
+                timeout,
+                retries,
+                steps,
+                proportion,
+                ..
+            } => {
+                assert_eq!(drop_rate, 0.5);
+                assert_eq!(straggler_rate, 0.0);
+                assert_eq!(timeout, 8);
+                assert_eq!(retries, 3);
+                assert_eq!(steps, 5);
+                assert_eq!(proportion, 0.1);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&argv(&[
+            "faults",
+            "--tasks",
+            "1000",
+            "--epsilon",
+            "0.5",
+            "--drop-rate",
+            "0.8",
+            "--straggler-rate",
+            "0.3",
+            "--timeout",
+            "16",
+            "--retries",
+            "0",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Faults {
+                drop_rate,
+                straggler_rate,
+                timeout,
+                retries,
+                ..
+            } => {
+                assert_eq!(drop_rate, 0.8);
+                assert_eq!(straggler_rate, 0.3);
+                assert_eq!(timeout, 16);
+                assert_eq!(retries, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn faults_rejects_invalid_parameters() {
+        // Drop rate above 1 is not a probability.
+        assert!(matches!(
+            parse_args(&argv(&[
+                "faults",
+                "--tasks",
+                "10",
+                "--epsilon",
+                "0.5",
+                "--drop-rate",
+                "1.5"
+            ])),
+            Err(ArgError::BadValue { .. })
+        ));
+        // A zero timeout would retry forever without waiting.
+        assert!(matches!(
+            parse_args(&argv(&[
+                "faults",
+                "--tasks",
+                "10",
+                "--epsilon",
+                "0.5",
+                "--timeout",
+                "0"
+            ])),
+            Err(ArgError::BadValue { .. })
+        ));
+        // Zero sweep steps cannot form a table.
+        assert!(matches!(
+            parse_args(&argv(&[
+                "faults",
+                "--tasks",
+                "10",
+                "--epsilon",
+                "0.5",
+                "--steps",
+                "0"
+            ])),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_args(&argv(&[
+                "faults",
+                "--tasks",
+                "10",
+                "--epsilon",
+                "0.5",
+                "--straggler-rate",
+                "-0.2"
+            ])),
+            Err(ArgError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -3,10 +3,12 @@
 use crate::args::{Command, SchemeName};
 use crate::USAGE;
 use redundancy_core::{
-    advise, AssignmentMinimizing, CoreError, ExtendedBalanced, RealizedPlan,
-    Requirements, Scheme,
+    advise, AssignmentMinimizing, CoreError, ExtendedBalanced, RealizedPlan, Requirements, Scheme,
 };
-use redundancy_sim::{detection_experiment, AdversaryModel, CheatStrategy, ExperimentConfig};
+use redundancy_sim::{
+    detection_experiment, faulty_detection_experiment, AdversaryModel, CampaignConfig,
+    CheatStrategy, ExperimentConfig, FaultModel,
+};
 use redundancy_stats::table::{fnum, inum, Table};
 use std::fmt::Write as _;
 
@@ -58,9 +60,7 @@ fn build_plan(
     }
     match scheme {
         SchemeName::Balanced => Ok(RealizedPlan::balanced(tasks, effective_eps)?),
-        SchemeName::GolleStubblebine => {
-            Ok(RealizedPlan::golle_stubblebine(tasks, effective_eps)?)
-        }
+        SchemeName::GolleStubblebine => Ok(RealizedPlan::golle_stubblebine(tasks, effective_eps)?),
         SchemeName::Simple => Ok(RealizedPlan::k_fold(tasks, 2, epsilon)?),
         SchemeName::Extended => {
             let m = min_multiplicity.unwrap_or(2);
@@ -84,7 +84,14 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             min_multiplicity,
             proportion,
             json,
-        } => plan(*scheme, *tasks, *epsilon, *min_multiplicity, *proportion, json.as_deref()),
+        } => plan(
+            *scheme,
+            *tasks,
+            *epsilon,
+            *min_multiplicity,
+            *proportion,
+            json.as_deref(),
+        ),
         Command::Analyze {
             scheme,
             tasks,
@@ -97,7 +104,13 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             adversary,
             precompute_budget,
             min_multiplicity,
-        } => advise_cmd(*tasks, *epsilon, *adversary, *precompute_budget, *min_multiplicity),
+        } => advise_cmd(
+            *tasks,
+            *epsilon,
+            *adversary,
+            *precompute_budget,
+            *min_multiplicity,
+        ),
         Command::Simulate {
             scheme,
             tasks,
@@ -113,6 +126,33 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             min_precompute,
             mps,
         } => solve_sm(*tasks, *epsilon, *dim, *min_precompute, mps.as_deref()),
+        Command::Faults {
+            scheme,
+            tasks,
+            epsilon,
+            proportion,
+            campaigns,
+            seed,
+            drop_rate,
+            straggler_rate,
+            straggler_delay,
+            timeout,
+            retries,
+            steps,
+        } => faults_sweep(
+            *scheme,
+            *tasks,
+            *epsilon,
+            *proportion,
+            *campaigns,
+            *seed,
+            *drop_rate,
+            *straggler_rate,
+            *straggler_delay,
+            *timeout,
+            *retries,
+            *steps,
+        ),
     }
 }
 
@@ -148,6 +188,19 @@ Runs full Monte-Carlo campaigns (assignment, collusion, verification) and
 reports empirical detection rates with Wilson 95% intervals.
 "
         .into(),
+        Some("faults") => "\
+redundancy faults --tasks <N> --epsilon <E> [--scheme S] [--proportion P]
+                  [--campaigns C] [--seed SEED] [--drop-rate R] [--steps K]
+                  [--straggler-rate R] [--straggler-delay D]
+                  [--timeout T] [--retries M]
+
+Sweeps per-assignment drop rates from 0 to --drop-rate in K steps and
+reports how empirical detection, delivery rate, and effective multiplicity
+degrade — and how much the retry/reassignment budget recovers.  All latency
+is abstract ticks; results are deterministic for a fixed seed and identical
+across thread counts.
+"
+        .into(),
         Some("solve-sm") => "\
 redundancy solve-sm --tasks <N> --epsilon <E> --dim <M>
                     [--min-precompute] [--mps PATH]
@@ -175,7 +228,10 @@ fn plan(
         out,
         "guarantee: detection >= {epsilon} for every tuple size{}",
         if proportion > 0.0 {
-            format!(" up to adversary share {proportion} (threshold boosted to {:.4})", plan.epsilon())
+            format!(
+                " up to adversary share {proportion} (threshold boosted to {:.4})",
+                plan.epsilon()
+            )
         } else {
             String::new()
         }
@@ -204,8 +260,7 @@ fn plan(
         plan.effective_detection(0.1)?
     );
     if let Some(path) = json {
-        let body = serde_json::to_string_pretty(&plan)
-            .map_err(|e| CliError::Io(e.to_string()))?;
+        let body = redundancy_json::to_string_pretty(&plan);
         std::fs::write(path, body).map_err(|e| CliError::Io(e.to_string()))?;
         let _ = writeln!(out, "[plan written to {path}]");
     }
@@ -317,7 +372,9 @@ fn simulate(
     table.numeric();
     let mut any = false;
     for k in 1..est.outcome.cheats_attempted.len() {
-        let Some(prop) = est.at_tuple(k) else { continue };
+        let Some(prop) = est.at_tuple(k) else {
+            continue;
+        };
         any = true;
         let (lo, hi) = prop.wilson_interval(1.96);
         table.row(&[
@@ -337,6 +394,97 @@ fn simulate(
         out,
         "wrong results accepted: {}; false flags: {}",
         est.outcome.wrong_accepted, est.outcome.false_flags
+    );
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn faults_sweep(
+    scheme: SchemeName,
+    tasks: u64,
+    epsilon: f64,
+    proportion: f64,
+    campaigns: u64,
+    seed: u64,
+    drop_rate: f64,
+    straggler_rate: f64,
+    straggler_delay: f64,
+    timeout: u64,
+    retries: u32,
+    steps: u32,
+) -> Result<String, CliError> {
+    let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
+    let campaign = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: proportion },
+        CheatStrategy::AtLeast { min_copies: 1 },
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault sweep: {} over {} tasks, {campaigns} campaigns/row, adversary share {proportion}, seed {seed}",
+        plan.scheme(),
+        inum(tasks)
+    );
+    let _ = writeln!(
+        out,
+        "timeout {timeout} ticks, {retries} retries, straggler rate {straggler_rate} (mean delay {straggler_delay})"
+    );
+    let expect = 1.0 - (1.0 - plan.epsilon()).powf(1.0 - proportion);
+    let _ = writeln!(
+        out,
+        "closed-form detection with lossless delivery: {:.4}",
+        expect
+    );
+    let mut table = Table::new(&[
+        "drop rate",
+        "detection",
+        "95% CI",
+        "delivered",
+        "eff. mult",
+        "retries",
+        "unresolved",
+    ]);
+    table.numeric();
+    for step in 0..=steps {
+        let rate = drop_rate * f64::from(step) / f64::from(steps);
+        let faults = FaultModel {
+            drop_rate: rate,
+            straggler_rate,
+            straggler_mean_delay: straggler_delay,
+            timeout,
+            max_retries: retries,
+            ..FaultModel::none()
+        };
+        faults.validate().map_err(CliError::Invalid)?;
+        let est = faulty_detection_experiment(
+            &plan,
+            &campaign,
+            &faults,
+            &ExperimentConfig::new(campaigns, seed),
+        );
+        let overall = est.overall();
+        let (lo, hi) = overall.wilson_interval(1.96);
+        table.row(&[
+            &fnum(rate, 2),
+            &fnum(overall.estimate(), 4),
+            &format!("[{}, {}]", fnum(lo, 4), fnum(hi, 4)),
+            &est.outcome
+                .delivery_rate()
+                .map(|v| fnum(v, 4))
+                .unwrap_or_else(|| "-".into()),
+            &est.outcome
+                .effective_multiplicity()
+                .map(|v| fnum(v, 3))
+                .unwrap_or_else(|| "-".into()),
+            &est.outcome.retries.to_string(),
+            &est.outcome.unresolved_tasks.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "(detection below the closed form means fault pressure ate into the guarantee; \
+raise --retries or the timeout to recover it)"
     );
     Ok(out)
 }
@@ -381,7 +529,9 @@ fn solve_sm(
     if let Some(path) = mps {
         // Rebuild the LP for export (the solver does not retain it).
         let mut lp = redundancy_lp::Problem::new(redundancy_lp::Sense::Minimize);
-        let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+        let vars: Vec<_> = (1..=dim)
+            .map(|i| lp.add_variable(format!("x{i}")))
+            .collect();
         for (i, v) in vars.iter().enumerate() {
             lp.set_objective(*v, (i + 1) as f64);
         }
@@ -441,13 +591,10 @@ mod tests {
     fn plan_json_round_trips() {
         let path = std::env::temp_dir().join("cli_plan_test.json");
         let p = path.to_string_lossy().into_owned();
-        let out = run(&[
-            "plan", "--tasks", "5000", "--epsilon", "0.5", "--json", &p,
-        ])
-        .unwrap();
+        let out = run(&["plan", "--tasks", "5000", "--epsilon", "0.5", "--json", &p]).unwrap();
         assert!(out.contains("written"));
         let body = std::fs::read_to_string(&path).unwrap();
-        let plan: RealizedPlan = serde_json::from_str(&body).unwrap();
+        let plan: RealizedPlan = redundancy_json::from_str(&body).unwrap();
         assert_eq!(plan.n_tasks(), 5000);
         let _ = std::fs::remove_file(&path);
     }
@@ -549,8 +696,16 @@ mod tests {
 
     #[test]
     fn solve_sm_min_precompute_flag() {
-        let base = run(&["solve-sm", "--tasks", "100000", "--epsilon", "0.5", "--dim", "6"])
-            .unwrap();
+        let base = run(&[
+            "solve-sm",
+            "--tasks",
+            "100000",
+            "--epsilon",
+            "0.5",
+            "--dim",
+            "6",
+        ])
+        .unwrap();
         let refined = run(&[
             "solve-sm",
             "--tasks",
@@ -567,8 +722,64 @@ mod tests {
     }
 
     #[test]
+    fn faults_sweep_reports_degradation() {
+        let out = run(&[
+            "faults",
+            "--tasks",
+            "2000",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.15",
+            "--campaigns",
+            "4",
+            "--seed",
+            "11",
+            "--drop-rate",
+            "0.6",
+            "--steps",
+            "2",
+            "--retries",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("fault sweep"), "{out}");
+        assert!(out.contains("closed-form detection"), "{out}");
+        assert!(out.contains("drop rate"), "{out}");
+        // The zero-fault row delivers everything.
+        assert!(out.contains("1.0000"), "{out}");
+    }
+
+    #[test]
+    fn faults_sweep_is_deterministic() {
+        let argv = [
+            "faults",
+            "--tasks",
+            "1000",
+            "--epsilon",
+            "0.5",
+            "--campaigns",
+            "3",
+            "--seed",
+            "5",
+            "--steps",
+            "2",
+        ];
+        assert_eq!(run(&argv).unwrap(), run(&argv).unwrap());
+    }
+
+    #[test]
     fn help_text_everywhere() {
-        for topic in [None, Some("plan"), Some("analyze"), Some("advise"), Some("simulate"), Some("solve-sm"), Some("unknown")] {
+        for topic in [
+            None,
+            Some("plan"),
+            Some("analyze"),
+            Some("advise"),
+            Some("simulate"),
+            Some("faults"),
+            Some("solve-sm"),
+            Some("unknown"),
+        ] {
             let out = help(topic);
             assert!(out.contains("redundancy"), "{topic:?}");
         }
@@ -577,7 +788,13 @@ mod tests {
     #[test]
     fn unreachable_boost_is_an_error() {
         let argv: Vec<String> = [
-            "plan", "--tasks", "100", "--epsilon", "0.9999999999999999", "--proportion", "0.99",
+            "plan",
+            "--tasks",
+            "100",
+            "--epsilon",
+            "0.9999999999999999",
+            "--proportion",
+            "0.99",
         ]
         .iter()
         .map(|s| s.to_string())

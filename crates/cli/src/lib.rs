@@ -9,6 +9,7 @@
 //! redundancy analyze  --tasks 1000000 --epsilon 0.75 [--proportion 0.1] [--scheme gs]
 //! redundancy advise   --tasks 200000 --epsilon 0.5 --adversary 0.1 --precompute-budget 100
 //! redundancy simulate --tasks 20000 --epsilon 0.5 --proportion 0.1 --campaigns 30 [--seed 1]
+//! redundancy faults   --tasks 10000 --epsilon 0.5 --drop-rate 0.5 --steps 5 [--retries 3]
 //! redundancy solve-sm --tasks 100000 --epsilon 0.5 --dim 16 [--mps out.mps] [--min-precompute]
 //! ```
 //!
@@ -40,6 +41,7 @@ COMMANDS:
     analyze    Detection probabilities and costs for a scheme
     advise     Pick the cheapest scheme for operational requirements
     simulate   Monte-Carlo campaign simulation with a colluding adversary
+    faults     Detection-probability sweep under drops, stragglers, retries
     solve-sm   Solve an assignment-minimizing LP system S_m
     help       Show this message
 

@@ -1,0 +1,72 @@
+//! Process-level contract of the `redundancy` binary: exit code 0 with the
+//! report on stdout for valid invocations, exit code 2 with an `error:`
+//! line on stderr for invalid ones.
+
+use std::process::Command;
+
+fn redundancy(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_redundancy"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn valid_faults_sweep_exits_zero() {
+    let out = redundancy(&[
+        "faults",
+        "--tasks",
+        "200",
+        "--epsilon",
+        "0.5",
+        "--campaigns",
+        "1",
+        "--steps",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("fault sweep"), "{stdout}");
+    assert!(out.stderr.is_empty());
+}
+
+#[test]
+fn drop_rate_above_one_exits_two() {
+    let out = redundancy(&[
+        "faults",
+        "--tasks",
+        "200",
+        "--epsilon",
+        "0.5",
+        "--drop-rate",
+        "1.5",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.starts_with("error:"), "{stderr}");
+    assert!(stderr.contains("--drop-rate"), "{stderr}");
+}
+
+#[test]
+fn zero_timeout_exits_two() {
+    let out = redundancy(&[
+        "faults",
+        "--tasks",
+        "200",
+        "--epsilon",
+        "0.5",
+        "--timeout",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--timeout"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_exits_two() {
+    let out = redundancy(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}

@@ -13,10 +13,9 @@ use crate::balanced::Balanced;
 use crate::error::{check_proportion, check_threshold, CoreError};
 use crate::extended::ExtendedBalanced;
 use crate::minimizing::AssignmentMinimizing;
-use serde::{Deserialize, Serialize};
 
 /// What the supervisor needs from a distribution scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Requirements {
     /// Number of tasks.
     pub n_tasks: u64,
@@ -32,7 +31,7 @@ pub struct Requirements {
 }
 
 /// Which family the advisor selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchemeChoice {
     /// The Balanced distribution (§4).
     Balanced,
@@ -48,7 +47,7 @@ pub enum SchemeChoice {
 }
 
 /// The advisor's verdict.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Advice {
     /// The selected scheme family.
     pub choice: SchemeChoice,
@@ -180,10 +179,7 @@ pub fn comparison_row(
 /// Convenience: the three §4 reference schemes at threshold ε for task
 /// count `n`, realized as deployable plans (tail partitions and ringers
 /// included for GS and Balanced).
-pub fn reference_plans(
-    n: u64,
-    epsilon: f64,
-) -> Result<Vec<crate::plan::RealizedPlan>, CoreError> {
+pub fn reference_plans(n: u64, epsilon: f64) -> Result<Vec<crate::plan::RealizedPlan>, CoreError> {
     Ok(vec![
         crate::plan::RealizedPlan::k_fold(n, 2, epsilon)?,
         crate::plan::RealizedPlan::golle_stubblebine(n, epsilon)?,

@@ -236,10 +236,7 @@ mod tests {
         for eps in [0.1, 0.5, 0.75, 0.9, 0.99] {
             let b = Balanced::new(1_000_000, eps).unwrap();
             let total: f64 = (1..200).map(|i| b.ideal_weight(i)).sum();
-            assert!(
-                (total - 1_000_000.0).abs() < 1e-4,
-                "ε={eps}: Σaᵢ = {total}"
-            );
+            assert!((total - 1_000_000.0).abs() < 1e-4, "ε={eps}: Σaᵢ = {total}");
         }
     }
 
@@ -258,10 +255,7 @@ mod tests {
             let dim = prof.dimension();
             for k in 1..=dim / 2 {
                 let pk = prof.p_asymptotic(k).unwrap();
-                assert!(
-                    (pk - eps).abs() < 1e-4,
-                    "ε={eps}, k={k}: P_k = {pk}"
-                );
+                assert!((pk - eps).abs() < 1e-4, "ε={eps}, k={k}: P_k = {pk}");
             }
         }
     }
@@ -347,10 +341,7 @@ mod tests {
         for (idx, &prop) in props.iter().enumerate().take(8) {
             let i = (idx + 1) as u64;
             let ztp = redundancy_stats::special::zero_truncated_poisson_pmf(gamma, i);
-            assert!(
-                (prop - ztp).abs() < 1e-9,
-                "i={i}: {prop} vs ZTP {ztp}"
-            );
+            assert!((prop - ztp).abs() < 1e-9, "i={i}: {prop} vs ZTP {ztp}");
         }
     }
 }

@@ -52,7 +52,11 @@ pub fn relaxed_optimum(n: u64, epsilon: f64) -> Result<Distribution, CoreError> 
 /// `k` values with no tuples at all (beyond the distribution's dimension)
 /// are skipped; `k` values where `P_k > ε` count toward the gap because
 /// over-protection is wasted resources (Section 5).
-pub fn equality_gap(profile: &DetectionProfile, epsilon: f64, k_max: usize) -> Result<f64, CoreError> {
+pub fn equality_gap(
+    profile: &DetectionProfile,
+    epsilon: f64,
+    k_max: usize,
+) -> Result<f64, CoreError> {
     check_threshold(epsilon)?;
     let mut gap = 0.0f64;
     for k in 1..=k_max {
@@ -167,7 +171,10 @@ mod tests {
         let gs = crate::plan::RealizedPlan::golle_stubblebine(n, eps).unwrap();
         let (eff_g, waste_g) = wasted_assignments(&gs.detection_profile()).unwrap();
         assert!(eff_g >= eps - 1e-9 && eff_g < eps + 0.02, "{eff_g}");
-        assert!(waste_g > waste_b, "GS waste {waste_g} vs balanced {waste_b}");
+        assert!(
+            waste_g > waste_b,
+            "GS waste {waste_g} vs balanced {waste_b}"
+        );
         // Simple redundancy: zero guarantee, every extra copy wasted.
         let simple = crate::plan::RealizedPlan::k_fold(n, 2, eps).unwrap();
         let (eff_s, waste_s) = wasted_assignments(&simple.detection_profile()).unwrap();

@@ -8,8 +8,6 @@
 //! *dimension* is the largest index with `xᵢ > 0`; the *redundancy factor*
 //! is `Σ i·xᵢ / N`.
 
-use serde::{Deserialize, Serialize};
-
 /// A (possibly fractional) task-multiplicity distribution.
 ///
 /// Index convention: `weight(i)` is `x_i`, the number of tasks assigned
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(d.redundancy_factor(), 2.0);
 /// assert_eq!(d.dimension(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Distribution {
     /// `weights[j]` is `x_{j+1}`.
     weights: Vec<f64>,
@@ -42,7 +40,10 @@ impl Distribution {
         let mut weights = weights;
         for w in &mut weights {
             assert!(w.is_finite(), "distribution weight must be finite");
-            assert!(*w > -1e-6, "distribution weight significantly negative: {w}");
+            assert!(
+                *w > -1e-6,
+                "distribution weight significantly negative: {w}"
+            );
             if *w < 0.0 {
                 *w = 0.0;
             }
@@ -135,6 +136,19 @@ impl Distribution {
     }
 }
 
+impl redundancy_json::ToJson for Distribution {
+    fn to_json(&self) -> redundancy_json::Json {
+        redundancy_json::obj(vec![("weights", self.weights.to_json())])
+    }
+}
+
+impl redundancy_json::FromJson for Distribution {
+    fn from_json(value: &redundancy_json::Json) -> Result<Self, redundancy_json::JsonError> {
+        let weights = Vec::<f64>::from_json(value.field("weights")?)?;
+        Ok(Distribution::from_weights(weights))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,10 +226,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let d = Distribution::from_weights(vec![1.5, 0.0, 2.5]);
-        let json = serde_json::to_string(&d).unwrap();
-        let back: Distribution = serde_json::from_str(&json).unwrap();
+        let json = redundancy_json::to_string(&d);
+        let back: Distribution = redundancy_json::from_str(&json).unwrap();
         assert_eq!(d, back);
     }
 }

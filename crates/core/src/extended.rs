@@ -183,11 +183,12 @@ mod tests {
     fn min_multiplicity_one_recovers_balanced() {
         let ext = ExtendedBalanced::new(1_000_000, 0.6, 1).unwrap();
         let bal = Balanced::new(1_000_000, 0.6).unwrap();
-        assert!(
-            (ext.redundancy_factor_exact() - bal.redundancy_factor_exact()).abs() < 1e-12
-        );
+        assert!((ext.redundancy_factor_exact() - bal.redundancy_factor_exact()).abs() < 1e-12);
         for i in 1..20 {
-            assert!((ext.ideal_weight(i) - bal.ideal_weight(i)).abs() < 1e-6, "i={i}");
+            assert!(
+                (ext.ideal_weight(i) - bal.ideal_weight(i)).abs() < 1e-6,
+                "i={i}"
+            );
         }
     }
 
@@ -200,10 +201,7 @@ mod tests {
         for (m, want) in (2..=5).zip(expect) {
             let ext = ExtendedBalanced::new(100_000, 0.5, m).unwrap();
             let got = ext.redundancy_factor_exact();
-            assert!(
-                (got - want).abs() < 0.002,
-                "m={m}: {got} vs paper {want}"
-            );
+            assert!((got - want).abs() < 0.002, "m={m}: {got} vs paper {want}");
         }
     }
 

@@ -220,7 +220,12 @@ mod tests {
         assert!((d.total_tasks() - 100_000.0).abs() < 1e-6);
         let rel = (d.total_assignments() - gs.total_assignments_exact()).abs()
             / gs.total_assignments_exact();
-        assert!(rel < 1e-9, "{} vs {}", d.total_assignments(), gs.total_assignments_exact());
+        assert!(
+            rel < 1e-9,
+            "{} vs {}",
+            d.total_assignments(),
+            gs.total_assignments_exact()
+        );
     }
 
     #[test]

@@ -153,18 +153,9 @@ impl AssignmentMinimizing {
     /// (which [`AssignmentMinimizing::solve`] reproduces); this variant is
     /// our refinement, strictly better for a supervisor with a precompute
     /// budget, and the `ablations` bench quantifies the difference.
-    pub fn solve_min_precompute(
-        n: u64,
-        epsilon: f64,
-        dimension: usize,
-    ) -> Result<Self, CoreError> {
+    pub fn solve_min_precompute(n: u64, epsilon: f64, dimension: usize) -> Result<Self, CoreError> {
         let base = AssignmentMinimizing::solve(n, epsilon, dimension)?;
-        let (lp2, _vars) = build_system(
-            n,
-            epsilon,
-            dimension,
-            Some(base.objective * (1.0 + 1e-9)),
-        );
+        let (lp2, _vars) = build_system(n, epsilon, dimension, Some(base.objective * (1.0 + 1e-9)));
         let Ok(solution) = lp2.solve() else {
             return Ok(base); // numerical edge: keep the stage-1 vertex
         };
@@ -272,9 +263,7 @@ impl AssignmentMinimizing {
         max_dimension: usize,
     ) -> Result<Option<Self>, CoreError> {
         let sweep = AssignmentMinimizing::sweep(n, epsilon, MIN_DIMENSION..=max_dimension)?;
-        let last_violation = sweep
-            .iter()
-            .rposition(|s| s.precompute_required() >= limit);
+        let last_violation = sweep.iter().rposition(|s| s.precompute_required() >= limit);
         let first_stable = match last_violation {
             Some(idx) if idx + 1 < sweep.len() => idx + 1,
             Some(_) => return Ok(None),
@@ -420,10 +409,7 @@ mod tests {
         assert!(support.contains(&2));
         assert!(support.contains(&16));
         // Interior support is at most one extra point.
-        let interior: Vec<_> = support
-            .iter()
-            .filter(|&&i| i > 2 && i < 16)
-            .collect();
+        let interior: Vec<_> = support.iter().filter(|&&i| i > 2 && i < 16).collect();
         assert!(interior.len() <= 1, "support {support:?}");
         let d = sol.distribution();
         let mass12 = d.weight(1) + d.weight(2);
@@ -447,9 +433,17 @@ mod tests {
         // S₅ requires 602 tasks and S₆ jumps to 1923 (N = 10⁵, ε = ½) — the
         // "localized exception" of Section 3.2.
         let s5 = AssignmentMinimizing::solve(100_000, 0.5, 5).unwrap();
-        assert!((s5.precompute_required() - 602.41).abs() < 0.5, "{}", s5.precompute_required());
+        assert!(
+            (s5.precompute_required() - 602.41).abs() < 0.5,
+            "{}",
+            s5.precompute_required()
+        );
         let s6 = AssignmentMinimizing::solve(100_000, 0.5, 6).unwrap();
-        assert!((s6.precompute_required() - 1923.08).abs() < 0.5, "{}", s6.precompute_required());
+        assert!(
+            (s6.precompute_required() - 1923.08).abs() < 0.5,
+            "{}",
+            s6.precompute_required()
+        );
         assert!(s6.precompute_required() > s5.precompute_required());
     }
 
@@ -466,8 +460,7 @@ mod tests {
     fn min_precompute_refinement_never_worse() {
         for m in [5usize, 6, 8, 12] {
             let base = AssignmentMinimizing::solve(100_000, 0.5, m).unwrap();
-            let refined =
-                AssignmentMinimizing::solve_min_precompute(100_000, 0.5, m).unwrap();
+            let refined = AssignmentMinimizing::solve_min_precompute(100_000, 0.5, m).unwrap();
             assert!(
                 refined.precompute_required() <= base.precompute_required() + 1e-6,
                 "m={m}: refined {} vs base {}",
@@ -479,7 +472,11 @@ mod tests {
         }
         // At m = 6 the refinement is dramatic: 1923 → ~320.
         let refined = AssignmentMinimizing::solve_min_precompute(100_000, 0.5, 6).unwrap();
-        assert!(refined.precompute_required() < 400.0, "{}", refined.precompute_required());
+        assert!(
+            refined.precompute_required() < 400.0,
+            "{}",
+            refined.precompute_required()
+        );
     }
 
     #[test]
@@ -527,8 +524,8 @@ mod tests {
             assert!(rel < 0.01, "i={i}: LP {got} vs Balanced {want}");
         }
         // And the costs agree to a fraction of a percent.
-        let rel_cost = (sol.objective() - bal.total_assignments_exact()).abs()
-            / bal.total_assignments_exact();
+        let rel_cost =
+            (sol.objective() - bal.total_assignments_exact()).abs() / bal.total_assignments_exact();
         assert!(rel_cost < 5e-3, "cost gap {rel_cost}");
         // Equality system costs MORE than the plain S_m optimum (it gave up
         // the freedom to over-cover cheaply)...

@@ -30,10 +30,9 @@ use crate::minimizing::AssignmentMinimizing;
 use crate::probability::DetectionProfile;
 use crate::scheme::Scheme;
 use redundancy_stats::special::binomial;
-use serde::{Deserialize, Serialize};
 
 /// Why a partition exists in a plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PartitionKind {
     /// Floor of an ideal weight bucket.
     Normal,
@@ -47,7 +46,7 @@ pub enum PartitionKind {
 }
 
 /// A group of `tasks` tasks all assigned with the same `multiplicity`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Partition {
     /// Copies handed out per task.
     pub multiplicity: usize,
@@ -69,7 +68,7 @@ pub struct Partition {
 /// assert!(plan.effective_detection(0.0)? >= 0.75);
 /// # Ok::<(), redundancy_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RealizedPlan {
     scheme: String,
     n_tasks: u64,
@@ -384,6 +383,80 @@ impl RealizedPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// JSON (redundancy-json) — plans are the workspace's on-disk artifact format.
+// ---------------------------------------------------------------------------
+
+use redundancy_json::{num_u64, obj, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for PartitionKind {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            PartitionKind::Normal => "Normal",
+            PartitionKind::Tail => "Tail",
+            PartitionKind::Ringer => "Ringer",
+            PartitionKind::Verified => "Verified",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for PartitionKind {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Normal") => Ok(PartitionKind::Normal),
+            Some("Tail") => Ok(PartitionKind::Tail),
+            Some("Ringer") => Ok(PartitionKind::Ringer),
+            Some("Verified") => Ok(PartitionKind::Verified),
+            _ => Err(JsonError::Schema(format!(
+                "unknown partition kind {value:?}"
+            ))),
+        }
+    }
+}
+
+impl ToJson for Partition {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("multiplicity", num_u64(self.multiplicity as u64)),
+            ("tasks", num_u64(self.tasks)),
+            ("kind", self.kind.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Partition {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Partition {
+            multiplicity: value.field_u64("multiplicity")? as usize,
+            tasks: value.field_u64("tasks")?,
+            kind: PartitionKind::from_json(value.field("kind")?)?,
+        })
+    }
+}
+
+impl ToJson for RealizedPlan {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("scheme", Json::Str(self.scheme.clone())),
+            ("n_tasks", num_u64(self.n_tasks)),
+            ("epsilon", Json::Num(self.epsilon)),
+            ("partitions", self.partitions.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RealizedPlan {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(RealizedPlan {
+            scheme: value.field_str("scheme")?.to_string(),
+            n_tasks: value.field_u64("n_tasks")?,
+            epsilon: value.field_f64("epsilon")?,
+            partitions: Vec::<Partition>::from_json(value.field("partitions")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,11 +557,7 @@ mod tests {
         let sol = AssignmentMinimizing::solve(100_000, 0.5, 10).unwrap();
         let plan = RealizedPlan::from_minimizing(&sol).unwrap();
         assert!(plan.precomputed_tasks() > 0);
-        let ordinary: u64 = plan
-            .partitions()
-            .iter()
-            .map(|p| p.tasks)
-            .sum();
+        let ordinary: u64 = plan.partitions().iter().map(|p| p.tasks).sum();
         assert_eq!(ordinary, 100_000);
         assert!(plan.detection_profile().satisfies_threshold(0.5, 1e-6));
     }
@@ -500,7 +569,11 @@ mod tests {
         let plan = RealizedPlan::balanced(n, eps).unwrap();
         let ideal = Balanced::new(n, eps).unwrap().total_assignments_exact();
         let rel = (plan.total_assignments() as f64 - ideal).abs() / ideal;
-        assert!(rel < 1e-3, "realized {} vs ideal {ideal}", plan.total_assignments());
+        assert!(
+            rel < 1e-3,
+            "realized {} vs ideal {ideal}",
+            plan.total_assignments()
+        );
     }
 
     #[test]
@@ -524,10 +597,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let plan = RealizedPlan::balanced(10_000, 0.5).unwrap();
-        let json = serde_json::to_string(&plan).unwrap();
-        let back: RealizedPlan = serde_json::from_str(&json).unwrap();
+        let json = redundancy_json::to_string(&plan);
+        let back: RealizedPlan = redundancy_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
     }
 

@@ -26,14 +26,12 @@
 
 use crate::distribution::Distribution;
 use crate::error::{check_proportion, CoreError};
-use serde::{Deserialize, Serialize};
-
 /// Task counts by multiplicity, split into ordinary and precomputed tasks.
 ///
 /// Precomputed tasks (the paper's *ringers*, and the verified top-
 /// multiplicity partition of the assignment-minimizing distributions)
 /// always catch a cheater, whatever fraction of their copies she holds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectionProfile {
     /// `normal[j]` = ordinary tasks with multiplicity `j + 1`.
     normal: Vec<f64>,
@@ -234,6 +232,24 @@ impl DetectionProfile {
     }
 }
 
+impl redundancy_json::ToJson for DetectionProfile {
+    fn to_json(&self) -> redundancy_json::Json {
+        redundancy_json::obj(vec![
+            ("normal", self.normal.to_json()),
+            ("precomputed", self.precomputed.to_json()),
+        ])
+    }
+}
+
+impl redundancy_json::FromJson for DetectionProfile {
+    fn from_json(value: &redundancy_json::Json) -> Result<Self, redundancy_json::JsonError> {
+        Ok(DetectionProfile {
+            normal: Vec::<f64>::from_json(value.field("normal")?)?,
+            precomputed: Vec::<f64>::from_json(value.field("precomputed")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,10 +384,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let prof = profile(&[1.0, 2.0]).with_precomputed(3, 4.0);
-        let json = serde_json::to_string(&prof).unwrap();
-        let back: DetectionProfile = serde_json::from_str(&json).unwrap();
+        let json = redundancy_json::to_string(&prof);
+        let back: DetectionProfile = redundancy_json::from_str(&json).unwrap();
         assert_eq!(prof, back);
     }
 }

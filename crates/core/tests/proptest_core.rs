@@ -120,15 +120,15 @@ proptest! {
         prop_assert!(sol.verified_profile().satisfies_threshold(eps, 1e-6));
     }
 
-    /// Plans survive a serde round trip byte-for-byte semantically.
+    /// Plans survive a JSON round trip byte-for-byte semantically.
     #[test]
-    fn plan_serde_round_trip(
+    fn plan_json_round_trip(
         n in 1_000u64..100_000,
         eps_cent in 10u32..95,
     ) {
         let plan = RealizedPlan::balanced(n, eps_cent as f64 / 100.0).unwrap();
-        let json = serde_json::to_string(&plan).unwrap();
-        let back: RealizedPlan = serde_json::from_str(&json).unwrap();
+        let json = redundancy_json::to_string(&plan);
+        let back: RealizedPlan = redundancy_json::from_str(&json).unwrap();
         prop_assert_eq!(plan, back);
     }
 

@@ -1,0 +1,659 @@
+#![warn(missing_docs)]
+
+//! # redundancy-json — a small, dependency-free JSON layer
+//!
+//! The workspace exports plans and simulation histories as JSON and reads
+//! them back; it used to lean on `serde`/`serde_json` for that, which made
+//! the whole build hostage to a crate registry.  Everything actually
+//! needed here is far smaller: a [`Json`] value model, a strict
+//! RFC 8259 parser, compact and pretty writers, and a pair of traits
+//! ([`ToJson`]/[`FromJson`]) with hand-written impls on the handful of
+//! exported types.
+//!
+//! Numbers are stored as `f64` (as in JavaScript); integer round-trips are
+//! exact up to 2⁵³, far beyond any task count the paper contemplates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved for stable output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Num(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Num(x) if x >= 0.0 && x.fract() == 0.0 && x <= 2f64.powi(53) => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Required object member, as an error-carrying lookup.
+    pub fn field<'a>(&'a self, key: &str) -> Result<&'a Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::Schema(format!("missing field `{key}`")))
+    }
+
+    /// Required `u64` member.
+    pub fn field_u64(&self, key: &str) -> Result<u64, JsonError> {
+        self.field(key)?
+            .as_u64()
+            .ok_or_else(|| JsonError::Schema(format!("field `{key}` is not a u64")))
+    }
+
+    /// Required `f64` member.
+    pub fn field_f64(&self, key: &str) -> Result<f64, JsonError> {
+        self.field(key)?
+            .as_f64()
+            .ok_or_else(|| JsonError::Schema(format!("field `{key}` is not a number")))
+    }
+
+    /// Required string member.
+    pub fn field_str(&self, key: &str) -> Result<&str, JsonError> {
+        self.field(key)?
+            .as_str()
+            .ok_or_else(|| JsonError::Schema(format!("field `{key}` is not a string")))
+    }
+
+    /// Required array member.
+    pub fn field_arr(&self, key: &str) -> Result<&[Json], JsonError> {
+        self.field(key)?
+            .as_arr()
+            .ok_or_else(|| JsonError::Schema(format!("field `{key}` is not an array")))
+    }
+}
+
+/// Build an object from `(key, value)` pairs.
+pub fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// A `u64` as a JSON number.
+pub fn num_u64(x: u64) -> Json {
+    Json::Num(x as f64)
+}
+
+/// Parsing / schema errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// Malformed JSON text at a byte offset.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Well-formed JSON that does not match the expected shape.
+    Schema(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { offset, message } => {
+                write!(f, "json parse error at byte {offset}: {message}")
+            }
+            JsonError::Schema(m) => write!(f, "json schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Types that render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// Convert to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Types reconstructible from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Parse from a JSON value.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: ToJson>(value: &T) -> String {
+    let mut out = String::new();
+    write_compact(&value.to_json(), &mut out);
+    out
+}
+
+/// Serialize a value to human-readable, indented JSON text.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> String {
+    let mut out = String::new();
+    write_pretty(&value.to_json(), 0, &mut out);
+    out
+}
+
+/// Parse JSON text into a typed value.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(text)?)
+}
+
+/// Parse JSON text into a [`Json`] value, rejecting trailing garbage.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue; // unicode_escape advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 scalar starting here.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        // Called with `peek() == Some(b'u')`.
+        self.pos += 1;
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // Surrogate pair: require \uXXXX low half.
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                if self.peek() == Some(b'u') {
+                    self.pos += 1;
+                    let lo = self.hex4()?;
+                    if (0xDC00..0xE000).contains(&lo) {
+                        let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        return char::from_u32(cp).ok_or_else(|| self.err("invalid code point"));
+                    }
+                }
+            }
+            return Err(self.err("unpaired surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("expected 4 hex digits")),
+            };
+            value = value * 16 + d;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(x: f64, out: &mut String) {
+    if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) {
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        // `{:?}` (shortest round-trippable form) keeps f64 fidelity.
+        out.push_str(&format!("{x:?}"));
+    }
+}
+
+fn write_compact(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(x) => write_number(*x, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(value: &Json, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth + 1);
+    let close_pad = "  ".repeat(depth);
+    match value {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Json::Obj(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, depth + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// Convenience impls for generic containers used across the workspace.
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(value.clone())
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        num_u64(*self)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_u64()
+            .ok_or_else(|| JsonError::Schema("expected a u64".into()))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_f64()
+            .ok_or_else(|| JsonError::Schema("expected a number".into()))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_arr()
+            .ok_or_else(|| JsonError::Schema("expected an array".into()))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-17", "3.25", "1e3", "\"hi\""] {
+            let v = parse(text).unwrap();
+            let mut out = String::new();
+            write_compact(&v, &mut out);
+            assert_eq!(parse(&out).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a": [1, 2.5, {"b": null}], "c": "x\ny", "d": true}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.field_arr("a").unwrap().len(), 3);
+        assert_eq!(v.field_str("c").unwrap(), "x\ny");
+        let compact = {
+            let mut s = String::new();
+            write_compact(&v, &mut s);
+            s
+        };
+        assert_eq!(parse(&compact).unwrap(), v);
+        let pretty = {
+            let mut s = String::new();
+            write_pretty(&v, 0, &mut s);
+            s
+        };
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse(r#""\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "é😀");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for text in ["", "{", "[1,", "tru", "{\"a\" 1}", "1 2", "\"\\q\"", "nul"] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn f64_fidelity() {
+        let x = 0.1 + 0.2;
+        let v = Json::Num(x);
+        let mut out = String::new();
+        write_compact(&v, &mut out);
+        assert_eq!(parse(&out).unwrap().as_f64().unwrap(), x);
+    }
+
+    #[test]
+    fn u64_bounds() {
+        assert_eq!(parse("9007199254740992").unwrap().as_u64(), Some(1 << 53));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn field_helpers_report_missing() {
+        let v = parse(r#"{"a": 1}"#).unwrap();
+        assert!(v.field("b").is_err());
+        assert!(v.field_u64("a").is_ok());
+        assert!(v.field_str("a").is_err());
+    }
+
+    #[test]
+    fn vec_round_trip_via_traits() {
+        let xs: Vec<u64> = vec![1, 2, 3];
+        let text = to_string(&xs);
+        assert_eq!(text, "[1,2,3]");
+        let back: Vec<u64> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+}

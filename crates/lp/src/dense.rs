@@ -40,7 +40,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -110,14 +114,16 @@ impl Matrix {
     /// Matrix-vector product `A·x`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
-        (0..self.rows)
-            .map(|r| dot(self.row(r), x))
-            .collect()
+        (0..self.rows).map(|r| dot(self.row(r), x)).collect()
     }
 
     /// Transposed matrix-vector product `Aᵀ·y`.
     pub fn mul_vec_transposed(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.rows, "dimension mismatch in mul_vec_transposed");
+        assert_eq!(
+            y.len(),
+            self.rows,
+            "dimension mismatch in mul_vec_transposed"
+        );
         let mut out = vec![0.0; self.cols];
         for (r, &yr) in y.iter().enumerate() {
             if yr == 0.0 {

@@ -78,8 +78,15 @@ mod tests {
             LpError::Infeasible { infeasibility: 1.0 }.to_string(),
             LpError::Unbounded { ray_column: 3 }.to_string(),
             LpError::IterationLimit { limit: 10 }.to_string(),
-            LpError::UnknownVariable { index: 7, declared: 2 }.to_string(),
-            LpError::NonFiniteData { location: "row 1".into() }.to_string(),
+            LpError::UnknownVariable {
+                index: 7,
+                declared: 2,
+            }
+            .to_string(),
+            LpError::NonFiniteData {
+                location: "row 1".into(),
+            }
+            .to_string(),
             LpError::EmptyProblem.to_string(),
         ];
         assert!(msgs[0].contains("infeasible"));

@@ -162,9 +162,9 @@ pub fn parse_mps(text: &str) -> Result<Problem, LpError> {
                     return Err(bad(line));
                 }
                 let col = fields[0];
-                let var = *columns.entry(col.to_string()).or_insert_with(|| {
-                    problem.add_variable(col).index()
-                });
+                let var = *columns
+                    .entry(col.to_string())
+                    .or_insert_with(|| problem.add_variable(col).index());
                 for pair in fields[1..].chunks(2) {
                     let row = pair[0];
                     let value: f64 = pair[1].parse().map_err(|_| bad(line))?;
@@ -347,7 +347,10 @@ mod tests {
     #[test]
     fn writer_emits_all_sections() {
         let mps = write_mps(&sample(), "SAMPLE");
-        for needle in ["NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA", " G  R0", " L  R1", " E  R2", " FR BND"] {
+        for needle in [
+            "NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA", " G  R0", " L  R1", " E  R2",
+            " FR BND",
+        ] {
             assert!(mps.contains(needle), "missing {needle} in:\n{mps}");
         }
     }
@@ -411,7 +414,9 @@ ENDATA
         use redundancy_stats_free::*;
         let mut lp = Problem::new(Sense::Minimize);
         let dim = 6usize;
-        let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+        let vars: Vec<_> = (1..=dim)
+            .map(|i| lp.add_variable(format!("x{i}")))
+            .collect();
         for (i, v) in vars.iter().enumerate() {
             lp.set_objective(*v, (i + 1) as f64);
         }
@@ -425,8 +430,15 @@ ENDATA
             lp.add_constraint(&terms, Relation::Ge, 0.0);
         }
         let direct = lp.solve().unwrap().objective;
-        let round = parse_mps(&write_mps(&lp, "SM")).unwrap().solve().unwrap().objective;
-        assert!((direct - round).abs() < 1e-6 * direct, "{direct} vs {round}");
+        let round = parse_mps(&write_mps(&lp, "SM"))
+            .unwrap()
+            .solve()
+            .unwrap()
+            .objective;
+        assert!(
+            (direct - round).abs() < 1e-6 * direct,
+            "{direct} vs {round}"
+        );
     }
 
     /// Tiny local binomial so the test avoids a cyclic dev-dependency on

@@ -167,10 +167,7 @@ pub fn presolve(problem: &Problem) -> Result<(Reduction, PresolveStats), LpError
                 VarFate::Kept(j) => *terms.entry(j).or_default() += c,
             }
         }
-        let mut nz: Vec<(usize, f64)> = terms
-            .into_iter()
-            .filter(|&(_, c)| c.abs() > tol)
-            .collect();
+        let mut nz: Vec<(usize, f64)> = terms.into_iter().filter(|&(_, c)| c.abs() > tol).collect();
         nz.sort_by_key(|&(j, _)| j);
 
         if nz.is_empty() {
@@ -406,20 +403,17 @@ mod tests {
         p.set_objective(x3, 3.0);
         p.set_objective(z, 10.0);
         p.add_constraint(&[(x1, 1.0), (x2, 1.0), (x3, 1.0)], Relation::Ge, 100.0);
-        p.add_constraint(
-            &[(x1, -0.5), (x2, 1.0), (x3, 1.5)],
-            Relation::Ge,
-            0.0,
-        );
-        p.add_constraint(
-            &[(x1, -1.0), (x2, 2.0), (x3, 3.0)],
-            Relation::Ge,
-            0.0,
-        ); // duplicate (×2)
+        p.add_constraint(&[(x1, -0.5), (x2, 1.0), (x3, 1.5)], Relation::Ge, 0.0);
+        p.add_constraint(&[(x1, -1.0), (x2, 2.0), (x3, 3.0)], Relation::Ge, 0.0); // duplicate (×2)
         p.add_constraint(&[(z, 1.0)], Relation::Eq, 7.0);
         let direct = p.solve().unwrap();
         let (pre, stats) = solve_with_presolve(&p).unwrap();
-        assert!(close(direct.objective, pre.objective), "{} vs {}", direct.objective, pre.objective);
+        assert!(
+            close(direct.objective, pre.objective),
+            "{} vs {}",
+            direct.objective,
+            pre.objective
+        );
         assert!(stats.duplicate_rows >= 1);
         assert!(stats.fixed_variables == 1);
         for (a, b) in direct.values.iter().zip(&pre.values) {

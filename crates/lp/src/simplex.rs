@@ -178,8 +178,7 @@ impl Tableau {
                     None => best = Some((r, ratio)),
                     Some((br, bratio)) => {
                         if ratio < bratio - tol
-                            || ((ratio - bratio).abs() <= tol
-                                && self.basis[r] < self.basis[br])
+                            || ((ratio - bratio).abs() <= tol && self.basis[r] < self.basis[br])
                         {
                             best = Some((r, ratio));
                         }

@@ -38,12 +38,7 @@ fn random_lp(
     p
 }
 
-fn feasible(
-    rows: &[Vec<f64>],
-    demands: &[f64],
-    upper: f64,
-    x: &[f64],
-) -> bool {
+fn feasible(rows: &[Vec<f64>], demands: &[f64], upper: f64, x: &[f64]) -> bool {
     if x.iter().any(|&v| v < 0.0 || v > upper) {
         return false;
     }

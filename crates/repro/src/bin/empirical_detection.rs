@@ -8,9 +8,7 @@
 
 use redundancy_core::RealizedPlan;
 use redundancy_repro::{banner, Cli};
-use redundancy_sim::{
-    detection_experiment, AdversaryModel, CheatStrategy, ExperimentConfig,
-};
+use redundancy_sim::{detection_experiment, AdversaryModel, CheatStrategy, ExperimentConfig};
 use redundancy_stats::table::{fnum, Table};
 
 fn main() {
@@ -49,7 +47,9 @@ fn main() {
             &ExperimentConfig::new(campaigns, seed),
         );
         for k in 1..=3usize {
-            let Some(prop) = est.at_tuple(k) else { continue };
+            let Some(prop) = est.at_tuple(k) else {
+                continue;
+            };
             let (lo, hi) = prop.wilson_interval(1.96);
             let cf = closed(k);
             table.row(&[
@@ -74,7 +74,12 @@ fn main() {
         }
     };
 
-    for (eps, p, seed_off) in [(0.5, 0.05, 0), (0.5, 0.15, 1), (0.75, 0.1, 2), (0.75, 0.3, 3)] {
+    for (eps, p, seed_off) in [
+        (0.5, 0.05, 0),
+        (0.5, 0.15, 1),
+        (0.75, 0.1, 2),
+        (0.75, 0.3, 3),
+    ] {
         let bal = RealizedPlan::balanced(n, eps).expect("plan realizes");
         scenario(
             "balanced",
@@ -112,8 +117,5 @@ fn main() {
         "Every simulated rate should bracket its closed form; simple redundancy's\n\
          k = 2 row is exactly zero — the motivating collusion failure."
     );
-    cli.maybe_write_csv(
-        "scheme,eps,p,k,closed_form,simulated,attacks",
-        &csv_rows,
-    );
+    cli.maybe_write_csv("scheme,eps,p,k,closed_form,simulated,attacks", &csv_rows);
 }

@@ -1,0 +1,170 @@
+//! Extension exhibit: detection under failures, stragglers, and retries.
+//!
+//! The paper's guarantees assume lossless delivery: every assigned copy
+//! comes back and enters the comparison.  This exhibit drops that
+//! assumption.  Per-assignment drop and straggler hazards shrink the
+//! tuples the supervisor actually compares, so empirical detection falls
+//! below the closed form `1 − (1−ε)^{1−p}`; a capped-exponential-backoff
+//! retry budget buys most of it back.  Tables for the Balanced and
+//! Golle–Stubblebine distributions, swept over drop rate and straggler
+//! rate.
+//!
+//! Determinism: all latency is abstract ticks and every fault draw flows
+//! through the chunked trial driver's per-chunk seeds, so the tables are
+//! byte-identical for a fixed `--seed` regardless of `--threads`.
+
+use redundancy_core::RealizedPlan;
+use redundancy_repro::{banner, Cli};
+use redundancy_sim::{
+    faulty_detection_experiment, AdversaryModel, CampaignConfig, CheatStrategy, ExperimentConfig,
+    FaultModel,
+};
+use redundancy_stats::table::{fnum, Table};
+
+/// `--threads` (default 0 = auto); the tables must not depend on it.
+fn thread_count() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    plan: &RealizedPlan,
+    campaign: &CampaignConfig,
+    faults_of: impl Fn(f64) -> FaultModel,
+    rates: &[f64],
+    label: &str,
+    config: &ExperimentConfig,
+    csv_rows: &mut Vec<Vec<String>>,
+    scheme: &str,
+    kind: &str,
+) -> Table {
+    let mut table = Table::new(&[
+        label,
+        "detection (no retry)",
+        "detection (3 retries)",
+        "delivered (3 retries)",
+        "eff. mult",
+        "unresolved",
+    ]);
+    table.numeric();
+    for &rate in rates {
+        let no_retry = FaultModel {
+            max_retries: 0,
+            ..faults_of(rate)
+        };
+        let with_retry = FaultModel {
+            max_retries: 3,
+            ..faults_of(rate)
+        };
+        let bare = faulty_detection_experiment(plan, campaign, &no_retry, config);
+        let retried = faulty_detection_experiment(plan, campaign, &with_retry, config);
+        let d0 = bare.overall().estimate();
+        let d3 = retried.overall().estimate();
+        let delivered = retried.outcome.delivery_rate().unwrap_or(0.0);
+        let eff = retried.outcome.effective_multiplicity().unwrap_or(0.0);
+        table.row(&[
+            &fnum(rate, 2),
+            &fnum(d0, 4),
+            &fnum(d3, 4),
+            &fnum(delivered, 4),
+            &fnum(eff, 3),
+            &retried.outcome.unresolved_tasks.to_string(),
+        ]);
+        csv_rows.push(vec![
+            scheme.to_string(),
+            kind.to_string(),
+            fnum(rate, 2),
+            fnum(d0, 6),
+            fnum(d3, 6),
+            fnum(delivered, 6),
+            fnum(eff, 6),
+            retried.outcome.unresolved_tasks.to_string(),
+        ]);
+    }
+    table
+}
+
+fn main() {
+    let cli = Cli::parse();
+    banner(
+        "Extension: faults",
+        "Empirical detection under per-assignment drops and stragglers, with and\n\
+         without supervisor retries.  N = 10,000 tasks, eps = 0.5, p = 0.1.",
+    );
+
+    let n = 10_000u64;
+    let eps = 0.5;
+    let p = 0.1;
+    let campaigns = 12 * cli.trials_scale;
+    let config = ExperimentConfig {
+        campaigns,
+        seed: cli.seed,
+        threads: thread_count(),
+    };
+    let campaign = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p },
+        CheatStrategy::AtLeast { min_copies: 1 },
+    );
+    let drop_rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let straggler_rates = [0.0, 0.2, 0.4, 0.6, 0.8];
+    let mut csv_rows = Vec::new();
+
+    let schemes: Vec<(&str, RealizedPlan)> = vec![
+        ("balanced", RealizedPlan::balanced(n, eps).unwrap()),
+        (
+            "golle-stubblebine",
+            RealizedPlan::golle_stubblebine(n, eps).unwrap(),
+        ),
+    ];
+
+    for (name, plan) in &schemes {
+        let expect = 1.0 - (1.0 - plan.epsilon()).powf(1.0 - p);
+        println!(
+            "--- {name} (closed-form detection with lossless delivery: {}) ---",
+            fnum(expect, 4)
+        );
+        let drops = sweep(
+            plan,
+            &campaign,
+            FaultModel::with_drop_rate,
+            &drop_rates,
+            "drop rate",
+            &config,
+            &mut csv_rows,
+            name,
+            "drop",
+        );
+        print!("{}", drops.render());
+        println!();
+        let stragglers = sweep(
+            plan,
+            &campaign,
+            // Mean delay 3× the 8-tick timeout: stragglers usually miss the
+            // window and survive only through retries.
+            |rate| FaultModel::with_stragglers(rate, 24.0),
+            &straggler_rates,
+            "straggler rate",
+            &config,
+            &mut csv_rows,
+            name,
+            "straggler",
+        );
+        print!("{}", stragglers.render());
+        println!();
+    }
+    println!(
+        "Shape: without retries detection decays roughly like the closed form with\n\
+         eps scaled by the delivery rate; three retries hold it near the lossless\n\
+         value until drop rates get extreme.  Both schemes degrade alike — the\n\
+         hazard acts per assignment, not per scheme."
+    );
+    cli.maybe_write_csv(
+        "scheme,hazard,rate,detection_no_retry,detection_retry3,delivered,effective_multiplicity,unresolved",
+        &csv_rows,
+    );
+}

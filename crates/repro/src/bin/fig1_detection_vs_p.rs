@@ -40,12 +40,7 @@ fn main() {
         let v9 = s9_prof.effective_detection(p).expect("valid p");
         let v26 = s26_prof.effective_detection(p).expect("valid p");
         table.row(&[&fnum(p, 3), &fnum(bal, 4), &fnum(v9, 4), &fnum(v26, 4)]);
-        csv_rows.push(vec![
-            fnum(p, 3),
-            fnum(bal, 6),
-            fnum(v9, 6),
-            fnum(v26, 6),
-        ]);
+        csv_rows.push(vec![fnum(p, 3), fnum(bal, 6), fnum(v9, 6), fnum(v26, 6)]);
     }
     print!("{}", table.render());
 

@@ -55,5 +55,8 @@ fn main() {
         Balanced::break_even_with_simple()
     );
     println!("Balanced < GS on all of (0,1); every curve > lower bound 2/(2-eps).");
-    cli.maybe_write_csv("eps,balanced,golle_stubblebine,simple,lower_bound", &csv_rows);
+    cli.maybe_write_csv(
+        "eps,balanced,golle_stubblebine,simple,lower_bound",
+        &csv_rows,
+    );
 }

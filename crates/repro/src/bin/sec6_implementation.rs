@@ -18,7 +18,10 @@ fn main() {
          paper's two worked examples.",
     );
 
-    let cases = [(10_000_000u64, 0.99, "extreme"), (1_000_000, 0.75, "typical")];
+    let cases = [
+        (10_000_000u64, 0.99, "extreme"),
+        (1_000_000, 0.75, "typical"),
+    ];
     let mut table = Table::new(&[
         "Case",
         "N",

@@ -37,7 +37,11 @@ fn main() {
             &m.to_string(),
             &fnum(factor, 4),
             &inum(total.round() as u64),
-            &format!("{}{}", if delta >= 0.0 { "+" } else { "-" }, inum(delta.abs().round() as u64)),
+            &format!(
+                "{}{}",
+                if delta >= 0.0 { "+" } else { "-" },
+                inum(delta.abs().round() as u64)
+            ),
         ]);
         csv_rows.push(vec![
             m.to_string(),
@@ -55,5 +59,8 @@ fn main() {
          min mult 2 at N = 100,000 adds 25,900 assignments (~13%) over simple redundancy\n\
          while guaranteeing eps = 0.5, which simple redundancy cannot guarantee at all."
     );
-    cli.maybe_write_csv("min_multiplicity,redundancy_factor,assignments,delta_vs_simple", &csv_rows);
+    cli.maybe_write_csv(
+        "min_multiplicity,redundancy_factor,assignments,delta_vs_simple",
+        &csv_rows,
+    );
 }

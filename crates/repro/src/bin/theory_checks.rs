@@ -40,7 +40,10 @@ fn main() {
         all_ok &= check(
             "Thm 1.2 P_k = eps for all k",
             max_dev < 1e-4,
-            format!("eps={eps}: max |P_k - eps| = {max_dev:.2e} over k=1..{}", dim / 2),
+            format!(
+                "eps={eps}: max |P_k - eps| = {max_dev:.2e} over k=1..{}",
+                dim / 2
+            ),
         );
         let expect = n as f64 * (1.0 / (1.0 - eps)).ln() / eps;
         all_ok &= check(
@@ -97,9 +100,7 @@ fn main() {
         let closed = bal.p_nonasymptotic(1, p).expect("valid");
         let dim = prof.dimension();
         let max_dev = (1..=dim / 2)
-            .map(|k| {
-                (prof.p_nonasymptotic(k, p).unwrap().unwrap() - closed).abs()
-            })
+            .map(|k| (prof.p_nonasymptotic(k, p).unwrap().unwrap() - closed).abs())
             .fold(0.0f64, f64::max);
         all_ok &= check(
             "Prop 3 P(k,p) = 1-(1-eps)^(1-p), independent of k",

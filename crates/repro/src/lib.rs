@@ -15,6 +15,8 @@
 //! | `theory_checks` | Thm 1, Props 1–3 | numeric verification of every analytic claim |
 //! | `appendix_a_collusion` | Appendix A | two-phase `p²N` law and `1/√N` threshold |
 //! | `empirical_detection` | (ours) | simulated `P̂_{k,p}` vs closed forms |
+//! | `ext_survival` | (ours) | free cheats before first detection vs the geometric law |
+//! | `ext_faults` | (ours) | detection vs drop/straggler rate, with and without retries |
 //!
 //! Every binary prints a plain-text table (via `redundancy_stats::table`)
 //! and, when given `--csv <path>`, also writes machine-readable CSV.  All

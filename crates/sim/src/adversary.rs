@@ -6,10 +6,8 @@
 //! not know the multiplicity of the tasks she holds, only how many copies
 //! of each landed in her hands.
 
-use serde::{Deserialize, Serialize};
-
 /// How the adversary's share of the platform is modeled.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdversaryModel {
     /// Each assignment independently lands with the adversary with
     /// probability `p` — the exact model behind the paper's `P_{k,p}`.
@@ -33,9 +31,7 @@ impl AdversaryModel {
     pub fn proportion(&self) -> f64 {
         match *self {
             AdversaryModel::AssignmentFraction { p } => p,
-            AdversaryModel::SybilAccounts { total, adversary } => {
-                adversary as f64 / total as f64
-            }
+            AdversaryModel::SybilAccounts { total, adversary } => adversary as f64 / total as f64,
         }
     }
 
@@ -66,7 +62,7 @@ impl AdversaryModel {
 
 /// Which of her tasks the adversary attacks, given only the number of
 /// copies `k` she holds of each.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheatStrategy {
     /// Never cheat (honest baseline / false-positive calibration).
     Never,
@@ -133,8 +129,12 @@ mod tests {
 
     #[test]
     fn model_validation() {
-        assert!(AdversaryModel::AssignmentFraction { p: 0.0 }.validate().is_ok());
-        assert!(AdversaryModel::AssignmentFraction { p: 1.0 }.validate().is_err());
+        assert!(AdversaryModel::AssignmentFraction { p: 0.0 }
+            .validate()
+            .is_ok());
+        assert!(AdversaryModel::AssignmentFraction { p: 1.0 }
+            .validate()
+            .is_err());
         assert!(AdversaryModel::AssignmentFraction { p: f64::NAN }
             .validate()
             .is_err());

@@ -8,7 +8,9 @@
 //! the supervisor's comparison, tallying detections per tuple size.
 
 use crate::adversary::{AdversaryModel, CheatStrategy};
+use crate::faults::FaultModel;
 use crate::outcome::CampaignOutcome;
+use crate::retry::{deliver_assignment, Delivery};
 use crate::supervisor::{Supervisor, VerificationPolicy};
 use crate::task::{colluded_wrong_result, correct_result, faulty_result, TaskSpec};
 use redundancy_stats::samplers::{sample_binomial, sample_hypergeometric};
@@ -88,8 +90,7 @@ pub fn run_campaign(
             results.push(if cheats { wrong } else { right });
         }
         for j in held as u64..mult {
-            let faulty =
-                config.honest_error_rate > 0.0 && rng.bernoulli(config.honest_error_rate);
+            let faulty = config.honest_error_rate > 0.0 && rng.bernoulli(config.honest_error_rate);
             results.push(if faulty {
                 faulty_result(task.id, j ^ rng.next_raw())
             } else {
@@ -97,6 +98,111 @@ pub fn run_campaign(
             });
         }
 
+        let verdict = supervisor.verify(task, &results);
+        if cheats {
+            outcome.record_cheat(held as usize, verdict.flagged);
+            if verdict.accepted == Some(wrong) {
+                outcome.wrong_accepted += 1;
+            }
+        } else if verdict.flagged {
+            outcome.false_flags += 1;
+        }
+    }
+}
+
+/// Fold one assignment's delivery telemetry into the outcome.
+fn tally_delivery(outcome: &mut CampaignOutcome, delivery: &Delivery) {
+    outcome.drops += delivery.drops;
+    outcome.timeouts += delivery.timeouts;
+    outcome.retries += delivery.retries;
+    outcome.wait_ticks += delivery.wait_ticks;
+    if delivery.returned {
+        outcome.corrupted_returns += u64::from(delivery.corrupted);
+    } else {
+        outcome.lost_assignments += 1;
+    }
+}
+
+/// Run one campaign over `tasks` under a [`FaultModel`], accumulating into
+/// `outcome`.
+///
+/// Every copy — the adversary's included — passes through the retry loop in
+/// [`crate::retry`]; only copies that actually return reach the
+/// supervisor's comparison, so fault pressure shrinks the tuples being
+/// compared and with them the empirical detection probability.  A task
+/// whose copies are all lost is counted in `unresolved_tasks` and skipped
+/// (a real supervisor re-enqueues it into a later campaign).
+///
+/// With an inactive model (`!faults.is_active()`) this delegates to
+/// [`run_campaign`] and is bit-for-bit identical to it: the fault layer
+/// consumes no randomness at all.
+pub fn run_campaign_with_faults(
+    tasks: &[TaskSpec],
+    config: &CampaignConfig,
+    faults: &FaultModel,
+    rng: &mut DeterministicRng,
+    outcome: &mut CampaignOutcome,
+) {
+    debug_assert!(faults.validate().is_ok(), "invalid fault model");
+    if !faults.is_active() {
+        return run_campaign(tasks, config, rng, outcome);
+    }
+    debug_assert!(config.validate().is_ok(), "invalid campaign config");
+    let supervisor = Supervisor::new(config.policy);
+    outcome.campaigns += 1;
+    let mut results = Vec::with_capacity(32);
+    for task in tasks {
+        let mult = task.multiplicity as u64;
+        outcome.tasks += 1;
+        outcome.assignments += mult;
+        let held = match config.adversary {
+            AdversaryModel::AssignmentFraction { p } => sample_binomial(rng, mult, p),
+            AdversaryModel::SybilAccounts { total, adversary } => {
+                sample_hypergeometric(rng, total as u64, adversary as u64, mult.min(total as u64))
+            }
+        } as u32;
+        outcome.holdings.record(held as usize);
+        // The adversary commits on what she *holds*; she cannot foresee
+        // which copies the platform will lose.
+        let cheats = config.strategy.cheats_on(held);
+
+        results.clear();
+        let wrong = colluded_wrong_result(task.id);
+        let right = correct_result(task.id);
+        for j in 0..u64::from(held) {
+            let delivery = deliver_assignment(faults, rng);
+            tally_delivery(outcome, &delivery);
+            if delivery.returned {
+                let intended = if cheats { wrong } else { right };
+                results.push(if delivery.corrupted {
+                    faulty_result(task.id, j ^ rng.next_raw())
+                } else {
+                    intended
+                });
+            }
+        }
+        for j in u64::from(held)..mult {
+            let delivery = deliver_assignment(faults, rng);
+            tally_delivery(outcome, &delivery);
+            if delivery.returned {
+                let honest_fault =
+                    config.honest_error_rate > 0.0 && rng.bernoulli(config.honest_error_rate);
+                results.push(if delivery.corrupted || honest_fault {
+                    faulty_result(task.id, j ^ rng.next_raw())
+                } else {
+                    right
+                });
+            }
+        }
+
+        let returned = results.len() as u64;
+        if returned < mult {
+            outcome.degraded.record((mult - returned) as usize);
+        }
+        if returned == 0 {
+            outcome.unresolved_tasks += 1;
+            continue;
+        }
         let verdict = supervisor.verify(task, &results);
         if cheats {
             outcome.record_cheat(held as usize, verdict.flagged);
@@ -154,7 +260,10 @@ mod tests {
         assert!(out.total_attempted() > 500);
         let rate = out.overall_detection_rate().unwrap();
         let expect = 1.0 - 0.5f64.powf(0.8);
-        assert!((rate - expect).abs() < 0.03, "overall detection {rate} vs {expect}");
+        assert!(
+            (rate - expect).abs() < 0.03,
+            "overall detection {rate} vs {expect}"
+        );
     }
 
     #[test]
@@ -169,7 +278,11 @@ mod tests {
         );
         let out = run(&tasks, &cfg, 3);
         assert!(out.total_attempted() > 50);
-        assert_eq!(out.total_detected(), 0, "collusion on both copies is invisible");
+        assert_eq!(
+            out.total_detected(),
+            0,
+            "collusion on both copies is invisible"
+        );
         assert_eq!(out.wrong_accepted, out.total_attempted());
     }
 
@@ -254,7 +367,10 @@ mod tests {
         let attempted = out.cheats_attempted.get(i_f as usize).copied().unwrap_or(0);
         assert!(attempted > 200, "need i_f-tuple attacks, got {attempted}");
         let rate = out.detection_rate(i_f as usize).unwrap();
-        assert!(rate > 0.1, "ringers must catch i_f-tuple cheats, rate {rate}");
+        assert!(
+            rate > 0.1,
+            "ringers must catch i_f-tuple cheats, rate {rate}"
+        );
     }
 
     #[test]

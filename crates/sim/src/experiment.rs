@@ -2,7 +2,8 @@
 //! intervals, multi-threaded and exactly reproducible.
 
 use crate::adversary::{AdversaryModel, CheatStrategy};
-use crate::engine::{run_campaign, CampaignConfig};
+use crate::engine::{run_campaign, run_campaign_with_faults, CampaignConfig};
+use crate::faults::FaultModel;
 use crate::outcome::CampaignOutcome;
 use crate::task::{expand_plan, TaskSpec};
 use redundancy_core::RealizedPlan;
@@ -90,9 +91,7 @@ pub fn detection_experiment_with(
     campaign: &CampaignConfig,
     config: &ExperimentConfig,
 ) -> DetectionEstimate {
-    campaign
-        .validate()
-        .expect("invalid campaign configuration");
+    campaign.validate().expect("invalid campaign configuration");
     let tasks: Vec<TaskSpec> = expand_plan(plan);
     let trial_cfg = TrialConfig {
         trials: config.campaigns,
@@ -103,6 +102,38 @@ pub fn detection_experiment_with(
     let outcome: CampaignOutcome = run_trials(
         &trial_cfg,
         |rng, _i, acc: &mut CampaignOutcome| run_campaign(&tasks, campaign, rng, acc),
+        |a, b| a.merge(&b),
+    );
+    DetectionEstimate { outcome }
+}
+
+/// As [`detection_experiment_with`] but under a [`FaultModel`]: every
+/// assignment passes through the drop/straggler/retry pipeline before the
+/// supervisor compares whatever actually returned.
+///
+/// With an inactive model this reduces exactly to
+/// [`detection_experiment_with`] — same chunking, same seeds, same draws —
+/// so a zero-fault sweep reproduces the baseline tables bit for bit.
+pub fn faulty_detection_experiment(
+    plan: &RealizedPlan,
+    campaign: &CampaignConfig,
+    faults: &FaultModel,
+    config: &ExperimentConfig,
+) -> DetectionEstimate {
+    campaign.validate().expect("invalid campaign configuration");
+    faults.validate().expect("invalid fault model");
+    let tasks: Vec<TaskSpec> = expand_plan(plan);
+    let trial_cfg = TrialConfig {
+        trials: config.campaigns,
+        chunk_size: 4,
+        threads: config.threads,
+        seed: config.seed,
+    };
+    let outcome: CampaignOutcome = run_trials(
+        &trial_cfg,
+        |rng, _i, acc: &mut CampaignOutcome| {
+            run_campaign_with_faults(&tasks, campaign, faults, rng, acc)
+        },
         |a, b| a.merge(&b),
     );
     DetectionEstimate { outcome }
@@ -124,9 +155,7 @@ pub fn sampled_detection_experiment(
     config: &ExperimentConfig,
 ) -> DetectionEstimate {
     use redundancy_stats::samplers::AliasTable;
-    campaign
-        .validate()
-        .expect("invalid campaign configuration");
+    campaign.validate().expect("invalid campaign configuration");
     // One representative TaskSpec per partition + its weight.
     let mut reps: Vec<TaskSpec> = Vec::new();
     let mut weights: Vec<f64> = Vec::new();
@@ -153,8 +182,7 @@ pub fn sampled_detection_experiment(
         |rng, _i, acc: &mut CampaignOutcome| {
             // Draw `samples` tasks ∝ partition sizes and run one campaign
             // over the sampled multiset.
-            let sampled: Vec<TaskSpec> =
-                (0..samples).map(|_| reps[table.sample(rng)]).collect();
+            let sampled: Vec<TaskSpec> = (0..samples).map(|_| reps[table.sample(rng)]).collect();
             run_campaign(&sampled, campaign, rng, acc);
         },
         |a, b| a.merge(&b),
@@ -238,12 +266,8 @@ mod tests {
             AdversaryModel::AssignmentFraction { p },
             CheatStrategy::AtLeast { min_copies: 1 },
         );
-        let est = sampled_detection_experiment(
-            &plan,
-            &campaign,
-            20_000,
-            &ExperimentConfig::new(30, 555),
-        );
+        let est =
+            sampled_detection_experiment(&plan, &campaign, 20_000, &ExperimentConfig::new(30, 555));
         let expect = 1.0 - (1.0 - eps).powf(1.0 - p);
         assert!(
             est.consistent_with(1, expect),
@@ -271,6 +295,77 @@ mod tests {
     }
 
     #[test]
+    fn zero_fault_experiment_matches_baseline_bitwise() {
+        let plan = RealizedPlan::balanced(3_000, 0.5).unwrap();
+        let campaign = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        );
+        let cfg = ExperimentConfig::new(8, 2024);
+        let base = detection_experiment_with(&plan, &campaign, &cfg);
+        let faulty = faulty_detection_experiment(&plan, &campaign, &FaultModel::none(), &cfg);
+        assert_eq!(base.outcome, faulty.outcome);
+    }
+
+    #[test]
+    fn faulty_experiment_is_thread_count_invariant() {
+        let plan = RealizedPlan::balanced(2_000, 0.5).unwrap();
+        let campaign = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        );
+        let faults = FaultModel {
+            straggler_rate: 0.2,
+            straggler_mean_delay: 10.0,
+            corrupt_rate: 0.01,
+            ..FaultModel::with_drop_rate(0.15)
+        };
+        let run = |threads| {
+            let cfg = ExperimentConfig {
+                campaigns: 12,
+                seed: 7,
+                threads,
+            };
+            faulty_detection_experiment(&plan, &campaign, &faults, &cfg).outcome
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn drops_degrade_detection_until_retries_recover_it() {
+        // Proposition 3 assumes every copy returns.  Heavy unretried loss
+        // shrinks the tuples actually compared, so detection must fall
+        // below the closed form; a healthy retry budget must pull it back.
+        let eps = 0.5;
+        let p = 0.15;
+        let plan = RealizedPlan::balanced(10_000, eps).unwrap();
+        let campaign = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p },
+            CheatStrategy::AtLeast { min_copies: 1 },
+        );
+        let cfg = ExperimentConfig::new(20, 616);
+        let no_retry = FaultModel {
+            max_retries: 0,
+            ..FaultModel::with_drop_rate(0.5)
+        };
+        let with_retry = FaultModel {
+            max_retries: 6,
+            ..FaultModel::with_drop_rate(0.5)
+        };
+        let expect = 1.0 - (1.0 - eps).powf(1.0 - p);
+        let degraded = faulty_detection_experiment(&plan, &campaign, &no_retry, &cfg);
+        let recovered = faulty_detection_experiment(&plan, &campaign, &with_retry, &cfg);
+        let d = degraded.overall().estimate();
+        let r = recovered.overall().estimate();
+        assert!(d < expect - 0.05, "lossy detection {d} not below {expect}");
+        assert!(r > d + 0.05, "retries failed to recover: {r} vs {d}");
+        assert!(degraded.outcome.degraded.total() > 0);
+        assert!(
+            degraded.outcome.effective_multiplicity() < recovered.outcome.effective_multiplicity()
+        );
+    }
+
+    #[test]
     fn overall_proportion_aggregates() {
         let plan = RealizedPlan::balanced(5_000, 0.5).unwrap();
         let est = detection_experiment(
@@ -283,6 +378,10 @@ mod tests {
         assert!(overall.trials() > 0);
         // Proposition 3 at p = 0.2: every tuple size detects at ≈ 0.4257.
         let expect = 1.0 - 0.5f64.powf(0.8);
-        assert!((overall.estimate() - expect).abs() < 0.05, "{}", overall.estimate());
+        assert!(
+            (overall.estimate() - expect).abs() < 0.05,
+            "{}",
+            overall.estimate()
+        );
     }
 }

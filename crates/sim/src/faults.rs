@@ -1,0 +1,188 @@
+//! Failure and straggler injection for the campaign simulator.
+//!
+//! The paper's detection guarantees assume every assignment comes back.
+//! Real volunteer platforms lose returns (hosts leave mid-task), delay them
+//! (stragglers), and corrupt them in transit; the supervisor's reassignment
+//! policy then changes which multiplicities actually get compared.  A
+//! [`FaultModel`] describes those per-assignment hazards; the retry loop in
+//! [`crate::retry`] simulates delivery under it.
+//!
+//! All latency is measured in **abstract ticks** — there is no wall clock
+//! anywhere, so campaigns stay exactly replayable under the chunked
+//! Monte-Carlo driver.  Every random draw goes through the campaign's
+//! [`DeterministicRng`](redundancy_stats::DeterministicRng), and every draw
+//! is gated behind its rate being nonzero, so a zero-rate model consumes
+//! *no* randomness and reproduces the fault-free engine bit for bit.
+
+/// Per-assignment fault hazards plus the supervisor's retry policy.
+///
+/// Delivery of one assignment proceeds in attempts.  Each attempt:
+///
+/// 1. drops entirely with probability `drop_rate` (the supervisor notices
+///    only when `timeout` ticks elapse);
+/// 2. otherwise computes in 1 tick, plus — with probability
+///    `straggler_rate` — a geometric extra delay with mean
+///    `straggler_mean_delay` ticks;
+/// 3. a copy arriving within `timeout` ticks of its issue is accepted, and
+///    is corrupted (arbitrary wrong value, non-colluding) with probability
+///    `corrupt_rate`;
+/// 4. a dropped or late copy is re-issued after a capped exponential
+///    backoff (`backoff_base · 2^attempt`, at most `backoff_cap` ticks),
+///    up to `max_retries` times.  An assignment that exhausts its retries
+///    is lost: the task's effective multiplicity shrinks by one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability an issued copy is never returned.
+    pub drop_rate: f64,
+    /// Probability a returned copy is a straggler.
+    pub straggler_rate: f64,
+    /// Mean extra delay of a straggler, in ticks (geometric, support ≥ 1).
+    pub straggler_mean_delay: f64,
+    /// Probability a returned copy's value was corrupted in transit.
+    pub corrupt_rate: f64,
+    /// Ticks the supervisor waits for a copy before re-issuing it.
+    pub timeout: u64,
+    /// Maximum re-issues per assignment.
+    pub max_retries: u32,
+    /// First backoff delay, in ticks.
+    pub backoff_base: u64,
+    /// Backoff ceiling, in ticks.
+    pub backoff_cap: u64,
+}
+
+impl FaultModel {
+    /// The fault-free model: no hazards, default retry policy.
+    ///
+    /// Inactive by construction, so engines delegate to the fault-free path
+    /// and consume no extra randomness.
+    pub fn none() -> Self {
+        FaultModel {
+            drop_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_mean_delay: 4.0,
+            corrupt_rate: 0.0,
+            timeout: 8,
+            max_retries: 3,
+            backoff_base: 2,
+            backoff_cap: 32,
+        }
+    }
+
+    /// A model with only per-assignment drops at `rate`.
+    pub fn with_drop_rate(rate: f64) -> Self {
+        FaultModel {
+            drop_rate: rate,
+            ..FaultModel::none()
+        }
+    }
+
+    /// A model with only stragglers: `rate` of copies delayed by a
+    /// geometric extra latency with mean `mean_delay` ticks.
+    pub fn with_stragglers(rate: f64, mean_delay: f64) -> Self {
+        FaultModel {
+            straggler_rate: rate,
+            straggler_mean_delay: mean_delay,
+            ..FaultModel::none()
+        }
+    }
+
+    /// True if any hazard can fire.  Inactive models must not perturb the
+    /// fault-free engine's RNG stream.
+    pub fn is_active(&self) -> bool {
+        self.drop_rate > 0.0 || self.straggler_rate > 0.0 || self.corrupt_rate > 0.0
+    }
+
+    /// Validate all parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("drop rate", self.drop_rate),
+            ("straggler rate", self.straggler_rate),
+            ("corrupt rate", self.corrupt_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+                return Err(format!("{name} {rate} outside [0, 1]"));
+            }
+        }
+        if self.timeout == 0 {
+            return Err("timeout must be at least one tick".into());
+        }
+        if !self.straggler_mean_delay.is_finite() || self.straggler_mean_delay < 1.0 {
+            return Err(format!(
+                "straggler mean delay {} must be >= 1 tick",
+                self.straggler_mean_delay
+            ));
+        }
+        if self.backoff_base == 0 {
+            return Err("backoff base must be at least one tick".into());
+        }
+        if self.backoff_cap < self.backoff_base {
+            return Err(format!(
+                "backoff cap {} below backoff base {}",
+                self.backoff_cap, self.backoff_base
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_valid() {
+        let f = FaultModel::none();
+        assert!(!f.is_active());
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn nonzero_rates_activate() {
+        assert!(FaultModel::with_drop_rate(0.1).is_active());
+        assert!(FaultModel::with_stragglers(0.2, 6.0).is_active());
+        let corrupt = FaultModel {
+            corrupt_rate: 0.01,
+            ..FaultModel::none()
+        };
+        assert!(corrupt.is_active());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FaultModel::with_drop_rate(1.5).validate().is_err());
+        assert!(FaultModel::with_drop_rate(-0.1).validate().is_err());
+        let zero_timeout = FaultModel {
+            timeout: 0,
+            ..FaultModel::none()
+        };
+        assert!(zero_timeout.validate().is_err());
+        let tiny_mean = FaultModel {
+            straggler_mean_delay: 0.5,
+            ..FaultModel::none()
+        };
+        assert!(tiny_mean.validate().is_err());
+        let inverted_backoff = FaultModel {
+            backoff_base: 16,
+            backoff_cap: 4,
+            ..FaultModel::none()
+        };
+        assert!(inverted_backoff.validate().is_err());
+        let zero_base = FaultModel {
+            backoff_base: 0,
+            ..FaultModel::none()
+        };
+        assert!(zero_base.validate().is_err());
+    }
+
+    #[test]
+    fn boundary_rates_are_valid() {
+        assert!(FaultModel::with_drop_rate(1.0).validate().is_ok());
+        assert!(FaultModel::with_drop_rate(0.0).validate().is_ok());
+    }
+}

@@ -30,12 +30,21 @@
 //! seeds with multi-threaded chunking.  [`two_phase`] additionally
 //! implements Appendix A's two-phase simple-redundancy protocol and its
 //! `p²N` collusion bound.
+//!
+//! The [`faults`] / [`retry`] modules extend the platform beyond the
+//! paper's reliable-delivery assumption: assignments can drop, straggle
+//! past a timeout, or return corrupted, and the supervisor re-issues
+//! failures with capped exponential backoff.  All latency is abstract
+//! ticks and every draw is rate-gated, so a zero-fault model reproduces
+//! the baseline engine bit for bit.
 
 pub mod adversary;
 pub mod engine;
 pub mod experiment;
+pub mod faults;
 pub mod outcome;
 pub mod participant;
+pub mod retry;
 pub mod rounds;
 pub mod supervisor;
 pub mod survival;
@@ -43,13 +52,18 @@ pub mod task;
 pub mod two_phase;
 
 pub use adversary::{AdversaryModel, CheatStrategy};
-pub use engine::{run_campaign, CampaignConfig};
+pub use engine::{run_campaign, run_campaign_with_faults, CampaignConfig};
 pub use experiment::{
-    detection_experiment, sampled_detection_experiment, DetectionEstimate, ExperimentConfig,
+    detection_experiment, faulty_detection_experiment, sampled_detection_experiment,
+    DetectionEstimate, ExperimentConfig,
 };
+pub use faults::FaultModel;
 pub use outcome::CampaignOutcome;
 pub use participant::ParticipantPool;
-pub use rounds::{run_platform, PlatformConfig, PlatformHistory, RoundReport};
+pub use retry::{backoff_ticks, deliver_assignment, Delivery};
+pub use rounds::{
+    run_platform, run_platform_with_faults, PlatformConfig, PlatformHistory, RoundReport,
+};
 pub use supervisor::Supervisor;
 pub use survival::{survival_experiment, SurvivalOutcome};
 pub use task::{correct_result, ResultValue, TaskId, TaskSpec};

@@ -2,14 +2,13 @@
 //! caught.
 
 use redundancy_stats::Histogram;
-use serde::{Deserialize, Serialize};
 
 /// Tallies from one or more simulated campaigns.
 ///
 /// Per-`k` vectors are indexed by the number of copies the adversary held
 /// of the attacked task (index 0 unused).  `merge` is commutative and
 /// associative so outcomes fold cleanly across Monte-Carlo threads.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignOutcome {
     /// Campaigns aggregated into this outcome.
     pub campaigns: u64,
@@ -27,8 +26,26 @@ pub struct CampaignOutcome {
     /// Tasks flagged without any cheating (honest faults) — the
     /// false-positive metric.
     pub false_flags: u64,
+    /// Fault injection: attempts that dropped outright.
+    pub drops: u64,
+    /// Fault injection: attempts discarded after exceeding the timeout.
+    pub timeouts: u64,
+    /// Fault injection: re-issued assignments (supervisor retries).
+    pub retries: u64,
+    /// Fault injection: returned copies whose value was corrupted.
+    pub corrupted_returns: u64,
+    /// Assignments abandoned after exhausting their retry budget.
+    pub lost_assignments: u64,
+    /// Tasks for which *no* copy came back — nothing to compare at all.
+    pub unresolved_tasks: u64,
+    /// Total abstract ticks assignments spent from first issue to arrival
+    /// (or abandonment).
+    pub wait_ticks: u64,
+    /// Distribution of per-task multiplicity deficits (`assigned − returned`,
+    /// recorded only when positive): how far fault pressure degraded the
+    /// comparisons the supervisor actually got to make.
+    pub degraded: Histogram,
     /// Distribution of the adversary's holdings per task (diagnostic).
-    #[serde(skip)]
     pub holdings: Histogram,
 }
 
@@ -58,7 +75,7 @@ impl CampaignOutcome {
 
     /// Empirical detection rate at tuple size `k`, if any attack occurred.
     pub fn detection_rate(&self, k: usize) -> Option<f64> {
-        let attempted = *self.cheats_attempted.get(k)? ;
+        let attempted = *self.cheats_attempted.get(k)?;
         if attempted == 0 {
             return None;
         }
@@ -81,10 +98,15 @@ impl CampaignOutcome {
         self.tasks += other.tasks;
         self.assignments += other.assignments;
         if other.cheats_attempted.len() > self.cheats_attempted.len() {
-            self.cheats_attempted.resize(other.cheats_attempted.len(), 0);
+            self.cheats_attempted
+                .resize(other.cheats_attempted.len(), 0);
             self.cheats_detected.resize(other.cheats_detected.len(), 0);
         }
-        for (a, &b) in self.cheats_attempted.iter_mut().zip(&other.cheats_attempted) {
+        for (a, &b) in self
+            .cheats_attempted
+            .iter_mut()
+            .zip(&other.cheats_attempted)
+        {
             *a += b;
         }
         for (a, &b) in self.cheats_detected.iter_mut().zip(&other.cheats_detected) {
@@ -92,7 +114,43 @@ impl CampaignOutcome {
         }
         self.wrong_accepted += other.wrong_accepted;
         self.false_flags += other.false_flags;
+        self.drops += other.drops;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.corrupted_returns += other.corrupted_returns;
+        self.lost_assignments += other.lost_assignments;
+        self.unresolved_tasks += other.unresolved_tasks;
+        self.wait_ticks += other.wait_ticks;
+        self.degraded.merge(&other.degraded);
         self.holdings.merge(&other.holdings);
+    }
+
+    /// Fraction of issued assignments that eventually returned.
+    pub fn delivery_rate(&self) -> Option<f64> {
+        if self.assignments == 0 {
+            return None;
+        }
+        let delivered = self.assignments - self.lost_assignments;
+        Some(delivered as f64 / self.assignments as f64)
+    }
+
+    /// Average effective multiplicity per task (returned copies / tasks),
+    /// against the planned `assignments / tasks`.
+    pub fn effective_multiplicity(&self) -> Option<f64> {
+        if self.tasks == 0 {
+            return None;
+        }
+        let delivered = self.assignments - self.lost_assignments;
+        Some(delivered as f64 / self.tasks as f64)
+    }
+
+    /// Mean ticks an assignment waited from first issue to arrival or
+    /// abandonment (0 when the fault layer is inactive).
+    pub fn mean_wait_ticks(&self) -> Option<f64> {
+        if self.assignments == 0 {
+            return None;
+        }
+        Some(self.wait_ticks as f64 / self.assignments as f64)
     }
 }
 
@@ -134,10 +192,35 @@ mod tests {
             ..CampaignOutcome::default()
         };
         b.record_cheat(3, false);
+        b.drops = 7;
+        b.retries = 2;
+        b.degraded.record(1);
         a.merge(&b);
         assert_eq!(a.campaigns, 3);
         assert_eq!(a.cheats_attempted, vec![0, 1, 0, 1]);
         assert_eq!(a.cheats_detected, vec![0, 1, 0, 0]);
         assert_eq!(a.wrong_accepted, 4);
+        assert_eq!(a.drops, 7);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.degraded.count(1), 1);
+    }
+
+    #[test]
+    fn fault_metrics() {
+        let mut o = CampaignOutcome {
+            tasks: 10,
+            assignments: 40,
+            lost_assignments: 4,
+            wait_ticks: 80,
+            ..CampaignOutcome::default()
+        };
+        assert_eq!(o.delivery_rate(), Some(0.9));
+        assert_eq!(o.effective_multiplicity(), Some(3.6));
+        assert_eq!(o.mean_wait_ticks(), Some(2.0));
+        o.assignments = 0;
+        o.tasks = 0;
+        assert_eq!(o.delivery_rate(), None);
+        assert_eq!(o.effective_multiplicity(), None);
+        assert_eq!(o.mean_wait_ticks(), None);
     }
 }

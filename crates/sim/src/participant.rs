@@ -8,14 +8,12 @@
 //! probability ≈ `adversary/total`, connecting the Sybil picture to the
 //! paper's proportion-`p` analysis.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a participant account.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParticipantId(pub u32);
 
 /// A pool of volunteer accounts, a prefix of which is adversary-controlled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParticipantPool {
     total: u32,
     adversary: u32,

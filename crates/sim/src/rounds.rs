@@ -22,14 +22,15 @@
 //! damage rate — decays geometrically across rounds.
 
 use crate::adversary::CheatStrategy;
+use crate::faults::FaultModel;
+use crate::retry::deliver_assignment;
 use crate::task::{expand_plan, TaskSpec};
 use redundancy_core::RealizedPlan;
 use redundancy_stats::samplers::sample_hypergeometric;
 use redundancy_stats::DeterministicRng;
-use serde::{Deserialize, Serialize};
 
 /// Platform configuration for a multi-round simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlatformConfig {
     /// Honest volunteer accounts at start.
     pub honest_accounts: u32,
@@ -75,7 +76,7 @@ impl PlatformConfig {
 }
 
 /// Snapshot of one round's outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundReport {
     /// Round index (0-based).
     pub round: u32,
@@ -93,10 +94,16 @@ pub struct RoundReport {
     pub sybil_credit: u64,
     /// Sybil accounts banned during this round.
     pub banned: u32,
+    /// Fault injection: assignment attempts that dropped outright.
+    pub drops: u64,
+    /// Fault injection: attempts discarded after the timeout.
+    pub timeouts: u64,
+    /// Fault injection: assignments re-issued by the supervisor.
+    pub retries: u64,
 }
 
 /// Aggregate of a whole multi-round run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PlatformHistory {
     /// Per-round reports, in order.
     pub rounds: Vec<RoundReport>,
@@ -127,6 +134,65 @@ impl PlatformHistory {
     }
 }
 
+impl redundancy_json::ToJson for RoundReport {
+    fn to_json(&self) -> redundancy_json::Json {
+        redundancy_json::obj(vec![
+            ("round", redundancy_json::num_u64(self.round as u64)),
+            (
+                "active_sybils",
+                redundancy_json::num_u64(self.active_sybils as u64),
+            ),
+            ("attacks", redundancy_json::num_u64(self.attacks)),
+            ("detected", redundancy_json::num_u64(self.detected)),
+            (
+                "wrong_accepted",
+                redundancy_json::num_u64(self.wrong_accepted),
+            ),
+            (
+                "reverification_cost",
+                redundancy_json::num_u64(self.reverification_cost),
+            ),
+            ("sybil_credit", redundancy_json::num_u64(self.sybil_credit)),
+            ("banned", redundancy_json::num_u64(self.banned as u64)),
+            ("drops", redundancy_json::num_u64(self.drops)),
+            ("timeouts", redundancy_json::num_u64(self.timeouts)),
+            ("retries", redundancy_json::num_u64(self.retries)),
+        ])
+    }
+}
+
+impl redundancy_json::FromJson for RoundReport {
+    fn from_json(value: &redundancy_json::Json) -> Result<Self, redundancy_json::JsonError> {
+        Ok(RoundReport {
+            round: value.field_u64("round")? as u32,
+            active_sybils: value.field_u64("active_sybils")? as u32,
+            attacks: value.field_u64("attacks")?,
+            detected: value.field_u64("detected")?,
+            wrong_accepted: value.field_u64("wrong_accepted")?,
+            reverification_cost: value.field_u64("reverification_cost")?,
+            sybil_credit: value.field_u64("sybil_credit")?,
+            banned: value.field_u64("banned")? as u32,
+            drops: value.field_u64("drops")?,
+            timeouts: value.field_u64("timeouts")?,
+            retries: value.field_u64("retries")?,
+        })
+    }
+}
+
+impl redundancy_json::ToJson for PlatformHistory {
+    fn to_json(&self) -> redundancy_json::Json {
+        redundancy_json::obj(vec![("rounds", self.rounds.to_json())])
+    }
+}
+
+impl redundancy_json::FromJson for PlatformHistory {
+    fn from_json(value: &redundancy_json::Json) -> Result<Self, redundancy_json::JsonError> {
+        Ok(PlatformHistory {
+            rounds: Vec::<RoundReport>::from_json(value.field("rounds")?)?,
+        })
+    }
+}
+
 /// Internal per-Sybil account state (honest accounts need no state: they
 /// are never implicated unless a fault model is added, which this
 /// simulation keeps off to isolate the adversarial dynamics).
@@ -149,7 +215,33 @@ pub fn run_platform(
     rounds: u32,
     rng: &mut DeterministicRng,
 ) -> PlatformHistory {
+    run_platform_with_faults(plan, config, &FaultModel::none(), rounds, rng)
+}
+
+/// [`run_platform`] under a [`FaultModel`]: every assignment passes through
+/// the retry loop before the round's bookkeeping.
+///
+/// The analytic detection rule adapts to what actually *returned*: a
+/// cheated ringer is caught iff any adversary copy came back; a cheated
+/// normal task is caught iff at least one adversary copy **and** one honest
+/// copy returned (otherwise there is nothing to disagree with and the wrong
+/// result is accepted); an attack none of whose copies returned fizzles —
+/// neither caught nor damaging.  Sybil credit is paid only for returned
+/// copies, and only returned copies implicate accounts.  Corruption flips
+/// values, not delivery, so this comparison-count model ignores
+/// `corrupt_rate` — the materialized engine in [`crate::engine`] covers it.
+///
+/// With an inactive model this is bit-for-bit [`run_platform`]: the fault
+/// layer consumes no randomness.
+pub fn run_platform_with_faults(
+    plan: &RealizedPlan,
+    config: &PlatformConfig,
+    faults: &FaultModel,
+    rounds: u32,
+    rng: &mut DeterministicRng,
+) -> PlatformHistory {
     config.validate().expect("invalid platform configuration");
+    debug_assert!(faults.validate().is_ok(), "invalid fault model");
     let tasks: Vec<TaskSpec> = expand_plan(plan);
     let start_rep = config.ban_threshold as i64 + config.starting_margin as i64;
     let mut sybils: Vec<Sybil> = (0..config.sybil_accounts)
@@ -178,6 +270,9 @@ pub fn run_platform(
             reverification_cost: 0,
             sybil_credit: 0,
             banned: 0,
+            drops: 0,
+            timeouts: 0,
+            retries: 0,
         };
 
         for task in &tasks {
@@ -187,24 +282,47 @@ pub fn run_platform(
             } else {
                 sample_hypergeometric(rng, pool_total, active_sybils as u64, mult.min(pool_total))
             } as u32;
+            // Deliver every copy through the retry loop; with an inactive
+            // model this collapses to "all copies return, no draws".
+            let (returned_adv, returned_honest) = if faults.is_active() {
+                let mut deliver = |n: u64| {
+                    let mut returned = 0u64;
+                    for _ in 0..n {
+                        let d = deliver_assignment(faults, rng);
+                        report.drops += d.drops;
+                        report.timeouts += d.timeouts;
+                        report.retries += d.retries;
+                        returned += u64::from(d.returned);
+                    }
+                    returned
+                };
+                let adv = deliver(u64::from(held));
+                (adv, deliver(mult - u64::from(held)))
+            } else {
+                (u64::from(held), mult - u64::from(held))
+            };
             // Credit: every returned assignment pays, cheated or not —
             // that is exactly the "credit for work not completed" threat.
-            report.sybil_credit += held as u64 * config.credit_per_assignment;
+            report.sybil_credit += returned_adv * config.credit_per_assignment;
             if held == 0 || !config.strategy.cheats_on(held) {
                 continue;
             }
             report.attacks += 1;
-            let detected = task.precomputed || u64::from(held) < mult;
+            if returned_adv == 0 {
+                // The attack fizzled: no wrong copy ever arrived.
+                continue;
+            }
+            let detected = task.precomputed || returned_honest > 0;
             if !detected {
                 report.wrong_accepted += 1;
                 continue;
             }
             report.detected += 1;
             report.reverification_cost += mult;
-            // Implicate the held copies' accounts: penalize `held` random
-            // active Sybils (which specific ones does not matter
+            // Implicate the returned copies' accounts: penalize that many
+            // random active Sybils (which specific ones does not matter
             // statistically — accounts are exchangeable).
-            for _ in 0..held.min(active_sybils) {
+            for _ in 0..returned_adv.min(active_sybils as u64) {
                 let pick = active[rng.below(active.len() as u64) as usize];
                 let s = &mut sybils[pick];
                 if !s.banned {
@@ -228,6 +346,9 @@ pub fn run_platform(
                 reverification_cost: 0,
                 sybil_credit: 0,
                 banned: 0,
+                drops: 0,
+                timeouts: 0,
+                retries: 0,
             });
             break;
         }
@@ -299,7 +420,10 @@ mod tests {
         let history = run_platform(&plan, &cfg, 3, &mut rng);
         assert_eq!(history.extinction_round(), None);
         assert_eq!(history.total_wrong_accepted(), 0);
-        assert!(history.total_sybil_credit() > 0, "lurking still pays credit");
+        assert!(
+            history.total_sybil_credit() > 0,
+            "lurking still pays credit"
+        );
         assert_eq!(history.total_reverification(), 0);
     }
 
@@ -353,13 +477,61 @@ mod tests {
     }
 
     #[test]
+    fn zero_fault_platform_matches_baseline_exactly() {
+        let plan = plan();
+        let cfg = PlatformConfig::strict(2_000, 200, CheatStrategy::Always);
+        let mut a = DeterministicRng::new(21);
+        let mut b = DeterministicRng::new(21);
+        let baseline = run_platform(&plan, &cfg, 5, &mut a);
+        let faulty = run_platform_with_faults(&plan, &cfg, &FaultModel::none(), 5, &mut b);
+        assert_eq!(baseline, faulty);
+        assert_eq!(a, b, "inactive faults must not consume randomness");
+    }
+
+    #[test]
+    fn drops_slow_the_ban_wave_and_pay_less_credit() {
+        let plan = plan();
+        let cfg = PlatformConfig::strict(5_000, 500, CheatStrategy::AtLeast { min_copies: 1 });
+        let faults = FaultModel {
+            max_retries: 0,
+            ..FaultModel::with_drop_rate(0.6)
+        };
+        let mut a = DeterministicRng::new(31);
+        let mut b = DeterministicRng::new(31);
+        let clean = run_platform(&plan, &cfg, 3, &mut a);
+        let lossy = run_platform_with_faults(&plan, &cfg, &faults, 3, &mut b);
+        assert!(lossy.rounds[0].drops > 0);
+        // Fewer returned copies: fewer implications, so fewer bans...
+        assert!(lossy.rounds[0].banned <= clean.rounds[0].banned);
+        // ...and less credit banked per round.
+        assert!(lossy.rounds[0].sybil_credit < clean.rounds[0].sybil_credit);
+    }
+
+    #[test]
+    fn faulty_platform_replays_deterministically() {
+        let plan = plan();
+        let cfg = PlatformConfig::strict(1_000, 100, CheatStrategy::Always);
+        let faults = FaultModel {
+            straggler_rate: 0.3,
+            straggler_mean_delay: 12.0,
+            ..FaultModel::with_drop_rate(0.2)
+        };
+        let mut a = DeterministicRng::new(41);
+        let mut b = DeterministicRng::new(41);
+        assert_eq!(
+            run_platform_with_faults(&plan, &cfg, &faults, 4, &mut a),
+            run_platform_with_faults(&plan, &cfg, &faults, 4, &mut b)
+        );
+    }
+
+    #[test]
     fn history_serializes() {
         let plan = plan();
         let cfg = PlatformConfig::strict(1_000, 50, CheatStrategy::Always);
         let mut rng = DeterministicRng::new(9);
         let history = run_platform(&plan, &cfg, 2, &mut rng);
-        let json = serde_json::to_string(&history).unwrap();
-        let back: PlatformHistory = serde_json::from_str(&json).unwrap();
+        let json = redundancy_json::to_string(&history);
+        let back: PlatformHistory = redundancy_json::from_str(&json).unwrap();
         assert_eq!(history, back);
     }
 }

@@ -6,10 +6,9 @@
 //! verified tasks are checked against the supervisor's precomputed answer.
 
 use crate::task::{correct_result, ResultValue, TaskSpec};
-use serde::{Deserialize, Serialize};
 
 /// How copies of a task are reconciled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VerificationPolicy {
     /// Accept only if all copies agree; any mismatch flags the task.
     Unanimous,
@@ -30,7 +29,7 @@ pub struct Verdict {
 }
 
 /// The verifying supervisor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Supervisor {
     policy: VerificationPolicy,
 }

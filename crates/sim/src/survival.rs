@@ -97,12 +97,9 @@ pub fn career(
         let mult = task.multiplicity as u64;
         let held = match config.adversary {
             AdversaryModel::AssignmentFraction { p } => sample_binomial(rng, mult, p),
-            AdversaryModel::SybilAccounts { total, adversary } => sample_hypergeometric(
-                rng,
-                total as u64,
-                adversary as u64,
-                mult.min(total as u64),
-            ),
+            AdversaryModel::SybilAccounts { total, adversary } => {
+                sample_hypergeometric(rng, total as u64, adversary as u64, mult.min(total as u64))
+            }
         } as u32;
         if !config.strategy.cheats_on(held) {
             continue;

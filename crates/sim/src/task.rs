@@ -6,14 +6,13 @@
 //! identical across all copies they hold, per the paper's cheating model.
 
 use redundancy_core::{PartitionKind, RealizedPlan};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a task within one campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub u64);
 
 /// A computed result value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResultValue(pub u64);
 
 /// The correct result of a task: a SplitMix64-style finalizer of the id.
@@ -36,11 +35,14 @@ pub fn colluded_wrong_result(task: TaskId) -> ResultValue {
 /// different faulty hosts disagree with each other too.
 pub fn faulty_result(task: TaskId, salt: u64) -> ResultValue {
     let ResultValue(c) = correct_result(task);
-    ResultValue(c.wrapping_add(0x1000_0000_0000_0001).rotate_left((salt % 63) as u32 + 1))
+    ResultValue(
+        c.wrapping_add(0x1000_0000_0000_0001)
+            .rotate_left((salt % 63) as u32 + 1),
+    )
 }
 
 /// Static description of one task in a campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskSpec {
     /// The task's id.
     pub id: TaskId,
@@ -104,10 +106,7 @@ mod tests {
     fn expand_plan_counts_and_flags() {
         let plan = RealizedPlan::balanced(10_000, 0.75).unwrap();
         let specs = expand_plan(&plan);
-        assert_eq!(
-            specs.len() as u64,
-            plan.n_tasks() + plan.ringer_tasks()
-        );
+        assert_eq!(specs.len() as u64, plan.n_tasks() + plan.ringer_tasks());
         let precomputed = specs.iter().filter(|s| s.precomputed).count() as u64;
         assert_eq!(precomputed, plan.ringer_tasks());
         // Ids contiguous.

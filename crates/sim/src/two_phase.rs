@@ -11,10 +11,9 @@
 
 use redundancy_stats::samplers::sample_hypergeometric;
 use redundancy_stats::{DeterministicRng, RunningMoments};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the two-phase protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoPhaseConfig {
     /// Number of tasks `N`.
     pub n_tasks: u64,
@@ -148,11 +147,19 @@ mod tests {
         let mut rng = DeterministicRng::new(7);
         let above = two_phase_batch(&TwoPhaseConfig::new(n, 3.0 * crit), 500, &mut rng);
         // E = 9 tasks ⇒ nearly every trial is cheatable.
-        assert!(above.cheatable_fraction() > 0.95, "{}", above.cheatable_fraction());
+        assert!(
+            above.cheatable_fraction() > 0.95,
+            "{}",
+            above.cheatable_fraction()
+        );
 
         let below = two_phase_batch(&TwoPhaseConfig::new(n, crit / 10.0), 500, &mut rng);
         // E = 0.01 ⇒ almost never.
-        assert!(below.cheatable_fraction() < 0.1, "{}", below.cheatable_fraction());
+        assert!(
+            below.cheatable_fraction() < 0.1,
+            "{}",
+            below.cheatable_fraction()
+        );
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Property-based tests for the fault-injection subsystem (proptest).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use redundancy_sim::{deliver_assignment, CampaignOutcome, FaultModel};
+use redundancy_stats::DeterministicRng;
+
+/// Build an arbitrary-but-valid outcome from drawn scalars.
+///
+/// `scalars` feeds every additive counter (including all fault counters);
+/// `cheats` and `deficits` populate the per-k vectors and the
+/// degraded-multiplicity histogram.
+fn outcome_from(scalars: &[u64], cheats: &[(usize, bool)], deficits: &[usize]) -> CampaignOutcome {
+    let mut o = CampaignOutcome {
+        campaigns: scalars[0],
+        tasks: scalars[1],
+        assignments: scalars[2],
+        wrong_accepted: scalars[3],
+        false_flags: scalars[4],
+        drops: scalars[5],
+        timeouts: scalars[6],
+        retries: scalars[7],
+        corrupted_returns: scalars[8],
+        lost_assignments: scalars[9],
+        unresolved_tasks: scalars[10],
+        wait_ticks: scalars[11],
+        ..CampaignOutcome::default()
+    };
+    for &(k, detected) in cheats {
+        o.record_cheat(k, detected);
+    }
+    for &d in deficits {
+        o.degraded.record(d);
+        o.holdings.record(d / 2);
+    }
+    o
+}
+
+/// Decode one drawn pair into (tuple size, detected?).
+fn decode_cheats(raw: &[usize]) -> Vec<(usize, bool)> {
+    raw.iter().map(|&v| (v / 2, v % 2 == 1)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge is commutative over every counter, including the fault
+    /// telemetry and the degraded histogram.
+    #[test]
+    fn merge_commutes(
+        xs in vec(0u64..10_000, 12usize),
+        ys in vec(0u64..10_000, 12usize),
+        ca in vec(0usize..16, 5usize),
+        cb in vec(0usize..16, 5usize),
+        da in vec(0usize..8, 4usize),
+        db in vec(0usize..8, 4usize),
+    ) {
+        let a = outcome_from(&xs, &decode_cheats(&ca), &da);
+        let b = outcome_from(&ys, &decode_cheats(&cb), &db);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// merge is associative, so chunked Monte-Carlo folds are independent
+    /// of chunk arrival order *and* grouping.
+    #[test]
+    fn merge_is_associative(
+        xs in vec(0u64..10_000, 12usize),
+        ys in vec(0u64..10_000, 12usize),
+        zs in vec(0u64..10_000, 12usize),
+        ca in vec(0usize..16, 5usize),
+        cb in vec(0usize..16, 5usize),
+        cc in vec(0usize..16, 5usize),
+        da in vec(0usize..8, 4usize),
+        db in vec(0usize..8, 4usize),
+        dc in vec(0usize..8, 4usize),
+    ) {
+        let a = outcome_from(&xs, &decode_cheats(&ca), &da);
+        let b = outcome_from(&ys, &decode_cheats(&cb), &db);
+        let c = outcome_from(&zs, &decode_cheats(&cc), &dc);
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The zero outcome is a merge identity.
+    #[test]
+    fn merge_identity(
+        xs in vec(0u64..10_000, 12usize),
+        ca in vec(0usize..16, 5usize),
+        da in vec(0usize..8, 4usize),
+    ) {
+        let a = outcome_from(&xs, &decode_cheats(&ca), &da);
+        let mut merged = a.clone();
+        merged.merge(&CampaignOutcome::default());
+        prop_assert_eq!(merged, a);
+    }
+
+    /// A larger retry budget never loses a delivery the smaller budget
+    /// made, for arbitrary fault parameters: the per-attempt draw prefix
+    /// is shared, so retry can only *add* returned copies — effective
+    /// multiplicity under retries is pointwise >= the no-retry path.
+    #[test]
+    fn retry_never_lowers_effective_multiplicity(
+        drop_pct in 0u32..95,
+        straggler_pct in 0u32..95,
+        mean_delay in 1u32..40,
+        timeout in 1u64..32,
+        small_budget in 0u32..3,
+        extra_budget in 0u32..6,
+        seed in 0u64..10_000,
+    ) {
+        let base = FaultModel {
+            drop_rate: f64::from(drop_pct) / 100.0,
+            straggler_rate: f64::from(straggler_pct) / 100.0,
+            straggler_mean_delay: f64::from(mean_delay),
+            timeout,
+            ..FaultModel::none()
+        };
+        let small = FaultModel { max_retries: small_budget, ..base };
+        let large = FaultModel { max_retries: small_budget + extra_budget, ..base };
+        prop_assert!(small.validate().is_ok());
+        let mut rng = DeterministicRng::new(seed);
+        for _ in 0..32 {
+            let mut ra = rng.clone();
+            let mut rb = rng.clone();
+            let ds = deliver_assignment(&small, &mut ra);
+            let dl = deliver_assignment(&large, &mut rb);
+            prop_assert!(
+                u8::from(dl.returned) >= u8::from(ds.returned),
+                "budget {} delivered but budget {} lost it",
+                small.max_retries,
+                large.max_retries
+            );
+            if ds.returned {
+                // Identical replay: same arrival, same corruption flag.
+                prop_assert_eq!(ds, dl);
+            }
+            prop_assert!(dl.retries >= ds.retries || ds.returned);
+            rng.next_raw();
+        }
+    }
+
+    /// Delivery telemetry is internally consistent for arbitrary models:
+    /// failed attempts = drops + timeouts, retries never exceed the
+    /// budget, and an unreturned assignment used every retry.
+    #[test]
+    fn delivery_telemetry_is_consistent(
+        drop_pct in 0u32..=100,
+        straggler_pct in 0u32..=100,
+        mean_delay in 1u32..60,
+        timeout in 1u64..24,
+        budget in 0u32..5,
+        seed in 0u64..10_000,
+    ) {
+        let faults = FaultModel {
+            drop_rate: f64::from(drop_pct) / 100.0,
+            straggler_rate: f64::from(straggler_pct) / 100.0,
+            straggler_mean_delay: f64::from(mean_delay),
+            timeout,
+            max_retries: budget,
+            ..FaultModel::none()
+        };
+        prop_assert!(faults.validate().is_ok());
+        let mut rng = DeterministicRng::new(seed);
+        for _ in 0..64 {
+            let d = deliver_assignment(&faults, &mut rng);
+            let failed_attempts = d.drops + d.timeouts;
+            prop_assert!(d.retries <= u64::from(budget));
+            if d.returned {
+                prop_assert_eq!(d.retries, failed_attempts);
+                prop_assert!(d.wait_ticks >= 1);
+            } else {
+                prop_assert_eq!(failed_attempts, u64::from(budget) + 1);
+                prop_assert_eq!(d.retries, u64::from(budget));
+                prop_assert!(!d.corrupted);
+            }
+        }
+    }
+}

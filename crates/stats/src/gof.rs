@@ -154,7 +154,9 @@ pub fn chi_square_test(
         return None;
     }
     assert!(
-        expected_probs.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)),
+        expected_probs
+            .iter()
+            .all(|&p| (0.0..=1.0 + 1e-12).contains(&p)),
         "expected_probs must be probabilities"
     );
     // Build (observed, expected) pairs, with an overflow bin at the end.
@@ -273,10 +275,7 @@ mod tests {
             .map(|k| zero_truncated_poisson_pmf(lambda, k as u64))
             .collect();
         let result = chi_square_test(&hist, &probs, 5.0).unwrap();
-        assert!(
-            result.consistent(0.01),
-            "true law rejected: {result:?}"
-        );
+        assert!(result.consistent(0.01), "true law rejected: {result:?}");
         assert!(result.degrees_of_freedom >= 3);
     }
 

@@ -73,7 +73,10 @@ where
     let n_chunks = config.trials.div_ceil(config.chunk_size);
     let seq = SeedSequence::new(config.seed);
     let next_chunk = AtomicU64::new(0);
-    let threads = config.effective_threads().max(1).min(n_chunks.max(1) as usize);
+    let threads = config
+        .effective_threads()
+        .max(1)
+        .min(n_chunks.max(1) as usize);
 
     let run_chunk = |chunk: u64| -> A {
         let mut rng = DeterministicRng::new(seq.derive(chunk));
@@ -94,7 +97,7 @@ where
         return total;
     }
 
-    let (tx, rx) = crossbeam::channel::unbounded::<A>();
+    let (tx, rx) = std::sync::mpsc::channel::<A>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
@@ -199,7 +202,6 @@ mod tests {
             threads: 1,
             seed: 0,
         };
-        let _: Proportion =
-            run_trials(&cfg, |_r, _i, _a: &mut Proportion| {}, |a, b| a.merge(&b));
+        let _: Proportion = run_trials(&cfg, |_r, _i, _a: &mut Proportion| {}, |a, b| a.merge(&b));
     }
 }

@@ -8,10 +8,9 @@
 //!   a user seed into xoshiro state and to mint independent child seeds for
 //!   parallel workers (`derive(child_index)`);
 //! * [`DeterministicRng`] — xoshiro256++ (Blackman & Vigna), a small, fast,
-//!   well-tested generator with 2²⁵⁶−1 period, exposed through
-//!   [`rand::RngCore`] so the whole `rand` combinator ecosystem works on top.
-
-use rand::{Error, RngCore};
+//!   well-tested generator with 2²⁵⁶−1 period.  All distribution helpers the
+//!   workspace needs (`uniform`, `bernoulli`, `below`, `shuffle`, …) are
+//!   inherent methods, so no external RNG ecosystem is required.
 
 /// SplitMix64 step: the standard 64-bit finalizer-based generator used to
 /// expand seeds (Steele, Lea & Flood 2014).
@@ -59,17 +58,14 @@ impl SeedSequence {
 
 /// xoshiro256++ generator with SplitMix64 seeding.
 ///
-/// Implements [`RngCore`], so it plugs into `rand`'s distributions:
-///
 /// ```
-/// use rand::Rng;
 /// use redundancy_stats::DeterministicRng;
 /// let mut rng = DeterministicRng::new(7);
-/// let x: f64 = rng.gen_range(0.0..1.0);
+/// let x = rng.uniform();
 /// assert!((0.0..1.0).contains(&x));
 /// // Same seed, same stream:
 /// let mut rng2 = DeterministicRng::new(7);
-/// assert_eq!(rng2.gen_range(0.0..1.0), x);
+/// assert_eq!(rng2.uniform(), x);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeterministicRng {
@@ -159,29 +155,25 @@ impl DeterministicRng {
         }
         chosen.into_iter().collect()
     }
-}
 
-impl RngCore for DeterministicRng {
+    /// Next 32-bit output (upper half of the 64-bit draw).
     #[inline]
-    fn next_u32(&mut self) -> u32 {
+    pub fn next_u32(&mut self) -> u32 {
         (self.next_raw() >> 32) as u32
     }
 
+    /// Next 64-bit output (alias of [`Self::next_raw`]).
     #[inline]
-    fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.next_raw()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill a byte buffer with generator output.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let bytes = self.next_raw().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

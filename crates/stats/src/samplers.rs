@@ -310,7 +310,10 @@ mod tests {
     #[test]
     fn binomial_mirrored_branch() {
         let mut rng = DeterministicRng::new(3);
-        let mean = mean_of((0..20_000).map(|_| sample_binomial(&mut rng, 20, 0.9)), 20_000);
+        let mean = mean_of(
+            (0..20_000).map(|_| sample_binomial(&mut rng, 20, 0.9)),
+            20_000,
+        );
         assert!((mean - 18.0).abs() < 0.1, "mean {mean}");
     }
 
@@ -340,7 +343,10 @@ mod tests {
     #[test]
     fn poisson_mean_small_lambda() {
         let mut rng = DeterministicRng::new(6);
-        let mean = mean_of((0..60_000).map(|_| sample_poisson(&mut rng, 1.3863)), 60_000);
+        let mean = mean_of(
+            (0..60_000).map(|_| sample_poisson(&mut rng, 1.3863)),
+            60_000,
+        );
         assert!((mean - 1.3863).abs() < 0.02, "mean {mean}");
     }
 

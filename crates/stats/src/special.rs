@@ -215,7 +215,12 @@ mod tests {
 
     #[test]
     fn poisson_pmf_sums_to_one() {
-        for lambda in [0.1, std::f64::consts::LN_2, 2.0 * std::f64::consts::LN_2, 100f64.ln()] {
+        for lambda in [
+            0.1,
+            std::f64::consts::LN_2,
+            2.0 * std::f64::consts::LN_2,
+            100f64.ln(),
+        ] {
             let total: f64 = (0..200).map(|k| poisson_pmf(lambda, k)).sum();
             assert!((total - 1.0).abs() < 1e-12, "λ={lambda}: {total}");
         }
@@ -246,7 +251,9 @@ mod tests {
         for i in 1..30u64 {
             let ztp = zero_truncated_poisson_pmf(lambda, i);
             let direct = ((1.0 - eps) / eps) * lambda.powi(i as i32)
-                / factorial_u64(i).map(|f| f as f64).unwrap_or_else(|| ln_factorial(i).exp());
+                / factorial_u64(i)
+                    .map(|f| f as f64)
+                    .unwrap_or_else(|| ln_factorial(i).exp());
             assert!((ztp - direct).abs() < 1e-12 * direct.max(1e-300), "i={i}");
         }
     }

@@ -58,8 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Contrast: under simple redundancy the same army, cheating only on
     // fully-controlled pairs, is never detectable at all.
     let simple = RealizedPlan::k_fold(n_tasks, 2, epsilon)?;
-    let pair_config =
-        PlatformConfig::strict(honest, sybils, CheatStrategy::ExactTuples { k: 2 });
+    let pair_config = PlatformConfig::strict(honest, sybils, CheatStrategy::ExactTuples { k: 2 });
     let mut rng2 = DeterministicRng::new(2005);
     let simple_history = run_platform(&simple, &pair_config, 12, &mut rng2);
     println!(

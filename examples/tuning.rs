@@ -11,9 +11,7 @@
 //!    (Proposition 3) next to a full platform simulation.
 
 use redundancy_core::RealizedPlan;
-use redundancy_sim::{
-    detection_experiment, AdversaryModel, CheatStrategy, ExperimentConfig,
-};
+use redundancy_sim::{detection_experiment, AdversaryModel, CheatStrategy, ExperimentConfig};
 use redundancy_stats::table::{fnum, inum, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &inum(plan.total_assignments()),
             &plan.tail_multiplicity().unwrap_or(0).to_string(),
             &plan.ringer_tasks().to_string(),
-            &format!("{}{}", if delta >= 0 { "+" } else { "-" }, inum(delta.unsigned_abs())),
+            &format!(
+                "{}{}",
+                if delta >= 0 { "+" } else { "-" },
+                inum(delta.unsigned_abs())
+            ),
         ]);
     }
     print!("{}", cost.render());

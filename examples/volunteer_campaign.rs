@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let plans = [
-        ("simple-redundancy", RealizedPlan::k_fold(n_tasks, 2, epsilon)?),
+        (
+            "simple-redundancy",
+            RealizedPlan::k_fold(n_tasks, 2, epsilon)?,
+        ),
         (
             "golle-stubblebine",
             RealizedPlan::golle_stubblebine(n_tasks, epsilon)?,

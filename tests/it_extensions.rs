@@ -5,7 +5,7 @@ use redundancy_core::{AssignmentMinimizing, Balanced, RealizedPlan, Scheme};
 use redundancy_lp::{parse_mps, solve_with_presolve, write_mps, Problem, Relation, Sense};
 use redundancy_sim::rounds::{run_platform, PlatformConfig};
 use redundancy_sim::survival::{expected_free_cheats, survival_experiment};
-use redundancy_sim::{CheatStrategy};
+use redundancy_sim::CheatStrategy;
 use redundancy_stats::gof::chi_square_test;
 use redundancy_stats::samplers::sample_zero_truncated_poisson;
 use redundancy_stats::special::zero_truncated_poisson_pmf;
@@ -14,7 +14,9 @@ use redundancy_stats::{DeterministicRng, Histogram};
 /// Rebuild an S_m LP directly (the CLI's export path does the same).
 fn s_m_problem(n: u64, eps: f64, dim: usize) -> Problem {
     let mut lp = Problem::new(Sense::Minimize);
-    let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+    let vars: Vec<_> = (1..=dim)
+        .map(|i| lp.add_variable(format!("x{i}")))
+        .collect();
     for (i, v) in vars.iter().enumerate() {
         lp.set_objective(*v, (i + 1) as f64);
     }

@@ -1,0 +1,139 @@
+//! Integration: the fault-injection subsystem is a strict extension — a
+//! zero-fault model reproduces the fault-free engine bit for bit, and
+//! active models stay deterministic across thread counts.
+
+use redundancy_core::RealizedPlan;
+use redundancy_sim::engine::CampaignConfig;
+use redundancy_sim::experiment::{
+    detection_experiment_with, faulty_detection_experiment, ExperimentConfig,
+};
+use redundancy_sim::rounds::{run_platform, run_platform_with_faults, PlatformConfig};
+use redundancy_sim::supervisor::VerificationPolicy;
+use redundancy_sim::{AdversaryModel, CheatStrategy, FaultModel};
+use redundancy_stats::DeterministicRng;
+
+fn plans() -> Vec<RealizedPlan> {
+    vec![
+        RealizedPlan::balanced(5_000, 0.5).unwrap(),
+        RealizedPlan::golle_stubblebine(5_000, 0.5).unwrap(),
+        RealizedPlan::k_fold(5_000, 2, 0.5).unwrap(),
+    ]
+}
+
+#[test]
+fn zero_fault_model_reproduces_baseline_bit_for_bit() {
+    // The whole CampaignOutcome — counters, histograms, per-k vectors —
+    // must be equal, not just statistically close: an inactive FaultModel
+    // may not consume a single random draw.
+    for (i, plan) in plans().into_iter().enumerate() {
+        for policy in [VerificationPolicy::Unanimous, VerificationPolicy::Majority] {
+            let campaign = CampaignConfig {
+                honest_error_rate: 0.001,
+                policy,
+                ..CampaignConfig::new(
+                    AdversaryModel::AssignmentFraction { p: 0.15 },
+                    CheatStrategy::AtLeast { min_copies: 1 },
+                )
+            };
+            let cfg = ExperimentConfig::new(10, 4_000 + i as u64);
+            let base = detection_experiment_with(&plan, &campaign, &cfg);
+            let faulty = faulty_detection_experiment(&plan, &campaign, &FaultModel::none(), &cfg);
+            assert_eq!(
+                base.outcome, faulty.outcome,
+                "plan {i} policy {policy:?}: zero-fault path diverged from baseline"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulty_results_identical_across_thread_counts() {
+    let plan = RealizedPlan::balanced(4_000, 0.5).unwrap();
+    let campaign = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: 0.2 },
+        CheatStrategy::AtLeast { min_copies: 1 },
+    );
+    let faults = FaultModel {
+        straggler_rate: 0.25,
+        straggler_mean_delay: 16.0,
+        corrupt_rate: 0.02,
+        ..FaultModel::with_drop_rate(0.2)
+    };
+    let run = |threads: usize| {
+        let cfg = ExperimentConfig {
+            campaigns: 16,
+            seed: 99,
+            threads,
+        };
+        faulty_detection_experiment(&plan, &campaign, &faults, &cfg).outcome
+    };
+    let single = run(1);
+    let multi = run(8);
+    assert_eq!(single, multi, "fault injection broke chunked determinism");
+    assert!(single.drops > 0 && single.retries > 0, "faults never fired");
+}
+
+#[test]
+fn zero_fault_platform_run_is_unchanged() {
+    let plan = RealizedPlan::balanced(5_000, 0.75).unwrap();
+    let cfg = PlatformConfig::strict(4_000, 400, CheatStrategy::AtLeast { min_copies: 1 });
+    let mut a = DeterministicRng::new(12);
+    let mut b = DeterministicRng::new(12);
+    let baseline = run_platform(&plan, &cfg, 6, &mut a);
+    let faulty = run_platform_with_faults(&plan, &cfg, &FaultModel::none(), 6, &mut b);
+    assert_eq!(baseline, faulty);
+    assert_eq!(a, b, "inactive fault model consumed randomness");
+}
+
+#[test]
+fn degraded_histogram_accounts_for_every_lost_assignment() {
+    // Each lost assignment contributes exactly one unit of multiplicity
+    // deficit to some task, so the weighted histogram mass must equal the
+    // lost-assignment counter.
+    let plan = RealizedPlan::balanced(3_000, 0.5).unwrap();
+    let campaign = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: 0.1 },
+        CheatStrategy::Always,
+    );
+    let faults = FaultModel {
+        max_retries: 1,
+        ..FaultModel::with_drop_rate(0.4)
+    };
+    let out =
+        faulty_detection_experiment(&plan, &campaign, &faults, &ExperimentConfig::new(10, 31))
+            .outcome;
+    assert!(out.lost_assignments > 0);
+    let deficit_mass: u64 = (1..=64).map(|k| k as u64 * out.degraded.count(k)).sum();
+    assert_eq!(deficit_mass, out.lost_assignments);
+    assert!(out.unresolved_tasks <= out.degraded.total());
+}
+
+#[test]
+fn retries_recover_detection_lost_to_drops() {
+    let plan = RealizedPlan::balanced(8_000, 0.5).unwrap();
+    let campaign = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: 0.1 },
+        CheatStrategy::AtLeast { min_copies: 1 },
+    );
+    let cfg = ExperimentConfig::new(15, 77);
+    let detection = |retries: u32| {
+        let faults = FaultModel {
+            max_retries: retries,
+            ..FaultModel::with_drop_rate(0.4)
+        };
+        faulty_detection_experiment(&plan, &campaign, &faults, &cfg)
+            .overall()
+            .estimate()
+    };
+    let lossless = 1.0 - (1.0 - plan.epsilon()).powf(0.9);
+    let bare = detection(0);
+    let retried = detection(4);
+    assert!(
+        bare < lossless - 0.05,
+        "drops did not degrade detection: {bare}"
+    );
+    assert!(
+        retried > lossless - 0.03,
+        "retries failed to recover detection: {retried} vs {lossless}"
+    );
+}

@@ -9,7 +9,9 @@ use redundancy_stats::special::binomial;
 /// check both formulations land on the same optimum.
 fn raw_s_m(n: u64, eps: f64, dim: usize) -> Problem {
     let mut lp = Problem::new(Sense::Minimize);
-    let vars: Vec<_> = (1..=dim).map(|i| lp.add_variable(format!("x{i}"))).collect();
+    let vars: Vec<_> = (1..=dim)
+        .map(|i| lp.add_variable(format!("x{i}")))
+        .collect();
     for (i, v) in vars.iter().enumerate() {
         lp.set_objective(*v, (i + 1) as f64);
     }
@@ -32,7 +34,12 @@ fn scaled_and_unscaled_formulations_agree() {
         let raw = raw_s_m(100_000, 0.5, dim);
         let raw_sol = raw.solve().unwrap();
         let rel = (core_sol.objective() - raw_sol.objective).abs() / raw_sol.objective;
-        assert!(rel < 1e-7, "dim={dim}: {} vs {}", core_sol.objective(), raw_sol.objective);
+        assert!(
+            rel < 1e-7,
+            "dim={dim}: {} vs {}",
+            core_sol.objective(),
+            raw_sol.objective
+        );
         let report = verify_solution(&raw, &raw_sol);
         assert!(report.is_ok(1e-6), "dim={dim}: {report:?}");
     }
@@ -98,7 +105,10 @@ fn other_epsilons_solve_cleanly() {
     // The paper says "similar behavior is observed for all relevant ε".
     for eps in [0.25, 0.6, 0.75, 0.9] {
         let sol = AssignmentMinimizing::solve(50_000, eps, 12).unwrap();
-        assert!(sol.verified_profile().satisfies_threshold(eps, 1e-6), "eps={eps}");
+        assert!(
+            sol.verified_profile().satisfies_threshold(eps, 1e-6),
+            "eps={eps}"
+        );
         let bound = bounds::lower_bound_assignments(50_000, eps).unwrap();
         assert!(sol.objective() > bound, "eps={eps}");
     }

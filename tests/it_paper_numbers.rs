@@ -54,10 +54,9 @@ fn fig1_selection_s9_and_s26() {
         .unwrap()
         .unwrap();
     assert_eq!(s9.dimension(), 9);
-    let s26 =
-        AssignmentMinimizing::first_dimension_under_precompute(1_000_000, 0.5, 1000.0, 30)
-            .unwrap()
-            .unwrap();
+    let s26 = AssignmentMinimizing::first_dimension_under_precompute(1_000_000, 0.5, 1000.0, 30)
+        .unwrap()
+        .unwrap();
     assert_eq!(s26.dimension(), 26);
 }
 

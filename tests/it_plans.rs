@@ -18,10 +18,7 @@ fn balanced_plans_cover_and_guarantee_across_grid() {
             let plan = RealizedPlan::balanced(n, eps).unwrap();
             assert_eq!(ordinary_tasks(&plan), n, "coverage at N={n}, eps={eps}");
             let eff = plan.effective_detection(0.0).unwrap();
-            assert!(
-                eff >= eps - 1e-9,
-                "N={n}, eps={eps}: effective {eff}"
-            );
+            assert!(eff >= eps - 1e-9, "N={n}, eps={eps}: effective {eff}");
             // Realization overhead stays tiny (rounding + ringers dominate
             // at small N, so the bound scales with 1/N).
             let ideal = n as f64 * (1.0 / (1.0 - eps)).ln() / eps;
@@ -77,10 +74,13 @@ fn partitions_are_sorted_and_typed() {
 #[test]
 fn plan_json_round_trips_with_full_fidelity() {
     let plan = RealizedPlan::balanced(12_345, 0.6).unwrap();
-    let json = serde_json::to_string_pretty(&plan).unwrap();
-    let back: RealizedPlan = serde_json::from_str(&json).unwrap();
+    let json = redundancy_json::to_string_pretty(&plan);
+    let back: RealizedPlan = redundancy_json::from_str(&json).unwrap();
     assert_eq!(plan, back);
-    assert_eq!(back.effective_detection(0.0).unwrap(), plan.effective_detection(0.0).unwrap());
+    assert_eq!(
+        back.effective_detection(0.0).unwrap(),
+        plan.effective_detection(0.0).unwrap()
+    );
 }
 
 #[test]
@@ -95,8 +95,7 @@ fn minimizing_plans_integerize_safely() {
             "dim={dim}"
         );
         // Integerization cost vs the LP optimum is sub-percent.
-        let rel =
-            (plan.total_assignments() as f64 - sol.objective()).abs() / sol.objective();
+        let rel = (plan.total_assignments() as f64 - sol.objective()).abs() / sol.objective();
         assert!(rel < 0.01, "dim={dim}: {rel}");
     }
 }
@@ -107,6 +106,9 @@ fn extreme_thresholds_still_realize() {
     for eps in [0.01, 0.99] {
         let plan = RealizedPlan::balanced(100_000, eps).unwrap();
         assert_eq!(ordinary_tasks(&plan), 100_000);
-        assert!(plan.effective_detection(0.0).unwrap() >= eps - 1e-9, "eps={eps}");
+        assert!(
+            plan.effective_detection(0.0).unwrap() >= eps - 1e-9,
+            "eps={eps}"
+        );
     }
 }

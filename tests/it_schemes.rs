@@ -1,9 +1,7 @@
 //! Integration: the scheme zoo behaves coherently through the shared
 //! `Scheme` trait and the generic detection engine.
 
-use redundancy_core::{
-    Balanced, ExtendedBalanced, GolleStubblebine, KFold, Scheme,
-};
+use redundancy_core::{Balanced, ExtendedBalanced, GolleStubblebine, KFold, Scheme};
 use redundancy_integration::{assert_close, balanced_pkp, gs_pkp, EPSILONS, PROPORTIONS};
 
 #[test]
@@ -73,12 +71,7 @@ fn gs_closed_form_agrees_with_engine_across_grid() {
             for k in 1..=8usize {
                 let generic = prof.p_nonasymptotic(k, p).unwrap().unwrap();
                 let closed = gs_pkp(gs.ratio(), k, p);
-                assert_close(
-                    generic,
-                    closed,
-                    1e-4,
-                    &format!("gs eps={eps} k={k} p={p}"),
-                );
+                assert_close(generic, closed, 1e-4, &format!("gs eps={eps} k={k} p={p}"));
             }
         }
     }
@@ -129,7 +122,10 @@ fn guaranteed_detection_reported_honestly() {
     let n = 10_000u64;
     assert_eq!(KFold::simple(n).unwrap().guaranteed_detection(), Some(0.0));
     assert_close(
-        Balanced::new(n, 0.7).unwrap().guaranteed_detection().unwrap(),
+        Balanced::new(n, 0.7)
+            .unwrap()
+            .guaranteed_detection()
+            .unwrap(),
         0.7,
         1e-12,
         "balanced guarantee",

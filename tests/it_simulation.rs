@@ -106,7 +106,10 @@ fn majority_policy_accepts_colluded_values_but_flags_them() {
     // colluded value wins the vote — the quorum pitfall.
     let two = est.at_tuple(2).unwrap();
     assert_eq!(two.estimate(), 1.0, "mismatch always flags");
-    assert!(est.outcome.wrong_accepted > 0, "yet the wrong value is recorded");
+    assert!(
+        est.outcome.wrong_accepted > 0,
+        "yet the wrong value is recorded"
+    );
 }
 
 #[test]
