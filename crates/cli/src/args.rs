@@ -93,6 +93,8 @@ pub enum Command {
         campaigns: u64,
         /// RNG seed.
         seed: u64,
+        /// Trials per deterministic chunk of the parallel runner.
+        chunk_size: u64,
     },
     /// `redundancy solve-sm`
     SolveSm {
@@ -133,6 +135,17 @@ pub enum Command {
         retries: u32,
         /// Sweep rows above zero (the zero-fault baseline is always row 0).
         steps: u32,
+        /// Trials per deterministic chunk of the parallel runner.
+        chunk_size: u64,
+    },
+    /// `redundancy certify`
+    Certify {
+        /// Task count.
+        tasks: u64,
+        /// Detection threshold.
+        epsilon: f64,
+        /// Certify `S_m` for every m from 2 to this dimension.
+        max_dim: usize,
     },
     /// `redundancy help [command]`
     Help {
@@ -444,6 +457,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     "--proportion",
                     "--campaigns",
                     "--seed",
+                    "--chunk-size",
                 ],
             )?;
             Ok(Command::Simulate {
@@ -457,6 +471,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 proportion: f.or_default("--proportion", "a number in [0, 1)", 0.0)?,
                 campaigns: f.or_default("--campaigns", "a positive integer", 20)?,
                 seed: f.or_default("--seed", "a 64-bit integer", 20_050_926)?,
+                chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
             })
         }
         "solve-sm" => {
@@ -494,6 +509,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     "--timeout",
                     "--retries",
                     "--steps",
+                    "--chunk-size",
                 ],
             )?;
             Ok(Command::Faults {
@@ -531,6 +547,19 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     f.or_default("--steps", "a positive integer", 5u32)?,
                     "a positive number of sweep steps",
                 )?,
+                chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
+            })
+        }
+        "certify" => {
+            let f = FlagSet::new(rest, "certify", &["--tasks", "--epsilon", "--max-dim"])?;
+            Ok(Command::Certify {
+                tasks: f.or_default("--tasks", "a positive integer", 100_000)?,
+                epsilon: check_unit_interval(
+                    "--epsilon",
+                    f.or_default("--epsilon", "a number in (0, 1)", 0.5)?,
+                    false,
+                )?,
+                max_dim: f.or_default("--max-dim", "an integer ≥ 2", 10)?,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help {
@@ -781,6 +810,70 @@ mod tests {
                 "--straggler-rate",
                 "-0.2"
             ])),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_size_flag_parses_with_default() {
+        let cmd = parse_args(&argv(&["simulate", "--tasks", "10", "--epsilon", "0.5"])).unwrap();
+        match cmd {
+            Command::Simulate { chunk_size, .. } => assert_eq!(chunk_size, 4),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&argv(&[
+            "faults",
+            "--tasks",
+            "10",
+            "--epsilon",
+            "0.5",
+            "--chunk-size",
+            "32",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Faults { chunk_size, .. } => assert_eq!(chunk_size, 32),
+            other => panic!("{other:?}"),
+        }
+        // Zero parses here; rejection (exit 2) happens at dispatch via
+        // `TrialConfig::validate`, which names the flag.
+        let cmd = parse_args(&argv(&[
+            "simulate",
+            "--tasks",
+            "10",
+            "--epsilon",
+            "0.5",
+            "--chunk-size",
+            "0",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate { chunk_size, .. } => assert_eq!(chunk_size, 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn certify_defaults_and_overrides() {
+        let cmd = parse_args(&argv(&["certify"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Certify {
+                tasks: 100_000,
+                epsilon: 0.5,
+                max_dim: 10,
+            }
+        );
+        let cmd = parse_args(&argv(&["certify", "--max-dim", "26", "--tasks", "5000"])).unwrap();
+        match cmd {
+            Command::Certify { tasks, max_dim, .. } => {
+                assert_eq!(tasks, 5000);
+                assert_eq!(max_dim, 26);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_args(&argv(&["certify", "--epsilon", "2.0"])),
             Err(ArgError::BadValue { .. })
         ));
     }

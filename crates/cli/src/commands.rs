@@ -3,13 +3,15 @@
 use crate::args::{Command, SchemeName};
 use crate::USAGE;
 use redundancy_core::{
-    advise, AssignmentMinimizing, CoreError, ExtendedBalanced, RealizedPlan, Requirements, Scheme,
+    advise, certify_sweep, AssignmentMinimizing, CoreError, ExtendedBalanced, RealizedPlan,
+    Requirements, Scheme,
 };
 use redundancy_sim::{
     detection_experiment, faulty_detection_experiment, AdversaryModel, CampaignConfig,
     CheatStrategy, ExperimentConfig, FaultModel,
 };
 use redundancy_stats::table::{fnum, inum, Table};
+use redundancy_stats::TrialConfig;
 use std::fmt::Write as _;
 
 /// Errors surfaced to the user.
@@ -118,7 +120,16 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             proportion,
             campaigns,
             seed,
-        } => simulate(*scheme, *tasks, *epsilon, *proportion, *campaigns, *seed),
+            chunk_size,
+        } => simulate(
+            *scheme,
+            *tasks,
+            *epsilon,
+            *proportion,
+            *campaigns,
+            *seed,
+            *chunk_size,
+        ),
         Command::SolveSm {
             tasks,
             epsilon,
@@ -139,6 +150,7 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             timeout,
             retries,
             steps,
+            chunk_size,
         } => faults_sweep(
             *scheme,
             *tasks,
@@ -152,8 +164,28 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             *timeout,
             *retries,
             *steps,
+            *chunk_size,
         ),
+        Command::Certify {
+            tasks,
+            epsilon,
+            max_dim,
+        } => certify(*tasks, *epsilon, *max_dim),
     }
+}
+
+/// Reject CLI-supplied trial-runner parameters that `run_trials` would only
+/// catch with a debug assertion, naming the flag so `main` can exit with
+/// code 2.
+fn check_trial_config(campaigns: u64, seed: u64, chunk_size: u64) -> Result<(), CliError> {
+    TrialConfig {
+        trials: campaigns,
+        chunk_size,
+        threads: 0,
+        seed,
+    }
+    .validate()
+    .map_err(|e| CliError::Invalid(format!("--chunk-size: {e}")))
 }
 
 fn help(topic: Option<&str>) -> String {
@@ -182,17 +214,19 @@ Picks the cheapest scheme meeting the requirements and explains why.
         .into(),
         Some("simulate") => "\
 redundancy simulate --tasks <N> --epsilon <E> [--scheme S] [--proportion P]
-                    [--campaigns C] [--seed SEED]
+                    [--campaigns C] [--seed SEED] [--chunk-size K]
 
 Runs full Monte-Carlo campaigns (assignment, collusion, verification) and
-reports empirical detection rates with Wilson 95% intervals.
+reports empirical detection rates with Wilson 95% intervals.  --chunk-size
+sets how many campaigns share one derived RNG seed (must be positive;
+results are identical for any thread count at a fixed chunk size).
 "
         .into(),
         Some("faults") => "\
 redundancy faults --tasks <N> --epsilon <E> [--scheme S] [--proportion P]
                   [--campaigns C] [--seed SEED] [--drop-rate R] [--steps K]
                   [--straggler-rate R] [--straggler-delay D]
-                  [--timeout T] [--retries M]
+                  [--timeout T] [--retries M] [--chunk-size K]
 
 Sweeps per-assignment drop rates from 0 to --drop-rate in K steps and
 reports how empirical detection, delivery rate, and effective multiplicity
@@ -207,6 +241,16 @@ redundancy solve-sm --tasks <N> --epsilon <E> --dim <M>
 
 Solves the assignment-minimizing LP S_m; --min-precompute applies the
 lexicographic refinement; --mps exports the LP in MPS format.
+"
+        .into(),
+        Some("certify") => "\
+redundancy certify [--tasks <N>] [--epsilon <E>] [--max-dim M]
+
+Re-solves S_m for every m from 2 to M in exact rational arithmetic and
+checks the four optimality conditions (primal and dual feasibility,
+complementary slackness, strong duality) in \u{211a}, then cross-checks the
+certified optimum against the f64 simplex.  Defaults reproduce the
+Figure 2 setting (N = 100,000, eps = 0.5).
 "
         .into(),
         _ => USAGE.into(),
@@ -345,6 +389,7 @@ fn advise_cmd(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate(
     scheme: SchemeName,
     tasks: u64,
@@ -352,13 +397,19 @@ fn simulate(
     proportion: f64,
     campaigns: u64,
     seed: u64,
+    chunk_size: u64,
 ) -> Result<String, CliError> {
+    check_trial_config(campaigns, seed, chunk_size)?;
     let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
+    let config = ExperimentConfig {
+        chunk_size,
+        ..ExperimentConfig::new(campaigns, seed)
+    };
     let est = detection_experiment(
         &plan,
         AdversaryModel::AssignmentFraction { p: proportion },
         CheatStrategy::AtLeast { min_copies: 1 },
-        &ExperimentConfig::new(campaigns, seed),
+        &config,
     );
     let mut out = String::new();
     let _ = writeln!(
@@ -412,7 +463,9 @@ fn faults_sweep(
     timeout: u64,
     retries: u32,
     steps: u32,
+    chunk_size: u64,
 ) -> Result<String, CliError> {
+    check_trial_config(campaigns, seed, chunk_size)?;
     let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
     let campaign = CampaignConfig::new(
         AdversaryModel::AssignmentFraction { p: proportion },
@@ -456,12 +509,11 @@ fn faults_sweep(
             ..FaultModel::none()
         };
         faults.validate().map_err(CliError::Invalid)?;
-        let est = faulty_detection_experiment(
-            &plan,
-            &campaign,
-            &faults,
-            &ExperimentConfig::new(campaigns, seed),
-        );
+        let config = ExperimentConfig {
+            chunk_size,
+            ..ExperimentConfig::new(campaigns, seed)
+        };
+        let est = faulty_detection_experiment(&plan, &campaign, &faults, &config);
         let overall = est.overall();
         let (lo, hi) = overall.wilson_interval(1.96);
         table.row(&[
@@ -551,6 +603,45 @@ fn solve_sm(
         std::fs::write(path, doc).map_err(|e| CliError::Io(e.to_string()))?;
         let _ = writeln!(out, "[LP exported to {path}]");
     }
+    Ok(out)
+}
+
+fn certify(tasks: u64, epsilon: f64, max_dim: usize) -> Result<String, CliError> {
+    if max_dim < 2 {
+        return Err(CliError::Invalid(format!(
+            "--max-dim: S_m needs at least two multiplicities, got {max_dim}"
+        )));
+    }
+    let certs = certify_sweep(tasks, epsilon, 2..=max_dim)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "exact-rational certification of S_m, m = 2..={max_dim}, at N = {}, eps = {epsilon}",
+        inum(tasks)
+    );
+    let mut table = Table::new(&[
+        "m",
+        "exact objective",
+        "f64 objective",
+        "rel. gap",
+        "pivots",
+    ]);
+    table.numeric();
+    for c in &certs {
+        table.row(&[
+            &c.dimension.to_string(),
+            &format!("{}", c.objective),
+            &fnum(c.f64_objective, 4),
+            &format!("{:.2e}", c.relative_gap),
+            &c.exact_pivots.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "every row passed the four-condition optimality certificate \
+(primal + dual feasibility, complementary slackness, strong duality) in exact arithmetic"
+    );
     Ok(out)
 }
 
@@ -769,6 +860,86 @@ mod tests {
     }
 
     #[test]
+    fn certify_reports_exact_objectives() {
+        let out = run(&[
+            "certify",
+            "--tasks",
+            "100000",
+            "--epsilon",
+            "0.5",
+            "--max-dim",
+            "3",
+        ])
+        .unwrap();
+        // S₂ at ε = ½ has the exact optimum 4N/3 = 400000/3.
+        assert!(out.contains("400000/3"), "{out}");
+        assert!(out.contains("optimality certificate"), "{out}");
+    }
+
+    #[test]
+    fn certify_rejects_tiny_dimension() {
+        let err = run(&["certify", "--max-dim", "1"]).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Invalid(m) if m.contains("--max-dim")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_chunk_size_is_invalid_and_names_the_flag() {
+        for argv in [
+            vec![
+                "simulate",
+                "--tasks",
+                "100",
+                "--epsilon",
+                "0.5",
+                "--chunk-size",
+                "0",
+            ],
+            vec![
+                "faults",
+                "--tasks",
+                "100",
+                "--epsilon",
+                "0.5",
+                "--chunk-size",
+                "0",
+            ],
+        ] {
+            let err = run(&argv).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Invalid(m) if m.contains("--chunk-size")),
+                "{err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_chunk_size_changes_chunking_not_semantics() {
+        let base = [
+            "simulate",
+            "--tasks",
+            "500",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.1",
+            "--campaigns",
+            "4",
+            "--seed",
+            "7",
+        ];
+        let mut with_chunk: Vec<&str> = base.to_vec();
+        with_chunk.extend_from_slice(&["--chunk-size", "1"]);
+        // Both runs succeed; chunking changes seed granularity, so the
+        // empirical numbers may differ, but the report shape is identical.
+        let a = run(&base).unwrap();
+        let b = run(&with_chunk).unwrap();
+        assert!(a.contains("95% CI") && b.contains("95% CI"));
+    }
+
+    #[test]
     fn help_text_everywhere() {
         for topic in [
             None,
@@ -778,6 +949,7 @@ mod tests {
             Some("simulate"),
             Some("faults"),
             Some("solve-sm"),
+            Some("certify"),
             Some("unknown"),
         ] {
             let out = help(topic);

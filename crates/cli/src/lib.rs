@@ -11,6 +11,7 @@
 //! redundancy simulate --tasks 20000 --epsilon 0.5 --proportion 0.1 --campaigns 30 [--seed 1]
 //! redundancy faults   --tasks 10000 --epsilon 0.5 --drop-rate 0.5 --steps 5 [--retries 3]
 //! redundancy solve-sm --tasks 100000 --epsilon 0.5 --dim 16 [--mps out.mps] [--min-precompute]
+//! redundancy certify  --tasks 100000 --epsilon 0.5 --max-dim 26
 //! ```
 //!
 //! Every command is a pure function from parsed arguments to a report
@@ -43,6 +44,7 @@ COMMANDS:
     simulate   Monte-Carlo campaign simulation with a colluding adversary
     faults     Detection-probability sweep under drops, stragglers, retries
     solve-sm   Solve an assignment-minimizing LP system S_m
+    certify    Certify S_m optima with the exact-rational LP oracle
     help       Show this message
 
 COMMON OPTIONS:

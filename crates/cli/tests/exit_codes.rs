@@ -64,6 +64,23 @@ fn zero_timeout_exits_two() {
 }
 
 #[test]
+fn zero_chunk_size_exits_two_naming_the_flag() {
+    let out = redundancy(&[
+        "simulate",
+        "--tasks",
+        "200",
+        "--epsilon",
+        "0.5",
+        "--chunk-size",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.starts_with("error:"), "{stderr}");
+    assert!(stderr.contains("--chunk-size"), "{stderr}");
+}
+
+#[test]
 fn unknown_command_exits_two() {
     let out = redundancy(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(2));

@@ -52,6 +52,7 @@
 pub mod advisor;
 pub mod balanced;
 pub mod bounds;
+pub mod certify;
 pub mod distribution;
 pub mod error;
 pub mod extended;
@@ -65,6 +66,7 @@ pub mod simple;
 pub use advisor::{advise, comparison_row, reference_plans, Advice, Requirements};
 pub use balanced::Balanced;
 pub use bounds::{equality_gap, lower_bound_factor, wasted_assignments};
+pub use certify::{certify_minimizing, certify_sweep, SmCertification};
 pub use distribution::Distribution;
 pub use error::CoreError;
 pub use extended::ExtendedBalanced;

@@ -38,6 +38,15 @@ pub enum LpError {
     },
     /// The problem has no variables or no constraints where they are required.
     EmptyProblem,
+    /// Exact rational arithmetic left the `i128` range.
+    ///
+    /// Only the exact oracle ([`crate::exact`]) reports this; it means the
+    /// instance is too large for 128-bit exact certification, not that the
+    /// f64 answer is wrong.
+    ArithmeticOverflow {
+        /// Human-readable location of the overflowing operation.
+        location: String,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -62,6 +71,9 @@ impl fmt::Display for LpError {
                 write!(f, "non-finite coefficient in {location}")
             }
             LpError::EmptyProblem => write!(f, "problem has no variables"),
+            LpError::ArithmeticOverflow { location } => {
+                write!(f, "exact arithmetic overflowed i128 in {location}")
+            }
         }
     }
 }
@@ -88,6 +100,10 @@ mod tests {
             }
             .to_string(),
             LpError::EmptyProblem.to_string(),
+            LpError::ArithmeticOverflow {
+                location: "pivot".into(),
+            }
+            .to_string(),
         ];
         assert!(msgs[0].contains("infeasible"));
         assert!(msgs[1].contains("unbounded"));
@@ -95,6 +111,7 @@ mod tests {
         assert!(msgs[3].contains("out of range"));
         assert!(msgs[4].contains("non-finite"));
         assert!(msgs[5].contains("no variables"));
+        assert!(msgs[6].contains("overflow"));
     }
 
     #[test]

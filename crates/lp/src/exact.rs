@@ -1,0 +1,763 @@
+//! Exact-rational simplex oracle for certifying f64 optima.
+//!
+//! The floating-point solver in [`crate::simplex`] answers "what is the
+//! optimum" quickly; this module answers "is that really the optimum" with a
+//! proof.  [`solve_exact`] re-normalizes the same [`Problem`] into standard
+//! equality form over ℚ (every `f64` datum is a dyadic rational, recovered
+//! exactly by [`Rational::from_f64`]), runs a two-phase primal simplex under
+//! Bland's rule in exact arithmetic, and then **independently certifies** the
+//! result: primal feasibility, dual feasibility, complementary slackness and
+//! strong duality are all re-checked in ℚ against the standard form the
+//! solver never mutated.  A passing [`ExactCertificate`] is a mathematical
+//! proof of optimality — no tolerance anywhere.
+//!
+//! The oracle targets the paper's regime (the `S_m` systems of Section 3.2,
+//! a few dozen variables).  Exact pivoting can grow numerators beyond
+//! `i128`; when that happens the solve reports
+//! [`LpError::ArithmeticOverflow`] rather than silently losing precision,
+//! and the caller falls back to the f64 audit in [`crate::verify`].
+//!
+//! Dual extraction costs nothing extra: every row keeps its artificial
+//! column frozen in the tableau through both phases, so after the final
+//! pivot the objective-row entry of artificial `r` is `0 − y_r` and the
+//! duals are read off directly — no basis factorization needed.
+
+use crate::error::LpError;
+use crate::problem::{Problem, Relation, Sense, VarKind};
+use crate::standard::ColumnOrigin;
+use redundancy_rational::{Rational, RationalError};
+
+/// Iteration budget for the exact pivot loop.  Bland's rule guarantees
+/// termination, so reaching this means a problem far outside the paper's
+/// sizes (or a bug), never cycling.
+const EXACT_MAX_ITERS: usize = 50_000;
+
+/// Consecutive degenerate pivots tolerated under the Dantzig rule before the
+/// exact solver falls back to Bland's rule for the rest of the solve.
+const DEGENERACY_FALLBACK: usize = 32;
+
+fn lift(e: RationalError, location: &str) -> LpError {
+    match e {
+        RationalError::NonFinite => LpError::NonFiniteData {
+            location: location.to_string(),
+        },
+        _ => LpError::ArithmeticOverflow {
+            location: format!("{location}: {e}"),
+        },
+    }
+}
+
+fn q(value: f64, location: &str) -> Result<Rational, LpError> {
+    Rational::from_f64(value).map_err(|e| lift(e, location))
+}
+
+fn add(a: Rational, b: Rational) -> Result<Rational, LpError> {
+    a.checked_add(b).map_err(|e| lift(e, "tableau addition"))
+}
+
+fn sub(a: Rational, b: Rational) -> Result<Rational, LpError> {
+    a.checked_sub(b).map_err(|e| lift(e, "tableau subtraction"))
+}
+
+fn mul(a: Rational, b: Rational) -> Result<Rational, LpError> {
+    a.checked_mul(b)
+        .map_err(|e| lift(e, "tableau multiplication"))
+}
+
+fn div(a: Rational, b: Rational) -> Result<Rational, LpError> {
+    a.checked_div(b).map_err(|e| lift(e, "tableau division"))
+}
+
+/// The four exact optimality conditions, each checked independently of the
+/// solver's internal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactCertificate {
+    /// `A·x = b` and `x ≥ 0` hold exactly in the standard form.
+    pub primal_feasible: bool,
+    /// Every reduced cost `c_j − yᵀA_j` is exactly non-negative.
+    pub dual_feasible: bool,
+    /// `x_j · (c_j − yᵀA_j) = 0` exactly for every column.
+    pub complementary_slackness: bool,
+    /// `cᵀx = bᵀy` exactly.
+    pub strong_duality: bool,
+}
+
+impl ExactCertificate {
+    /// True when all four conditions hold, i.e. `x` is provably optimal.
+    pub fn optimal(&self) -> bool {
+        self.primal_feasible
+            && self.dual_feasible
+            && self.complementary_slackness
+            && self.strong_duality
+    }
+}
+
+/// An exactly-certified optimum mapped back to the original problem.
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// Optimal objective value in the problem's own sense, exact.
+    pub objective: Rational,
+    /// Exact value of each original variable.
+    pub values: Vec<Rational>,
+    /// Exact dual multiplier per original constraint (problem sense).
+    pub duals: Vec<Rational>,
+    /// Outcome of the independent ℚ certification.
+    pub certificate: ExactCertificate,
+    /// Total pivots across both phases.
+    pub pivots: usize,
+}
+
+/// The problem in exact standard equality form: `min cᵀx, A·x = b, x ≥ 0`
+/// with `b ≥ 0`, mirroring [`crate::standard::StandardForm`] in ℚ.
+struct ExactStandardForm {
+    a: Vec<Vec<Rational>>,
+    b: Vec<Rational>,
+    c: Vec<Rational>,
+    origins: Vec<ColumnOrigin>,
+    row_negated: Vec<bool>,
+    maximized: bool,
+}
+
+impl ExactStandardForm {
+    /// Exact mirror of `StandardForm::from_problem`: free-variable split,
+    /// slack/surplus columns, row flips for negative right-hand sides, and
+    /// maximization-to-minimization cost negation are all exact in ℚ.
+    fn from_problem(problem: &Problem) -> Result<Self, LpError> {
+        let mut origins = Vec::new();
+        let mut pos_col = Vec::with_capacity(problem.variables.len());
+        let mut neg_col = vec![None; problem.variables.len()];
+        for (i, v) in problem.variables.iter().enumerate() {
+            pos_col.push(origins.len());
+            origins.push(ColumnOrigin::Positive(i));
+            if v.kind == VarKind::Free {
+                neg_col[i] = Some(origins.len());
+                origins.push(ColumnOrigin::Negative(i));
+            }
+        }
+        for (ci, cons) in problem.constraints.iter().enumerate() {
+            if cons.relation != Relation::Eq {
+                origins.push(ColumnOrigin::Slack(ci));
+            }
+        }
+        let n = origins.len();
+        let m = problem.constraints.len();
+        let mut a = vec![vec![Rational::ZERO; n]; m];
+        let mut b = vec![Rational::ZERO; m];
+        let mut row_negated = vec![false; m];
+        let mut slack_cursor = n - origins
+            .iter()
+            .filter(|o| matches!(o, ColumnOrigin::Slack(_)))
+            .count();
+        for (ri, cons) in problem.constraints.iter().enumerate() {
+            for &(vi, coeff) in &cons.terms {
+                let qc = q(coeff, "constraint coefficient")?;
+                a[ri][pos_col[vi]] = add(a[ri][pos_col[vi]], qc)?;
+                if let Some(nc) = neg_col[vi] {
+                    a[ri][nc] = sub(a[ri][nc], qc)?;
+                }
+            }
+            match cons.relation {
+                Relation::Le => {
+                    a[ri][slack_cursor] = Rational::ONE;
+                    slack_cursor += 1;
+                }
+                Relation::Ge => {
+                    a[ri][slack_cursor] = -Rational::ONE;
+                    slack_cursor += 1;
+                }
+                Relation::Eq => {}
+            }
+            b[ri] = q(cons.rhs, "constraint right-hand side")?;
+            // Flip rows with negative rhs (as the f64 path does), and also
+            // zero-rhs `≥` rows: flipping the latter turns their surplus
+            // column into a `+1` slack that can serve as an initial basic
+            // variable, sparing phase I an artificial.
+            if b[ri].is_negative() || (b[ri].is_zero() && cons.relation == Relation::Ge) {
+                row_negated[ri] = true;
+                b[ri] = -b[ri];
+                for entry in a[ri].iter_mut() {
+                    *entry = -*entry;
+                }
+            }
+        }
+        let maximized = problem.sense == Sense::Maximize;
+        let mut c = vec![Rational::ZERO; n];
+        for (i, v) in problem.variables.iter().enumerate() {
+            let coeff = q(v.objective, "objective coefficient")?;
+            let coeff = if maximized { -coeff } else { coeff };
+            c[pos_col[i]] = coeff;
+            if let Some(nc) = neg_col[i] {
+                c[nc] = -coeff;
+            }
+        }
+        Ok(ExactStandardForm {
+            a,
+            b,
+            c,
+            origins,
+            row_negated,
+            maximized,
+        })
+    }
+}
+
+/// Dense exact tableau.  Columns `0..n` are structural/slack; columns
+/// `n..n+m` are the per-row artificials, kept (frozen) through phase II so
+/// the duals can be read from the objective row.
+struct ExactTableau {
+    /// Active rows, each of width `n + m` plus a separate rhs.
+    rows: Vec<Vec<Rational>>,
+    rhs: Vec<Rational>,
+    /// Basic column of each active row.
+    basis: Vec<usize>,
+    /// Reduced-cost row for the current phase.
+    obj: Vec<Rational>,
+    /// Current objective value (of the phase's cost vector).
+    value: Rational,
+    /// Structural + slack column count; artificials start at `n`.
+    n: usize,
+    pivots: usize,
+}
+
+impl ExactTableau {
+    fn new(sf: &ExactStandardForm) -> Result<Self, LpError> {
+        let m = sf.b.len();
+        let n = sf.c.len();
+        let mut rows = Vec::with_capacity(m);
+        for r in 0..m {
+            let mut row = sf.a[r].clone();
+            row.extend((0..m).map(|k| {
+                if k == r {
+                    Rational::ONE
+                } else {
+                    Rational::ZERO
+                }
+            }));
+            rows.push(row);
+        }
+        let mut rhs = sf.b.clone();
+        // Prefer an existing unit-ish column (positive here, zero in every
+        // other row) as the initial basic variable of each row; only rows
+        // with none get their artificial, which keeps phase I short.
+        let mut basis: Vec<usize> = (n..n + m).collect();
+        let mut used = vec![false; n];
+        for r in 0..m {
+            let candidate = (0..n).find(|&j| {
+                !used[j]
+                    && rows[r][j].is_positive()
+                    && (0..m).all(|r2| r2 == r || rows[r2][j].is_zero())
+            });
+            if let Some(j) = candidate {
+                let e = rows[r][j];
+                if e != Rational::ONE {
+                    for entry in rows[r].iter_mut() {
+                        *entry = div(*entry, e)?;
+                    }
+                    rhs[r] = div(rhs[r], e)?;
+                }
+                basis[r] = j;
+                used[j] = true;
+            }
+        }
+        Ok(ExactTableau {
+            rows,
+            rhs,
+            basis,
+            obj: vec![Rational::ZERO; n + m],
+            value: Rational::ZERO,
+            n,
+            pivots: 0,
+        })
+    }
+
+    /// Recompute the reduced-cost row and objective value for `cost`
+    /// (indexed over all `n + m` columns) from the current basis.
+    fn load_costs(&mut self, cost: &[Rational]) -> Result<(), LpError> {
+        let width = self.obj.len();
+        let mut obj = cost.to_vec();
+        let mut value = Rational::ZERO;
+        for (r, row) in self.rows.iter().enumerate() {
+            let cb = cost[self.basis[r]];
+            if cb.is_zero() {
+                continue;
+            }
+            for j in 0..width {
+                if !row[j].is_zero() {
+                    obj[j] = sub(obj[j], mul(cb, row[j])?)?;
+                }
+            }
+            value = add(value, mul(cb, self.rhs[r])?)?;
+        }
+        self.obj = obj;
+        self.value = value;
+        Ok(())
+    }
+
+    /// Entering column among the non-artificials: most-negative reduced
+    /// cost (Dantzig) normally — short pivot paths keep the exact
+    /// subdeterminants small — or smallest index (Bland) once a degenerate
+    /// streak triggers the anti-cycling fallback.
+    fn entering(&self, bland: bool) -> Option<usize> {
+        if bland {
+            return (0..self.n).find(|&j| self.obj[j].is_negative());
+        }
+        let mut best: Option<usize> = None;
+        for j in 0..self.n {
+            if self.obj[j].is_negative() && best.is_none_or(|b| self.obj[j] < self.obj[b]) {
+                best = Some(j);
+            }
+        }
+        best
+    }
+
+    /// Exact ratio test; ties broken by smallest basic column (Bland).
+    fn leaving(&self, col: usize) -> Result<Option<usize>, LpError> {
+        let mut best: Option<(usize, Rational)> = None;
+        for r in 0..self.rows.len() {
+            let a = self.rows[r][col];
+            if !a.is_positive() {
+                continue;
+            }
+            let ratio = div(self.rhs[r], a)?;
+            best = match best {
+                None => Some((r, ratio)),
+                Some((br, bratio)) => {
+                    if ratio < bratio || (ratio == bratio && self.basis[r] < self.basis[br]) {
+                        Some((r, ratio))
+                    } else {
+                        Some((br, bratio))
+                    }
+                }
+            };
+        }
+        Ok(best.map(|(r, _)| r))
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) -> Result<(), LpError> {
+        let width = self.obj.len();
+        let p = self.rows[row][col];
+        for j in 0..width {
+            self.rows[row][j] = div(self.rows[row][j], p)?;
+        }
+        self.rhs[row] = div(self.rhs[row], p)?;
+        for r in 0..self.rows.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.rows[r][col];
+            if factor.is_zero() {
+                continue;
+            }
+            for j in 0..width {
+                if !self.rows[row][j].is_zero() {
+                    let delta = mul(factor, self.rows[row][j])?;
+                    self.rows[r][j] = sub(self.rows[r][j], delta)?;
+                }
+            }
+            self.rhs[r] = sub(self.rhs[r], mul(factor, self.rhs[row])?)?;
+        }
+        let factor = self.obj[col];
+        if !factor.is_zero() {
+            for j in 0..width {
+                if !self.rows[row][j].is_zero() {
+                    let delta = mul(factor, self.rows[row][j])?;
+                    self.obj[j] = sub(self.obj[j], delta)?;
+                }
+            }
+            // Entering with reduced cost `factor` and step `rhs[row]` moves
+            // the objective by their product (downhill: factor < 0).
+            self.value = add(self.value, mul(factor, self.rhs[row])?)?;
+        }
+        self.basis[row] = col;
+        self.pivots += 1;
+        Ok(())
+    }
+
+    /// Pivot to optimality of the currently loaded costs.  Starts under the
+    /// Dantzig rule and switches to Bland's rule permanently after
+    /// [`DEGENERACY_FALLBACK`] consecutive degenerate pivots, so termination
+    /// is guaranteed on every input.
+    fn optimize(&mut self) -> Result<(), LpError> {
+        let mut iters = 0usize;
+        let mut degenerate_streak = 0usize;
+        let mut bland = false;
+        while let Some(col) = self.entering(bland) {
+            iters += 1;
+            if iters > EXACT_MAX_ITERS {
+                return Err(LpError::IterationLimit {
+                    limit: EXACT_MAX_ITERS,
+                });
+            }
+            match self.leaving(col)? {
+                Some(row) => {
+                    if self.rhs[row].is_zero() {
+                        degenerate_streak += 1;
+                        if degenerate_streak >= DEGENERACY_FALLBACK {
+                            bland = true;
+                        }
+                    } else {
+                        degenerate_streak = 0;
+                    }
+                    self.pivot(row, col)?
+                }
+                None => return Err(LpError::Unbounded { ray_column: col }),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run the exact two-phase simplex on the standard form.  Returns the
+/// standard-form primal values `x`, the duals `y` for every original row
+/// (zero for rows proved redundant in phase I), and the pivot count.
+fn solve_standard_exact(
+    sf: &ExactStandardForm,
+) -> Result<(Vec<Rational>, Vec<Rational>, usize), LpError> {
+    let m = sf.b.len();
+    let n = sf.c.len();
+    let mut t = ExactTableau::new(sf)?;
+
+    // Phase I: minimize the sum of artificials.
+    let mut phase1 = vec![Rational::ZERO; n + m];
+    for c in phase1.iter_mut().skip(n) {
+        *c = Rational::ONE;
+    }
+    t.load_costs(&phase1)?;
+    t.optimize()?;
+    if !t.value.is_zero() {
+        return Err(LpError::Infeasible {
+            infeasibility: t.value.to_f64(),
+        });
+    }
+
+    // Drive basic artificials out; a row with no nonzero structural entry is
+    // an exact `0 = 0` and gets dropped (its dual is fixed to zero below).
+    let mut dropped_rows: Vec<usize> = Vec::new();
+    let mut r = 0;
+    while r < t.rows.len() {
+        if t.basis[r] >= n {
+            if let Some(col) = (0..n).find(|&j| !t.rows[r][j].is_zero()) {
+                t.pivot(r, col)?;
+            } else {
+                dropped_rows.push(t.basis[r] - n);
+                t.rows.remove(r);
+                t.rhs.remove(r);
+                t.basis.remove(r);
+                continue;
+            }
+        }
+        r += 1;
+    }
+
+    // Phase II: the true costs (zero on the frozen artificials).
+    let mut phase2 = sf.c.clone();
+    phase2.resize(n + m, Rational::ZERO);
+    t.load_costs(&phase2)?;
+    t.optimize()?;
+
+    let mut x = vec![Rational::ZERO; n];
+    for (r, &col) in t.basis.iter().enumerate() {
+        if col < n {
+            x[col] = t.rhs[r];
+        }
+    }
+    // Artificial column `n + r` equals e_r in the original matrix and has
+    // zero phase-II cost, so its reduced cost is exactly `−y_r`.
+    let mut y = Vec::with_capacity(m);
+    for row in 0..m {
+        if dropped_rows.contains(&row) {
+            y.push(Rational::ZERO);
+        } else {
+            y.push(-t.obj[n + row]);
+        }
+    }
+    Ok((x, y, t.pivots))
+}
+
+/// Independently verify the four optimality conditions in ℚ against the
+/// untouched standard form.  This shares no state with the solver: a bug in
+/// the pivot loop cannot also hide here.
+fn certify(
+    sf: &ExactStandardForm,
+    x: &[Rational],
+    y: &[Rational],
+) -> Result<ExactCertificate, LpError> {
+    let mut primal = x.iter().all(|v| !v.is_negative());
+    for (row, &br) in sf.a.iter().zip(&sf.b) {
+        let mut lhs = Rational::ZERO;
+        for (&arj, &xj) in row.iter().zip(x) {
+            if !arj.is_zero() && !xj.is_zero() {
+                lhs = add(lhs, mul(arj, xj)?)?;
+            }
+        }
+        if lhs != br {
+            primal = false;
+        }
+    }
+    let mut dual = true;
+    let mut slack = true;
+    for (j, (&cj, &xj)) in sf.c.iter().zip(x).enumerate() {
+        let mut ya = Rational::ZERO;
+        for (row, &yr) in sf.a.iter().zip(y) {
+            if !row[j].is_zero() && !yr.is_zero() {
+                ya = add(ya, mul(row[j], yr)?)?;
+            }
+        }
+        let reduced = sub(cj, ya)?;
+        if reduced.is_negative() {
+            dual = false;
+        }
+        if !mul(xj, reduced)?.is_zero() {
+            slack = false;
+        }
+    }
+    let mut primal_obj = Rational::ZERO;
+    for (&cj, &xj) in sf.c.iter().zip(x) {
+        if !cj.is_zero() && !xj.is_zero() {
+            primal_obj = add(primal_obj, mul(cj, xj)?)?;
+        }
+    }
+    let mut dual_obj = Rational::ZERO;
+    for (&br, &yr) in sf.b.iter().zip(y) {
+        if !br.is_zero() && !yr.is_zero() {
+            dual_obj = add(dual_obj, mul(br, yr)?)?;
+        }
+    }
+    Ok(ExactCertificate {
+        primal_feasible: primal,
+        dual_feasible: dual,
+        complementary_slackness: slack,
+        strong_duality: primal_obj == dual_obj,
+    })
+}
+
+/// Solve `problem` in exact rational arithmetic and certify the optimum.
+///
+/// The returned [`ExactSolution`] carries exact values, duals, and the
+/// outcome of the independent certification; callers should check
+/// [`ExactCertificate::optimal`].  Infeasibility, unboundedness and data
+/// errors use the same [`LpError`] variants as the f64 path; exact values
+/// that outgrow `i128` surface as [`LpError::ArithmeticOverflow`].
+///
+/// ```
+/// use redundancy_lp::{exact::solve_exact, Problem, Relation, Sense};
+/// use redundancy_rational::Rational;
+/// let mut p = Problem::new(Sense::Minimize);
+/// let x = p.add_variable("x");
+/// let y = p.add_variable("y");
+/// p.set_objective(x, 1.0);
+/// p.set_objective(y, 2.0);
+/// p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+/// let sol = solve_exact(&p).unwrap();
+/// assert!(sol.certificate.optimal());
+/// assert_eq!(sol.objective, Rational::from_integer(4).unwrap());
+/// ```
+pub fn solve_exact(problem: &Problem) -> Result<ExactSolution, LpError> {
+    problem.validate()?;
+    let sf = ExactStandardForm::from_problem(problem)?;
+    let (x, y, pivots) = solve_standard_exact(&sf)?;
+    let certificate = certify(&sf, &x, &y)?;
+
+    // Map back to the original problem space, exactly.
+    let mut values = vec![Rational::ZERO; problem.num_variables()];
+    for (col, origin) in sf.origins.iter().enumerate() {
+        match *origin {
+            ColumnOrigin::Positive(i) => values[i] = add(values[i], x[col])?,
+            ColumnOrigin::Negative(i) => values[i] = sub(values[i], x[col])?,
+            ColumnOrigin::Slack(_) => {}
+        }
+    }
+    let mut objective = Rational::ZERO;
+    for (i, v) in values.iter().enumerate() {
+        let coeff = q(problem.objective_coefficient(i), "objective coefficient")?;
+        objective = add(objective, mul(coeff, *v)?)?;
+    }
+    let mut duals = Vec::with_capacity(sf.b.len());
+    for (r, &yr) in y.iter().enumerate() {
+        let mut d = if sf.row_negated[r] { -yr } else { yr };
+        if sf.maximized {
+            d = -d;
+        }
+        duals.push(d);
+    }
+    Ok(ExactSolution {
+        objective,
+        values,
+        duals,
+        certificate,
+        pivots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation, Sense};
+
+    fn rat(num: i128, den: i128) -> Rational {
+        Rational::new(num, den).unwrap()
+    }
+
+    #[test]
+    fn textbook_minimization_is_certified() {
+        // min x + 2y s.t. x + y >= 4, y <= 3  → x = 4, y = 0, obj 4.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        p.add_constraint(&[(y, 1.0)], Relation::Le, 3.0);
+        let sol = solve_exact(&p).expect("textbook minimization fixture solves");
+        assert!(sol.certificate.optimal());
+        assert_eq!(sol.objective, rat(4, 1));
+        assert_eq!(sol.values, vec![rat(4, 1), Rational::ZERO]);
+        // Active `≥` row has dual 1 (min sense), inactive `≤` row dual 0.
+        assert_eq!(sol.duals, vec![rat(1, 1), Rational::ZERO]);
+    }
+
+    #[test]
+    fn maximization_with_fractional_optimum() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), obj 36.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 3.0);
+        p.set_objective(y, 5.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let sol = solve_exact(&p).expect("maximization fixture solves");
+        assert!(sol.certificate.optimal());
+        assert_eq!(sol.objective, rat(36, 1));
+        assert_eq!(sol.values, vec![rat(2, 1), rat(6, 1)]);
+    }
+
+    #[test]
+    fn equality_and_free_variables() {
+        // min x + y s.t. x - f = 1, f = 2 with f free → x = 3.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        let f = p.add_free_variable("f");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (f, -1.0)], Relation::Eq, 1.0);
+        p.add_constraint(&[(f, 1.0)], Relation::Eq, 2.0);
+        let sol = solve_exact(&p).expect("equality/free fixture solves");
+        assert!(sol.certificate.optimal());
+        assert_eq!(sol.objective, rat(3, 1));
+        assert_eq!(sol.values[0], rat(3, 1));
+        assert_eq!(sol.values[2], rat(2, 1));
+    }
+
+    #[test]
+    fn fractional_data_stays_exact() {
+        // min x s.t. (1/2)x >= 1/4 → x = 1/2 exactly (0.25/0.5 are dyadic).
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 0.5)], Relation::Ge, 0.25);
+        let sol = solve_exact(&p).expect("dyadic fixture solves");
+        assert!(sol.certificate.optimal());
+        assert_eq!(sol.objective, rat(1, 2));
+    }
+
+    #[test]
+    fn infeasible_is_detected_exactly() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        assert!(matches!(solve_exact(&p), Err(LpError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn unbounded_is_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 0.0);
+        assert!(matches!(solve_exact(&p), Err(LpError::Unbounded { .. })));
+    }
+
+    #[test]
+    fn redundant_rows_get_zero_duals() {
+        // Second row is exactly twice the first.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        p.add_constraint(&[(x, 2.0), (y, 2.0)], Relation::Eq, 4.0);
+        let sol = solve_exact(&p).expect("redundant-rows fixture solves");
+        assert!(sol.certificate.optimal());
+        assert_eq!(sol.objective, rat(2, 1));
+    }
+
+    #[test]
+    fn negative_rhs_row_flip_is_exact() {
+        // min x s.t. -x <= -3  ⇔  x >= 3.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, -1.0)], Relation::Le, -3.0);
+        let sol = solve_exact(&p).expect("negative-rhs fixture solves");
+        assert!(sol.certificate.optimal());
+        assert_eq!(sol.objective, rat(3, 1));
+    }
+
+    #[test]
+    fn degenerate_vertex_terminates_under_bland() {
+        // Multiple constraints meeting at the same vertex.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective(x, -1.0);
+        p.set_objective(y, -1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(&[(y, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 2.0);
+        let sol = solve_exact(&p).expect("degenerate fixture solves");
+        assert!(sol.certificate.optimal());
+        assert_eq!(sol.objective, rat(-2, 1));
+    }
+
+    #[test]
+    fn agrees_with_f64_simplex_on_a_small_covering_lp() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        let z = p.add_variable("z");
+        p.set_objective(x, 2.0);
+        p.set_objective(y, 3.0);
+        p.set_objective(z, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Ge, 3.0);
+        p.add_constraint(&[(y, 1.0), (z, 4.0)], Relation::Ge, 2.0);
+        p.add_constraint(&[(x, 1.0), (z, 1.0)], Relation::Ge, 1.0);
+        let approx = p.solve().expect("covering fixture solves in f64");
+        let exact = solve_exact(&p).expect("covering fixture solves exactly");
+        assert!(exact.certificate.optimal());
+        assert!((approx.objective - exact.objective.to_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certificate_rejects_a_suboptimal_point() {
+        // Hand-build a standard form and feed certify() a feasible but
+        // suboptimal pair to prove the checker can say "no".
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 1.0);
+        let sf = ExactStandardForm::from_problem(&p).unwrap();
+        // x = 2 (feasible, surplus 1) with y = 0: slack fails, duality fails.
+        let x_bad = vec![rat(2, 1), rat(1, 1)];
+        let y_bad = vec![Rational::ZERO];
+        let cert = certify(&sf, &x_bad, &y_bad).unwrap();
+        assert!(cert.primal_feasible);
+        assert!(!cert.optimal());
+        assert!(!cert.complementary_slackness || !cert.strong_duality);
+    }
+}

@@ -46,6 +46,7 @@
 
 pub mod dense;
 pub mod error;
+pub mod exact;
 pub mod mps;
 pub mod presolve;
 pub mod problem;
@@ -55,6 +56,7 @@ pub mod standard;
 pub mod verify;
 
 pub use error::LpError;
+pub use exact::{solve_exact, ExactCertificate, ExactSolution};
 pub use mps::{parse_mps, write_mps};
 pub use presolve::{presolve, solve_with_presolve, PresolveStats, Reduction};
 pub use problem::{Problem, Relation, Sense, VarId, VarKind};

@@ -459,7 +459,7 @@ mod tests {
         p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
         p.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
         p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
-        let s = p.solve().unwrap();
+        let s = p.solve().expect("textbook maximization fixture solves");
         assert_close(s.objective, 36.0);
         assert_close(s.value(x), 2.0);
         assert_close(s.value(y), 6.0);
@@ -476,7 +476,7 @@ mod tests {
         p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
         p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
         p.add_constraint(&[(y, 1.0)], Relation::Ge, 3.0);
-        let s = p.solve().unwrap();
+        let s = p.solve().expect("phase-one minimization fixture solves");
         assert_close(s.objective, 23.0);
         assert_close(s.value(x), 7.0);
         assert_close(s.value(y), 3.0);
@@ -492,7 +492,7 @@ mod tests {
         p.set_objective(y, 1.0);
         p.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0);
         p.add_constraint(&[(x, 3.0), (y, 1.0)], Relation::Eq, 7.0);
-        let s = p.solve().unwrap();
+        let s = p.solve().expect("equality-constraints fixture solves");
         assert_close(s.value(x), 2.0);
         assert_close(s.value(y), 1.0);
     }
@@ -520,7 +520,7 @@ mod tests {
         let mut p = Problem::new(Sense::Minimize);
         let x = p.add_variable("x");
         p.set_objective(x, 5.0);
-        let s = p.solve().unwrap();
+        let s = p.solve().expect("unconstrained nonnegative fixture solves");
         assert_close(s.objective, 0.0);
     }
 
@@ -539,7 +539,7 @@ mod tests {
         let y = p.add_free_variable("y");
         p.set_objective(y, 1.0);
         p.add_constraint(&[(y, 1.0)], Relation::Ge, -5.0);
-        let s = p.solve().unwrap();
+        let s = p.solve().expect("free-variable fixture solves");
         assert_close(s.value(y), -5.0);
     }
 
@@ -554,7 +554,7 @@ mod tests {
         p.set_objective(y, 2.0);
         p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
         p.add_constraint(&[(x, 2.0), (y, 2.0)], Relation::Eq, 6.0);
-        let s = p.solve().unwrap();
+        let s = p.solve().expect("redundant-rows fixture solves");
         assert_close(s.objective, 3.0);
         assert_close(s.value(x), 3.0);
     }
@@ -583,7 +583,7 @@ mod tests {
             0.0,
         );
         p.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0);
-        let s = p.solve().unwrap();
+        let s = p.solve().expect("Beale cycling fixture terminates");
         assert_close(s.objective, -0.05);
     }
 
@@ -600,7 +600,7 @@ mod tests {
             pivot_rule: PivotRule::Bland,
             ..SimplexOptions::default()
         };
-        let s = p.solve_with(&opts).unwrap();
+        let s = p.solve_with(&opts).expect("Bland-rule fixture solves");
         assert_close(s.objective, 7.0);
     }
 
@@ -632,7 +632,7 @@ mod tests {
         p.set_objective(y, 3.0);
         p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
         p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 2.0);
-        let s = p.solve().unwrap();
+        let s = p.solve().expect("strong-duality fixture solves");
         // Optimal primal: minimize cost along x + y = 10 ⇒ prefer x (cost 2)
         // until x - y = 2 binds: x = 6, y = 4, z = 24.
         assert_close(s.objective, 24.0);
@@ -648,7 +648,7 @@ mod tests {
         let x = p.add_variable("x");
         p.set_objective(x, 1.0);
         p.add_constraint(&[(x, -1.0)], Relation::Le, 3.0);
-        let s = p.solve().unwrap();
+        let s = p.solve().expect("negative-rhs fixture solves");
         assert_close(s.value(x), 0.0);
     }
 
@@ -664,7 +664,7 @@ mod tests {
         p.add_constraint(&[(y, 1.0)], Relation::Le, 1.0);
         p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 2.0);
         p.add_constraint(&[(x, 2.0), (y, 1.0)], Relation::Le, 3.0);
-        let s = p.solve().unwrap();
+        let s = p.solve().expect("degenerate-vertex fixture solves");
         assert_close(s.objective, 2.0);
     }
 }

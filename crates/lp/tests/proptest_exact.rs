@@ -1,0 +1,196 @@
+//! Differential and metamorphic testing of the f64 simplex against the
+//! exact-rational oracle.
+//!
+//! The generator produces random *covering* LPs — `min cᵀx` s.t. `Ax ≥ b`,
+//! `x ≥ 0` with `c > 0`, `A ≥ 0`, `b ≥ 0` — which are feasible (scale any
+//! point up) and bounded (nonnegative costs) by construction, so both
+//! solvers must return `Ok` on every case.  All data is drawn from small
+//! dyadic grids (halves and quarters), so the exact oracle's `i128`
+//! rationals stay tiny and every coefficient converts to ℚ without
+//! rounding.
+//!
+//! Two layers:
+//!
+//! * **differential** — the f64 objective must agree with the certified
+//!   exact optimum on every generated instance (256 cases, zero tolerance
+//!   for disagreement beyond f64 roundoff);
+//! * **metamorphic** — transformations with a known effect on the optimum
+//!   (variable permutation, positive row scaling, adding a dominated
+//!   column) must leave the f64 solver's answer unchanged, without needing
+//!   any oracle at all.
+
+use proptest::prelude::*;
+use redundancy_lp::exact::solve_exact;
+use redundancy_lp::{Problem, Relation, Sense};
+
+/// The generated instance data, after seed expansion: exact dyadic costs,
+/// coefficient rows, and demands.
+struct Covering {
+    costs: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    demands: Vec<f64>,
+}
+
+impl Covering {
+    /// Expand integer seeds into a covering LP on the dyadic grid.  Row `r`
+    /// is guaranteed a positive coefficient on variable `r mod n`, so no
+    /// row is vacuous.
+    fn from_seeds(
+        n: usize,
+        m: usize,
+        seed_costs: &[u32],
+        seed_rows: &[Vec<u32>],
+        seed_demands: &[u32],
+    ) -> Self {
+        let costs: Vec<f64> = seed_costs[..n].iter().map(|&c| c as f64 / 2.0).collect();
+        let rows: Vec<Vec<f64>> = seed_rows[..m]
+            .iter()
+            .enumerate()
+            .map(|(r, row)| {
+                let mut coeffs: Vec<f64> = row[..n].iter().map(|&a| a as f64 / 4.0).collect();
+                coeffs[r % n] += 1.0;
+                coeffs
+            })
+            .collect();
+        let demands: Vec<f64> = seed_demands[..m].iter().map(|&d| d as f64 / 2.0).collect();
+        Covering {
+            costs,
+            rows,
+            demands,
+        }
+    }
+
+    fn build(&self) -> Problem {
+        let mut p = Problem::new(Sense::Minimize);
+        let vars: Vec<_> = (0..self.costs.len())
+            .map(|i| p.add_variable(format!("x{i}")))
+            .collect();
+        for (v, &c) in vars.iter().zip(&self.costs) {
+            p.set_objective(*v, c);
+        }
+        for (row, &d) in self.rows.iter().zip(&self.demands) {
+            let terms: Vec<_> = vars.iter().copied().zip(row.iter().copied()).collect();
+            p.add_constraint(&terms, Relation::Ge, d);
+        }
+        p
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Differential oracle: on every random covering LP the f64 simplex
+    /// objective equals the exact-rational optimum (to f64 roundoff), and
+    /// the exact solution passes its four-condition optimality certificate.
+    #[test]
+    fn exact_oracle_agrees_with_f64_simplex(
+        n in 2usize..5,
+        m in 1usize..4,
+        seed_costs in proptest::collection::vec(1u32..=40, 4),
+        seed_rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..=16, 4), 3),
+        seed_demands in proptest::collection::vec(0u32..=40, 3),
+    ) {
+        let data = Covering::from_seeds(n, m, &seed_costs, &seed_rows, &seed_demands);
+        let p = data.build();
+        let f = p.solve().expect("covering LPs are feasible and bounded");
+        let e = solve_exact(&p).expect("exact oracle solves every covering LP");
+        prop_assert!(
+            e.certificate.optimal(),
+            "certificate failed: {:?}", e.certificate
+        );
+        let exact = e.objective.to_f64();
+        prop_assert!(
+            close(f.objective, exact),
+            "f64 {} disagrees with certified exact optimum {}", f.objective, exact
+        );
+        // Primal values must be nonnegative in ℚ, not merely within epsilon.
+        prop_assert!(e.values.iter().all(|v| !v.is_negative()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Metamorphic: relabeling the variables (a cyclic rotation of the
+    /// columns) never changes the optimum.
+    #[test]
+    fn variable_permutation_preserves_the_optimum(
+        n in 2usize..5,
+        m in 1usize..4,
+        rot in 1usize..4,
+        seed_costs in proptest::collection::vec(1u32..=40, 4),
+        seed_rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..=16, 4), 3),
+        seed_demands in proptest::collection::vec(0u32..=40, 3),
+    ) {
+        let data = Covering::from_seeds(n, m, &seed_costs, &seed_rows, &seed_demands);
+        let base = data.build().solve().expect("base solves").objective;
+        let rotate = |v: &[f64]| -> Vec<f64> {
+            (0..v.len()).map(|i| v[(i + rot) % v.len()]).collect()
+        };
+        let permuted = Covering {
+            costs: rotate(&data.costs),
+            rows: data.rows.iter().map(|r| rotate(r)).collect(),
+            demands: data.demands.clone(),
+        };
+        let z = permuted.build().solve().expect("permuted solves").objective;
+        prop_assert!(close(base, z), "rot {}: {} vs {}", rot, base, z);
+    }
+
+    /// Metamorphic: scaling one constraint row and its demand by the same
+    /// positive factor describes the identical halfspace, so the optimum
+    /// is untouched.
+    #[test]
+    fn positive_row_scaling_preserves_the_optimum(
+        n in 2usize..5,
+        m in 1usize..4,
+        which in 0usize..3,
+        scale_q in 1u32..=12,
+        seed_costs in proptest::collection::vec(1u32..=40, 4),
+        seed_rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..=16, 4), 3),
+        seed_demands in proptest::collection::vec(0u32..=40, 3),
+    ) {
+        let mut data = Covering::from_seeds(n, m, &seed_costs, &seed_rows, &seed_demands);
+        let base = data.build().solve().expect("base solves").objective;
+        let s = scale_q as f64 / 4.0;
+        let row = which % m;
+        for a in &mut data.rows[row] {
+            *a *= s;
+        }
+        data.demands[row] *= s;
+        let z = data.build().solve().expect("scaled solves").objective;
+        prop_assert!(close(base, z), "scale {}: {} vs {}", s, base, z);
+    }
+
+    /// Metamorphic: adjoining a *dominated* column — costlier than an
+    /// existing variable while covering no more in any row — can never be
+    /// part of an optimal basis, so the optimum is unchanged.
+    #[test]
+    fn dominated_column_never_changes_the_optimum(
+        n in 2usize..5,
+        m in 1usize..4,
+        dom in 0usize..4,
+        seed_costs in proptest::collection::vec(1u32..=40, 4),
+        seed_rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..=16, 4), 3),
+        seed_demands in proptest::collection::vec(0u32..=40, 3),
+    ) {
+        let mut data = Covering::from_seeds(n, m, &seed_costs, &seed_rows, &seed_demands);
+        let base = data.build().solve().expect("base solves").objective;
+        let k = dom % n;
+        // Twice the cost of column k, half its coverage per row.
+        data.costs.push(data.costs[k] * 2.0);
+        for row in &mut data.rows {
+            let half = row[k] / 2.0;
+            row.push(half);
+        }
+        let z = data.build().solve().expect("augmented solves").objective;
+        prop_assert!(close(base, z), "dominated col vs x{}: {} vs {}", k, base, z);
+    }
+}

@@ -150,6 +150,30 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(u8, u16, u32, u64, usize);
 
+// Signed ranges go through i128 so the width computation cannot overflow
+// (e.g. `i64::MIN..i64::MAX` has width 2⁶⁴ − 1, which only fits unsigned).
+macro_rules! signed_int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let width =
+                    ((*self.end() as i128 - *self.start() as i128) as u64).wrapping_add(1);
+                (*self.start() as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )+};
+}
+
+signed_int_range_strategy!(i8, i16, i32, i64, isize);
+
 impl Strategy for Range<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut TestRng) -> f64 {
@@ -368,6 +392,22 @@ mod tests {
             let c = (0.25f64..0.75).generate(&mut rng);
             assert!((0.25..0.75).contains(&c));
         }
+    }
+
+    #[test]
+    fn signed_ranges_respect_bounds() {
+        let mut rng = TestRng::new(13);
+        let mut saw_negative = false;
+        for _ in 0..1_000 {
+            let a = (-7i32..9).generate(&mut rng);
+            assert!((-7..9).contains(&a));
+            saw_negative |= a < 0;
+            let b = (-5i64..=-2).generate(&mut rng);
+            assert!((-5..=-2).contains(&b));
+            let c = (i8::MIN..=i8::MAX).generate(&mut rng);
+            let _ = c; // full inclusive range must not panic
+        }
+        assert!(saw_negative, "negative half of the range never drawn");
     }
 
     #[test]

@@ -105,6 +105,7 @@ fn main() {
         campaigns,
         seed: cli.seed,
         threads: thread_count(),
+        chunk_size: 4,
     };
     let campaign = CampaignConfig::new(
         AdversaryModel::AssignmentFraction { p },

@@ -19,15 +19,20 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Worker threads (0 = auto).
     pub threads: usize,
+    /// Campaigns per deterministic chunk (seed granularity); must be
+    /// positive.  Campaigns are heavyweight trials, so the default of 4 is
+    /// far below [`TrialConfig::new`]'s 256.
+    pub chunk_size: u64,
 }
 
 impl ExperimentConfig {
-    /// `campaigns` campaigns from `seed`, auto threads.
+    /// `campaigns` campaigns from `seed`, auto threads, chunks of 4.
     pub fn new(campaigns: u64, seed: u64) -> Self {
         ExperimentConfig {
             campaigns,
             seed,
             threads: 0,
+            chunk_size: 4,
         }
     }
 }
@@ -95,7 +100,7 @@ pub fn detection_experiment_with(
     let tasks: Vec<TaskSpec> = expand_plan(plan);
     let trial_cfg = TrialConfig {
         trials: config.campaigns,
-        chunk_size: 4,
+        chunk_size: config.chunk_size,
         threads: config.threads,
         seed: config.seed,
     };
@@ -125,7 +130,7 @@ pub fn faulty_detection_experiment(
     let tasks: Vec<TaskSpec> = expand_plan(plan);
     let trial_cfg = TrialConfig {
         trials: config.campaigns,
-        chunk_size: 4,
+        chunk_size: config.chunk_size,
         threads: config.threads,
         seed: config.seed,
     };
@@ -173,7 +178,7 @@ pub fn sampled_detection_experiment(
     let table = AliasTable::new(&weights).expect("plan has tasks");
     let trial_cfg = TrialConfig {
         trials: config.campaigns,
-        chunk_size: 4,
+        chunk_size: config.chunk_size,
         threads: config.threads,
         seed: config.seed,
     };
@@ -225,6 +230,7 @@ mod tests {
                 campaigns: 12,
                 seed: 7,
                 threads,
+                chunk_size: 4,
             };
             detection_experiment(
                 &plan,
@@ -325,6 +331,7 @@ mod tests {
                 campaigns: 12,
                 seed: 7,
                 threads,
+                chunk_size: 4,
             };
             faulty_detection_experiment(&plan, &campaign, &faults, &cfg).outcome
         };

@@ -35,10 +35,11 @@ pub mod table;
 
 pub use estimate::{Histogram, Proportion, RunningMoments};
 pub use gof::{chi_square_test, regularized_gamma_q, ChiSquare};
+pub use parallel::{run_trials, InvalidTrialConfig, TrialConfig};
 pub use quantile::P2Quantile;
 pub use rng::{DeterministicRng, SeedSequence};
 pub use samplers::{
     sample_binomial, sample_geometric, sample_hypergeometric, sample_poisson,
     sample_zero_truncated_poisson, AliasTable,
 };
-pub use special::{binomial, ln_binomial, ln_factorial};
+pub use special::{binomial, binomial_pmf, hypergeometric_pmf, ln_binomial, ln_factorial};

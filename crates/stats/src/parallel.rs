@@ -8,7 +8,28 @@
 //! order-insensitive `merge`.
 
 use crate::rng::{DeterministicRng, SeedSequence};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`TrialConfig`] field that cannot be run as configured.
+///
+/// Returned by [`TrialConfig::validate`] so CLI layers can reject bad
+/// configurations with a proper exit code instead of panicking mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidTrialConfig {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// Why the value is unusable.
+    pub message: &'static str,
+}
+
+impl fmt::Display for InvalidTrialConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trial config: {} {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for InvalidTrialConfig {}
 
 /// Configuration for [`run_trials`].
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +54,21 @@ impl TrialConfig {
             threads: 0,
             seed,
         }
+    }
+
+    /// Check that the configuration can actually be run.
+    ///
+    /// [`run_trials`] only `debug_assert`s these invariants; callers whose
+    /// parameters come from user input (the CLI flag `--chunk-size`) should
+    /// validate first and surface the error with a proper exit code.
+    pub fn validate(&self) -> Result<(), InvalidTrialConfig> {
+        if self.chunk_size == 0 {
+            return Err(InvalidTrialConfig {
+                field: "chunk_size",
+                message: "must be positive (each deterministic chunk needs at least one trial)",
+            });
+        }
+        Ok(())
     }
 
     fn effective_threads(&self) -> usize {
@@ -69,7 +105,9 @@ where
     F: Fn(&mut DeterministicRng, u64, &mut A) + Sync,
     M: Fn(&mut A, A),
 {
-    assert!(config.chunk_size > 0, "chunk_size must be positive");
+    // Debug backstop only: validated configs should never reach here bad,
+    // and CLI-facing callers go through `TrialConfig::validate` first.
+    debug_assert!(config.chunk_size > 0, "chunk_size must be positive");
     let n_chunks = config.trials.div_ceil(config.chunk_size);
     let seq = SeedSequence::new(config.seed);
     let next_chunk = AtomicU64::new(0);
@@ -203,5 +241,15 @@ mod tests {
             seed: 0,
         };
         let _: Proportion = run_trials(&cfg, |_r, _i, _a: &mut Proportion| {}, |a, b| a.merge(&b));
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let mut cfg = TrialConfig::new(10, 0);
+        assert!(cfg.validate().is_ok());
+        cfg.chunk_size = 0;
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.field, "chunk_size");
+        assert!(err.to_string().contains("chunk_size"));
     }
 }

@@ -132,6 +132,48 @@ pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
     (-lambda + k as f64 * lambda.ln() - ln_factorial(k)).exp()
 }
 
+/// Binomial probability mass `C(n, k) p^k (1−p)^{n−k}`, computed in log
+/// space for stability at large `n`.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]`.
+pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    if k > n {
+        return 0.0;
+    }
+    // Degenerate edges exactly: log space would evaluate `0 · ln 0`.
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_binomial(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Hypergeometric probability mass `C(K, k)·C(N−K, n−k) / C(N, n)` for
+/// drawing `draws` items without replacement from a population of `total`
+/// containing `successes` marked ones.
+///
+/// Returns 0 outside the support
+/// `max(0, draws − (total − successes)) ≤ k ≤ min(successes, draws)`.
+///
+/// # Panics
+/// Panics if `successes` or `draws` exceeds `total`.
+pub fn hypergeometric_pmf(total: u64, successes: u64, draws: u64, k: u64) -> f64 {
+    assert!(
+        successes <= total && draws <= total,
+        "successes ({successes}) and draws ({draws}) must not exceed the population ({total})"
+    );
+    if k > successes || k > draws || draws - k > total - successes {
+        return 0.0;
+    }
+    (ln_binomial(successes, k) + ln_binomial(total - successes, draws - k)
+        - ln_binomial(total, draws))
+    .exp()
+}
+
 /// Zero-truncated Poisson mass `λ^k / (k! (e^λ − 1))` for `k ≥ 1`.
 ///
 /// This is exactly the shape of the paper's Balanced distribution
@@ -211,6 +253,61 @@ mod tests {
         assert_eq!(factorial_u64(0), Some(1));
         assert_eq!(factorial_u64(20), Some(2432902008176640000));
         assert_eq!(factorial_u64(21), None);
+    }
+
+    #[test]
+    fn binomial_pmf_reference_and_boundaries() {
+        // Bin(4, 1/2) masses are 1/16, 4/16, 6/16, 4/16, 1/16.
+        for (k, expect) in [(0, 1.0), (1, 4.0), (2, 6.0), (3, 4.0), (4, 1.0)] {
+            assert!(
+                (binomial_pmf(4, 0.5, k) - expect / 16.0).abs() < 1e-14,
+                "k={k}"
+            );
+        }
+        assert_eq!(binomial_pmf(4, 0.5, 5), 0.0);
+        // Degenerate p is a point mass, not NaN.
+        assert_eq!(binomial_pmf(9, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(9, 0.0, 1), 0.0);
+        assert_eq!(binomial_pmf(9, 1.0, 9), 1.0);
+        assert_eq!(binomial_pmf(9, 1.0, 8), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for (n, p) in [(1u64, 0.3), (17, 0.05), (40, 0.5), (80, 0.99)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "n={n} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn hypergeometric_pmf_reference_and_support() {
+        // Drawing 2 from {3 marked, 2 plain}: P(k marked) = C(3,k)C(2,2−k)/C(5,2).
+        for (k, expect) in [(0u64, 1.0 / 10.0), (1, 6.0 / 10.0), (2, 3.0 / 10.0)] {
+            assert!(
+                (hypergeometric_pmf(5, 3, 2, k) - expect).abs() < 1e-14,
+                "k={k}"
+            );
+        }
+        // Outside the support on either side.
+        assert_eq!(hypergeometric_pmf(5, 3, 2, 3), 0.0);
+        assert_eq!(hypergeometric_pmf(10, 8, 5, 2), 0.0); // needs ≥ 3 marked
+                                                          // Drawing the whole population takes every marked item.
+        assert_eq!(hypergeometric_pmf(7, 4, 7, 4), 1.0);
+        assert_eq!(hypergeometric_pmf(7, 4, 7, 3), 0.0);
+    }
+
+    #[test]
+    fn hypergeometric_pmf_sums_to_one() {
+        for (total, successes, draws) in [(10u64, 4u64, 3u64), (50, 25, 25), (200, 7, 180)] {
+            let sum: f64 = (0..=draws)
+                .map(|k| hypergeometric_pmf(total, successes, draws, k))
+                .sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-12,
+                "({total},{successes},{draws}): {sum}"
+            );
+        }
     }
 
     #[test]

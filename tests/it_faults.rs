@@ -64,6 +64,7 @@ fn faulty_results_identical_across_thread_counts() {
             campaigns: 16,
             seed: 99,
             threads,
+            chunk_size: 4,
         };
         faulty_detection_experiment(&plan, &campaign, &faults, &cfg).outcome
     };

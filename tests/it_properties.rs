@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use redundancy_core::{
-    bounds, Balanced, DetectionProfile, Distribution, GolleStubblebine, RealizedPlan, Scheme,
+    bounds, AssignmentMinimizing, Balanced, DetectionProfile, Distribution, GolleStubblebine,
+    RealizedPlan, Scheme,
 };
 use redundancy_integration::balanced_pkp;
 
@@ -121,6 +122,31 @@ proptest! {
         prop_assert!(rel < 1e-9);
         let sum: f64 = d.proportions().iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Metamorphic on the S_m LP: raising the detection threshold ε only
+    /// tightens every detection row, shrinking the feasible region, so the
+    /// minimized assignment count — the redundancy R(ε) — is nondecreasing
+    /// in ε.  The balanced closed form N·ln(1/(1−ε))/ε must agree.
+    #[test]
+    fn redundancy_is_monotone_in_epsilon(
+        n in 10_000u64..1_000_000,
+        eps_cent in 10u32..85,
+        bump in 1u32..=10,
+        dim in 2usize..7,
+    ) {
+        let lo = eps_cent as f64 / 100.0;
+        let hi = (eps_cent + bump) as f64 / 100.0;
+        let z_lo = AssignmentMinimizing::solve(n, lo, dim).unwrap().objective();
+        let z_hi = AssignmentMinimizing::solve(n, hi, dim).unwrap().objective();
+        prop_assert!(
+            z_hi >= z_lo - 1e-6 * z_lo,
+            "S_{} optimum fell from {} to {} as eps rose {} -> {}",
+            dim, z_lo, z_hi, lo, hi
+        );
+        let bal_lo = Balanced::new(n, lo).unwrap().total_assignments_exact();
+        let bal_hi = Balanced::new(n, hi).unwrap().total_assignments_exact();
+        prop_assert!(bal_hi >= bal_lo, "balanced: {} -> {}", bal_lo, bal_hi);
     }
 
     /// Detection probabilities are genuine probabilities for arbitrary

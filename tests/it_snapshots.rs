@@ -1,0 +1,36 @@
+//! Golden snapshots: every repro exhibit's stdout is pinned byte-for-byte.
+//!
+//! See `tests/src/snapshot.rs` for the harness and `docs/TESTING.md` for
+//! the update workflow.  One test per exhibit so failures name the drifted
+//! binary directly and the suite parallelizes across exhibits.
+
+use redundancy_integration::snapshot::check_exhibit;
+
+macro_rules! snapshot_tests {
+    ($($name:ident),+ $(,)?) => {$(
+        #[test]
+        fn $name() {
+            check_exhibit(stringify!($name));
+        }
+    )+};
+}
+
+snapshot_tests!(
+    fig1_detection_vs_p,
+    fig2_minimizing_table,
+    fig3_redundancy_factors,
+    fig4_assignment_table,
+    sec6_implementation,
+    sec7_extension,
+    theory_checks,
+    appendix_a_collusion,
+    empirical_detection,
+    ext_survival,
+    ext_faults,
+);
+
+/// The macro above must cover exactly the canonical exhibit list.
+#[test]
+fn all_exhibits_have_a_snapshot_test() {
+    assert_eq!(redundancy_integration::snapshot::EXHIBITS.len(), 11);
+}

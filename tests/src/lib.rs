@@ -1,5 +1,7 @@
 //! Shared helpers for the cross-crate integration tests.
 
+pub mod snapshot;
+
 /// Detection thresholds covering the paper's operating range.
 pub const EPSILONS: [f64; 4] = [0.25, 0.5, 0.75, 0.9];
 
