@@ -1,0 +1,125 @@
+//! Batched campaign kernel vs the frozen reference loop, the cached
+//! samplers vs the per-draw walks, and `run_trials` thread scaling.
+//!
+//! The acceptance bar for the batching work is the `campaign_kernel`
+//! group: `batched` must beat `reference` by ≥ 2x on the Fig. 1 fixture
+//! (Balanced plan, assignment-fraction adversary, cheat-on-everything).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use redundancy_core::RealizedPlan;
+use redundancy_sim::engine::{reference, run_campaign_with_scratch, CampaignScratch};
+use redundancy_sim::outcome::CampaignOutcome;
+use redundancy_sim::task::expand_plan;
+use redundancy_sim::{AdversaryModel, CampaignAccumulator, CampaignConfig, CheatStrategy};
+use redundancy_stats::samplers::{sample_binomial, sample_hypergeometric};
+use redundancy_stats::{
+    run_trials, BinomialCache, DeterministicRng, HypergeometricCache, TrialConfig,
+};
+
+/// The Fig. 1 empirical-detection fixture: Balanced plan, 10% adversary,
+/// naive cheat-on-everything strategy.
+fn fig1_config() -> CampaignConfig {
+    CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: 0.1 },
+        CheatStrategy::Always,
+    )
+}
+
+fn bench_campaign_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_kernel");
+    let cfg = fig1_config();
+    let n = 10_000u64;
+    let tasks = expand_plan(&RealizedPlan::balanced(n, 0.6).unwrap());
+    group.throughput(Throughput::Elements(tasks.len() as u64));
+    group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+        let mut rng = DeterministicRng::new(1);
+        b.iter(|| {
+            let mut out = CampaignOutcome::default();
+            reference::run_campaign(&tasks, &cfg, &mut rng, &mut out);
+            out.total_detected()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+        let mut rng = DeterministicRng::new(1);
+        let mut scratch = CampaignScratch::new();
+        b.iter(|| {
+            let mut out = CampaignOutcome::default();
+            run_campaign_with_scratch(&tasks, &cfg, &mut rng, &mut out, &mut scratch);
+            out.total_detected()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sampler_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_cache");
+    group.bench_function("binomial_walk_n12_p01", |b| {
+        let mut rng = DeterministicRng::new(2);
+        b.iter(|| sample_binomial(&mut rng, 12, 0.1))
+    });
+    group.bench_function("binomial_cached_n12_p01", |b| {
+        let mut rng = DeterministicRng::new(2);
+        let mut cache = BinomialCache::default();
+        let id = cache.prepare(12, 0.1);
+        b.iter(|| cache.sample_prepared(id, &mut rng))
+    });
+    group.bench_function("hypergeometric_walk_20k_2k_12", |b| {
+        let mut rng = DeterministicRng::new(3);
+        b.iter(|| sample_hypergeometric(&mut rng, 20_000, 2_000, 12))
+    });
+    group.bench_function("hypergeometric_cached_20k_2k_12", |b| {
+        let mut rng = DeterministicRng::new(3);
+        let mut cache = HypergeometricCache::default();
+        let id = cache.prepare(20_000, 2_000, 12);
+        b.iter(|| cache.sample_prepared(id, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_run_trials_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_trials_scaling");
+    group.sample_size(10);
+    let cfg = fig1_config();
+    let tasks = expand_plan(&RealizedPlan::balanced(2_000, 0.6).unwrap());
+    let campaigns = 64u64;
+    group.throughput(Throughput::Elements(campaigns * tasks.len() as u64));
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("campaigns64", threads),
+            &threads,
+            |b, &threads| {
+                let trial_cfg = TrialConfig {
+                    trials: campaigns,
+                    chunk_size: 4,
+                    threads,
+                    seed: 9,
+                };
+                b.iter(|| {
+                    let acc: CampaignAccumulator = run_trials(
+                        &trial_cfg,
+                        |rng, _i, acc: &mut CampaignAccumulator| {
+                            run_campaign_with_scratch(
+                                &tasks,
+                                &cfg,
+                                rng,
+                                &mut acc.outcome,
+                                &mut acc.scratch,
+                            )
+                        },
+                        |a, b| a.merge(b),
+                    );
+                    acc.outcome.total_detected()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_campaign_kernel,
+    bench_sampler_cache,
+    bench_run_trials_scaling
+);
+criterion_main!(benches);

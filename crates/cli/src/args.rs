@@ -147,6 +147,17 @@ pub enum Command {
         /// Certify `S_m` for every m from 2 to this dimension.
         max_dim: usize,
     },
+    /// `redundancy bench`
+    Bench {
+        /// Shrink fixture sizes and repetitions for CI smoke runs.
+        smoke: bool,
+        /// RNG seed shared by every randomized fixture.
+        seed: u64,
+        /// Where the BENCH JSON report is written.
+        out: String,
+        /// Optional baseline report to gate regressions against.
+        baseline: Option<String>,
+    },
     /// `redundancy help [command]`
     Help {
         /// Command to describe, if any.
@@ -223,7 +234,7 @@ fn collect_flags(argv: &[String]) -> Result<HashMap<String, String>, ArgError> {
             return Err(ArgError::UnknownCommand(key.clone()));
         }
         // Boolean flags take no value.
-        if key == "--min-precompute" {
+        if key == "--min-precompute" || key == "--smoke" {
             flags.insert(key.clone(), "true".into());
             i += 1;
             continue;
@@ -562,6 +573,17 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 max_dim: f.or_default("--max-dim", "an integer ≥ 2", 10)?,
             })
         }
+        "bench" => {
+            let f = FlagSet::new(rest, "bench", &["--smoke", "--seed", "--out", "--baseline"])?;
+            Ok(Command::Bench {
+                smoke: f.flags.contains_key("--smoke"),
+                seed: f.or_default("--seed", "a 64-bit integer", 20_050_926)?,
+                out: f
+                    .optional("--out", "a file path")?
+                    .unwrap_or_else(|| "BENCH_report.json".into()),
+                baseline: f.optional("--baseline", "a file path")?,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help {
             topic: rest.first().cloned(),
         }),
@@ -875,6 +897,43 @@ mod tests {
         assert!(matches!(
             parse_args(&argv(&["certify", "--epsilon", "2.0"])),
             Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn bench_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&argv(&["bench"])).unwrap(),
+            Command::Bench {
+                smoke: false,
+                seed: 20_050_926,
+                out: "BENCH_report.json".into(),
+                baseline: None,
+            }
+        );
+        let cmd = parse_args(&argv(&[
+            "bench",
+            "--smoke",
+            "--seed",
+            "7",
+            "--out",
+            "r.json",
+            "--baseline",
+            "BENCH_baseline.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                smoke: true,
+                seed: 7,
+                out: "r.json".into(),
+                baseline: Some("BENCH_baseline.json".into()),
+            }
+        );
+        assert!(matches!(
+            parse_args(&argv(&["bench", "--iterations", "3"])),
+            Err(ArgError::UnknownFlag { .. })
         ));
     }
 

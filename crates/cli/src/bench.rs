@@ -1,0 +1,573 @@
+//! The `redundancy bench` subcommand: pinned performance fixtures with a
+//! machine-readable report and a regression gate.
+//!
+//! Unlike the criterion benches (which explore), this command *pins*: a
+//! fixed set of fixtures — the batched campaign kernel against its frozen
+//! reference, the cached samplers against the per-draw walks, `run_trials`
+//! thread scaling, and an LP sweep — each run `reps` times with the median
+//! wall time reported.  The result is written as `redundancy-bench/v1`
+//! JSON so CI can archive it and compare runs; `--baseline` fails the
+//! command (exit 2) when any fixture's median regresses beyond 2x.
+//!
+//! Every fixture returns a checksum folded from its outputs, both to keep
+//! the optimizer honest and to make silent semantic drift visible when two
+//! reports disagree on anything but time.
+
+use crate::commands::CliError;
+use redundancy_core::{AssignmentMinimizing, RealizedPlan};
+use redundancy_json::{num_u64, obj, Json};
+use redundancy_sim::engine::reference;
+use redundancy_sim::outcome::CampaignOutcome;
+use redundancy_sim::task::expand_plan;
+use redundancy_sim::{
+    run_campaign_with_scratch, AdversaryModel, CampaignAccumulator, CampaignConfig,
+    CampaignScratch, CheatStrategy,
+};
+use redundancy_stats::table::{fnum, inum, Table};
+use redundancy_stats::{run_trials, sample_binomial, BinomialCache, DeterministicRng, TrialConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Regression gate: a fixture fails when its median exceeds this multiple
+/// of the baseline median.  Generous on purpose — CI machines are noisy,
+/// and the gate is for order-of-magnitude regressions, not jitter.
+const GATE_FACTOR: f64 = 2.0;
+
+/// One measured fixture in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Stable fixture name (the regression gate joins on it).
+    pub name: String,
+    /// Repetitions measured.
+    pub reps: u64,
+    /// Median wall time of one repetition, in nanoseconds.
+    pub median_ns: u64,
+    /// Tasks (or draws / solves) processed per second at the median.
+    pub tasks_per_sec: f64,
+    /// Assignments processed per second at the median (0 where the
+    /// fixture has no assignment notion).
+    pub assignments_per_sec: f64,
+    /// Wrapping fold of the fixture's outputs — equal across runs on the
+    /// same seed, so reports also double as a determinism check.
+    pub checksum: u64,
+}
+
+/// Fixture sizes for one mode.
+struct Sizes {
+    campaign_tasks: u64,
+    campaign_reps: u64,
+    sampler_draws: u64,
+    sampler_reps: u64,
+    trials_tasks: u64,
+    trials_campaigns: u64,
+    trials_reps: u64,
+    lp_max_dim: usize,
+    lp_reps: u64,
+}
+
+impl Sizes {
+    fn for_mode(smoke: bool) -> Sizes {
+        if smoke {
+            Sizes {
+                campaign_tasks: 2_000,
+                campaign_reps: 11,
+                sampler_draws: 20_000,
+                sampler_reps: 11,
+                trials_tasks: 500,
+                trials_campaigns: 16,
+                trials_reps: 5,
+                lp_max_dim: 8,
+                lp_reps: 5,
+            }
+        } else {
+            Sizes {
+                campaign_tasks: 10_000,
+                campaign_reps: 51,
+                sampler_draws: 200_000,
+                sampler_reps: 21,
+                trials_tasks: 2_000,
+                trials_campaigns: 64,
+                trials_reps: 11,
+                lp_max_dim: 16,
+                lp_reps: 11,
+            }
+        }
+    }
+}
+
+/// Run `f` `reps` times; return the median wall time and the folded
+/// checksum of its outputs.
+fn measure<F: FnMut() -> u64>(reps: u64, mut f: F) -> (u64, u64) {
+    let mut times = Vec::with_capacity(reps as usize);
+    let mut checksum = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        times.push(start.elapsed().as_nanos() as u64);
+        checksum = checksum.wrapping_add(out);
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], checksum)
+}
+
+fn record(
+    name: &str,
+    reps: u64,
+    tasks_per_iter: u64,
+    assignments_per_iter: u64,
+    measured: (u64, u64),
+) -> BenchRecord {
+    let (median_ns, checksum) = measured;
+    let per_sec = |elems: u64| {
+        if median_ns == 0 {
+            0.0
+        } else {
+            elems as f64 * 1e9 / median_ns as f64
+        }
+    };
+    BenchRecord {
+        name: name.into(),
+        reps,
+        median_ns,
+        tasks_per_sec: per_sec(tasks_per_iter),
+        assignments_per_sec: per_sec(assignments_per_iter),
+        checksum,
+    }
+}
+
+/// The Fig. 1 empirical-detection setting: 10% assignment-fraction
+/// adversary cheating on everything.
+fn fig1_config() -> CampaignConfig {
+    CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: 0.1 },
+        CheatStrategy::Always,
+    )
+}
+
+/// Run every fixture and collect the report rows.
+fn run_fixtures(smoke: bool, seed: u64) -> Result<Vec<BenchRecord>, CliError> {
+    let sizes = Sizes::for_mode(smoke);
+    let cfg = fig1_config();
+    let mut records = Vec::new();
+
+    // Campaign kernel: the batched engine and its frozen per-task
+    // reference over the same plan — the pair the ≥2x claim rests on.
+    let plan = RealizedPlan::balanced(sizes.campaign_tasks, 0.6).map_err(CliError::Core)?;
+    let tasks = expand_plan(&plan);
+    let assignments = plan.total_assignments();
+    {
+        let mut rng = DeterministicRng::new(seed);
+        let mut scratch = CampaignScratch::new();
+        records.push(record(
+            "campaign_batched",
+            sizes.campaign_reps,
+            sizes.campaign_tasks,
+            assignments,
+            measure(sizes.campaign_reps, || {
+                let mut out = CampaignOutcome::default();
+                run_campaign_with_scratch(&tasks, &cfg, &mut rng, &mut out, &mut scratch);
+                out.total_detected()
+            }),
+        ));
+    }
+    {
+        let mut rng = DeterministicRng::new(seed);
+        records.push(record(
+            "campaign_reference",
+            sizes.campaign_reps,
+            sizes.campaign_tasks,
+            assignments,
+            measure(sizes.campaign_reps, || {
+                let mut out = CampaignOutcome::default();
+                reference::run_campaign(&tasks, &cfg, &mut rng, &mut out);
+                out.total_detected()
+            }),
+        ));
+    }
+
+    // Sampler microbenches: the cached inversion table against the
+    // per-draw CDF walk on the hot (n, p) of the Fig. 1 plan head.
+    {
+        let mut rng = DeterministicRng::new(seed);
+        let mut cache = BinomialCache::default();
+        let id = cache.prepare(12, 0.1);
+        records.push(record(
+            "sampler_binomial_cached",
+            sizes.sampler_reps,
+            sizes.sampler_draws,
+            0,
+            measure(sizes.sampler_reps, || {
+                let mut acc = 0u64;
+                for _ in 0..sizes.sampler_draws {
+                    acc = acc.wrapping_add(cache.sample_prepared(id, &mut rng));
+                }
+                acc
+            }),
+        ));
+    }
+    {
+        let mut rng = DeterministicRng::new(seed);
+        records.push(record(
+            "sampler_binomial_walk",
+            sizes.sampler_reps,
+            sizes.sampler_draws,
+            0,
+            measure(sizes.sampler_reps, || {
+                let mut acc = 0u64;
+                for _ in 0..sizes.sampler_draws {
+                    acc = acc.wrapping_add(sample_binomial(&mut rng, 12, 0.1));
+                }
+                acc
+            }),
+        ));
+    }
+
+    // Monte-Carlo driver scaling: identical work at 1, 2, and 4 threads
+    // (the outcome is thread-count invariant, so the checksums agree).
+    let trials_plan = RealizedPlan::balanced(sizes.trials_tasks, 0.6).map_err(CliError::Core)?;
+    let trials_tasks = expand_plan(&trials_plan);
+    let trials_assignments = trials_plan.total_assignments() * sizes.trials_campaigns;
+    for threads in [1usize, 2, 4] {
+        let trial_cfg = TrialConfig {
+            trials: sizes.trials_campaigns,
+            chunk_size: 4,
+            threads,
+            seed,
+        };
+        records.push(record(
+            &format!("run_trials_t{threads}"),
+            sizes.trials_reps,
+            sizes.trials_tasks * sizes.trials_campaigns,
+            trials_assignments,
+            measure(sizes.trials_reps, || {
+                let acc: CampaignAccumulator = run_trials(
+                    &trial_cfg,
+                    |rng, _i, acc: &mut CampaignAccumulator| {
+                        run_campaign_with_scratch(
+                            &trials_tasks,
+                            &cfg,
+                            rng,
+                            &mut acc.outcome,
+                            &mut acc.scratch,
+                        )
+                    },
+                    |a, b| a.merge(b),
+                );
+                acc.outcome.total_detected()
+            }),
+        ));
+    }
+
+    // LP sweep: solve every S_m up to the mode's dimension cap.
+    {
+        let max_dim = sizes.lp_max_dim;
+        records.push(record(
+            "lp_sweep",
+            sizes.lp_reps,
+            (max_dim - 1) as u64,
+            0,
+            measure(sizes.lp_reps, || {
+                let mut acc = 0u64;
+                for dim in 2..=max_dim {
+                    let sol = AssignmentMinimizing::solve(100_000, 0.5, dim)
+                        .expect("pinned S_m fixture solves");
+                    acc = acc.wrapping_add(sol.objective().to_bits());
+                }
+                acc
+            }),
+        ));
+    }
+
+    Ok(records)
+}
+
+fn report_json(smoke: bool, seed: u64, records: &[BenchRecord]) -> Json {
+    obj(vec![
+        ("schema", Json::Str("redundancy-bench/v1".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("seed", num_u64(seed)),
+        (
+            "benches",
+            Json::Arr(
+                records
+                    .iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("name", Json::Str(r.name.clone())),
+                            ("reps", num_u64(r.reps)),
+                            ("median_ns", num_u64(r.median_ns)),
+                            ("tasks_per_sec", Json::Num(r.tasks_per_sec)),
+                            ("assignments_per_sec", Json::Num(r.assignments_per_sec)),
+                            // Hex string: JSON numbers are f64 and cannot
+                            // hold a full u64 exactly.
+                            ("checksum", Json::Str(format!("{:016x}", r.checksum))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Compare a fresh report against a baseline document, returning the list
+/// of fixtures whose median regressed beyond [`GATE_FACTOR`].
+///
+/// Fixtures present on only one side are ignored (benches may be added or
+/// retired), but a smoke report can only be gated against a smoke
+/// baseline — the sizes differ, so cross-mode medians are meaningless.
+fn regressions(
+    records: &[BenchRecord],
+    smoke: bool,
+    baseline: &Json,
+) -> Result<Vec<String>, CliError> {
+    let schema = baseline
+        .field_str("schema")
+        .map_err(|e| CliError::Invalid(format!("baseline: {e}")))?;
+    if schema != "redundancy-bench/v1" {
+        return Err(CliError::Invalid(format!(
+            "baseline: unsupported schema `{schema}`"
+        )));
+    }
+    let base_smoke = baseline
+        .field("smoke")
+        .ok()
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if base_smoke != smoke {
+        return Err(CliError::Invalid(format!(
+            "baseline was recorded in {} mode but this run is {} mode; \
+             regenerate the baseline with matching flags",
+            if base_smoke { "smoke" } else { "full" },
+            if smoke { "smoke" } else { "full" },
+        )));
+    }
+    let benches = baseline
+        .field_arr("benches")
+        .map_err(|e| CliError::Invalid(format!("baseline: {e}")))?;
+    let mut failures = Vec::new();
+    for entry in benches {
+        let name = entry
+            .field_str("name")
+            .map_err(|e| CliError::Invalid(format!("baseline: {e}")))?;
+        let base_ns = entry
+            .field_u64("median_ns")
+            .map_err(|e| CliError::Invalid(format!("baseline: {e}")))?;
+        let Some(fresh) = records.iter().find(|r| r.name == name) else {
+            continue;
+        };
+        if base_ns > 0 && fresh.median_ns as f64 > GATE_FACTOR * base_ns as f64 {
+            failures.push(format!(
+                "{name}: {} ns/iter vs baseline {} ns/iter ({:.2}x > {GATE_FACTOR}x)",
+                inum(fresh.median_ns),
+                inum(base_ns),
+                fresh.median_ns as f64 / base_ns as f64
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+/// Run the benchmark suite, write the JSON report, and gate against the
+/// baseline if one was given.
+pub fn bench(
+    smoke: bool,
+    seed: u64,
+    out: &str,
+    baseline: Option<&str>,
+) -> Result<String, CliError> {
+    let records = run_fixtures(smoke, seed)?;
+    let body = redundancy_json::to_string_pretty(&report_json(smoke, seed, &records));
+    std::fs::write(out, &body).map_err(|e| CliError::Io(e.to_string()))?;
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "bench: {} mode, seed {seed}",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut table = Table::new(&["fixture", "reps", "median ns/iter", "tasks/s", "assign/s"]);
+    table.numeric();
+    for r in &records {
+        table.row(&[
+            &r.name,
+            &r.reps.to_string(),
+            &inum(r.median_ns),
+            &fnum(r.tasks_per_sec / 1e6, 1),
+            &fnum(r.assignments_per_sec / 1e6, 1),
+        ]);
+    }
+    text.push_str(&table.render());
+    let _ = writeln!(text, "(throughput columns are in millions per second)");
+    let _ = writeln!(text, "[report written to {out}]");
+
+    if let Some(path) = baseline {
+        let doc = std::fs::read_to_string(path).map_err(|e| CliError::Io(e.to_string()))?;
+        let parsed = redundancy_json::parse(&doc)
+            .map_err(|e| CliError::Invalid(format!("baseline `{path}`: {e}")))?;
+        let failures = regressions(&records, smoke, &parsed)?;
+        if failures.is_empty() {
+            let _ = writeln!(
+                text,
+                "baseline gate: ok (no fixture beyond {GATE_FACTOR}x of {path})"
+            );
+        } else {
+            return Err(CliError::Invalid(format!(
+                "benchmark regression vs {path}:\n  {}",
+                failures.join("\n  ")
+            )));
+        }
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_records() -> Vec<BenchRecord> {
+        vec![BenchRecord {
+            name: "campaign_batched".into(),
+            reps: 3,
+            median_ns: 1_000,
+            tasks_per_sec: 1e6,
+            assignments_per_sec: 2e6,
+            checksum: 42,
+        }]
+    }
+
+    #[test]
+    fn report_schema_fields() {
+        let json = report_json(true, 7, &tiny_records());
+        assert_eq!(json.field_str("schema").unwrap(), "redundancy-bench/v1");
+        assert_eq!(json.field("smoke").unwrap().as_bool(), Some(true));
+        assert_eq!(json.field_u64("seed").unwrap(), 7);
+        let benches = json.field_arr("benches").unwrap();
+        assert_eq!(benches.len(), 1);
+        assert_eq!(benches[0].field_str("name").unwrap(), "campaign_batched");
+        assert_eq!(benches[0].field_u64("median_ns").unwrap(), 1_000);
+        // The document round-trips through the parser.
+        let text = redundancy_json::to_string_pretty(&json);
+        assert_eq!(redundancy_json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn gate_passes_within_factor_and_fails_beyond() {
+        let records = tiny_records();
+        let fine = report_json(
+            true,
+            7,
+            &[BenchRecord {
+                median_ns: 600,
+                ..records[0].clone()
+            }],
+        );
+        assert!(regressions(&records, true, &fine).unwrap().is_empty());
+        let regressed = report_json(
+            true,
+            7,
+            &[BenchRecord {
+                median_ns: 400,
+                ..records[0].clone()
+            }],
+        );
+        let failures = regressions(&records, true, &regressed).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("campaign_batched"), "{failures:?}");
+    }
+
+    #[test]
+    fn gate_ignores_unmatched_fixtures() {
+        let baseline = report_json(
+            true,
+            7,
+            &[BenchRecord {
+                name: "retired_fixture".into(),
+                reps: 3,
+                median_ns: 1,
+                tasks_per_sec: 0.0,
+                assignments_per_sec: 0.0,
+                checksum: 0,
+            }],
+        );
+        assert!(regressions(&tiny_records(), true, &baseline)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn gate_refuses_mode_mismatch_and_bad_schema() {
+        let records = tiny_records();
+        let full_baseline = report_json(false, 7, &records);
+        let err = regressions(&records, true, &full_baseline).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Invalid(m) if m.contains("smoke")),
+            "{err:?}"
+        );
+        let bad = obj(vec![("schema", Json::Str("other/v9".into()))]);
+        assert!(regressions(&records, true, &bad).is_err());
+    }
+
+    #[test]
+    fn measure_reports_median_and_checksum() {
+        let mut calls = 0u64;
+        let (median, checksum) = measure(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(checksum, 1 + 2 + 3 + 4 + 5);
+        // Median of five timings exists even if the clock is coarse.
+        let _ = median;
+    }
+
+    #[test]
+    fn smoke_bench_writes_valid_report() {
+        let path = std::env::temp_dir().join("cli_bench_smoke_test.json");
+        let p = path.to_string_lossy().into_owned();
+        let text = bench(true, 7, &p, None).unwrap();
+        assert!(text.contains("campaign_batched"), "{text}");
+        assert!(text.contains("report written"), "{text}");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let json = redundancy_json::parse(&doc).unwrap();
+        assert_eq!(json.field_str("schema").unwrap(), "redundancy-bench/v1");
+        let benches = json.field_arr("benches").unwrap();
+        let names: Vec<&str> = benches
+            .iter()
+            .map(|b| b.field_str("name").unwrap())
+            .collect();
+        for expected in [
+            "campaign_batched",
+            "campaign_reference",
+            "sampler_binomial_cached",
+            "sampler_binomial_walk",
+            "run_trials_t1",
+            "run_trials_t2",
+            "run_trials_t4",
+            "lp_sweep",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        for b in benches {
+            assert!(b.field_u64("median_ns").unwrap() > 0, "{b:?}");
+            assert!(b.field_f64("tasks_per_sec").unwrap() > 0.0, "{b:?}");
+            let _ = b.field_f64("assignments_per_sec").unwrap();
+            assert_eq!(b.field_str("checksum").unwrap().len(), 16, "{b:?}");
+        }
+        // Gating a report against itself always passes.
+        let text2 = bench(true, 7, &p, Some(&p)).unwrap();
+        assert!(text2.contains("baseline gate: ok"), "{text2}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bench_checksums_are_deterministic_for_a_seed() {
+        let a = run_fixtures(true, 11).unwrap();
+        let b = run_fixtures(true, 11).unwrap();
+        let sums = |rs: &[BenchRecord]| {
+            rs.iter()
+                .map(|r| (r.name.clone(), r.checksum))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sums(&a), sums(&b));
+    }
+}

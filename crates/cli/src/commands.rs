@@ -171,6 +171,12 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             epsilon,
             max_dim,
         } => certify(*tasks, *epsilon, *max_dim),
+        Command::Bench {
+            smoke,
+            seed,
+            out,
+            baseline,
+        } => crate::bench::bench(*smoke, *seed, out, baseline.as_deref()),
     }
 }
 
@@ -251,6 +257,18 @@ checks the four optimality conditions (primal and dual feasibility,
 complementary slackness, strong duality) in \u{211a}, then cross-checks the
 certified optimum against the f64 simplex.  Defaults reproduce the
 Figure 2 setting (N = 100,000, eps = 0.5).
+"
+        .into(),
+        Some("bench") => "\
+redundancy bench [--smoke] [--seed SEED] [--out PATH] [--baseline PATH]
+
+Runs the pinned performance fixtures (batched campaign kernel vs the frozen
+reference loop, cached vs walking samplers, run_trials thread scaling, an
+S_m LP sweep) and writes a `redundancy-bench/v1` JSON report (default
+BENCH_report.json) with per-fixture median wall time, tasks/sec,
+assignments/sec, and a determinism checksum.  --smoke shrinks the fixtures
+for CI; --baseline compares medians against a previous report and exits
+with code 2 if any fixture regressed beyond 2x.
 "
         .into(),
         _ => USAGE.into(),
@@ -950,6 +968,7 @@ mod tests {
             Some("faults"),
             Some("solve-sm"),
             Some("certify"),
+            Some("bench"),
             Some("unknown"),
         ] {
             let out = help(topic);

@@ -12,6 +12,7 @@
 //! redundancy faults   --tasks 10000 --epsilon 0.5 --drop-rate 0.5 --steps 5 [--retries 3]
 //! redundancy solve-sm --tasks 100000 --epsilon 0.5 --dim 16 [--mps out.mps] [--min-precompute]
 //! redundancy certify  --tasks 100000 --epsilon 0.5 --max-dim 26
+//! redundancy bench    --smoke --out BENCH_report.json [--baseline BENCH_baseline.json]
 //! ```
 //!
 //! Every command is a pure function from parsed arguments to a report
@@ -19,6 +20,7 @@
 //! tested without spawning processes.
 
 pub mod args;
+pub mod bench;
 pub mod commands;
 
 pub use args::{parse_args, ArgError, Command};
@@ -45,6 +47,7 @@ COMMANDS:
     faults     Detection-probability sweep under drops, stragglers, retries
     solve-sm   Solve an assignment-minimizing LP system S_m
     certify    Certify S_m optima with the exact-rational LP oracle
+    bench      Pinned performance fixtures with a BENCH JSON report
     help       Show this message
 
 COMMON OPTIONS:

@@ -7,7 +7,7 @@
 //! just the formulas.
 
 use redundancy_core::RealizedPlan;
-use redundancy_repro::{banner, Cli};
+use redundancy_repro::{banner, throughput_footer, Cli};
 use redundancy_sim::{detection_experiment, AdversaryModel, CheatStrategy, ExperimentConfig};
 use redundancy_stats::table::{fnum, Table};
 
@@ -33,6 +33,9 @@ fn main() {
     ]);
     table.numeric();
     let mut csv_rows = Vec::new();
+    let start = std::time::Instant::now();
+    let mut sim_tasks = 0u64;
+    let mut sim_assignments = 0u64;
 
     let mut scenario = |label: &str,
                         plan: &RealizedPlan,
@@ -46,6 +49,8 @@ fn main() {
             CheatStrategy::AtLeast { min_copies: 1 },
             &ExperimentConfig::new(campaigns, seed),
         );
+        sim_tasks += est.outcome.tasks;
+        sim_assignments += est.outcome.assignments;
         for k in 1..=3usize {
             let Some(prop) = est.at_tuple(k) else {
                 continue;
@@ -118,4 +123,10 @@ fn main() {
          k = 2 row is exactly zero — the motivating collusion failure."
     );
     cli.maybe_write_csv("scheme,eps,p,k,closed_form,simulated,attacks", &csv_rows);
+    throughput_footer(
+        "empirical_detection",
+        sim_tasks,
+        sim_assignments,
+        start.elapsed(),
+    );
 }

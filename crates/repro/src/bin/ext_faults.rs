@@ -14,7 +14,7 @@
 //! byte-identical for a fixed `--seed` regardless of `--threads`.
 
 use redundancy_core::RealizedPlan;
-use redundancy_repro::{banner, Cli};
+use redundancy_repro::{banner, throughput_footer, Cli};
 use redundancy_sim::{
     faulty_detection_experiment, AdversaryModel, CampaignConfig, CheatStrategy, ExperimentConfig,
     FaultModel,
@@ -42,6 +42,7 @@ fn sweep(
     csv_rows: &mut Vec<Vec<String>>,
     scheme: &str,
     kind: &str,
+    totals: &mut (u64, u64),
 ) -> Table {
     let mut table = Table::new(&[
         label,
@@ -63,6 +64,8 @@ fn sweep(
         };
         let bare = faulty_detection_experiment(plan, campaign, &no_retry, config);
         let retried = faulty_detection_experiment(plan, campaign, &with_retry, config);
+        totals.0 += bare.outcome.tasks + retried.outcome.tasks;
+        totals.1 += bare.outcome.assignments + retried.outcome.assignments;
         let d0 = bare.overall().estimate();
         let d3 = retried.overall().estimate();
         let delivered = retried.outcome.delivery_rate().unwrap_or(0.0);
@@ -114,6 +117,8 @@ fn main() {
     let drop_rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
     let straggler_rates = [0.0, 0.2, 0.4, 0.6, 0.8];
     let mut csv_rows = Vec::new();
+    let start = std::time::Instant::now();
+    let mut totals = (0u64, 0u64);
 
     let schemes: Vec<(&str, RealizedPlan)> = vec![
         ("balanced", RealizedPlan::balanced(n, eps).unwrap()),
@@ -139,6 +144,7 @@ fn main() {
             &mut csv_rows,
             name,
             "drop",
+            &mut totals,
         );
         print!("{}", drops.render());
         println!();
@@ -154,6 +160,7 @@ fn main() {
             &mut csv_rows,
             name,
             "straggler",
+            &mut totals,
         );
         print!("{}", stragglers.render());
         println!();
@@ -168,4 +175,5 @@ fn main() {
         "scheme,hazard,rate,detection_no_retry,detection_retry3,delivered,effective_multiplicity,unresolved",
         &csv_rows,
     );
+    throughput_footer("ext_faults", totals.0, totals.1, start.elapsed());
 }

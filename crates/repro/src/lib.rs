@@ -97,6 +97,29 @@ pub fn banner(exhibit: &str, description: &str) {
     println!();
 }
 
+/// Print a wall-time / throughput footer for a Monte-Carlo exhibit.
+///
+/// Goes to **stderr**: stdout of every repro binary is pinned byte-for-byte
+/// by the golden snapshots, so diagnostics that vary run-to-run must stay
+/// off it.  Rates are simulated tasks and assignments per wall second
+/// across every campaign the binary ran.
+pub fn throughput_footer(
+    exhibit: &str,
+    tasks: u64,
+    assignments: u64,
+    elapsed: std::time::Duration,
+) {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return;
+    }
+    eprintln!(
+        "[{exhibit}] {secs:.2}s wall — {:.2}M tasks/s, {:.2}M assignments/s",
+        tasks as f64 / secs / 1e6,
+        assignments as f64 / secs / 1e6,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +130,14 @@ mod tests {
         assert_eq!(cli.seed, 20_050_926);
         assert!(cli.csv.is_none());
         assert_eq!(cli.trials_scale, 1);
+    }
+
+    #[test]
+    fn footer_is_silent_on_zero_elapsed() {
+        // Only stderr is touched, so this just must not panic or divide
+        // by zero.
+        throughput_footer("test", 100, 200, std::time::Duration::ZERO);
+        throughput_footer("test", 100, 200, std::time::Duration::from_millis(5));
     }
 
     #[test]

@@ -6,15 +6,35 @@
 //! copies of one task to *distinct* hosts), materializes the returned
 //! result values — honest, honestly-faulty, or colluded-wrong — and runs
 //! the supervisor's comparison, tallying detections per tuple size.
+//!
+//! # The batched kernel
+//!
+//! The hot loop is batched over [`grouped_specs`] runs of identical task
+//! shape: per-shape constants (multiplicity, adversary sampler preparation,
+//! task/assignment counters) are hoisted out of the per-task body, holdings
+//! are drawn through the cached CDF tables of [`BinomialCache`] /
+//! [`HypergeometricCache`], and all scratch state lives in a reusable
+//! [`CampaignScratch`] so steady-state campaigns allocate nothing.  When
+//! `honest_error_rate == 0` the supervisor's verdict is a closed form of
+//! `(held, multiplicity, precomputed, policy)` and the engine skips result
+//! materialization and comparison entirely.
+//!
+//! All of this is *observationally identical* to the seed per-task loop —
+//! same RNG consumption, same outcome, bit for bit.  The frozen originals
+//! are kept in [`reference`] as the differential-testing oracle and the
+//! benchmark baseline; the golden snapshots under `tests/snapshots/` pin
+//! the equivalence end-to-end.
 
 use crate::adversary::{AdversaryModel, CheatStrategy};
 use crate::faults::FaultModel;
 use crate::outcome::CampaignOutcome;
 use crate::retry::{deliver_assignment, Delivery};
 use crate::supervisor::{Supervisor, VerificationPolicy};
-use crate::task::{colluded_wrong_result, correct_result, faulty_result, TaskSpec};
-use redundancy_stats::samplers::{sample_binomial, sample_hypergeometric};
-use redundancy_stats::DeterministicRng;
+use crate::task::{
+    colluded_wrong_result, correct_result, faulty_result, grouped_specs, ResultValue, TaskId,
+    TaskSpec,
+};
+use redundancy_stats::{BinomialCache, DeterministicRng, HypergeometricCache, PreparedSampler};
 
 /// Everything a campaign needs besides its task list and RNG.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,59 +73,225 @@ impl CampaignConfig {
     }
 }
 
+/// Reusable per-worker scratch state for the campaign kernel.
+///
+/// Holds the results buffer and the cached sampler tables; threading one
+/// instance through repeated campaigns (the Monte-Carlo driver does this
+/// via [`CampaignAccumulator`]) drops steady-state per-trial allocation to
+/// zero and reuses each distinct `(n, p)` CDF table across all campaigns a
+/// worker runs.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignScratch {
+    results: Vec<ResultValue>,
+    held_counts: Vec<u64>,
+    binomial: BinomialCache,
+    hypergeometric: HypergeometricCache,
+}
+
+impl CampaignScratch {
+    /// Fresh scratch with empty buffers and caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct `(binomial, hypergeometric)` parameter sets cached so far —
+    /// a handful per plan shape (Balanced: head, tail, ringers).
+    pub fn cached_parameter_sets(&self) -> (usize, usize) {
+        (self.binomial.len(), self.hypergeometric.len())
+    }
+}
+
+/// Monte-Carlo accumulator pairing the folded [`CampaignOutcome`] with the
+/// worker's reusable [`CampaignScratch`].
+///
+/// `run_trials` requires `Default + Send` accumulators; carrying the
+/// scratch inside the accumulator gives every worker thread its own caches
+/// and buffers with no locking and no per-trial setup.  Merging folds the
+/// outcomes and simply drops the other worker's scratch.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignAccumulator {
+    /// Aggregated campaign tallies.
+    pub outcome: CampaignOutcome,
+    /// This worker's reusable buffers and sampler caches.
+    pub scratch: CampaignScratch,
+}
+
+impl CampaignAccumulator {
+    /// Fold another accumulator's outcome into this one (scratch is
+    /// per-worker state and is discarded).
+    pub fn merge(&mut self, other: CampaignAccumulator) {
+        self.outcome.merge(&other.outcome);
+    }
+}
+
+/// Resolve the adversary model to a prepared holdings sampler for one spec
+/// group.
+///
+/// This is the *single* place both campaign variants map the adversary
+/// model to a distribution, so the model match cannot drift between them;
+/// preparation happens once per spec group, and the returned handle draws
+/// with no per-task dispatch or indexing.
+fn prepare_holdings<'a>(
+    config: &CampaignConfig,
+    mult: u64,
+    binomial: &'a mut BinomialCache,
+    hypergeometric: &'a mut HypergeometricCache,
+) -> PreparedSampler<'a> {
+    match config.adversary {
+        AdversaryModel::AssignmentFraction { p } => {
+            let id = binomial.prepare(mult, p);
+            binomial.prepared(id)
+        }
+        AdversaryModel::SybilAccounts { total, adversary } => {
+            // Copies of one task go to distinct accounts.
+            let id = hypergeometric.prepare(total as u64, adversary as u64, mult.min(total as u64));
+            hypergeometric.prepared(id)
+        }
+    }
+}
+
+/// Verify one task's materialized results and fold the verdict into the
+/// outcome — the shared tail of both campaign variants.
+#[inline]
+fn judge_task(
+    supervisor: &Supervisor,
+    task: &TaskSpec,
+    results: &[ResultValue],
+    held: u32,
+    cheats: bool,
+    wrong: ResultValue,
+    outcome: &mut CampaignOutcome,
+) {
+    let verdict = supervisor.verify(task, results);
+    if cheats {
+        outcome.record_cheat(held as usize, verdict.flagged);
+        if verdict.accepted == Some(wrong) {
+            outcome.wrong_accepted += 1;
+        }
+    } else if verdict.flagged {
+        outcome.false_flags += 1;
+    }
+}
+
 /// Run one campaign over `tasks`, accumulating into `outcome`.
 ///
 /// The engine is deterministic given the RNG state, so campaigns replay
-/// exactly under the Monte-Carlo driver's per-chunk seeds.
+/// exactly under the Monte-Carlo driver's per-chunk seeds.  Convenience
+/// wrapper over [`run_campaign_with_scratch`] with throwaway scratch; hot
+/// callers should hold a [`CampaignScratch`] and call the `_with_scratch`
+/// variant directly.
 pub fn run_campaign(
     tasks: &[TaskSpec],
     config: &CampaignConfig,
     rng: &mut DeterministicRng,
     outcome: &mut CampaignOutcome,
 ) {
+    let mut scratch = CampaignScratch::new();
+    run_campaign_with_scratch(tasks, config, rng, outcome, &mut scratch);
+}
+
+/// [`run_campaign`] with caller-owned scratch: zero steady-state allocation
+/// and sampler tables shared across campaigns.
+///
+/// Bit-for-bit identical to [`reference::run_campaign`] — same draws, same
+/// tallies — for every configuration; the differential tests and the golden
+/// snapshots enforce this.
+pub fn run_campaign_with_scratch(
+    tasks: &[TaskSpec],
+    config: &CampaignConfig,
+    rng: &mut DeterministicRng,
+    outcome: &mut CampaignOutcome,
+    scratch: &mut CampaignScratch,
+) {
     debug_assert!(config.validate().is_ok(), "invalid campaign config");
     let supervisor = Supervisor::new(config.policy);
     outcome.campaigns += 1;
-    let mut results = Vec::with_capacity(32);
-    for task in tasks {
-        let mult = task.multiplicity as u64;
-        outcome.tasks += 1;
-        outcome.assignments += mult;
-        let held = match config.adversary {
-            AdversaryModel::AssignmentFraction { p } => sample_binomial(rng, mult, p),
-            AdversaryModel::SybilAccounts { total, adversary } => {
-                // Copies of one task go to distinct accounts.
-                sample_hypergeometric(rng, total as u64, adversary as u64, mult.min(total as u64))
+    // With no honest errors a task's returned copies are fully determined
+    // by (held, cheats): `held` colluded-wrong copies then `mult − held`
+    // correct ones, and no RNG is consumed materializing them.  The
+    // supervisor's verdict is then a closed form (derived case-by-case from
+    // `Supervisor::verify`), so the whole materialize-and-compare tail can
+    // be skipped.
+    let errorless = config.honest_error_rate == 0.0;
+    let majority = config.policy == VerificationPolicy::Majority;
+    let CampaignScratch {
+        results,
+        held_counts,
+        binomial,
+        hypergeometric,
+    } = scratch;
+    for group in grouped_specs(tasks) {
+        let mult = group.multiplicity as u64;
+        outcome.tasks += group.count;
+        outcome.assignments += group.count * mult;
+        let sampler = prepare_holdings(config, mult, binomial, hypergeometric);
+        if errorless {
+            // Every per-task tally is a pure function of `held` and the
+            // group constants, and all outcome counters are commutative
+            // sums — so the hot loop only bins the draws, and the tallies
+            // fold in per bin afterwards.
+            held_counts.clear();
+            held_counts.resize(mult as usize + 1, 0);
+            for _ in 0..group.count {
+                held_counts[sampler.sample(rng) as usize] += 1;
             }
-        } as u32;
-        outcome.holdings.record(held as usize);
-        let cheats = config.strategy.cheats_on(held);
-
-        // Materialize the returned copies: the adversary's first, then the
-        // honest hosts'.
-        results.clear();
-        let wrong = colluded_wrong_result(task.id);
-        let right = correct_result(task.id);
-        for _ in 0..held {
-            results.push(if cheats { wrong } else { right });
-        }
-        for j in held as u64..mult {
-            let faulty = config.honest_error_rate > 0.0 && rng.bernoulli(config.honest_error_rate);
-            results.push(if faulty {
-                faulty_result(task.id, j ^ rng.next_raw())
-            } else {
-                right
-            });
-        }
-
-        let verdict = supervisor.verify(task, &results);
-        if cheats {
-            outcome.record_cheat(held as usize, verdict.flagged);
-            if verdict.accepted == Some(wrong) {
-                outcome.wrong_accepted += 1;
+            for (held, &count) in held_counts.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                outcome.holdings.record_n(held, count);
+                if !config.strategy.cheats_on(held as u32) {
+                    // All copies correct: never flagged, nothing recorded.
+                    continue;
+                }
+                if group.precomputed {
+                    // Ringer/verified: any wrong copy is caught, and the
+                    // precomputed (correct) answer is what gets recorded.
+                    outcome.record_cheat_n(held, true, count);
+                } else if held as u64 == mult {
+                    // Full control: unanimous wrong value — accepted, never
+                    // flagged.  The paper's motivating failure.
+                    outcome.record_cheat_n(held, false, count);
+                    outcome.wrong_accepted += count;
+                } else {
+                    // Mixed tuple: disagreement always flags; a colluding
+                    // strict majority still gets its value recorded under
+                    // the Majority policy (ties record nothing).
+                    outcome.record_cheat_n(held, true, count);
+                    if majority && 2 * held as u64 > mult {
+                        outcome.wrong_accepted += count;
+                    }
+                }
             }
-        } else if verdict.flagged {
-            outcome.false_flags += 1;
+            continue;
+        }
+        for i in 0..group.count {
+            let held = sampler.sample(rng) as u32;
+            outcome.holdings.record(held as usize);
+            let cheats = config.strategy.cheats_on(held);
+            let task = TaskSpec {
+                id: TaskId(group.first_id.0 + i),
+                multiplicity: group.multiplicity,
+                precomputed: group.precomputed,
+            };
+            // Materialize the returned copies: the adversary's first, then
+            // the honest hosts'.
+            results.clear();
+            let wrong = colluded_wrong_result(task.id);
+            let right = correct_result(task.id);
+            for _ in 0..held {
+                results.push(if cheats { wrong } else { right });
+            }
+            for j in u64::from(held)..mult {
+                let faulty =
+                    config.honest_error_rate > 0.0 && rng.bernoulli(config.honest_error_rate);
+                results.push(if faulty {
+                    faulty_result(task.id, j ^ rng.next_raw())
+                } else {
+                    right
+                });
+            }
+            judge_task(&supervisor, &task, results, held, cheats, wrong, outcome);
         }
     }
 }
@@ -143,74 +329,241 @@ pub fn run_campaign_with_faults(
     rng: &mut DeterministicRng,
     outcome: &mut CampaignOutcome,
 ) {
+    let mut scratch = CampaignScratch::new();
+    run_campaign_with_faults_scratch(tasks, config, faults, rng, outcome, &mut scratch);
+}
+
+/// [`run_campaign_with_faults`] with caller-owned scratch.
+///
+/// Shares the holdings sampler ([`HoldingsSampler`]) and the verdict tail
+/// (`judge_task`) with the fault-free kernel, so the two variants cannot
+/// drift; every copy's delivery still consumes RNG, so there is no
+/// closed-form fast path here.
+pub fn run_campaign_with_faults_scratch(
+    tasks: &[TaskSpec],
+    config: &CampaignConfig,
+    faults: &FaultModel,
+    rng: &mut DeterministicRng,
+    outcome: &mut CampaignOutcome,
+    scratch: &mut CampaignScratch,
+) {
     debug_assert!(faults.validate().is_ok(), "invalid fault model");
     if !faults.is_active() {
-        return run_campaign(tasks, config, rng, outcome);
+        return run_campaign_with_scratch(tasks, config, rng, outcome, scratch);
     }
     debug_assert!(config.validate().is_ok(), "invalid campaign config");
     let supervisor = Supervisor::new(config.policy);
     outcome.campaigns += 1;
-    let mut results = Vec::with_capacity(32);
-    for task in tasks {
-        let mult = task.multiplicity as u64;
-        outcome.tasks += 1;
-        outcome.assignments += mult;
-        let held = match config.adversary {
-            AdversaryModel::AssignmentFraction { p } => sample_binomial(rng, mult, p),
-            AdversaryModel::SybilAccounts { total, adversary } => {
-                sample_hypergeometric(rng, total as u64, adversary as u64, mult.min(total as u64))
-            }
-        } as u32;
-        outcome.holdings.record(held as usize);
-        // The adversary commits on what she *holds*; she cannot foresee
-        // which copies the platform will lose.
-        let cheats = config.strategy.cheats_on(held);
+    let CampaignScratch {
+        results,
+        binomial,
+        hypergeometric,
+        ..
+    } = scratch;
+    for group in grouped_specs(tasks) {
+        let mult = group.multiplicity as u64;
+        outcome.tasks += group.count;
+        outcome.assignments += group.count * mult;
+        let sampler = prepare_holdings(config, mult, binomial, hypergeometric);
+        for i in 0..group.count {
+            let held = sampler.sample(rng) as u32;
+            outcome.holdings.record(held as usize);
+            // The adversary commits on what she *holds*; she cannot foresee
+            // which copies the platform will lose.
+            let cheats = config.strategy.cheats_on(held);
+            let task = TaskSpec {
+                id: TaskId(group.first_id.0 + i),
+                multiplicity: group.multiplicity,
+                precomputed: group.precomputed,
+            };
 
-        results.clear();
-        let wrong = colluded_wrong_result(task.id);
-        let right = correct_result(task.id);
-        for j in 0..u64::from(held) {
-            let delivery = deliver_assignment(faults, rng);
-            tally_delivery(outcome, &delivery);
-            if delivery.returned {
-                let intended = if cheats { wrong } else { right };
-                results.push(if delivery.corrupted {
-                    faulty_result(task.id, j ^ rng.next_raw())
-                } else {
-                    intended
-                });
+            results.clear();
+            let wrong = colluded_wrong_result(task.id);
+            let right = correct_result(task.id);
+            for j in 0..u64::from(held) {
+                let delivery = deliver_assignment(faults, rng);
+                tally_delivery(outcome, &delivery);
+                if delivery.returned {
+                    let intended = if cheats { wrong } else { right };
+                    results.push(if delivery.corrupted {
+                        faulty_result(task.id, j ^ rng.next_raw())
+                    } else {
+                        intended
+                    });
+                }
             }
+            for j in u64::from(held)..mult {
+                let delivery = deliver_assignment(faults, rng);
+                tally_delivery(outcome, &delivery);
+                if delivery.returned {
+                    let honest_fault =
+                        config.honest_error_rate > 0.0 && rng.bernoulli(config.honest_error_rate);
+                    results.push(if delivery.corrupted || honest_fault {
+                        faulty_result(task.id, j ^ rng.next_raw())
+                    } else {
+                        right
+                    });
+                }
+            }
+
+            let returned = results.len() as u64;
+            if returned < mult {
+                outcome.degraded.record((mult - returned) as usize);
+            }
+            if returned == 0 {
+                outcome.unresolved_tasks += 1;
+                continue;
+            }
+            judge_task(&supervisor, &task, results, held, cheats, wrong, outcome);
         }
-        for j in u64::from(held)..mult {
-            let delivery = deliver_assignment(faults, rng);
-            tally_delivery(outcome, &delivery);
-            if delivery.returned {
-                let honest_fault =
+    }
+}
+
+/// Frozen seed implementations of the campaign loops.
+///
+/// These are the original per-task, uncached, allocate-per-campaign loops,
+/// kept verbatim as (a) the oracle for the differential tests that prove
+/// the batched kernel bit-identical, and (b) the baseline the criterion
+/// benches and `redundancy bench` measure the speedup against.  Do not
+/// optimize or "clean up" this module: its entire value is that it stays
+/// put.
+pub mod reference {
+    use super::*;
+    use redundancy_stats::samplers::{sample_binomial, sample_hypergeometric};
+
+    /// The seed per-task campaign loop (pre-batching).
+    pub fn run_campaign(
+        tasks: &[TaskSpec],
+        config: &CampaignConfig,
+        rng: &mut DeterministicRng,
+        outcome: &mut CampaignOutcome,
+    ) {
+        debug_assert!(config.validate().is_ok(), "invalid campaign config");
+        let supervisor = Supervisor::new(config.policy);
+        outcome.campaigns += 1;
+        let mut results = Vec::with_capacity(32);
+        for task in tasks {
+            let mult = task.multiplicity as u64;
+            outcome.tasks += 1;
+            outcome.assignments += mult;
+            let held = match config.adversary {
+                AdversaryModel::AssignmentFraction { p } => sample_binomial(rng, mult, p),
+                AdversaryModel::SybilAccounts { total, adversary } => sample_hypergeometric(
+                    rng,
+                    total as u64,
+                    adversary as u64,
+                    mult.min(total as u64),
+                ),
+            } as u32;
+            outcome.holdings.record(held as usize);
+            let cheats = config.strategy.cheats_on(held);
+
+            results.clear();
+            let wrong = colluded_wrong_result(task.id);
+            let right = correct_result(task.id);
+            for _ in 0..held {
+                results.push(if cheats { wrong } else { right });
+            }
+            for j in held as u64..mult {
+                let faulty =
                     config.honest_error_rate > 0.0 && rng.bernoulli(config.honest_error_rate);
-                results.push(if delivery.corrupted || honest_fault {
+                results.push(if faulty {
                     faulty_result(task.id, j ^ rng.next_raw())
                 } else {
                     right
                 });
             }
-        }
 
-        let returned = results.len() as u64;
-        if returned < mult {
-            outcome.degraded.record((mult - returned) as usize);
-        }
-        if returned == 0 {
-            outcome.unresolved_tasks += 1;
-            continue;
-        }
-        let verdict = supervisor.verify(task, &results);
-        if cheats {
-            outcome.record_cheat(held as usize, verdict.flagged);
-            if verdict.accepted == Some(wrong) {
-                outcome.wrong_accepted += 1;
+            let verdict = supervisor.verify(task, &results);
+            if cheats {
+                outcome.record_cheat(held as usize, verdict.flagged);
+                if verdict.accepted == Some(wrong) {
+                    outcome.wrong_accepted += 1;
+                }
+            } else if verdict.flagged {
+                outcome.false_flags += 1;
             }
-        } else if verdict.flagged {
-            outcome.false_flags += 1;
+        }
+    }
+
+    /// The seed fault-injecting campaign loop (pre-batching).
+    pub fn run_campaign_with_faults(
+        tasks: &[TaskSpec],
+        config: &CampaignConfig,
+        faults: &FaultModel,
+        rng: &mut DeterministicRng,
+        outcome: &mut CampaignOutcome,
+    ) {
+        debug_assert!(faults.validate().is_ok(), "invalid fault model");
+        if !faults.is_active() {
+            return run_campaign(tasks, config, rng, outcome);
+        }
+        debug_assert!(config.validate().is_ok(), "invalid campaign config");
+        let supervisor = Supervisor::new(config.policy);
+        outcome.campaigns += 1;
+        let mut results = Vec::with_capacity(32);
+        for task in tasks {
+            let mult = task.multiplicity as u64;
+            outcome.tasks += 1;
+            outcome.assignments += mult;
+            let held = match config.adversary {
+                AdversaryModel::AssignmentFraction { p } => sample_binomial(rng, mult, p),
+                AdversaryModel::SybilAccounts { total, adversary } => sample_hypergeometric(
+                    rng,
+                    total as u64,
+                    adversary as u64,
+                    mult.min(total as u64),
+                ),
+            } as u32;
+            outcome.holdings.record(held as usize);
+            let cheats = config.strategy.cheats_on(held);
+
+            results.clear();
+            let wrong = colluded_wrong_result(task.id);
+            let right = correct_result(task.id);
+            for j in 0..u64::from(held) {
+                let delivery = deliver_assignment(faults, rng);
+                tally_delivery(outcome, &delivery);
+                if delivery.returned {
+                    let intended = if cheats { wrong } else { right };
+                    results.push(if delivery.corrupted {
+                        faulty_result(task.id, j ^ rng.next_raw())
+                    } else {
+                        intended
+                    });
+                }
+            }
+            for j in u64::from(held)..mult {
+                let delivery = deliver_assignment(faults, rng);
+                tally_delivery(outcome, &delivery);
+                if delivery.returned {
+                    let honest_fault =
+                        config.honest_error_rate > 0.0 && rng.bernoulli(config.honest_error_rate);
+                    results.push(if delivery.corrupted || honest_fault {
+                        faulty_result(task.id, j ^ rng.next_raw())
+                    } else {
+                        right
+                    });
+                }
+            }
+
+            let returned = results.len() as u64;
+            if returned < mult {
+                outcome.degraded.record((mult - returned) as usize);
+            }
+            if returned == 0 {
+                outcome.unresolved_tasks += 1;
+                continue;
+            }
+            let verdict = supervisor.verify(task, &results);
+            if cheats {
+                outcome.record_cheat(held as usize, verdict.flagged);
+                if verdict.accepted == Some(wrong) {
+                    outcome.wrong_accepted += 1;
+                }
+            } else if verdict.flagged {
+                outcome.false_flags += 1;
+            }
         }
     }
 }
@@ -387,5 +740,161 @@ mod tests {
             CheatStrategy::Never,
         );
         assert!(bad.validate().is_err());
+    }
+
+    /// Run the frozen reference and the batched kernel on clones of the
+    /// same RNG for three back-to-back campaigns (exercising scratch
+    /// reuse), asserting identical outcomes AND identical final RNG state
+    /// (same uniforms consumed, in the same order).
+    fn assert_matches_reference(
+        tasks: &[TaskSpec],
+        cfg: &CampaignConfig,
+        faults: Option<&FaultModel>,
+        seed: u64,
+    ) {
+        let mut ref_rng = DeterministicRng::new(seed);
+        let mut new_rng = ref_rng.clone();
+        let mut ref_out = CampaignOutcome::default();
+        let mut new_out = CampaignOutcome::default();
+        let mut scratch = CampaignScratch::new();
+        for _ in 0..3 {
+            match faults {
+                None => {
+                    reference::run_campaign(tasks, cfg, &mut ref_rng, &mut ref_out);
+                    run_campaign_with_scratch(tasks, cfg, &mut new_rng, &mut new_out, &mut scratch);
+                }
+                Some(f) => {
+                    reference::run_campaign_with_faults(tasks, cfg, f, &mut ref_rng, &mut ref_out);
+                    run_campaign_with_faults_scratch(
+                        tasks,
+                        cfg,
+                        f,
+                        &mut new_rng,
+                        &mut new_out,
+                        &mut scratch,
+                    );
+                }
+            }
+        }
+        assert_eq!(ref_out, new_out, "outcome diverged for {cfg:?}");
+        assert_eq!(ref_rng, new_rng, "RNG stream diverged for {cfg:?}");
+    }
+
+    #[test]
+    fn batched_kernel_is_bit_identical_to_reference() {
+        let balanced = specs(1_500, 0.75);
+        let pairs = expand_plan(&RealizedPlan::k_fold(800, 2, 0.5).unwrap());
+        let models = [
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            AdversaryModel::SybilAccounts {
+                total: 10_000,
+                adversary: 1_500,
+            },
+        ];
+        let strategies = [
+            CheatStrategy::Never,
+            CheatStrategy::Always,
+            CheatStrategy::ExactTuples { k: 1 }, // Majority ties on pairs
+            CheatStrategy::ExactTuples { k: 2 },
+            CheatStrategy::AtLeast { min_copies: 1 },
+        ];
+        let policies = [VerificationPolicy::Unanimous, VerificationPolicy::Majority];
+        let mut seed = 1_000;
+        for tasks in [&balanced, &pairs] {
+            for adversary in models {
+                for strategy in strategies {
+                    for policy in policies {
+                        for honest_error_rate in [0.0, 0.02] {
+                            seed += 1;
+                            let cfg = CampaignConfig {
+                                adversary,
+                                strategy,
+                                honest_error_rate,
+                                policy,
+                            };
+                            assert_matches_reference(tasks, &cfg, None, seed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_kernel_is_bit_identical_to_reference() {
+        let tasks = specs(1_000, 0.5);
+        let active = FaultModel {
+            straggler_rate: 0.2,
+            straggler_mean_delay: 10.0,
+            corrupt_rate: 0.01,
+            ..FaultModel::with_drop_rate(0.15)
+        };
+        let inactive = FaultModel::none();
+        let mut seed = 2_000;
+        for faults in [&active, &inactive] {
+            for adversary in [
+                AdversaryModel::AssignmentFraction { p: 0.2 },
+                AdversaryModel::SybilAccounts {
+                    total: 5_000,
+                    adversary: 900,
+                },
+            ] {
+                for strategy in [CheatStrategy::Always, CheatStrategy::ExactTuples { k: 2 }] {
+                    for policy in [VerificationPolicy::Unanimous, VerificationPolicy::Majority] {
+                        for honest_error_rate in [0.0, 0.02] {
+                            seed += 1;
+                            let cfg = CampaignConfig {
+                                adversary,
+                                strategy,
+                                honest_error_rate,
+                                policy,
+                            };
+                            assert_matches_reference(&tasks, &cfg, Some(faults), seed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_caches_stay_small_across_campaigns() {
+        // A Balanced plan has a handful of distinct multiplicities; the
+        // caches must not grow with tasks or campaigns.
+        let tasks = specs(10_000, 0.75);
+        let cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        );
+        let mut rng = DeterministicRng::new(42);
+        let mut out = CampaignOutcome::default();
+        let mut scratch = CampaignScratch::new();
+        for _ in 0..5 {
+            run_campaign_with_scratch(&tasks, &cfg, &mut rng, &mut out, &mut scratch);
+        }
+        let (bin, hyp) = scratch.cached_parameter_sets();
+        assert!(bin > 0, "binomial cache unused");
+        // One entry per distinct multiplicity in the plan — independent of
+        // task count and campaign count.
+        assert!(bin <= 32, "cache grew beyond plan shapes: {bin}");
+        assert_eq!(hyp, 0);
+    }
+
+    #[test]
+    fn accumulator_merge_folds_outcomes() {
+        let tasks = specs(500, 0.5);
+        let cfg = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        );
+        let mut a = CampaignAccumulator::default();
+        let mut b = CampaignAccumulator::default();
+        let mut rng = DeterministicRng::new(8);
+        run_campaign_with_scratch(&tasks, &cfg, &mut rng, &mut a.outcome, &mut a.scratch);
+        run_campaign_with_scratch(&tasks, &cfg, &mut rng, &mut b.outcome, &mut b.scratch);
+        let total = b.outcome.tasks + a.outcome.tasks;
+        a.merge(b);
+        assert_eq!(a.outcome.campaigns, 2);
+        assert_eq!(a.outcome.tasks, total);
     }
 }

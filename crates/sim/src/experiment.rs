@@ -2,7 +2,10 @@
 //! intervals, multi-threaded and exactly reproducible.
 
 use crate::adversary::{AdversaryModel, CheatStrategy};
-use crate::engine::{run_campaign, run_campaign_with_faults, CampaignConfig};
+use crate::engine::{
+    run_campaign_with_faults_scratch, run_campaign_with_scratch, CampaignAccumulator,
+    CampaignConfig,
+};
 use crate::faults::FaultModel;
 use crate::outcome::CampaignOutcome;
 use crate::task::{expand_plan, TaskSpec};
@@ -104,12 +107,19 @@ pub fn detection_experiment_with(
         threads: config.threads,
         seed: config.seed,
     };
-    let outcome: CampaignOutcome = run_trials(
+    // The accumulator carries each worker's scratch (results buffer +
+    // sampler caches) alongside its partial outcome, so steady-state
+    // campaigns allocate nothing and CDF tables are built once per worker.
+    let acc: CampaignAccumulator = run_trials(
         &trial_cfg,
-        |rng, _i, acc: &mut CampaignOutcome| run_campaign(&tasks, campaign, rng, acc),
-        |a, b| a.merge(&b),
+        |rng, _i, acc: &mut CampaignAccumulator| {
+            run_campaign_with_scratch(&tasks, campaign, rng, &mut acc.outcome, &mut acc.scratch)
+        },
+        |a, b| a.merge(b),
     );
-    DetectionEstimate { outcome }
+    DetectionEstimate {
+        outcome: acc.outcome,
+    }
 }
 
 /// As [`detection_experiment_with`] but under a [`FaultModel`]: every
@@ -134,14 +144,23 @@ pub fn faulty_detection_experiment(
         threads: config.threads,
         seed: config.seed,
     };
-    let outcome: CampaignOutcome = run_trials(
+    let acc: CampaignAccumulator = run_trials(
         &trial_cfg,
-        |rng, _i, acc: &mut CampaignOutcome| {
-            run_campaign_with_faults(&tasks, campaign, faults, rng, acc)
+        |rng, _i, acc: &mut CampaignAccumulator| {
+            run_campaign_with_faults_scratch(
+                &tasks,
+                campaign,
+                faults,
+                rng,
+                &mut acc.outcome,
+                &mut acc.scratch,
+            )
         },
-        |a, b| a.merge(&b),
+        |a, b| a.merge(b),
     );
-    DetectionEstimate { outcome }
+    DetectionEstimate {
+        outcome: acc.outcome,
+    }
 }
 
 /// Estimate detection rates for a *huge* plan by sampling tasks instead of
@@ -182,17 +201,34 @@ pub fn sampled_detection_experiment(
         threads: config.threads,
         seed: config.seed,
     };
-    let outcome: CampaignOutcome = run_trials(
+    // Per-worker accumulator: campaign scratch plus a reusable buffer for
+    // the sampled task multiset, so trials allocate nothing steady-state.
+    #[derive(Default)]
+    struct SampledAccumulator {
+        acc: CampaignAccumulator,
+        sampled: Vec<TaskSpec>,
+    }
+    let acc: SampledAccumulator = run_trials(
         &trial_cfg,
-        |rng, _i, acc: &mut CampaignOutcome| {
+        |rng, _i, s: &mut SampledAccumulator| {
             // Draw `samples` tasks ∝ partition sizes and run one campaign
             // over the sampled multiset.
-            let sampled: Vec<TaskSpec> = (0..samples).map(|_| reps[table.sample(rng)]).collect();
-            run_campaign(&sampled, campaign, rng, acc);
+            s.sampled.clear();
+            s.sampled
+                .extend((0..samples).map(|_| reps[table.sample(rng)]));
+            run_campaign_with_scratch(
+                &s.sampled,
+                campaign,
+                rng,
+                &mut s.acc.outcome,
+                &mut s.acc.scratch,
+            );
         },
-        |a, b| a.merge(&b),
+        |a, b| a.acc.merge(b.acc),
     );
-    DetectionEstimate { outcome }
+    DetectionEstimate {
+        outcome: acc.acc.outcome,
+    }
 }
 
 #[cfg(test)]

@@ -52,7 +52,10 @@ pub mod task;
 pub mod two_phase;
 
 pub use adversary::{AdversaryModel, CheatStrategy};
-pub use engine::{run_campaign, run_campaign_with_faults, CampaignConfig};
+pub use engine::{
+    run_campaign, run_campaign_with_faults, run_campaign_with_faults_scratch,
+    run_campaign_with_scratch, CampaignAccumulator, CampaignConfig, CampaignScratch,
+};
 pub use experiment::{
     detection_experiment, faulty_detection_experiment, sampled_detection_experiment,
     DetectionEstimate, ExperimentConfig,
@@ -66,5 +69,5 @@ pub use rounds::{
 };
 pub use supervisor::Supervisor;
 pub use survival::{survival_experiment, SurvivalOutcome};
-pub use task::{correct_result, ResultValue, TaskId, TaskSpec};
+pub use task::{correct_result, grouped_specs, ResultValue, SpecGroup, TaskId, TaskSpec};
 pub use two_phase::{two_phase_trial, TwoPhaseConfig, TwoPhaseOutcome};

@@ -63,6 +63,21 @@ impl CampaignOutcome {
         }
     }
 
+    /// Record `weight` attacked tasks at holdings `k`, all sharing one
+    /// verdict — the batched kernel's per-bin fold of [`record_cheat`].
+    ///
+    /// [`record_cheat`]: CampaignOutcome::record_cheat
+    pub fn record_cheat_n(&mut self, k: usize, detected: bool, weight: u64) {
+        if k >= self.cheats_attempted.len() {
+            self.cheats_attempted.resize(k + 1, 0);
+            self.cheats_detected.resize(k + 1, 0);
+        }
+        self.cheats_attempted[k] += weight;
+        if detected {
+            self.cheats_detected[k] += weight;
+        }
+    }
+
     /// Total attacks across all tuple sizes.
     pub fn total_attempted(&self) -> u64 {
         self.cheats_attempted.iter().sum()

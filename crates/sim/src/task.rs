@@ -74,6 +74,52 @@ pub fn expand_plan(plan: &RealizedPlan) -> Vec<TaskSpec> {
     specs
 }
 
+/// A maximal run of consecutive [`TaskSpec`]s sharing the same shape
+/// (multiplicity and precomputed flag).
+///
+/// Because [`expand_plan`] emits tasks in partition order with contiguous
+/// ids, a campaign of hundreds of thousands of tasks collapses into a
+/// handful of groups (Balanced: head, tail, ringers) — the unit over which
+/// the batched engine hoists sampler preparation and per-shape constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecGroup {
+    /// Id of the first task in the run.
+    pub first_id: TaskId,
+    /// Number of consecutive tasks in the run.
+    pub count: u64,
+    /// Copies handed out per task in this run.
+    pub multiplicity: u32,
+    /// Whether the supervisor knows these answers in advance.
+    pub precomputed: bool,
+}
+
+/// Group a spec slice into maximal runs of identical shape, allocation-free.
+///
+/// The concatenation of the yielded groups reproduces `specs` exactly, in
+/// order; ids inside a group are contiguous from `first_id`.
+pub fn grouped_specs(specs: &[TaskSpec]) -> impl Iterator<Item = SpecGroup> + '_ {
+    let mut start = 0usize;
+    std::iter::from_fn(move || {
+        let head = specs.get(start)?;
+        let mut end = start + 1;
+        while specs.get(end).is_some_and(|s| {
+            s.multiplicity == head.multiplicity
+                && s.precomputed == head.precomputed
+                && s.id.0 == head.id.0 + (end - start) as u64
+        }) {
+            end += 1;
+        }
+        let group = SpecGroup {
+            first_id: head.id,
+            count: (end - start) as u64,
+            multiplicity: head.multiplicity,
+            precomputed: head.precomputed,
+        };
+        start = end;
+        Some(group)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +170,66 @@ mod tests {
         let specs = expand_plan(&plan);
         assert_eq!(specs.len(), 100);
         assert!(specs.iter().all(|s| s.multiplicity == 3 && !s.precomputed));
+    }
+
+    /// Re-expand groups into specs to check the partition is exact.
+    fn flatten(groups: impl Iterator<Item = SpecGroup>) -> Vec<TaskSpec> {
+        groups
+            .flat_map(|g| {
+                (0..g.count).map(move |i| TaskSpec {
+                    id: TaskId(g.first_id.0 + i),
+                    multiplicity: g.multiplicity,
+                    precomputed: g.precomputed,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grouped_specs_partitions_expanded_plans_exactly() {
+        for plan in [
+            RealizedPlan::balanced(10_000, 0.75).unwrap(),
+            RealizedPlan::k_fold(100, 3, 0.5).unwrap(),
+        ] {
+            let specs = expand_plan(&plan);
+            let groups: Vec<SpecGroup> = grouped_specs(&specs).collect();
+            assert_eq!(flatten(groups.iter().copied()), specs);
+            // Maximality: adjacent groups differ in shape.
+            for w in groups.windows(2) {
+                assert!(
+                    w[0].multiplicity != w[1].multiplicity || w[0].precomputed != w[1].precomputed
+                );
+            }
+            // A big Balanced plan collapses to one group per partition —
+            // a few dozen at most, independent of task count.
+            assert!(
+                groups.len() <= 32,
+                "{} groups for {} tasks",
+                groups.len(),
+                specs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_specs_handles_empty_and_breaks_on_id_gaps() {
+        assert_eq!(grouped_specs(&[]).count(), 0);
+        // Same shape but discontiguous ids must not merge: the engine
+        // reconstructs ids as first_id + offset.
+        let specs = [
+            TaskSpec {
+                id: TaskId(0),
+                multiplicity: 3,
+                precomputed: false,
+            },
+            TaskSpec {
+                id: TaskId(5),
+                multiplicity: 3,
+                precomputed: false,
+            },
+        ];
+        let groups: Vec<SpecGroup> = grouped_specs(&specs).collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(flatten(groups.into_iter()), specs);
     }
 }

@@ -38,6 +38,7 @@ pub use gof::{chi_square_test, regularized_gamma_q, ChiSquare};
 pub use parallel::{run_trials, InvalidTrialConfig, TrialConfig};
 pub use quantile::P2Quantile;
 pub use rng::{DeterministicRng, SeedSequence};
+pub use samplers::cache::{BinomialCache, HypergeometricCache, PreparedSampler};
 pub use samplers::{
     sample_binomial, sample_geometric, sample_hypergeometric, sample_poisson,
     sample_zero_truncated_poisson, AliasTable,

@@ -9,6 +9,8 @@
 use crate::rng::DeterministicRng;
 use crate::special::poisson_pmf;
 
+pub mod cache;
+
 /// Sample from `Binomial(n, p)` by CDF inversion.
 ///
 /// Exact for the full parameter range; `O(n·p)` expected work, which is tiny
@@ -31,7 +33,7 @@ pub fn sample_binomial(rng: &mut DeterministicRng, n: u64, p: f64) -> u64 {
     // Inversion from k = 0: pmf(0) = (1−p)^n, ratio pmf(k+1)/pmf(k) =
     // (n−k)/(k+1) · p/(1−p).
     let mut k = 0u64;
-    let mut pmf = (1.0 - p).powi(n as i32);
+    let mut pmf = binomial_pmf_zero(n, p);
     if pmf == 0.0 {
         // (1−p)^n underflowed: n is astronomically large relative to this
         // simulator's use; fall back to a normal approximation draw clamped
@@ -49,6 +51,23 @@ pub fn sample_binomial(rng: &mut DeterministicRng, n: u64, p: f64) -> u64 {
         k += 1;
     }
     k
+}
+
+/// `pmf(0) = (1−p)^n` for the binomial inversion walk.
+///
+/// `powi` is bit-exact with what the walk historically computed for every
+/// in-range `n`, but its `as i32` exponent cast wraps for `n > i32::MAX`,
+/// which silently *skipped* the underflow fallback (the wrapped exponent
+/// made pmf(0) ≥ 1 and the walk returned 0).  Above that bound the
+/// log-domain form underflows to 0 correctly and routes such `n` to the
+/// normal-approximation fallback.
+#[inline]
+fn binomial_pmf_zero(n: u64, p: f64) -> f64 {
+    if n <= i32::MAX as u64 {
+        (1.0 - p).powi(n as i32)
+    } else {
+        ((1.0 - p).ln() * n as f64).exp()
+    }
 }
 
 /// Sample from `Hypergeometric(total, successes, draws)`: the number of
@@ -305,6 +324,35 @@ mod tests {
         }
         let mean = sum / trials as f64;
         assert!((mean - 12.0).abs() < 0.12, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_huge_n_does_not_wrap_the_exponent() {
+        // n > i32::MAX used to wrap in `powi(n as i32)`, making pmf(0) ≥ 1
+        // and the sampler return 0 instead of reaching the fallback.
+        let mut rng = DeterministicRng::new(13);
+        let n = 1u64 << 40;
+        let p = 0.25;
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        for _ in 0..50 {
+            let x = sample_binomial(&mut rng, n, p) as f64;
+            assert!((x - mean).abs() < 8.0 * sd, "x = {x} vs mean {mean}");
+        }
+        // Mirrored branch at huge n goes through the same fallback.
+        let y = sample_binomial(&mut rng, n, 0.75) as f64;
+        assert!((y - n as f64 * 0.75).abs() < 8.0 * sd, "{y}");
+    }
+
+    #[test]
+    fn binomial_huge_n_tiny_p_stays_exact() {
+        // pmf(0) does not underflow here, so even astronomically large n
+        // must use the exact inversion walk (E[X] = n·p = 1024).
+        let mut rng = DeterministicRng::new(14);
+        let n = 1u64 << 40;
+        let p = 1024.0 / n as f64;
+        let mean = mean_of((0..2_000).map(|_| sample_binomial(&mut rng, n, p)), 2_000);
+        assert!((mean - 1024.0).abs() < 3.0, "mean {mean}");
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! Cached CDF-inversion samplers.
+//!
+//! The campaign kernel draws one binomial (or hypergeometric) per task, but a
+//! plan has only a handful of distinct multiplicities (Balanced: head, tail,
+//! ringers), so the same `(n, p)` walk is recomputed hundreds of thousands of
+//! times.  [`BinomialCache`] and [`HypergeometricCache`] precompute the
+//! inversion CDF table once per distinct parameter set, turning each draw
+//! into one uniform plus one binary search.
+//!
+//! **Bit-for-bit contract:** for every parameter set and every RNG state, a
+//! cached draw returns the same value *and consumes the same number of
+//! uniforms* as the corresponding free function ([`sample_binomial`] /
+//! [`sample_hypergeometric`]).  The tables are built with the identical
+//! floating-point recurrence, in the identical order, so each partial CDF sum
+//! is the same `f64` the per-draw walk would have computed; parameter sets
+//! the walk handles specially (no-draw edge cases, the normal-approximation
+//! underflow fallback) are captured as dedicated plan variants or delegated
+//! to the free function verbatim.  This is what lets the batched engine keep
+//! the golden snapshots byte-identical.
+//!
+//! ```
+//! use redundancy_stats::{BinomialCache, DeterministicRng};
+//! let mut cache = BinomialCache::default();
+//! let id = cache.prepare(40, 0.3); // hoisted out of the hot loop
+//! let mut rng = DeterministicRng::new(7);
+//! let x = cache.sample_prepared(id, &mut rng);
+//! assert!(x <= 40);
+//! ```
+
+use std::collections::HashMap;
+
+use super::{binomial_pmf_zero, sample_binomial, sample_hypergeometric};
+use crate::rng::DeterministicRng;
+use crate::special::ln_binomial;
+
+/// Largest inversion table a cache will materialise.  Campaign multiplicities
+/// are ≤ ~80; anything beyond this bound is not a hot-loop parameter set and
+/// is delegated to the exact free function instead.
+const MAX_TABLE_LEN: usize = 4096;
+
+/// Tables at most this long are searched with a forward linear scan (the
+/// expected stop index is tiny); longer ones use binary search.
+const LINEAR_SCAN_MAX: usize = 128;
+
+/// One prepared sampling strategy for a distinct parameter set.
+#[derive(Debug, Clone)]
+enum Plan {
+    /// Degenerate: return this value without consuming any randomness
+    /// (binomial `n == 0 || p == 0` → 0, `p == 1` → n; hypergeometric
+    /// `draws == 0 || successes == 0` → 0).
+    Certain(u64),
+    /// One uniform + binary search over the precomputed partial CDF sums.
+    /// Entry `i` is the CDF at `base + i`; `mirror == Some(n)` means the
+    /// table was built at `1 − p` and the draw is reflected to `n − k`,
+    /// matching [`sample_binomial`]'s `p > ½` recursion.
+    Table {
+        base: u64,
+        cdf: Box<[f64]>,
+        mirror: Option<u64>,
+    },
+    /// Parameter sets the walk handles via fallback (pmf(0) underflow) or
+    /// that exceed [`MAX_TABLE_LEN`]: call the free function so the RNG
+    /// consumption stays identical.
+    DelegateBinomial { n: u64, p: f64 },
+    DelegateHypergeometric {
+        total: u64,
+        successes: u64,
+        draws: u64,
+    },
+}
+
+impl Plan {
+    #[inline]
+    fn sample(&self, rng: &mut DeterministicRng) -> u64 {
+        match self {
+            Plan::Certain(value) => *value,
+            Plan::Table { base, cdf, mirror } => {
+                let u = rng.uniform();
+                // The inversion walk returns the first `k` with `cdf_k ≥ u`,
+                // clamped to the end of the support — exactly
+                // `partition_point` (first index not `< u`) with the same
+                // clamp.  At campaign parameters the CDF mass is
+                // front-loaded, so most draws stop within the first couple
+                // of entries: a predictable linear scan beats binary
+                // search there; big tables keep the binary search.
+                let idx = if cdf.len() <= LINEAR_SCAN_MAX {
+                    let mut i = 0usize;
+                    while i + 1 < cdf.len() && cdf[i] < u {
+                        i += 1;
+                    }
+                    i
+                } else {
+                    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+                };
+                let k = base + idx as u64;
+                match mirror {
+                    Some(n) => n - k,
+                    None => k,
+                }
+            }
+            Plan::DelegateBinomial { n, p } => sample_binomial(rng, *n, *p),
+            Plan::DelegateHypergeometric {
+                total,
+                successes,
+                draws,
+            } => sample_hypergeometric(rng, *total, *successes, *draws),
+        }
+    }
+}
+
+/// A resolved plan handle: the id-to-plan lookup hoisted out of the draw
+/// loop.
+///
+/// Obtained from [`BinomialCache::prepared`] / [`HypergeometricCache::prepared`];
+/// drawing through it skips the per-draw indexing that
+/// [`BinomialCache::sample_prepared`] pays, which matters in loops that
+/// draw hundreds of thousands of times from one parameter set.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedSampler<'a> {
+    plan: &'a Plan,
+}
+
+impl PreparedSampler<'_> {
+    /// Draw one value (same contract as `sample_prepared`).
+    #[inline]
+    pub fn sample(&self, rng: &mut DeterministicRng) -> u64 {
+        self.plan.sample(rng)
+    }
+}
+
+/// Cached binomial sampler keyed by `(n, p)`.
+///
+/// [`prepare`](Self::prepare) resolves a parameter set to a stable plan id
+/// (building the CDF table on first sight); [`sample_prepared`](Self::sample_prepared)
+/// draws through that id with no hashing on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct BinomialCache {
+    plans: Vec<Plan>,
+    index: HashMap<(u64, u64), usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BinomialCache {
+    /// Resolve `(n, p)` to a plan id, building the plan on first use.
+    ///
+    /// Panics (like [`sample_binomial`]) if `p` is not a probability.
+    pub fn prepare(&mut self, n: u64, p: f64) -> usize {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        if let Some(&id) = self.index.get(&(n, p.to_bits())) {
+            self.hits += 1;
+            return id;
+        }
+        self.misses += 1;
+        let plan = Self::build_plan(n, p);
+        let id = self.plans.len();
+        self.plans.push(plan);
+        self.index.insert((n, p.to_bits()), id);
+        id
+    }
+
+    fn build_plan(n: u64, p: f64) -> Plan {
+        if n == 0 || p == 0.0 {
+            return Plan::Certain(0);
+        }
+        if p == 1.0 {
+            return Plan::Certain(n);
+        }
+        // Mirror exactly like the walk: table at q ≤ ½, reflect the draw.
+        let (q, mirror) = if p > 0.5 {
+            (1.0 - p, Some(n))
+        } else {
+            (p, None)
+        };
+        if n as u128 + 1 > MAX_TABLE_LEN as u128 {
+            return Plan::DelegateBinomial { n, p };
+        }
+        let mut pmf = binomial_pmf_zero(n, q);
+        if pmf == 0.0 {
+            // The walk takes the normal-approximation fallback here, which
+            // consumes a different number of uniforms; delegate verbatim.
+            return Plan::DelegateBinomial { n, p };
+        }
+        // Identical recurrence and summation order as `sample_binomial`, so
+        // every partial sum is bit-equal to the walk's running `cdf`.
+        let odds = q / (1.0 - q);
+        let mut cdf = Vec::with_capacity(n as usize + 1);
+        let mut acc = pmf;
+        cdf.push(acc);
+        for k in 0..n {
+            pmf *= (n - k) as f64 / (k + 1) as f64 * odds;
+            acc += pmf;
+            cdf.push(acc);
+        }
+        Plan::Table {
+            base: 0,
+            cdf: cdf.into_boxed_slice(),
+            mirror,
+        }
+    }
+
+    /// Draw through a plan id returned by [`prepare`](Self::prepare).
+    #[inline]
+    pub fn sample_prepared(&self, id: usize, rng: &mut DeterministicRng) -> u64 {
+        self.plans[id].sample(rng)
+    }
+
+    /// Borrow the plan behind `id` for repeated hot-loop draws.
+    pub fn prepared(&self, id: usize) -> PreparedSampler<'_> {
+        PreparedSampler {
+            plan: &self.plans[id],
+        }
+    }
+
+    /// Convenience: prepare-and-draw in one call (hashes per draw; hot loops
+    /// should hoist [`prepare`](Self::prepare) instead).
+    pub fn sample(&mut self, rng: &mut DeterministicRng, n: u64, p: f64) -> u64 {
+        let id = self.prepare(n, p);
+        self.sample_prepared(id, rng)
+    }
+
+    /// Number of distinct parameter sets prepared so far.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True if no parameter set has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// `prepare` calls answered from the index.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// `prepare` calls that built a new plan.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Cached hypergeometric sampler keyed by `(total, successes, draws)`.
+///
+/// Same contract as [`BinomialCache`]: bit-identical draws and RNG
+/// consumption versus [`sample_hypergeometric`].
+#[derive(Debug, Clone, Default)]
+pub struct HypergeometricCache {
+    plans: Vec<Plan>,
+    index: HashMap<(u64, u64, u64), usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl HypergeometricCache {
+    /// Resolve `(total, successes, draws)` to a plan id, building the CDF
+    /// table on first use.
+    ///
+    /// Panics (like [`sample_hypergeometric`]) if `successes > total` or
+    /// `draws > total`.
+    pub fn prepare(&mut self, total: u64, successes: u64, draws: u64) -> usize {
+        assert!(successes <= total, "successes {successes} > total {total}");
+        assert!(draws <= total, "draws {draws} > total {total}");
+        if let Some(&id) = self.index.get(&(total, successes, draws)) {
+            self.hits += 1;
+            return id;
+        }
+        self.misses += 1;
+        let plan = Self::build_plan(total, successes, draws);
+        let id = self.plans.len();
+        self.plans.push(plan);
+        self.index.insert((total, successes, draws), id);
+        id
+    }
+
+    fn build_plan(total: u64, successes: u64, draws: u64) -> Plan {
+        if draws == 0 || successes == 0 {
+            return Plan::Certain(0);
+        }
+        let k_min = draws.saturating_sub(total - successes);
+        let k_max = successes.min(draws);
+        if (k_max - k_min) as u128 + 1 > MAX_TABLE_LEN as u128 {
+            return Plan::DelegateHypergeometric {
+                total,
+                successes,
+                draws,
+            };
+        }
+        // Same pmf seed and ratio recurrence as `sample_hypergeometric`.
+        let mut pmf = (ln_binomial(successes, k_min)
+            + ln_binomial(total - successes, draws - k_min)
+            - ln_binomial(total, draws))
+        .exp();
+        let mut cdf = Vec::with_capacity((k_max - k_min) as usize + 1);
+        let mut acc = pmf;
+        cdf.push(acc);
+        for k in k_min..k_max {
+            let remaining_failures = (total - successes + k + 1) - draws;
+            let ratio = (successes - k) as f64 * (draws - k) as f64
+                / ((k + 1) as f64 * remaining_failures as f64);
+            pmf *= ratio;
+            acc += pmf;
+            cdf.push(acc);
+        }
+        Plan::Table {
+            base: k_min,
+            cdf: cdf.into_boxed_slice(),
+            mirror: None,
+        }
+    }
+
+    /// Draw through a plan id returned by [`prepare`](Self::prepare).
+    #[inline]
+    pub fn sample_prepared(&self, id: usize, rng: &mut DeterministicRng) -> u64 {
+        self.plans[id].sample(rng)
+    }
+
+    /// Borrow the plan behind `id` for repeated hot-loop draws.
+    pub fn prepared(&self, id: usize) -> PreparedSampler<'_> {
+        PreparedSampler {
+            plan: &self.plans[id],
+        }
+    }
+
+    /// Convenience: prepare-and-draw in one call.
+    pub fn sample(
+        &mut self,
+        rng: &mut DeterministicRng,
+        total: u64,
+        successes: u64,
+        draws: u64,
+    ) -> u64 {
+        let id = self.prepare(total, successes, draws);
+        self.sample_prepared(id, rng)
+    }
+
+    /// Number of distinct parameter sets prepared so far.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True if no parameter set has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// `prepare` calls answered from the index.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// `prepare` calls that built a new plan.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Draw `draws` times from both the free function and the cache on
+    /// clones of the same RNG, asserting value-for-value equality and that
+    /// both streams end in the same state (same uniforms consumed).
+    fn assert_binomial_matches(n: u64, p: f64, draws: usize, seed: u64) {
+        let mut walk_rng = DeterministicRng::new(seed);
+        let mut cache_rng = walk_rng.clone();
+        let mut cache = BinomialCache::default();
+        let id = cache.prepare(n, p);
+        for i in 0..draws {
+            let want = sample_binomial(&mut walk_rng, n, p);
+            let got = cache.sample_prepared(id, &mut cache_rng);
+            assert_eq!(want, got, "n={n} p={p} draw {i}");
+        }
+        assert_eq!(
+            walk_rng, cache_rng,
+            "RNG streams diverged for n={n} p={p}: cached draw consumed a \
+             different number of uniforms"
+        );
+    }
+
+    fn assert_hypergeometric_matches(
+        total: u64,
+        successes: u64,
+        draws: u64,
+        reps: usize,
+        seed: u64,
+    ) {
+        let mut walk_rng = DeterministicRng::new(seed);
+        let mut cache_rng = walk_rng.clone();
+        let mut cache = HypergeometricCache::default();
+        let id = cache.prepare(total, successes, draws);
+        for i in 0..reps {
+            let want = sample_hypergeometric(&mut walk_rng, total, successes, draws);
+            let got = cache.sample_prepared(id, &mut cache_rng);
+            assert_eq!(want, got, "({total},{successes},{draws}) draw {i}");
+        }
+        assert_eq!(
+            walk_rng, cache_rng,
+            "RNG streams diverged for ({total},{successes},{draws})"
+        );
+    }
+
+    #[test]
+    fn binomial_matches_walk_on_grid() {
+        let mut seed = 100;
+        for &n in &[1u64, 2, 3, 7, 20, 40, 80] {
+            for &p in &[0.01, 0.1, 0.3, 0.5, 0.55, 0.7, 0.9, 0.99] {
+                seed += 1;
+                assert_binomial_matches(n, p, 400, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_matches_walk_on_edges() {
+        assert_binomial_matches(0, 0.5, 50, 1);
+        assert_binomial_matches(10, 0.0, 50, 2);
+        assert_binomial_matches(10, 1.0, 50, 3);
+        assert_binomial_matches(1, 0.5, 200, 4);
+    }
+
+    #[test]
+    fn binomial_matches_walk_through_underflow_fallback() {
+        // 0.5^4000 underflows: the walk takes the clamped-normal fallback
+        // (three uniforms per draw) and the cache must delegate to it.
+        assert_binomial_matches(4000, 0.5, 60, 5);
+        // Mirrored underflow: table would be built at q = 1 − p.
+        assert_binomial_matches(4000, 0.50001, 60, 6);
+    }
+
+    #[test]
+    fn binomial_delegates_oversize_tables() {
+        assert_binomial_matches(MAX_TABLE_LEN as u64 + 1, 0.3, 60, 7);
+        assert_binomial_matches(1 << 40, 0.25, 10, 8);
+    }
+
+    #[test]
+    fn binomial_prepare_is_idempotent_and_counts() {
+        let mut cache = BinomialCache::default();
+        assert!(cache.is_empty());
+        let a = cache.prepare(40, 0.3);
+        let b = cache.prepare(40, 0.3);
+        let c = cache.prepare(40, 0.31);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn binomial_convenience_sample_matches_prepared() {
+        let mut one = DeterministicRng::new(9);
+        let mut two = one.clone();
+        let mut cache = BinomialCache::default();
+        let id = cache.prepare(20, 0.4);
+        let mut cache2 = BinomialCache::default();
+        for _ in 0..100 {
+            assert_eq!(
+                cache.sample_prepared(id, &mut one),
+                cache2.sample(&mut two, 20, 0.4)
+            );
+        }
+    }
+
+    #[test]
+    fn hypergeometric_matches_walk_on_grid() {
+        let mut seed = 500;
+        for &(t, s, d) in &[
+            (1u64, 1u64, 1u64),
+            (10, 4, 5),
+            (20, 8, 15), // k_min = 3 > 0
+            (50, 50, 7),
+            (100, 30, 12),
+            (100, 1, 99),
+            (200, 120, 200),
+        ] {
+            seed += 1;
+            assert_hypergeometric_matches(t, s, d, 400, seed);
+        }
+    }
+
+    #[test]
+    fn hypergeometric_matches_walk_on_edges() {
+        assert_hypergeometric_matches(10, 0, 5, 50, 600);
+        assert_hypergeometric_matches(10, 4, 0, 50, 601);
+        assert_hypergeometric_matches(5, 5, 5, 50, 602);
+    }
+
+    #[test]
+    fn hypergeometric_delegates_oversize_tables() {
+        let span = MAX_TABLE_LEN as u64 + 10;
+        assert_hypergeometric_matches(4 * span, 2 * span, 2 * span, 20, 603);
+    }
+
+    #[test]
+    fn hypergeometric_prepare_counts() {
+        let mut cache = HypergeometricCache::default();
+        let a = cache.prepare(100, 30, 12);
+        let b = cache.prepare(100, 30, 12);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be a probability")]
+    fn binomial_prepare_rejects_bad_p() {
+        BinomialCache::default().prepare(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes")]
+    fn hypergeometric_prepare_rejects_bad_params() {
+        HypergeometricCache::default().prepare(10, 11, 5);
+    }
+}

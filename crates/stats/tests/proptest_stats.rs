@@ -9,7 +9,8 @@ use redundancy_stats::special::{
     binomial, binomial_pmf, hypergeometric_pmf, ln_binomial, ln_factorial,
 };
 use redundancy_stats::{
-    chi_square_test, DeterministicRng, Histogram, Proportion, RunningMoments, SeedSequence,
+    chi_square_test, BinomialCache, DeterministicRng, Histogram, HypergeometricCache, Proportion,
+    RunningMoments, SeedSequence,
 };
 
 proptest! {
@@ -54,6 +55,52 @@ proptest! {
         let sd = (n as f64 * p * (1.0 - p)).sqrt();
         prop_assert!((mean - expect).abs() < 5.0 * sd / (trials as f64).sqrt() + 1e-9,
             "n={} p={} mean {} expect {}", n, p, mean, expect);
+    }
+
+    /// `BinomialCache` is draw-for-draw identical to `sample_binomial` on a
+    /// shared RNG stream — values equal AND uniforms consumed equal, over an
+    /// arbitrary `(n, p)` grid including the mirrored and degenerate ranges.
+    #[test]
+    fn binomial_cache_is_bit_identical_to_walk(
+        n in 0u64..200,
+        p_mill in 0u32..=1000,
+        seed in 0u64..1000,
+    ) {
+        let p = p_mill as f64 / 1000.0;
+        let mut walk_rng = DeterministicRng::new(seed);
+        let mut cache_rng = walk_rng.clone();
+        let mut cache = BinomialCache::default();
+        let id = cache.prepare(n, p);
+        for i in 0..200 {
+            let want = sample_binomial(&mut walk_rng, n, p);
+            let got = cache.sample_prepared(id, &mut cache_rng);
+            prop_assert_eq!(want, got, "n={} p={} draw {}", n, p, i);
+        }
+        prop_assert_eq!(walk_rng, cache_rng, "RNG consumption diverged n={} p={}", n, p);
+    }
+
+    /// `HypergeometricCache` is draw-for-draw identical to
+    /// `sample_hypergeometric` on a shared RNG stream.
+    #[test]
+    fn hypergeometric_cache_is_bit_identical_to_walk(
+        total in 1u64..300,
+        succ_frac in 0u32..=100,
+        draw_frac in 0u32..=100,
+        seed in 0u64..1000,
+    ) {
+        let successes = total * succ_frac as u64 / 100;
+        let draws = total * draw_frac as u64 / 100;
+        let mut walk_rng = DeterministicRng::new(seed);
+        let mut cache_rng = walk_rng.clone();
+        let mut cache = HypergeometricCache::default();
+        let id = cache.prepare(total, successes, draws);
+        for i in 0..200 {
+            let want = sample_hypergeometric(&mut walk_rng, total, successes, draws);
+            let got = cache.sample_prepared(id, &mut cache_rng);
+            prop_assert_eq!(want, got, "({},{},{}) draw {}", total, successes, draws, i);
+        }
+        prop_assert_eq!(walk_rng, cache_rng,
+            "RNG consumption diverged ({},{},{})", total, successes, draws);
     }
 
     /// Hypergeometric samples respect their support bounds.
