@@ -1,5 +1,6 @@
 //! Batched campaign kernel vs the frozen reference loop, the cached
-//! samplers vs the per-draw walks, and `run_trials` thread scaling.
+//! samplers vs the per-draw walks, `run_trials` thread scaling, and the
+//! `parallel_sweep` grid driver at increasing pool widths.
 //!
 //! The acceptance bar for the batching work is the `campaign_kernel`
 //! group: `batched` must beat `reference` by ≥ 2x on the Fig. 1 fixture
@@ -13,7 +14,7 @@ use redundancy_sim::task::expand_plan;
 use redundancy_sim::{AdversaryModel, CampaignAccumulator, CampaignConfig, CheatStrategy};
 use redundancy_stats::samplers::{sample_binomial, sample_hypergeometric};
 use redundancy_stats::{
-    run_trials, BinomialCache, DeterministicRng, HypergeometricCache, TrialConfig,
+    parallel_sweep, run_trials, BinomialCache, DeterministicRng, HypergeometricCache, TrialConfig,
 };
 
 /// The Fig. 1 empirical-detection fixture: Balanced plan, 10% adversary,
@@ -90,7 +91,7 @@ fn bench_run_trials_scaling(c: &mut Criterion) {
             |b, &threads| {
                 let trial_cfg = TrialConfig {
                     trials: campaigns,
-                    chunk_size: 4,
+                    chunk_size: TrialConfig::CAMPAIGN_CHUNK_SIZE,
                     threads,
                     seed: 9,
                 };
@@ -116,10 +117,56 @@ fn bench_run_trials_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The exhibits' outer-grid pattern: a grid of independent experiments,
+/// each run single-threaded on a shared `parallel_sweep` pool.  Results
+/// are identical at every width; only the wall clock should move.
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_scaling");
+    group.sample_size(10);
+    let cfg = fig1_config();
+    let tasks = expand_plan(&RealizedPlan::balanced(2_000, 0.6).unwrap());
+    let grid: Vec<u64> = (0..16).collect();
+    let campaigns = 8u64;
+    group.throughput(Throughput::Elements(
+        grid.len() as u64 * campaigns * tasks.len() as u64,
+    ));
+    for &width in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("grid16", width), &width, |b, &width| {
+            b.iter(|| {
+                let outs = parallel_sweep(width, &grid, |idx, _point| {
+                    let trial_cfg = TrialConfig {
+                        trials: campaigns,
+                        chunk_size: TrialConfig::CAMPAIGN_CHUNK_SIZE,
+                        threads: 1,
+                        seed: 9 + idx as u64,
+                    };
+                    let acc: CampaignAccumulator = run_trials(
+                        &trial_cfg,
+                        |rng, _i, acc: &mut CampaignAccumulator| {
+                            run_campaign_with_scratch(
+                                &tasks,
+                                &cfg,
+                                rng,
+                                &mut acc.outcome,
+                                &mut acc.scratch,
+                            )
+                        },
+                        |a, b| a.merge(b),
+                    );
+                    acc.outcome.total_detected()
+                });
+                outs.into_iter().fold(0u64, u64::wrapping_add)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_campaign_kernel,
     bench_sampler_cache,
-    bench_run_trials_scaling
+    bench_run_trials_scaling,
+    bench_sweep_scaling
 );
 criterion_main!(benches);

@@ -95,6 +95,8 @@ pub enum Command {
         seed: u64,
         /// Trials per deterministic chunk of the parallel runner.
         chunk_size: u64,
+        /// Worker threads for the parallel runner (0 = auto).
+        threads: usize,
     },
     /// `redundancy solve-sm`
     SolveSm {
@@ -137,6 +139,9 @@ pub enum Command {
         steps: u32,
         /// Trials per deterministic chunk of the parallel runner.
         chunk_size: u64,
+        /// Thread budget shared by the sweep pool and per-row runners
+        /// (0 = auto).
+        threads: usize,
     },
     /// `redundancy certify`
     Certify {
@@ -157,6 +162,11 @@ pub enum Command {
         out: String,
         /// Optional baseline report to gate regressions against.
         baseline: Option<String>,
+        /// Cap on the thread counts the scaling fixtures exercise
+        /// (0 = the full 1/2/4 ladder).
+        threads: usize,
+        /// Chunk size for the `run_trials` scaling fixtures.
+        chunk_size: u64,
     },
     /// `redundancy help [command]`
     Help {
@@ -469,6 +479,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     "--campaigns",
                     "--seed",
                     "--chunk-size",
+                    "--threads",
                 ],
             )?;
             Ok(Command::Simulate {
@@ -483,6 +494,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 campaigns: f.or_default("--campaigns", "a positive integer", 20)?,
                 seed: f.or_default("--seed", "a 64-bit integer", 20_050_926)?,
                 chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
+                threads: f.or_default("--threads", "a thread count (0 = auto)", 0)?,
             })
         }
         "solve-sm" => {
@@ -521,6 +533,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     "--retries",
                     "--steps",
                     "--chunk-size",
+                    "--threads",
                 ],
             )?;
             Ok(Command::Faults {
@@ -559,6 +572,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     "a positive number of sweep steps",
                 )?,
                 chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
+                threads: f.or_default("--threads", "a thread count (0 = auto)", 0)?,
             })
         }
         "certify" => {
@@ -574,7 +588,18 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
             })
         }
         "bench" => {
-            let f = FlagSet::new(rest, "bench", &["--smoke", "--seed", "--out", "--baseline"])?;
+            let f = FlagSet::new(
+                rest,
+                "bench",
+                &[
+                    "--smoke",
+                    "--seed",
+                    "--out",
+                    "--baseline",
+                    "--threads",
+                    "--chunk-size",
+                ],
+            )?;
             Ok(Command::Bench {
                 smoke: f.flags.contains_key("--smoke"),
                 seed: f.or_default("--seed", "a 64-bit integer", 20_050_926)?,
@@ -582,6 +607,8 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     .optional("--out", "a file path")?
                     .unwrap_or_else(|| "BENCH_report.json".into()),
                 baseline: f.optional("--baseline", "a file path")?,
+                threads: f.or_default("--threads", "a thread count (0 = full ladder)", 0)?,
+                chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help {
@@ -840,7 +867,14 @@ mod tests {
     fn chunk_size_flag_parses_with_default() {
         let cmd = parse_args(&argv(&["simulate", "--tasks", "10", "--epsilon", "0.5"])).unwrap();
         match cmd {
-            Command::Simulate { chunk_size, .. } => assert_eq!(chunk_size, 4),
+            Command::Simulate {
+                chunk_size,
+                threads,
+                ..
+            } => {
+                assert_eq!(chunk_size, 4);
+                assert_eq!(threads, 0);
+            }
             other => panic!("{other:?}"),
         }
         let cmd = parse_args(&argv(&[
@@ -851,10 +885,19 @@ mod tests {
             "0.5",
             "--chunk-size",
             "32",
+            "--threads",
+            "6",
         ]))
         .unwrap();
         match cmd {
-            Command::Faults { chunk_size, .. } => assert_eq!(chunk_size, 32),
+            Command::Faults {
+                chunk_size,
+                threads,
+                ..
+            } => {
+                assert_eq!(chunk_size, 32);
+                assert_eq!(threads, 6);
+            }
             other => panic!("{other:?}"),
         }
         // Zero parses here; rejection (exit 2) happens at dispatch via
@@ -909,6 +952,8 @@ mod tests {
                 seed: 20_050_926,
                 out: "BENCH_report.json".into(),
                 baseline: None,
+                threads: 0,
+                chunk_size: 4,
             }
         );
         let cmd = parse_args(&argv(&[
@@ -920,6 +965,10 @@ mod tests {
             "r.json",
             "--baseline",
             "BENCH_baseline.json",
+            "--threads",
+            "2",
+            "--chunk-size",
+            "8",
         ]))
         .unwrap();
         assert_eq!(
@@ -929,6 +978,8 @@ mod tests {
                 seed: 7,
                 out: "r.json".into(),
                 baseline: Some("BENCH_baseline.json".into()),
+                threads: 2,
+                chunk_size: 8,
             }
         );
         assert!(matches!(

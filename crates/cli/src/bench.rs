@@ -24,7 +24,9 @@ use redundancy_sim::{
     CampaignScratch, CheatStrategy,
 };
 use redundancy_stats::table::{fnum, inum, Table};
-use redundancy_stats::{run_trials, sample_binomial, BinomialCache, DeterministicRng, TrialConfig};
+use redundancy_stats::{
+    parallel_sweep, run_trials, sample_binomial, BinomialCache, DeterministicRng, TrialConfig,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -61,6 +63,9 @@ struct Sizes {
     trials_tasks: u64,
     trials_campaigns: u64,
     trials_reps: u64,
+    sweep_points: usize,
+    sweep_campaigns: u64,
+    sweep_reps: u64,
     lp_max_dim: usize,
     lp_reps: u64,
 }
@@ -76,6 +81,9 @@ impl Sizes {
                 trials_tasks: 500,
                 trials_campaigns: 16,
                 trials_reps: 5,
+                sweep_points: 8,
+                sweep_campaigns: 4,
+                sweep_reps: 5,
                 lp_max_dim: 8,
                 lp_reps: 5,
             }
@@ -88,6 +96,9 @@ impl Sizes {
                 trials_tasks: 2_000,
                 trials_campaigns: 64,
                 trials_reps: 11,
+                sweep_points: 16,
+                sweep_campaigns: 8,
+                sweep_reps: 7,
                 lp_max_dim: 16,
                 lp_reps: 11,
             }
@@ -144,8 +155,22 @@ fn fig1_config() -> CampaignConfig {
     )
 }
 
+/// The thread ladder the scaling fixtures exercise, capped by `--threads`
+/// (0 keeps the full ladder; 1 remains so the speedup baseline exists).
+fn thread_ladder(cap: usize) -> Vec<usize> {
+    [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| cap == 0 || t <= cap)
+        .collect()
+}
+
 /// Run every fixture and collect the report rows.
-fn run_fixtures(smoke: bool, seed: u64) -> Result<Vec<BenchRecord>, CliError> {
+fn run_fixtures(
+    smoke: bool,
+    seed: u64,
+    threads_cap: usize,
+    chunk_size: u64,
+) -> Result<Vec<BenchRecord>, CliError> {
     let sizes = Sizes::for_mode(smoke);
     let cfg = fig1_config();
     let mut records = Vec::new();
@@ -227,10 +252,10 @@ fn run_fixtures(smoke: bool, seed: u64) -> Result<Vec<BenchRecord>, CliError> {
     let trials_plan = RealizedPlan::balanced(sizes.trials_tasks, 0.6).map_err(CliError::Core)?;
     let trials_tasks = expand_plan(&trials_plan);
     let trials_assignments = trials_plan.total_assignments() * sizes.trials_campaigns;
-    for threads in [1usize, 2, 4] {
+    for threads in thread_ladder(threads_cap) {
         let trial_cfg = TrialConfig {
             trials: sizes.trials_campaigns,
-            chunk_size: 4,
+            chunk_size,
             threads,
             seed,
         };
@@ -258,6 +283,58 @@ fn run_fixtures(smoke: bool, seed: u64) -> Result<Vec<BenchRecord>, CliError> {
         ));
     }
 
+    // Sweep driver: the same grid of independent experiments evaluated on
+    // a 1-wide and a 4-wide pool (the exhibits' outer-grid pattern).  Each
+    // grid point runs its campaigns single-threaded, so the checksums of
+    // the two fixtures are identical by construction.
+    {
+        let grid: Vec<u64> = (0..sizes.sweep_points as u64).collect();
+        let sweep_tasks = sizes.trials_tasks * sizes.sweep_campaigns * sizes.sweep_points as u64;
+        let sweep_assignments =
+            trials_plan.total_assignments() * sizes.sweep_campaigns * sizes.sweep_points as u64;
+        for width in thread_ladder(threads_cap) {
+            if width != 1 && width != 4 {
+                continue;
+            }
+            let name = if width == 1 {
+                "sweep_serial"
+            } else {
+                "sweep_parallel"
+            };
+            records.push(record(
+                name,
+                sizes.sweep_reps,
+                sweep_tasks,
+                sweep_assignments,
+                measure(sizes.sweep_reps, || {
+                    let outs = parallel_sweep(width, &grid, |idx, _point| {
+                        let trial_cfg = TrialConfig {
+                            trials: sizes.sweep_campaigns,
+                            chunk_size,
+                            threads: 1,
+                            seed: seed.wrapping_add(idx as u64),
+                        };
+                        let acc: CampaignAccumulator = run_trials(
+                            &trial_cfg,
+                            |rng, _i, acc: &mut CampaignAccumulator| {
+                                run_campaign_with_scratch(
+                                    &trials_tasks,
+                                    &cfg,
+                                    rng,
+                                    &mut acc.outcome,
+                                    &mut acc.scratch,
+                                )
+                            },
+                            |a, b| a.merge(b),
+                        );
+                        acc.outcome.total_detected()
+                    });
+                    outs.into_iter().fold(0u64, u64::wrapping_add)
+                }),
+            ));
+        }
+    }
+
     // LP sweep: solve every S_m up to the mode's dimension cap.
     {
         let max_dim = sizes.lp_max_dim;
@@ -281,32 +358,55 @@ fn run_fixtures(smoke: bool, seed: u64) -> Result<Vec<BenchRecord>, CliError> {
     Ok(records)
 }
 
+/// Parallel efficiency of the `run_trials_t{n}` fixture against the
+/// single-thread baseline (>1 means the extra threads helped).  `None`
+/// when either side is missing (capped ladder) or has a zero median.
+fn speedup(records: &[BenchRecord], threads: usize) -> Option<f64> {
+    let median = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+            .filter(|&ns| ns > 0)
+    };
+    let t1 = median("run_trials_t1")?;
+    let tn = median(&format!("run_trials_t{threads}"))?;
+    Some(t1 as f64 / tn as f64)
+}
+
 fn report_json(smoke: bool, seed: u64, records: &[BenchRecord]) -> Json {
-    obj(vec![
+    let mut fields = vec![
         ("schema", Json::Str("redundancy-bench/v1".into())),
         ("smoke", Json::Bool(smoke)),
         ("seed", num_u64(seed)),
-        (
-            "benches",
-            Json::Arr(
-                records
-                    .iter()
-                    .map(|r| {
-                        obj(vec![
-                            ("name", Json::Str(r.name.clone())),
-                            ("reps", num_u64(r.reps)),
-                            ("median_ns", num_u64(r.median_ns)),
-                            ("tasks_per_sec", Json::Num(r.tasks_per_sec)),
-                            ("assignments_per_sec", Json::Num(r.assignments_per_sec)),
-                            // Hex string: JSON numbers are f64 and cannot
-                            // hold a full u64 exactly.
-                            ("checksum", Json::Str(format!("{:016x}", r.checksum))),
-                        ])
-                    })
-                    .collect(),
-            ),
+    ];
+    if let Some(s2) = speedup(records, 2) {
+        fields.push(("speedup_t2", Json::Num(s2)));
+    }
+    if let Some(s4) = speedup(records, 4) {
+        fields.push(("speedup_t4", Json::Num(s4)));
+    }
+    fields.push((
+        "benches",
+        Json::Arr(
+            records
+                .iter()
+                .map(|r| {
+                    obj(vec![
+                        ("name", Json::Str(r.name.clone())),
+                        ("reps", num_u64(r.reps)),
+                        ("median_ns", num_u64(r.median_ns)),
+                        ("tasks_per_sec", Json::Num(r.tasks_per_sec)),
+                        ("assignments_per_sec", Json::Num(r.assignments_per_sec)),
+                        // Hex string: JSON numbers are f64 and cannot
+                        // hold a full u64 exactly.
+                        ("checksum", Json::Str(format!("{:016x}", r.checksum))),
+                    ])
+                })
+                .collect(),
         ),
-    ])
+    ));
+    obj(fields)
 }
 
 /// Compare a fresh report against a baseline document, returning the list
@@ -374,8 +474,10 @@ pub fn bench(
     seed: u64,
     out: &str,
     baseline: Option<&str>,
+    threads: usize,
+    chunk_size: u64,
 ) -> Result<String, CliError> {
-    let records = run_fixtures(smoke, seed)?;
+    let records = run_fixtures(smoke, seed, threads, chunk_size)?;
     let body = redundancy_json::to_string_pretty(&report_json(smoke, seed, &records));
     std::fs::write(out, &body).map_err(|e| CliError::Io(e.to_string()))?;
 
@@ -398,6 +500,14 @@ pub fn bench(
     }
     text.push_str(&table.render());
     let _ = writeln!(text, "(throughput columns are in millions per second)");
+    if let (Some(s2), Some(s4)) = (speedup(&records, 2), speedup(&records, 4)) {
+        let _ = writeln!(
+            text,
+            "thread scaling: speedup_t2 {} / speedup_t4 {} vs 1 thread",
+            fnum(s2, 2),
+            fnum(s4, 2)
+        );
+    }
     let _ = writeln!(text, "[report written to {out}]");
 
     if let Some(path) = baseline {
@@ -524,12 +634,15 @@ mod tests {
     fn smoke_bench_writes_valid_report() {
         let path = std::env::temp_dir().join("cli_bench_smoke_test.json");
         let p = path.to_string_lossy().into_owned();
-        let text = bench(true, 7, &p, None).unwrap();
+        let text = bench(true, 7, &p, None, 0, 4).unwrap();
         assert!(text.contains("campaign_batched"), "{text}");
         assert!(text.contains("report written"), "{text}");
+        assert!(text.contains("thread scaling: speedup_t2"), "{text}");
         let doc = std::fs::read_to_string(&path).unwrap();
         let json = redundancy_json::parse(&doc).unwrap();
         assert_eq!(json.field_str("schema").unwrap(), "redundancy-bench/v1");
+        assert!(json.field_f64("speedup_t2").unwrap() > 0.0);
+        assert!(json.field_f64("speedup_t4").unwrap() > 0.0);
         let benches = json.field_arr("benches").unwrap();
         let names: Vec<&str> = benches
             .iter()
@@ -543,10 +656,23 @@ mod tests {
             "run_trials_t1",
             "run_trials_t2",
             "run_trials_t4",
+            "sweep_serial",
+            "sweep_parallel",
             "lp_sweep",
         ] {
             assert!(names.contains(&expected), "missing {expected}: {names:?}");
         }
+        // The sweep fixtures run identical work at different pool widths,
+        // so their checksums must agree — same for the scaling ladder.
+        let sum_of = |wanted: &str| {
+            benches
+                .iter()
+                .find(|b| b.field_str("name").unwrap() == wanted)
+                .map(|b| b.field_str("checksum").unwrap().to_owned())
+                .unwrap()
+        };
+        assert_eq!(sum_of("sweep_serial"), sum_of("sweep_parallel"));
+        assert_eq!(sum_of("run_trials_t1"), sum_of("run_trials_t4"));
         for b in benches {
             assert!(b.field_u64("median_ns").unwrap() > 0, "{b:?}");
             assert!(b.field_f64("tasks_per_sec").unwrap() > 0.0, "{b:?}");
@@ -554,15 +680,30 @@ mod tests {
             assert_eq!(b.field_str("checksum").unwrap().len(), 16, "{b:?}");
         }
         // Gating a report against itself always passes.
-        let text2 = bench(true, 7, &p, Some(&p)).unwrap();
+        let text2 = bench(true, 7, &p, Some(&p), 0, 4).unwrap();
         assert!(text2.contains("baseline gate: ok"), "{text2}");
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
+    fn thread_cap_trims_the_ladder_and_the_speedup_fields() {
+        assert_eq!(thread_ladder(0), vec![1, 2, 4]);
+        assert_eq!(thread_ladder(2), vec![1, 2]);
+        assert_eq!(thread_ladder(1), vec![1]);
+        let records = run_fixtures(true, 7, 1, 4).unwrap();
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"run_trials_t1"), "{names:?}");
+        assert!(!names.contains(&"run_trials_t2"), "{names:?}");
+        assert!(!names.contains(&"sweep_parallel"), "{names:?}");
+        assert!(speedup(&records, 2).is_none());
+        let json = report_json(true, 7, &records);
+        assert!(json.field("speedup_t2").is_err());
+    }
+
+    #[test]
     fn bench_checksums_are_deterministic_for_a_seed() {
-        let a = run_fixtures(true, 11).unwrap();
-        let b = run_fixtures(true, 11).unwrap();
+        let a = run_fixtures(true, 11, 0, 4).unwrap();
+        let b = run_fixtures(true, 11, 0, 4).unwrap();
         let sums = |rs: &[BenchRecord]| {
             rs.iter()
                 .map(|r| (r.name.clone(), r.checksum))

@@ -11,7 +11,7 @@ use redundancy_sim::{
     CheatStrategy, ExperimentConfig, FaultModel,
 };
 use redundancy_stats::table::{fnum, inum, Table};
-use redundancy_stats::TrialConfig;
+use redundancy_stats::{parallel_sweep, sweep_thread_split, TrialConfig};
 use std::fmt::Write as _;
 
 /// Errors surfaced to the user.
@@ -121,6 +121,7 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             campaigns,
             seed,
             chunk_size,
+            threads,
         } => simulate(
             *scheme,
             *tasks,
@@ -129,6 +130,7 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             *campaigns,
             *seed,
             *chunk_size,
+            *threads,
         ),
         Command::SolveSm {
             tasks,
@@ -151,6 +153,7 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             retries,
             steps,
             chunk_size,
+            threads,
         } => faults_sweep(
             *scheme,
             *tasks,
@@ -165,6 +168,7 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             *retries,
             *steps,
             *chunk_size,
+            *threads,
         ),
         Command::Certify {
             tasks,
@@ -176,22 +180,39 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             seed,
             out,
             baseline,
-        } => crate::bench::bench(*smoke, *seed, out, baseline.as_deref()),
+            threads,
+            chunk_size,
+        } => {
+            check_trial_config(1, *seed, *chunk_size, *threads)?;
+            crate::bench::bench(
+                *smoke,
+                *seed,
+                out,
+                baseline.as_deref(),
+                *threads,
+                *chunk_size,
+            )
+        }
     }
 }
 
 /// Reject CLI-supplied trial-runner parameters that `run_trials` would only
 /// catch with a debug assertion, naming the flag so `main` can exit with
 /// code 2.
-fn check_trial_config(campaigns: u64, seed: u64, chunk_size: u64) -> Result<(), CliError> {
+fn check_trial_config(
+    campaigns: u64,
+    seed: u64,
+    chunk_size: u64,
+    threads: usize,
+) -> Result<(), CliError> {
     TrialConfig {
         trials: campaigns,
         chunk_size,
-        threads: 0,
+        threads,
         seed,
     }
     .validate()
-    .map_err(|e| CliError::Invalid(format!("--chunk-size: {e}")))
+    .map_err(|e| CliError::Invalid(format!("--{}: {e}", e.field.replace('_', "-"))))
 }
 
 fn help(topic: Option<&str>) -> String {
@@ -221,24 +242,28 @@ Picks the cheapest scheme meeting the requirements and explains why.
         Some("simulate") => "\
 redundancy simulate --tasks <N> --epsilon <E> [--scheme S] [--proportion P]
                     [--campaigns C] [--seed SEED] [--chunk-size K]
+                    [--threads T]
 
 Runs full Monte-Carlo campaigns (assignment, collusion, verification) and
 reports empirical detection rates with Wilson 95% intervals.  --chunk-size
-sets how many campaigns share one derived RNG seed (must be positive;
-results are identical for any thread count at a fixed chunk size).
+sets how many campaigns share one derived RNG seed (must be positive);
+--threads pins the worker count (0 = auto).  Results are identical for any
+thread count at a fixed chunk size.
 "
         .into(),
         Some("faults") => "\
 redundancy faults --tasks <N> --epsilon <E> [--scheme S] [--proportion P]
                   [--campaigns C] [--seed SEED] [--drop-rate R] [--steps K]
                   [--straggler-rate R] [--straggler-delay D]
-                  [--timeout T] [--retries M] [--chunk-size K]
+                  [--timeout T] [--retries M] [--chunk-size K] [--threads T]
 
 Sweeps per-assignment drop rates from 0 to --drop-rate in K steps and
 reports how empirical detection, delivery rate, and effective multiplicity
-degrade — and how much the retry/reassignment budget recovers.  All latency
-is abstract ticks; results are deterministic for a fixed seed and identical
-across thread counts.
+degrade — and how much the retry/reassignment budget recovers.  The rows
+run concurrently on one worker pool; --threads caps the total budget shared
+by the pool and each row's campaigns (0 = auto).  All latency is abstract
+ticks; results are deterministic for a fixed seed and identical across
+thread counts.
 "
         .into(),
         Some("solve-sm") => "\
@@ -261,14 +286,18 @@ Figure 2 setting (N = 100,000, eps = 0.5).
         .into(),
         Some("bench") => "\
 redundancy bench [--smoke] [--seed SEED] [--out PATH] [--baseline PATH]
+                 [--threads T] [--chunk-size K]
 
 Runs the pinned performance fixtures (batched campaign kernel vs the frozen
-reference loop, cached vs walking samplers, run_trials thread scaling, an
-S_m LP sweep) and writes a `redundancy-bench/v1` JSON report (default
-BENCH_report.json) with per-fixture median wall time, tasks/sec,
-assignments/sec, and a determinism checksum.  --smoke shrinks the fixtures
-for CI; --baseline compares medians against a previous report and exits
-with code 2 if any fixture regressed beyond 2x.
+reference loop, cached vs walking samplers, run_trials thread scaling, a
+parallel sweep, an S_m LP sweep) and writes a `redundancy-bench/v1` JSON
+report (default BENCH_report.json) with per-fixture median wall time,
+tasks/sec, assignments/sec, and a determinism checksum, plus top-level
+speedup_t2/speedup_t4 parallel-efficiency fields.  --threads caps the
+scaling ladder (0 = the full 1/2/4); --chunk-size sets the run_trials
+fixtures' chunk size.  --smoke shrinks the fixtures for CI; --baseline
+compares medians against a previous report and exits with code 2 if any
+fixture regressed beyond 2x.
 "
         .into(),
         _ => USAGE.into(),
@@ -416,11 +445,13 @@ fn simulate(
     campaigns: u64,
     seed: u64,
     chunk_size: u64,
+    threads: usize,
 ) -> Result<String, CliError> {
-    check_trial_config(campaigns, seed, chunk_size)?;
+    check_trial_config(campaigns, seed, chunk_size, threads)?;
     let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
     let config = ExperimentConfig {
         chunk_size,
+        threads,
         ..ExperimentConfig::new(campaigns, seed)
     };
     let est = detection_experiment(
@@ -482,8 +513,9 @@ fn faults_sweep(
     retries: u32,
     steps: u32,
     chunk_size: u64,
+    threads: usize,
 ) -> Result<String, CliError> {
-    check_trial_config(campaigns, seed, chunk_size)?;
+    check_trial_config(campaigns, seed, chunk_size, threads)?;
     let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
     let campaign = CampaignConfig::new(
         AdversaryModel::AssignmentFraction { p: proportion },
@@ -516,6 +548,10 @@ fn faults_sweep(
         "unresolved",
     ]);
     table.numeric();
+    // Validate every row's fault model up front, then run all rows on one
+    // sweep pool; each row's experiment takes the leftover thread share.
+    // Row seeds are fixed, so the table matches the serial loop exactly.
+    let mut rows: Vec<(f64, FaultModel)> = Vec::new();
     for step in 0..=steps {
         let rate = drop_rate * f64::from(step) / f64::from(steps);
         let faults = FaultModel {
@@ -527,11 +563,19 @@ fn faults_sweep(
             ..FaultModel::none()
         };
         faults.validate().map_err(CliError::Invalid)?;
-        let config = ExperimentConfig {
-            chunk_size,
-            ..ExperimentConfig::new(campaigns, seed)
-        };
-        let est = faulty_detection_experiment(&plan, &campaign, &faults, &config);
+        rows.push((rate, faults));
+    }
+    let (outer, inner) = sweep_thread_split(threads, rows.len());
+    let config = ExperimentConfig {
+        chunk_size,
+        ..ExperimentConfig::new(campaigns, seed)
+    }
+    .with_threads(inner);
+    let estimates = parallel_sweep(outer, &rows, |_i, (_rate, faults)| {
+        faulty_detection_experiment(&plan, &campaign, faults, &config)
+    });
+    for ((rate, _), est) in rows.iter().zip(&estimates) {
+        let rate = *rate;
         let overall = est.overall();
         let (lo, hi) = overall.wilson_interval(1.96);
         table.row(&[
@@ -931,6 +975,50 @@ mod tests {
                 "{err:?}"
             );
         }
+    }
+
+    #[test]
+    fn absurd_thread_count_is_invalid_and_names_the_flag() {
+        for argv in [
+            vec![
+                "simulate",
+                "--tasks",
+                "100",
+                "--epsilon",
+                "0.5",
+                "--threads",
+                "99999",
+            ],
+            vec!["bench", "--smoke", "--threads", "99999"],
+        ] {
+            let err = run(&argv).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Invalid(m) if m.contains("--threads")),
+                "{err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn faults_sweep_thread_budget_does_not_change_the_table() {
+        let base = [
+            "faults",
+            "--tasks",
+            "1000",
+            "--epsilon",
+            "0.5",
+            "--campaigns",
+            "3",
+            "--seed",
+            "5",
+            "--steps",
+            "2",
+        ];
+        let mut pinned: Vec<&str> = base.to_vec();
+        pinned.extend_from_slice(&["--threads", "1"]);
+        let mut wide: Vec<&str> = base.to_vec();
+        wide.extend_from_slice(&["--threads", "8"]);
+        assert_eq!(run(&pinned).unwrap(), run(&wide).unwrap());
     }
 
     #[test]

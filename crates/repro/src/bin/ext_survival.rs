@@ -9,9 +9,10 @@
 use redundancy_core::{wasted_assignments, RealizedPlan};
 use redundancy_repro::{banner, Cli};
 use redundancy_sim::engine::CampaignConfig;
-use redundancy_sim::survival::{expected_free_cheats, survival_experiment};
+use redundancy_sim::survival::{expected_free_cheats, survival_experiment_with};
 use redundancy_sim::{AdversaryModel, CheatStrategy};
 use redundancy_stats::table::{fnum, Table};
+use redundancy_stats::{parallel_sweep, sweep_thread_split};
 
 fn main() {
     let cli = Cli::parse();
@@ -47,8 +48,11 @@ fn main() {
         ("simple", RealizedPlan::k_fold(n, 2, 0.5).unwrap(), 0.1),
     ];
 
-    for (i, (name, plan, p)) in scenarios.iter().enumerate() {
-        let p_eff = plan.effective_detection(*p).unwrap();
+    // Scenarios run concurrently on the sweep pool; each gets its share of
+    // the thread budget for its own career runner.  Seeds depend only on
+    // the scenario index, so the table is byte-identical to the serial loop.
+    let (outer, inner) = sweep_thread_split(cli.threads, scenarios.len());
+    let outcomes = parallel_sweep(outer, &scenarios, |i, (name, plan, p)| {
         let cfg = CampaignConfig::new(
             AdversaryModel::AssignmentFraction { p: *p },
             if *name == "simple" {
@@ -57,7 +61,11 @@ fn main() {
                 CheatStrategy::AtLeast { min_copies: 1 }
             },
         );
-        let out = survival_experiment(plan, &cfg, careers, cli.seed + i as u64);
+        survival_experiment_with(plan, &cfg, careers, cli.seed + i as u64, inner)
+    });
+
+    for ((name, plan, p), out) in scenarios.iter().zip(&outcomes) {
+        let p_eff = plan.effective_detection(*p).unwrap();
         let theory = expected_free_cheats(p_eff);
         let (_, waste) = wasted_assignments(&plan.detection_profile()).unwrap();
         let theory_str = if theory.is_finite() {

@@ -34,6 +34,11 @@ pub struct Cli {
     pub csv: Option<String>,
     /// Scale factor for Monte-Carlo effort (`--trials-scale`), ≥ 1.
     pub trials_scale: u64,
+    /// Thread budget (`--threads`), 0 = auto.  Shared by the sweep-level
+    /// pool and the per-point Monte-Carlo runners (see
+    /// `redundancy_stats::sweep_thread_split`); results are byte-identical
+    /// at every value.
+    pub threads: usize,
 }
 
 impl Default for Cli {
@@ -42,6 +47,7 @@ impl Default for Cli {
             seed: 20_050_926,
             csv: None,
             trials_scale: 1,
+            threads: 0,
         }
     }
 }
@@ -64,6 +70,10 @@ impl Cli {
                 }
                 "--trials-scale" if i + 1 < args.len() => {
                     cli.trials_scale = args[i + 1].parse::<u64>().unwrap_or(1).max(1);
+                    i += 1;
+                }
+                "--threads" if i + 1 < args.len() => {
+                    cli.threads = args[i + 1].parse().unwrap_or(0);
                     i += 1;
                 }
                 _ => {}
@@ -130,6 +140,7 @@ mod tests {
         assert_eq!(cli.seed, 20_050_926);
         assert!(cli.csv.is_none());
         assert_eq!(cli.trials_scale, 1);
+        assert_eq!(cli.threads, 0);
     }
 
     #[test]

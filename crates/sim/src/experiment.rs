@@ -23,20 +23,34 @@ pub struct ExperimentConfig {
     /// Worker threads (0 = auto).
     pub threads: usize,
     /// Campaigns per deterministic chunk (seed granularity); must be
-    /// positive.  Campaigns are heavyweight trials, so the default of 4 is
-    /// far below [`TrialConfig::new`]'s 256.
+    /// positive.  Campaigns are heavyweight trials, so the default of
+    /// [`TrialConfig::CAMPAIGN_CHUNK_SIZE`] (4) is far below
+    /// [`TrialConfig::new`]'s [`TrialConfig::DEFAULT_CHUNK_SIZE`] (256).
     pub chunk_size: u64,
 }
 
 impl ExperimentConfig {
-    /// `campaigns` campaigns from `seed`, auto threads, chunks of 4.
+    /// `campaigns` campaigns from `seed`, auto threads, chunks of
+    /// [`TrialConfig::CAMPAIGN_CHUNK_SIZE`].
     pub fn new(campaigns: u64, seed: u64) -> Self {
         ExperimentConfig {
             campaigns,
             seed,
             threads: 0,
-            chunk_size: 4,
+            chunk_size: TrialConfig::CAMPAIGN_CHUNK_SIZE,
         }
+    }
+
+    /// The same experiment pinned to `threads` worker threads.
+    ///
+    /// Sweep drivers running grid points concurrently via
+    /// `redundancy_stats::parallel_sweep` use this (typically with the
+    /// inner share from `sweep_thread_split`) so the per-point experiments
+    /// don't oversubscribe the machine.  Chunking and seeds are untouched,
+    /// so the outcome is bit-identical at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -108,8 +122,11 @@ pub fn detection_experiment_with(
         seed: config.seed,
     };
     // The accumulator carries each worker's scratch (results buffer +
-    // sampler caches) alongside its partial outcome, so steady-state
-    // campaigns allocate nothing and CDF tables are built once per worker.
+    // sampler caches) alongside its partial outcome.  `run_trials` keeps
+    // one accumulator alive per worker for the whole run, so steady-state
+    // campaigns allocate nothing and CDF tables are built once per worker
+    // (enforced by `caches_build_once_per_worker_not_per_chunk` in
+    // redundancy-stats).
     let acc: CampaignAccumulator = run_trials(
         &trial_cfg,
         |rng, _i, acc: &mut CampaignAccumulator| {

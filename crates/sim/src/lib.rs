@@ -68,6 +68,6 @@ pub use rounds::{
     run_platform, run_platform_with_faults, PlatformConfig, PlatformHistory, RoundReport,
 };
 pub use supervisor::Supervisor;
-pub use survival::{survival_experiment, SurvivalOutcome};
+pub use survival::{survival_experiment, survival_experiment_with, SurvivalOutcome};
 pub use task::{correct_result, grouped_specs, ResultValue, SpecGroup, TaskId, TaskSpec};
 pub use two_phase::{two_phase_trial, TwoPhaseConfig, TwoPhaseOutcome};

@@ -115,19 +115,33 @@ pub fn career(
 }
 
 /// Monte-Carlo survival experiment over `careers` independent adversary
-/// careers.
+/// careers, with auto-detected thread count.
 pub fn survival_experiment(
     plan: &RealizedPlan,
     config: &CampaignConfig,
     careers: u64,
     seed: u64,
 ) -> SurvivalOutcome {
+    survival_experiment_with(plan, config, careers, seed, 0)
+}
+
+/// As [`survival_experiment`] but pinned to `threads` worker threads
+/// (0 = auto).  Sweep drivers evaluating several scenarios concurrently
+/// pass each scenario its share of the thread budget.  Careers are chunked
+/// and seeded identically at every thread count.
+pub fn survival_experiment_with(
+    plan: &RealizedPlan,
+    config: &CampaignConfig,
+    careers: u64,
+    seed: u64,
+    threads: usize,
+) -> SurvivalOutcome {
     config.validate().expect("invalid campaign configuration");
     let tasks = expand_plan(plan);
     let trial_cfg = TrialConfig {
         trials: careers,
-        chunk_size: 4,
-        threads: 0,
+        chunk_size: TrialConfig::CAMPAIGN_CHUNK_SIZE,
+        threads,
         seed,
     };
     run_trials(

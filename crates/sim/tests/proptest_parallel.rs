@@ -1,0 +1,145 @@
+//! Property-based equivalence tests for the worker-persistent trial
+//! runner (proptest).
+//!
+//! The worker-persistent `run_trials` keeps one accumulator (scratch
+//! buffers, CDF caches and all) alive per worker for an entire run.  The
+//! old design built a fresh accumulator for every chunk.  These tests pin
+//! the refactor's contract: for the real campaign kernels — fault-free
+//! *and* fault-injecting — the persistent runner is bit-identical to a
+//! fresh-accumulator-per-chunk oracle at every thread count, across
+//! trial/chunk shapes covering zero chunks, a single chunk, and odd
+//! remainders.
+
+use proptest::prelude::*;
+use redundancy_core::RealizedPlan;
+use redundancy_sim::task::expand_plan;
+use redundancy_sim::{
+    run_campaign_with_faults_scratch, run_campaign_with_scratch, AdversaryModel,
+    CampaignAccumulator, CampaignConfig, CampaignOutcome, CheatStrategy, FaultModel,
+};
+use redundancy_stats::{run_trials, DeterministicRng, SeedSequence, TrialConfig};
+
+fn small_config() -> CampaignConfig {
+    CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: 0.15 },
+        CheatStrategy::AtLeast { min_copies: 1 },
+    )
+}
+
+/// The old runner's exact semantics: one fresh accumulator per chunk,
+/// chunk `c` seeded from `SeedSequence::derive(c)`, partials merged in
+/// chunk order.  Any divergence between this and `run_trials` means the
+/// persistent caches leaked state into the sampled values.
+fn fresh_per_chunk_oracle<F>(trials: u64, chunk_size: u64, seed: u64, trial: F) -> CampaignOutcome
+where
+    F: Fn(&mut DeterministicRng, u64, &mut CampaignAccumulator),
+{
+    let seq = SeedSequence::new(seed);
+    let n_chunks = trials.div_ceil(chunk_size);
+    let mut total = CampaignAccumulator::default();
+    for chunk in 0..n_chunks {
+        let mut acc = CampaignAccumulator::default();
+        let mut rng = DeterministicRng::new(seq.derive(chunk));
+        let start = chunk * chunk_size;
+        let end = (start + chunk_size).min(trials);
+        for i in start..end {
+            trial(&mut rng, i, &mut acc);
+        }
+        total.merge(acc);
+    }
+    total.outcome
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free kernel: persistent workers reproduce the per-chunk
+    /// oracle exactly at 1, 2, 4, and 8 threads.
+    #[test]
+    fn persistent_runner_matches_fresh_chunk_oracle(
+        tasks_n in 10u64..60,
+        trials in 0u64..24,
+        chunk_size in 1u64..9,
+        seed in 0u64..10_000,
+    ) {
+        let plan = RealizedPlan::balanced(tasks_n, 0.5).unwrap();
+        let tasks = expand_plan(&plan);
+        let cfg = small_config();
+        let trial = |rng: &mut DeterministicRng, _i: u64, acc: &mut CampaignAccumulator| {
+            run_campaign_with_scratch(&tasks, &cfg, rng, &mut acc.outcome, &mut acc.scratch);
+        };
+        let expected = fresh_per_chunk_oracle(trials, chunk_size, seed, trial);
+        for threads in [1usize, 2, 4, 8] {
+            let config = TrialConfig { trials, chunk_size, threads, seed };
+            let acc: CampaignAccumulator =
+                run_trials(&config, trial, |a, b| a.merge(b));
+            prop_assert_eq!(&acc.outcome, &expected, "threads = {}", threads);
+        }
+    }
+
+    /// Fault path: the per-assignment delivery draws also replay exactly,
+    /// so retries/drops/timeouts cannot depend on worker layout either.
+    #[test]
+    fn fault_kernel_matches_oracle_across_thread_counts(
+        tasks_n in 10u64..50,
+        trials in 0u64..16,
+        chunk_size in 1u64..7,
+        drop_pct in 0u32..50,
+        straggler_pct in 0u32..50,
+        seed in 0u64..10_000,
+    ) {
+        let plan = RealizedPlan::balanced(tasks_n, 0.5).unwrap();
+        let tasks = expand_plan(&plan);
+        let cfg = small_config();
+        let faults = FaultModel {
+            drop_rate: f64::from(drop_pct) / 100.0,
+            straggler_rate: f64::from(straggler_pct) / 100.0,
+            straggler_mean_delay: 12.0,
+            timeout: 8,
+            max_retries: 2,
+            ..FaultModel::none()
+        };
+        prop_assert!(faults.validate().is_ok());
+        let trial = |rng: &mut DeterministicRng, _i: u64, acc: &mut CampaignAccumulator| {
+            run_campaign_with_faults_scratch(
+                &tasks, &cfg, &faults, rng, &mut acc.outcome, &mut acc.scratch,
+            );
+        };
+        let expected = fresh_per_chunk_oracle(trials, chunk_size, seed, trial);
+        for threads in [1usize, 2, 4, 8] {
+            let config = TrialConfig { trials, chunk_size, threads, seed };
+            let acc: CampaignAccumulator =
+                run_trials(&config, trial, |a, b| a.merge(b));
+            prop_assert_eq!(&acc.outcome, &expected, "threads = {}", threads);
+        }
+    }
+}
+
+/// The shapes the proptest ranges only sample are each pinned once:
+/// zero trials (no chunks at all), trials below one chunk, an exact
+/// multiple, and an odd remainder on the last chunk.
+#[test]
+fn chunk_edge_shapes_are_exact() {
+    let plan = RealizedPlan::balanced(24, 0.5).unwrap();
+    let tasks = expand_plan(&plan);
+    let cfg = small_config();
+    let trial = |rng: &mut DeterministicRng, _i: u64, acc: &mut CampaignAccumulator| {
+        run_campaign_with_scratch(&tasks, &cfg, rng, &mut acc.outcome, &mut acc.scratch);
+    };
+    for (trials, chunk_size) in [(0u64, 4u64), (3, 8), (12, 4), (13, 4), (1, 1)] {
+        let expected = fresh_per_chunk_oracle(trials, chunk_size, 77, trial);
+        for threads in [1usize, 2, 4, 8] {
+            let config = TrialConfig {
+                trials,
+                chunk_size,
+                threads,
+                seed: 77,
+            };
+            let acc: CampaignAccumulator = run_trials(&config, trial, |a, b| a.merge(b));
+            assert_eq!(
+                acc.outcome, expected,
+                "trials {trials}, chunk {chunk_size}, threads {threads}"
+            );
+        }
+    }
+}

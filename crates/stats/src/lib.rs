@@ -20,7 +20,9 @@
 //!   Wilson confidence intervals, and histograms for the empirical-detection
 //!   experiments;
 //! * [`parallel`] — a chunked multi-threaded Monte-Carlo trial runner with
-//!   per-chunk derived seeds (deterministic regardless of thread count);
+//!   per-chunk derived seeds (deterministic regardless of thread count),
+//!   worker-persistent accumulators, and a sweep-level driver for the
+//!   exhibits' outer parameter grids;
 //! * [`table`] — the fixed-width table renderer used to print the paper's
 //!   tables byte-identically across the repro binaries and examples.
 
@@ -35,7 +37,9 @@ pub mod table;
 
 pub use estimate::{Histogram, Proportion, RunningMoments};
 pub use gof::{chi_square_test, regularized_gamma_q, ChiSquare};
-pub use parallel::{run_trials, InvalidTrialConfig, TrialConfig};
+pub use parallel::{
+    parallel_sweep, run_trials, sweep_thread_split, InvalidTrialConfig, TrialConfig,
+};
 pub use quantile::P2Quantile;
 pub use rng::{DeterministicRng, SeedSequence};
 pub use samplers::cache::{BinomialCache, HypergeometricCache, PreparedSampler};
