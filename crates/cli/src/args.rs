@@ -168,6 +168,21 @@ pub enum Command {
         /// Chunk size for the `run_trials` scaling fixtures.
         chunk_size: u64,
     },
+    /// `redundancy repro`
+    Repro {
+        /// Exhibit to run (a registry name); absent with `--list`/`--all`.
+        exhibit: Option<String>,
+        /// List the exhibit registry instead of running anything.
+        list: bool,
+        /// Run every registry entry.
+        all: bool,
+        /// Where the `repro-report/v1` JSON goes: a file path for a single
+        /// exhibit, a directory for `--all`.
+        json: Option<String>,
+        /// Shared exhibit flags (`--seed/--csv/--trials-scale/--threads`),
+        /// validated by the registry's own parser.
+        ctx: redundancy_repro::ExhibitCtx,
+    },
     /// `redundancy help [command]`
     Help {
         /// Command to describe, if any.
@@ -611,6 +626,75 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
             })
         }
+        "repro" => {
+            // `repro` mixes one positional (the exhibit name) with its own
+            // booleans and the shared exhibit flags, so it walks the argv
+            // itself and hands the shared flags to the registry's parser —
+            // the same code path the legacy standalone binaries use.
+            let mut exhibit: Option<String> = None;
+            let mut list = false;
+            let mut all = false;
+            let mut json: Option<String> = None;
+            let mut shared: Vec<String> = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--list" => list = true,
+                    "--all" => all = true,
+                    "--json" => {
+                        let Some(value) = rest.get(i + 1) else {
+                            return Err(ArgError::MissingValue("--json".into()));
+                        };
+                        json = Some(value.clone());
+                        i += 1;
+                    }
+                    flag if flag.starts_with("--") => {
+                        shared.push(rest[i].clone());
+                        if let Some(value) = rest.get(i + 1) {
+                            shared.push(value.clone());
+                            i += 1;
+                        }
+                    }
+                    name => {
+                        if exhibit.is_some() {
+                            return Err(ArgError::BadValue {
+                                flag: "repro".into(),
+                                value: name.into(),
+                                expected: "a single exhibit name",
+                            });
+                        }
+                        exhibit = Some(name.to_string());
+                    }
+                }
+                i += 1;
+            }
+            let ctx = redundancy_repro::ExhibitCtx::parse_from(&shared, true).map_err(|e| {
+                use redundancy_repro::CtxError;
+                match e {
+                    CtxError::MissingValue(flag) => ArgError::MissingValue(flag),
+                    CtxError::BadValue {
+                        flag,
+                        value,
+                        expected,
+                    } => ArgError::BadValue {
+                        flag: flag.into(),
+                        value,
+                        expected,
+                    },
+                    CtxError::UnknownFlag(flag) => ArgError::UnknownFlag {
+                        flag,
+                        command: "repro",
+                    },
+                }
+            })?;
+            Ok(Command::Repro {
+                exhibit,
+                list,
+                all,
+                json,
+                ctx,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help {
             topic: rest.first().cloned(),
         }),
@@ -1015,5 +1099,99 @@ mod tests {
             expected: "a number in (0, 1)",
         };
         assert!(e2.to_string().contains("(0, 1)"));
+    }
+
+    #[test]
+    fn repro_full_parse() {
+        let cmd = parse_args(&argv(&[
+            "repro",
+            "fig2_minimizing_table",
+            "--seed",
+            "7",
+            "--trials-scale",
+            "3",
+            "--threads",
+            "2",
+            "--csv",
+            "out.csv",
+            "--json",
+            "report.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Repro {
+                exhibit: Some("fig2_minimizing_table".into()),
+                list: false,
+                all: false,
+                json: Some("report.json".into()),
+                ctx: redundancy_repro::ExhibitCtx {
+                    seed: 7,
+                    csv: Some("out.csv".into()),
+                    trials_scale: 3,
+                    threads: 2,
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn repro_list_and_all_and_defaults() {
+        assert_eq!(
+            parse_args(&argv(&["repro", "--list"])).unwrap(),
+            Command::Repro {
+                exhibit: None,
+                list: true,
+                all: false,
+                json: None,
+                ctx: redundancy_repro::ExhibitCtx::default(),
+            }
+        );
+        let cmd = parse_args(&argv(&["repro", "--all", "--json", "reports"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Repro {
+                exhibit: None,
+                list: false,
+                all: true,
+                json: Some("reports".into()),
+                ctx: redundancy_repro::ExhibitCtx::default(),
+            }
+        );
+        // The shared seed default is the conference date, same as the
+        // legacy binaries.
+        match cmd {
+            Command::Repro { ctx, .. } => assert_eq!(ctx.seed, 20_050_926),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn repro_validates_the_shared_flags_strictly() {
+        // Zero --trials-scale: rejected with the flag named, matching the
+        // --chunk-size / --threads conventions.
+        let e = parse_args(&argv(&["repro", "theory_checks", "--trials-scale", "0"])).unwrap_err();
+        assert!(matches!(&e, ArgError::BadValue { flag, .. } if flag == "--trials-scale"));
+        assert!(e.to_string().contains("--trials-scale"), "{e}");
+        // Unknown flags are a strict error through the subcommand.
+        assert_eq!(
+            parse_args(&argv(&["repro", "--bogus", "1"])).unwrap_err(),
+            ArgError::UnknownFlag {
+                flag: "--bogus".into(),
+                command: "repro",
+            }
+        );
+        // A second positional is rejected rather than silently dropped.
+        let e = parse_args(&argv(&["repro", "fig1_detection_vs_p", "extra"])).unwrap_err();
+        assert!(matches!(e, ArgError::BadValue { .. }));
+        // Flags missing their value are reported.
+        assert_eq!(
+            parse_args(&argv(&["repro", "--json"])).unwrap_err(),
+            ArgError::MissingValue("--json".into())
+        );
+        assert_eq!(
+            parse_args(&argv(&["repro", "--seed"])).unwrap_err(),
+            ArgError::MissingValue("--seed".into())
+        );
     }
 }

@@ -193,7 +193,103 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
                 *chunk_size,
             )
         }
+        Command::Repro {
+            exhibit,
+            list,
+            all,
+            json,
+            ctx,
+        } => repro(exhibit.as_deref(), *list, *all, json.as_deref(), ctx),
     }
+}
+
+/// `redundancy repro`: the unified front door to the exhibit registry.
+fn repro(
+    exhibit: Option<&str>,
+    list: bool,
+    all: bool,
+    json: Option<&str>,
+    ctx: &redundancy_repro::ExhibitCtx,
+) -> Result<String, CliError> {
+    use redundancy_json::to_string_pretty;
+
+    if list {
+        return Ok(redundancy_repro::render_index());
+    }
+    if all && exhibit.is_some() {
+        return Err(CliError::Invalid(
+            "`repro --all` runs every exhibit; drop the exhibit name".into(),
+        ));
+    }
+    if all {
+        // Batch mode: one status line per exhibit on stdout; with --json,
+        // one repro-report/v1 document per exhibit under the directory.
+        if let Some(dir) = json {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError::Io(format!("creating {dir}: {e}")))?;
+        }
+        let mut out = String::new();
+        for entry in redundancy_repro::registry() {
+            let report = entry.run(ctx);
+            let status = if report.passed { "ok" } else { "FAILED" };
+            let _ = writeln!(out, "[{status}] {}", entry.name());
+            if let Some(dir) = json {
+                let path = format!("{dir}/{}.json", entry.name());
+                std::fs::write(&path, to_string_pretty(&report.to_json(ctx)))
+                    .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+                let _ = writeln!(out, "  [json written to {path}]");
+            }
+            if !report.passed {
+                return Err(CliError::Invalid(format!(
+                    "exhibit `{}` reported failed self-checks:\n{out}",
+                    entry.name()
+                )));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} exhibits completed.",
+            redundancy_repro::registry().len()
+        );
+        return Ok(out);
+    }
+    let Some(name) = exhibit else {
+        return Err(CliError::Invalid(
+            "`repro` needs an exhibit name (or --list / --all); try `redundancy repro --list`"
+                .into(),
+        ));
+    };
+    let Some(entry) = redundancy_repro::find(name) else {
+        return Err(CliError::Invalid(format!(
+            "unknown exhibit `{name}`; try `redundancy repro --list`"
+        )));
+    };
+    let start = std::time::Instant::now();
+    let report = entry.run(ctx);
+    // Byte-identical to the standalone binary: the registry's shared
+    // emitter renders the text and performs the --csv side effect.
+    let mut out = redundancy_repro::emit_text(&report, ctx);
+    if let Some(path) = json {
+        std::fs::write(path, to_string_pretty(&report.to_json(ctx)))
+            .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+        eprintln!("[json written to {path}]");
+    }
+    if report.tasks > 0 {
+        redundancy_repro::throughput_footer(
+            name,
+            report.tasks,
+            report.assignments,
+            start.elapsed(),
+        );
+    }
+    if !report.passed {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "exhibit `{name}` reported failed self-checks (see above)."
+        );
+    }
+    Ok(out)
 }
 
 /// Reject CLI-supplied trial-runner parameters that `run_trials` would only
@@ -298,6 +394,22 @@ scaling ladder (0 = the full 1/2/4); --chunk-size sets the run_trials
 fixtures' chunk size.  --smoke shrinks the fixtures for CI; --baseline
 compares medians against a previous report and exits with code 2 if any
 fixture regressed beyond 2x.
+"
+        .into(),
+        Some("repro") => "\
+redundancy repro <EXHIBIT> [--seed SEED] [--csv PATH] [--trials-scale K]
+                 [--threads T] [--json PATH]
+redundancy repro --list
+redundancy repro --all [--json DIR] [shared flags]
+
+Regenerates the paper's tables and figures from the exhibit registry.  A
+single exhibit prints exactly what its legacy standalone binary prints
+(byte-identical, pinned by the golden snapshots); --json additionally
+writes a `repro-report/v1` JSON document (see docs/REPORTS.md).  --list
+prints the registry index; --all runs every exhibit, writing one JSON
+document per exhibit when --json names a directory.  --trials-scale
+multiplies Monte-Carlo effort (must be positive); --threads caps the
+worker budget (0 = auto) and never changes the output bytes.
 "
         .into(),
         _ => USAGE.into(),
@@ -1057,11 +1169,40 @@ mod tests {
             Some("solve-sm"),
             Some("certify"),
             Some("bench"),
+            Some("repro"),
             Some("unknown"),
         ] {
             let out = help(topic);
             assert!(out.contains("redundancy"), "{topic:?}");
         }
+    }
+
+    #[test]
+    fn repro_list_names_every_registry_entry() {
+        let out = run(&["repro", "--list"]).unwrap();
+        for exhibit in redundancy_repro::registry() {
+            assert!(out.contains(exhibit.name()), "{} missing", exhibit.name());
+        }
+    }
+
+    #[test]
+    fn repro_rejects_contradictory_and_unknown_requests() {
+        let err = run(&["repro", "theory_checks", "--all"]).unwrap_err();
+        assert!(err.to_string().contains("--all"), "{err}");
+        let err = run(&["repro", "no_such_exhibit"]).unwrap_err();
+        assert!(err.to_string().contains("unknown exhibit"), "{err}");
+        let err = run(&["repro"]).unwrap_err();
+        assert!(err.to_string().contains("repro --list"), "{err}");
+    }
+
+    #[test]
+    fn repro_exhibit_output_matches_the_registry_emitter() {
+        // fig4 is deterministic and cheap: no Monte Carlo, no LP sweep.
+        let out = run(&["repro", "fig4_assignment_table"]).unwrap();
+        let entry = redundancy_repro::find("fig4_assignment_table").unwrap();
+        let ctx = redundancy_repro::ExhibitCtx::default();
+        assert_eq!(out, entry.run(&ctx).render_text());
+        assert!(out.starts_with("=== Figure 4 ===\n"));
     }
 
     #[test]

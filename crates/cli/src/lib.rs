@@ -13,6 +13,7 @@
 //! redundancy solve-sm --tasks 100000 --epsilon 0.5 --dim 16 [--mps out.mps] [--min-precompute]
 //! redundancy certify  --tasks 100000 --epsilon 0.5 --max-dim 26
 //! redundancy bench    --smoke --out BENCH_report.json [--baseline BENCH_baseline.json]
+//! redundancy repro    fig2_minimizing_table [--json report.json] | --list | --all
 //! ```
 //!
 //! Every command is a pure function from parsed arguments to a report
@@ -48,6 +49,7 @@ COMMANDS:
     solve-sm   Solve an assignment-minimizing LP system S_m
     certify    Certify S_m optima with the exact-rational LP oracle
     bench      Pinned performance fixtures with a BENCH JSON report
+    repro      Regenerate the paper's tables and figures from the registry
     help       Show this message
 
 COMMON OPTIONS:

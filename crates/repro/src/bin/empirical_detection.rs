@@ -1,132 +1,6 @@
-//! Empirical validation (beyond the paper): simulated detection rates
-//! `P̂_{k,p}` for every scheme vs the closed forms, with Wilson intervals.
-//!
-//! A full volunteer-computing campaign is simulated per trial — plan
-//! expansion, adversary assignment, collusion, supervisor comparison,
-//! ringer checks — so this exercises the entire deployment code path, not
-//! just the formulas.
-
-use redundancy_core::RealizedPlan;
-use redundancy_repro::{banner, throughput_footer, Cli};
-use redundancy_sim::{detection_experiment, AdversaryModel, CheatStrategy, ExperimentConfig};
-use redundancy_stats::table::{fnum, Table};
+//! Thin shim over the `empirical_detection` registry entry; see
+//! `crates/repro/src/exhibits/empirical_detection.rs` for the exhibit itself.
 
 fn main() {
-    let cli = Cli::parse();
-    banner(
-        "Empirical detection",
-        "Simulated P(k,p) for realized plans vs closed forms (Wilson 95% intervals).\n\
-         N = 20,000 per campaign; adversary cheats on every task held.",
-    );
-
-    let n = 20_000u64;
-    let campaigns = 30 * cli.trials_scale;
-    let mut table = Table::new(&[
-        "scheme",
-        "eps",
-        "p",
-        "k",
-        "closed form",
-        "simulated",
-        "95% CI",
-        "attacks",
-    ]);
-    table.numeric();
-    let mut csv_rows = Vec::new();
-    let start = std::time::Instant::now();
-    let mut sim_tasks = 0u64;
-    let mut sim_assignments = 0u64;
-
-    let mut scenario = |label: &str,
-                        plan: &RealizedPlan,
-                        eps: f64,
-                        p: f64,
-                        closed: &dyn Fn(usize) -> f64,
-                        seed: u64| {
-        let est = detection_experiment(
-            plan,
-            AdversaryModel::AssignmentFraction { p },
-            CheatStrategy::AtLeast { min_copies: 1 },
-            &ExperimentConfig::new(campaigns, seed),
-        );
-        sim_tasks += est.outcome.tasks;
-        sim_assignments += est.outcome.assignments;
-        for k in 1..=3usize {
-            let Some(prop) = est.at_tuple(k) else {
-                continue;
-            };
-            let (lo, hi) = prop.wilson_interval(1.96);
-            let cf = closed(k);
-            table.row(&[
-                label,
-                &fnum(eps, 2),
-                &fnum(p, 2),
-                &k.to_string(),
-                &fnum(cf, 4),
-                &fnum(prop.estimate(), 4),
-                &format!("[{}, {}]", fnum(lo, 4), fnum(hi, 4)),
-                &prop.trials().to_string(),
-            ]);
-            csv_rows.push(vec![
-                label.into(),
-                fnum(eps, 2),
-                fnum(p, 2),
-                k.to_string(),
-                fnum(cf, 6),
-                fnum(prop.estimate(), 6),
-                prop.trials().to_string(),
-            ]);
-        }
-    };
-
-    for (eps, p, seed_off) in [
-        (0.5, 0.05, 0),
-        (0.5, 0.15, 1),
-        (0.75, 0.1, 2),
-        (0.75, 0.3, 3),
-    ] {
-        let bal = RealizedPlan::balanced(n, eps).expect("plan realizes");
-        scenario(
-            "balanced",
-            &bal,
-            eps,
-            p,
-            &|_k| 1.0 - (1.0 - eps).powf(1.0 - p),
-            cli.seed + seed_off,
-        );
-        let gs = RealizedPlan::golle_stubblebine(n, eps).expect("plan realizes");
-        let c = 1.0 - (1.0 - eps).sqrt();
-        scenario(
-            "golle-stubblebine",
-            &gs,
-            eps,
-            p,
-            &|k| 1.0 - (1.0 - c * (1.0 - p)).powi(k as i32 + 1),
-            cli.seed + 100 + seed_off,
-        );
-    }
-    // Simple redundancy: pair collusion never detected.
-    let simple = RealizedPlan::k_fold(n, 2, 0.5).expect("plan realizes");
-    scenario(
-        "simple",
-        &simple,
-        0.5,
-        0.15,
-        &|k| if k >= 2 { 0.0 } else { 1.0 },
-        cli.seed + 999,
-    );
-
-    print!("{}", table.render());
-    println!();
-    println!(
-        "Every simulated rate should bracket its closed form; simple redundancy's\n\
-         k = 2 row is exactly zero — the motivating collusion failure."
-    );
-    cli.maybe_write_csv("scheme,eps,p,k,closed_form,simulated,attacks", &csv_rows);
-    throughput_footer(
-        "empirical_detection",
-        sim_tasks,
-        sim_assignments,
-        start.elapsed(),
-    );
+    redundancy_repro::exhibit_main("empirical_detection")
 }

@@ -1,64 +1,6 @@
-//! Figure 1: detection probability vs proportion controlled by adversary.
-//!
-//! Three curves at ε = ½: the Balanced distribution, the optimal `S₉`
-//! (N = 100,000), and the optimal `S₂₆` (N = 1,000,000) — the first
-//! systems whose precompute requirement stably falls below 1000 tasks.
-//! Each curve plots the *effective* (minimum over k) detection probability
-//! as the adversary's proportion p grows; the paper's shape: Balanced
-//! decays slowly (`1 − ½^{1−p}`), both LP optima collapse steeply.
-
-use redundancy_core::{AssignmentMinimizing, Balanced};
-use redundancy_repro::{banner, Cli};
-use redundancy_stats::parallel_sweep;
-use redundancy_stats::table::{fnum, Table};
+//! Thin shim over the `fig1_detection_vs_p` registry entry; see
+//! `crates/repro/src/exhibits/fig1_detection_vs_p.rs` for the exhibit itself.
 
 fn main() {
-    let cli = Cli::parse();
-    banner(
-        "Figure 1",
-        "Detection probabilities for three distributions (eps = 1/2).\n\
-         Columns: min_k P(k,p) for Balanced, S_9 at N = 100,000 and S_26 at N = 1,000,000\n\
-         (the first finite-dimensional solutions stably requiring < 1000 precomputed tasks).",
-    );
-
-    let eps = 0.5;
-    let balanced = Balanced::new(100_000, eps).expect("valid parameters");
-    let s9 = AssignmentMinimizing::solve(100_000, eps, 9).expect("S_9 solves");
-    let s26 = AssignmentMinimizing::solve(1_000_000, eps, 26).expect("S_26 solves");
-    assert!(
-        s9.precompute_required() < 1000.0 && s26.precompute_required() < 1000.0,
-        "Figure 1 selection criterion"
-    );
-    let s9_prof = s9.verified_profile();
-    let s26_prof = s26.verified_profile();
-
-    let mut table = Table::new(&["p", "balanced", "S_9 (N=1e5)", "S_26 (N=1e6)"]);
-    table.numeric();
-    let mut csv_rows = Vec::new();
-    // Evaluate the p-grid on the shared sweep pool; results come back in
-    // grid order, so the printed table is byte-identical to the serial loop.
-    let grid: Vec<f64> = (0..=20).map(|step| step as f64 * 0.025).collect(); // 0 .. 0.5
-    let points = parallel_sweep(cli.threads, &grid, |_i, &p| {
-        let bal = balanced.p_nonasymptotic(1, p).expect("valid p");
-        let v9 = s9_prof.effective_detection(p).expect("valid p");
-        let v26 = s26_prof.effective_detection(p).expect("valid p");
-        (p, bal, v9, v26)
-    });
-    for (p, bal, v9, v26) in points {
-        table.row(&[&fnum(p, 3), &fnum(bal, 4), &fnum(v9, 4), &fnum(v26, 4)]);
-        csv_rows.push(vec![fnum(p, 3), fnum(bal, 6), fnum(v9, 6), fnum(v26, 6)]);
-    }
-    print!("{}", table.render());
-
-    println!();
-    println!(
-        "S_9 precompute: {:.0} tasks; S_26 precompute: {:.0} tasks.",
-        s9.precompute_required(),
-        s26.precompute_required()
-    );
-    println!(
-        "Shape check: Balanced stays above both LP optima for p >= 0.05 \
-         (the paper's argument for robustness to collusion)."
-    );
-    cli.maybe_write_csv("p,balanced,s9_n1e5,s26_n1e6", &csv_rows);
+    redundancy_repro::exhibit_main("fig1_detection_vs_p")
 }

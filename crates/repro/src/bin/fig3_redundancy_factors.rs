@@ -1,68 +1,6 @@
-//! Figure 3: redundancy factors vs detection threshold ε.
-//!
-//! Four curves: the Balanced distribution `ln(1/(1−ε))/ε`, the
-//! Golle–Stubblebine distribution `1/√(1−ε)`, simple redundancy (constant
-//! 2), and the Proposition 1 theoretical minimum `2/(2−ε)`.  Shape checks:
-//! Balanced below GS on all of (0,1); Balanced crosses 2 near ε ≈ 0.797;
-//! GS crosses 2 at exactly ε = 0.75.
-
-use redundancy_core::{bounds, Balanced, GolleStubblebine};
-use redundancy_repro::{banner, Cli};
-use redundancy_stats::parallel_sweep;
-use redundancy_stats::table::{fnum, Table};
+//! Thin shim over the `fig3_redundancy_factors` registry entry; see
+//! `crates/repro/src/exhibits/fig3_redundancy_factors.rs` for the exhibit itself.
 
 fn main() {
-    let cli = Cli::parse();
-    banner(
-        "Figure 3",
-        "Redundancy factors for the Balanced and Golle-Stubblebine distributions,\n\
-         with simple redundancy and the theoretical lower bound (asymptotic case).",
-    );
-
-    let mut table = Table::new(&[
-        "eps",
-        "balanced",
-        "golle-stubblebine",
-        "simple",
-        "lower bound",
-    ]);
-    table.numeric();
-    let mut csv_rows = Vec::new();
-    // ε-grid on the shared sweep pool; ordered results keep the table
-    // byte-identical to the serial loop.
-    let grid: Vec<f64> = (1..20).map(|i| i as f64 * 0.05).collect();
-    let points = parallel_sweep(cli.threads, &grid, |_i, &eps| {
-        let bal = Balanced::factor_for_threshold(eps).expect("valid eps");
-        let gs = GolleStubblebine::factor_for_threshold(eps).expect("valid eps");
-        let bound = bounds::lower_bound_factor(eps).expect("valid eps");
-        (eps, bal, gs, bound)
-    });
-    for (eps, bal, gs, bound) in points {
-        table.row(&[
-            &fnum(eps, 2),
-            &fnum(bal, 4),
-            &fnum(gs, 4),
-            "2.0000",
-            &fnum(bound, 4),
-        ]);
-        csv_rows.push(vec![
-            fnum(eps, 2),
-            fnum(bal, 6),
-            fnum(gs, 6),
-            "2.0".into(),
-            fnum(bound, 6),
-        ]);
-    }
-    print!("{}", table.render());
-
-    println!();
-    println!(
-        "Crossovers: GS = simple at eps = 0.75 exactly; Balanced = simple at eps = {:.4}.",
-        Balanced::break_even_with_simple()
-    );
-    println!("Balanced < GS on all of (0,1); every curve > lower bound 2/(2-eps).");
-    cli.maybe_write_csv(
-        "eps,balanced,golle_stubblebine,simple,lower_bound",
-        &csv_rows,
-    );
+    redundancy_repro::exhibit_main("fig3_redundancy_factors")
 }

@@ -1,0 +1,207 @@
+//! Extension exhibit: detection under failures, stragglers, and retries.
+//!
+//! The paper's guarantees assume lossless delivery: every assigned copy
+//! comes back and enters the comparison.  This exhibit drops that
+//! assumption.  Per-assignment drop and straggler hazards shrink the
+//! tuples the supervisor actually compares, so empirical detection falls
+//! below the closed form `1 − (1−ε)^{1−p}`; a capped-exponential-backoff
+//! retry budget buys most of it back.  Tables for the Balanced and
+//! Golle–Stubblebine distributions, swept over drop rate and straggler
+//! rate.
+//!
+//! Determinism: all latency is abstract ticks and every fault draw flows
+//! through the chunked trial driver's per-chunk seeds, so the tables are
+//! byte-identical for a fixed `--seed` regardless of `--threads`.  The
+//! whole (scheme × hazard × rate) grid runs on one sweep pool, with each
+//! point's experiments taking their share of the thread budget.
+
+use crate::{Exhibit, ExhibitCtx, Report};
+use redundancy_core::RealizedPlan;
+use redundancy_json::num_u64;
+use redundancy_sim::{
+    faulty_detection_experiment, AdversaryModel, CampaignConfig, CheatStrategy, ExperimentConfig,
+    FaultModel,
+};
+use redundancy_stats::table::{fnum, Table};
+use redundancy_stats::{parallel_sweep, sweep_thread_split};
+
+pub struct ExtFaults;
+
+/// Which per-assignment hazard a grid point sweeps.
+#[derive(Clone, Copy, PartialEq)]
+enum Hazard {
+    Drop,
+    Straggler,
+}
+
+impl Hazard {
+    fn label(self) -> &'static str {
+        match self {
+            Hazard::Drop => "drop",
+            Hazard::Straggler => "straggler",
+        }
+    }
+
+    fn model(self, rate: f64) -> FaultModel {
+        match self {
+            Hazard::Drop => FaultModel::with_drop_rate(rate),
+            // Mean delay 3× the 8-tick timeout: stragglers usually miss the
+            // window and survive only through retries.
+            Hazard::Straggler => FaultModel::with_stragglers(rate, 24.0),
+        }
+    }
+}
+
+/// Everything one grid point contributes to the tables, CSV, and footer.
+struct PointResult {
+    d0: f64,
+    d3: f64,
+    delivered: f64,
+    eff: f64,
+    unresolved: u64,
+    tasks: u64,
+    assignments: u64,
+}
+
+impl Exhibit for ExtFaults {
+    fn name(&self) -> &'static str {
+        "ext_faults"
+    }
+
+    fn summary(&self) -> &'static str {
+        "detection vs drop/straggler rate, with and without retries"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "(ours)"
+    }
+
+    fn run(&self, ctx: &ExhibitCtx) -> Report {
+        let mut report = Report::new(
+            self.name(),
+            "Extension: faults",
+            "Empirical detection under per-assignment drops and stragglers, with and\n\
+             without supervisor retries.  N = 10,000 tasks, eps = 0.5, p = 0.1.",
+        );
+
+        let n = 10_000u64;
+        let eps = 0.5;
+        let p = 0.1;
+        let campaigns = 12 * ctx.trials_scale;
+        let campaign = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p },
+            CheatStrategy::AtLeast { min_copies: 1 },
+        );
+        let drop_rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+        let straggler_rates = [0.0, 0.2, 0.4, 0.6, 0.8];
+
+        let schemes: Vec<(&str, RealizedPlan)> = vec![
+            ("balanced", RealizedPlan::balanced(n, eps).unwrap()),
+            (
+                "golle-stubblebine",
+                RealizedPlan::golle_stubblebine(n, eps).unwrap(),
+            ),
+        ];
+
+        // Flatten the (scheme × hazard × rate) grid in print order, then run
+        // every point on one shared sweep pool; each point's two experiments
+        // get the leftover share of the thread budget.
+        let mut points: Vec<(usize, Hazard, f64)> = Vec::new();
+        for si in 0..schemes.len() {
+            for &rate in &drop_rates {
+                points.push((si, Hazard::Drop, rate));
+            }
+            for &rate in &straggler_rates {
+                points.push((si, Hazard::Straggler, rate));
+            }
+        }
+        let (outer, inner) = sweep_thread_split(ctx.threads, points.len());
+        let config = ExperimentConfig::new(campaigns, ctx.seed).with_threads(inner);
+        let results = parallel_sweep(outer, &points, |_i, &(si, hazard, rate)| {
+            let plan = &schemes[si].1;
+            let no_retry = FaultModel {
+                max_retries: 0,
+                ..hazard.model(rate)
+            };
+            let with_retry = FaultModel {
+                max_retries: 3,
+                ..hazard.model(rate)
+            };
+            let bare = faulty_detection_experiment(plan, &campaign, &no_retry, &config);
+            let retried = faulty_detection_experiment(plan, &campaign, &with_retry, &config);
+            PointResult {
+                d0: bare.overall().estimate(),
+                d3: retried.overall().estimate(),
+                delivered: retried.outcome.delivery_rate().unwrap_or(0.0),
+                eff: retried.outcome.effective_multiplicity().unwrap_or(0.0),
+                unresolved: retried.outcome.unresolved_tasks,
+                tasks: bare.outcome.tasks + retried.outcome.tasks,
+                assignments: bare.outcome.assignments + retried.outcome.assignments,
+            }
+        });
+
+        let mut csv_rows = Vec::new();
+        let mut totals = (0u64, 0u64);
+        let mut rows = points.iter().zip(&results);
+        for (name, plan) in &schemes {
+            let expect = 1.0 - (1.0 - plan.epsilon()).powf(1.0 - p);
+            report.text(format!(
+                "--- {name} (closed-form detection with lossless delivery: {}) ---",
+                fnum(expect, 4)
+            ));
+            for (hazard, label, count) in [
+                (Hazard::Drop, "drop rate", drop_rates.len()),
+                (Hazard::Straggler, "straggler rate", straggler_rates.len()),
+            ] {
+                let mut table = Table::new(&[
+                    label,
+                    "detection (no retry)",
+                    "detection (3 retries)",
+                    "delivered (3 retries)",
+                    "eff. mult",
+                    "unresolved",
+                ]);
+                table.numeric();
+                for (&(_, ph, rate), r) in rows.by_ref().take(count) {
+                    debug_assert!(ph == hazard);
+                    totals.0 += r.tasks;
+                    totals.1 += r.assignments;
+                    table.row(&[
+                        &fnum(rate, 2),
+                        &fnum(r.d0, 4),
+                        &fnum(r.d3, 4),
+                        &fnum(r.delivered, 4),
+                        &fnum(r.eff, 3),
+                        &r.unresolved.to_string(),
+                    ]);
+                    csv_rows.push(vec![
+                        name.to_string(),
+                        hazard.label().to_string(),
+                        fnum(rate, 2),
+                        fnum(r.d0, 6),
+                        fnum(r.d3, 6),
+                        fnum(r.delivered, 6),
+                        fnum(r.eff, 6),
+                        r.unresolved.to_string(),
+                    ]);
+                }
+                report.table(table);
+                report.blank();
+            }
+        }
+        report.text(
+            "Shape: without retries detection decays roughly like the closed form with\n\
+             eps scaled by the delivery rate; three retries hold it near the lossless\n\
+             value until drop rates get extreme.  Both schemes degrade alike — the\n\
+             hazard acts per assignment, not per scheme.",
+        );
+        report.fact("campaigns_per_point", num_u64(campaigns));
+        report.fact("grid_points", num_u64(points.len() as u64));
+        report.set_csv(
+            "scheme,hazard,rate,detection_no_retry,detection_retry3,delivered,effective_multiplicity,unresolved",
+            csv_rows,
+        );
+        report.counters(totals.0, totals.1);
+        report
+    }
+}

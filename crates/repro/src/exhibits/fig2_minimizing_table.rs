@@ -1,0 +1,120 @@
+//! Figure 2: the assignment-minimizing distributions per dimension.
+//!
+//! For N = 100,000 and ε = ½, each row gives the `S_m` optimum's
+//! precompute requirement, redundancy factor, and minimum non-asymptotic
+//! detection probability at p ∈ {0.05, 0.10, 0.15}; the final row is the
+//! Balanced distribution.  Paper anchors reproduced: S₅ precompute 602,
+//! S₆ jumps to 1923 (the "602 → 1923" localized exception), redundancy
+//! factor rising S₃ → S₄, and the global trends (precompute ↓, factor ↓
+//! toward 4/3, non-asymptotic minima collapsing as m grows).
+
+use crate::{Exhibit, ExhibitCtx, Report};
+use redundancy_core::{AssignmentMinimizing, Balanced};
+use redundancy_json::{num_u64, Json};
+use redundancy_stats::table::{fnum, Table};
+
+pub struct Fig2MinimizingTable;
+
+impl Exhibit for Fig2MinimizingTable {
+    fn name(&self) -> &'static str {
+        "fig2_minimizing_table"
+    }
+
+    fn summary(&self) -> &'static str {
+        "per-dimension LP optima: precompute, redundancy factor, min P(k,p)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 2"
+    }
+
+    fn run(&self, _ctx: &ExhibitCtx) -> Report {
+        let mut report = Report::new(
+            self.name(),
+            "Figure 2",
+            "Assignment-minimizing distributions: precompute, redundancy factor, and\n\
+             minimum detection probabilities (N = 100,000, eps = 0.5). Final row: Balanced.",
+        );
+
+        let n = 100_000u64;
+        let eps = 0.5;
+        let ps = [0.05, 0.10, 0.15];
+
+        let mut table = Table::new(&[
+            "Dim",
+            "Precompute",
+            "Redund. Factor",
+            "Min P (p=0.05)",
+            "Min P (p=0.1)",
+            "Min P (p=0.15)",
+        ]);
+        table.numeric();
+        let mut csv_rows = Vec::new();
+
+        for m in 2..=26usize {
+            let sol = AssignmentMinimizing::solve(n, eps, m).expect("S_m solves");
+            let prof = sol.verified_profile();
+            let mins: Vec<f64> = ps
+                .iter()
+                .map(|&p| prof.effective_detection(p).expect("valid p"))
+                .collect();
+            table.row(&[
+                &m.to_string(),
+                &fnum(sol.precompute_required(), 0),
+                &fnum(sol.objective() / n as f64, 4),
+                &fnum(mins[0], 3),
+                &fnum(mins[1], 3),
+                &fnum(mins[2], 3),
+            ]);
+            csv_rows.push(vec![
+                m.to_string(),
+                fnum(sol.precompute_required(), 2),
+                fnum(sol.objective() / n as f64, 6),
+                fnum(mins[0], 6),
+                fnum(mins[1], 6),
+                fnum(mins[2], 6),
+            ]);
+        }
+
+        // Final row: the Balanced distribution (negligible precompute — only
+        // the handful of §6 ringers).
+        let bal = Balanced::new(n, eps).expect("valid parameters");
+        let plan = redundancy_core::RealizedPlan::balanced(n, eps).expect("plan realizes");
+        let bal_mins: Vec<f64> = ps
+            .iter()
+            .map(|&p| bal.p_nonasymptotic(1, p).expect("valid p"))
+            .collect();
+        table.row(&[
+            "Bal.",
+            &plan.ringer_tasks().to_string(),
+            &fnum(bal.redundancy_factor_exact(), 4),
+            &fnum(bal_mins[0], 3),
+            &fnum(bal_mins[1], 3),
+            &fnum(bal_mins[2], 3),
+        ]);
+        csv_rows.push(vec![
+            "balanced".into(),
+            plan.ringer_tasks().to_string(),
+            fnum(bal.redundancy_factor_exact(), 6),
+            fnum(bal_mins[0], 6),
+            fnum(bal_mins[1], 6),
+            fnum(bal_mins[2], 6),
+        ]);
+
+        report.table(table);
+        report.blank();
+        report.text(
+            "Paper anchors: S_5 precompute = 602, S_6 = 1923 (the localized exception);\n\
+             factor rises S_3 -> S_4; factor tends to the Prop. 1 bound 4/3 = 1.3333;\n\
+             the LP optima's min P collapses with p while Balanced holds 1 - 0.5^(1-p).",
+        );
+        report.fact("n", num_u64(n));
+        report.fact("eps", Json::Num(eps));
+        report.fact("balanced_factor", Json::Num(bal.redundancy_factor_exact()));
+        report.set_csv(
+            "dim,precompute,redundancy_factor,min_p_005,min_p_010,min_p_015",
+            csv_rows,
+        );
+        report
+    }
+}

@@ -1,0 +1,36 @@
+//! The exhibit implementations behind the registry.
+//!
+//! One module per paper table/figure; each exposes a stateless unit struct
+//! implementing [`crate::Exhibit`].  Adding a workload means adding a
+//! module here and one line to [`REGISTRY`] — no new binary, no new arg
+//! parsing, no new emission scaffolding.
+
+mod appendix_a_collusion;
+mod empirical_detection;
+mod ext_faults;
+mod ext_survival;
+mod fig1_detection_vs_p;
+mod fig2_minimizing_table;
+mod fig3_redundancy_factors;
+mod fig4_assignment_table;
+mod sec6_implementation;
+mod sec7_extension;
+mod theory_checks;
+
+use crate::Exhibit;
+
+/// Every exhibit, in paper order (figures, sections, appendix, then the
+/// extensions beyond the paper).  Order is what `--list` and `--all` use.
+pub(crate) static REGISTRY: &[&dyn Exhibit] = &[
+    &fig1_detection_vs_p::Fig1DetectionVsP,
+    &fig2_minimizing_table::Fig2MinimizingTable,
+    &fig3_redundancy_factors::Fig3RedundancyFactors,
+    &fig4_assignment_table::Fig4AssignmentTable,
+    &sec6_implementation::Sec6Implementation,
+    &sec7_extension::Sec7Extension,
+    &theory_checks::TheoryChecks,
+    &appendix_a_collusion::AppendixACollusion,
+    &empirical_detection::EmpiricalDetection,
+    &ext_survival::ExtSurvival,
+    &ext_faults::ExtFaults,
+];

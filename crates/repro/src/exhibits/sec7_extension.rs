@@ -1,0 +1,85 @@
+//! Section 7: the extended Balanced distribution with minimum
+//! multiplicities.
+//!
+//! Redundancy factors at ε = ½ for minimum multiplicities 1–5, plus the
+//! worked comparison: at N = 100,000, guaranteeing ε = ½ on top of
+//! 2-fold redundancy costs 25,900 extra assignments (~13 % more than
+//! simple redundancy, which guarantees nothing).
+
+use crate::{Exhibit, ExhibitCtx, Report};
+use redundancy_core::{ExtendedBalanced, Scheme};
+use redundancy_json::Json;
+use redundancy_stats::table::{fnum, inum, Table};
+
+pub struct Sec7Extension;
+
+impl Exhibit for Sec7Extension {
+    fn name(&self) -> &'static str {
+        "sec7_extension"
+    }
+
+    fn summary(&self) -> &'static str {
+        "extended Balanced: factors for guaranteed minimum multiplicities"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Section 7"
+    }
+
+    fn run(&self, _ctx: &ExhibitCtx) -> Report {
+        let mut report = Report::new(
+            self.name(),
+            "Section 7",
+            "Extended Balanced distribution: redundancy factors for guaranteed minimum\n\
+             multiplicities (eps = 0.5), and the cost over plain simple redundancy.",
+        );
+
+        let n = 100_000u64;
+        let eps = 0.5;
+        let mut table = Table::new(&[
+            "Min mult.",
+            "Redund. factor",
+            "Assignments (N=1e5)",
+            "vs simple (2N)",
+        ]);
+        table.numeric();
+        let mut csv_rows = Vec::new();
+        for m in 1..=5usize {
+            let ext = ExtendedBalanced::new(n, eps, m).expect("valid parameters");
+            let factor = ext.redundancy_factor_exact();
+            let total = ext.total_assignments_exact();
+            let delta = total - 2.0 * n as f64;
+            table.row(&[
+                &m.to_string(),
+                &fnum(factor, 4),
+                &inum(total.round() as u64),
+                &format!(
+                    "{}{}",
+                    if delta >= 0.0 { "+" } else { "-" },
+                    inum(delta.abs().round() as u64)
+                ),
+            ]);
+            csv_rows.push(vec![
+                m.to_string(),
+                fnum(factor, 6),
+                fnum(total, 1),
+                fnum(delta, 1),
+            ]);
+            report.fact(format!("factor_min_mult_{m}"), Json::Num(factor));
+            // Sanity: guarantee holds at and above the minimum multiplicity.
+            debug_assert!(ext.guaranteed_detection() == Some(eps));
+        }
+        report.table(table);
+        report.blank();
+        report.text(
+            "Paper values (eps = 0.5): factors 2.259, 3.192, 4.152, 5.126 for min mult 2-5;\n\
+             min mult 2 at N = 100,000 adds 25,900 assignments (~13%) over simple redundancy\n\
+             while guaranteeing eps = 0.5, which simple redundancy cannot guarantee at all.",
+        );
+        report.set_csv(
+            "min_multiplicity,redundancy_factor,assignments,delta_vs_simple",
+            csv_rows,
+        );
+        report
+    }
+}

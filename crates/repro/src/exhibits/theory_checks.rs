@@ -1,0 +1,170 @@
+//! Numeric verification of every analytic claim: Theorem 1, Propositions
+//! 1–3, and the Golle–Stubblebine closed forms, all checked against the
+//! generic tuple-counting engine.
+
+use crate::{Exhibit, ExhibitCtx, Report};
+use redundancy_core::{
+    bounds, AssignmentMinimizing, Balanced, DetectionProfile, GolleStubblebine, Scheme,
+};
+use redundancy_json::num_u64;
+use redundancy_stats::table::fnum;
+
+pub struct TheoryChecks;
+
+fn check(report: &mut Report, label: &str, ok: bool, detail: String) -> bool {
+    report.text(format!(
+        "[{}] {label}: {detail}",
+        if ok { "PASS" } else { "FAIL" }
+    ));
+    ok
+}
+
+impl Exhibit for TheoryChecks {
+    fn name(&self) -> &'static str {
+        "theory_checks"
+    }
+
+    fn summary(&self) -> &'static str {
+        "numeric verification of Theorem 1, Props 1-3, and the GS closed forms"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Thm 1, Props 1-3"
+    }
+
+    fn run(&self, _ctx: &ExhibitCtx) -> Report {
+        let mut report = Report::new(
+            self.name(),
+            "Theory checks",
+            "Numeric verification of Theorem 1 and Propositions 1-3 against the generic\n\
+             k-tuple counting engine.",
+        );
+        let r = &mut report;
+        let mut all_ok = true;
+        let mut checks = 0u64;
+        let n = 1_000_000u64;
+
+        // --- Theorem 1 ---------------------------------------------------------
+        for eps in [0.25, 0.5, 0.75, 0.9] {
+            let bal = Balanced::new(n, eps).expect("valid");
+            let total: f64 = (1..200).map(|i| bal.ideal_weight(i)).sum();
+            all_ok &= check(
+                r,
+                "Thm 1.1 Σaᵢ = N",
+                (total - n as f64).abs() < 1e-3,
+                format!("eps={eps}: sum = {total:.6}"),
+            );
+            let prof = bal.detection_profile();
+            let dim = prof.dimension();
+            let max_dev = (1..=dim / 2)
+                .filter_map(|k| prof.p_asymptotic(k))
+                .map(|p| (p - eps).abs())
+                .fold(0.0f64, f64::max);
+            all_ok &= check(
+                r,
+                "Thm 1.2 P_k = eps for all k",
+                max_dev < 1e-4,
+                format!(
+                    "eps={eps}: max |P_k - eps| = {max_dev:.2e} over k=1..{}",
+                    dim / 2
+                ),
+            );
+            let expect = n as f64 * (1.0 / (1.0 - eps)).ln() / eps;
+            all_ok &= check(
+                r,
+                "Thm 1.3 total assignments",
+                (bal.total_assignments_exact() - expect).abs() < 1e-6,
+                format!("eps={eps}: {:.1}", bal.total_assignments_exact()),
+            );
+            checks += 3;
+        }
+
+        // --- Proposition 1 ------------------------------------------------------
+        for eps in [0.3, 0.5, 0.8] {
+            let bound = bounds::lower_bound_assignments(n, eps).expect("valid");
+            let relaxed = bounds::relaxed_optimum(n, eps).expect("valid");
+            let prof = DetectionProfile::from_distribution(&relaxed);
+            all_ok &= check(
+                r,
+                "Prop 1 relaxed optimum attains 2N/(2-eps) with P1 = eps, P2 = 0",
+                (relaxed.total_assignments() - bound).abs() < 1e-6
+                    && (prof.p_asymptotic(1).unwrap() - eps).abs() < 1e-12
+                    && prof.p_asymptotic(2) == Some(0.0),
+                format!("eps={eps}: bound = {bound:.1}"),
+            );
+            let s16 = AssignmentMinimizing::solve(n, eps, 16).expect("solves");
+            all_ok &= check(
+                r,
+                "Prop 1 valid S_16 strictly above the bound",
+                s16.objective() > bound,
+                format!(
+                    "eps={eps}: S_16 = {:.1} > {:.1} (gap {:.3}%)",
+                    s16.objective(),
+                    bound,
+                    100.0 * (s16.objective() - bound) / bound
+                ),
+            );
+            checks += 2;
+        }
+
+        // --- Proposition 2 ------------------------------------------------------
+        let bal = Balanced::new(n, 0.5).expect("valid");
+        let prof = bal.detection_profile();
+        let gap = bounds::equality_gap(&prof, 0.5, prof.dimension() / 2).expect("valid");
+        all_ok &= check(
+            r,
+            "Prop 2 Balanced achieves equality in every constraint",
+            gap < 1e-4,
+            format!("max |P_k - eps| = {gap:.2e}"),
+        );
+        let gs = GolleStubblebine::for_threshold(n, 0.5).expect("valid");
+        let gs_gap = bounds::equality_gap(&gs.detection_profile(), 0.5, 10).expect("valid");
+        all_ok &= check(
+            r,
+            "Prop 2 GS over-protects higher k (wasted resources)",
+            gs_gap > 0.2,
+            format!("GS equality gap = {}", fnum(gs_gap, 4)),
+        );
+        checks += 2;
+
+        // --- Proposition 3 ------------------------------------------------------
+        for p in [0.0, 0.1, 0.3] {
+            let closed = bal.p_nonasymptotic(1, p).expect("valid");
+            let dim = prof.dimension();
+            let max_dev = (1..=dim / 2)
+                .map(|k| (prof.p_nonasymptotic(k, p).unwrap().unwrap() - closed).abs())
+                .fold(0.0f64, f64::max);
+            all_ok &= check(
+                r,
+                "Prop 3 P(k,p) = 1-(1-eps)^(1-p), independent of k",
+                max_dev < 1e-4,
+                format!("p={p}: closed = {closed:.6}, max dev = {max_dev:.2e}"),
+            );
+            checks += 1;
+        }
+
+        // --- Golle–Stubblebine closed forms -------------------------------------
+        let gs_prof = gs.detection_profile();
+        let mut dev = 0.0f64;
+        for k in 1..10 {
+            dev = dev.max((gs_prof.p_asymptotic(k).unwrap() - gs.p_asymptotic(k)).abs());
+        }
+        all_ok &= check(
+            r,
+            "GS closed form P_k = 1-(1-c)^(k+1)",
+            dev < 1e-4,
+            format!("max dev = {dev:.2e}"),
+        );
+        checks += 1;
+
+        report.blank();
+        if all_ok {
+            report.text("All theory checks PASSED.");
+        } else {
+            report.text("SOME THEORY CHECKS FAILED — see above.");
+        }
+        report.passed = all_ok;
+        report.fact("checks_run", num_u64(checks));
+        report
+    }
+}

@@ -1,10 +1,26 @@
 #![warn(missing_docs)]
 
-//! # redundancy-repro — regenerate every table and figure of the paper
+//! # redundancy-repro — the declarative exhibit registry
 //!
-//! One binary per exhibit (see DESIGN.md's per-experiment index):
+//! Every table and figure of the paper is an [`Exhibit`]: a named entry in
+//! the static [`registry`] that turns an [`ExhibitCtx`] (seed, trials
+//! scale, thread budget) into a structured [`Report`].  One shared pipeline
+//! renders that report as plain text (pinned byte-for-byte by the golden
+//! snapshots), as CSV (`--csv`), and as a versioned `repro-report/v1` JSON
+//! document (`redundancy repro --json`, schema in docs/REPORTS.md).
 //!
-//! | Binary | Exhibit | Output |
+//! Two front doors run the same registry entries:
+//!
+//! * `redundancy repro <name>` — the unified CLI subcommand (plus
+//!   `--list`, `--all`, `--json <path>`);
+//! * the 11 legacy standalone binaries under `src/bin/`, now thin shims
+//!   over [`exhibit_main`].
+//!
+//! The authoritative exhibit index is [`render_index`] (what
+//! `redundancy repro --list` prints, snapshot-pinned under
+//! `tests/snapshots/repro_list.txt`); in summary:
+//!
+//! | Exhibit | Paper ref | Output |
 //! |---|---|---|
 //! | `fig1_detection_vs_p` | Figure 1 | detection vs adversary proportion, Balanced vs `S₉`/`S₂₆` |
 //! | `fig2_minimizing_table` | Figure 2 | per-dimension precompute / factor / min `P_{k,p}` table |
@@ -18,16 +34,51 @@
 //! | `ext_survival` | (ours) | free cheats before first detection vs the geometric law |
 //! | `ext_faults` | (ours) | detection vs drop/straggler rate, with and without retries |
 //!
-//! Every binary prints a plain-text table (via `redundancy_stats::table`)
-//! and, when given `--csv <path>`, also writes machine-readable CSV.  All
-//! randomized binaries take `--seed <u64>` (default 20050926, the
-//! CLUSTER 2005 conference date) so EXPERIMENTS.md is exactly replayable.
+//! All randomized exhibits take `--seed <u64>` (default [`DEFAULT_SEED`],
+//! the CLUSTER 2005 conference date) so EXPERIMENTS.md is exactly
+//! replayable.
 
-use std::fmt::Write as _;
+use std::fmt;
 
-/// Shared CLI conventions for the repro binaries.
-#[derive(Debug, Clone)]
-pub struct Cli {
+mod exhibits;
+pub mod report;
+
+pub use report::{Block, CsvRows, Report, SCHEMA};
+
+/// Default RNG seed: 20050926, the CLUSTER 2005 conference date.
+pub const DEFAULT_SEED: u64 = 20_050_926;
+
+/// One registry entry: a named generator for a paper table or figure.
+///
+/// Implementations are stateless unit structs in `src/exhibits/`; adding a
+/// workload means adding one module and one registry line, not a binary.
+pub trait Exhibit: Sync {
+    /// Registry name; also the legacy standalone binary name.
+    fn name(&self) -> &'static str;
+    /// One-line summary for `redundancy repro --list`.
+    fn summary(&self) -> &'static str;
+    /// Which part of the paper (or which extension) this reproduces.
+    fn paper_ref(&self) -> &'static str;
+    /// Generate the report.  Must be deterministic in `ctx` — including
+    /// across `ctx.threads` values — because the text rendering is pinned
+    /// by the golden snapshots.
+    fn run(&self, ctx: &ExhibitCtx) -> Report;
+}
+
+/// The full registry, in paper order.
+pub fn registry() -> &'static [&'static dyn Exhibit] {
+    exhibits::REGISTRY
+}
+
+/// Look up an exhibit by registry name.
+pub fn find(name: &str) -> Option<&'static dyn Exhibit> {
+    registry().iter().copied().find(|e| e.name() == name)
+}
+
+/// Shared execution context for every exhibit, parsed once by the shared
+/// flag parser (used by both the legacy binaries and `redundancy repro`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExhibitCtx {
     /// RNG seed (`--seed`).
     pub seed: u64,
     /// Optional CSV output path (`--csv`).
@@ -41,10 +92,10 @@ pub struct Cli {
     pub threads: usize,
 }
 
-impl Default for Cli {
+impl Default for ExhibitCtx {
     fn default() -> Self {
-        Cli {
-            seed: 20_050_926,
+        ExhibitCtx {
+            seed: DEFAULT_SEED,
             csv: None,
             trials_scale: 1,
             threads: 0,
@@ -52,67 +103,200 @@ impl Default for Cli {
     }
 }
 
-impl Cli {
-    /// Parse from `std::env::args`, ignoring unknown flags.
-    pub fn parse() -> Self {
-        let mut cli = Cli::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+/// Failures from the shared exhibit flag parser.  Rendered messages match
+/// the `redundancy` CLI's conventions (name the flag, say what was
+/// expected) and drive the established exit-code-2 path in both front
+/// doors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtxError {
+    /// Flag present but no value followed.
+    MissingValue(String),
+    /// Value failed to parse or was out of range.
+    BadValue {
+        /// The flag.
+        flag: &'static str,
+        /// The rejected value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+    /// Unknown flag (only when parsing strictly, i.e. for the CLI
+    /// subcommand; the legacy binaries ignore unknown flags).
+    UnknownFlag(String),
+}
+
+impl fmt::Display for CtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtxError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            CtxError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value `{value}` for `{flag}` (expected {expected})"),
+            CtxError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}` for `repro`"),
+        }
+    }
+}
+
+impl std::error::Error for CtxError {}
+
+impl ExhibitCtx {
+    /// Parse the shared exhibit flags from an argv slice (program name
+    /// excluded).
+    ///
+    /// `reject_unknown` selects the two front doors' behaviors: the
+    /// `redundancy repro` subcommand is strict, while the legacy binaries
+    /// ignore flags they do not know (the snapshot harness and older
+    /// scripts rely on that).  Known flags are always validated —
+    /// `--trials-scale 0` or a malformed `--seed` is an error naming the
+    /// flag, never a silent fallback.
+    pub fn parse_from(args: &[String], reject_unknown: bool) -> Result<Self, CtxError> {
+        fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, CtxError> {
+            args.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| CtxError::MissingValue(flag.into()))
+        }
+        fn parse<T: std::str::FromStr>(
+            raw: &str,
+            flag: &'static str,
+            expected: &'static str,
+        ) -> Result<T, CtxError> {
+            raw.parse().map_err(|_| CtxError::BadValue {
+                flag,
+                value: raw.into(),
+                expected,
+            })
+        }
+        let mut ctx = ExhibitCtx::default();
+        let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
-                "--seed" if i + 1 < args.len() => {
-                    cli.seed = args[i + 1].parse().unwrap_or(cli.seed);
+                "--seed" => {
+                    ctx.seed = parse(value(args, i, "--seed")?, "--seed", "a 64-bit integer")?;
                     i += 1;
                 }
-                "--csv" if i + 1 < args.len() => {
-                    cli.csv = Some(args[i + 1].clone());
+                "--csv" => {
+                    ctx.csv = Some(value(args, i, "--csv")?.to_string());
                     i += 1;
                 }
-                "--trials-scale" if i + 1 < args.len() => {
-                    cli.trials_scale = args[i + 1].parse::<u64>().unwrap_or(1).max(1);
+                "--trials-scale" => {
+                    let raw = value(args, i, "--trials-scale")?;
+                    let scale: u64 = parse(raw, "--trials-scale", "a positive integer")?;
+                    if scale == 0 {
+                        return Err(CtxError::BadValue {
+                            flag: "--trials-scale",
+                            value: raw.into(),
+                            expected: "a positive integer (scales Monte-Carlo effort up)",
+                        });
+                    }
+                    ctx.trials_scale = scale;
                     i += 1;
                 }
-                "--threads" if i + 1 < args.len() => {
-                    cli.threads = args[i + 1].parse().unwrap_or(0);
+                "--threads" => {
+                    let raw = value(args, i, "--threads")?;
+                    let threads: usize = parse(raw, "--threads", "a thread count (0 = auto)")?;
+                    if threads > redundancy_stats::MAX_THREADS {
+                        return Err(CtxError::BadValue {
+                            flag: "--threads",
+                            value: raw.into(),
+                            expected: "a thread count of at most 1024 (0 = auto)",
+                        });
+                    }
+                    ctx.threads = threads;
                     i += 1;
+                }
+                other if reject_unknown => {
+                    return Err(CtxError::UnknownFlag(other.into()));
                 }
                 _ => {}
             }
             i += 1;
         }
-        cli
+        Ok(ctx)
     }
 
-    /// Write CSV rows if `--csv` was given.
-    pub fn maybe_write_csv(&self, header: &str, rows: &[Vec<String>]) {
-        let Some(path) = &self.csv else { return };
-        let mut out = String::new();
-        out.push_str(header);
-        out.push('\n');
-        for row in rows {
-            let _ = writeln!(out, "{}", row.join(","));
-        }
-        if let Err(e) = std::fs::write(path, out) {
-            eprintln!("warning: could not write CSV to {path}: {e}");
-        } else {
-            println!("\n[csv written to {path}]");
-        }
+    /// Parse from `std::env::args` with the legacy binaries' semantics
+    /// (unknown flags ignored, known flags validated).
+    pub fn parse_env() -> Result<Self, CtxError> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(&args, false)
     }
 }
 
-/// Print a standard exhibit banner.
-pub fn banner(exhibit: &str, description: &str) {
-    println!("=== {exhibit} ===");
-    println!("{description}");
-    println!();
+/// The exhibit index `redundancy repro --list` prints.
+///
+/// Generated from the registry itself (names, paper references, and
+/// summaries come from the `Exhibit` impls), and snapshot-pinned in
+/// `tests/snapshots/repro_list.txt`, so the documented index can never
+/// drift from the code.
+pub fn render_index() -> String {
+    use redundancy_stats::table::Table;
+    let mut out = String::new();
+    out.push_str(
+        "repro exhibits — every table and figure of the paper, one registry entry each\n\n",
+    );
+    let mut table = Table::new(&["name", "paper ref", "summary"]);
+    for exhibit in registry() {
+        table.row(&[exhibit.name(), exhibit.paper_ref(), exhibit.summary()]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    out.push_str(
+        "Run `redundancy repro <name>` for one exhibit, `--all` for every exhibit;\n\
+         shared flags: --seed, --csv, --trials-scale, --threads; add --json <path>\n\
+         for a repro-report/v1 document (see docs/REPORTS.md).\n",
+    );
+    out
+}
+
+/// Render a report's text and perform its CSV side effect, returning the
+/// exact bytes the exhibit prints on stdout.
+///
+/// When `ctx.csv` is set and the write succeeds, the historical
+/// `\n[csv written to <path>]` note is appended; a failed write warns on
+/// stderr and leaves stdout untouched, exactly like the old per-binary
+/// `maybe_write_csv`.
+pub fn emit_text(report: &Report, ctx: &ExhibitCtx) -> String {
+    let mut out = report.render_text();
+    if let (Some(path), Some(body)) = (&ctx.csv, report.render_csv()) {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("warning: could not write CSV to {path}: {e}");
+        } else {
+            out.push_str(&format!("\n[csv written to {path}]\n"));
+        }
+    }
+    out
+}
+
+/// Shared `main` for the legacy standalone binaries: parse the shared
+/// flags, run the named registry entry, print its text rendering, honor
+/// `--csv`, emit the stderr throughput footer, and exit 1 if the exhibit's
+/// self-checks failed (2 on flag errors).
+pub fn exhibit_main(name: &str) -> ! {
+    let ctx = match ExhibitCtx::parse_env() {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let exhibit = find(name).unwrap_or_else(|| panic!("exhibit `{name}` not in the registry"));
+    let start = std::time::Instant::now();
+    let report = exhibit.run(&ctx);
+    print!("{}", emit_text(&report, &ctx));
+    if report.tasks > 0 {
+        throughput_footer(name, report.tasks, report.assignments, start.elapsed());
+    }
+    std::process::exit(if report.passed { 0 } else { 1 });
 }
 
 /// Print a wall-time / throughput footer for a Monte-Carlo exhibit.
 ///
-/// Goes to **stderr**: stdout of every repro binary is pinned byte-for-byte
-/// by the golden snapshots, so diagnostics that vary run-to-run must stay
-/// off it.  Rates are simulated tasks and assignments per wall second
-/// across every campaign the binary ran.
+/// Goes to **stderr**: stdout of every repro exhibit is pinned
+/// byte-for-byte by the golden snapshots, so diagnostics that vary
+/// run-to-run must stay off it.  Rates are simulated tasks and assignments
+/// per wall second across every campaign the exhibit ran.
 pub fn throughput_footer(
     exhibit: &str,
     tasks: u64,
@@ -134,13 +318,94 @@ pub fn throughput_footer(
 mod tests {
     use super::*;
 
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
-    fn default_cli() {
-        let cli = Cli::default();
-        assert_eq!(cli.seed, 20_050_926);
-        assert!(cli.csv.is_none());
-        assert_eq!(cli.trials_scale, 1);
-        assert_eq!(cli.threads, 0);
+    fn default_ctx() {
+        let ctx = ExhibitCtx::default();
+        assert_eq!(ctx.seed, DEFAULT_SEED);
+        assert!(ctx.csv.is_none());
+        assert_eq!(ctx.trials_scale, 1);
+        assert_eq!(ctx.threads, 0);
+    }
+
+    #[test]
+    fn parses_all_shared_flags() {
+        let ctx = ExhibitCtx::parse_from(
+            &argv(&[
+                "--seed",
+                "7",
+                "--csv",
+                "out.csv",
+                "--trials-scale",
+                "3",
+                "--threads",
+                "2",
+            ]),
+            true,
+        )
+        .unwrap();
+        assert_eq!(ctx.seed, 7);
+        assert_eq!(ctx.csv.as_deref(), Some("out.csv"));
+        assert_eq!(ctx.trials_scale, 3);
+        assert_eq!(ctx.threads, 2);
+    }
+
+    #[test]
+    fn rejects_zero_trials_scale_naming_the_flag() {
+        let err = ExhibitCtx::parse_from(&argv(&["--trials-scale", "0"]), false).unwrap_err();
+        assert!(err.to_string().contains("--trials-scale"), "{err}");
+        assert!(matches!(err, CtxError::BadValue { flag, .. } if flag == "--trials-scale"));
+    }
+
+    #[test]
+    fn rejects_malformed_values_instead_of_silent_defaults() {
+        for flags in [["--seed", "banana"], ["--threads", "many"]] {
+            let err = ExhibitCtx::parse_from(&argv(&flags), false).unwrap_err();
+            assert!(err.to_string().contains(flags[0]), "{err}");
+        }
+        let err = ExhibitCtx::parse_from(&argv(&["--threads", "99999"]), false).unwrap_err();
+        assert!(err.to_string().contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_ignored_only_in_lenient_mode() {
+        let lenient = ExhibitCtx::parse_from(&argv(&["--bogus", "1", "--seed", "9"]), false);
+        assert_eq!(lenient.unwrap().seed, 9);
+        let strict = ExhibitCtx::parse_from(&argv(&["--bogus", "1"]), true);
+        assert_eq!(strict, Err(CtxError::UnknownFlag("--bogus".into())));
+    }
+
+    #[test]
+    fn missing_value_is_reported() {
+        let err = ExhibitCtx::parse_from(&argv(&["--seed"]), false).unwrap_err();
+        assert_eq!(err, CtxError::MissingValue("--seed".into()));
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names: Vec<_> = registry().iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 11);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11, "duplicate registry names");
+        for exhibit in registry() {
+            assert!(find(exhibit.name()).is_some());
+            assert!(!exhibit.summary().is_empty());
+            assert!(!exhibit.paper_ref().is_empty());
+        }
+        assert!(find("no_such_exhibit").is_none());
+    }
+
+    #[test]
+    fn index_lists_every_registry_entry() {
+        let index = render_index();
+        for exhibit in registry() {
+            assert!(index.contains(exhibit.name()), "{} missing", exhibit.name());
+        }
+        assert!(index.contains("docs/REPORTS.md"));
     }
 
     #[test]
@@ -152,21 +417,20 @@ mod tests {
     }
 
     #[test]
-    fn csv_noop_without_flag() {
-        let cli = Cli::default();
-        cli.maybe_write_csv("a,b", &[vec!["1".into(), "2".into()]]);
-    }
-
-    #[test]
-    fn csv_writes_when_asked() {
-        let path = std::env::temp_dir().join("repro_cli_test.csv");
-        let cli = Cli {
+    fn csv_side_effect_writes_and_notes() {
+        let path = std::env::temp_dir().join("repro_ctx_test.csv");
+        let ctx = ExhibitCtx {
             csv: Some(path.to_string_lossy().into_owned()),
-            ..Cli::default()
+            ..ExhibitCtx::default()
         };
-        cli.maybe_write_csv("a,b", &[vec!["1".into(), "2".into()]]);
-        let body = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(body, "a,b\n1,2\n");
+        let mut report = Report::new("demo", "Demo", "d");
+        report.set_csv("a,b", vec![vec!["1".into(), "2".into()]]);
+        let out = emit_text(&report, &ctx);
+        assert!(out.ends_with(&format!("\n[csv written to {}]\n", path.display())));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
         let _ = std::fs::remove_file(&path);
+        // Without --csv, stdout is exactly the text rendering.
+        let plain = ExhibitCtx::default();
+        assert_eq!(emit_text(&report, &plain), report.render_text());
     }
 }

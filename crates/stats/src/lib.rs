@@ -38,7 +38,7 @@ pub mod table;
 pub use estimate::{Histogram, Proportion, RunningMoments};
 pub use gof::{chi_square_test, regularized_gamma_q, ChiSquare};
 pub use parallel::{
-    parallel_sweep, run_trials, sweep_thread_split, InvalidTrialConfig, TrialConfig,
+    parallel_sweep, run_trials, sweep_thread_split, InvalidTrialConfig, TrialConfig, MAX_THREADS,
 };
 pub use quantile::P2Quantile;
 pub use rng::{DeterministicRng, SeedSequence};

@@ -78,6 +78,16 @@ impl Table {
         self
     }
 
+    /// The column headers, for structured (non-text) exports.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, for structured (non-text) exports.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows so far.
     pub fn len(&self) -> usize {
         self.rows.len()

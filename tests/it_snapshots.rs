@@ -34,3 +34,14 @@ snapshot_tests!(
 fn all_exhibits_have_a_snapshot_test() {
     assert_eq!(redundancy_integration::snapshot::EXHIBITS.len(), 11);
 }
+
+/// The 12th snapshot: the `redundancy repro --list` registry index.
+/// Pinning it means the exhibit catalogue (names, paper references,
+/// summaries) cannot drift from what the docs describe without a visible
+/// snapshot diff.
+#[test]
+fn repro_list() {
+    let index = redundancy_cli::run(&["repro".to_string(), "--list".to_string()])
+        .expect("`redundancy repro --list` succeeds");
+    redundancy_integration::snapshot::check_actual("repro_list", &index);
+}

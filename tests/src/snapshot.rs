@@ -140,7 +140,17 @@ pub fn run_exhibit(name: &str) -> String {
 /// Compare one exhibit against its committed snapshot, or regenerate it
 /// when the environment allows (see [`should_update`]).
 pub fn check_exhibit(name: &str) {
-    let actual = run_exhibit(name);
+    check_actual(name, &run_exhibit(name));
+}
+
+/// Compare already-captured output against the committed snapshot for
+/// `name`, regenerating when the environment allows.
+///
+/// Split from [`check_exhibit`] so the same gate serves output that does
+/// not come from spawning a standalone binary — the unified
+/// `redundancy repro` entry point and the `repro --list` index run
+/// in-process and are pinned through this path.
+pub fn check_actual(name: &str, actual: &str) {
     let path = snapshot_path(name);
     let update = should_update(
         std::env::var("UPDATE_SNAPSHOTS").ok().as_deref(),
@@ -150,13 +160,13 @@ pub fn check_exhibit(name: &str) {
     match (expected, update) {
         (Some(expected), _) if expected == actual => {}
         (expected, true) => {
-            std::fs::write(&path, &actual)
+            std::fs::write(&path, actual)
                 .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
             match expected {
                 Some(old) => eprintln!(
                     "[snapshot] {name}: rewrote {}\n{}",
                     path.display(),
-                    diff_summary(&old, &actual)
+                    diff_summary(&old, actual)
                 ),
                 None => eprintln!("[snapshot] {name}: created {}", path.display()),
             }
@@ -168,7 +178,7 @@ If the change is intended, regenerate with:\n  \
 UPDATE_SNAPSHOTS=1 cargo test -p redundancy-integration --test it_snapshots\n\
 (refused in CI: the snapshots job only gates)",
                 path.display(),
-                diff_summary(&expected, &actual)
+                diff_summary(&expected, actual)
             );
         }
         (None, false) => {
