@@ -143,6 +143,43 @@ pub enum Command {
         /// (0 = auto).
         threads: usize,
     },
+    /// `redundancy churn`
+    Churn {
+        /// Scheme to simulate.
+        scheme: SchemeName,
+        /// Task count per campaign.
+        tasks: u64,
+        /// Detection threshold.
+        epsilon: f64,
+        /// Adversary assignment share.
+        proportion: f64,
+        /// Number of campaigns per sweep row.
+        campaigns: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Per-tick worker arrival rate applied to every row.
+        enter_rate: f64,
+        /// Largest per-worker departure rate in the sweep.
+        leave_rate: f64,
+        /// Per-worker failure rate applied to every row.
+        fail_rate: f64,
+        /// Initial worker population.
+        workers: u64,
+        /// Simulation horizon in ticks.
+        horizon: u64,
+        /// Ticks between census checkpoints.
+        census_interval: u64,
+        /// Sweep rows above zero (the zero-churn baseline is always row 0).
+        steps: u32,
+        /// Trials per deterministic chunk of the parallel runner.
+        chunk_size: u64,
+        /// Thread budget shared by the sweep pool and per-row runners
+        /// (0 = auto; an explicit 0 is rejected).
+        threads: usize,
+        /// Run the single-trial soak (event-loop stress) instead of the
+        /// sweep.
+        soak: bool,
+    },
     /// `redundancy certify`
     Certify {
         /// Task count.
@@ -259,7 +296,7 @@ fn collect_flags(argv: &[String]) -> Result<HashMap<String, String>, ArgError> {
             return Err(ArgError::UnknownCommand(key.clone()));
         }
         // Boolean flags take no value.
-        if key == "--min-precompute" || key == "--smoke" {
+        if key == "--min-precompute" || key == "--smoke" || key == "--soak" {
             flags.insert(key.clone(), "true".into());
             i += 1;
             continue;
@@ -588,6 +625,94 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 )?,
                 chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
                 threads: f.or_default("--threads", "a thread count (0 = auto)", 0)?,
+            })
+        }
+        "churn" => {
+            let f = FlagSet::new(
+                rest,
+                "churn",
+                &[
+                    "--scheme",
+                    "--tasks",
+                    "--epsilon",
+                    "--proportion",
+                    "--campaigns",
+                    "--seed",
+                    "--enter-rate",
+                    "--leave-rate",
+                    "--fail-rate",
+                    "--workers",
+                    "--horizon",
+                    "--census-interval",
+                    "--steps",
+                    "--chunk-size",
+                    "--threads",
+                    "--soak",
+                ],
+            )?;
+            // An explicit `--threads 0` is rejected (the flag means "use
+            // exactly this many"); omitting it keeps the auto default.
+            let threads = match f.optional::<u64>("--threads", "a positive thread count")? {
+                None => 0,
+                Some(t) => {
+                    check_nonzero("--threads", t, "a positive thread count (omit for auto)")?
+                        as usize
+                }
+            };
+            Ok(Command::Churn {
+                scheme: f.scheme(SchemeName::Balanced)?,
+                tasks: check_nonzero(
+                    "--tasks",
+                    f.or_default("--tasks", "a positive integer", 2_000u64)?,
+                    "a positive task count",
+                )?,
+                epsilon: check_unit_interval(
+                    "--epsilon",
+                    f.or_default("--epsilon", "a number in (0, 1)", 0.5)?,
+                    false,
+                )?,
+                proportion: check_unit_interval(
+                    "--proportion",
+                    f.or_default("--proportion", "a number in [0, 1)", 0.2)?,
+                    true,
+                )?,
+                campaigns: f.or_default("--campaigns", "a positive integer", 8)?,
+                seed: f.or_default("--seed", "a 64-bit integer", 20_050_926)?,
+                enter_rate: check_rate(
+                    "--enter-rate",
+                    f.or_default("--enter-rate", "a probability in [0, 1]", 0.6)?,
+                )?,
+                leave_rate: check_rate(
+                    "--leave-rate",
+                    f.or_default("--leave-rate", "a probability in [0, 1]", 0.004)?,
+                )?,
+                fail_rate: check_rate(
+                    "--fail-rate",
+                    f.or_default("--fail-rate", "a probability in [0, 1]", 0.0)?,
+                )?,
+                workers: check_nonzero(
+                    "--workers",
+                    f.or_default("--workers", "a positive integer", 400u64)?,
+                    "a positive worker count",
+                )?,
+                horizon: check_nonzero(
+                    "--horizon",
+                    f.or_default("--horizon", "a positive number of ticks", 2_000u64)?,
+                    "a positive number of ticks",
+                )?,
+                census_interval: check_nonzero(
+                    "--census-interval",
+                    f.or_default("--census-interval", "a positive number of ticks", 500u64)?,
+                    "a positive number of ticks",
+                )?,
+                steps: check_nonzero(
+                    "--steps",
+                    f.or_default("--steps", "a positive integer", 4u32)?,
+                    "a positive number of sweep steps",
+                )?,
+                chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
+                threads,
+                soak: f.flags.contains_key("--soak"),
             })
         }
         "certify" => {
@@ -999,6 +1124,98 @@ mod tests {
         match cmd {
             Command::Simulate { chunk_size, .. } => assert_eq!(chunk_size, 0),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn churn_defaults_and_overrides() {
+        let cmd = parse_args(&argv(&["churn"])).unwrap();
+        match cmd {
+            Command::Churn {
+                scheme,
+                tasks,
+                epsilon,
+                enter_rate,
+                leave_rate,
+                fail_rate,
+                workers,
+                horizon,
+                census_interval,
+                steps,
+                threads,
+                soak,
+                ..
+            } => {
+                assert_eq!(scheme, SchemeName::Balanced);
+                assert_eq!(tasks, 2_000);
+                assert_eq!(epsilon, 0.5);
+                assert_eq!(enter_rate, 0.6);
+                assert_eq!(leave_rate, 0.004);
+                assert_eq!(fail_rate, 0.0);
+                assert_eq!(workers, 400);
+                assert_eq!(horizon, 2_000);
+                assert_eq!(census_interval, 500);
+                assert_eq!(steps, 4);
+                assert_eq!(threads, 0);
+                assert!(!soak);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&argv(&[
+            "churn",
+            "--soak",
+            "--workers",
+            "100000",
+            "--horizon",
+            "5500000",
+            "--leave-rate",
+            "0.01",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Churn {
+                workers,
+                horizon,
+                leave_rate,
+                threads,
+                soak,
+                ..
+            } => {
+                assert_eq!(workers, 100_000);
+                assert_eq!(horizon, 5_500_000);
+                assert_eq!(leave_rate, 0.01);
+                assert_eq!(threads, 2);
+                assert!(soak);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn churn_rejects_invalid_parameters_naming_the_flag() {
+        // A negative rate is not a probability; `collect_flags` consumes
+        // the `-1` as the flag's value, so this is a BadValue, not a
+        // missing-value error.
+        let e = parse_args(&argv(&["churn", "--enter-rate", "-1"])).unwrap_err();
+        assert!(matches!(&e, ArgError::BadValue { flag, .. } if flag == "--enter-rate"));
+        assert!(e.to_string().contains("--enter-rate"), "{e}");
+        // An explicit zero thread count is rejected (omit the flag for
+        // auto).
+        let e = parse_args(&argv(&["churn", "--threads", "0"])).unwrap_err();
+        assert!(matches!(&e, ArgError::BadValue { flag, .. } if flag == "--threads"));
+        assert!(e.to_string().contains("--threads"), "{e}");
+        for flags in [
+            ["--leave-rate", "1.5"],
+            ["--fail-rate", "nan"],
+            ["--workers", "0"],
+            ["--horizon", "0"],
+            ["--census-interval", "0"],
+            ["--steps", "0"],
+        ] {
+            let e = parse_args(&argv(&["churn", flags[0], flags[1]])).unwrap_err();
+            assert!(e.to_string().contains(flags[0]), "{e}");
         }
     }
 

@@ -68,6 +68,10 @@ struct Sizes {
     sweep_reps: u64,
     lp_max_dim: usize,
     lp_reps: u64,
+    churn_workers: u64,
+    churn_horizon: u64,
+    churn_tasks: u64,
+    churn_reps: u64,
 }
 
 impl Sizes {
@@ -86,6 +90,10 @@ impl Sizes {
                 sweep_reps: 5,
                 lp_max_dim: 8,
                 lp_reps: 5,
+                churn_workers: 2_000,
+                churn_horizon: 40_000,
+                churn_tasks: 200,
+                churn_reps: 3,
             }
         } else {
             Sizes {
@@ -101,6 +109,12 @@ impl Sizes {
                 sweep_reps: 7,
                 lp_max_dim: 16,
                 lp_reps: 11,
+                // The headline churn demonstration: a 100k-node population
+                // stepping through ≥10M discrete events per repetition.
+                churn_workers: 100_000,
+                churn_horizon: 5_600_000,
+                churn_tasks: 500,
+                churn_reps: 3,
             }
         }
     }
@@ -333,6 +347,27 @@ fn run_fixtures(
                 }),
             ));
         }
+    }
+
+    // Churn engine: one long discrete-event soak per repetition (full mode
+    // is the 100k-node / 10M-event demonstration).  A pre-run learns the
+    // event count so the throughput column reports events per second; the
+    // checksum folds every outcome counter, so two same-seed reports
+    // double as the soak determinism check.
+    {
+        let churn = redundancy_sim::ChurnModel::soak(sizes.churn_workers, sizes.churn_horizon);
+        let probe = redundancy_sim::churn_soak(&churn, sizes.churn_tasks, seed);
+        records.push(record(
+            "churn_step",
+            sizes.churn_reps,
+            probe.events,
+            probe.reassignments,
+            measure(sizes.churn_reps, || {
+                let report = redundancy_sim::churn_soak(&churn, sizes.churn_tasks, seed);
+                debug_assert_eq!(report, probe);
+                report.checksum
+            }),
+        ));
     }
 
     // LP sweep: solve every S_m up to the mode's dimension cap.
@@ -658,6 +693,7 @@ mod tests {
             "run_trials_t4",
             "sweep_serial",
             "sweep_parallel",
+            "churn_step",
             "lp_sweep",
         ] {
             assert!(names.contains(&expected), "missing {expected}: {names:?}");

@@ -7,8 +7,8 @@ use redundancy_core::{
     Requirements, Scheme,
 };
 use redundancy_sim::{
-    detection_experiment, faulty_detection_experiment, AdversaryModel, CampaignConfig,
-    CheatStrategy, ExperimentConfig, FaultModel,
+    churn_experiment, churn_soak, detection_experiment, faulty_detection_experiment,
+    AdversaryModel, CampaignConfig, CheatStrategy, ChurnModel, ExperimentConfig, FaultModel,
 };
 use redundancy_stats::table::{fnum, inum, Table};
 use redundancy_stats::{parallel_sweep, sweep_thread_split, TrialConfig};
@@ -170,6 +170,46 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             *chunk_size,
             *threads,
         ),
+        Command::Churn {
+            scheme,
+            tasks,
+            epsilon,
+            proportion,
+            campaigns,
+            seed,
+            enter_rate,
+            leave_rate,
+            fail_rate,
+            workers,
+            horizon,
+            census_interval,
+            steps,
+            chunk_size,
+            threads,
+            soak,
+        } => {
+            if *soak {
+                churn_soak_cmd(*workers, *horizon, *tasks, *seed)
+            } else {
+                churn_sweep(
+                    *scheme,
+                    *tasks,
+                    *epsilon,
+                    *proportion,
+                    *campaigns,
+                    *seed,
+                    *enter_rate,
+                    *leave_rate,
+                    *fail_rate,
+                    *workers,
+                    *horizon,
+                    *census_interval,
+                    *steps,
+                    *chunk_size,
+                    *threads,
+                )
+            }
+        }
         Command::Certify {
             tasks,
             epsilon,
@@ -362,6 +402,31 @@ ticks; results are deterministic for a fixed seed and identical across
 thread counts.
 "
         .into(),
+        Some("churn") => "\
+redundancy churn [--tasks <N>] [--epsilon <E>] [--scheme S] [--proportion P]
+                 [--campaigns C] [--seed SEED] [--enter-rate R]
+                 [--leave-rate R] [--fail-rate R] [--workers W]
+                 [--horizon T] [--census-interval T] [--steps K]
+                 [--chunk-size K] [--threads T]
+redundancy churn --soak [--workers W] [--horizon T] [--tasks N] [--seed SEED]
+
+Sweeps per-worker departure rates from 0 to --leave-rate in K steps under
+the discrete-event population engine: workers arrive at --enter-rate per
+tick, departures hand their copies to surviving workers, failures destroy
+them, and census checkpoints rerun the campaign kernel over the degraded
+live multiset.  Row 0 is the fully static pool, which degenerates to the
+churn-free kernel bit for bit.  The rows run concurrently on one worker
+pool; --threads caps the shared budget (omit for auto; an explicit 0 is
+rejected).  Results are deterministic for a fixed seed and identical
+across thread counts.
+
+--soak instead runs one long single-trial stress of the event loop at the
+canonical soak hazards (0.9 arrivals/tick; per-worker leave and failure
+hazards scaled so the population stays near --workers) and prints event
+counters plus a determinism checksum: two same-seed runs must print
+identical bytes.
+"
+        .into(),
         Some("solve-sm") => "\
 redundancy solve-sm --tasks <N> --epsilon <E> --dim <M>
                     [--min-precompute] [--mps PATH]
@@ -386,7 +451,8 @@ redundancy bench [--smoke] [--seed SEED] [--out PATH] [--baseline PATH]
 
 Runs the pinned performance fixtures (batched campaign kernel vs the frozen
 reference loop, cached vs walking samplers, run_trials thread scaling, a
-parallel sweep, an S_m LP sweep) and writes a `redundancy-bench/v1` JSON
+parallel sweep, a discrete-event churn soak, an S_m LP sweep) and writes a
+`redundancy-bench/v1` JSON
 report (default BENCH_report.json) with per-fixture median wall time,
 tasks/sec, assignments/sec, and a determinism checksum, plus top-level
 speedup_t2/speedup_t4 parallel-efficiency fields.  --threads caps the
@@ -715,6 +781,152 @@ raise --retries or the timeout to recover it)"
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
+fn churn_sweep(
+    scheme: SchemeName,
+    tasks: u64,
+    epsilon: f64,
+    proportion: f64,
+    campaigns: u64,
+    seed: u64,
+    enter_rate: f64,
+    leave_rate: f64,
+    fail_rate: f64,
+    workers: u64,
+    horizon: u64,
+    census_interval: u64,
+    steps: u32,
+    chunk_size: u64,
+    threads: usize,
+) -> Result<String, CliError> {
+    check_trial_config(campaigns, seed, chunk_size, threads)?;
+    let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
+    let campaign = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: proportion },
+        CheatStrategy::AtLeast { min_copies: 1 },
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "churn sweep: {} over {} tasks, {campaigns} campaigns/row, adversary share {proportion}, seed {seed}",
+        plan.scheme(),
+        inum(tasks)
+    );
+    let _ = writeln!(
+        out,
+        "{} initial workers, horizon {} ticks, census every {} ticks, arrival rate {enter_rate}, failure rate {fail_rate}",
+        inum(workers),
+        inum(horizon),
+        inum(census_interval)
+    );
+    let expect = 1.0 - (1.0 - plan.epsilon()).powf(1.0 - proportion);
+    let _ = writeln!(
+        out,
+        "closed-form detection with a static pool: {:.4}",
+        expect
+    );
+    // Validate every row's churn model up front, then run all rows on one
+    // sweep pool; each row's experiment takes the leftover thread share.
+    // Row 0 is the fully static pool (all rates zero), so it exercises the
+    // zero-churn delegation path and anchors the table at the closed form.
+    let mut rows: Vec<(f64, ChurnModel)> = Vec::new();
+    for step in 0..=steps {
+        let rate = leave_rate * f64::from(step) / f64::from(steps);
+        let churn = ChurnModel {
+            enter_rate: if step == 0 { 0.0 } else { enter_rate },
+            leave_rate: rate,
+            fail_rate: if step == 0 { 0.0 } else { fail_rate },
+            initial_workers: workers,
+            horizon,
+            census_interval,
+        };
+        churn.validate().map_err(CliError::Invalid)?;
+        rows.push((rate, churn));
+    }
+    let (outer, inner) = sweep_thread_split(threads, rows.len());
+    let config = ExperimentConfig {
+        chunk_size,
+        ..ExperimentConfig::new(campaigns, seed)
+    }
+    .with_threads(inner);
+    let estimates = parallel_sweep(outer, &rows, |_i, (_rate, churn)| {
+        churn_experiment(&plan, &campaign, churn, &config)
+    });
+    let mut table = Table::new(&[
+        "leave rate",
+        "detection",
+        "95% CI",
+        "realized factor",
+        "live workers",
+        "reassigned/trial",
+        "lost/trial",
+    ]);
+    table.numeric();
+    for ((rate, churn), est) in rows.iter().zip(&estimates) {
+        let overall = est.overall();
+        let (lo, hi) = overall.wilson_interval(1.96);
+        let trials = est.outcome.trials.max(1);
+        let factor = est
+            .realized_redundancy()
+            .unwrap_or_else(|| plan.redundancy_factor());
+        let live = est
+            .outcome
+            .census
+            .last()
+            .map_or(churn.initial_workers as f64, |s| s.mean_live_workers());
+        table.row(&[
+            &fnum(*rate, 4),
+            &fnum(overall.estimate(), 4),
+            &format!("[{}, {}]", fnum(lo, 4), fnum(hi, 4)),
+            &fnum(factor, 3),
+            &fnum(live, 1),
+            &fnum(est.outcome.reassignments as f64 / trials as f64, 1),
+            &fnum(est.outcome.lost_copies as f64 / trials as f64, 1),
+        ]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "(departures reassign their copies — detection holds but the realized factor \
+inflates; failures destroy copies and eat into the detection guarantee)"
+    );
+    Ok(out)
+}
+
+/// `redundancy churn --soak`: a single-trial event-loop stress run at the
+/// canonical soak hazards, printing the deterministic checksum so two
+/// same-seed runs can be compared byte for byte.
+fn churn_soak_cmd(workers: u64, horizon: u64, tasks: u64, seed: u64) -> Result<String, CliError> {
+    let churn = ChurnModel::soak(workers, horizon);
+    churn.validate().map_err(CliError::Invalid)?;
+    let report = churn_soak(&churn, tasks, seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "churn soak: {} initial workers, horizon {} ticks, {} tasks, seed {seed}",
+        inum(workers),
+        inum(horizon),
+        inum(tasks)
+    );
+    let _ = writeln!(
+        out,
+        "events: {} (arrivals {}, departures {}, failures {})",
+        inum(report.events),
+        inum(report.arrivals),
+        inum(report.departures),
+        inum(report.failures)
+    );
+    let _ = writeln!(
+        out,
+        "reassigned copies: {}; lost copies: {}; census checkpoints: {}",
+        inum(report.reassignments),
+        inum(report.lost_copies),
+        report.checkpoints
+    );
+    let _ = writeln!(out, "checksum: {:#018x}", report.checksum);
+    Ok(out)
+}
+
 fn solve_sm(
     tasks: u64,
     epsilon: f64,
@@ -1034,6 +1246,91 @@ mod tests {
     }
 
     #[test]
+    fn churn_sweep_reports_drift() {
+        let out = run(&[
+            "churn",
+            "--tasks",
+            "800",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.15",
+            "--campaigns",
+            "3",
+            "--seed",
+            "11",
+            "--workers",
+            "120",
+            "--horizon",
+            "600",
+            "--census-interval",
+            "200",
+            "--steps",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("churn sweep"), "{out}");
+        assert!(out.contains("closed-form detection"), "{out}");
+        assert!(out.contains("leave rate"), "{out}");
+        assert!(out.contains("realized factor"), "{out}");
+    }
+
+    #[test]
+    fn churn_sweep_is_deterministic_and_thread_invariant() {
+        let base = [
+            "churn",
+            "--tasks",
+            "500",
+            "--epsilon",
+            "0.5",
+            "--campaigns",
+            "2",
+            "--seed",
+            "5",
+            "--workers",
+            "80",
+            "--horizon",
+            "400",
+            "--census-interval",
+            "200",
+            "--steps",
+            "2",
+        ];
+        let first = run(&base).unwrap();
+        assert_eq!(first, run(&base).unwrap());
+        let mut pinned: Vec<&str> = base.to_vec();
+        pinned.extend_from_slice(&["--threads", "1"]);
+        let mut wide: Vec<&str> = base.to_vec();
+        wide.extend_from_slice(&["--threads", "4"]);
+        assert_eq!(run(&pinned).unwrap(), run(&wide).unwrap());
+    }
+
+    #[test]
+    fn churn_soak_prints_matching_checksums_for_equal_seeds() {
+        let argv = [
+            "churn",
+            "--soak",
+            "--workers",
+            "300",
+            "--horizon",
+            "4000",
+            "--tasks",
+            "200",
+            "--seed",
+            "9",
+        ];
+        let a = run(&argv).unwrap();
+        let b = run(&argv).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("checksum: 0x"), "{a}");
+        assert!(a.contains("events:"), "{a}");
+        let mut other: Vec<&str> = argv.to_vec();
+        let last = other.len() - 1;
+        other[last] = "10";
+        assert_ne!(run(&other).unwrap(), a, "seed must change the checksum");
+    }
+
+    #[test]
     fn certify_reports_exact_objectives() {
         let out = run(&[
             "certify",
@@ -1166,6 +1463,7 @@ mod tests {
             Some("advise"),
             Some("simulate"),
             Some("faults"),
+            Some("churn"),
             Some("solve-sm"),
             Some("certify"),
             Some("bench"),

@@ -10,6 +10,7 @@
 //! redundancy advise   --tasks 200000 --epsilon 0.5 --adversary 0.1 --precompute-budget 100
 //! redundancy simulate --tasks 20000 --epsilon 0.5 --proportion 0.1 --campaigns 30 [--seed 1]
 //! redundancy faults   --tasks 10000 --epsilon 0.5 --drop-rate 0.5 --steps 5 [--retries 3]
+//! redundancy churn    --tasks 2000 --epsilon 0.5 --leave-rate 0.004 --steps 4 [--soak]
 //! redundancy solve-sm --tasks 100000 --epsilon 0.5 --dim 16 [--mps out.mps] [--min-precompute]
 //! redundancy certify  --tasks 100000 --epsilon 0.5 --max-dim 26
 //! redundancy bench    --smoke --out BENCH_report.json [--baseline BENCH_baseline.json]
@@ -46,6 +47,7 @@ COMMANDS:
     advise     Pick the cheapest scheme for operational requirements
     simulate   Monte-Carlo campaign simulation with a colluding adversary
     faults     Detection-probability sweep under drops, stragglers, retries
+    churn      Detection/redundancy drift under a dynamic worker population
     solve-sm   Solve an assignment-minimizing LP system S_m
     certify    Certify S_m optima with the exact-rational LP oracle
     bench      Pinned performance fixtures with a BENCH JSON report

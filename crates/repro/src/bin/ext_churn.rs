@@ -1,0 +1,6 @@
+//! Thin shim over the `ext_churn` registry entry; see
+//! `crates/repro/src/exhibits/ext_churn.rs` for the exhibit itself.
+
+fn main() {
+    redundancy_repro::exhibit_main("ext_churn")
+}

@@ -7,6 +7,7 @@
 
 mod appendix_a_collusion;
 mod empirical_detection;
+mod ext_churn;
 mod ext_faults;
 mod ext_survival;
 mod fig1_detection_vs_p;
@@ -33,4 +34,5 @@ pub(crate) static REGISTRY: &[&dyn Exhibit] = &[
     &empirical_detection::EmpiricalDetection,
     &ext_survival::ExtSurvival,
     &ext_faults::ExtFaults,
+    &ext_churn::ExtChurn,
 ];

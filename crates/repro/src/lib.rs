@@ -13,7 +13,7 @@
 //!
 //! * `redundancy repro <name>` — the unified CLI subcommand (plus
 //!   `--list`, `--all`, `--json <path>`);
-//! * the 11 legacy standalone binaries under `src/bin/`, now thin shims
+//! * the 12 legacy standalone binaries under `src/bin/`, now thin shims
 //!   over [`exhibit_main`].
 //!
 //! The authoritative exhibit index is [`render_index`] (what
@@ -33,6 +33,7 @@
 //! | `empirical_detection` | (ours) | simulated `P̂_{k,p}` vs closed forms |
 //! | `ext_survival` | (ours) | free cheats before first detection vs the geometric law |
 //! | `ext_faults` | (ours) | detection vs drop/straggler rate, with and without retries |
+//! | `ext_churn` | (ours) | detection and realized redundancy drift under worker churn |
 //!
 //! All randomized exhibits take `--seed <u64>` (default [`DEFAULT_SEED`],
 //! the CLUSTER 2005 conference date) so EXPERIMENTS.md is exactly
@@ -387,10 +388,10 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let mut names: Vec<_> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 12);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 11, "duplicate registry names");
+        assert_eq!(names.len(), 12, "duplicate registry names");
         for exhibit in registry() {
             assert!(find(exhibit.name()).is_some());
             assert!(!exhibit.summary().is_empty());

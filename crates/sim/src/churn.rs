@@ -1,0 +1,1007 @@
+//! Churn: a discrete-event worker-population engine over the campaign
+//! kernel.
+//!
+//! The paper's detection guarantee (`P_k = ε`) assumes a static worker
+//! pool, but the volunteer platforms it targets are defined by churn —
+//! hosts enter, leave gracefully, and fail abruptly mid-task.  This module
+//! simulates that population with a deterministic discrete-event loop
+//! ([`EventQueue`], ordered by `(tick, seq)` so ties never depend on heap
+//! internals), reassigns in-flight copies when their holder departs, and at
+//! periodic census checkpoints runs the *batched campaign kernel* over the
+//! degraded task multiset to measure the detection probability and realized
+//! redundancy factor the supervisor actually achieves as the live
+//! multiplicity distribution drifts from the ideal Balanced/S_m mix.
+//!
+//! All latency is abstract ticks, every draw goes through the campaign's
+//! [`DeterministicRng`], and every draw is gated behind its rate being
+//! nonzero.  The correctness spine: an inactive model
+//! ([`ChurnModel::is_active`] false) delegates to
+//! [`run_campaign_with_scratch`] and consumes no extra randomness, so the
+//! zero-churn configuration is bit-identical — outcome counters *and* final
+//! RNG state — to the existing batched kernel.  The proptests in
+//! `crates/sim/tests/proptest_churn.rs` enforce this at 1, 2 and 4 worker
+//! threads.
+
+use crate::adversary::{AdversaryModel, CheatStrategy};
+use crate::engine::{run_campaign_with_scratch, CampaignConfig, CampaignScratch};
+use crate::events::EventQueue;
+use crate::experiment::ExperimentConfig;
+use crate::outcome::CampaignOutcome;
+use crate::task::{expand_plan, TaskSpec};
+use redundancy_core::RealizedPlan;
+use redundancy_stats::parallel::{run_trials, TrialConfig};
+use redundancy_stats::samplers::sample_geometric;
+use redundancy_stats::{DeterministicRng, Proportion};
+
+/// Population dynamics for one churn run, in abstract ticks.
+///
+/// Lifetimes and inter-arrival times are geometric (memoryless in discrete
+/// time), so the whole run schedules one event per worker transition — the
+/// engine is a true discrete-event simulation, not a per-tick scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnModel {
+    /// Per-tick probability a new worker joins the pool (inter-arrival
+    /// times are geometric with mean `1 / enter_rate` ticks; at most one
+    /// arrival per tick).
+    pub enter_rate: f64,
+    /// Per-tick per-worker hazard of a *graceful* departure (lifetime
+    /// geometric with mean `1 / leave_rate` ticks).  A departing worker
+    /// hands its in-flight copies back to the supervisor, which reassigns
+    /// each to a uniformly drawn live worker — every reassignment is one
+    /// extra issued assignment, inflating the realized redundancy factor.
+    pub leave_rate: f64,
+    /// Per-tick per-worker hazard of an *abrupt* failure.  A failing
+    /// worker's in-flight copies are simply lost: the affected tasks'
+    /// effective multiplicity shrinks, degrading `P_k`.
+    pub fail_rate: f64,
+    /// Workers alive at tick 0.
+    pub initial_workers: u64,
+    /// Ticks simulated.
+    pub horizon: u64,
+    /// Ticks between census checkpoints.  Each checkpoint snapshots the
+    /// population and runs one verification campaign over the degraded
+    /// multiset (checkpoints at `interval, 2·interval, … ≤ horizon`).
+    pub census_interval: u64,
+}
+
+impl ChurnModel {
+    /// The churn-free model: a static pool, default geometry.
+    ///
+    /// Inactive by construction, so engines delegate to the churn-free
+    /// batched kernel and consume no extra randomness.
+    pub fn none() -> Self {
+        ChurnModel {
+            enter_rate: 0.0,
+            leave_rate: 0.0,
+            fail_rate: 0.0,
+            initial_workers: 1_000,
+            horizon: 8_000,
+            census_interval: 2_000,
+        }
+    }
+
+    /// A model with only graceful departures at per-tick hazard `rate`.
+    pub fn with_leave_rate(rate: f64) -> Self {
+        ChurnModel {
+            leave_rate: rate,
+            ..ChurnModel::none()
+        }
+    }
+
+    /// A large-scale soak preset: `nodes` initial workers with arrivals
+    /// and deaths balanced near one event per tick each, run for `horizon`
+    /// ticks with eight census checkpoints.  Sized so a 100k-node pool
+    /// over a few million ticks processes on the order of `2 · horizon`
+    /// events.
+    pub fn soak(nodes: u64, horizon: u64) -> Self {
+        let n = nodes.max(1) as f64;
+        ChurnModel {
+            enter_rate: 0.9,
+            leave_rate: 0.9 / n,
+            fail_rate: 0.1 / n,
+            initial_workers: nodes.max(1),
+            horizon: horizon.max(8),
+            census_interval: (horizon.max(8) / 8).max(1),
+        }
+    }
+
+    /// True if any churn hazard can fire.  Inactive models must not
+    /// perturb the churn-free engine's RNG stream.
+    pub fn is_active(&self) -> bool {
+        self.enter_rate > 0.0 || self.leave_rate > 0.0 || self.fail_rate > 0.0
+    }
+
+    /// Census checkpoints a run of this model produces.
+    pub fn checkpoints(&self) -> u64 {
+        self.horizon / self.census_interval
+    }
+
+    /// Validate all parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("enter rate", self.enter_rate),
+            ("leave rate", self.leave_rate),
+            ("fail rate", self.fail_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+                return Err(format!("{name} {rate} outside [0, 1]"));
+            }
+        }
+        if self.initial_workers == 0 {
+            return Err("initial worker population must be positive".into());
+        }
+        if self.horizon == 0 {
+            return Err("horizon must be at least one tick".into());
+        }
+        if self.census_interval == 0 || self.census_interval > self.horizon {
+            return Err(format!(
+                "census interval {} outside [1, horizon {}]",
+                self.census_interval, self.horizon
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        ChurnModel::none()
+    }
+}
+
+/// Aggregated population state at one census checkpoint.
+///
+/// Fields are *sums across trials* (`trials` of them), so samples from
+/// independent runs merge commutatively; means are `field / trials`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CensusSample {
+    /// Checkpoint tick (identical across trials of one model).
+    pub tick: u64,
+    /// Trials folded into this sample.
+    pub trials: u64,
+    /// Live workers at the checkpoint, summed over trials.
+    pub live_workers: u64,
+    /// In-flight task copies still held by live workers, summed.
+    pub live_copies: u64,
+    /// Assignments issued so far (initial plus reassignments), summed.
+    pub issued_assignments: u64,
+    /// Copies lost to failures or reassignment starvation so far, summed.
+    pub lost_copies: u64,
+    /// Tasks with zero surviving copies at the checkpoint, summed.
+    pub starved_tasks: u64,
+    /// Cheats attempted in this checkpoint's verification campaign.
+    pub cheats_attempted: u64,
+    /// Cheats detected in this checkpoint's verification campaign.
+    pub cheats_detected: u64,
+    /// Colluded wrong results accepted in this checkpoint's campaign.
+    pub wrong_accepted: u64,
+}
+
+impl CensusSample {
+    /// Fold another trial's sample for the same checkpoint into this one.
+    pub fn merge(&mut self, other: &CensusSample) {
+        debug_assert_eq!(self.tick, other.tick, "merging mismatched checkpoints");
+        self.trials += other.trials;
+        self.live_workers += other.live_workers;
+        self.live_copies += other.live_copies;
+        self.issued_assignments += other.issued_assignments;
+        self.lost_copies += other.lost_copies;
+        self.starved_tasks += other.starved_tasks;
+        self.cheats_attempted += other.cheats_attempted;
+        self.cheats_detected += other.cheats_detected;
+        self.wrong_accepted += other.wrong_accepted;
+    }
+
+    /// Mean live workers per trial.
+    pub fn mean_live_workers(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.live_workers as f64 / self.trials as f64
+    }
+
+    /// Empirical detection probability at this checkpoint.
+    pub fn detection_rate(&self) -> Option<f64> {
+        if self.cheats_attempted == 0 {
+            return None;
+        }
+        Some(self.cheats_detected as f64 / self.cheats_attempted as f64)
+    }
+
+    /// Realized redundancy factor so far: issued assignments per task,
+    /// averaged over trials (`tasks_per_trial` is the plan's task count
+    /// including ringers).
+    pub fn redundancy_factor(&self, tasks_per_trial: u64) -> f64 {
+        let denom = self.trials.saturating_mul(tasks_per_trial);
+        if denom == 0 {
+            return 0.0;
+        }
+        self.issued_assignments as f64 / denom as f64
+    }
+}
+
+/// Everything a churn run tallies: the folded verification outcome, the
+/// census time series, and the population telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnOutcome {
+    /// Folded outcome of every census verification campaign (one plain
+    /// campaign when the model is inactive and the engine delegated).
+    pub campaign: CampaignOutcome,
+    /// Per-checkpoint population series, fixed length
+    /// [`ChurnModel::checkpoints`] for active models; empty when the
+    /// engine delegated to the churn-free kernel.
+    pub census: Vec<CensusSample>,
+    /// Active churn runs folded in (0 when every run delegated).
+    pub trials: u64,
+    /// Workers that joined after tick 0.
+    pub arrivals: u64,
+    /// Graceful departures processed.
+    pub departures: u64,
+    /// Abrupt failures processed.
+    pub failures: u64,
+    /// Copies handed to a new live holder after a departure.
+    pub reassignments: u64,
+    /// Copies lost (holder failed, or departed with no live worker left).
+    pub lost_copies: u64,
+    /// Assignments issued across all runs (initial plus reassignments).
+    pub issued_assignments: u64,
+    /// Discrete events processed (arrivals, departures, failures,
+    /// censuses).
+    pub events: u64,
+}
+
+impl ChurnOutcome {
+    /// Fold another outcome into this one.  Census series merge
+    /// elementwise (commutative and associative, so chunked Monte-Carlo
+    /// folds are thread-count invariant); an empty series is the identity.
+    pub fn merge(&mut self, other: &ChurnOutcome) {
+        self.campaign.merge(&other.campaign);
+        if self.census.is_empty() {
+            self.census = other.census.clone();
+        } else if !other.census.is_empty() {
+            assert_eq!(
+                self.census.len(),
+                other.census.len(),
+                "merging churn outcomes with different checkpoint counts"
+            );
+            for (mine, theirs) in self.census.iter_mut().zip(&other.census) {
+                mine.merge(theirs);
+            }
+        }
+        self.trials += other.trials;
+        self.arrivals += other.arrivals;
+        self.departures += other.departures;
+        self.failures += other.failures;
+        self.reassignments += other.reassignments;
+        self.lost_copies += other.lost_copies;
+        self.issued_assignments += other.issued_assignments;
+        self.events += other.events;
+    }
+
+    /// FNV-1a fold of every counter — a cheap determinism fingerprint for
+    /// the soak runs and the bench fixture (two same-seed runs must agree
+    /// exactly).
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for v in [
+            self.campaign.campaigns,
+            self.campaign.tasks,
+            self.campaign.assignments,
+            self.campaign.total_attempted(),
+            self.campaign.total_detected(),
+            self.campaign.wrong_accepted,
+            self.campaign.false_flags,
+            self.campaign.unresolved_tasks,
+            self.trials,
+            self.arrivals,
+            self.departures,
+            self.failures,
+            self.reassignments,
+            self.lost_copies,
+            self.issued_assignments,
+            self.events,
+        ] {
+            fold(v);
+        }
+        for s in &self.census {
+            for v in [
+                s.tick,
+                s.live_workers,
+                s.live_copies,
+                s.issued_assignments,
+                s.lost_copies,
+                s.starved_tasks,
+                s.cheats_attempted,
+                s.cheats_detected,
+                s.wrong_accepted,
+            ] {
+                fold(v);
+            }
+        }
+        h
+    }
+}
+
+/// Discrete events of one churn run.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Checkpoint number (0-based) — scheduled up front so a census at
+    /// tick `t` observes the population *before* any same-tick churn.
+    Census(u32),
+    /// A new worker joins (and chains the next arrival).
+    Arrive,
+    /// Graceful departure of a worker: copies are reassigned.
+    Depart(u32),
+    /// Abrupt failure of a worker: copies are lost.
+    Fail(u32),
+}
+
+/// Sentinel for "no assignment" / "not live" in the intrusive lists.
+const NONE: u32 = u32::MAX;
+
+/// The worker population and its in-flight assignments.
+///
+/// Assignments live in intrusive singly-linked lists headed per worker
+/// (copies only ever move wholesale when their holder dies), and the live
+/// set is a swap-remove vector with a position index so reassignment
+/// targets are drawn in O(1) — the whole engine is allocation-free after
+/// setup.
+struct Population {
+    /// Head of each worker's assignment list (`NONE` if idle).
+    head: Vec<u32>,
+    /// Position of each worker in `live` (`NONE` if dead).
+    pos: Vec<u32>,
+    /// Ids of live workers, in swap-remove order.
+    live: Vec<u32>,
+    /// Next pointer per assignment.
+    assign_next: Vec<u32>,
+    /// Owning task index per assignment.
+    assign_task: Vec<u32>,
+    /// Surviving copies per task.
+    task_live: Vec<u32>,
+    /// Tasks with zero surviving copies.
+    starved: u64,
+    /// Copies currently held by live workers.
+    live_copies: u64,
+    /// Assignments issued so far (initial plus reassignments).
+    issued: u64,
+}
+
+impl Population {
+    /// Spawn the initial pool and deal the plan's copies round-robin over
+    /// it (deterministic, no RNG).
+    fn new(tasks: &[TaskSpec], initial_workers: u64) -> Self {
+        let assignments: u64 = tasks.iter().map(|t| u64::from(t.multiplicity)).sum();
+        let mut p = Population {
+            head: vec![NONE; initial_workers as usize],
+            pos: (0..initial_workers as u32).collect(),
+            live: (0..initial_workers as u32).collect(),
+            assign_next: Vec::with_capacity(assignments as usize),
+            assign_task: Vec::with_capacity(assignments as usize),
+            task_live: Vec::with_capacity(tasks.len()),
+            starved: 0,
+            live_copies: 0,
+            issued: 0,
+        };
+        for (ti, spec) in tasks.iter().enumerate() {
+            p.task_live.push(spec.multiplicity);
+            if spec.multiplicity == 0 {
+                p.starved += 1;
+            }
+            for _ in 0..spec.multiplicity {
+                let a = p.assign_task.len() as u32;
+                p.assign_task.push(ti as u32);
+                p.assign_next.push(NONE);
+                let w = (u64::from(a) % initial_workers) as u32;
+                p.push_assignment(w, a);
+                p.issued += 1;
+                p.live_copies += 1;
+            }
+        }
+        p
+    }
+
+    fn push_assignment(&mut self, worker: u32, assignment: u32) {
+        self.assign_next[assignment as usize] = self.head[worker as usize];
+        self.head[worker as usize] = assignment;
+    }
+
+    /// Add a fresh idle worker, returning its id.
+    fn spawn(&mut self) -> u32 {
+        let w = self.head.len() as u32;
+        self.head.push(NONE);
+        self.pos.push(self.live.len() as u32);
+        self.live.push(w);
+        w
+    }
+
+    /// Remove `worker` from the live set (it keeps its list until drained).
+    fn remove_live(&mut self, worker: u32) {
+        let at = self.pos[worker as usize] as usize;
+        debug_assert!(at != NONE as usize, "worker died twice");
+        self.pos[worker as usize] = NONE;
+        self.live.swap_remove(at);
+        // The former last element now sits at `at`; re-index it.
+        if at < self.live.len() {
+            let moved = self.live[at];
+            self.pos[moved as usize] = at as u32;
+        }
+    }
+
+    /// One copy is gone for good.
+    fn lose_copy(&mut self, assignment: u32) {
+        let ti = self.assign_task[assignment as usize] as usize;
+        self.task_live[ti] -= 1;
+        if self.task_live[ti] == 0 {
+            self.starved += 1;
+        }
+        self.live_copies -= 1;
+    }
+
+    /// Graceful departure: every held copy is reassigned to a uniformly
+    /// drawn live worker (one RNG draw per copy), or lost if the pool is
+    /// empty.  Returns `(reassigned, lost)`.
+    fn depart(&mut self, worker: u32, rng: &mut DeterministicRng) -> (u64, u64) {
+        self.remove_live(worker);
+        let (mut reassigned, mut lost) = (0u64, 0u64);
+        let mut a = std::mem::replace(&mut self.head[worker as usize], NONE);
+        while a != NONE {
+            let next = self.assign_next[a as usize];
+            if self.live.is_empty() {
+                self.lose_copy(a);
+                lost += 1;
+            } else {
+                let target = self.live[rng.below(self.live.len() as u64) as usize];
+                self.push_assignment(target, a);
+                self.issued += 1;
+                reassigned += 1;
+            }
+            a = next;
+        }
+        (reassigned, lost)
+    }
+
+    /// Abrupt failure: every held copy is lost.  Returns the count.
+    fn fail(&mut self, worker: u32) -> u64 {
+        self.remove_live(worker);
+        let mut lost = 0u64;
+        let mut a = std::mem::replace(&mut self.head[worker as usize], NONE);
+        while a != NONE {
+            let next = self.assign_next[a as usize];
+            self.lose_copy(a);
+            lost += 1;
+            a = next;
+        }
+        lost
+    }
+}
+
+/// Draw a worker's death event from its entry tick: the earlier of a
+/// geometric departure and a geometric failure (failure wins ties — a
+/// crash preempts a goodbye).  Draw order is fixed (departure first) and
+/// each draw is gated behind its rate, so configurations agree on their
+/// common random-number prefix.
+fn schedule_death(
+    churn: &ChurnModel,
+    worker: u32,
+    now: u64,
+    rng: &mut DeterministicRng,
+    queue: &mut EventQueue<Event>,
+) {
+    let leave = (churn.leave_rate > 0.0).then(|| now + sample_geometric(rng, churn.leave_rate));
+    let fail = (churn.fail_rate > 0.0).then(|| now + sample_geometric(rng, churn.fail_rate));
+    match (leave, fail) {
+        (Some(l), Some(f)) if l < f => queue.schedule(l, Event::Depart(worker)),
+        (Some(_), Some(f)) => queue.schedule(f, Event::Fail(worker)),
+        (Some(l), None) => queue.schedule(l, Event::Depart(worker)),
+        (None, Some(f)) => queue.schedule(f, Event::Fail(worker)),
+        (None, None) => return, // immortal under this model
+    };
+}
+
+/// Run one churn trial over `tasks`, accumulating into `outcome`.
+///
+/// With an inactive model this delegates to [`run_campaign_with_scratch`]
+/// and is bit-for-bit identical to it — the churn layer consumes no
+/// randomness at all.  With an active model it plays the discrete-event
+/// population forward for `churn.horizon` ticks and, at every census
+/// checkpoint, runs the batched campaign kernel (same cached samplers,
+/// same scratch) over the *degraded* task multiset: each task keeps its
+/// id and precomputed flag but its multiplicity is whatever survived the
+/// churn so far.  Checkpoint `i`'s sample is pushed on the first trial and
+/// merged elementwise on repeat calls, so one `ChurnOutcome` accumulates
+/// any number of trials.
+pub fn run_campaign_with_churn_scratch(
+    tasks: &[TaskSpec],
+    config: &CampaignConfig,
+    churn: &ChurnModel,
+    rng: &mut DeterministicRng,
+    outcome: &mut ChurnOutcome,
+    scratch: &mut CampaignScratch,
+) {
+    debug_assert!(churn.validate().is_ok(), "invalid churn model");
+    if !churn.is_active() {
+        return run_campaign_with_scratch(tasks, config, rng, &mut outcome.campaign, scratch);
+    }
+    outcome.trials += 1;
+    let mut pop = Population::new(tasks, churn.initial_workers);
+    let mut queue = EventQueue::with_capacity(pop.head.len() + 64);
+    // Censuses first: at a tied tick the checkpoint observes the
+    // population before any same-tick churn (seq breaks the tie).
+    let checkpoints = churn.checkpoints();
+    for i in 0..checkpoints {
+        queue.schedule((i + 1) * churn.census_interval, Event::Census(i as u32));
+    }
+    for w in 0..churn.initial_workers as u32 {
+        schedule_death(churn, w, 0, rng, &mut queue);
+    }
+    if churn.enter_rate > 0.0 {
+        let first = sample_geometric(rng, churn.enter_rate);
+        if first <= churn.horizon {
+            queue.schedule(first, Event::Arrive);
+        }
+    }
+    let mut degraded: Vec<TaskSpec> = Vec::with_capacity(tasks.len());
+    while let Some((tick, event)) = queue.pop() {
+        if tick > churn.horizon {
+            break;
+        }
+        outcome.events += 1;
+        match event {
+            Event::Arrive => {
+                outcome.arrivals += 1;
+                let w = pop.spawn();
+                schedule_death(churn, w, tick, rng, &mut queue);
+                let next = tick + sample_geometric(rng, churn.enter_rate);
+                if next <= churn.horizon {
+                    queue.schedule(next, Event::Arrive);
+                }
+            }
+            Event::Depart(w) => {
+                outcome.departures += 1;
+                let (reassigned, lost) = pop.depart(w, rng);
+                outcome.reassignments += reassigned;
+                outcome.issued_assignments += reassigned;
+                outcome.lost_copies += lost;
+            }
+            Event::Fail(w) => {
+                outcome.failures += 1;
+                outcome.lost_copies += pop.fail(w);
+            }
+            Event::Census(i) => {
+                degraded.clear();
+                for (spec, &live) in tasks.iter().zip(&pop.task_live) {
+                    if live > 0 {
+                        degraded.push(TaskSpec {
+                            multiplicity: live,
+                            ..*spec
+                        });
+                    }
+                }
+                let before = (
+                    outcome.campaign.total_attempted(),
+                    outcome.campaign.total_detected(),
+                    outcome.campaign.wrong_accepted,
+                );
+                run_campaign_with_scratch(&degraded, config, rng, &mut outcome.campaign, scratch);
+                outcome.campaign.unresolved_tasks += pop.starved;
+                let sample = CensusSample {
+                    tick,
+                    trials: 1,
+                    live_workers: pop.live.len() as u64,
+                    live_copies: pop.live_copies,
+                    issued_assignments: pop.issued,
+                    lost_copies: (pop.issued - pop.live_copies),
+                    starved_tasks: pop.starved,
+                    cheats_attempted: outcome.campaign.total_attempted() - before.0,
+                    cheats_detected: outcome.campaign.total_detected() - before.1,
+                    wrong_accepted: outcome.campaign.wrong_accepted - before.2,
+                };
+                let slot = i as usize;
+                if outcome.census.len() == slot {
+                    outcome.census.push(sample);
+                } else {
+                    outcome.census[slot].merge(&sample);
+                }
+            }
+        }
+    }
+}
+
+/// Monte-Carlo churn estimate: the merged [`ChurnOutcome`] plus the plan
+/// geometry needed to normalize it.
+#[derive(Debug, Clone)]
+pub struct ChurnEstimate {
+    /// Merged outcome over all trials.
+    pub outcome: ChurnOutcome,
+    /// Tasks per trial (ordinary tasks plus ringers), for redundancy
+    /// normalization.
+    pub tasks_per_trial: u64,
+}
+
+impl ChurnEstimate {
+    /// Overall detection proportion across every census campaign.
+    pub fn overall(&self) -> Proportion {
+        let mut p = Proportion::new();
+        p.push_batch(
+            self.outcome.campaign.total_detected(),
+            self.outcome.campaign.total_attempted(),
+        );
+        p
+    }
+
+    /// Realized redundancy factor at the final checkpoint: issued
+    /// assignments per task, averaged over trials (`None` when every run
+    /// delegated to the churn-free kernel).
+    pub fn realized_redundancy(&self) -> Option<f64> {
+        let last = self.outcome.census.last()?;
+        Some(last.redundancy_factor(self.tasks_per_trial))
+    }
+}
+
+/// Run `config.campaigns` independent churn trials of `plan` under the
+/// given campaign configuration and churn model, in parallel, and merge
+/// the outcomes.
+///
+/// Uses the same chunk-seeded [`run_trials`] driver as
+/// [`detection_experiment_with`](crate::experiment::detection_experiment_with),
+/// with each worker carrying its own [`CampaignScratch`]; census series
+/// merge elementwise, so the result is bit-identical at any thread count.
+/// With an inactive model every trial delegates to the batched kernel and
+/// the merged `outcome.campaign` equals the churn-free experiment exactly.
+pub fn churn_experiment(
+    plan: &RealizedPlan,
+    campaign: &CampaignConfig,
+    churn: &ChurnModel,
+    config: &ExperimentConfig,
+) -> ChurnEstimate {
+    campaign.validate().expect("invalid campaign configuration");
+    churn.validate().expect("invalid churn model");
+    let tasks: Vec<TaskSpec> = expand_plan(plan);
+    let trial_cfg = TrialConfig {
+        trials: config.campaigns,
+        chunk_size: config.chunk_size,
+        threads: config.threads,
+        seed: config.seed,
+    };
+    #[derive(Default)]
+    struct ChurnAccumulator {
+        out: ChurnOutcome,
+        scratch: CampaignScratch,
+    }
+    let acc: ChurnAccumulator = run_trials(
+        &trial_cfg,
+        |rng, _i, a: &mut ChurnAccumulator| {
+            run_campaign_with_churn_scratch(
+                &tasks,
+                campaign,
+                churn,
+                rng,
+                &mut a.out,
+                &mut a.scratch,
+            )
+        },
+        |a, b| a.out.merge(&b.out),
+    );
+    ChurnEstimate {
+        outcome: acc.out,
+        tasks_per_trial: tasks.len() as u64,
+    }
+}
+
+/// One deterministic large-scale churn run, reduced to the numbers the
+/// soak harnesses compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoakReport {
+    /// Discrete events processed.
+    pub events: u64,
+    /// Workers that joined after tick 0.
+    pub arrivals: u64,
+    /// Graceful departures processed.
+    pub departures: u64,
+    /// Abrupt failures processed.
+    pub failures: u64,
+    /// Copies reassigned after departures.
+    pub reassignments: u64,
+    /// Copies lost outright.
+    pub lost_copies: u64,
+    /// Census checkpoints taken.
+    pub checkpoints: u64,
+    /// FNV fold of every outcome counter — two same-seed runs must agree.
+    pub checksum: u64,
+}
+
+/// Run one full-size churn trial — a Balanced plan of `tasks` tasks at
+/// ε = 0.5 against a 20% always-cheating adversary — and fingerprint it.
+///
+/// This is the entry point behind the `churn_step` bench fixture and the
+/// CI soak: a single worker, a single RNG stream, every counter folded
+/// into [`ChurnOutcome::checksum`], so any nondeterminism in the event
+/// loop (heap tie order, reassignment draws, census scheduling) changes
+/// the checksum.
+pub fn churn_soak(churn: &ChurnModel, tasks: u64, seed: u64) -> SoakReport {
+    churn.validate().expect("invalid churn model");
+    let plan = RealizedPlan::balanced(tasks, 0.5).expect("soak plan");
+    let specs = expand_plan(&plan);
+    let config = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: 0.2 },
+        CheatStrategy::Always,
+    );
+    let mut rng = DeterministicRng::new(seed);
+    let mut outcome = ChurnOutcome::default();
+    let mut scratch = CampaignScratch::new();
+    run_campaign_with_churn_scratch(&specs, &config, churn, &mut rng, &mut outcome, &mut scratch);
+    SoakReport {
+        events: outcome.events,
+        arrivals: outcome.arrivals,
+        departures: outcome.departures,
+        failures: outcome.failures,
+        reassignments: outcome.reassignments,
+        lost_copies: outcome.lost_copies,
+        checkpoints: outcome.census.len() as u64,
+        checksum: outcome.checksum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> CampaignConfig {
+        CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        )
+    }
+
+    #[test]
+    fn none_is_inactive_and_valid() {
+        let c = ChurnModel::none();
+        assert!(!c.is_active());
+        assert!(c.validate().is_ok());
+        assert_eq!(c.checkpoints(), 4);
+    }
+
+    #[test]
+    fn nonzero_rates_activate() {
+        assert!(ChurnModel::with_leave_rate(0.001).is_active());
+        let enter = ChurnModel {
+            enter_rate: 0.5,
+            ..ChurnModel::none()
+        };
+        assert!(enter.is_active());
+        let fail = ChurnModel {
+            fail_rate: 0.001,
+            ..ChurnModel::none()
+        };
+        assert!(fail.is_active());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ChurnModel::with_leave_rate(1.5).validate().is_err());
+        assert!(ChurnModel::with_leave_rate(-0.1).validate().is_err());
+        let bad_enter = ChurnModel {
+            enter_rate: f64::NAN,
+            ..ChurnModel::none()
+        };
+        assert!(bad_enter.validate().is_err());
+        let no_workers = ChurnModel {
+            initial_workers: 0,
+            ..ChurnModel::none()
+        };
+        assert!(no_workers.validate().is_err());
+        let no_horizon = ChurnModel {
+            horizon: 0,
+            ..ChurnModel::none()
+        };
+        assert!(no_horizon.validate().is_err());
+        let wild_census = ChurnModel {
+            census_interval: 1_000_000,
+            ..ChurnModel::none()
+        };
+        assert!(wild_census.validate().is_err());
+        let zero_census = ChurnModel {
+            census_interval: 0,
+            ..ChurnModel::none()
+        };
+        assert!(zero_census.validate().is_err());
+    }
+
+    #[test]
+    fn boundary_rates_are_valid() {
+        assert!(ChurnModel::with_leave_rate(1.0).validate().is_ok());
+        assert!(ChurnModel::with_leave_rate(0.0).validate().is_ok());
+    }
+
+    #[test]
+    fn inactive_model_is_bit_identical_to_batched_kernel() {
+        // The correctness spine, in its smallest form: same outcome, same
+        // final RNG state, across repeated campaigns sharing one scratch.
+        let plan = RealizedPlan::balanced(2_000, 0.5).unwrap();
+        let tasks = expand_plan(&plan);
+        let config = test_config();
+        let churn = ChurnModel::none();
+        let mut base_rng = DeterministicRng::new(42);
+        let mut churn_rng = base_rng.clone();
+        let mut base_out = CampaignOutcome::default();
+        let mut churn_out = ChurnOutcome::default();
+        let mut base_scratch = CampaignScratch::new();
+        let mut churn_scratch = CampaignScratch::new();
+        for _ in 0..3 {
+            run_campaign_with_scratch(
+                &tasks,
+                &config,
+                &mut base_rng,
+                &mut base_out,
+                &mut base_scratch,
+            );
+            run_campaign_with_churn_scratch(
+                &tasks,
+                &config,
+                &churn,
+                &mut churn_rng,
+                &mut churn_out,
+                &mut churn_scratch,
+            );
+        }
+        assert_eq!(base_out, churn_out.campaign);
+        assert_eq!(base_rng, churn_rng, "zero churn consumed randomness");
+        assert!(churn_out.census.is_empty());
+        assert_eq!(churn_out.events, 0);
+        assert_eq!(churn_out.trials, 0);
+    }
+
+    #[test]
+    fn failures_degrade_detection_and_lose_copies() {
+        // Heavy abrupt failure with no replacements: copies are lost,
+        // tasks starve, and detection at the late checkpoints collapses
+        // relative to the first.
+        let plan = RealizedPlan::balanced(2_000, 0.5).unwrap();
+        let churn = ChurnModel {
+            fail_rate: 0.002,
+            initial_workers: 200,
+            horizon: 2_000,
+            census_interval: 500,
+            ..ChurnModel::none()
+        };
+        let est = churn_experiment(&plan, &test_config(), &churn, &ExperimentConfig::new(4, 99));
+        let out = &est.outcome;
+        assert_eq!(out.census.len(), 4);
+        assert!(out.failures > 0, "no failures fired");
+        assert!(out.lost_copies > 0, "failures lost no copies");
+        let first = &out.census[0];
+        let last = &out.census[3];
+        assert!(
+            last.live_copies < first.live_copies,
+            "copies did not decay: {} -> {}",
+            first.live_copies,
+            last.live_copies
+        );
+        assert!(last.starved_tasks > 0, "nothing starved under heavy churn");
+    }
+
+    #[test]
+    fn departures_reassign_and_inflate_redundancy() {
+        // Graceful departures with a healthy arrival flow: copies survive
+        // via reassignment, so issued assignments grow past the plan's
+        // initial factor while losses stay at zero.
+        let plan = RealizedPlan::balanced(2_000, 0.5).unwrap();
+        let churn = ChurnModel {
+            enter_rate: 0.9,
+            leave_rate: 0.001,
+            initial_workers: 500,
+            horizon: 2_000,
+            census_interval: 500,
+            ..ChurnModel::none()
+        };
+        let est = churn_experiment(&plan, &test_config(), &churn, &ExperimentConfig::new(4, 7));
+        let out = &est.outcome;
+        assert!(out.departures > 0);
+        assert!(out.reassignments > 0, "departures reassigned nothing");
+        assert!(out.arrivals > 0);
+        assert_eq!(out.failures, 0);
+        let base = est.outcome.census[0].redundancy_factor(est.tasks_per_trial);
+        let last = est.realized_redundancy().unwrap();
+        assert!(
+            last > base,
+            "reassignment did not inflate redundancy: {base} vs {last}"
+        );
+        // No failures: every copy survives, so live copies stay constant.
+        assert_eq!(
+            out.census[0].live_copies, out.census[3].live_copies,
+            "graceful churn lost copies"
+        );
+    }
+
+    #[test]
+    fn churn_experiment_is_thread_count_invariant() {
+        let plan = RealizedPlan::balanced(1_000, 0.5).unwrap();
+        let churn = ChurnModel {
+            enter_rate: 0.5,
+            leave_rate: 0.002,
+            fail_rate: 0.0005,
+            initial_workers: 150,
+            horizon: 1_000,
+            census_interval: 250,
+        };
+        let run = |threads| {
+            let cfg = ExperimentConfig {
+                campaigns: 8,
+                seed: 31,
+                threads,
+                chunk_size: 2,
+            };
+            churn_experiment(&plan, &test_config(), &churn, &cfg).outcome
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a, b, "churn outcome depends on thread count");
+    }
+
+    #[test]
+    fn same_seed_runs_produce_identical_census_checkpoints() {
+        // Regression: the census series — ticks, population, detection —
+        // must replay exactly for a fixed seed.
+        let plan = RealizedPlan::balanced(1_500, 0.75).unwrap();
+        let churn = ChurnModel {
+            enter_rate: 0.7,
+            leave_rate: 0.003,
+            fail_rate: 0.001,
+            initial_workers: 300,
+            horizon: 1_200,
+            census_interval: 300,
+        };
+        let run = || {
+            churn_experiment(
+                &plan,
+                &test_config(),
+                &churn,
+                &ExperimentConfig::new(5, 2026),
+            )
+            .outcome
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.census, b.census);
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn soak_is_deterministic_and_counts_events() {
+        let model = ChurnModel::soak(2_000, 20_000);
+        let a = churn_soak(&model, 500, 11);
+        let b = churn_soak(&model, 500, 11);
+        assert_eq!(a, b, "same-seed soaks diverged");
+        // ~0.9 arrivals and ~1 death per tick plus 8 censuses.
+        assert!(a.events > 20_000, "only {} events", a.events);
+        assert_eq!(a.checkpoints, 8);
+        let c = churn_soak(&model, 500, 12);
+        assert_ne!(a.checksum, c.checksum, "checksum ignores the seed");
+    }
+
+    #[test]
+    fn merge_handles_empty_and_accumulates() {
+        let plan = RealizedPlan::balanced(800, 0.5).unwrap();
+        let churn = ChurnModel {
+            leave_rate: 0.002,
+            initial_workers: 100,
+            horizon: 800,
+            census_interval: 200,
+            ..ChurnModel::none()
+        };
+        let est = churn_experiment(&plan, &test_config(), &churn, &ExperimentConfig::new(3, 5));
+        let one = est.outcome;
+        let mut folded = ChurnOutcome::default();
+        folded.merge(&one); // empty ⊕ x = x
+        assert_eq!(folded, one);
+        folded.merge(&one);
+        assert_eq!(folded.trials, 2 * one.trials);
+        assert_eq!(folded.census[0].trials, 2 * one.census[0].trials);
+        assert_eq!(folded.events, 2 * one.events);
+    }
+}

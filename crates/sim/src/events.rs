@@ -1,0 +1,196 @@
+//! Deterministic discrete-event queue for the churn engine.
+//!
+//! `std`'s [`BinaryHeap`] makes no promise about the relative order of
+//! *equal* elements, and a churn run schedules many events on the same
+//! tick (a census, several departures, an arrival).  If tie order leaked
+//! from heap internals, two runs of the same seed could diverge the moment
+//! the heap's sift path changed — so every entry carries an explicit
+//! `(tick, seq)` key, with `seq` assigned monotonically at scheduling time.
+//! The pop order is therefore a pure function of the schedule calls:
+//! earliest tick first, and first-scheduled first within a tick.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scheduled event.  Ordering is **only** the `(tick, seq)` pair; the
+/// payload never participates, so payload types need no `Ord`.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    tick: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.tick, self.seq) == (other.tick, other.seq)
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.tick, self.seq).cmp(&(other.tick, other.seq))
+    }
+}
+
+/// A min-queue of `(tick, payload)` events with deterministic tie-breaking.
+///
+/// Ties on `tick` pop in scheduling order (`seq` is a monotone counter),
+/// so the pop sequence never depends on [`BinaryHeap`] internals.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// An empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `tick`; returns the entry's sequence number
+    /// (its tie-break rank among same-tick events).
+    pub fn schedule(&mut self, tick: u64, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { tick, seq, payload }));
+        seq
+    }
+
+    /// Pop the earliest event: smallest tick, then smallest seq.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.tick, e.payload))
+    }
+
+    /// Tick of the next event without removing it.
+    pub fn peek_tick(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.tick)
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (the next seq to be assigned).
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redundancy_stats::DeterministicRng;
+
+    #[test]
+    fn pops_in_tick_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, "e");
+        q.schedule(1, "a");
+        q.schedule(3, "c");
+        q.schedule(2, "b");
+        q.schedule(4, "d");
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            popped,
+            vec![(1, "a"), (2, "b"), (3, "c"), (4, "d"), (5, "e")]
+        );
+    }
+
+    #[test]
+    fn ties_pop_in_schedule_order() {
+        // Many events on one tick: FIFO by seq, never heap order.
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.schedule(7, i);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_insertion_of_distinct_ticks_pops_identically() {
+        // With all ticks distinct, the pop sequence is determined by the
+        // ticks alone — identical across every insertion order.
+        let baseline: Vec<(u64, u64)> = (0..256u64).map(|t| (t, t * 10)).collect();
+        let mut rng = DeterministicRng::new(99);
+        for _ in 0..32 {
+            let mut shuffled = baseline.clone();
+            rng.shuffle(&mut shuffled);
+            let mut q = EventQueue::new();
+            for &(tick, payload) in &shuffled {
+                q.schedule(tick, payload);
+            }
+            let popped: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop()).collect();
+            assert_eq!(popped, baseline, "pop order depended on insertion order");
+        }
+    }
+
+    #[test]
+    fn randomized_schedule_matches_sorted_oracle() {
+        // Random ticks with heavy collisions: the pop sequence must equal
+        // a stable sort of the entries by (tick, seq).
+        let mut rng = DeterministicRng::new(1234);
+        for round in 0..16u64 {
+            let mut q = EventQueue::new();
+            let mut oracle: Vec<(u64, u64, u64)> = Vec::new();
+            for i in 0..500u64 {
+                let tick = rng.below(20); // ~25 events per tick
+                let seq = q.schedule(tick, round * 1_000 + i);
+                oracle.push((tick, seq, round * 1_000 + i));
+            }
+            oracle.sort();
+            let popped: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop()).collect();
+            let expected: Vec<(u64, u64)> = oracle.iter().map(|&(t, _, p)| (t, p)).collect();
+            assert_eq!(popped, expected);
+        }
+    }
+
+    #[test]
+    fn interleaved_pops_and_pushes_stay_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 'a');
+        q.schedule(20, 'b');
+        assert_eq!(q.peek_tick(), Some(10));
+        assert_eq!(q.pop(), Some((10, 'a')));
+        // Scheduling after a pop still orders by tick first.
+        q.schedule(15, 'c');
+        assert_eq!(q.pop(), Some((15, 'c')));
+        assert_eq!(q.pop(), Some((20, 'b')));
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled(), 3);
+    }
+}

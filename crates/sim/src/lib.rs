@@ -37,9 +37,19 @@
 //! failures with capped exponential backoff.  All latency is abstract
 //! ticks and every draw is rate-gated, so a zero-fault model reproduces
 //! the baseline engine bit for bit.
+//!
+//! The [`churn`] / [`events`] modules lift the remaining static-pool
+//! assumption: a discrete-event worker population (deterministic
+//! `(tick, seq)`-ordered queue) where hosts enter, leave, and fail
+//! mid-task, copies are reassigned when their holder departs, and census
+//! checkpoints run the batched kernel over the degraded multiset to track
+//! achieved `P_k` and realized redundancy over time.  A zero-churn model
+//! likewise degenerates to the batched kernel bit for bit.
 
 pub mod adversary;
+pub mod churn;
 pub mod engine;
+pub mod events;
 pub mod experiment;
 pub mod faults;
 pub mod outcome;
@@ -52,10 +62,15 @@ pub mod task;
 pub mod two_phase;
 
 pub use adversary::{AdversaryModel, CheatStrategy};
+pub use churn::{
+    churn_experiment, churn_soak, run_campaign_with_churn_scratch, CensusSample, ChurnEstimate,
+    ChurnModel, ChurnOutcome, SoakReport,
+};
 pub use engine::{
     run_campaign, run_campaign_with_faults, run_campaign_with_faults_scratch,
     run_campaign_with_scratch, CampaignAccumulator, CampaignConfig, CampaignScratch,
 };
+pub use events::EventQueue;
 pub use experiment::{
     detection_experiment, faulty_detection_experiment, sampled_detection_experiment,
     DetectionEstimate, ExperimentConfig,

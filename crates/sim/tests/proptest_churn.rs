@@ -1,0 +1,199 @@
+//! Property-based tests for the churn engine (proptest).
+//!
+//! The headline property — the PR's correctness spine — is that zero churn
+//! (`enter_rate = leave_rate = fail_rate = 0`) is *bit-identical* to the
+//! batched campaign kernel: same outcome counters AND same final RNG
+//! state, for random campaign shapes, at 1, 2, and 4 worker threads.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use redundancy_core::RealizedPlan;
+use redundancy_sim::experiment::detection_experiment_with;
+use redundancy_sim::{
+    churn_experiment, run_campaign_with_churn_scratch, run_campaign_with_scratch, AdversaryModel,
+    CampaignConfig, CampaignOutcome, CampaignScratch, CheatStrategy, ChurnModel, ChurnOutcome,
+    ExperimentConfig,
+};
+use redundancy_stats::DeterministicRng;
+
+/// Decode drawn scalars into an arbitrary-but-valid campaign shape.
+fn campaign_shape(
+    tasks: u64,
+    eps_pct: u32,
+    p_pct: u32,
+    strategy_ix: u32,
+    majority: bool,
+) -> (RealizedPlan, CampaignConfig) {
+    let plan = RealizedPlan::balanced(tasks, f64::from(eps_pct) / 100.0).unwrap();
+    let strategy = match strategy_ix % 4 {
+        0 => CheatStrategy::Never,
+        1 => CheatStrategy::Always,
+        2 => CheatStrategy::ExactTuples { k: 1 },
+        _ => CheatStrategy::AtLeast { min_copies: 1 },
+    };
+    let mut config = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction {
+            p: f64::from(p_pct) / 100.0,
+        },
+        strategy,
+    );
+    if majority {
+        config.policy = redundancy_sim::supervisor::VerificationPolicy::Majority;
+    }
+    (plan, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zero churn delegates to `run_campaign_with_scratch` bit for bit:
+    /// identical outcome counters and identical final RNG state, across
+    /// back-to-back campaigns sharing one scratch.
+    #[test]
+    fn zero_churn_kernel_is_bit_identical(
+        tasks in 100u64..2_000,
+        eps_pct in 5u32..95,
+        p_pct in 0u32..60,
+        strategy_ix in 0u32..4,
+        majority_ix in 0u32..2,
+        seed in 0u64..100_000,
+    ) {
+        let (plan, config) =
+            campaign_shape(tasks, eps_pct, p_pct, strategy_ix, majority_ix == 1);
+        let specs = redundancy_sim::task::expand_plan(&plan);
+        let churn = ChurnModel::none();
+        prop_assert!(!churn.is_active());
+        let mut base_rng = DeterministicRng::new(seed);
+        let mut churn_rng = base_rng.clone();
+        let mut base_out = CampaignOutcome::default();
+        let mut churn_out = ChurnOutcome::default();
+        let mut base_scratch = CampaignScratch::new();
+        let mut churn_scratch = CampaignScratch::new();
+        for _ in 0..2 {
+            run_campaign_with_scratch(
+                &specs,
+                &config,
+                &mut base_rng,
+                &mut base_out,
+                &mut base_scratch,
+            );
+            run_campaign_with_churn_scratch(
+                &specs,
+                &config,
+                &churn,
+                &mut churn_rng,
+                &mut churn_out,
+                &mut churn_scratch,
+            );
+        }
+        prop_assert_eq!(base_out, churn_out.campaign);
+        prop_assert_eq!(base_rng, churn_rng);
+        prop_assert!(churn_out.census.is_empty());
+        prop_assert_eq!(churn_out.events, 0);
+    }
+
+    /// The same equivalence holds through the threaded Monte-Carlo driver:
+    /// a zero-churn experiment equals the churn-free experiment bitwise at
+    /// every thread count, and the thread count itself changes nothing.
+    #[test]
+    fn zero_churn_experiment_matches_baseline_at_1_2_4_threads(
+        tasks in 100u64..1_200,
+        eps_pct in 5u32..95,
+        p_pct in 0u32..60,
+        strategy_ix in 0u32..4,
+        campaigns in 1u64..10,
+        seed in 0u64..100_000,
+    ) {
+        let (plan, config) = campaign_shape(tasks, eps_pct, p_pct, strategy_ix, false);
+        let churn = ChurnModel::none();
+        for threads in [1usize, 2, 4] {
+            let cfg = ExperimentConfig {
+                campaigns,
+                seed,
+                threads,
+                chunk_size: 2,
+            };
+            let base = detection_experiment_with(&plan, &config, &cfg);
+            let churned = churn_experiment(&plan, &config, &churn, &cfg);
+            prop_assert_eq!(
+                &base.outcome,
+                &churned.outcome.campaign,
+                "threads = {}",
+                threads
+            );
+            prop_assert!(churned.outcome.census.is_empty());
+            prop_assert_eq!(churned.outcome.trials, 0);
+        }
+    }
+
+    /// Active churn stays bit-identical across thread counts too — the
+    /// census series merges elementwise regardless of which worker ran
+    /// which chunk.
+    #[test]
+    fn active_churn_experiment_is_thread_count_invariant(
+        tasks in 100u64..800,
+        eps_pct in 20u32..80,
+        leave_bp in 1u32..40,  // basis points: 0.0001..0.004 per tick
+        fail_bp in 0u32..20,
+        campaigns in 1u64..8,
+        seed in 0u64..100_000,
+    ) {
+        let (plan, config) = campaign_shape(tasks, eps_pct, 20, 1, false);
+        let churn = ChurnModel {
+            enter_rate: 0.5,
+            leave_rate: f64::from(leave_bp) / 10_000.0,
+            fail_rate: f64::from(fail_bp) / 10_000.0,
+            initial_workers: 100,
+            horizon: 600,
+            census_interval: 200,
+        };
+        prop_assert!(churn.validate().is_ok());
+        let run = |threads| {
+            let cfg = ExperimentConfig {
+                campaigns,
+                seed,
+                threads,
+                chunk_size: 2,
+            };
+            churn_experiment(&plan, &config, &churn, &cfg).outcome
+        };
+        let t1 = run(1);
+        let t2 = run(2);
+        let t4 = run(4);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert_eq!(&t1, &t4);
+        if churn.is_active() {
+            prop_assert_eq!(t1.census.len() as u64, churn.checkpoints());
+            prop_assert_eq!(t1.trials, campaigns);
+        }
+    }
+
+    /// ChurnOutcome::merge is commutative over every counter and the
+    /// census series, so chunked folds are order-independent.
+    #[test]
+    fn churn_outcome_merge_commutes(
+        tasks in 100u64..500,
+        seeds in vec(0u64..100_000, 2usize),
+        campaigns in 1u64..5,
+    ) {
+        let (plan, config) = campaign_shape(tasks, 50, 20, 1, false);
+        let churn = ChurnModel {
+            leave_rate: 0.002,
+            initial_workers: 80,
+            horizon: 400,
+            census_interval: 100,
+            ..ChurnModel::none()
+        };
+        let outcome = |seed| {
+            churn_experiment(&plan, &config, &churn, &ExperimentConfig::new(campaigns, seed))
+                .outcome
+        };
+        let a = outcome(seeds[0]);
+        let b = outcome(seeds[1]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+}

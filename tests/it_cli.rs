@@ -1,6 +1,8 @@
 //! Integration: the `redundancy` CLI drives the whole stack end to end.
 
 use redundancy_cli::run;
+use redundancy_integration::snapshot::binary_path;
+use std::process::Command;
 
 fn cli(parts: &[&str]) -> Result<String, String> {
     let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
@@ -63,6 +65,9 @@ fn help_is_always_available() {
     assert!(out2.contains("--min-precompute"));
     let out3 = cli(&["help", "faults"]).unwrap();
     assert!(out3.contains("--drop-rate"), "{out3}");
+    let out4 = cli(&["help", "churn"]).unwrap();
+    assert!(out4.contains("--leave-rate"), "{out4}");
+    assert!(out4.contains("--soak"), "{out4}");
 }
 
 #[test]
@@ -103,6 +108,87 @@ drop rate  detection            95% CI  delivered  eff. mult  retries  unresolve
 raise --retries or the timeout to recover it)
 ";
     assert_eq!(out, expected);
+}
+
+#[test]
+fn churn_table_snapshot() {
+    // Full-output snapshot: the churn sweep is deterministic for a fixed
+    // seed and independent of worker thread count, so the rendered table
+    // is stable byte for byte.  Row 0 is the static pool and matches the
+    // faults snapshot's zero-fault detection on the same seed exactly —
+    // both degenerate to the same batched kernel draws.
+    let out = cli(&[
+        "churn",
+        "--tasks",
+        "500",
+        "--epsilon",
+        "0.5",
+        "--proportion",
+        "0.2",
+        "--campaigns",
+        "2",
+        "--seed",
+        "3",
+        "--leave-rate",
+        "0.004",
+        "--workers",
+        "120",
+        "--horizon",
+        "600",
+        "--census-interval",
+        "200",
+        "--steps",
+        "2",
+    ])
+    .unwrap();
+    let expected = "\
+churn sweep: balanced over 500 tasks, 2 campaigns/row, adversary share 0.2, seed 3
+120 initial workers, horizon 600 ticks, census every 200 ticks, arrival rate 0.6, failure rate 0
+closed-form detection with a static pool: 0.4257
+leave rate  detection            95% CI  realized factor  live workers  reassigned/trial  lost/trial
+----------------------------------------------------------------------------------------------------
+0.0000         0.4038  [0.3460, 0.4645]            1.408         120.0               0.0         0.0
+0.0020         0.4224  [0.3883, 0.4572]            3.009         253.0             809.5         0.0
+0.0040         0.4418  [0.4079, 0.4763]            4.543         155.0            1573.0         0.0
+(departures reassign their copies — detection holds but the realized factor inflates; \
+failures destroy copies and eat into the detection guarantee)
+";
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn churn_rejects_invalid_parameters_with_messages() {
+    let err = cli(&["churn", "--leave-rate", "1.5"]).unwrap_err();
+    assert!(err.contains("probability in [0, 1]"), "{err}");
+    let err2 = cli(&["churn", "--census-interval", "0"]).unwrap_err();
+    assert!(err2.contains("positive number of ticks"), "{err2}");
+}
+
+/// `redundancy churn` flag validation at the process level: a bad flag
+/// value exits with code 2 and an error naming the flag, matching the
+/// established exit-code conventions.
+#[test]
+fn churn_flag_validation_exits_2_naming_the_flag() {
+    for (flag, value) in [("--enter-rate", "-1"), ("--threads", "0")] {
+        let path = binary_path("redundancy");
+        assert!(path.exists(), "{} not built", path.display());
+        let out = Command::new(&path)
+            .args(["churn", flag, value])
+            .output()
+            .unwrap_or_else(|e| panic!("spawning redundancy: {e}"));
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "churn {flag} {value} should exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag),
+            "stderr must name the flag {flag}: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "must not print a report");
+    }
 }
 
 #[test]

@@ -66,10 +66,11 @@ unified_tests!(
     empirical_detection,
     ext_survival,
     ext_faults,
+    ext_churn,
 );
 
 /// The registry, the snapshot harness's exhibit list, and the macro above
-/// must all name the same 11 exhibits in the same order.
+/// must all name the same 12 exhibits in the same order.
 #[test]
 fn registry_matches_the_snapshot_harness() {
     let registry: Vec<&str> = redundancy_repro::registry()

@@ -27,15 +27,16 @@ snapshot_tests!(
     empirical_detection,
     ext_survival,
     ext_faults,
+    ext_churn,
 );
 
 /// The macro above must cover exactly the canonical exhibit list.
 #[test]
 fn all_exhibits_have_a_snapshot_test() {
-    assert_eq!(redundancy_integration::snapshot::EXHIBITS.len(), 11);
+    assert_eq!(redundancy_integration::snapshot::EXHIBITS.len(), 12);
 }
 
-/// The 12th snapshot: the `redundancy repro --list` registry index.
+/// The 13th snapshot: the `redundancy repro --list` registry index.
 /// Pinning it means the exhibit catalogue (names, paper references,
 /// summaries) cannot drift from what the docs describe without a visible
 /// snapshot diff.

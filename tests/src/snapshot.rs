@@ -22,7 +22,7 @@ use std::process::Command;
 
 /// Every repro exhibit, one binary per table/figure of the paper plus the
 /// workspace's own extensions.
-pub const EXHIBITS: [&str; 11] = [
+pub const EXHIBITS: [&str; 12] = [
     "fig1_detection_vs_p",
     "fig2_minimizing_table",
     "fig3_redundancy_factors",
@@ -34,6 +34,7 @@ pub const EXHIBITS: [&str; 11] = [
     "empirical_detection",
     "ext_survival",
     "ext_faults",
+    "ext_churn",
 ];
 
 /// Decide whether a mismatch should rewrite the snapshot instead of
