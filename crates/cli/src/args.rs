@@ -180,6 +180,31 @@ pub enum Command {
         /// sweep.
         soak: bool,
     },
+    /// `redundancy serve`
+    Serve {
+        /// Scheme to serve.
+        scheme: SchemeName,
+        /// Task count of the workload.
+        tasks: u64,
+        /// Detection threshold.
+        epsilon: f64,
+        /// Adversary assignment share.
+        proportion: f64,
+        /// RNG seed for the session.
+        seed: u64,
+        /// Shard count of the assignment store.
+        shards: usize,
+        /// Ticks (requests) before an in-flight copy is re-queued.
+        timeout: u64,
+        /// Re-issue budget per copy before it is abandoned.
+        retries: u32,
+        /// TCP port to listen on (0 = OS-assigned); absent = no TCP.
+        port: Option<u16>,
+        /// Synthetic concurrent clients for the self-driving TCP drain.
+        clients: usize,
+        /// Serve the framed protocol over stdin/stdout instead.
+        stdio: bool,
+    },
     /// `redundancy certify`
     Certify {
         /// Task count.
@@ -296,7 +321,7 @@ fn collect_flags(argv: &[String]) -> Result<HashMap<String, String>, ArgError> {
             return Err(ArgError::UnknownCommand(key.clone()));
         }
         // Boolean flags take no value.
-        if key == "--min-precompute" || key == "--smoke" || key == "--soak" {
+        if key == "--min-precompute" || key == "--smoke" || key == "--soak" || key == "--stdio" {
             flags.insert(key.clone(), "true".into());
             i += 1;
             continue;
@@ -713,6 +738,71 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
                 threads,
                 soak: f.flags.contains_key("--soak"),
+            })
+        }
+        "serve" => {
+            let f = FlagSet::new(
+                rest,
+                "serve",
+                &[
+                    "--scheme",
+                    "--tasks",
+                    "--epsilon",
+                    "--proportion",
+                    "--seed",
+                    "--shards",
+                    "--timeout",
+                    "--retries",
+                    "--port",
+                    "--clients",
+                    "--stdio",
+                ],
+            )?;
+            // The port range is checked here (not left to u16 parsing) so
+            // `--port 70000` names the flag and the accepted range.
+            let port = match f.optional::<u64>("--port", "a TCP port in 0..=65535")? {
+                None => None,
+                Some(p) if p <= u64::from(u16::MAX) => Some(p as u16),
+                Some(p) => {
+                    return Err(ArgError::BadValue {
+                        flag: "--port".into(),
+                        value: p.to_string(),
+                        expected: "a TCP port in 0..=65535",
+                    })
+                }
+            };
+            Ok(Command::Serve {
+                scheme: f.scheme(SchemeName::Balanced)?,
+                tasks: check_nonzero(
+                    "--tasks",
+                    f.or_default("--tasks", "a positive integer", 2_000u64)?,
+                    "a positive task count",
+                )?,
+                epsilon: check_unit_interval(
+                    "--epsilon",
+                    f.or_default("--epsilon", "a number in (0, 1)", 0.5)?,
+                    false,
+                )?,
+                proportion: check_unit_interval(
+                    "--proportion",
+                    f.or_default("--proportion", "a number in [0, 1)", 0.2)?,
+                    true,
+                )?,
+                seed: f.or_default("--seed", "a 64-bit integer", 20_050_926)?,
+                shards: check_nonzero(
+                    "--shards",
+                    f.or_default("--shards", "a positive shard count", 1u64)?,
+                    "a positive shard count",
+                )? as usize,
+                timeout: check_nonzero(
+                    "--timeout",
+                    f.or_default("--timeout", "a positive number of ticks", 8u64)?,
+                    "a positive number of ticks",
+                )?,
+                retries: f.or_default("--retries", "a small integer", 3)?,
+                port,
+                clients: f.or_default("--clients", "a client count", 0)?,
+                stdio: f.flags.contains_key("--stdio"),
             })
         }
         "certify" => {
@@ -1215,6 +1305,95 @@ mod tests {
             ["--steps", "0"],
         ] {
             let e = parse_args(&argv(&["churn", flags[0], flags[1]])).unwrap_err();
+            assert!(e.to_string().contains(flags[0]), "{e}");
+        }
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        let cmd = parse_args(&argv(&["serve"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                scheme: SchemeName::Balanced,
+                tasks: 2_000,
+                epsilon: 0.5,
+                proportion: 0.2,
+                seed: 20_050_926,
+                shards: 1,
+                timeout: 8,
+                retries: 3,
+                port: None,
+                clients: 0,
+                stdio: false,
+            }
+        );
+        let cmd = parse_args(&argv(&[
+            "serve",
+            "--tasks",
+            "500",
+            "--shards",
+            "4",
+            "--timeout",
+            "100",
+            "--retries",
+            "0",
+            "--port",
+            "0",
+            "--clients",
+            "8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                tasks,
+                shards,
+                timeout,
+                retries,
+                port,
+                clients,
+                stdio,
+                ..
+            } => {
+                assert_eq!(tasks, 500);
+                assert_eq!(shards, 4);
+                assert_eq!(timeout, 100);
+                assert_eq!(retries, 0);
+                assert_eq!(port, Some(0));
+                assert_eq!(clients, 8);
+                assert!(!stdio);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --stdio is a boolean flag, like --soak.
+        let cmd = parse_args(&argv(&["serve", "--stdio", "--seed", "7"])).unwrap();
+        match cmd {
+            Command::Serve { stdio, seed, .. } => {
+                assert!(stdio);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_invalid_parameters_naming_the_flag() {
+        // A store with no shards cannot hold tasks.
+        let e = parse_args(&argv(&["serve", "--shards", "0"])).unwrap_err();
+        assert!(matches!(&e, ArgError::BadValue { flag, .. } if flag == "--shards"));
+        assert!(e.to_string().contains("--shards"), "{e}");
+        // Ports live in 0..=65535; 0 is allowed (OS-assigned).
+        let e = parse_args(&argv(&["serve", "--port", "70000"])).unwrap_err();
+        assert!(matches!(&e, ArgError::BadValue { flag, .. } if flag == "--port"));
+        assert!(e.to_string().contains("0..=65535"), "{e}");
+        for flags in [
+            ["--tasks", "0"],
+            ["--timeout", "0"],
+            ["--epsilon", "1.5"],
+            ["--proportion", "-0.2"],
+            ["--port", "seven"],
+        ] {
+            let e = parse_args(&argv(&["serve", flags[0], flags[1]])).unwrap_err();
             assert!(e.to_string().contains(flags[0]), "{e}");
         }
     }

@@ -4,8 +4,8 @@
 //! Unlike the criterion benches (which explore), this command *pins*: a
 //! fixed set of fixtures — the batched campaign kernel against its frozen
 //! reference, the cached samplers against the per-draw walks, `run_trials`
-//! thread scaling, and an LP sweep — each run `reps` times with the median
-//! wall time reported.  The result is written as `redundancy-bench/v1`
+//! thread scaling, the churn soak, the live-serve protocol loop, and an LP
+//! sweep — each run `reps` times with the median wall time reported.  The result is written as `redundancy-bench/v1`
 //! JSON so CI can archive it and compare runs; `--baseline` fails the
 //! command (exit 2) when any fixture's median regresses beyond 2x.
 //!
@@ -21,7 +21,7 @@ use redundancy_sim::outcome::CampaignOutcome;
 use redundancy_sim::task::expand_plan;
 use redundancy_sim::{
     run_campaign_with_scratch, AdversaryModel, CampaignAccumulator, CampaignConfig,
-    CampaignScratch, CheatStrategy,
+    CampaignScratch, CheatStrategy, ServeConfig, ServeSession, ServeStats,
 };
 use redundancy_stats::table::{fnum, inum, Table};
 use redundancy_stats::{
@@ -72,6 +72,8 @@ struct Sizes {
     churn_horizon: u64,
     churn_tasks: u64,
     churn_reps: u64,
+    serve_tasks: u64,
+    serve_reps: u64,
 }
 
 impl Sizes {
@@ -94,6 +96,8 @@ impl Sizes {
                 churn_horizon: 40_000,
                 churn_tasks: 200,
                 churn_reps: 3,
+                serve_tasks: 2_000,
+                serve_reps: 5,
             }
         } else {
             Sizes {
@@ -115,6 +119,8 @@ impl Sizes {
                 churn_horizon: 5_600_000,
                 churn_tasks: 500,
                 churn_reps: 3,
+                serve_tasks: 20_000,
+                serve_reps: 5,
             }
         }
     }
@@ -366,6 +372,48 @@ fn run_fixtures(
                 let report = redundancy_sim::churn_soak(&churn, sizes.churn_tasks, seed);
                 debug_assert_eq!(report, probe);
                 report.checksum
+            }),
+        ));
+    }
+
+    // Live supervisor: drain a serve session through the full framed
+    // request→return protocol loop (`ServeSession::handle` parses every
+    // request and formats every reply, exactly like `redundancy serve`).
+    // The throughput column is sustained assignments per second; a probe
+    // run pins the drained stats so every measured repetition is checked
+    // bit-identical in debug builds.
+    {
+        let serve_plan = RealizedPlan::balanced(sizes.serve_tasks, 0.6).map_err(CliError::Core)?;
+        let serve_tasks = expand_plan(&serve_plan);
+        let drain = |tasks: &[redundancy_sim::task::TaskSpec]| -> ServeStats {
+            let mut session = ServeSession::new(tasks, &cfg, &ServeConfig::new(2), seed)
+                .expect("pinned serve fixture is valid");
+            loop {
+                let reply = session.handle("request-work").text;
+                if reply == "drained" {
+                    break;
+                }
+                let mut parts = reply.split_whitespace();
+                let (Some("work"), Some(task), Some(copy)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    unreachable!("single-client drain only sees work frames: {reply}");
+                };
+                let ack = session.handle(&format!("return-result {task} {copy}"));
+                debug_assert!(ack.text.starts_with("ok"), "{}", ack.text);
+            }
+            session.store.stats()
+        };
+        let probe = drain(&serve_tasks);
+        records.push(record(
+            "serve_throughput",
+            sizes.serve_reps,
+            probe.total_tasks,
+            probe.issued,
+            measure(sizes.serve_reps, || {
+                let stats = drain(&serve_tasks);
+                debug_assert_eq!(stats, probe);
+                stats.checksum()
             }),
         ));
     }
@@ -694,6 +742,7 @@ mod tests {
             "sweep_serial",
             "sweep_parallel",
             "churn_step",
+            "serve_throughput",
             "lp_sweep",
         ] {
             assert!(names.contains(&expected), "missing {expected}: {names:?}");

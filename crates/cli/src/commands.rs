@@ -6,12 +6,16 @@ use redundancy_core::{
     advise, certify_sweep, AssignmentMinimizing, CoreError, ExtendedBalanced, RealizedPlan,
     Requirements, Scheme,
 };
+use redundancy_sim::serve::{read_frame, write_frame, Frame, SessionEnd};
+use redundancy_sim::task::TaskSpec;
 use redundancy_sim::{
-    churn_experiment, churn_soak, detection_experiment, faulty_detection_experiment,
-    AdversaryModel, CampaignConfig, CheatStrategy, ChurnModel, ExperimentConfig, FaultModel,
+    churn_experiment, churn_soak, detection_experiment, drain_session, faulty_detection_experiment,
+    run_campaign_with_scratch, serve_connection, AdversaryModel, CampaignConfig, CampaignOutcome,
+    CampaignScratch, CheatStrategy, ChurnModel, ExperimentConfig, FaultModel, ServeConfig,
+    ServeSession, ServeStats,
 };
 use redundancy_stats::table::{fnum, inum, Table};
-use redundancy_stats::{parallel_sweep, sweep_thread_split, TrialConfig};
+use redundancy_stats::{parallel_sweep, sweep_thread_split, DeterministicRng, TrialConfig};
 use std::fmt::Write as _;
 
 /// Errors surfaced to the user.
@@ -210,6 +214,31 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
                 )
             }
         }
+        Command::Serve {
+            scheme,
+            tasks,
+            epsilon,
+            proportion,
+            seed,
+            shards,
+            timeout,
+            retries,
+            port,
+            clients,
+            stdio,
+        } => serve_cmd(
+            *scheme,
+            *tasks,
+            *epsilon,
+            *proportion,
+            *seed,
+            *shards,
+            *timeout,
+            *retries,
+            *port,
+            *clients,
+            *stdio,
+        ),
         Command::Certify {
             tasks,
             epsilon,
@@ -425,6 +454,31 @@ canonical soak hazards (0.9 arrivals/tick; per-worker leave and failure
 hazards scaled so the population stays near --workers) and prints event
 counters plus a determinism checksum: two same-seed runs must print
 identical bytes.
+"
+        .into(),
+        Some("serve") => "\
+redundancy serve [--tasks <N>] [--epsilon <E>] [--scheme S] [--proportion P]
+                 [--seed SEED] [--shards K] [--timeout T] [--retries M]
+                 [--stdio | --clients C [--port PORT] | --port PORT]
+
+Runs the live supervisor: a sharded in-memory assignment store that deals
+task copies on demand in the batched kernel's exact RNG order, tracks them
+in flight with tick-based timeouts (the tick clock advances one per
+request), judges returns incrementally, and answers the length-prefixed
+protocol (`request-work`, `return-result <task> <copy>`, `stats`,
+`shutdown`; see EXPERIMENTS.md for a transcript).
+
+With no transport flag the store is drained in process and the stats dump
+is printed along with the batched-kernel oracle verdict: a drained session
+must be bit-identical to `run_campaign` on the same seed.  --stdio speaks
+the framed protocol over stdin/stdout (deterministic, scriptable).
+--clients C drains the store through C concurrent TCP clients against a
+listener on --port (OS-assigned when omitted) and prints the final stats
+dump — byte-identical across runs of the same seed whenever no timeout
+fires (pass a large --timeout to guarantee that).  --port alone runs the
+daemon until a client sends `shutdown`.  --shards sets the store's shard
+count (never changes results); --timeout/--retries set the re-issue
+policy.
 "
         .into(),
         Some("solve-sm") => "\
@@ -927,6 +981,259 @@ fn churn_soak_cmd(workers: u64, horizon: u64, tasks: u64, seed: u64) -> Result<S
     Ok(out)
 }
 
+/// `redundancy serve`: the live supervisor.  Four transports share one
+/// store: stdio frames (deterministic, scriptable), a TCP daemon, a
+/// self-driving TCP drain with synthetic concurrent clients, and the
+/// default in-process drain that also checks the batched-kernel oracle.
+#[allow(clippy::too_many_arguments)]
+fn serve_cmd(
+    scheme: SchemeName,
+    tasks: u64,
+    epsilon: f64,
+    proportion: f64,
+    seed: u64,
+    shards: usize,
+    timeout: u64,
+    retries: u32,
+    port: Option<u16>,
+    clients: usize,
+    stdio: bool,
+) -> Result<String, CliError> {
+    let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
+    let campaign = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: proportion },
+        CheatStrategy::AtLeast { min_copies: 1 },
+    );
+    let serve = ServeConfig {
+        faults: FaultModel {
+            timeout,
+            max_retries: retries,
+            ..FaultModel::none()
+        },
+        ..ServeConfig::new(shards)
+    };
+    let specs = redundancy_sim::task::expand_plan(&plan);
+    if stdio {
+        // The protocol owns stdout, so the report string stays empty.
+        let mut session =
+            ServeSession::new(&specs, &campaign, &serve, seed).map_err(CliError::Invalid)?;
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let mut r = stdin.lock();
+        let mut w = stdout.lock();
+        serve_connection(&mut r, &mut w, |req| session.handle(req))
+            .map_err(|e| CliError::Io(format!("stdio transport: {e}")))?;
+        return Ok(String::new());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: {} over {} tasks, {shards} shard(s), adversary share {proportion}, seed {seed}",
+        plan.scheme(),
+        inum(tasks),
+    );
+    let _ = writeln!(out, "timeout {timeout} ticks, {retries} retries per copy");
+    if clients > 0 {
+        let stats = serve_tcp_drive(&specs, &campaign, &serve, seed, port, clients)?;
+        let _ = writeln!(out, "drained by {clients} concurrent TCP clients");
+        out.push_str(&stats.render());
+        return Ok(out);
+    }
+    if let Some(port) = port {
+        let stats = serve_tcp_daemon(&specs, &campaign, &serve, seed, port)?;
+        out.push_str(&stats.render());
+        return Ok(out);
+    }
+    // Default: drain in process and check the batched-kernel oracle.
+    let mut rng = DeterministicRng::new(seed);
+    let mut outcome = CampaignOutcome::default();
+    let stats = drain_session(&specs, &campaign, &serve, &mut rng, &mut outcome);
+    out.push_str(&stats.render());
+    let mut batch_rng = DeterministicRng::new(seed);
+    let mut batch_out = CampaignOutcome::default();
+    let mut scratch = CampaignScratch::new();
+    run_campaign_with_scratch(
+        &specs,
+        &campaign,
+        &mut batch_rng,
+        &mut batch_out,
+        &mut scratch,
+    );
+    let ok = batch_out == outcome && batch_rng == rng;
+    let _ = writeln!(
+        out,
+        "batched-kernel oracle: {}",
+        if ok { "bit-identical" } else { "DIVERGED" }
+    );
+    Ok(out)
+}
+
+/// Self-driving TCP drain: bind (an ephemeral port unless `--port` pins
+/// one), spawn `clients` synthetic client threads, and serve exactly that
+/// many connections — each on its own thread — off one shared session.
+fn serve_tcp_drive(
+    specs: &[TaskSpec],
+    campaign: &CampaignConfig,
+    serve: &ServeConfig,
+    seed: u64,
+    port: Option<u16>,
+    clients: usize,
+) -> Result<ServeStats, CliError> {
+    use std::net::TcpListener;
+    use std::sync::{Arc, Mutex};
+    let listener = TcpListener::bind(("127.0.0.1", port.unwrap_or(0)))
+        .map_err(|e| CliError::Io(format!("binding the TCP listener: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    eprintln!("[serving on {addr}]");
+    let session = Arc::new(Mutex::new(
+        ServeSession::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?,
+    ));
+    let drivers: Vec<_> = (0..clients)
+        .map(|_| std::thread::spawn(move || drive_client(addr)))
+        .collect();
+    let mut conns = Vec::new();
+    for _ in 0..clients {
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| CliError::Io(format!("accepting a client: {e}")))?;
+        // One short frame per write: Nagle + delayed ACK would serialize
+        // the request/response round trips at ~40ms each.
+        stream
+            .set_nodelay(true)
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        let session = Arc::clone(&session);
+        conns.push(std::thread::spawn(move || -> std::io::Result<()> {
+            let mut r = stream.try_clone()?;
+            let mut w = stream;
+            serve_connection(&mut r, &mut w, |req| session.lock().unwrap().handle(req))?;
+            Ok(())
+        }));
+    }
+    for c in conns {
+        c.join()
+            .map_err(|_| CliError::Io("a connection thread panicked".into()))?
+            .map_err(|e| CliError::Io(format!("serving a connection: {e}")))?;
+    }
+    for d in drivers {
+        d.join()
+            .map_err(|_| CliError::Io("a client thread panicked".into()))?
+            .map_err(|e| CliError::Io(format!("driving a client: {e}")))?;
+    }
+    let session = Arc::try_unwrap(session)
+        .map_err(|_| CliError::Io("session still shared after the drain".into()))?
+        .into_inner()
+        .map_err(|_| CliError::Io("session mutex poisoned".into()))?;
+    Ok(session.store.stats())
+}
+
+/// One synthetic client: request work, return it immediately, repeat until
+/// the store reports `drained`, then hang up (a clean EOF).
+fn drive_client(addr: std::net::SocketAddr) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let stream = std::net::TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut r = stream.try_clone()?;
+    let mut w = stream;
+    let mut exchange = |req: &str| -> std::io::Result<Option<String>> {
+        write_frame(&mut w, req)?;
+        w.flush()?;
+        match read_frame(&mut r)? {
+            Frame::Message(bytes) => Ok(Some(String::from_utf8_lossy(&bytes).into_owned())),
+            _ => Ok(None),
+        }
+    };
+    loop {
+        let Some(reply) = exchange("request-work")? else {
+            return Ok(());
+        };
+        if let Some(rest) = reply.strip_prefix("work ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(task), Some(copy)) = (parts.next(), parts.next()) else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "malformed work frame",
+                ));
+            };
+            // A return can race a timeout; the stale-return `err` frame is
+            // an expected answer, not a failure.
+            let _ = exchange(&format!("return-result {task} {copy}"))?;
+        } else if reply == "idle" {
+            std::thread::yield_now();
+        } else {
+            return Ok(()); // drained
+        }
+    }
+}
+
+/// Daemon mode: listen on a pinned port, thread per connection, until a
+/// client sends `shutdown`.
+fn serve_tcp_daemon(
+    specs: &[TaskSpec],
+    campaign: &CampaignConfig,
+    serve: &ServeConfig,
+    seed: u64,
+    port: u16,
+) -> Result<ServeStats, CliError> {
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| CliError::Io(format!("binding the TCP listener: {e}")))?;
+    serve_daemon_on(listener, specs, campaign, serve, seed)
+}
+
+/// The daemon's accept loop, split from the bind so tests can listen on an
+/// OS-assigned port.  `shutdown` from any client stops the loop; a
+/// throwaway self-connection unblocks the final `accept`.
+fn serve_daemon_on(
+    listener: std::net::TcpListener,
+    specs: &[TaskSpec],
+    campaign: &CampaignConfig,
+    serve: &ServeConfig,
+    seed: u64,
+) -> Result<ServeStats, CliError> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    eprintln!("[serving on {addr}; send `shutdown` to stop]");
+    let session = Arc::new(Mutex::new(
+        ServeSession::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?,
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut conns: Vec<std::thread::JoinHandle<std::io::Result<()>>> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream.map_err(|e| CliError::Io(format!("accepting a client: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let session = Arc::clone(&session);
+        let stop = Arc::clone(&stop);
+        conns.push(std::thread::spawn(move || -> std::io::Result<()> {
+            let mut r = stream.try_clone()?;
+            let mut w = stream;
+            let end = serve_connection(&mut r, &mut w, |req| session.lock().unwrap().handle(req))?;
+            if end == SessionEnd::Shutdown {
+                stop.store(true, Ordering::SeqCst);
+                let _ = std::net::TcpStream::connect(addr);
+            }
+            Ok(())
+        }));
+    }
+    for c in conns {
+        c.join()
+            .map_err(|_| CliError::Io("a connection thread panicked".into()))?
+            .map_err(|e| CliError::Io(format!("serving a connection: {e}")))?;
+    }
+    let stats = session
+        .lock()
+        .map_err(|_| CliError::Io("session mutex poisoned".into()))?
+        .store
+        .stats();
+    Ok(stats)
+}
+
 fn solve_sm(
     tasks: u64,
     epsilon: f64,
@@ -1330,6 +1637,113 @@ mod tests {
         assert_ne!(run(&other).unwrap(), a, "seed must change the checksum");
     }
 
+    /// Pull one counter out of a stats dump embedded in a report.
+    fn stat(out: &str, key: &str) -> u64 {
+        out.lines()
+            .find_map(|l| l.strip_prefix(&format!("{key} ")))
+            .unwrap_or_else(|| panic!("no `{key}` line in {out}"))
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn serve_default_drain_reports_the_oracle_verdict() {
+        let argv = [
+            "serve",
+            "--tasks",
+            "600",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.2",
+            "--seed",
+            "9",
+            "--shards",
+            "2",
+        ];
+        let out = run(&argv).unwrap();
+        assert!(out.contains("serve: balanced over 600 tasks"), "{out}");
+        assert_eq!(stat(&out, "tasks-completed"), stat(&out, "tasks-total"));
+        assert_eq!(stat(&out, "in-flight"), 0);
+        assert!(
+            out.contains("batched-kernel oracle: bit-identical"),
+            "{out}"
+        );
+        assert!(out.contains("checksum 0x"), "{out}");
+        // Deterministic: same seed, same bytes; shard count changes nothing.
+        assert_eq!(out, run(&argv).unwrap());
+        let mut resharded = argv;
+        resharded[10] = "4";
+        let a: Vec<&str> = out.lines().filter(|l| !l.contains("shard")).collect();
+        let b_out = run(&resharded).unwrap();
+        let b: Vec<&str> = b_out.lines().filter(|l| !l.contains("shard")).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serve_concurrent_tcp_clients_drain_to_the_same_stats() {
+        // A timeout that can never fire makes the concurrent drain's final
+        // stats interleaving-invariant, hence byte-identical across runs.
+        let argv = [
+            "serve",
+            "--tasks",
+            "400",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.2",
+            "--seed",
+            "9",
+            "--clients",
+            "4",
+            "--timeout",
+            "1000000000",
+        ];
+        let a = run(&argv).unwrap();
+        assert!(a.contains("drained by 4 concurrent TCP clients"), "{a}");
+        assert_eq!(stat(&a, "tasks-completed"), stat(&a, "tasks-total"));
+        assert_eq!(stat(&a, "in-flight"), 0);
+        assert_eq!(stat(&a, "timeouts"), 0);
+        assert_eq!(a, run(&argv).unwrap());
+    }
+
+    #[test]
+    fn serve_daemon_serves_a_scripted_tcp_client_until_shutdown() {
+        use redundancy_sim::serve::{decode_frames, script_frames};
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            use std::io::{Read as _, Write as _};
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(&script_frames(&[
+                    "request-work",
+                    "stats",
+                    "bogus-verb",
+                    "shutdown",
+                ]))
+                .unwrap();
+            let mut bytes = Vec::new();
+            stream.read_to_end(&mut bytes).unwrap();
+            decode_frames(&bytes)
+        });
+        let plan = build_plan(SchemeName::Balanced, 200, 0.5, None, 0.0).unwrap();
+        let specs = redundancy_sim::task::expand_plan(&plan);
+        let campaign = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::AtLeast { min_copies: 1 },
+        );
+        let stats = serve_daemon_on(listener, &specs, &campaign, &ServeConfig::new(2), 7).unwrap();
+        let replies = client.join().unwrap();
+        assert_eq!(replies.len(), 4);
+        assert!(replies[0].starts_with("work "), "{replies:?}");
+        assert!(replies[1].contains("tasks-total 201"), "{replies:?}");
+        assert_eq!(replies[2], "err unknown-verb bogus-verb");
+        assert_eq!(replies[3], "bye");
+        assert_eq!(stats.issued, 1);
+        assert_eq!(stats.in_flight, 1);
+    }
+
     #[test]
     fn certify_reports_exact_objectives() {
         let out = run(&[
@@ -1464,6 +1878,7 @@ mod tests {
             Some("simulate"),
             Some("faults"),
             Some("churn"),
+            Some("serve"),
             Some("solve-sm"),
             Some("certify"),
             Some("bench"),

@@ -11,6 +11,7 @@
 //! redundancy simulate --tasks 20000 --epsilon 0.5 --proportion 0.1 --campaigns 30 [--seed 1]
 //! redundancy faults   --tasks 10000 --epsilon 0.5 --drop-rate 0.5 --steps 5 [--retries 3]
 //! redundancy churn    --tasks 2000 --epsilon 0.5 --leave-rate 0.004 --steps 4 [--soak]
+//! redundancy serve    --tasks 2000 --epsilon 0.5 --proportion 0.2 [--stdio | --clients 8]
 //! redundancy solve-sm --tasks 100000 --epsilon 0.5 --dim 16 [--mps out.mps] [--min-precompute]
 //! redundancy certify  --tasks 100000 --epsilon 0.5 --max-dim 26
 //! redundancy bench    --smoke --out BENCH_report.json [--baseline BENCH_baseline.json]
@@ -48,6 +49,7 @@ COMMANDS:
     simulate   Monte-Carlo campaign simulation with a colluding adversary
     faults     Detection-probability sweep under drops, stragglers, retries
     churn      Detection/redundancy drift under a dynamic worker population
+    serve      Live supervisor: serve assignments over the framed protocol
     solve-sm   Solve an assignment-minimizing LP system S_m
     certify    Certify S_m optima with the exact-rational LP oracle
     bench      Pinned performance fixtures with a BENCH JSON report

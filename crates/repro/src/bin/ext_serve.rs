@@ -1,0 +1,5 @@
+//! Standalone shim for the `ext_serve` registry exhibit.
+
+fn main() {
+    redundancy_repro::exhibit_main("ext_serve")
+}

@@ -9,6 +9,7 @@ mod appendix_a_collusion;
 mod empirical_detection;
 mod ext_churn;
 mod ext_faults;
+mod ext_serve;
 mod ext_survival;
 mod fig1_detection_vs_p;
 mod fig2_minimizing_table;
@@ -35,4 +36,5 @@ pub(crate) static REGISTRY: &[&dyn Exhibit] = &[
     &ext_survival::ExtSurvival,
     &ext_faults::ExtFaults,
     &ext_churn::ExtChurn,
+    &ext_serve::ExtServe,
 ];

@@ -13,8 +13,8 @@
 //!
 //! * `redundancy repro <name>` — the unified CLI subcommand (plus
 //!   `--list`, `--all`, `--json <path>`);
-//! * the 12 legacy standalone binaries under `src/bin/`, now thin shims
-//!   over [`exhibit_main`].
+//! * the 13 standalone binaries under `src/bin/`, thin shims over
+//!   [`exhibit_main`].
 //!
 //! The authoritative exhibit index is [`render_index`] (what
 //! `redundancy repro --list` prints, snapshot-pinned under
@@ -34,6 +34,7 @@
 //! | `ext_survival` | (ours) | free cheats before first detection vs the geometric law |
 //! | `ext_faults` | (ours) | detection vs drop/straggler rate, with and without retries |
 //! | `ext_churn` | (ours) | detection and realized redundancy drift under worker churn |
+//! | `ext_serve` | (ours) | drained live-serve sessions vs the batched kernel, bit for bit |
 //!
 //! All randomized exhibits take `--seed <u64>` (default [`DEFAULT_SEED`],
 //! the CLUSTER 2005 conference date) so EXPERIMENTS.md is exactly
@@ -388,10 +389,10 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let mut names: Vec<_> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 13);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 12, "duplicate registry names");
+        assert_eq!(names.len(), 13, "duplicate registry names");
         for exhibit in registry() {
             assert!(find(exhibit.name()).is_some());
             assert!(!exhibit.summary().is_empty());

@@ -127,11 +127,12 @@ impl CampaignAccumulator {
 /// Resolve the adversary model to a prepared holdings sampler for one spec
 /// group.
 ///
-/// This is the *single* place both campaign variants map the adversary
-/// model to a distribution, so the model match cannot drift between them;
-/// preparation happens once per spec group, and the returned handle draws
-/// with no per-task dispatch or indexing.
-fn prepare_holdings<'a>(
+/// This is the *single* place every campaign variant — batch kernels and
+/// the live [`crate::serve`] store alike — maps the adversary model to a
+/// distribution, so the model match cannot drift between them; preparation
+/// happens once per spec group, and the returned handle draws with no
+/// per-task dispatch or indexing.
+pub(crate) fn prepare_holdings<'a>(
     config: &CampaignConfig,
     mult: u64,
     binomial: &'a mut BinomialCache,
@@ -151,9 +152,10 @@ fn prepare_holdings<'a>(
 }
 
 /// Verify one task's materialized results and fold the verdict into the
-/// outcome — the shared tail of both campaign variants.
+/// outcome — the shared tail of every campaign variant (batch kernels and
+/// the live [`crate::serve`] store).
 #[inline]
-fn judge_task(
+pub(crate) fn judge_task(
     supervisor: &Supervisor,
     task: &TaskSpec,
     results: &[ResultValue],

@@ -45,6 +45,13 @@
 //! checkpoints run the batched kernel over the degraded multiset to track
 //! achieved `P_k` and realized redundancy over time.  A zero-churn model
 //! likewise degenerates to the batched kernel bit for bit.
+//!
+//! The [`serve`] module finally runs the scheme *online*: a long-lived
+//! supervisor with a sharded in-memory assignment store deals copies on
+//! demand in the batch kernel's exact RNG order, tracks them in flight
+//! with tick-based timeouts, judges returns incrementally, and speaks a
+//! length-prefixed request/response protocol over any byte stream.  A
+//! drained serve session reproduces the batched kernel bit for bit.
 
 pub mod adversary;
 pub mod churn;
@@ -56,6 +63,7 @@ pub mod outcome;
 pub mod participant;
 pub mod retry;
 pub mod rounds;
+pub mod serve;
 pub mod supervisor;
 pub mod survival;
 pub mod task;
@@ -81,6 +89,10 @@ pub use participant::ParticipantPool;
 pub use retry::{backoff_ticks, deliver_assignment, Delivery};
 pub use rounds::{
     run_platform, run_platform_with_faults, PlatformConfig, PlatformHistory, RoundReport,
+};
+pub use serve::{
+    drain_session, serve_connection, serve_experiment, AssignmentStore, ServeConfig, ServeSession,
+    ServeStats,
 };
 pub use supervisor::Supervisor;
 pub use survival::{survival_experiment, survival_experiment_with, SurvivalOutcome};

@@ -1,0 +1,27 @@
+//! The live supervisor: `redundancy serve`'s sharded assignment store and
+//! its length-prefixed wire protocol.
+//!
+//! Everything else in this crate runs the paper's redundancy scheme as a
+//! *batch*: expand the plan, loop the kernel, read the tallies.  This
+//! module runs it as a *system* — a long-lived supervisor that hands out
+//! task copies on demand ([`store`]), tracks them in flight with
+//! tick-based timeouts, judges returns incrementally, and answers a tiny
+//! request/response protocol ([`protocol`]) over any byte stream.
+//!
+//! The design constraint throughout is the repo's standing oracle
+//! discipline: a drained serve session must reproduce the batch kernel
+//! **bit for bit** — same [`CampaignOutcome`](crate::CampaignOutcome),
+//! same final RNG state — at any shard count and under any client
+//! interleaving.  See [`store`] for how activation order makes that hold.
+
+pub mod protocol;
+pub mod store;
+
+pub use protocol::{
+    decode_frames, read_frame, script_frames, serve_connection, write_frame, Frame, Reply,
+    ServeSession, SessionEnd, MAX_FRAME,
+};
+pub use store::{
+    drain_session, serve_experiment, Assignment, AssignmentStore, Issue, ReturnAck, ServeConfig,
+    ServeError, ServeStats,
+};

@@ -1,0 +1,421 @@
+//! The hand-rolled wire protocol of `redundancy serve`.
+//!
+//! Frames are a 4-byte big-endian length prefix followed by a UTF-8 text
+//! payload of at most [`MAX_FRAME`] bytes.  Requests are single lines —
+//!
+//! | request                     | response                               |
+//! |-----------------------------|----------------------------------------|
+//! | `request-work`              | `work <task> <copy> <mult>` \| `idle` \| `drained` |
+//! | `return-result <task> <copy>` | `ok` \| `ok complete`                |
+//! | `stats`                     | the deterministic key-value dump       |
+//! | `shutdown`                  | `bye` (and the session ends)           |
+//!
+//! — and every failure is a structured `err <code> <detail>` frame, never
+//! a hang or a panic: an unknown verb or bad arguments answer `err` and
+//! the session continues; a truncated or oversized frame answers `err`
+//! and the session ends (the stream cannot be resynchronized).  A clean
+//! EOF before a length prefix ends the session silently.
+//!
+//! The transport is generic over [`Read`]/[`Write`], so the same loop
+//! serves stdio (deterministic, byte-fixture-testable), in-memory buffers
+//! (the integration tests), and per-connection TCP sockets (the CLI).
+
+use std::io::{self, Read, Write};
+
+use super::store::{AssignmentStore, Issue, ServeConfig};
+use crate::engine::CampaignConfig;
+use crate::task::{TaskId, TaskSpec};
+use redundancy_stats::DeterministicRng;
+
+/// Maximum frame payload, in bytes.  Requests are one short line and the
+/// largest response is the stats dump, so anything bigger is a corrupt or
+/// hostile stream.
+pub const MAX_FRAME: usize = 4096;
+
+/// A decoded incoming frame (or the reason there isn't one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete payload.
+    Message(Vec<u8>),
+    /// Clean end of stream before any prefix byte.
+    Eof,
+    /// The stream ended mid-prefix or mid-payload.
+    Truncated,
+    /// The prefix declared a payload larger than [`MAX_FRAME`].
+    Oversize(u32),
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    debug_assert!(bytes.len() <= MAX_FRAME, "oversized outgoing frame");
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)
+}
+
+/// Read up to `buf.len()` bytes, stopping early only at EOF; returns how
+/// many bytes were read.
+fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Read one frame.  Never blocks past the bytes the prefix promised and
+/// never reads the payload of an oversized frame.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut prefix = [0u8; 4];
+    match read_up_to(r, &mut prefix)? {
+        0 => return Ok(Frame::Eof),
+        4 => {}
+        _ => return Ok(Frame::Truncated),
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len as usize > MAX_FRAME {
+        return Ok(Frame::Oversize(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if read_up_to(r, &mut payload)? < payload.len() {
+        return Ok(Frame::Truncated);
+    }
+    Ok(Frame::Message(payload))
+}
+
+/// One request's outcome: the response text plus whether the session ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Response payload to frame back to the client.
+    pub text: String,
+    /// True after `shutdown`: the transport loop should stop.
+    pub shutdown: bool,
+}
+
+impl Reply {
+    fn text(text: impl Into<String>) -> Self {
+        Reply {
+            text: text.into(),
+            shutdown: false,
+        }
+    }
+}
+
+/// How a transport loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The client sent `shutdown`.
+    Shutdown,
+    /// The stream closed cleanly between frames.
+    Eof,
+    /// A malformed frame (truncated or oversized) ended the session after
+    /// a structured `err` response.
+    Malformed,
+}
+
+/// A single-client session: the store plus the session RNG, with requests
+/// handled as protocol text.  The CLI's TCP listener shares one session
+/// across connections behind a mutex; the stdio and in-memory transports
+/// own it directly.
+#[derive(Debug)]
+pub struct ServeSession {
+    /// The live assignment store.
+    pub store: AssignmentStore,
+    /// The session RNG every activation draws from.
+    pub rng: DeterministicRng,
+}
+
+impl ServeSession {
+    /// A fresh session over `tasks`, seeded deterministically.
+    pub fn new(
+        tasks: &[TaskSpec],
+        config: &CampaignConfig,
+        serve: &ServeConfig,
+        seed: u64,
+    ) -> Result<Self, String> {
+        Ok(ServeSession {
+            store: AssignmentStore::new(tasks, config, serve)?,
+            rng: DeterministicRng::new(seed),
+        })
+    }
+
+    /// Handle one request line, producing the response text.
+    pub fn handle(&mut self, request: &str) -> Reply {
+        let mut parts = request.split_whitespace();
+        match parts.next() {
+            Some("request-work") => match self.store.request_work(&mut self.rng) {
+                Issue::Work(a) => {
+                    Reply::text(format!("work {} {} {}", a.task.0, a.copy, a.multiplicity))
+                }
+                Issue::Idle => Reply::text("idle"),
+                Issue::Drained => Reply::text("drained"),
+            },
+            Some("return-result") => {
+                let (Some(task), Some(copy), None) = (
+                    parts.next().and_then(|t| t.parse::<u64>().ok()),
+                    parts.next().and_then(|c| c.parse::<u32>().ok()),
+                    parts.next(),
+                ) else {
+                    return Reply::text("err bad-request return-result expects <task> <copy>");
+                };
+                match self.store.return_result(TaskId(task), copy) {
+                    Ok(ack) if ack.task_complete => Reply::text("ok complete"),
+                    Ok(_) => Reply::text("ok"),
+                    Err(e) => Reply::text(format!("err {} {e}", e.code())),
+                }
+            }
+            Some("stats") => Reply::text(self.store.stats().render()),
+            Some("shutdown") => Reply {
+                text: "bye".into(),
+                shutdown: true,
+            },
+            Some(verb) => Reply::text(format!("err unknown-verb {verb}")),
+            None => Reply::text("err unknown-verb"),
+        }
+    }
+}
+
+/// Run the framed request/response loop over any byte stream, delegating
+/// each decoded request to `handle` (typically [`ServeSession::handle`],
+/// possibly behind a lock).  Responses are flushed per frame so interactive
+/// transports never stall.
+pub fn serve_connection<R: Read, W: Write>(
+    r: &mut R,
+    w: &mut W,
+    mut handle: impl FnMut(&str) -> Reply,
+) -> io::Result<SessionEnd> {
+    loop {
+        match read_frame(r)? {
+            Frame::Eof => return Ok(SessionEnd::Eof),
+            Frame::Truncated => {
+                write_frame(w, "err truncated-frame")?;
+                w.flush()?;
+                return Ok(SessionEnd::Malformed);
+            }
+            Frame::Oversize(len) => {
+                write_frame(w, &format!("err oversize-frame {len} exceeds {MAX_FRAME}"))?;
+                w.flush()?;
+                return Ok(SessionEnd::Malformed);
+            }
+            Frame::Message(bytes) => {
+                let Ok(text) = std::str::from_utf8(&bytes) else {
+                    write_frame(w, "err invalid-utf8")?;
+                    w.flush()?;
+                    continue;
+                };
+                let reply = handle(text);
+                write_frame(w, &reply.text)?;
+                w.flush()?;
+                if reply.shutdown {
+                    return Ok(SessionEnd::Shutdown);
+                }
+            }
+        }
+    }
+}
+
+/// Encode a scripted client session as raw frame bytes — the integration
+/// tests and the CI stdio smoke build their byte fixtures with this.
+pub fn script_frames(requests: &[&str]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for req in requests {
+        write_frame(&mut bytes, req).expect("writing to a Vec cannot fail");
+    }
+    bytes
+}
+
+/// Decode a response stream into its frame payloads (lossy UTF-8), for
+/// asserting scripted sessions byte-for-byte.
+pub fn decode_frames(mut bytes: &[u8]) -> Vec<String> {
+    let mut out = Vec::new();
+    loop {
+        match read_frame(&mut bytes).expect("reading from a slice cannot fail") {
+            Frame::Message(payload) => out.push(String::from_utf8_lossy(&payload).into_owned()),
+            Frame::Eof => return out,
+            Frame::Truncated => {
+                out.push("<truncated>".into());
+                return out;
+            }
+            Frame::Oversize(len) => {
+                out.push(format!("<oversize {len}>"));
+                return out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdversaryModel, CheatStrategy};
+    use crate::task::expand_plan;
+    use redundancy_core::RealizedPlan;
+
+    fn session(n: u64, mult: usize, seed: u64) -> ServeSession {
+        let tasks = expand_plan(&RealizedPlan::k_fold(n, mult, 0.5).unwrap());
+        let config = CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        );
+        ServeSession::new(&tasks, &config, &ServeConfig::new(2), seed).unwrap()
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, "request-work").unwrap();
+        write_frame(&mut bytes, "").unwrap();
+        let mut r: &[u8] = &bytes;
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Frame::Message(b"request-work".to_vec())
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Message(Vec::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn malformed_frames_are_classified() {
+        // Truncated prefix.
+        let mut r: &[u8] = &[0x00, 0x00];
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Truncated);
+        // Truncated payload.
+        let mut r: &[u8] = &[0x00, 0x00, 0x00, 0x05, b'h', b'i'];
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Truncated);
+        // Oversize prefix: payload is never read.
+        let mut r: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF];
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Oversize(u32::MAX));
+    }
+
+    #[test]
+    fn scripted_session_drains_a_tiny_workload() {
+        // 2 tasks x 2 copies: the dispatch order is fixed, so the whole
+        // exchange is scriptable.
+        let mut s = session(2, 2, 1);
+        let script = [
+            "request-work",
+            "return-result 0 0",
+            "request-work",
+            "return-result 0 1",
+            "request-work",
+            "request-work",
+            "return-result 1 1",
+            "return-result 1 0",
+            "request-work",
+            "shutdown",
+        ];
+        let mut input: &[u8] = &script_frames(&script)[..];
+        let mut output = Vec::new();
+        let end = serve_connection(&mut input, &mut output, |req| s.handle(req)).unwrap();
+        assert_eq!(end, SessionEnd::Shutdown);
+        let replies = decode_frames(&output);
+        assert_eq!(
+            replies,
+            vec![
+                "work 0 0 2",
+                "ok",
+                "work 0 1 2",
+                "ok complete",
+                "work 1 0 2",
+                "work 1 1 2",
+                "ok",
+                "ok complete",
+                "drained",
+                "bye",
+            ]
+        );
+        assert!(s.store.is_drained());
+    }
+
+    #[test]
+    fn unknown_verbs_and_bad_arguments_answer_err_and_continue() {
+        let mut s = session(1, 2, 1);
+        assert_eq!(
+            s.handle("frobnicate now").text,
+            "err unknown-verb frobnicate"
+        );
+        assert_eq!(s.handle("").text, "err unknown-verb");
+        assert_eq!(
+            s.handle("return-result one two").text,
+            "err bad-request return-result expects <task> <copy>"
+        );
+        assert_eq!(
+            s.handle("return-result 0").text,
+            "err bad-request return-result expects <task> <copy>"
+        );
+        assert_eq!(
+            s.handle("return-result 0 0 0").text,
+            "err bad-request return-result expects <task> <copy>"
+        );
+        // The session is still alive and serves work.
+        assert!(s.handle("request-work").text.starts_with("work "));
+        assert_eq!(
+            s.handle("return-result 99 0").text,
+            "err unknown-task task 99 is not in this workload"
+        );
+    }
+
+    #[test]
+    fn truncated_and_oversize_frames_end_the_session_with_err() {
+        let mut s = session(1, 2, 1);
+        let mut input: &[u8] = &[0x00, 0x01];
+        let mut output = Vec::new();
+        let end = serve_connection(&mut input, &mut output, |req| s.handle(req)).unwrap();
+        assert_eq!(end, SessionEnd::Malformed);
+        assert_eq!(decode_frames(&output), vec!["err truncated-frame"]);
+
+        let mut input: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF];
+        let mut output = Vec::new();
+        let end = serve_connection(&mut input, &mut output, |req| s.handle(req)).unwrap();
+        assert_eq!(end, SessionEnd::Malformed);
+        assert_eq!(
+            decode_frames(&output),
+            vec![format!(
+                "err oversize-frame {} exceeds {MAX_FRAME}",
+                u32::MAX
+            )]
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_answers_err_and_continues() {
+        let mut s = session(1, 2, 1);
+        let mut input = Vec::new();
+        input.extend_from_slice(&3u32.to_be_bytes());
+        input.extend_from_slice(&[0xFF, 0xFE, 0xFD]);
+        write_frame(&mut input, "shutdown").unwrap();
+        let mut r: &[u8] = &input;
+        let mut output = Vec::new();
+        let end = serve_connection(&mut r, &mut output, |req| s.handle(req)).unwrap();
+        assert_eq!(end, SessionEnd::Shutdown);
+        assert_eq!(decode_frames(&output), vec!["err invalid-utf8", "bye"]);
+    }
+
+    #[test]
+    fn stats_verb_serves_the_live_snapshot() {
+        let mut s = session(3, 2, 7);
+        let before = s.handle("stats").text;
+        assert!(before.contains("tasks-total 3"));
+        assert!(before.contains("issued 0"));
+        let _ = s.handle("request-work");
+        let after = s.handle("stats").text;
+        assert!(after.contains("issued 1"));
+        assert!(after.contains("in-flight 1"));
+        assert_eq!(after, s.store.stats().render());
+    }
+
+    #[test]
+    fn eof_between_frames_is_a_clean_end() {
+        let mut s = session(1, 2, 1);
+        let mut input: &[u8] = &script_frames(&["request-work"])[..];
+        let mut output = Vec::new();
+        let end = serve_connection(&mut input, &mut output, |req| s.handle(req)).unwrap();
+        assert_eq!(end, SessionEnd::Eof);
+        assert_eq!(decode_frames(&output).len(), 1);
+    }
+}

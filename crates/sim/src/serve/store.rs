@@ -1,0 +1,1239 @@
+//! The sharded in-memory assignment store behind `redundancy serve`.
+//!
+//! The store turns the batch campaign kernel inside out: instead of one
+//! loop that draws, materializes, and judges every task, tasks are
+//! *activated on demand* as clients call [`AssignmentStore::request_work`],
+//! copies are tracked in flight with tick-based timeouts (reusing the
+//! [`FaultModel`] retry policy), and a task is judged the moment its last
+//! copy returns or is abandoned.  The Balanced/S_m multiplicity mix is
+//! maintained incrementally: the activation cursor walks the
+//! [`grouped_specs`] runs in task-id order, so the multiset of
+//! multiplicities handed out is — at every moment — a prefix of the exact
+//! mix the batch kernel would deal.
+//!
+//! # Bit-identity with the batch kernel
+//!
+//! Activation consumes the session RNG in *exactly* the order
+//! [`run_campaign_with_scratch`](crate::engine::run_campaign_with_scratch)
+//! does: one holdings draw per task through the shared
+//! [`prepare_holdings`] sampler caches, then (only when
+//! `honest_error_rate > 0`) the honest copies' fault draws.  Returns and
+//! judging consume no randomness, and every [`CampaignOutcome`] counter is
+//! a commutative sum, so a *drained* session — every copy returned, no
+//! timeouts — produces an outcome and a final RNG state bit-identical to
+//! the batch kernel on the same tasks, config, and seed, regardless of
+//! shard count or the interleaving of client requests.  The `ext_serve`
+//! exhibit and the serve proptests pin this end to end.
+//!
+//! # Sharding
+//!
+//! Task state lives in one of `shards` sub-stores selected by an FNV-1a
+//! hash of the task id; each shard owns its slice of task state *and* its
+//! own partial [`CampaignOutcome`], merged only when queried.  Dispatch
+//! order (and therefore RNG order) is centralized in the activation
+//! cursor, which is why the shard count cannot perturb outcomes.
+
+use std::collections::VecDeque;
+
+use crate::engine::{judge_task, prepare_holdings, CampaignConfig};
+use crate::experiment::{DetectionEstimate, ExperimentConfig};
+use crate::faults::FaultModel;
+use crate::outcome::CampaignOutcome;
+use crate::supervisor::Supervisor;
+use crate::task::{
+    colluded_wrong_result, correct_result, expand_plan, faulty_result, grouped_specs, ResultValue,
+    SpecGroup, TaskId, TaskSpec,
+};
+use redundancy_core::RealizedPlan;
+use redundancy_stats::parallel::{run_trials, TrialConfig};
+use redundancy_stats::{BinomialCache, DeterministicRng, HypergeometricCache};
+
+/// Configuration of the live store beyond the campaign itself.
+///
+/// Only the *retry* half of the [`FaultModel`] applies here — `timeout`
+/// and `max_retries` govern in-flight copies — because in a live session
+/// the delivery hazards (drops, stragglers, corruption) are the clients'
+/// behavior, not the store's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Number of hash shards task state is spread over (must be ≥ 1).
+    pub shards: usize,
+    /// Retry policy for in-flight copies: a copy outstanding for more than
+    /// `faults.timeout` ticks (one tick per `request-work`) is re-queued,
+    /// up to `faults.max_retries` times, then abandoned.
+    pub faults: FaultModel,
+}
+
+impl ServeConfig {
+    /// `shards` hash shards with the default (fault-free) retry policy.
+    pub fn new(shards: usize) -> Self {
+        ServeConfig {
+            shards,
+            faults: FaultModel::none(),
+        }
+    }
+
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        self.faults.validate()
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::new(1)
+    }
+}
+
+/// One unit of work handed to a client: one copy of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The task this copy belongs to.
+    pub task: TaskId,
+    /// Copy index within the task, `0..multiplicity`.
+    pub copy: u32,
+    /// The task's total multiplicity (how many copies exist).
+    pub multiplicity: u32,
+}
+
+/// The store's answer to a work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Issue {
+    /// A copy to work on.
+    Work(Assignment),
+    /// Nothing to hand out *right now* — every remaining copy is in
+    /// flight.  Poll again (polling advances the tick clock, which is what
+    /// eventually expires overdue copies).
+    Idle,
+    /// The workload is complete: every task has been judged.
+    Drained,
+}
+
+/// Acknowledgement of an accepted `return-result`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReturnAck {
+    /// True if this return completed the task (its verdict is now folded
+    /// into the live outcome).
+    pub task_complete: bool,
+}
+
+/// A rejected `return-result`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The task id is outside this session's workload.
+    UnknownTask(TaskId),
+    /// The copy index is not below the task's multiplicity.
+    CopyOutOfRange {
+        /// The offending task.
+        task: TaskId,
+        /// The copy index the client sent.
+        copy: u32,
+        /// The task's actual multiplicity.
+        multiplicity: u32,
+    },
+    /// The copy is not currently in flight: never issued, already
+    /// returned, or timed out and re-queued (a stale return).
+    NotInFlight {
+        /// The offending task.
+        task: TaskId,
+        /// The copy index the client sent.
+        copy: u32,
+    },
+}
+
+impl ServeError {
+    /// Stable machine-readable error code (the protocol's second token).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::UnknownTask(_) => "unknown-task",
+            ServeError::CopyOutOfRange { .. } => "copy-out-of-range",
+            ServeError::NotInFlight { .. } => "not-in-flight",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTask(t) => write!(f, "task {} is not in this workload", t.0),
+            ServeError::CopyOutOfRange {
+                task,
+                copy,
+                multiplicity,
+            } => write!(
+                f,
+                "copy {copy} of task {} out of range (multiplicity {multiplicity})",
+                task.0
+            ),
+            ServeError::NotInFlight { task, copy } => {
+                write!(f, "copy {copy} of task {} is not in flight", task.0)
+            }
+        }
+    }
+}
+
+/// A deterministic snapshot of the live session, queryable at any moment.
+///
+/// All fields are exact counters (`Eq`, like the churn soak's report);
+/// the derived rates are methods so the struct itself stays bit-comparable
+/// between identical-seed runs — the CI concurrency soak `cmp`s two
+/// rendered snapshots byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Tasks in the workload.
+    pub total_tasks: u64,
+    /// Tasks whose holdings have been drawn (dealt at least one copy).
+    pub activated_tasks: u64,
+    /// Tasks judged (all copies returned or abandoned).
+    pub completed_tasks: u64,
+    /// Copies in the full workload (sum of multiplicities).
+    pub total_copies: u64,
+    /// Work issues, re-issues included.
+    pub issued: u64,
+    /// Copies returned and accepted.
+    pub returned: u64,
+    /// Copies currently in flight.
+    pub in_flight: u64,
+    /// Copies waiting in the re-queue after a timeout.
+    pub requeued: u64,
+    /// Copies abandoned after exhausting their retry budget.
+    pub lost: u64,
+    /// Timeout expiries (each re-queues or abandons a copy).
+    pub timeouts: u64,
+    /// Re-issues granted after a timeout.
+    pub retries: u64,
+    /// Attacked tasks judged so far.
+    pub cheats_attempted: u64,
+    /// Of those, flagged by the supervisor.
+    pub cheats_detected: u64,
+    /// Wrong results accepted (recorded) by the supervisor.
+    pub wrong_accepted: u64,
+    /// Honest tasks flagged anyway.
+    pub false_flags: u64,
+    /// Tasks abandoned with no copy returned at all.
+    pub unresolved_tasks: u64,
+}
+
+impl ServeStats {
+    /// The live mix's achieved detection probability `P̂_k` (None before
+    /// any attacked task has been judged).
+    pub fn detection_rate(&self) -> Option<f64> {
+        if self.cheats_attempted == 0 {
+            None
+        } else {
+            Some(self.cheats_detected as f64 / self.cheats_attempted as f64)
+        }
+    }
+
+    /// Realized redundancy factor: issues (re-issues included) per
+    /// completed task (None before any task completed).
+    pub fn realized_factor(&self) -> Option<f64> {
+        if self.completed_tasks == 0 {
+            None
+        } else {
+            Some(self.issued as f64 / self.completed_tasks as f64)
+        }
+    }
+
+    /// FNV-1a fold over every counter: one number that differs whenever
+    /// any tally differs (same idiom as the churn soak checksum).
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        fold(self.total_tasks);
+        fold(self.activated_tasks);
+        fold(self.completed_tasks);
+        fold(self.total_copies);
+        fold(self.issued);
+        fold(self.returned);
+        fold(self.in_flight);
+        fold(self.requeued);
+        fold(self.lost);
+        fold(self.timeouts);
+        fold(self.retries);
+        fold(self.cheats_attempted);
+        fold(self.cheats_detected);
+        fold(self.wrong_accepted);
+        fold(self.false_flags);
+        fold(self.unresolved_tasks);
+        h
+    }
+
+    /// The deterministic key-value dump served for the `stats` verb (and
+    /// `cmp`ed between identical-seed soak runs in CI).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "tasks-total {}", self.total_tasks);
+        let _ = writeln!(s, "tasks-activated {}", self.activated_tasks);
+        let _ = writeln!(s, "tasks-completed {}", self.completed_tasks);
+        let _ = writeln!(s, "copies-total {}", self.total_copies);
+        let _ = writeln!(s, "issued {}", self.issued);
+        let _ = writeln!(s, "returned {}", self.returned);
+        let _ = writeln!(s, "in-flight {}", self.in_flight);
+        let _ = writeln!(s, "requeued {}", self.requeued);
+        let _ = writeln!(s, "lost {}", self.lost);
+        let _ = writeln!(s, "timeouts {}", self.timeouts);
+        let _ = writeln!(s, "retries {}", self.retries);
+        let _ = writeln!(s, "cheats-attempted {}", self.cheats_attempted);
+        let _ = writeln!(s, "cheats-detected {}", self.cheats_detected);
+        let _ = writeln!(s, "wrong-accepted {}", self.wrong_accepted);
+        let _ = writeln!(s, "false-flags {}", self.false_flags);
+        let _ = writeln!(s, "unresolved-tasks {}", self.unresolved_tasks);
+        let _ = match self.detection_rate() {
+            Some(d) => writeln!(s, "detection {d:.4}"),
+            None => writeln!(s, "detection -"),
+        };
+        let _ = match self.realized_factor() {
+            Some(r) => writeln!(s, "realized-factor {r:.4}"),
+            None => writeln!(s, "realized-factor -"),
+        };
+        let _ = writeln!(s, "checksum {:#018x}", self.checksum());
+        s
+    }
+}
+
+/// State of one copy of one activated task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyState {
+    /// Not currently issued: never dealt, or re-queued after a timeout.
+    Pending,
+    /// Handed to a client; `attempt` counts prior re-issues.
+    InFlight { attempt: u32 },
+    /// Returned and accepted.
+    Returned,
+    /// Abandoned after exhausting the retry budget.
+    Lost,
+}
+
+/// Per-task live state, owned by one shard.
+#[derive(Debug)]
+struct TaskState {
+    spec: TaskSpec,
+    held: u32,
+    cheats: bool,
+    /// The value each copy will return, materialized at activation in the
+    /// batch kernel's RNG order: adversary copies first, then honest ones.
+    values: Vec<ResultValue>,
+    copies: Vec<CopyState>,
+    returned: u32,
+    lost: u32,
+    judged: bool,
+}
+
+/// One hash shard: its slice of task state plus its partial outcome.
+#[derive(Debug, Default)]
+struct Shard {
+    tasks: Vec<TaskState>,
+    outcome: CampaignOutcome,
+}
+
+/// Where an activated task's state lives: `(shard, slot)`.
+#[derive(Debug, Clone, Copy)]
+struct SlotRef {
+    shard: u32,
+    slot: u32,
+}
+
+const UNASSIGNED: SlotRef = SlotRef {
+    shard: u32::MAX,
+    slot: u32::MAX,
+};
+
+/// An in-flight record awaiting return or expiry.  Deadlines are
+/// nondecreasing in issue order (the timeout is constant), so the front of
+/// the queue always expires first; records invalidated by a return are
+/// skipped lazily at expiry time.
+#[derive(Debug, Clone, Copy)]
+struct InFlightRec {
+    task: u32,
+    copy: u32,
+    attempt: u32,
+    deadline: u64,
+}
+
+/// FNV-1a over the task id's little-endian bytes — the shard hash.
+fn shard_hash(id: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The live sharded assignment store.  See the module docs for the
+/// activation/judging contract.
+#[derive(Debug)]
+pub struct AssignmentStore {
+    config: CampaignConfig,
+    supervisor: Supervisor,
+    timeout: u64,
+    max_retries: u32,
+    groups: Vec<SpecGroup>,
+    base_id: u64,
+    total_tasks: u64,
+    total_copies: u64,
+    // Activation cursor: walks groups in task-id order.
+    group_cursor: usize,
+    group_offset: u64,
+    /// The task currently being dealt, with its next copy index.
+    active: Option<(u32, u32, u32)>, // (task index, next copy, multiplicity)
+    binomial: BinomialCache,
+    hypergeometric: HypergeometricCache,
+    shards: Vec<Shard>,
+    slots: Vec<SlotRef>,
+    requeue: VecDeque<(u32, u32, u32)>, // (task index, copy, attempt)
+    inflight: VecDeque<InFlightRec>,
+    now: u64,
+    issued: u64,
+    returned: u64,
+    in_flight_count: u64,
+    lost: u64,
+    activated_tasks: u64,
+    completed_tasks: u64,
+    results_buf: Vec<ResultValue>,
+}
+
+impl AssignmentStore {
+    /// Build a store over `tasks` (contiguous ids, as [`expand_plan`]
+    /// produces) for one campaign.
+    pub fn new(
+        tasks: &[TaskSpec],
+        config: &CampaignConfig,
+        serve: &ServeConfig,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        serve.validate()?;
+        let groups: Vec<SpecGroup> = grouped_specs(tasks).collect();
+        let mut expected = groups.first().map_or(0, |g| g.first_id.0);
+        let base_id = expected;
+        let mut total_copies = 0u64;
+        for g in &groups {
+            if g.multiplicity == 0 {
+                return Err(format!("task {} has multiplicity 0", g.first_id.0));
+            }
+            if g.first_id.0 != expected {
+                return Err(format!(
+                    "task ids must be contiguous: expected {expected}, found {}",
+                    g.first_id.0
+                ));
+            }
+            expected += g.count;
+            total_copies += g.count * u64::from(g.multiplicity);
+        }
+        let total_tasks = expected - base_id;
+        let mut shards: Vec<Shard> = (0..serve.shards).map(|_| Shard::default()).collect();
+        // The session is one campaign; the counter lives on shard 0 and
+        // surfaces through the merged outcome.
+        shards[0].outcome.campaigns = 1;
+        Ok(AssignmentStore {
+            config: *config,
+            supervisor: Supervisor::new(config.policy),
+            timeout: serve.faults.timeout,
+            max_retries: serve.faults.max_retries,
+            groups,
+            base_id,
+            total_tasks,
+            total_copies,
+            group_cursor: 0,
+            group_offset: 0,
+            active: None,
+            binomial: BinomialCache::default(),
+            hypergeometric: HypergeometricCache::default(),
+            shards,
+            slots: vec![UNASSIGNED; total_tasks as usize],
+            requeue: VecDeque::new(),
+            inflight: VecDeque::new(),
+            now: 0,
+            issued: 0,
+            returned: 0,
+            in_flight_count: 0,
+            lost: 0,
+            activated_tasks: 0,
+            completed_tasks: 0,
+            results_buf: Vec::new(),
+        })
+    }
+
+    /// Number of hash shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True once every task has been judged.
+    pub fn is_drained(&self) -> bool {
+        self.completed_tasks == self.total_tasks
+    }
+
+    /// Hand out the next copy of work.
+    ///
+    /// Advances the tick clock by one, expires overdue in-flight copies
+    /// (re-queueing or abandoning them per the retry policy), then serves
+    /// re-queued copies first and freshly activated tasks after.
+    pub fn request_work(&mut self, rng: &mut DeterministicRng) -> Issue {
+        self.now += 1;
+        self.expire_overdue();
+        if let Some((task, copy, attempt)) = self.requeue.pop_front() {
+            return Issue::Work(self.issue(task, copy, attempt));
+        }
+        if self.active.is_none() {
+            self.activate_next(rng);
+        }
+        if let Some((task, copy, mult)) = self.active {
+            self.active = if copy + 1 < mult {
+                Some((task, copy + 1, mult))
+            } else {
+                None
+            };
+            return Issue::Work(self.issue(task, copy, 0));
+        }
+        if self.in_flight_count > 0 {
+            Issue::Idle
+        } else {
+            debug_assert!(self.is_drained(), "no work, none in flight, not drained");
+            Issue::Drained
+        }
+    }
+
+    /// Accept the return of one in-flight copy; judges the task when it
+    /// was the last outstanding copy.
+    pub fn return_result(&mut self, task: TaskId, copy: u32) -> Result<ReturnAck, ServeError> {
+        let idx = task
+            .0
+            .checked_sub(self.base_id)
+            .filter(|&i| i < self.total_tasks)
+            .ok_or(ServeError::UnknownTask(task))? as usize;
+        let slot = self.slots[idx];
+        if slot.shard == u32::MAX {
+            // Never activated, so no copy of it was ever issued.
+            return Err(ServeError::NotInFlight { task, copy });
+        }
+        let shard = &mut self.shards[slot.shard as usize];
+        let state = &mut shard.tasks[slot.slot as usize];
+        if copy >= state.spec.multiplicity {
+            return Err(ServeError::CopyOutOfRange {
+                task,
+                copy,
+                multiplicity: state.spec.multiplicity,
+            });
+        }
+        if !matches!(state.copies[copy as usize], CopyState::InFlight { .. }) {
+            return Err(ServeError::NotInFlight { task, copy });
+        }
+        state.copies[copy as usize] = CopyState::Returned;
+        state.returned += 1;
+        self.returned += 1;
+        self.in_flight_count -= 1;
+        let complete = u64::from(state.returned + state.lost) == u64::from(state.spec.multiplicity);
+        if complete {
+            self.judge(slot);
+        }
+        Ok(ReturnAck {
+            task_complete: complete,
+        })
+    }
+
+    /// The live session snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let mut attempted = 0u64;
+        let mut detected = 0u64;
+        let mut wrong_accepted = 0u64;
+        let mut false_flags = 0u64;
+        let mut unresolved = 0u64;
+        let mut timeouts = 0u64;
+        let mut retries = 0u64;
+        for shard in &self.shards {
+            attempted += shard.outcome.total_attempted();
+            detected += shard.outcome.total_detected();
+            wrong_accepted += shard.outcome.wrong_accepted;
+            false_flags += shard.outcome.false_flags;
+            unresolved += shard.outcome.unresolved_tasks;
+            timeouts += shard.outcome.timeouts;
+            retries += shard.outcome.retries;
+        }
+        ServeStats {
+            total_tasks: self.total_tasks,
+            activated_tasks: self.activated_tasks,
+            completed_tasks: self.completed_tasks,
+            total_copies: self.total_copies,
+            issued: self.issued,
+            returned: self.returned,
+            in_flight: self.in_flight_count,
+            requeued: self.requeue.len() as u64,
+            lost: self.lost,
+            timeouts,
+            retries,
+            cheats_attempted: attempted,
+            cheats_detected: detected,
+            wrong_accepted,
+            false_flags,
+            unresolved_tasks: unresolved,
+        }
+    }
+
+    /// Fold the shards' partial outcomes into one [`CampaignOutcome`] —
+    /// bit-identical to the batch kernel's once the session is drained.
+    pub fn merged_outcome(&self) -> CampaignOutcome {
+        let mut out = CampaignOutcome::default();
+        for shard in &self.shards {
+            out.merge(&shard.outcome);
+        }
+        out
+    }
+
+    /// Draw holdings and materialize result values for the next task in id
+    /// order, making it the active dispatch target.  Returns false when the
+    /// workload is fully activated.
+    fn activate_next(&mut self, rng: &mut DeterministicRng) -> bool {
+        let group = loop {
+            let Some(g) = self.groups.get(self.group_cursor) else {
+                return false;
+            };
+            if self.group_offset < g.count {
+                break *g;
+            }
+            self.group_cursor += 1;
+            self.group_offset = 0;
+        };
+        let mult = u64::from(group.multiplicity);
+        let id = TaskId(group.first_id.0 + self.group_offset);
+        self.group_offset += 1;
+        // Same sampler caches, same draw order as the batch kernel.
+        let sampler = prepare_holdings(
+            &self.config,
+            mult,
+            &mut self.binomial,
+            &mut self.hypergeometric,
+        );
+        let held = sampler.sample(rng) as u32;
+        let cheats = self.config.strategy.cheats_on(held);
+        let wrong = colluded_wrong_result(id);
+        let right = correct_result(id);
+        let mut values = Vec::with_capacity(mult as usize);
+        for _ in 0..held {
+            values.push(if cheats { wrong } else { right });
+        }
+        for j in u64::from(held)..mult {
+            let faulty =
+                self.config.honest_error_rate > 0.0 && rng.bernoulli(self.config.honest_error_rate);
+            values.push(if faulty {
+                faulty_result(id, j ^ rng.next_raw())
+            } else {
+                right
+            });
+        }
+        let shard_ix = (shard_hash(id.0) % self.shards.len() as u64) as u32;
+        let shard = &mut self.shards[shard_ix as usize];
+        shard.outcome.tasks += 1;
+        shard.outcome.assignments += mult;
+        shard.outcome.holdings.record(held as usize);
+        let slot = shard.tasks.len() as u32;
+        shard.tasks.push(TaskState {
+            spec: TaskSpec {
+                id,
+                multiplicity: group.multiplicity,
+                precomputed: group.precomputed,
+            },
+            held,
+            cheats,
+            values,
+            copies: vec![CopyState::Pending; group.multiplicity as usize],
+            returned: 0,
+            lost: 0,
+            judged: false,
+        });
+        let idx = (id.0 - self.base_id) as usize;
+        self.slots[idx] = SlotRef {
+            shard: shard_ix,
+            slot,
+        };
+        self.active = Some((idx as u32, 0, group.multiplicity));
+        self.activated_tasks += 1;
+        true
+    }
+
+    /// Mark one copy in flight and register its deadline.
+    fn issue(&mut self, task: u32, copy: u32, attempt: u32) -> Assignment {
+        let slot = self.slots[task as usize];
+        let state = &mut self.shards[slot.shard as usize].tasks[slot.slot as usize];
+        debug_assert_eq!(state.copies[copy as usize], CopyState::Pending);
+        state.copies[copy as usize] = CopyState::InFlight { attempt };
+        let spec = state.spec;
+        self.inflight.push_back(InFlightRec {
+            task,
+            copy,
+            attempt,
+            deadline: self.now + self.timeout,
+        });
+        self.issued += 1;
+        self.in_flight_count += 1;
+        Assignment {
+            task: spec.id,
+            copy,
+            multiplicity: spec.multiplicity,
+        }
+    }
+
+    /// Expire overdue in-flight copies: re-queue within the retry budget,
+    /// abandon beyond it.  Records invalidated by a return are skipped.
+    fn expire_overdue(&mut self) {
+        while let Some(rec) = self.inflight.front().copied() {
+            if rec.deadline > self.now {
+                break;
+            }
+            self.inflight.pop_front();
+            let slot = self.slots[rec.task as usize];
+            let shard = &mut self.shards[slot.shard as usize];
+            let state = &mut shard.tasks[slot.slot as usize];
+            let live = matches!(
+                state.copies[rec.copy as usize],
+                CopyState::InFlight { attempt } if attempt == rec.attempt
+            );
+            if !live {
+                continue;
+            }
+            self.in_flight_count -= 1;
+            shard.outcome.timeouts += 1;
+            if rec.attempt >= self.max_retries {
+                state.copies[rec.copy as usize] = CopyState::Lost;
+                state.lost += 1;
+                self.lost += 1;
+                shard.outcome.lost_assignments += 1;
+                if u64::from(state.returned + state.lost) == u64::from(state.spec.multiplicity) {
+                    self.judge(slot);
+                }
+            } else {
+                shard.outcome.retries += 1;
+                state.copies[rec.copy as usize] = CopyState::Pending;
+                self.requeue
+                    .push_back((rec.task, rec.copy, rec.attempt + 1));
+            }
+        }
+    }
+
+    /// Judge a task whose copies have all returned or been abandoned,
+    /// folding the verdict into its shard's outcome — the same tail as the
+    /// batch kernels.
+    fn judge(&mut self, slot: SlotRef) {
+        let mut buf = std::mem::take(&mut self.results_buf);
+        let Shard { tasks, outcome } = &mut self.shards[slot.shard as usize];
+        let state = &mut tasks[slot.slot as usize];
+        debug_assert!(!state.judged);
+        state.judged = true;
+        self.completed_tasks += 1;
+        buf.clear();
+        for (value, copy) in state.values.iter().zip(&state.copies) {
+            if matches!(copy, CopyState::Returned) {
+                buf.push(*value);
+            }
+        }
+        let mult = u64::from(state.spec.multiplicity);
+        let returned = buf.len() as u64;
+        if returned < mult {
+            outcome.degraded.record((mult - returned) as usize);
+        }
+        if returned == 0 {
+            outcome.unresolved_tasks += 1;
+        } else {
+            judge_task(
+                &self.supervisor,
+                &state.spec,
+                &buf,
+                state.held,
+                state.cheats,
+                colluded_wrong_result(state.spec.id),
+                outcome,
+            );
+        }
+        self.results_buf = buf;
+    }
+
+    /// Exhaustively re-derive every counter from the per-copy states and
+    /// panic on any mismatch — conservation of multiplicity.  Used by the
+    /// serve proptests after arbitrary interleavings; cheap enough to call
+    /// inside test loops, never called on the hot path.
+    pub fn check_invariants(&self) {
+        let mut in_flight = 0u64;
+        let mut returned = 0u64;
+        let mut lost = 0u64;
+        let mut activated = 0u64;
+        let mut completed = 0u64;
+        for shard in &self.shards {
+            for state in &shard.tasks {
+                activated += 1;
+                let mult = state.spec.multiplicity as usize;
+                assert_eq!(state.copies.len(), mult, "copy vector length drifted");
+                let mut counts = [0u32; 4];
+                for c in &state.copies {
+                    counts[match c {
+                        CopyState::Pending => 0,
+                        CopyState::InFlight { .. } => 1,
+                        CopyState::Returned => 2,
+                        CopyState::Lost => 3,
+                    }] += 1;
+                }
+                assert_eq!(
+                    counts.iter().map(|&c| c as usize).sum::<usize>(),
+                    mult,
+                    "copies of task {} not conserved",
+                    state.spec.id.0
+                );
+                assert_eq!(counts[2], state.returned, "returned count drifted");
+                assert_eq!(counts[3], state.lost, "lost count drifted");
+                assert_eq!(
+                    state.judged,
+                    u64::from(state.returned + state.lost) == u64::from(state.spec.multiplicity),
+                    "task {} judged flag inconsistent",
+                    state.spec.id.0
+                );
+                in_flight += u64::from(counts[1]);
+                returned += u64::from(counts[2]);
+                lost += u64::from(counts[3]);
+                completed += u64::from(state.judged);
+            }
+        }
+        assert_eq!(in_flight, self.in_flight_count, "in-flight count drifted");
+        assert_eq!(returned, self.returned, "returned count drifted");
+        assert_eq!(lost, self.lost, "lost count drifted");
+        assert_eq!(activated, self.activated_tasks, "activation count drifted");
+        assert_eq!(completed, self.completed_tasks, "completion count drifted");
+        // Every re-queued copy is Pending, and no copy is queued twice.
+        let mut seen = std::collections::HashSet::new();
+        for &(task, copy, _) in &self.requeue {
+            assert!(seen.insert((task, copy)), "copy re-queued twice");
+            let slot = self.slots[task as usize];
+            let state = &self.shards[slot.shard as usize].tasks[slot.slot as usize];
+            assert_eq!(
+                state.copies[copy as usize],
+                CopyState::Pending,
+                "re-queued copy not pending"
+            );
+        }
+        // Every issue is accounted for: it either returned, timed out, or
+        // is still in flight.
+        let timeouts: u64 = self.shards.iter().map(|s| s.outcome.timeouts).sum();
+        assert_eq!(
+            self.issued,
+            self.returned + timeouts + self.in_flight_count,
+            "issues leaked"
+        );
+    }
+}
+
+/// Drain one session to completion, returning each copy as soon as it is
+/// issued — the canonical single-client session the `ext_serve` oracle
+/// compares against the batch kernel.  The merged outcome is folded into
+/// `outcome`; the final [`ServeStats`] snapshot is returned.
+pub fn drain_session(
+    tasks: &[TaskSpec],
+    config: &CampaignConfig,
+    serve: &ServeConfig,
+    rng: &mut DeterministicRng,
+    outcome: &mut CampaignOutcome,
+) -> ServeStats {
+    let mut store = AssignmentStore::new(tasks, config, serve).expect("invalid serve session");
+    loop {
+        match store.request_work(rng) {
+            Issue::Work(a) => {
+                store
+                    .return_result(a.task, a.copy)
+                    .expect("drain returned an issued copy");
+            }
+            Issue::Idle => unreachable!("immediate returns leave nothing in flight"),
+            Issue::Drained => break,
+        }
+    }
+    outcome.merge(&store.merged_outcome());
+    store.stats()
+}
+
+/// Monte-Carlo wrapper: run `config.campaigns` independent drained serve
+/// sessions of `plan` under the chunked trial driver — same seeds, same
+/// chunking as [`detection_experiment_with`]
+/// (`crate::experiment::detection_experiment_with`), so the aggregate
+/// outcome must match it bit for bit at any shard or thread count.
+pub fn serve_experiment(
+    plan: &RealizedPlan,
+    campaign: &CampaignConfig,
+    serve: &ServeConfig,
+    config: &ExperimentConfig,
+) -> DetectionEstimate {
+    campaign.validate().expect("invalid campaign configuration");
+    serve.validate().expect("invalid serve configuration");
+    let tasks: Vec<TaskSpec> = expand_plan(plan);
+    let trial_cfg = TrialConfig {
+        trials: config.campaigns,
+        chunk_size: config.chunk_size,
+        threads: config.threads,
+        seed: config.seed,
+    };
+    #[derive(Default)]
+    struct ServeAccumulator {
+        outcome: CampaignOutcome,
+    }
+    let acc: ServeAccumulator = run_trials(
+        &trial_cfg,
+        |rng, _i, acc: &mut ServeAccumulator| {
+            drain_session(&tasks, campaign, serve, rng, &mut acc.outcome);
+        },
+        |a, b| a.outcome.merge(&b.outcome),
+    );
+    DetectionEstimate {
+        outcome: acc.outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdversaryModel, CheatStrategy};
+    use crate::engine::{run_campaign_with_scratch, CampaignScratch};
+    use crate::experiment::detection_experiment_with;
+    use crate::supervisor::VerificationPolicy;
+
+    fn campaign() -> CampaignConfig {
+        CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        )
+    }
+
+    fn specs(n: u64) -> Vec<TaskSpec> {
+        expand_plan(&RealizedPlan::balanced(n, 0.5).unwrap())
+    }
+
+    #[test]
+    fn drained_session_is_bit_identical_to_batch_kernel() {
+        let tasks = specs(1_500);
+        let mut configs = vec![campaign()];
+        // Error path (per-task materialization) and Majority judging too.
+        let mut errorful = campaign();
+        errorful.honest_error_rate = 0.02;
+        errorful.policy = VerificationPolicy::Majority;
+        configs.push(errorful);
+        for cfg in configs {
+            for shards in [1usize, 2, 4] {
+                let mut batch_rng = DeterministicRng::new(99);
+                let mut serve_rng = batch_rng.clone();
+                let mut batch_out = CampaignOutcome::default();
+                let mut serve_out = CampaignOutcome::default();
+                let mut scratch = CampaignScratch::new();
+                run_campaign_with_scratch(
+                    &tasks,
+                    &cfg,
+                    &mut batch_rng,
+                    &mut batch_out,
+                    &mut scratch,
+                );
+                drain_session(
+                    &tasks,
+                    &cfg,
+                    &ServeConfig::new(shards),
+                    &mut serve_rng,
+                    &mut serve_out,
+                );
+                assert_eq!(batch_out, serve_out, "outcome diverged at {shards} shards");
+                assert_eq!(
+                    batch_rng, serve_rng,
+                    "RNG stream diverged at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serve_experiment_matches_detection_experiment_bitwise() {
+        let plan = RealizedPlan::balanced(800, 0.5).unwrap();
+        let cfg = ExperimentConfig::new(8, 20_050_926);
+        let baseline = detection_experiment_with(&plan, &campaign(), &cfg);
+        for shards in [1usize, 3] {
+            let est = serve_experiment(&plan, &campaign(), &ServeConfig::new(shards), &cfg);
+            assert_eq!(est.outcome, baseline.outcome, "diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn out_of_order_returns_reach_the_same_outcome() {
+        let tasks = specs(300);
+        let mut batch_rng = DeterministicRng::new(7);
+        let mut serve_rng = batch_rng.clone();
+        let mut batch_out = CampaignOutcome::default();
+        let mut scratch = CampaignScratch::new();
+        run_campaign_with_scratch(
+            &tasks,
+            &campaign(),
+            &mut batch_rng,
+            &mut batch_out,
+            &mut scratch,
+        );
+
+        // Buffer up to 64 assignments, then return them LIFO — a wildly
+        // different interleaving than the sequential drain.
+        let serve = ServeConfig {
+            faults: FaultModel {
+                timeout: 1_000_000,
+                ..FaultModel::none()
+            },
+            ..ServeConfig::new(2)
+        };
+        let mut store = AssignmentStore::new(&tasks, &campaign(), &serve).unwrap();
+        let mut held: Vec<Assignment> = Vec::new();
+        loop {
+            match store.request_work(&mut serve_rng) {
+                Issue::Work(a) => {
+                    held.push(a);
+                    if held.len() == 64 {
+                        while let Some(a) = held.pop() {
+                            store.return_result(a.task, a.copy).unwrap();
+                        }
+                    }
+                }
+                Issue::Idle => {
+                    let a = held.pop().expect("idle with nothing held");
+                    store.return_result(a.task, a.copy).unwrap();
+                }
+                Issue::Drained => break,
+            }
+        }
+        while let Some(a) = held.pop() {
+            store.return_result(a.task, a.copy).unwrap();
+        }
+        // Late returns can leave tasks unjudged only if copies are still
+        // out; here everything was returned.
+        assert!(store.is_drained());
+        store.check_invariants();
+        assert_eq!(store.merged_outcome(), batch_out);
+        assert_eq!(batch_rng, serve_rng);
+    }
+
+    #[test]
+    fn returns_are_validated() {
+        let tasks = specs(100);
+        let mut rng = DeterministicRng::new(1);
+        let mut store = AssignmentStore::new(&tasks, &campaign(), &ServeConfig::new(2)).unwrap();
+        // Nothing issued yet: everything is rejected.
+        assert_eq!(
+            store.return_result(TaskId(0), 0),
+            Err(ServeError::NotInFlight {
+                task: TaskId(0),
+                copy: 0
+            })
+        );
+        assert_eq!(
+            store.return_result(TaskId(999_999), 0),
+            Err(ServeError::UnknownTask(TaskId(999_999)))
+        );
+        let Issue::Work(a) = store.request_work(&mut rng) else {
+            panic!("fresh store must have work");
+        };
+        assert_eq!(
+            store.return_result(a.task, a.multiplicity),
+            Err(ServeError::CopyOutOfRange {
+                task: a.task,
+                copy: a.multiplicity,
+                multiplicity: a.multiplicity
+            })
+        );
+        assert!(store.return_result(a.task, a.copy).is_ok());
+        // Double return is stale.
+        assert_eq!(
+            store.return_result(a.task, a.copy),
+            Err(ServeError::NotInFlight {
+                task: a.task,
+                copy: a.copy
+            })
+        );
+        store.check_invariants();
+    }
+
+    #[test]
+    fn timeouts_requeue_then_abandon_and_conserve_copies() {
+        let tasks = specs(60);
+        let serve = ServeConfig {
+            faults: FaultModel {
+                timeout: 2,
+                max_retries: 1,
+                ..FaultModel::none()
+            },
+            ..ServeConfig::new(3)
+        };
+        let mut rng = DeterministicRng::new(5);
+        let mut store = AssignmentStore::new(&tasks, &campaign(), &serve).unwrap();
+        // Never return anything: every copy must time out, retry once, and
+        // eventually be abandoned; the store still drains (all tasks judged
+        // as unresolved) with every copy accounted for.
+        let mut guard = 0u64;
+        loop {
+            match store.request_work(&mut rng) {
+                Issue::Drained => break,
+                _ => {
+                    guard += 1;
+                    assert!(guard < 1_000_000, "drain did not terminate");
+                }
+            }
+        }
+        store.check_invariants();
+        let stats = store.stats();
+        assert_eq!(stats.completed_tasks, stats.total_tasks);
+        assert_eq!(stats.lost, stats.total_copies);
+        assert_eq!(stats.returned, 0);
+        assert_eq!(stats.unresolved_tasks, stats.total_tasks);
+        // Each copy: first issue + exactly one retry.
+        assert_eq!(stats.issued, 2 * stats.total_copies);
+        assert_eq!(stats.retries, stats.total_copies);
+        assert_eq!(stats.timeouts, 2 * stats.total_copies);
+        let out = store.merged_outcome();
+        assert_eq!(out.unresolved_tasks, stats.total_tasks);
+        assert_eq!(out.lost_assignments, stats.total_copies);
+    }
+
+    #[test]
+    fn late_return_after_loss_is_stale() {
+        let tasks = specs(50);
+        let serve = ServeConfig {
+            faults: FaultModel {
+                timeout: 1,
+                max_retries: 0,
+                ..FaultModel::none()
+            },
+            ..ServeConfig::new(1)
+        };
+        let mut rng = DeterministicRng::new(9);
+        let mut store = AssignmentStore::new(&tasks, &campaign(), &serve).unwrap();
+        let Issue::Work(first) = store.request_work(&mut rng) else {
+            panic!("fresh store must have work");
+        };
+        // The next request pushes the clock to the deadline; with no retry
+        // budget the copy is abandoned, so its late return is stale.
+        let _ = store.request_work(&mut rng);
+        assert_eq!(
+            store.return_result(first.task, first.copy),
+            Err(ServeError::NotInFlight {
+                task: first.task,
+                copy: first.copy
+            })
+        );
+        assert_eq!(store.stats().lost, 1);
+        store.check_invariants();
+    }
+
+    #[test]
+    fn partial_loss_judges_degraded_tuples() {
+        // Lose exactly the adversary-free copies of nothing in particular:
+        // drop every third issued copy and let it be abandoned; judged
+        // tuples shrink, degraded histogram fills, outcome stays conserved.
+        let tasks = specs(200);
+        let serve = ServeConfig {
+            faults: FaultModel {
+                timeout: 3,
+                max_retries: 0,
+                ..FaultModel::none()
+            },
+            ..ServeConfig::new(2)
+        };
+        let mut rng = DeterministicRng::new(17);
+        let mut store = AssignmentStore::new(&tasks, &campaign(), &serve).unwrap();
+        let mut dropped = 0u64;
+        let mut n = 0u64;
+        let mut guard = 0u64;
+        loop {
+            match store.request_work(&mut rng) {
+                Issue::Work(a) => {
+                    n += 1;
+                    if n.is_multiple_of(3) {
+                        dropped += 1;
+                    } else {
+                        store.return_result(a.task, a.copy).unwrap();
+                    }
+                }
+                Issue::Idle => {}
+                Issue::Drained => break,
+            }
+            guard += 1;
+            assert!(guard < 1_000_000, "drain did not terminate");
+        }
+        store.check_invariants();
+        let stats = store.stats();
+        assert_eq!(stats.completed_tasks, stats.total_tasks);
+        assert_eq!(stats.lost, dropped);
+        assert_eq!(stats.returned + stats.lost, stats.total_copies);
+        let out = store.merged_outcome();
+        assert_eq!(out.lost_assignments, dropped);
+        // One degraded record per task that lost at least one copy.
+        assert!(out.degraded.total() > 0);
+    }
+
+    #[test]
+    fn stats_render_is_deterministic_and_checksummed() {
+        let tasks = specs(400);
+        let mut rng = DeterministicRng::new(3);
+        let mut out = CampaignOutcome::default();
+        let a = drain_session(
+            &tasks,
+            &campaign(),
+            &ServeConfig::new(2),
+            &mut rng,
+            &mut out,
+        );
+        let mut rng2 = DeterministicRng::new(3);
+        let mut out2 = CampaignOutcome::default();
+        let b = drain_session(
+            &tasks,
+            &campaign(),
+            &ServeConfig::new(2),
+            &mut rng2,
+            &mut out2,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().contains("checksum 0x"));
+        // A drained clean session realizes exactly the planned factor.
+        let planned = a.total_copies as f64 / a.total_tasks as f64;
+        assert!((a.realized_factor().unwrap() - planned).abs() < 1e-12);
+        assert_eq!(a.detection_rate(), out.overall_detection_rate());
+    }
+
+    #[test]
+    fn empty_workload_drains_immediately() {
+        let mut rng = DeterministicRng::new(1);
+        let mut store = AssignmentStore::new(&[], &campaign(), &ServeConfig::new(4)).unwrap();
+        assert!(store.is_drained());
+        assert_eq!(store.request_work(&mut rng), Issue::Drained);
+        assert_eq!(store.merged_outcome().campaigns, 1);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let tasks = specs(10);
+        assert!(AssignmentStore::new(&tasks, &campaign(), &ServeConfig::new(0)).is_err());
+        let bad_faults = ServeConfig {
+            faults: FaultModel {
+                timeout: 0,
+                ..FaultModel::none()
+            },
+            ..ServeConfig::new(1)
+        };
+        assert!(AssignmentStore::new(&tasks, &campaign(), &bad_faults).is_err());
+        // Discontiguous ids are refused up front.
+        let gap = [
+            TaskSpec {
+                id: TaskId(0),
+                multiplicity: 2,
+                precomputed: false,
+            },
+            TaskSpec {
+                id: TaskId(5),
+                multiplicity: 2,
+                precomputed: false,
+            },
+        ];
+        assert!(AssignmentStore::new(&gap, &campaign(), &ServeConfig::new(1)).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests for the live serve store (proptest).
+//!
+//! The headline property — this PR's correctness spine — is that a
+//! *drained* serve session is bit-identical to the batched campaign
+//! kernel: same outcome counters AND same final RNG state, for random
+//! campaign shapes, at 1, 2, and 4 shards, under arbitrary client
+//! interleavings.  Alongside it: timeouts and re-queues never lose or
+//! duplicate a task copy (conservation of multiplicity).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use redundancy_core::RealizedPlan;
+use redundancy_sim::experiment::detection_experiment_with;
+use redundancy_sim::serve::{Assignment, Issue, ServeConfig};
+use redundancy_sim::{
+    drain_session, run_campaign_with_scratch, serve_experiment, AdversaryModel, AssignmentStore,
+    CampaignConfig, CampaignOutcome, CampaignScratch, CheatStrategy, ExperimentConfig, FaultModel,
+};
+use redundancy_stats::DeterministicRng;
+
+/// Decode drawn scalars into an arbitrary-but-valid campaign shape.
+fn campaign_shape(
+    tasks: u64,
+    eps_pct: u32,
+    p_pct: u32,
+    strategy_ix: u32,
+    majority: bool,
+    err_pct: u32,
+) -> (RealizedPlan, CampaignConfig) {
+    let plan = RealizedPlan::balanced(tasks, f64::from(eps_pct) / 100.0).unwrap();
+    let strategy = match strategy_ix % 4 {
+        0 => CheatStrategy::Never,
+        1 => CheatStrategy::Always,
+        2 => CheatStrategy::ExactTuples { k: 1 },
+        _ => CheatStrategy::AtLeast { min_copies: 1 },
+    };
+    let mut config = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction {
+            p: f64::from(p_pct) / 100.0,
+        },
+        strategy,
+    );
+    if majority {
+        config.policy = redundancy_sim::supervisor::VerificationPolicy::Majority;
+    }
+    config.honest_error_rate = f64::from(err_pct) / 100.0;
+    (plan, config)
+}
+
+/// A serve config whose timeout can never fire within a test run.
+fn patient(shards: usize) -> ServeConfig {
+    ServeConfig {
+        faults: FaultModel {
+            timeout: 1_u64 << 40,
+            ..FaultModel::none()
+        },
+        ..ServeConfig::new(shards)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A drained session equals `run_campaign_with_scratch` bit for bit —
+    /// identical outcome counters and identical final RNG state — at 1, 2,
+    /// and 4 shards, across back-to-back campaigns sharing one RNG stream.
+    #[test]
+    fn drained_session_is_bit_identical_at_1_2_4_shards(
+        tasks in 100u64..2_000,
+        eps_pct in 5u32..95,
+        p_pct in 0u32..60,
+        strategy_ix in 0u32..4,
+        majority_ix in 0u32..2,
+        err_pct in 0u32..5,
+        seed in 0u64..100_000,
+    ) {
+        let (plan, config) =
+            campaign_shape(tasks, eps_pct, p_pct, strategy_ix, majority_ix == 1, err_pct);
+        let specs = redundancy_sim::task::expand_plan(&plan);
+        let mut base_rng = DeterministicRng::new(seed);
+        let mut base_out = CampaignOutcome::default();
+        let mut scratch = CampaignScratch::new();
+        for _ in 0..2 {
+            run_campaign_with_scratch(&specs, &config, &mut base_rng, &mut base_out, &mut scratch);
+        }
+        for shards in [1usize, 2, 4] {
+            let mut serve_rng = DeterministicRng::new(seed);
+            let mut serve_out = CampaignOutcome::default();
+            for _ in 0..2 {
+                drain_session(
+                    &specs,
+                    &config,
+                    &ServeConfig::new(shards),
+                    &mut serve_rng,
+                    &mut serve_out,
+                );
+            }
+            prop_assert_eq!(&base_out, &serve_out, "outcome diverged at {} shards", shards);
+            prop_assert_eq!(&base_rng, &serve_rng, "RNG diverged at {} shards", shards);
+        }
+    }
+
+    /// The same equivalence holds through the threaded Monte-Carlo driver:
+    /// `serve_experiment` equals `detection_experiment_with` bitwise at
+    /// every thread count, and the thread count itself changes nothing.
+    #[test]
+    fn serve_experiment_matches_baseline_at_1_2_4_threads(
+        tasks in 100u64..1_200,
+        eps_pct in 5u32..95,
+        p_pct in 0u32..60,
+        strategy_ix in 0u32..4,
+        campaigns in 1u64..10,
+        seed in 0u64..100_000,
+    ) {
+        let (plan, config) = campaign_shape(tasks, eps_pct, p_pct, strategy_ix, false, 0);
+        for threads in [1usize, 2, 4] {
+            let cfg = ExperimentConfig {
+                campaigns,
+                seed,
+                threads,
+                chunk_size: 2,
+            };
+            let base = detection_experiment_with(&plan, &config, &cfg);
+            let served = serve_experiment(&plan, &config, &ServeConfig::new(2), &cfg);
+            prop_assert_eq!(&base.outcome, &served.outcome, "threads = {}", threads);
+        }
+    }
+
+    /// Interleaving invariance: any client-request permutation that
+    /// respects per-task ordering (copies return only after they are
+    /// issued) reaches the same final store state as the sequential drain —
+    /// same merged outcome, same stats snapshot, same RNG.
+    #[test]
+    fn any_return_interleaving_reaches_the_same_final_state(
+        tasks in 50u64..600,
+        eps_pct in 10u32..90,
+        p_pct in 0u32..50,
+        strategy_ix in 0u32..4,
+        seed in 0u64..100_000,
+        decisions in vec(0u32..1_000_000, 64usize),
+    ) {
+        let (plan, config) = campaign_shape(tasks, eps_pct, p_pct, strategy_ix, false, 0);
+        let specs = redundancy_sim::task::expand_plan(&plan);
+
+        // Reference: the sequential drain.
+        let mut seq_rng = DeterministicRng::new(seed);
+        let mut seq_out = CampaignOutcome::default();
+        let seq_stats = drain_session(&specs, &config, &patient(3), &mut seq_rng, &mut seq_out);
+
+        // Shuffled: buffer assignments and return them in an arbitrary
+        // drawn order, interleaved with further requests.
+        let mut rng = DeterministicRng::new(seed);
+        let mut store = AssignmentStore::new(&specs, &config, &patient(3)).unwrap();
+        let mut held: Vec<Assignment> = Vec::new();
+        let mut step = 0usize;
+        loop {
+            let d = decisions[step % decisions.len()] as usize;
+            step += 1;
+            // Mostly request; sometimes return a random held assignment.
+            let return_now = !held.is_empty() && (d.is_multiple_of(3) || held.len() > 200);
+            if return_now {
+                let a = held.swap_remove(d % held.len());
+                store.return_result(a.task, a.copy).unwrap();
+                continue;
+            }
+            match store.request_work(&mut rng) {
+                Issue::Work(a) => held.push(a),
+                Issue::Idle => {
+                    let a = held.swap_remove(d % held.len());
+                    store.return_result(a.task, a.copy).unwrap();
+                }
+                Issue::Drained => break,
+            }
+        }
+        store.check_invariants();
+        prop_assert!(store.is_drained());
+        prop_assert_eq!(&store.merged_outcome(), &seq_out);
+        prop_assert_eq!(store.stats(), seq_stats);
+        prop_assert_eq!(&rng, &seq_rng);
+    }
+
+    /// Conservation of multiplicity: with an aggressive timeout and clients
+    /// that drop a drawn subset of assignments on the floor, every copy is
+    /// still accounted for — re-queued or abandoned, never lost track of,
+    /// never duplicated — and the store always drains.
+    #[test]
+    fn timeouts_and_requeues_conserve_every_copy(
+        tasks in 20u64..300,
+        eps_pct in 10u32..90,
+        p_pct in 0u32..50,
+        timeout in 1u64..6,
+        max_retries in 0u32..4,
+        seed in 0u64..100_000,
+        drops in vec(0u32..2, 64usize),
+    ) {
+        let (plan, config) = campaign_shape(tasks, eps_pct, p_pct, 1, false, 0);
+        let specs = redundancy_sim::task::expand_plan(&plan);
+        let serve = ServeConfig {
+            faults: FaultModel {
+                timeout,
+                max_retries,
+                ..FaultModel::none()
+            },
+            ..ServeConfig::new(3)
+        };
+        let mut rng = DeterministicRng::new(seed);
+        let mut store = AssignmentStore::new(&specs, &config, &serve).unwrap();
+        let mut dispatched = 0u64;
+        let mut returned = 0u64;
+        let mut guard = 0u64;
+        loop {
+            match store.request_work(&mut rng) {
+                Issue::Work(a) => {
+                    if drops[(dispatched % drops.len() as u64) as usize] == 1 {
+                        // Dropped on the floor: only a timeout can recover it.
+                    } else {
+                        store.return_result(a.task, a.copy).unwrap();
+                        returned += 1;
+                    }
+                    dispatched += 1;
+                }
+                Issue::Idle => {}
+                Issue::Drained => break,
+            }
+            guard += 1;
+            prop_assert!(guard < 5_000_000, "drain did not terminate");
+            if guard.is_multiple_of(512) {
+                store.check_invariants();
+            }
+        }
+        store.check_invariants();
+        let stats = store.stats();
+        prop_assert_eq!(stats.completed_tasks, stats.total_tasks);
+        prop_assert_eq!(stats.returned + stats.lost, stats.total_copies);
+        prop_assert_eq!(stats.returned, returned);
+        prop_assert_eq!(stats.issued, stats.total_copies + stats.retries);
+        prop_assert_eq!(stats.timeouts, stats.retries + stats.lost);
+        prop_assert_eq!(stats.in_flight, 0);
+        prop_assert_eq!(stats.requeued, 0);
+        let out = store.merged_outcome();
+        prop_assert_eq!(out.tasks, stats.total_tasks);
+        prop_assert_eq!(out.lost_assignments, stats.lost);
+    }
+}

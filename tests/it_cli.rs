@@ -68,6 +68,10 @@ fn help_is_always_available() {
     let out4 = cli(&["help", "churn"]).unwrap();
     assert!(out4.contains("--leave-rate"), "{out4}");
     assert!(out4.contains("--soak"), "{out4}");
+    let out5 = cli(&["help", "serve"]).unwrap();
+    assert!(out5.contains("--stdio"), "{out5}");
+    assert!(out5.contains("--shards"), "{out5}");
+    assert!(out5.contains("--clients"), "{out5}");
 }
 
 #[test]
@@ -154,6 +158,79 @@ leave rate  detection            95% CI  realized factor  live workers  reassign
 failures destroy copies and eat into the detection guarantee)
 ";
     assert_eq!(out, expected);
+}
+
+#[test]
+fn serve_drain_snapshot() {
+    // Full-output snapshot: the default mode drains the session in
+    // process and checks the batched-kernel oracle, so the stats dump —
+    // checksum included — is stable byte for byte for a fixed seed.
+    let out = cli(&[
+        "serve",
+        "--tasks",
+        "500",
+        "--epsilon",
+        "0.5",
+        "--proportion",
+        "0.2",
+        "--seed",
+        "3",
+        "--shards",
+        "2",
+    ])
+    .unwrap();
+    let expected = "\
+serve: balanced over 500 tasks, 2 shard(s), adversary share 0.2, seed 3
+timeout 8 ticks, 3 retries per copy
+tasks-total 501
+tasks-activated 501
+tasks-completed 501
+copies-total 704
+issued 704
+returned 704
+in-flight 0
+requeued 0
+lost 0
+timeouts 0
+retries 0
+cheats-attempted 130
+cheats-detected 73
+wrong-accepted 57
+false-flags 0
+unresolved-tasks 0
+detection 0.5615
+realized-factor 1.4052
+checksum 0x4ae1da86d4a8f6ca
+batched-kernel oracle: bit-identical
+";
+    assert_eq!(out, expected);
+}
+
+/// `redundancy serve` flag validation at the process level: a bad shard
+/// count or an out-of-range port exits with code 2 and an error naming
+/// the flag, before any listener is bound or any session is built.
+#[test]
+fn serve_flag_validation_exits_2_naming_the_flag() {
+    for (flag, value) in [("--shards", "0"), ("--port", "70000")] {
+        let path = binary_path("redundancy");
+        assert!(path.exists(), "{} not built", path.display());
+        let out = Command::new(&path)
+            .args(["serve", flag, value])
+            .output()
+            .unwrap_or_else(|e| panic!("spawning redundancy: {e}"));
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "serve {flag} {value} should exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag),
+            "stderr must name the flag {flag}: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "must not print a report");
+    }
 }
 
 #[test]

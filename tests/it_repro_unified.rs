@@ -67,10 +67,11 @@ unified_tests!(
     ext_survival,
     ext_faults,
     ext_churn,
+    ext_serve,
 );
 
 /// The registry, the snapshot harness's exhibit list, and the macro above
-/// must all name the same 12 exhibits in the same order.
+/// must all name the same 13 exhibits in the same order.
 #[test]
 fn registry_matches_the_snapshot_harness() {
     let registry: Vec<&str> = redundancy_repro::registry()

@@ -1,0 +1,166 @@
+//! Protocol-level integration: `redundancy serve` end to end.
+//!
+//! The serve transport is generic over `Read`/`Write`, so one scripted
+//! byte fixture drives every assertion here: the in-memory transport pins
+//! the framed exchange byte for byte, and a spawned
+//! `redundancy serve --stdio` process must emit exactly the same response
+//! bytes for the same input bytes — the wire protocol is the same code
+//! path either way.  Malformed input (truncated prefixes, oversized
+//! payloads, unknown verbs) must answer structured `err` frames and exit
+//! cleanly, never hang or panic.
+
+use redundancy_core::RealizedPlan;
+use redundancy_integration::snapshot::binary_path;
+use redundancy_sim::serve::{
+    decode_frames, script_frames, ServeConfig, ServeSession, SessionEnd, MAX_FRAME,
+};
+use redundancy_sim::task::expand_plan;
+use redundancy_sim::{serve_connection, AdversaryModel, CampaignConfig, CheatStrategy};
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+/// The scripted drain of the 3-task x 2-copy `simple` workload, with the
+/// reply every frame earns.  The multiplicities are fixed by the scheme
+/// and dispatch is task-id ordered, so the exchange is seed-independent
+/// and can be pinned as a constant.
+const SCRIPT: [(&str, &str); 14] = [
+    ("request-work", "work 0 0 2"),
+    ("return-result 0 0", "ok"),
+    ("request-work", "work 0 1 2"),
+    ("return-result 0 1", "ok complete"),
+    ("request-work", "work 1 0 2"),
+    ("return-result 1 0", "ok"),
+    ("request-work", "work 1 1 2"),
+    ("return-result 1 1", "ok complete"),
+    ("request-work", "work 2 0 2"),
+    ("return-result 2 0", "ok"),
+    ("request-work", "work 2 1 2"),
+    ("return-result 2 1", "ok complete"),
+    ("request-work", "drained"),
+    ("shutdown", "bye"),
+];
+
+fn requests() -> Vec<&'static str> {
+    SCRIPT.iter().map(|(req, _)| *req).collect()
+}
+
+fn replies() -> Vec<&'static str> {
+    SCRIPT.iter().map(|(_, reply)| *reply).collect()
+}
+
+/// The session `redundancy serve --scheme simple --tasks 3 --epsilon 0.5
+/// --proportion 0.2 --shards 2` builds (every other flag at its default).
+fn oracle_session() -> ServeSession {
+    let tasks = expand_plan(&RealizedPlan::k_fold(3, 2, 0.5).unwrap());
+    let campaign = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: 0.2 },
+        CheatStrategy::AtLeast { min_copies: 1 },
+    );
+    ServeSession::new(&tasks, &campaign, &ServeConfig::new(2), 20_050_926).unwrap()
+}
+
+/// Spawn `redundancy serve --stdio` on the oracle workload, feed it the
+/// raw `input` bytes, and return its stdout bytes (asserting a clean
+/// exit — malformed input must never crash or hang the process).
+fn run_stdio(input: &[u8]) -> Vec<u8> {
+    let path = binary_path("redundancy");
+    assert!(path.exists(), "{} not built", path.display());
+    let mut child = Command::new(&path)
+        .args([
+            "serve",
+            "--stdio",
+            "--scheme",
+            "simple",
+            "--tasks",
+            "3",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.2",
+            "--shards",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning redundancy serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin is piped")
+        .write_all(input)
+        .expect("writing the script");
+    let out = child.wait_with_output().expect("collecting serve output");
+    assert!(
+        out.status.success(),
+        "serve exited with {}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn in_memory_scripted_fixture_is_byte_exact() {
+    let mut session = oracle_session();
+    let mut input: &[u8] = &script_frames(&requests())[..];
+    let mut output = Vec::new();
+    let end = serve_connection(&mut input, &mut output, |req| session.handle(req)).unwrap();
+    assert_eq!(end, SessionEnd::Shutdown);
+    assert_eq!(decode_frames(&output), replies());
+    // Not just the payloads: the response byte stream is exactly the
+    // replies re-framed by the same encoder.
+    assert_eq!(output, script_frames(&replies()));
+    assert!(session.store.is_drained());
+}
+
+#[test]
+fn stdio_process_is_byte_identical_to_the_in_memory_transport() {
+    let stdout = run_stdio(&script_frames(&requests()));
+    assert_eq!(
+        stdout,
+        script_frames(&replies()),
+        "process replies decoded: {:?}",
+        decode_frames(&stdout)
+    );
+}
+
+#[test]
+fn stdio_truncated_prefix_answers_a_structured_err_and_exits() {
+    // Two bytes of a four-byte length prefix, then EOF.
+    let stdout = run_stdio(&[0x00, 0x01]);
+    assert_eq!(stdout, script_frames(&["err truncated-frame"]));
+}
+
+#[test]
+fn stdio_truncated_payload_answers_a_structured_err_and_exits() {
+    // A prefix promising five bytes, delivering two.
+    let stdout = run_stdio(&[0x00, 0x00, 0x00, 0x05, b'h', b'i']);
+    assert_eq!(stdout, script_frames(&["err truncated-frame"]));
+}
+
+#[test]
+fn stdio_oversize_payload_answers_a_structured_err_and_exits() {
+    let len = (MAX_FRAME as u32) + 1;
+    let stdout = run_stdio(&len.to_be_bytes());
+    let expected = format!("err oversize-frame {len} exceeds {MAX_FRAME}");
+    assert_eq!(stdout, script_frames(&[expected.as_str()]));
+}
+
+#[test]
+fn stdio_unknown_verb_answers_err_and_the_session_continues() {
+    let stdout = run_stdio(&script_frames(&["frobnicate 7", "shutdown"]));
+    assert_eq!(
+        stdout,
+        script_frames(&["err unknown-verb frobnicate", "bye"])
+    );
+}
+
+#[test]
+fn stdio_clean_eof_ends_the_session_silently_after_serving() {
+    // No shutdown frame: the client hangs up after one request.  The
+    // process must answer the request, then exit cleanly on EOF.
+    let stdout = run_stdio(&script_frames(&["request-work"]));
+    assert_eq!(stdout, script_frames(&["work 0 0 2"]));
+}

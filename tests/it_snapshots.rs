@@ -28,15 +28,16 @@ snapshot_tests!(
     ext_survival,
     ext_faults,
     ext_churn,
+    ext_serve,
 );
 
 /// The macro above must cover exactly the canonical exhibit list.
 #[test]
 fn all_exhibits_have_a_snapshot_test() {
-    assert_eq!(redundancy_integration::snapshot::EXHIBITS.len(), 12);
+    assert_eq!(redundancy_integration::snapshot::EXHIBITS.len(), 13);
 }
 
-/// The 13th snapshot: the `redundancy repro --list` registry index.
+/// The 14th snapshot: the `redundancy repro --list` registry index.
 /// Pinning it means the exhibit catalogue (names, paper references,
 /// summaries) cannot drift from what the docs describe without a visible
 /// snapshot diff.

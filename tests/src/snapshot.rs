@@ -22,7 +22,7 @@ use std::process::Command;
 
 /// Every repro exhibit, one binary per table/figure of the paper plus the
 /// workspace's own extensions.
-pub const EXHIBITS: [&str; 12] = [
+pub const EXHIBITS: [&str; 13] = [
     "fig1_detection_vs_p",
     "fig2_minimizing_table",
     "fig3_redundancy_factors",
@@ -35,6 +35,7 @@ pub const EXHIBITS: [&str; 12] = [
     "ext_survival",
     "ext_faults",
     "ext_churn",
+    "ext_serve",
 ];
 
 /// Decide whether a mismatch should rewrite the snapshot instead of
