@@ -94,6 +94,7 @@ fn bench_run_trials_scaling(c: &mut Criterion) {
                     chunk_size: TrialConfig::CAMPAIGN_CHUNK_SIZE,
                     threads,
                     seed: 9,
+                    sampler: Default::default(),
                 };
                 b.iter(|| {
                     let acc: CampaignAccumulator = run_trials(
@@ -139,6 +140,7 @@ fn bench_sweep_scaling(c: &mut Criterion) {
                         chunk_size: TrialConfig::CAMPAIGN_CHUNK_SIZE,
                         threads: 1,
                         seed: 9 + idx as u64,
+                        sampler: Default::default(),
                     };
                     let acc: CampaignAccumulator = run_trials(
                         &trial_cfg,

@@ -5,6 +5,7 @@
 //! silently ignored — because a supervisor mistyping `--epsilon` should
 //! not deploy an unprotected computation.
 
+use redundancy_stats::SamplerMode;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -97,6 +98,8 @@ pub enum Command {
         chunk_size: u64,
         /// Worker threads for the parallel runner (0 = auto).
         threads: usize,
+        /// Sampling backend: bit-compat (snapshot-exact) or fast (alias).
+        sampler: SamplerMode,
     },
     /// `redundancy solve-sm`
     SolveSm {
@@ -229,6 +232,8 @@ pub enum Command {
         threads: usize,
         /// Chunk size for the `run_trials` scaling fixtures.
         chunk_size: u64,
+        /// Override every fixture's repetition count (must be positive).
+        reps: Option<u64>,
     },
     /// `redundancy repro`
     Repro {
@@ -557,6 +562,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     "--seed",
                     "--chunk-size",
                     "--threads",
+                    "--sampler",
                 ],
             )?;
             Ok(Command::Simulate {
@@ -572,6 +578,11 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 seed: f.or_default("--seed", "a 64-bit integer", 20_050_926)?,
                 chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
                 threads: f.or_default("--threads", "a thread count (0 = auto)", 0)?,
+                sampler: f.or_default(
+                    "--sampler",
+                    "`bit-compat` or `fast`",
+                    SamplerMode::default(),
+                )?,
             })
         }
         "solve-sm" => {
@@ -828,6 +839,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     "--baseline",
                     "--threads",
                     "--chunk-size",
+                    "--reps",
                 ],
             )?;
             Ok(Command::Bench {
@@ -839,6 +851,10 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 baseline: f.optional("--baseline", "a file path")?,
                 threads: f.or_default("--threads", "a thread count (0 = full ladder)", 0)?,
                 chunk_size: f.or_default("--chunk-size", "a positive integer", 4)?,
+                reps: f
+                    .optional("--reps", "a positive repetition count")?
+                    .map(|r| check_nonzero("--reps", r, "a positive repetition count"))
+                    .transpose()?,
             })
         }
         "repro" => {
@@ -1434,6 +1450,7 @@ mod tests {
                 baseline: None,
                 threads: 0,
                 chunk_size: 4,
+                reps: None,
             }
         );
         let cmd = parse_args(&argv(&[
@@ -1449,6 +1466,8 @@ mod tests {
             "2",
             "--chunk-size",
             "8",
+            "--reps",
+            "3",
         ]))
         .unwrap();
         assert_eq!(
@@ -1460,12 +1479,53 @@ mod tests {
                 baseline: Some("BENCH_baseline.json".into()),
                 threads: 2,
                 chunk_size: 8,
+                reps: Some(3),
             }
         );
         assert!(matches!(
             parse_args(&argv(&["bench", "--iterations", "3"])),
             Err(ArgError::UnknownFlag { .. })
         ));
+        // --reps 0 is rejected at parse time, naming the flag (exit 2).
+        match parse_args(&argv(&["bench", "--reps", "0"])) {
+            Err(ArgError::BadValue { flag, .. }) => assert_eq!(flag, "--reps"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampler_flag_parses_and_rejects_unknown_modes() {
+        let cmd = parse_args(&argv(&["simulate", "--tasks", "10", "--epsilon", "0.5"])).unwrap();
+        match cmd {
+            Command::Simulate { sampler, .. } => assert_eq!(sampler, SamplerMode::BitCompat),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&argv(&[
+            "simulate",
+            "--tasks",
+            "10",
+            "--epsilon",
+            "0.5",
+            "--sampler",
+            "fast",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate { sampler, .. } => assert_eq!(sampler, SamplerMode::Fast),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv(&[
+            "simulate",
+            "--tasks",
+            "10",
+            "--epsilon",
+            "0.5",
+            "--sampler",
+            "turbo",
+        ])) {
+            Err(ArgError::BadValue { flag, .. }) => assert_eq!(flag, "--sampler"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

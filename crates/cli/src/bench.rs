@@ -25,7 +25,8 @@ use redundancy_sim::{
 };
 use redundancy_stats::table::{fnum, inum, Table};
 use redundancy_stats::{
-    parallel_sweep, run_trials, sample_binomial, BinomialCache, DeterministicRng, TrialConfig,
+    parallel_sweep, run_trials, sample_binomial, BinomialCache, DeterministicRng, SamplerMode,
+    TrialConfig,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -124,6 +125,19 @@ impl Sizes {
             }
         }
     }
+
+    /// Force every fixture to `reps` repetitions (the `--reps` override);
+    /// sizes are untouched, so medians stay comparable to un-overridden
+    /// runs of the same mode — they are just noisier.
+    fn override_reps(&mut self, reps: u64) {
+        self.campaign_reps = reps;
+        self.sampler_reps = reps;
+        self.trials_reps = reps;
+        self.sweep_reps = reps;
+        self.lp_reps = reps;
+        self.churn_reps = reps;
+        self.serve_reps = reps;
+    }
 }
 
 /// Run `f` `reps` times; return the median wall time and the folded
@@ -190,8 +204,12 @@ fn run_fixtures(
     seed: u64,
     threads_cap: usize,
     chunk_size: u64,
+    reps_override: Option<u64>,
 ) -> Result<Vec<BenchRecord>, CliError> {
-    let sizes = Sizes::for_mode(smoke);
+    let mut sizes = Sizes::for_mode(smoke);
+    if let Some(reps) = reps_override {
+        sizes.override_reps(reps);
+    }
     let cfg = fig1_config();
     let mut records = Vec::new();
 
@@ -205,6 +223,25 @@ fn run_fixtures(
         let mut scratch = CampaignScratch::new();
         records.push(record(
             "campaign_batched",
+            sizes.campaign_reps,
+            sizes.campaign_tasks,
+            assignments,
+            measure(sizes.campaign_reps, || {
+                let mut out = CampaignOutcome::default();
+                run_campaign_with_scratch(&tasks, &cfg, &mut rng, &mut out, &mut scratch);
+                out.total_detected()
+            }),
+        ));
+    }
+    // The same campaigns drawn through the fast-mode alias tables with the
+    // SoA tally: not RNG-stream-compatible with campaign_batched, but its
+    // checksum is the fast path's pinned determinism fingerprint — CI
+    // asserts it is identical across runs and thread counts.
+    {
+        let mut rng = DeterministicRng::new(seed);
+        let mut scratch = CampaignScratch::new().with_sampler_mode(SamplerMode::Fast);
+        records.push(record(
+            "campaign_fast",
             sizes.campaign_reps,
             sizes.campaign_tasks,
             assignments,
@@ -266,6 +303,30 @@ fn run_fixtures(
             }),
         ));
     }
+    // The O(1) alias table on the same (n, p), drawn through the hoisted
+    // handle exactly like the fast campaign kernel's inner loop.
+    {
+        let mut rng = DeterministicRng::new(seed);
+        let mut cache = BinomialCache::default();
+        let id = cache.prepare_mode(12, 0.1, SamplerMode::Fast);
+        let table = cache
+            .prepared(id)
+            .as_alias()
+            .expect("(12, 0.1) fits an alias table");
+        records.push(record(
+            "sampler_alias",
+            sizes.sampler_reps,
+            sizes.sampler_draws,
+            0,
+            measure(sizes.sampler_reps, || {
+                let mut acc = 0u64;
+                for _ in 0..sizes.sampler_draws {
+                    acc = acc.wrapping_add(table.sample(&mut rng));
+                }
+                acc
+            }),
+        ));
+    }
 
     // Monte-Carlo driver scaling: identical work at 1, 2, and 4 threads
     // (the outcome is thread-count invariant, so the checksums agree).
@@ -278,6 +339,7 @@ fn run_fixtures(
             chunk_size,
             threads,
             seed,
+            sampler: Default::default(),
         };
         records.push(record(
             &format!("run_trials_t{threads}"),
@@ -333,6 +395,7 @@ fn run_fixtures(
                             chunk_size,
                             threads: 1,
                             seed: seed.wrapping_add(idx as u64),
+                            sampler: Default::default(),
                         };
                         let acc: CampaignAccumulator = run_trials(
                             &trial_cfg,
@@ -388,19 +451,27 @@ fn run_fixtures(
         let drain = |tasks: &[redundancy_sim::task::TaskSpec]| -> ServeStats {
             let mut session = ServeSession::new(tasks, &cfg, &ServeConfig::new(2), seed)
                 .expect("pinned serve fixture is valid");
+            // One request buffer on the client side plus the session's own
+            // reply buffer: the steady-state drain allocates nothing per
+            // frame, so the fixture measures the protocol loop itself.
+            let mut req = String::new();
             loop {
-                let reply = session.handle("request-work").text;
+                let (reply, _) = session.handle_buffered("request-work");
                 if reply == "drained" {
                     break;
                 }
                 let mut parts = reply.split_whitespace();
-                let (Some("work"), Some(task), Some(copy)) =
-                    (parts.next(), parts.next(), parts.next())
-                else {
+                let (Some("work"), Some(task), Some(copy)) = (
+                    parts.next(),
+                    parts.next().and_then(|t| t.parse::<u64>().ok()),
+                    parts.next().and_then(|c| c.parse::<u32>().ok()),
+                ) else {
                     unreachable!("single-client drain only sees work frames: {reply}");
                 };
-                let ack = session.handle(&format!("return-result {task} {copy}"));
-                debug_assert!(ack.text.starts_with("ok"), "{}", ack.text);
+                req.clear();
+                let _ = write!(req, "return-result {task} {copy}");
+                let (ack, _) = session.handle_buffered(&req);
+                debug_assert!(ack.starts_with("ok"), "{ack}");
             }
             session.store.stats()
         };
@@ -559,8 +630,9 @@ pub fn bench(
     baseline: Option<&str>,
     threads: usize,
     chunk_size: u64,
+    reps: Option<u64>,
 ) -> Result<String, CliError> {
-    let records = run_fixtures(smoke, seed, threads, chunk_size)?;
+    let records = run_fixtures(smoke, seed, threads, chunk_size, reps)?;
     let body = redundancy_json::to_string_pretty(&report_json(smoke, seed, &records));
     std::fs::write(out, &body).map_err(|e| CliError::Io(e.to_string()))?;
 
@@ -717,7 +789,7 @@ mod tests {
     fn smoke_bench_writes_valid_report() {
         let path = std::env::temp_dir().join("cli_bench_smoke_test.json");
         let p = path.to_string_lossy().into_owned();
-        let text = bench(true, 7, &p, None, 0, 4).unwrap();
+        let text = bench(true, 7, &p, None, 0, 4, None).unwrap();
         assert!(text.contains("campaign_batched"), "{text}");
         assert!(text.contains("report written"), "{text}");
         assert!(text.contains("thread scaling: speedup_t2"), "{text}");
@@ -733,9 +805,11 @@ mod tests {
             .collect();
         for expected in [
             "campaign_batched",
+            "campaign_fast",
             "campaign_reference",
             "sampler_binomial_cached",
             "sampler_binomial_walk",
+            "sampler_alias",
             "run_trials_t1",
             "run_trials_t2",
             "run_trials_t4",
@@ -765,7 +839,7 @@ mod tests {
             assert_eq!(b.field_str("checksum").unwrap().len(), 16, "{b:?}");
         }
         // Gating a report against itself always passes.
-        let text2 = bench(true, 7, &p, Some(&p), 0, 4).unwrap();
+        let text2 = bench(true, 7, &p, Some(&p), 0, 4, None).unwrap();
         assert!(text2.contains("baseline gate: ok"), "{text2}");
         let _ = std::fs::remove_file(&path);
     }
@@ -775,7 +849,7 @@ mod tests {
         assert_eq!(thread_ladder(0), vec![1, 2, 4]);
         assert_eq!(thread_ladder(2), vec![1, 2]);
         assert_eq!(thread_ladder(1), vec![1]);
-        let records = run_fixtures(true, 7, 1, 4).unwrap();
+        let records = run_fixtures(true, 7, 1, 4, None).unwrap();
         let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"run_trials_t1"), "{names:?}");
         assert!(!names.contains(&"run_trials_t2"), "{names:?}");
@@ -787,13 +861,21 @@ mod tests {
 
     #[test]
     fn bench_checksums_are_deterministic_for_a_seed() {
-        let a = run_fixtures(true, 11, 0, 4).unwrap();
-        let b = run_fixtures(true, 11, 0, 4).unwrap();
+        let a = run_fixtures(true, 11, 0, 4, None).unwrap();
+        let b = run_fixtures(true, 11, 0, 4, None).unwrap();
         let sums = |rs: &[BenchRecord]| {
             rs.iter()
                 .map(|r| (r.name.clone(), r.checksum))
                 .collect::<Vec<_>>()
         };
         assert_eq!(sums(&a), sums(&b));
+    }
+
+    #[test]
+    fn reps_override_applies_to_every_fixture() {
+        let records = run_fixtures(true, 7, 1, 4, Some(1)).unwrap();
+        for r in &records {
+            assert_eq!(r.reps, 1, "{} kept its default reps", r.name);
+        }
     }
 }

@@ -15,7 +15,9 @@ use redundancy_sim::{
     ServeSession, ServeStats,
 };
 use redundancy_stats::table::{fnum, inum, Table};
-use redundancy_stats::{parallel_sweep, sweep_thread_split, DeterministicRng, TrialConfig};
+use redundancy_stats::{
+    parallel_sweep, sweep_thread_split, DeterministicRng, SamplerMode, TrialConfig,
+};
 use std::fmt::Write as _;
 
 /// Errors surfaced to the user.
@@ -126,6 +128,7 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             seed,
             chunk_size,
             threads,
+            sampler,
         } => simulate(
             *scheme,
             *tasks,
@@ -135,6 +138,7 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             *seed,
             *chunk_size,
             *threads,
+            *sampler,
         ),
         Command::SolveSm {
             tasks,
@@ -251,6 +255,7 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             baseline,
             threads,
             chunk_size,
+            reps,
         } => {
             check_trial_config(1, *seed, *chunk_size, *threads)?;
             crate::bench::bench(
@@ -260,6 +265,7 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
                 baseline.as_deref(),
                 *threads,
                 *chunk_size,
+                *reps,
             )
         }
         Command::Repro {
@@ -375,6 +381,7 @@ fn check_trial_config(
         chunk_size,
         threads,
         seed,
+        sampler: Default::default(),
     }
     .validate()
     .map_err(|e| CliError::Invalid(format!("--{}: {e}", e.field.replace('_', "-"))))
@@ -407,13 +414,16 @@ Picks the cheapest scheme meeting the requirements and explains why.
         Some("simulate") => "\
 redundancy simulate --tasks <N> --epsilon <E> [--scheme S] [--proportion P]
                     [--campaigns C] [--seed SEED] [--chunk-size K]
-                    [--threads T]
+                    [--threads T] [--sampler bit-compat|fast]
 
 Runs full Monte-Carlo campaigns (assignment, collusion, verification) and
 reports empirical detection rates with Wilson 95% intervals.  --chunk-size
 sets how many campaigns share one derived RNG seed (must be positive);
 --threads pins the worker count (0 = auto).  Results are identical for any
-thread count at a fixed chunk size.
+thread count at a fixed chunk size.  --sampler picks the draw backend:
+bit-compat (default) replays the snapshot-exact inversion walk; fast swaps
+in O(1) Walker alias tables — same distributions and determinism, but a
+different RNG stream, so rates match statistically rather than bit for bit.
 "
         .into(),
         Some("faults") => "\
@@ -501,19 +511,21 @@ Figure 2 setting (N = 100,000, eps = 0.5).
         .into(),
         Some("bench") => "\
 redundancy bench [--smoke] [--seed SEED] [--out PATH] [--baseline PATH]
-                 [--threads T] [--chunk-size K]
+                 [--threads T] [--chunk-size K] [--reps N]
 
-Runs the pinned performance fixtures (batched campaign kernel vs the frozen
-reference loop, cached vs walking samplers, run_trials thread scaling, a
-parallel sweep, a discrete-event churn soak, an S_m LP sweep) and writes a
+Runs the pinned performance fixtures (batched and alias-table campaign
+kernels vs the frozen reference loop, cached/walking/alias samplers,
+run_trials thread scaling, a parallel sweep, a discrete-event churn soak,
+the live-serve protocol loop, an S_m LP sweep) and writes a
 `redundancy-bench/v1` JSON
 report (default BENCH_report.json) with per-fixture median wall time,
 tasks/sec, assignments/sec, and a determinism checksum, plus top-level
 speedup_t2/speedup_t4 parallel-efficiency fields.  --threads caps the
 scaling ladder (0 = the full 1/2/4); --chunk-size sets the run_trials
-fixtures' chunk size.  --smoke shrinks the fixtures for CI; --baseline
-compares medians against a previous report and exits with code 2 if any
-fixture regressed beyond 2x.
+fixtures' chunk size; --reps N overrides every fixture's repetition count
+(must be positive — useful for quick one-rep sanity passes).  --smoke
+shrinks the fixtures for CI; --baseline compares medians against a
+previous report and exits with code 2 if any fixture regressed beyond 2x.
 "
         .into(),
         Some("repro") => "\
@@ -678,12 +690,14 @@ fn simulate(
     seed: u64,
     chunk_size: u64,
     threads: usize,
+    sampler: SamplerMode,
 ) -> Result<String, CliError> {
     check_trial_config(campaigns, seed, chunk_size, threads)?;
     let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
     let config = ExperimentConfig {
         chunk_size,
         threads,
+        sampler,
         ..ExperimentConfig::new(campaigns, seed)
     };
     let est = detection_experiment(
@@ -700,6 +714,14 @@ fn simulate(
         plan.scheme(),
         inum(tasks)
     );
+    if sampler == SamplerMode::Fast {
+        // Only the non-default mode announces itself, so bit-compat output
+        // stays byte-stable for scripts diffing against old runs.
+        let _ = writeln!(
+            out,
+            "sampler: fast (alias method; same distributions, different RNG stream)"
+        );
+    }
     let mut table = Table::new(&["k", "attacks", "detected", "rate", "95% CI"]);
     table.numeric();
     let mut any = false;

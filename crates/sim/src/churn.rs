@@ -667,6 +667,9 @@ pub fn churn_experiment(
         chunk_size: config.chunk_size,
         threads: config.threads,
         seed: config.seed,
+        // The zero-churn oracle pins bit-identity with the batch kernel,
+        // so churn campaigns always draw bit-compat.
+        sampler: Default::default(),
     };
     #[derive(Default)]
     struct ChurnAccumulator {
@@ -935,6 +938,7 @@ mod tests {
                 seed: 31,
                 threads,
                 chunk_size: 2,
+                sampler: Default::default(),
             };
             churn_experiment(&plan, &test_config(), &churn, &cfg).outcome
         };

@@ -34,7 +34,9 @@ use crate::task::{
     colluded_wrong_result, correct_result, faulty_result, grouped_specs, ResultValue, TaskId,
     TaskSpec,
 };
-use redundancy_stats::{BinomialCache, DeterministicRng, HypergeometricCache, PreparedSampler};
+use redundancy_stats::{
+    BinomialCache, DeterministicRng, HypergeometricCache, PreparedSampler, SamplerMode,
+};
 
 /// Everything a campaign needs besides its task list and RNG.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,18 +88,143 @@ pub struct CampaignScratch {
     held_counts: Vec<u64>,
     binomial: BinomialCache,
     hypergeometric: HypergeometricCache,
+    tally: TallyLanes,
+    mode: SamplerMode,
 }
 
 impl CampaignScratch {
-    /// Fresh scratch with empty buffers and caches.
+    /// Fresh scratch with empty buffers and caches, drawing in the default
+    /// [`SamplerMode::BitCompat`] mode.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set which sampler strategy subsequent campaigns draw holdings with.
+    ///
+    /// Switching modes never invalidates anything: both modes' plans live
+    /// side by side in the caches, and the tally lanes are mode-agnostic.
+    pub fn set_sampler_mode(&mut self, mode: SamplerMode) {
+        self.mode = mode;
+    }
+
+    /// Builder form of [`set_sampler_mode`](Self::set_sampler_mode).
+    pub fn with_sampler_mode(mut self, mode: SamplerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The mode campaigns on this scratch currently draw with.
+    pub fn sampler_mode(&self) -> SamplerMode {
+        self.mode
     }
 
     /// Distinct `(binomial, hypergeometric)` parameter sets cached so far —
     /// a handful per plan shape (Balanced: head, tail, ringers).
     pub fn cached_parameter_sets(&self) -> (usize, usize) {
         (self.binomial.len(), self.hypergeometric.len())
+    }
+}
+
+/// Struct-of-arrays tally state for the closed-form errorless path.
+///
+/// Four parallel `u64` lanes indexed by holdings bin — raw holdings,
+/// cheats attempted, cheats detected, wrong results accepted — plus the
+/// per-group 0/1 verdict masks that feed them.  The per-task loop only
+/// bins draws; the verdict fold is then a branch-free multiply-accumulate
+/// over whole lanes (`lane[k] += count[k] * mask[k]`), which is the shape
+/// the autovectorizer wants.  Lanes accumulate across a campaign's spec
+/// groups and drain into the [`CampaignOutcome`] once per campaign, and
+/// because every counter is a commutative sum the drained outcome is
+/// identical — vector lengths included — to the reference's per-task
+/// record order.
+#[derive(Debug, Clone, Default)]
+struct TallyLanes {
+    mask_attempted: Vec<u64>,
+    mask_detected: Vec<u64>,
+    mask_wrong: Vec<u64>,
+    holdings: Vec<u64>,
+    attempted: Vec<u64>,
+    detected: Vec<u64>,
+    wrong: Vec<u64>,
+}
+
+impl TallyLanes {
+    /// Start a fresh campaign: empty lanes (they regrow per group).
+    fn reset(&mut self) {
+        self.holdings.clear();
+        self.attempted.clear();
+        self.detected.clear();
+        self.wrong.clear();
+    }
+
+    /// Grow the accumulation lanes to at least `bins` entries, preserving
+    /// the counts already folded from earlier groups.
+    fn grow(&mut self, bins: usize) {
+        if self.holdings.len() < bins {
+            self.holdings.resize(bins, 0);
+            self.attempted.resize(bins, 0);
+            self.detected.resize(bins, 0);
+            self.wrong.resize(bins, 0);
+        }
+    }
+
+    /// Recompute the 0/1 verdict masks for one spec group: closed-form
+    /// `Supervisor::verify` outcomes as a function of the holdings bin.
+    fn set_masks(
+        &mut self,
+        mult: u64,
+        precomputed: bool,
+        strategy: &CheatStrategy,
+        majority: bool,
+    ) {
+        let bins = mult as usize + 1;
+        self.mask_attempted.resize(bins, 0);
+        self.mask_detected.resize(bins, 0);
+        self.mask_wrong.resize(bins, 0);
+        for k in 0..bins {
+            let full = k as u64 == mult;
+            // Any wrong copy in a precomputed (ringer/verified) tuple is
+            // caught; otherwise only a mixed tuple disagrees and flags.
+            let flagged = precomputed || !full;
+            // An un-ringered full-control tuple is accepted unanimously;
+            // under Majority a colluding strict majority is accepted too.
+            let wrong = !precomputed && (full || (majority && 2 * k as u64 > mult));
+            let cheats = u64::from(strategy.cheats_on(k as u32));
+            self.mask_attempted[k] = cheats;
+            self.mask_detected[k] = cheats & u64::from(flagged);
+            self.mask_wrong[k] = cheats & u64::from(wrong);
+        }
+    }
+
+    /// Branch-free fold of one group's binned draws through the masks.
+    fn accumulate(&mut self, held_counts: &[u64]) {
+        let bins = held_counts.len();
+        self.grow(bins);
+        for (k, &count) in held_counts.iter().enumerate() {
+            self.holdings[k] += count;
+            self.attempted[k] += count * self.mask_attempted[k];
+            self.detected[k] += count * self.mask_detected[k];
+            self.wrong[k] += count * self.mask_wrong[k];
+        }
+    }
+
+    /// Drain the lanes into the outcome, recording only populated bins so
+    /// vector lengths match the reference's record order exactly.
+    fn drain_into(&mut self, outcome: &mut CampaignOutcome) {
+        for k in 0..self.holdings.len() {
+            let held = self.holdings[k];
+            if held > 0 {
+                outcome.holdings.record_n(k, held);
+            }
+            let attempted = self.attempted[k];
+            if attempted > 0 {
+                let detected = self.detected[k];
+                outcome.record_cheat_n(k, true, detected);
+                outcome.record_cheat_n(k, false, attempted - detected);
+            }
+            outcome.wrong_accepted += self.wrong[k];
+        }
+        self.reset();
     }
 }
 
@@ -137,15 +264,21 @@ pub(crate) fn prepare_holdings<'a>(
     mult: u64,
     binomial: &'a mut BinomialCache,
     hypergeometric: &'a mut HypergeometricCache,
+    mode: SamplerMode,
 ) -> PreparedSampler<'a> {
     match config.adversary {
         AdversaryModel::AssignmentFraction { p } => {
-            let id = binomial.prepare(mult, p);
+            let id = binomial.prepare_mode(mult, p, mode);
             binomial.prepared(id)
         }
         AdversaryModel::SybilAccounts { total, adversary } => {
             // Copies of one task go to distinct accounts.
-            let id = hypergeometric.prepare(total as u64, adversary as u64, mult.min(total as u64));
+            let id = hypergeometric.prepare_mode(
+                total as u64,
+                adversary as u64,
+                mult.min(total as u64),
+                mode,
+            );
             hypergeometric.prepared(id)
         }
     }
@@ -195,9 +328,14 @@ pub fn run_campaign(
 /// [`run_campaign`] with caller-owned scratch: zero steady-state allocation
 /// and sampler tables shared across campaigns.
 ///
-/// Bit-for-bit identical to [`reference::run_campaign`] — same draws, same
-/// tallies — for every configuration; the differential tests and the golden
-/// snapshots enforce this.
+/// In the default [`SamplerMode::BitCompat`] this is bit-for-bit identical
+/// to [`reference::run_campaign`] — same draws, same tallies — for every
+/// configuration; the differential tests and the golden snapshots enforce
+/// this.  With the scratch switched to [`SamplerMode::Fast`] the holdings
+/// draws go through the O(1) alias tables instead: the same laws (and the
+/// exact same closed-form tallies per drawn value), but a different RNG
+/// stream, pinned by fast-mode determinism checksums rather than the
+/// snapshots.
 pub fn run_campaign_with_scratch(
     tasks: &[TaskSpec],
     config: &CampaignConfig,
@@ -221,50 +359,39 @@ pub fn run_campaign_with_scratch(
         held_counts,
         binomial,
         hypergeometric,
+        tally,
+        mode,
     } = scratch;
+    let mode = *mode;
+    if errorless {
+        tally.reset();
+    }
     for group in grouped_specs(tasks) {
         let mult = group.multiplicity as u64;
         outcome.tasks += group.count;
         outcome.assignments += group.count * mult;
-        let sampler = prepare_holdings(config, mult, binomial, hypergeometric);
+        let sampler = prepare_holdings(config, mult, binomial, hypergeometric, mode);
         if errorless {
             // Every per-task tally is a pure function of `held` and the
             // group constants, and all outcome counters are commutative
-            // sums — so the hot loop only bins the draws, and the tallies
-            // fold in per bin afterwards.
+            // sums — so the hot loop only bins the draws, and the verdict
+            // fold is a branch-free lane MAC over the binned counts.
             held_counts.clear();
             held_counts.resize(mult as usize + 1, 0);
-            for _ in 0..group.count {
-                held_counts[sampler.sample(rng) as usize] += 1;
-            }
-            for (held, &count) in held_counts.iter().enumerate() {
-                if count == 0 {
-                    continue;
-                }
-                outcome.holdings.record_n(held, count);
-                if !config.strategy.cheats_on(held as u32) {
-                    // All copies correct: never flagged, nothing recorded.
-                    continue;
-                }
-                if group.precomputed {
-                    // Ringer/verified: any wrong copy is caught, and the
-                    // precomputed (correct) answer is what gets recorded.
-                    outcome.record_cheat_n(held, true, count);
-                } else if held as u64 == mult {
-                    // Full control: unanimous wrong value — accepted, never
-                    // flagged.  The paper's motivating failure.
-                    outcome.record_cheat_n(held, false, count);
-                    outcome.wrong_accepted += count;
-                } else {
-                    // Mixed tuple: disagreement always flags; a colluding
-                    // strict majority still gets its value recorded under
-                    // the Majority policy (ties record nothing).
-                    outcome.record_cheat_n(held, true, count);
-                    if majority && 2 * held as u64 > mult {
-                        outcome.wrong_accepted += count;
-                    }
+            if let Some(table) = sampler.as_alias() {
+                // Fast mode: the verdict fold only consumes the *binned*
+                // draws, and the histogram of `count` iid draws is a
+                // multinomial over the support — so sample it directly,
+                // one conditional binomial per holdings bin instead of
+                // one uniform per task.  Same law, group-sized cost.
+                table.multinomial_into(group.count, rng, held_counts);
+            } else {
+                for _ in 0..group.count {
+                    held_counts[sampler.sample(rng) as usize] += 1;
                 }
             }
+            tally.set_masks(mult, group.precomputed, &config.strategy, majority);
+            tally.accumulate(held_counts);
             continue;
         }
         for i in 0..group.count {
@@ -295,6 +422,9 @@ pub fn run_campaign_with_scratch(
             }
             judge_task(&supervisor, &task, results, held, cheats, wrong, outcome);
         }
+    }
+    if errorless {
+        tally.drain_into(outcome);
     }
 }
 
@@ -360,13 +490,15 @@ pub fn run_campaign_with_faults_scratch(
         results,
         binomial,
         hypergeometric,
+        mode,
         ..
     } = scratch;
+    let mode = *mode;
     for group in grouped_specs(tasks) {
         let mult = group.multiplicity as u64;
         outcome.tasks += group.count;
         outcome.assignments += group.count * mult;
-        let sampler = prepare_holdings(config, mult, binomial, hypergeometric);
+        let sampler = prepare_holdings(config, mult, binomial, hypergeometric, mode);
         for i in 0..group.count {
             let held = sampler.sample(rng) as u32;
             outcome.holdings.record(held as usize);

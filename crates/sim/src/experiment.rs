@@ -11,7 +11,7 @@ use crate::outcome::CampaignOutcome;
 use crate::task::{expand_plan, TaskSpec};
 use redundancy_core::RealizedPlan;
 use redundancy_stats::parallel::{run_trials, TrialConfig};
-use redundancy_stats::Proportion;
+use redundancy_stats::{Proportion, SamplerMode};
 
 /// Monte-Carlo parameters.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +27,11 @@ pub struct ExperimentConfig {
     /// [`TrialConfig::CAMPAIGN_CHUNK_SIZE`] (4) is far below
     /// [`TrialConfig::new`]'s [`TrialConfig::DEFAULT_CHUNK_SIZE`] (256).
     pub chunk_size: u64,
+    /// Which sampler strategy campaigns draw holdings with.  The default,
+    /// [`SamplerMode::BitCompat`], reproduces the golden snapshots byte
+    /// for byte; [`SamplerMode::Fast`] opts into the O(1) alias draws
+    /// (same laws, different RNG stream, own determinism checksums).
+    pub sampler: SamplerMode,
 }
 
 impl ExperimentConfig {
@@ -38,6 +43,7 @@ impl ExperimentConfig {
             seed,
             threads: 0,
             chunk_size: TrialConfig::CAMPAIGN_CHUNK_SIZE,
+            sampler: SamplerMode::default(),
         }
     }
 
@@ -50,6 +56,12 @@ impl ExperimentConfig {
     /// so the outcome is bit-identical at any thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// The same experiment drawing in `sampler` mode.
+    pub fn with_sampler(mut self, sampler: SamplerMode) -> Self {
+        self.sampler = sampler;
         self
     }
 }
@@ -120,6 +132,7 @@ pub fn detection_experiment_with(
         chunk_size: config.chunk_size,
         threads: config.threads,
         seed: config.seed,
+        sampler: config.sampler,
     };
     // The accumulator carries each worker's scratch (results buffer +
     // sampler caches) alongside its partial outcome.  `run_trials` keeps
@@ -130,6 +143,7 @@ pub fn detection_experiment_with(
     let acc: CampaignAccumulator = run_trials(
         &trial_cfg,
         |rng, _i, acc: &mut CampaignAccumulator| {
+            acc.scratch.set_sampler_mode(trial_cfg.sampler);
             run_campaign_with_scratch(&tasks, campaign, rng, &mut acc.outcome, &mut acc.scratch)
         },
         |a, b| a.merge(b),
@@ -160,10 +174,12 @@ pub fn faulty_detection_experiment(
         chunk_size: config.chunk_size,
         threads: config.threads,
         seed: config.seed,
+        sampler: config.sampler,
     };
     let acc: CampaignAccumulator = run_trials(
         &trial_cfg,
         |rng, _i, acc: &mut CampaignAccumulator| {
+            acc.scratch.set_sampler_mode(trial_cfg.sampler);
             run_campaign_with_faults_scratch(
                 &tasks,
                 campaign,
@@ -217,6 +233,7 @@ pub fn sampled_detection_experiment(
         chunk_size: config.chunk_size,
         threads: config.threads,
         seed: config.seed,
+        sampler: config.sampler,
     };
     // Per-worker accumulator: campaign scratch plus a reusable buffer for
     // the sampled task multiset, so trials allocate nothing steady-state.
@@ -230,6 +247,7 @@ pub fn sampled_detection_experiment(
         |rng, _i, s: &mut SampledAccumulator| {
             // Draw `samples` tasks ∝ partition sizes and run one campaign
             // over the sampled multiset.
+            s.acc.scratch.set_sampler_mode(trial_cfg.sampler);
             s.sampled.clear();
             s.sampled
                 .extend((0..samples).map(|_| reps[table.sample(rng)]));
@@ -284,6 +302,7 @@ mod tests {
                 seed: 7,
                 threads,
                 chunk_size: 4,
+                sampler: SamplerMode::default(),
             };
             detection_experiment(
                 &plan,
@@ -385,6 +404,7 @@ mod tests {
                 seed: 7,
                 threads,
                 chunk_size: 4,
+                sampler: SamplerMode::default(),
             };
             faulty_detection_experiment(&plan, &campaign, &faults, &cfg).outcome
         };

@@ -18,8 +18,8 @@ pub mod protocol;
 pub mod store;
 
 pub use protocol::{
-    decode_frames, read_frame, script_frames, serve_connection, write_frame, Frame, Reply,
-    ServeSession, SessionEnd, MAX_FRAME,
+    decode_frames, read_frame, read_frame_into, script_frames, serve_connection, write_frame,
+    Frame, FrameKind, Reply, ServeSession, SessionEnd, MAX_FRAME,
 };
 pub use store::{
     drain_session, serve_experiment, Assignment, AssignmentStore, Issue, ReturnAck, ServeConfig,

@@ -68,24 +68,53 @@ fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
     Ok(filled)
 }
 
-/// Read one frame.  Never blocks past the bytes the prefix promised and
-/// never reads the payload of an oversized frame.
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+/// What [`read_frame_into`] found, with the payload left in the caller's
+/// buffer instead of a fresh allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A complete payload now fills the buffer.
+    Message,
+    /// Clean end of stream before any prefix byte.
+    Eof,
+    /// The stream ended mid-prefix or mid-payload.
+    Truncated,
+    /// The prefix declared a payload larger than [`MAX_FRAME`].
+    Oversize(u32),
+}
+
+/// Read one frame into `payload` (cleared first), reusing its capacity
+/// across calls — the transport loop's steady state allocates nothing.
+/// Never blocks past the bytes the prefix promised and never reads the
+/// payload of an oversized frame.
+pub fn read_frame_into<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> io::Result<FrameKind> {
+    payload.clear();
     let mut prefix = [0u8; 4];
     match read_up_to(r, &mut prefix)? {
-        0 => return Ok(Frame::Eof),
+        0 => return Ok(FrameKind::Eof),
         4 => {}
-        _ => return Ok(Frame::Truncated),
+        _ => return Ok(FrameKind::Truncated),
     }
     let len = u32::from_be_bytes(prefix);
     if len as usize > MAX_FRAME {
-        return Ok(Frame::Oversize(len));
+        return Ok(FrameKind::Oversize(len));
     }
-    let mut payload = vec![0u8; len as usize];
-    if read_up_to(r, &mut payload)? < payload.len() {
-        return Ok(Frame::Truncated);
+    payload.resize(len as usize, 0);
+    if read_up_to(r, payload)? < payload.len() {
+        return Ok(FrameKind::Truncated);
     }
-    Ok(Frame::Message(payload))
+    Ok(FrameKind::Message)
+}
+
+/// Read one frame into a fresh buffer (allocating wrapper over
+/// [`read_frame_into`] for callers outside the hot loop).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut payload = Vec::new();
+    Ok(match read_frame_into(r, &mut payload)? {
+        FrameKind::Message => Frame::Message(payload),
+        FrameKind::Eof => Frame::Eof,
+        FrameKind::Truncated => Frame::Truncated,
+        FrameKind::Oversize(len) => Frame::Oversize(len),
+    })
 }
 
 /// One request's outcome: the response text plus whether the session ends.
@@ -95,15 +124,6 @@ pub struct Reply {
     pub text: String,
     /// True after `shutdown`: the transport loop should stop.
     pub shutdown: bool,
-}
-
-impl Reply {
-    fn text(text: impl Into<String>) -> Self {
-        Reply {
-            text: text.into(),
-            shutdown: false,
-        }
-    }
 }
 
 /// How a transport loop ended.
@@ -128,6 +148,9 @@ pub struct ServeSession {
     pub store: AssignmentStore,
     /// The session RNG every activation draws from.
     pub rng: DeterministicRng,
+    /// Reply scratch reused by [`handle_buffered`](Self::handle_buffered):
+    /// after warm-up the per-request path allocates nothing.
+    reply_buf: String,
 }
 
 impl ServeSession {
@@ -141,42 +164,74 @@ impl ServeSession {
         Ok(ServeSession {
             store: AssignmentStore::new(tasks, config, serve)?,
             rng: DeterministicRng::new(seed),
+            reply_buf: String::new(),
         })
     }
 
-    /// Handle one request line, producing the response text.
+    /// Handle one request line, producing an owned response (allocating
+    /// wrapper over [`handle_buffered`](Self::handle_buffered) for callers
+    /// that need to hold the reply past the next request).
     pub fn handle(&mut self, request: &str) -> Reply {
+        let (text, shutdown) = self.handle_buffered(request);
+        Reply {
+            text: text.to_owned(),
+            shutdown,
+        }
+    }
+
+    /// Handle one request line into the session's reusable reply buffer,
+    /// returning the response text and whether the session should end.
+    /// The borrow ends at the next call, so hot loops (the bench drain,
+    /// the transport loop) pay zero allocations per request.
+    pub fn handle_buffered(&mut self, request: &str) -> (&str, bool) {
+        use std::fmt::Write as _;
+        self.reply_buf.clear();
+        let mut shutdown = false;
         let mut parts = request.split_whitespace();
         match parts.next() {
             Some("request-work") => match self.store.request_work(&mut self.rng) {
                 Issue::Work(a) => {
-                    Reply::text(format!("work {} {} {}", a.task.0, a.copy, a.multiplicity))
+                    let _ = write!(
+                        self.reply_buf,
+                        "work {} {} {}",
+                        a.task.0, a.copy, a.multiplicity
+                    );
                 }
-                Issue::Idle => Reply::text("idle"),
-                Issue::Drained => Reply::text("drained"),
+                Issue::Idle => self.reply_buf.push_str("idle"),
+                Issue::Drained => self.reply_buf.push_str("drained"),
             },
             Some("return-result") => {
-                let (Some(task), Some(copy), None) = (
+                if let (Some(task), Some(copy), None) = (
                     parts.next().and_then(|t| t.parse::<u64>().ok()),
                     parts.next().and_then(|c| c.parse::<u32>().ok()),
                     parts.next(),
-                ) else {
-                    return Reply::text("err bad-request return-result expects <task> <copy>");
-                };
-                match self.store.return_result(TaskId(task), copy) {
-                    Ok(ack) if ack.task_complete => Reply::text("ok complete"),
-                    Ok(_) => Reply::text("ok"),
-                    Err(e) => Reply::text(format!("err {} {e}", e.code())),
+                ) {
+                    match self.store.return_result(TaskId(task), copy) {
+                        Ok(ack) if ack.task_complete => self.reply_buf.push_str("ok complete"),
+                        Ok(_) => self.reply_buf.push_str("ok"),
+                        Err(e) => {
+                            let _ = write!(self.reply_buf, "err {} {e}", e.code());
+                        }
+                    }
+                } else {
+                    self.reply_buf
+                        .push_str("err bad-request return-result expects <task> <copy>");
                 }
             }
-            Some("stats") => Reply::text(self.store.stats().render()),
-            Some("shutdown") => Reply {
-                text: "bye".into(),
-                shutdown: true,
-            },
-            Some(verb) => Reply::text(format!("err unknown-verb {verb}")),
-            None => Reply::text("err unknown-verb"),
+            Some("stats") => {
+                let stats = self.store.stats().render();
+                self.reply_buf.push_str(&stats);
+            }
+            Some("shutdown") => {
+                self.reply_buf.push_str("bye");
+                shutdown = true;
+            }
+            Some(verb) => {
+                let _ = write!(self.reply_buf, "err unknown-verb {verb}");
+            }
+            None => self.reply_buf.push_str("err unknown-verb"),
         }
+        (&self.reply_buf, shutdown)
     }
 }
 
@@ -189,21 +244,24 @@ pub fn serve_connection<R: Read, W: Write>(
     w: &mut W,
     mut handle: impl FnMut(&str) -> Reply,
 ) -> io::Result<SessionEnd> {
+    // One decode buffer for the whole connection: after the largest frame
+    // has been seen, the read side stops allocating.
+    let mut payload = Vec::new();
     loop {
-        match read_frame(r)? {
-            Frame::Eof => return Ok(SessionEnd::Eof),
-            Frame::Truncated => {
+        match read_frame_into(r, &mut payload)? {
+            FrameKind::Eof => return Ok(SessionEnd::Eof),
+            FrameKind::Truncated => {
                 write_frame(w, "err truncated-frame")?;
                 w.flush()?;
                 return Ok(SessionEnd::Malformed);
             }
-            Frame::Oversize(len) => {
+            FrameKind::Oversize(len) => {
                 write_frame(w, &format!("err oversize-frame {len} exceeds {MAX_FRAME}"))?;
                 w.flush()?;
                 return Ok(SessionEnd::Malformed);
             }
-            Frame::Message(bytes) => {
-                let Ok(text) = std::str::from_utf8(&bytes) else {
+            FrameKind::Message => {
+                let Ok(text) = std::str::from_utf8(&payload) else {
                     write_frame(w, "err invalid-utf8")?;
                     w.flush()?;
                     continue;
@@ -277,6 +335,65 @@ mod tests {
         );
         assert_eq!(read_frame(&mut r).unwrap(), Frame::Message(Vec::new()));
         assert_eq!(read_frame(&mut r).unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn read_frame_into_reuses_the_buffer_and_matches_read_frame() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, "a longer first frame").unwrap();
+        write_frame(&mut bytes, "short").unwrap();
+        write_frame(&mut bytes, "").unwrap();
+        let mut r: &[u8] = &bytes;
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_frame_into(&mut r, &mut buf).unwrap(),
+            FrameKind::Message
+        );
+        assert_eq!(buf, b"a longer first frame");
+        let cap = buf.capacity();
+        assert_eq!(
+            read_frame_into(&mut r, &mut buf).unwrap(),
+            FrameKind::Message
+        );
+        assert_eq!(buf, b"short");
+        assert_eq!(buf.capacity(), cap, "shorter frame must not reallocate");
+        assert_eq!(
+            read_frame_into(&mut r, &mut buf).unwrap(),
+            FrameKind::Message
+        );
+        assert!(buf.is_empty());
+        assert_eq!(read_frame_into(&mut r, &mut buf).unwrap(), FrameKind::Eof);
+        // The malformed classifications agree with the allocating reader.
+        let mut t: &[u8] = &[0x00, 0x00];
+        assert_eq!(
+            read_frame_into(&mut t, &mut buf).unwrap(),
+            FrameKind::Truncated
+        );
+        let mut o: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF];
+        assert_eq!(
+            read_frame_into(&mut o, &mut buf).unwrap(),
+            FrameKind::Oversize(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn handle_buffered_matches_handle_across_a_session() {
+        let mut buffered = session(2, 2, 5);
+        let mut owned = session(2, 2, 5);
+        for req in [
+            "request-work",
+            "stats",
+            "return-result 0 0",
+            "return-result 0 0",
+            "bogus verb",
+            "request-work",
+            "shutdown",
+        ] {
+            let want = owned.handle(req);
+            let (text, shutdown) = buffered.handle_buffered(req);
+            assert_eq!(text, want.text, "request {req}");
+            assert_eq!(shutdown, want.shutdown, "request {req}");
+        }
     }
 
     #[test]

@@ -606,11 +606,14 @@ impl AssignmentStore {
         let id = TaskId(group.first_id.0 + self.group_offset);
         self.group_offset += 1;
         // Same sampler caches, same draw order as the batch kernel.
+        // The live store promises bit-identity with the batch kernel, so
+        // it always draws in bit-compat mode.
         let sampler = prepare_holdings(
             &self.config,
             mult,
             &mut self.binomial,
             &mut self.hypergeometric,
+            redundancy_stats::SamplerMode::BitCompat,
         );
         let held = sampler.sample(rng) as u32;
         let cheats = self.config.strategy.cheats_on(held);
@@ -873,6 +876,9 @@ pub fn serve_experiment(
         chunk_size: config.chunk_size,
         threads: config.threads,
         seed: config.seed,
+        // The store draws bit-compat regardless; the serve oracle promises
+        // bit-identity with the batch kernel.
+        sampler: Default::default(),
     };
     #[derive(Default)]
     struct ServeAccumulator {

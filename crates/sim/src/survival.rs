@@ -143,6 +143,7 @@ pub fn survival_experiment_with(
         chunk_size: TrialConfig::CAMPAIGN_CHUNK_SIZE,
         threads,
         seed,
+        sampler: Default::default(),
     };
     run_trials(
         &trial_cfg,

@@ -112,6 +112,7 @@ proptest! {
                 seed,
                 threads,
                 chunk_size: 2,
+                sampler: Default::default(),
             };
             let base = detection_experiment_with(&plan, &config, &cfg);
             let churned = churn_experiment(&plan, &config, &churn, &cfg);
@@ -154,6 +155,7 @@ proptest! {
                 seed,
                 threads,
                 chunk_size: 2,
+                sampler: Default::default(),
             };
             churn_experiment(&plan, &config, &churn, &cfg).outcome
         };

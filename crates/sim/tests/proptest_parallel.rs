@@ -70,7 +70,7 @@ proptest! {
         };
         let expected = fresh_per_chunk_oracle(trials, chunk_size, seed, trial);
         for threads in [1usize, 2, 4, 8] {
-            let config = TrialConfig { trials, chunk_size, threads, seed };
+            let config = TrialConfig { trials, chunk_size, threads, seed, sampler: Default::default() };
             let acc: CampaignAccumulator =
                 run_trials(&config, trial, |a, b| a.merge(b));
             prop_assert_eq!(&acc.outcome, &expected, "threads = {}", threads);
@@ -107,7 +107,7 @@ proptest! {
         };
         let expected = fresh_per_chunk_oracle(trials, chunk_size, seed, trial);
         for threads in [1usize, 2, 4, 8] {
-            let config = TrialConfig { trials, chunk_size, threads, seed };
+            let config = TrialConfig { trials, chunk_size, threads, seed, sampler: Default::default() };
             let acc: CampaignAccumulator =
                 run_trials(&config, trial, |a, b| a.merge(b));
             prop_assert_eq!(&acc.outcome, &expected, "threads = {}", threads);
@@ -134,6 +134,7 @@ fn chunk_edge_shapes_are_exact() {
                 chunk_size,
                 threads,
                 seed: 77,
+                sampler: Default::default(),
             };
             let acc: CampaignAccumulator = run_trials(&config, trial, |a, b| a.merge(b));
             assert_eq!(

@@ -1,0 +1,167 @@
+//! Differential tests for the fast (alias-method) sampler mode against the
+//! bit-compat default (proptest).
+//!
+//! The fast mode deliberately breaks RNG-stream compatibility — it bins a
+//! whole spec group through one multinomial draw where bit-compat walks
+//! the CDF once per task — so the two modes are compared on what they
+//! must share:
+//!
+//! * on parameter sets where no randomness is consumed at all (degenerate
+//!   adversary shares, whose plans are `Certain` in both modes) the
+//!   campaigns are **bit-identical**, final RNG state included;
+//! * on stochastic paths the modes sample the *same laws*, so mean
+//!   detection agrees within statistical tolerance;
+//! * fast mode is deterministic in its own right: same seed → same
+//!   outcome at every thread count.
+
+use proptest::prelude::*;
+use redundancy_core::RealizedPlan;
+use redundancy_sim::task::expand_plan;
+use redundancy_sim::{
+    detection_experiment, run_campaign_with_scratch, AdversaryModel, CampaignConfig,
+    CampaignOutcome, CampaignScratch, CheatStrategy, ExperimentConfig,
+};
+use redundancy_stats::{DeterministicRng, SamplerMode};
+
+/// Run one campaign over `tasks` in the given mode, returning the outcome
+/// and the final RNG state.
+fn run_mode(
+    tasks: &[redundancy_sim::task::TaskSpec],
+    cfg: &CampaignConfig,
+    seed: u64,
+    mode: SamplerMode,
+) -> (CampaignOutcome, DeterministicRng) {
+    let mut rng = DeterministicRng::new(seed);
+    let mut scratch = CampaignScratch::new().with_sampler_mode(mode);
+    let mut out = CampaignOutcome::default();
+    run_campaign_with_scratch(tasks, cfg, &mut rng, &mut out, &mut scratch);
+    (out, rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adversaries holding nothing (assignment share 0, or a sybil pool
+    /// with zero adversary accounts) resolve to `Certain` plans in both
+    /// modes: no uniform is ever drawn, so the fast campaign must be
+    /// bit-identical to bit-compat — outcome and final RNG state.
+    #[test]
+    fn modes_agree_exactly_where_no_rng_is_consumed(
+        tasks_n in 10u64..80,
+        seed in 0u64..10_000,
+        sybil in 0u8..2,
+    ) {
+        let plan = RealizedPlan::balanced(tasks_n, 0.5).unwrap();
+        let tasks = expand_plan(&plan);
+        let adversary = if sybil == 1 {
+            AdversaryModel::SybilAccounts { total: 500, adversary: 0 }
+        } else {
+            AdversaryModel::AssignmentFraction { p: 0.0 }
+        };
+        let cfg = CampaignConfig::new(adversary, CheatStrategy::Always);
+        let (compat_out, compat_rng) = run_mode(&tasks, &cfg, seed, SamplerMode::BitCompat);
+        let (fast_out, fast_rng) = run_mode(&tasks, &cfg, seed, SamplerMode::Fast);
+        prop_assert_eq!(&fast_out, &compat_out, "outcomes diverged");
+        prop_assert_eq!(fast_rng, compat_rng, "a degenerate plan consumed RNG");
+        // Sanity: an empty-handed adversary never attacks.
+        prop_assert_eq!(fast_out.total_attempted(), 0);
+    }
+
+    /// Fast mode is deterministic and thread-count invariant on the
+    /// experiment level, exactly like bit-compat: same seed, any thread
+    /// count, same aggregated outcome.
+    #[test]
+    fn fast_mode_experiments_are_thread_count_invariant(
+        tasks_n in 20u64..60,
+        campaigns in 1u64..10,
+        seed in 0u64..10_000,
+    ) {
+        let plan = RealizedPlan::balanced(tasks_n, 0.5).unwrap();
+        let run = |threads: usize| {
+            let config = ExperimentConfig::new(campaigns, seed)
+                .with_threads(threads)
+                .with_sampler(SamplerMode::Fast);
+            detection_experiment(
+                &plan,
+                AdversaryModel::AssignmentFraction { p: 0.15 },
+                CheatStrategy::AtLeast { min_copies: 1 },
+                &config,
+            )
+            .outcome
+        };
+        let serial = run(1);
+        prop_assert_eq!(&run(2), &serial, "2 threads diverged");
+        prop_assert_eq!(&run(4), &serial, "4 threads diverged");
+    }
+}
+
+/// On stochastic paths the two modes draw from the same distributions with
+/// different streams, so they are compared statistically: the pooled
+/// detection estimates must sit within a few combined standard errors of
+/// each other.  Covers both hot samplers — the binomial (assignment-
+/// fraction adversary) and the hypergeometric (sybil-accounts adversary).
+#[test]
+fn modes_agree_statistically_on_stochastic_paths() {
+    let plan = RealizedPlan::balanced(400, 0.6).unwrap();
+    let adversaries = [
+        AdversaryModel::AssignmentFraction { p: 0.1 },
+        AdversaryModel::SybilAccounts {
+            total: 1_000,
+            adversary: 100,
+        },
+    ];
+    for adversary in adversaries {
+        let estimate = |mode: SamplerMode| {
+            let config = ExperimentConfig::new(256, 20_050_926).with_sampler(mode);
+            detection_experiment(&plan, adversary, CheatStrategy::Always, &config).overall()
+        };
+        let compat = estimate(SamplerMode::BitCompat);
+        let fast = estimate(SamplerMode::Fast);
+        assert!(
+            compat.trials() > 10_000 && fast.trials() > 10_000,
+            "{adversary:?}: not enough attacks to compare ({} vs {})",
+            compat.trials(),
+            fast.trials()
+        );
+        let diff = (fast.estimate() - compat.estimate()).abs();
+        // Wilson-interval-scale tolerance: 5 combined standard errors of
+        // the larger-variance side, so a genuine distribution mismatch
+        // fails while stream-level noise passes with huge margin.
+        let se = |p: redundancy_stats::Proportion| {
+            (p.estimate() * (1.0 - p.estimate()) / p.trials() as f64).sqrt()
+        };
+        let tolerance = 5.0 * (se(compat) + se(fast)).max(1e-4);
+        assert!(
+            diff <= tolerance,
+            "{adversary:?}: detection {} (bit-compat) vs {} (fast) differ by {diff}, \
+             beyond tolerance {tolerance}",
+            compat.estimate(),
+            fast.estimate()
+        );
+    }
+}
+
+/// The same fast campaign replays bit for bit on the same seed — the
+/// pinned-checksum property CI asserts on the `campaign_fast` bench
+/// fixture, checked here at the outcome level.
+#[test]
+fn fast_mode_replays_exactly_on_a_seed() {
+    let plan = RealizedPlan::balanced(300, 0.6).unwrap();
+    let tasks = expand_plan(&plan);
+    let cfg = CampaignConfig::new(
+        AdversaryModel::AssignmentFraction { p: 0.1 },
+        CheatStrategy::Always,
+    );
+    let (a_out, a_rng) = run_mode(&tasks, &cfg, 7, SamplerMode::Fast);
+    let (b_out, b_rng) = run_mode(&tasks, &cfg, 7, SamplerMode::Fast);
+    assert_eq!(a_out, b_out);
+    assert_eq!(a_rng, b_rng);
+    // And it genuinely draws through a different stream than the walk on
+    // this pinned seed — identical outcomes would mean the fast plan never
+    // engaged.
+    let (compat_out, _) = run_mode(&tasks, &cfg, 7, SamplerMode::BitCompat);
+    assert_ne!(
+        a_out, compat_out,
+        "fast mode produced the walk's exact draws; is the alias plan wired in?"
+    );
+}

@@ -119,6 +119,7 @@ proptest! {
                 seed,
                 threads,
                 chunk_size: 2,
+                sampler: Default::default(),
             };
             let base = detection_experiment_with(&plan, &config, &cfg);
             let served = serve_experiment(&plan, &config, &ServeConfig::new(2), &cfg);

@@ -42,9 +42,10 @@ pub use parallel::{
 };
 pub use quantile::P2Quantile;
 pub use rng::{DeterministicRng, SeedSequence};
+pub use samplers::alias::DiscreteAlias;
 pub use samplers::cache::{BinomialCache, HypergeometricCache, PreparedSampler};
 pub use samplers::{
     sample_binomial, sample_geometric, sample_hypergeometric, sample_poisson,
-    sample_zero_truncated_poisson, AliasTable,
+    sample_zero_truncated_poisson, AliasTable, SamplerMode,
 };
 pub use special::{binomial, binomial_pmf, hypergeometric_pmf, ln_binomial, ln_factorial};

@@ -19,6 +19,7 @@
 //! concurrently while returning results in input order.
 
 use crate::rng::{DeterministicRng, SeedSequence};
+use crate::samplers::SamplerMode;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -58,6 +59,13 @@ pub struct TrialConfig {
     pub threads: usize,
     /// Root seed.
     pub seed: u64,
+    /// Which sampler strategy trial bodies should draw with.
+    ///
+    /// The runner itself never consumes it — chunking and seeding are
+    /// mode-independent — but carrying it here lets every trial closure
+    /// (and each worker's per-accumulator scratch) pick up the mode from
+    /// the one config that already travels to them.
+    pub sampler: SamplerMode,
 }
 
 impl TrialConfig {
@@ -83,6 +91,7 @@ impl TrialConfig {
             chunk_size: Self::DEFAULT_CHUNK_SIZE,
             threads: 0,
             seed,
+            sampler: SamplerMode::default(),
         }
     }
 
@@ -369,6 +378,7 @@ mod tests {
                 chunk_size: 128,
                 threads,
                 seed: 99,
+                sampler: SamplerMode::default(),
             };
             let p: Proportion = run_trials(
                 &cfg,
@@ -392,6 +402,7 @@ mod tests {
             chunk_size: 64,
             threads: 3,
             seed: 5,
+            sampler: SamplerMode::default(),
         };
         let seen: Seen = run_trials(
             &cfg,
@@ -434,6 +445,7 @@ mod tests {
             chunk_size: 0,
             threads: 1,
             seed: 0,
+            sampler: SamplerMode::default(),
         };
         let _: Proportion = run_trials(&cfg, |_r, _i, _a: &mut Proportion| {}, |a, b| a.merge(&b));
     }
@@ -466,6 +478,7 @@ mod tests {
             chunk_size: 1,
             threads: 4,
             seed: 0,
+            sampler: SamplerMode::default(),
         };
         assert_eq!(
             cheap.auto_chunk_size(false),
@@ -481,6 +494,7 @@ mod tests {
             chunk_size: 1,
             threads: 4,
             seed: 0,
+            sampler: SamplerMode::default(),
         };
         assert_eq!(small.auto_chunk_size(false), 4);
         assert_eq!(small.auto_chunk_size(true), 4);
@@ -490,6 +504,7 @@ mod tests {
             chunk_size: 1,
             threads: 8,
             seed: 0,
+            sampler: SamplerMode::default(),
         };
         assert_eq!(tiny.auto_chunk_size(true), 1);
         assert!(tiny.with_auto_chunk_size(false).validate().is_ok());
@@ -514,6 +529,7 @@ mod tests {
             chunk_size: 8, // 64 chunks — far more chunks than workers
             threads,
             seed: 11,
+            sampler: SamplerMode::default(),
         };
         let total: CacheAcc = run_trials(
             &cfg,
@@ -544,6 +560,7 @@ mod tests {
             chunk_size: 16,
             threads: 4,
             seed: 3,
+            sampler: SamplerMode::default(),
         };
         let _: Proportion = run_trials(
             &cfg,

@@ -9,7 +9,55 @@
 use crate::rng::DeterministicRng;
 use crate::special::poisson_pmf;
 
+pub mod alias;
 pub mod cache;
+
+/// Which sampling strategy the campaign kernels draw holdings with.
+///
+/// The default, [`BitCompat`](Self::BitCompat), is the inversion-CDF path
+/// whose draws are byte-identical to the seed per-task walk — it is what
+/// every golden snapshot and differential oracle pins.
+/// [`Fast`](Self::Fast) is the opt-in Walker/Vose alias path
+/// ([`alias::DiscreteAlias`]): one uniform and two array reads per draw,
+/// statistically faithful to the same laws (χ²-tested) but *not*
+/// RNG-stream-compatible, so it carries its own pinned determinism
+/// checksums instead of the snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SamplerMode {
+    /// Inversion-CDF draws, byte-identical to the reference walk.
+    #[default]
+    BitCompat,
+    /// Alias-method draws: same laws, O(1) per draw, own checksums.
+    Fast,
+}
+
+impl SamplerMode {
+    /// The CLI spelling (`bit-compat` / `fast`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SamplerMode::BitCompat => "bit-compat",
+            SamplerMode::Fast => "fast",
+        }
+    }
+}
+
+impl std::fmt::Display for SamplerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for SamplerMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bit-compat" => Ok(SamplerMode::BitCompat),
+            "fast" => Ok(SamplerMode::Fast),
+            other => Err(format!("unknown sampler mode `{other}`")),
+        }
+    }
+}
 
 /// Sample from `Binomial(n, p)` by CDF inversion.
 ///
@@ -471,6 +519,16 @@ mod tests {
             assert!((got - want).abs() < 0.01, "cat {i}: {got} vs {want}");
         }
         assert_eq!(counts[3], 0, "zero-weight category must never be drawn");
+    }
+
+    #[test]
+    fn sampler_mode_round_trips_through_strings() {
+        assert_eq!(SamplerMode::default(), SamplerMode::BitCompat);
+        for mode in [SamplerMode::BitCompat, SamplerMode::Fast] {
+            assert_eq!(mode.as_str().parse::<SamplerMode>().unwrap(), mode);
+            assert_eq!(format!("{mode}"), mode.as_str());
+        }
+        assert!("turbo".parse::<SamplerMode>().is_err());
     }
 
     #[test]

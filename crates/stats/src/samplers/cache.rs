@@ -29,7 +29,8 @@
 
 use std::collections::HashMap;
 
-use super::{binomial_pmf_zero, sample_binomial, sample_hypergeometric};
+use super::alias::DiscreteAlias;
+use super::{binomial_pmf_zero, sample_binomial, sample_hypergeometric, SamplerMode};
 use crate::rng::DeterministicRng;
 use crate::special::ln_binomial;
 
@@ -67,6 +68,10 @@ enum Plan {
         successes: u64,
         draws: u64,
     },
+    /// [`SamplerMode::Fast`] only: a Walker/Vose alias table — one uniform
+    /// and two array reads per draw, *not* RNG-stream-compatible with the
+    /// inversion walk (see [`super::alias`]).
+    Alias(DiscreteAlias),
 }
 
 impl Plan {
@@ -104,6 +109,7 @@ impl Plan {
                 successes,
                 draws,
             } => sample_hypergeometric(rng, *total, *successes, *draws),
+            Plan::Alias(table) => table.sample(rng),
         }
     }
 }
@@ -120,11 +126,27 @@ pub struct PreparedSampler<'a> {
     plan: &'a Plan,
 }
 
-impl PreparedSampler<'_> {
+impl<'a> PreparedSampler<'a> {
     /// Draw one value (same contract as `sample_prepared`).
     #[inline]
     pub fn sample(&self, rng: &mut DeterministicRng) -> u64 {
         self.plan.sample(rng)
+    }
+
+    /// The underlying alias table, when this plan is a
+    /// [`SamplerMode::Fast`] table.
+    ///
+    /// Hot loops that draw many times from one prepared sampler use this
+    /// to hoist the plan dispatch out of the loop entirely: the alias
+    /// draw then inlines to one uniform and two array reads.  Returns
+    /// `None` for every bit-compat plan and for the fast-mode parameter
+    /// sets that delegate (degenerate, oversize, underflow).
+    #[inline]
+    pub fn as_alias(&self) -> Option<&'a DiscreteAlias> {
+        match self.plan {
+            Plan::Alias(table) => Some(table),
+            _ => None,
+        }
     }
 }
 
@@ -136,26 +158,45 @@ impl PreparedSampler<'_> {
 #[derive(Debug, Clone, Default)]
 pub struct BinomialCache {
     plans: Vec<Plan>,
-    index: HashMap<(u64, u64), usize>,
+    index: HashMap<(u64, u64, SamplerMode), usize>,
     hits: u64,
     misses: u64,
 }
 
 impl BinomialCache {
-    /// Resolve `(n, p)` to a plan id, building the plan on first use.
+    /// Resolve `(n, p)` to a bit-compat plan id, building the plan on
+    /// first use.
     ///
     /// Panics (like [`sample_binomial`]) if `p` is not a probability.
     pub fn prepare(&mut self, n: u64, p: f64) -> usize {
+        self.prepare_mode(n, p, SamplerMode::BitCompat)
+    }
+
+    /// Resolve `(n, p)` under a [`SamplerMode`] to a plan id, building the
+    /// plan on first use.  One cache holds both modes' plans side by side
+    /// (distinct ids), so a worker switching modes between campaigns keeps
+    /// all its tables.
+    pub fn prepare_mode(&mut self, n: u64, p: f64, mode: SamplerMode) -> usize {
         assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
-        if let Some(&id) = self.index.get(&(n, p.to_bits())) {
+        if let Some(&id) = self.index.get(&(n, p.to_bits(), mode)) {
             self.hits += 1;
             return id;
         }
         self.misses += 1;
-        let plan = Self::build_plan(n, p);
+        let plan = match mode {
+            SamplerMode::BitCompat => Self::build_plan(n, p),
+            // Parameter sets the alias method cannot carry (degenerate,
+            // oversize, underflow) fall back to the bit-compat plan: the
+            // degenerate ones consume no RNG either way and the rest are
+            // off the hot path by construction.
+            SamplerMode::Fast => match DiscreteAlias::binomial(n, p) {
+                Some(table) => Plan::Alias(table),
+                None => Self::build_plan(n, p),
+            },
+        };
         let id = self.plans.len();
         self.plans.push(plan);
-        self.index.insert((n, p.to_bits()), id);
+        self.index.insert((n, p.to_bits(), mode), id);
         id
     }
 
@@ -247,29 +288,47 @@ impl BinomialCache {
 #[derive(Debug, Clone, Default)]
 pub struct HypergeometricCache {
     plans: Vec<Plan>,
-    index: HashMap<(u64, u64, u64), usize>,
+    index: HashMap<(u64, u64, u64, SamplerMode), usize>,
     hits: u64,
     misses: u64,
 }
 
 impl HypergeometricCache {
-    /// Resolve `(total, successes, draws)` to a plan id, building the CDF
-    /// table on first use.
+    /// Resolve `(total, successes, draws)` to a bit-compat plan id,
+    /// building the CDF table on first use.
     ///
     /// Panics (like [`sample_hypergeometric`]) if `successes > total` or
     /// `draws > total`.
     pub fn prepare(&mut self, total: u64, successes: u64, draws: u64) -> usize {
+        self.prepare_mode(total, successes, draws, SamplerMode::BitCompat)
+    }
+
+    /// Resolve `(total, successes, draws)` under a [`SamplerMode`]; same
+    /// contract as [`BinomialCache::prepare_mode`].
+    pub fn prepare_mode(
+        &mut self,
+        total: u64,
+        successes: u64,
+        draws: u64,
+        mode: SamplerMode,
+    ) -> usize {
         assert!(successes <= total, "successes {successes} > total {total}");
         assert!(draws <= total, "draws {draws} > total {total}");
-        if let Some(&id) = self.index.get(&(total, successes, draws)) {
+        if let Some(&id) = self.index.get(&(total, successes, draws, mode)) {
             self.hits += 1;
             return id;
         }
         self.misses += 1;
-        let plan = Self::build_plan(total, successes, draws);
+        let plan = match mode {
+            SamplerMode::BitCompat => Self::build_plan(total, successes, draws),
+            SamplerMode::Fast => match DiscreteAlias::hypergeometric(total, successes, draws) {
+                Some(table) => Plan::Alias(table),
+                None => Self::build_plan(total, successes, draws),
+            },
+        };
         let id = self.plans.len();
         self.plans.push(plan);
-        self.index.insert((total, successes, draws), id);
+        self.index.insert((total, successes, draws, mode), id);
         id
     }
 
@@ -503,6 +562,61 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn fast_mode_plans_are_distinct_and_expose_alias_tables() {
+        let mut cache = BinomialCache::default();
+        let compat = cache.prepare_mode(12, 0.1, SamplerMode::BitCompat);
+        let fast = cache.prepare_mode(12, 0.1, SamplerMode::Fast);
+        assert_ne!(compat, fast, "modes must not share plan ids");
+        assert_eq!(cache.prepare(12, 0.1), compat, "prepare == bit-compat");
+        assert_eq!(cache.prepare_mode(12, 0.1, SamplerMode::Fast), fast);
+        assert!(cache.prepared(compat).as_alias().is_none());
+        let table = cache.prepared(fast).as_alias().expect("fast plan is alias");
+        assert_eq!(table.len(), 13);
+
+        let mut hyper = HypergeometricCache::default();
+        let h_compat = hyper.prepare_mode(100, 30, 12, SamplerMode::BitCompat);
+        let h_fast = hyper.prepare_mode(100, 30, 12, SamplerMode::Fast);
+        assert_ne!(h_compat, h_fast);
+        assert!(hyper.prepared(h_fast).as_alias().is_some());
+    }
+
+    #[test]
+    fn fast_mode_draws_stay_in_support_and_replay() {
+        let mut cache = BinomialCache::default();
+        let id = cache.prepare_mode(40, 0.3, SamplerMode::Fast);
+        let mut one = DeterministicRng::new(21);
+        let mut two = one.clone();
+        for _ in 0..2_000 {
+            let x = cache.sample_prepared(id, &mut one);
+            assert!(x <= 40);
+            assert_eq!(x, cache.sample_prepared(id, &mut two), "fast draws replay");
+        }
+    }
+
+    #[test]
+    fn fast_mode_falls_back_where_alias_cannot() {
+        let mut cache = BinomialCache::default();
+        // Degenerate: no RNG either way.
+        let certain = cache.prepare_mode(10, 0.0, SamplerMode::Fast);
+        assert!(cache.prepared(certain).as_alias().is_none());
+        let mut rng = DeterministicRng::new(5);
+        let before = rng.clone();
+        assert_eq!(cache.sample_prepared(certain, &mut rng), 0);
+        assert_eq!(rng, before, "degenerate fast plan consumes no RNG");
+        // Underflow fallback delegates to the exact free function.
+        let delegated = cache.prepare_mode(4000, 0.5, SamplerMode::Fast);
+        assert!(cache.prepared(delegated).as_alias().is_none());
+        let mut a = DeterministicRng::new(6);
+        let mut b = a.clone();
+        for _ in 0..20 {
+            assert_eq!(
+                cache.sample_prepared(delegated, &mut a),
+                sample_binomial(&mut b, 4000, 0.5)
+            );
+        }
     }
 
     #[test]

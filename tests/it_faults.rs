@@ -65,6 +65,7 @@ fn faulty_results_identical_across_thread_counts() {
             seed: 99,
             threads,
             chunk_size: 4,
+            sampler: Default::default(),
         };
         faulty_detection_experiment(&plan, &campaign, &faults, &cfg).outcome
     };
