@@ -5,9 +5,37 @@
 //! silently ignored — because a supervisor mistyping `--epsilon` should
 //! not deploy an unprotected computation.
 
+use redundancy_sim::serve::StreamMode;
 use redundancy_stats::SamplerMode;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Which TCP transport loop `redundancy serve` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// The epoll readiness loop where available (Linux), else threads.
+    #[default]
+    Auto,
+    /// The epoll readiness loop, or an error off Linux.
+    Epoll,
+    /// One blocking thread per connection (the portable fallback).
+    Threads,
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(IoMode::Auto),
+            "epoll" => Ok(IoMode::Epoll),
+            "threads" => Ok(IoMode::Threads),
+            other => Err(format!(
+                "unknown io mode '{other}' (expected auto, epoll, or threads)"
+            )),
+        }
+    }
+}
 
 /// Which scheme a command operates on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,6 +235,13 @@ pub enum Command {
         clients: usize,
         /// Serve the framed protocol over stdin/stdout instead.
         stdio: bool,
+        /// RNG-stream discipline: one session stream (the batch-kernel
+        /// bit-compat oracle) or one derived stream per shard.
+        streams: StreamMode,
+        /// TCP transport loop: epoll readiness loop or thread-per-conn.
+        io: IoMode,
+        /// Write a serve-report/v1 JSON document (per-shard mode only).
+        json: Option<String>,
     },
     /// `redundancy certify`
     Certify {
@@ -767,6 +802,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     "--port",
                     "--clients",
                     "--stdio",
+                    "--streams",
+                    "--io",
+                    "--json",
                 ],
             )?;
             // The port range is checked here (not left to u16 parsing) so
@@ -814,6 +852,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 port,
                 clients: f.or_default("--clients", "a client count", 0)?,
                 stdio: f.flags.contains_key("--stdio"),
+                streams: f.or_default("--streams", "single or per-shard", StreamMode::Single)?,
+                io: f.or_default("--io", "auto, epoll, or threads", IoMode::Auto)?,
+                json: f.optional("--json", "a file path")?,
             })
         }
         "certify" => {
@@ -1342,6 +1383,9 @@ mod tests {
                 port: None,
                 clients: 0,
                 stdio: false,
+                streams: StreamMode::Single,
+                io: IoMode::Auto,
+                json: None,
             }
         );
         let cmd = parse_args(&argv(&[
@@ -1358,6 +1402,12 @@ mod tests {
             "0",
             "--clients",
             "8",
+            "--streams",
+            "per-shard",
+            "--io",
+            "threads",
+            "--json",
+            "report.json",
         ]))
         .unwrap();
         match cmd {
@@ -1369,6 +1419,9 @@ mod tests {
                 port,
                 clients,
                 stdio,
+                streams,
+                io,
+                json,
                 ..
             } => {
                 assert_eq!(tasks, 500);
@@ -1378,6 +1431,9 @@ mod tests {
                 assert_eq!(port, Some(0));
                 assert_eq!(clients, 8);
                 assert!(!stdio);
+                assert_eq!(streams, StreamMode::PerShard);
+                assert_eq!(io, IoMode::Threads);
+                assert_eq!(json.as_deref(), Some("report.json"));
             }
             other => panic!("{other:?}"),
         }
@@ -1408,6 +1464,8 @@ mod tests {
             ["--epsilon", "1.5"],
             ["--proportion", "-0.2"],
             ["--port", "seven"],
+            ["--streams", "both"],
+            ["--io", "uring"],
         ] {
             let e = parse_args(&argv(&["serve", flags[0], flags[1]])).unwrap_err();
             assert!(e.to_string().contains(flags[0]), "{e}");

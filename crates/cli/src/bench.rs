@@ -21,7 +21,8 @@ use redundancy_sim::outcome::CampaignOutcome;
 use redundancy_sim::task::expand_plan;
 use redundancy_sim::{
     run_campaign_with_scratch, AdversaryModel, CampaignAccumulator, CampaignConfig,
-    CampaignScratch, CheatStrategy, ServeConfig, ServeSession, ServeStats,
+    CampaignScratch, CheatStrategy, ConcurrentStore, FaultModel, ServeConfig, ServeSession,
+    ServeStats,
 };
 use redundancy_stats::table::{fnum, inum, Table};
 use redundancy_stats::{
@@ -52,6 +53,26 @@ pub struct BenchRecord {
     pub assignments_per_sec: f64,
     /// Wrapping fold of the fixture's outputs — equal across runs on the
     /// same seed, so reports also double as a determinism check.
+    pub checksum: u64,
+    /// Per-(shards, clients) ladder points for fixtures that sweep a
+    /// concurrency grid (empty for every other fixture).
+    pub clients_ladder: Vec<LadderPoint>,
+}
+
+/// One (shards, clients) point of a concurrency-ladder fixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderPoint {
+    /// Store shard count at this point.
+    pub shards: u64,
+    /// Concurrent client threads at this point.
+    pub clients: u64,
+    /// Median wall time of one drain, in nanoseconds.
+    pub median_ns: u64,
+    /// Issued assignments per second at the median.
+    pub assignments_per_sec: f64,
+    /// Drained-state fingerprint — identical at every client count of a
+    /// shard row (the per-shard-stream determinism contract), and across
+    /// `--threads` caps.
     pub checksum: u64,
 }
 
@@ -177,6 +198,7 @@ fn record(
         tasks_per_sec: per_sec(tasks_per_iter),
         assignments_per_sec: per_sec(assignments_per_iter),
         checksum,
+        clients_ladder: Vec::new(),
     }
 }
 
@@ -489,6 +511,107 @@ fn run_fixtures(
         ));
     }
 
+    // Concurrent supervisor: client threads hammer the per-shard-stream
+    // ConcurrentStore through the same framed request→return text, one
+    // ladder point per (shards, clients) pair.  At a fixed shard count the
+    // drained state is a pure function of the seed, so every point of a
+    // shard row must report the same checksum — the ladder doubles as the
+    // concurrency determinism check.  It deliberately ignores the
+    // --threads cap: t1 and t4 reports must agree on every checksum.
+    {
+        let serve_plan = RealizedPlan::balanced(sizes.serve_tasks, 0.6).map_err(CliError::Core)?;
+        let serve_tasks = expand_plan(&serve_plan);
+        let drain_concurrent = |shards: usize, clients: usize| -> (ServeStats, u64) {
+            let patient = ServeConfig {
+                faults: FaultModel {
+                    timeout: 1 << 40,
+                    ..FaultModel::none()
+                },
+                ..ServeConfig::new(shards)
+            };
+            let store = ConcurrentStore::new(&serve_tasks, &cfg, &patient, seed)
+                .expect("pinned serve fixture is valid");
+            std::thread::scope(|scope| {
+                for _ in 0..clients {
+                    scope.spawn(|| {
+                        let mut req = String::new();
+                        let mut reply = String::new();
+                        loop {
+                            store.handle_into("request-work", &mut reply);
+                            if reply == "drained" {
+                                break;
+                            }
+                            if reply == "idle" {
+                                std::thread::yield_now();
+                                continue;
+                            }
+                            let mut parts = reply.split_whitespace();
+                            let (Some("work"), Some(task), Some(copy)) = (
+                                parts.next(),
+                                parts.next().and_then(|t| t.parse::<u64>().ok()),
+                                parts.next().and_then(|c| c.parse::<u32>().ok()),
+                            ) else {
+                                unreachable!("patient drain only sees work frames: {reply}");
+                            };
+                            req.clear();
+                            let _ = write!(req, "return-result {task} {copy}");
+                            store.handle_into(&req, &mut reply);
+                            debug_assert!(reply.starts_with("ok"), "{reply}");
+                        }
+                    });
+                }
+            });
+            let stats = store.stats();
+            let fingerprint = stats
+                .checksum()
+                .rotate_left(17)
+                .wrapping_add(store.stream_checksum());
+            (stats, fingerprint)
+        };
+        let mut ladder = Vec::new();
+        let mut fixture_checksum = 0u64;
+        let mut top_stats: Option<ServeStats> = None;
+        for &shards in &[1usize, 2, 4] {
+            for &clients in &[1usize, 2, 8] {
+                let (probe_stats, probe_sum) = drain_concurrent(shards, clients);
+                let (median_ns, _) = measure(sizes.serve_reps, || {
+                    let (stats, sum) = drain_concurrent(shards, clients);
+                    debug_assert_eq!(stats, probe_stats);
+                    debug_assert_eq!(sum, probe_sum);
+                    sum
+                });
+                let assignments_per_sec = if median_ns == 0 {
+                    0.0
+                } else {
+                    probe_stats.issued as f64 * 1e9 / median_ns as f64
+                };
+                fixture_checksum = fixture_checksum.rotate_left(7).wrapping_add(probe_sum);
+                ladder.push(LadderPoint {
+                    shards: shards as u64,
+                    clients: clients as u64,
+                    median_ns,
+                    assignments_per_sec,
+                    checksum: probe_sum,
+                });
+                top_stats = Some(probe_stats);
+            }
+        }
+        // The headline row times the most-parallel point (4 shards, 8
+        // clients); its checksum folds every ladder point so any drift
+        // anywhere in the grid changes the fixture fingerprint.
+        let top = ladder.last().expect("ladder is non-empty");
+        let stats = top_stats.expect("ladder is non-empty");
+        let mut rec = record(
+            "serve_concurrent",
+            sizes.serve_reps,
+            stats.total_tasks,
+            stats.issued,
+            (top.median_ns, fixture_checksum),
+        );
+        rec.clients_ladder = ladder;
+        records.push(rec);
+    }
+
     // LP sweep: solve every S_m up to the mode's dimension cap.
     {
         let max_dim = sizes.lp_max_dim;
@@ -546,7 +669,7 @@ fn report_json(smoke: bool, seed: u64, records: &[BenchRecord]) -> Json {
             records
                 .iter()
                 .map(|r| {
-                    obj(vec![
+                    let mut members = vec![
                         ("name", Json::Str(r.name.clone())),
                         ("reps", num_u64(r.reps)),
                         ("median_ns", num_u64(r.median_ns)),
@@ -555,7 +678,30 @@ fn report_json(smoke: bool, seed: u64, records: &[BenchRecord]) -> Json {
                         // Hex string: JSON numbers are f64 and cannot
                         // hold a full u64 exactly.
                         ("checksum", Json::Str(format!("{:016x}", r.checksum))),
-                    ])
+                    ];
+                    if !r.clients_ladder.is_empty() {
+                        members.push((
+                            "clients_ladder",
+                            Json::Arr(
+                                r.clients_ladder
+                                    .iter()
+                                    .map(|p| {
+                                        obj(vec![
+                                            ("shards", num_u64(p.shards)),
+                                            ("clients", num_u64(p.clients)),
+                                            ("median_ns", num_u64(p.median_ns)),
+                                            (
+                                                "assignments_per_sec",
+                                                Json::Num(p.assignments_per_sec),
+                                            ),
+                                            ("checksum", Json::Str(format!("{:016x}", p.checksum))),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    obj(members)
                 })
                 .collect(),
         ),
@@ -697,6 +843,7 @@ mod tests {
             tasks_per_sec: 1e6,
             assignments_per_sec: 2e6,
             checksum: 42,
+            clients_ladder: Vec::new(),
         }]
     }
 
@@ -752,6 +899,7 @@ mod tests {
                 tasks_per_sec: 0.0,
                 assignments_per_sec: 0.0,
                 checksum: 0,
+                clients_ladder: Vec::new(),
             }],
         );
         assert!(regressions(&tiny_records(), true, &baseline)
@@ -817,9 +965,32 @@ mod tests {
             "sweep_parallel",
             "churn_step",
             "serve_throughput",
+            "serve_concurrent",
             "lp_sweep",
         ] {
             assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        // The concurrency ladder covers the full (shards, clients) grid,
+        // and every client count of a shard row reports the same drained
+        // fingerprint — the per-shard-stream determinism contract.
+        let ladder = benches
+            .iter()
+            .find(|b| b.field_str("name").unwrap() == "serve_concurrent")
+            .unwrap()
+            .field_arr("clients_ladder")
+            .unwrap();
+        assert_eq!(ladder.len(), 9);
+        for shards in [1u64, 2, 4] {
+            let sums: Vec<&str> = ladder
+                .iter()
+                .filter(|p| p.field_u64("shards").unwrap() == shards)
+                .map(|p| p.field_str("checksum").unwrap())
+                .collect();
+            assert_eq!(sums.len(), 3, "shards {shards}");
+            assert!(
+                sums.windows(2).all(|w| w[0] == w[1]),
+                "shard row {shards} checksums differ: {sums:?}"
+            );
         }
         // The sweep fixtures run identical work at different pool widths,
         // so their checksums must agree — same for the scaling ladder.

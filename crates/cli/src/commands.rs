@@ -1,18 +1,18 @@
 //! Command implementations: each returns the report it would print.
 
-use crate::args::{Command, SchemeName};
+use crate::args::{Command, IoMode, SchemeName};
 use crate::USAGE;
 use redundancy_core::{
     advise, certify_sweep, AssignmentMinimizing, CoreError, ExtendedBalanced, RealizedPlan,
     Requirements, Scheme,
 };
-use redundancy_sim::serve::{read_frame, write_frame, Frame, SessionEnd};
+use redundancy_sim::serve::{epoll, read_frame, write_frame, Frame, Reply, SessionEnd};
 use redundancy_sim::task::TaskSpec;
 use redundancy_sim::{
     churn_experiment, churn_soak, detection_experiment, drain_session, faulty_detection_experiment,
-    run_campaign_with_scratch, serve_connection, AdversaryModel, CampaignConfig, CampaignOutcome,
-    CampaignScratch, CheatStrategy, ChurnModel, ExperimentConfig, FaultModel, ServeConfig,
-    ServeSession, ServeStats,
+    run_campaign_with_scratch, serve_connection, serve_readiness_loop, AdversaryModel,
+    CampaignConfig, CampaignOutcome, CampaignScratch, CheatStrategy, ChurnModel, ConcurrentStore,
+    ExperimentConfig, FaultModel, LoopOptions, ServeConfig, ServeSession, ServeStats, StreamMode,
 };
 use redundancy_stats::table::{fnum, inum, Table};
 use redundancy_stats::{
@@ -230,6 +230,9 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             port,
             clients,
             stdio,
+            streams,
+            io,
+            json,
         } => serve_cmd(
             *scheme,
             *tasks,
@@ -242,6 +245,9 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             *port,
             *clients,
             *stdio,
+            *streams,
+            *io,
+            json.clone(),
         ),
         Command::Certify {
             tasks,
@@ -469,6 +475,8 @@ identical bytes.
         Some("serve") => "\
 redundancy serve [--tasks <N>] [--epsilon <E>] [--scheme S] [--proportion P]
                  [--seed SEED] [--shards K] [--timeout T] [--retries M]
+                 [--streams single|per-shard] [--io auto|epoll|threads]
+                 [--json PATH]
                  [--stdio | --clients C [--port PORT] | --port PORT]
 
 Runs the live supervisor: a sharded in-memory assignment store that deals
@@ -479,16 +487,27 @@ protocol (`request-work`, `return-result <task> <copy>`, `stats`,
 `shutdown`; see EXPERIMENTS.md for a transcript).
 
 With no transport flag the store is drained in process and the stats dump
-is printed along with the batched-kernel oracle verdict: a drained session
-must be bit-identical to `run_campaign` on the same seed.  --stdio speaks
-the framed protocol over stdin/stdout (deterministic, scriptable).
---clients C drains the store through C concurrent TCP clients against a
-listener on --port (OS-assigned when omitted) and prints the final stats
-dump — byte-identical across runs of the same seed whenever no timeout
-fires (pass a large --timeout to guarantee that).  --port alone runs the
-daemon until a client sends `shutdown`.  --shards sets the store's shard
-count (never changes results); --timeout/--retries set the re-issue
-policy.
+is printed along with the oracle verdict.  --stdio speaks the framed
+protocol over stdin/stdout (deterministic, scriptable).  --clients C
+drains the store through C concurrent TCP clients against a listener on
+--port (OS-assigned when omitted) and prints the final stats dump —
+byte-identical across runs of the same seed whenever no timeout fires
+(pass a large --timeout to guarantee that).  --port alone runs the daemon
+until a client sends `shutdown`.  --shards sets the store's shard count;
+--timeout/--retries set the re-issue policy.
+
+--streams single (default) serializes every client on one session RNG: a
+drained session is bit-identical to `run_campaign` on the same seed at
+any shard count (the batched-kernel oracle).  --streams per-shard gives
+each shard its own lock and its own derived RNG stream, so clients on
+different shards proceed in parallel; the drained outcome is then a pure
+function of (seed, shard count) — invariant to the client count and
+request interleaving — and is checked against a shard-by-shard drain (the
+sharded-stream oracle).  --io picks the TCP transport: the Linux epoll
+readiness loop or the portable thread-per-connection loop (auto prefers
+epoll where available; both produce identical reports).  --json PATH
+(per-shard only) writes a serve-report/v1 document with session totals
+and per-shard stats cells.
 "
         .into(),
         Some("solve-sm") => "\
@@ -1003,10 +1022,41 @@ fn churn_soak_cmd(workers: u64, horizon: u64, tasks: u64, seed: u64) -> Result<S
     Ok(out)
 }
 
-/// `redundancy serve`: the live supervisor.  Four transports share one
+/// A drained serve backend: aggregate stats, plus the [`ConcurrentStore`]
+/// itself when the session ran per-shard streams (the JSON report and the
+/// sharded-stream oracle both need the store, not just its counters).
+struct ServeRun {
+    stats: ServeStats,
+    store: Option<ConcurrentStore>,
+}
+
+/// Resolve `--io` to a concrete transport.  `Auto` prefers the epoll
+/// readiness loop wherever it exists (Linux) and falls back to the
+/// thread-per-connection loop elsewhere; asking for epoll explicitly on a
+/// platform without it is a configuration error, not a silent downgrade.
+fn resolve_io(io: IoMode) -> Result<bool, CliError> {
+    match io {
+        IoMode::Auto => Ok(epoll::available()),
+        IoMode::Epoll => {
+            if epoll::available() {
+                Ok(true)
+            } else {
+                Err(CliError::Invalid(
+                    "--io epoll is only available on linux; use --io threads".into(),
+                ))
+            }
+        }
+        IoMode::Threads => Ok(false),
+    }
+}
+
+/// `redundancy serve`: the live supervisor.  Four transports share the
 /// store: stdio frames (deterministic, scriptable), a TCP daemon, a
 /// self-driving TCP drain with synthetic concurrent clients, and the
-/// default in-process drain that also checks the batched-kernel oracle.
+/// default in-process drain that also checks the matching oracle.  Both
+/// TCP transports run on the epoll readiness loop where available (or the
+/// threaded fallback, `--io threads`), and `--streams per-shard` swaps the
+/// single-stream session for the per-shard-locked [`ConcurrentStore`].
 #[allow(clippy::too_many_arguments)]
 fn serve_cmd(
     scheme: SchemeName,
@@ -1020,6 +1070,9 @@ fn serve_cmd(
     port: Option<u16>,
     clients: usize,
     stdio: bool,
+    streams: StreamMode,
+    io: IoMode,
+    json: Option<String>,
 ) -> Result<String, CliError> {
     let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
     let campaign = CampaignConfig::new(
@@ -1034,17 +1087,43 @@ fn serve_cmd(
         },
         ..ServeConfig::new(shards)
     };
+    let use_epoll = resolve_io(io)?;
+    if json.is_some() && streams != StreamMode::PerShard {
+        return Err(CliError::Invalid(
+            "--json requires --streams per-shard (the report's per_shard array \
+             comes from the sharded store)"
+                .into(),
+        ));
+    }
     let specs = redundancy_sim::task::expand_plan(&plan);
     if stdio {
+        if json.is_some() {
+            return Err(CliError::Invalid(
+                "--json is not available with --stdio (the protocol owns stdout)".into(),
+            ));
+        }
         // The protocol owns stdout, so the report string stays empty.
-        let mut session =
-            ServeSession::new(&specs, &campaign, &serve, seed).map_err(CliError::Invalid)?;
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         let mut r = stdin.lock();
         let mut w = stdout.lock();
-        serve_connection(&mut r, &mut w, |req| session.handle(req))
-            .map_err(|e| CliError::Io(format!("stdio transport: {e}")))?;
+        match streams {
+            StreamMode::Single => {
+                let mut session = ServeSession::new(&specs, &campaign, &serve, seed)
+                    .map_err(CliError::Invalid)?;
+                serve_connection(&mut r, &mut w, |req| session.handle(req))
+            }
+            StreamMode::PerShard => {
+                let store = ConcurrentStore::new(&specs, &campaign, &serve, seed)
+                    .map_err(CliError::Invalid)?;
+                serve_connection(&mut r, &mut w, |req| {
+                    let mut text = String::new();
+                    let shutdown = store.handle_into(req, &mut text);
+                    Reply { text, shutdown }
+                })
+            }
+        }
+        .map_err(|e| CliError::Io(format!("stdio transport: {e}")))?;
         return Ok(String::new());
     }
     let mut out = String::new();
@@ -1055,66 +1134,179 @@ fn serve_cmd(
         inum(tasks),
     );
     let _ = writeln!(out, "timeout {timeout} ticks, {retries} retries per copy");
+    if streams == StreamMode::PerShard {
+        // Deliberately silent about the io mode: epoll and threaded runs
+        // of the same configuration must print byte-identical reports.
+        let _ = writeln!(out, "streams per-shard: one derived RNG stream per shard");
+    }
     if clients > 0 {
-        let stats = serve_tcp_drive(&specs, &campaign, &serve, seed, port, clients)?;
+        let run = serve_tcp_drive(
+            &specs, &campaign, &serve, seed, port, clients, streams, use_epoll,
+        )?;
         let _ = writeln!(out, "drained by {clients} concurrent TCP clients");
-        out.push_str(&stats.render());
+        out.push_str(&run.stats.render());
+        if let Some(store) = &run.store {
+            append_sharded_oracle_verdict(&mut out, &specs, &campaign, &serve, seed, store);
+            if let Some(path) = &json {
+                write_serve_json(path, &plan, seed, clients, store)?;
+            }
+        }
         return Ok(out);
     }
     if let Some(port) = port {
-        let stats = serve_tcp_daemon(&specs, &campaign, &serve, seed, port)?;
-        out.push_str(&stats.render());
+        let run = serve_tcp_daemon(&specs, &campaign, &serve, seed, port, streams, use_epoll)?;
+        out.push_str(&run.stats.render());
+        if let (Some(path), Some(store)) = (&json, &run.store) {
+            write_serve_json(path, &plan, seed, 0, store)?;
+        }
         return Ok(out);
     }
-    // Default: drain in process and check the batched-kernel oracle.
-    let mut rng = DeterministicRng::new(seed);
-    let mut outcome = CampaignOutcome::default();
-    let stats = drain_session(&specs, &campaign, &serve, &mut rng, &mut outcome);
-    out.push_str(&stats.render());
-    let mut batch_rng = DeterministicRng::new(seed);
-    let mut batch_out = CampaignOutcome::default();
-    let mut scratch = CampaignScratch::new();
-    run_campaign_with_scratch(
-        &specs,
-        &campaign,
-        &mut batch_rng,
-        &mut batch_out,
-        &mut scratch,
-    );
-    let ok = batch_out == outcome && batch_rng == rng;
-    let _ = writeln!(
-        out,
-        "batched-kernel oracle: {}",
-        if ok { "bit-identical" } else { "DIVERGED" }
-    );
+    match streams {
+        StreamMode::Single => {
+            // Default: drain in process and check the batched-kernel oracle.
+            let mut rng = DeterministicRng::new(seed);
+            let mut outcome = CampaignOutcome::default();
+            let stats = drain_session(&specs, &campaign, &serve, &mut rng, &mut outcome);
+            out.push_str(&stats.render());
+            let mut batch_rng = DeterministicRng::new(seed);
+            let mut batch_out = CampaignOutcome::default();
+            let mut scratch = CampaignScratch::new();
+            run_campaign_with_scratch(
+                &specs,
+                &campaign,
+                &mut batch_rng,
+                &mut batch_out,
+                &mut scratch,
+            );
+            let ok = batch_out == outcome && batch_rng == rng;
+            let _ = writeln!(
+                out,
+                "batched-kernel oracle: {}",
+                if ok { "bit-identical" } else { "DIVERGED" }
+            );
+        }
+        StreamMode::PerShard => {
+            // Per-shard default: drain in process and check the
+            // shard-by-shard oracle (the per-shard determinism contract).
+            let store =
+                ConcurrentStore::new(&specs, &campaign, &serve, seed).map_err(CliError::Invalid)?;
+            store.drain();
+            out.push_str(&store.stats().render());
+            append_sharded_oracle_verdict(&mut out, &specs, &campaign, &serve, seed, &store);
+            if let Some(path) = &json {
+                write_serve_json(path, &plan, seed, 0, &store)?;
+            }
+        }
+    }
     Ok(out)
 }
 
-/// Self-driving TCP drain: bind (an ephemeral port unless `--port` pins
-/// one), spawn `clients` synthetic client threads, and serve exactly that
-/// many connections — each on its own thread — off one shared session.
-fn serve_tcp_drive(
+/// Re-drain a fresh [`ConcurrentStore`] shard by shard and compare it to
+/// the served store: merged outcome, per-shard final RNG states, and the
+/// full stats snapshot must all match bit for bit regardless of how many
+/// clients interleaved their requests.
+fn append_sharded_oracle_verdict(
+    out: &mut String,
     specs: &[TaskSpec],
     campaign: &CampaignConfig,
     serve: &ServeConfig,
     seed: u64,
-    port: Option<u16>,
+    store: &ConcurrentStore,
+) {
+    let verdict = match ConcurrentStore::new(specs, campaign, serve, seed) {
+        Ok(oracle) => {
+            oracle.drain_shard_by_shard();
+            let ok = store.merged_outcome() == oracle.merged_outcome()
+                && store.final_rngs() == oracle.final_rngs()
+                && store.stats() == oracle.stats();
+            if ok {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            }
+        }
+        Err(_) => "DIVERGED",
+    };
+    let _ = writeln!(out, "sharded-stream oracle: {verdict}");
+}
+
+/// The 16 counters of a [`ServeStats`] snapshot as JSON object members,
+/// plus the FNV checksum rendered in hex (the same digits `render()`
+/// prints, so shell pipelines can cross-check the two outputs).
+fn stats_members(stats: &ServeStats) -> Vec<(&'static str, redundancy_json::Json)> {
+    use redundancy_json::{num_u64, Json};
+    vec![
+        ("total_tasks", num_u64(stats.total_tasks)),
+        ("activated_tasks", num_u64(stats.activated_tasks)),
+        ("completed_tasks", num_u64(stats.completed_tasks)),
+        ("total_copies", num_u64(stats.total_copies)),
+        ("issued", num_u64(stats.issued)),
+        ("returned", num_u64(stats.returned)),
+        ("in_flight", num_u64(stats.in_flight)),
+        ("requeued", num_u64(stats.requeued)),
+        ("lost", num_u64(stats.lost)),
+        ("timeouts", num_u64(stats.timeouts)),
+        ("retries", num_u64(stats.retries)),
+        ("cheats_attempted", num_u64(stats.cheats_attempted)),
+        ("cheats_detected", num_u64(stats.cheats_detected)),
+        ("wrong_accepted", num_u64(stats.wrong_accepted)),
+        ("false_flags", num_u64(stats.false_flags)),
+        ("unresolved_tasks", num_u64(stats.unresolved_tasks)),
+        ("checksum", Json::Str(format!("{:#018x}", stats.checksum()))),
+    ]
+}
+
+/// Write the `serve-report/v1` document for a drained per-shard store:
+/// session totals plus one stats cell per shard, so consumers can verify
+/// the cells sum to the totals.
+fn write_serve_json(
+    path: &str,
+    plan: &RealizedPlan,
+    seed: u64,
     clients: usize,
-) -> Result<ServeStats, CliError> {
-    use std::net::TcpListener;
-    use std::sync::{Arc, Mutex};
-    let listener = TcpListener::bind(("127.0.0.1", port.unwrap_or(0)))
-        .map_err(|e| CliError::Io(format!("binding the TCP listener: {e}")))?;
-    let addr = listener
-        .local_addr()
-        .map_err(|e| CliError::Io(e.to_string()))?;
-    eprintln!("[serving on {addr}]");
-    let session = Arc::new(Mutex::new(
-        ServeSession::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?,
-    ));
-    let drivers: Vec<_> = (0..clients)
-        .map(|_| std::thread::spawn(move || drive_client(addr)))
+    store: &ConcurrentStore,
+) -> Result<(), CliError> {
+    use redundancy_json::{num_u64, obj, Json};
+    let per_shard: Vec<Json> = store
+        .per_shard_stats()
+        .iter()
+        .enumerate()
+        .map(|(s, cell)| {
+            let mut members = vec![("shard", num_u64(s as u64))];
+            members.extend(stats_members(cell));
+            obj(members)
+        })
         .collect();
+    let doc = obj(vec![
+        ("schema", Json::Str("serve-report/v1".into())),
+        ("scheme", Json::Str(plan.scheme().to_string())),
+        ("seed", num_u64(seed)),
+        ("shards", num_u64(store.shard_count() as u64)),
+        ("clients", num_u64(clients as u64)),
+        ("streams", Json::Str("per-shard".into())),
+        (
+            "stream_checksum",
+            Json::Str(format!("{:#018x}", store.stream_checksum())),
+        ),
+        ("totals", obj(stats_members(&store.stats()))),
+        ("per_shard", Json::Arr(per_shard)),
+    ]);
+    let mut body = redundancy_json::to_string_pretty(&doc);
+    body.push('\n');
+    std::fs::write(path, body).map_err(|e| CliError::Io(format!("writing {path}: {e}")))
+}
+
+/// Accept exactly `clients` connections off a blocking listener and serve
+/// each on its own thread through the shared handler (the portable
+/// `--io threads` drive loop).
+fn serve_threaded_conns<F>(
+    listener: &std::net::TcpListener,
+    clients: usize,
+    handler: std::sync::Arc<F>,
+) -> Result<(), CliError>
+where
+    F: Fn(&str) -> Reply + Send + Sync + 'static,
+{
     let mut conns = Vec::new();
     for _ in 0..clients {
         let (stream, _) = listener
@@ -1125,11 +1317,11 @@ fn serve_tcp_drive(
         stream
             .set_nodelay(true)
             .map_err(|e| CliError::Io(e.to_string()))?;
-        let session = Arc::clone(&session);
+        let handler = std::sync::Arc::clone(&handler);
         conns.push(std::thread::spawn(move || -> std::io::Result<()> {
             let mut r = stream.try_clone()?;
             let mut w = stream;
-            serve_connection(&mut r, &mut w, |req| session.lock().unwrap().handle(req))?;
+            serve_connection(&mut r, &mut w, |req| handler(req))?;
             Ok(())
         }));
     }
@@ -1138,16 +1330,138 @@ fn serve_tcp_drive(
             .map_err(|_| CliError::Io("a connection thread panicked".into()))?
             .map_err(|e| CliError::Io(format!("serving a connection: {e}")))?;
     }
-    for d in drivers {
-        d.join()
-            .map_err(|_| CliError::Io("a client thread panicked".into()))?
-            .map_err(|e| CliError::Io(format!("driving a client: {e}")))?;
+    Ok(())
+}
+
+/// Join the synthetic driver threads, naming every client that failed so
+/// a wedged or erroring drain exits nonzero with an actionable message
+/// instead of a generic one.
+fn join_drivers(
+    drivers: Vec<(usize, std::thread::JoinHandle<std::io::Result<()>>)>,
+) -> Result<(), CliError> {
+    let mut failures = Vec::new();
+    for (i, d) in drivers {
+        match d.join() {
+            Err(_) => failures.push(format!("client {i} panicked")),
+            Ok(Err(e)) => failures.push(format!("client {i}: {e}")),
+            Ok(Ok(())) => {}
+        }
     }
-    let session = Arc::try_unwrap(session)
-        .map_err(|_| CliError::Io("session still shared after the drain".into()))?
-        .into_inner()
-        .map_err(|_| CliError::Io("session mutex poisoned".into()))?;
-    Ok(session.store.stats())
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Io(failures.join("; ")))
+    }
+}
+
+/// Self-driving TCP drain: bind (an ephemeral port unless `--port` pins
+/// one), spawn `clients` synthetic client threads, and serve exactly that
+/// many connections off one shared store — on the epoll readiness loop or
+/// a thread per connection.
+#[allow(clippy::too_many_arguments)]
+fn serve_tcp_drive(
+    specs: &[TaskSpec],
+    campaign: &CampaignConfig,
+    serve: &ServeConfig,
+    seed: u64,
+    port: Option<u16>,
+    clients: usize,
+    streams: StreamMode,
+    use_epoll: bool,
+) -> Result<ServeRun, CliError> {
+    use std::net::TcpListener;
+    use std::sync::{Arc, Mutex};
+    let listener = TcpListener::bind(("127.0.0.1", port.unwrap_or(0)))
+        .map_err(|e| CliError::Io(format!("binding the TCP listener: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    eprintln!("[serving on {addr}]");
+    let opts = LoopOptions {
+        expected_clients: Some(clients),
+    };
+    // Build the store before spawning drivers so a bad configuration
+    // fails fast instead of stranding connected clients.
+    let run = match streams {
+        StreamMode::Single => {
+            let mut session =
+                ServeSession::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?;
+            if use_epoll {
+                let drivers = spawn_drivers(addr, clients);
+                serve_readiness_loop(listener, opts, |req, reply| {
+                    let (text, shutdown) = session.handle_buffered(req);
+                    reply.clear();
+                    reply.push_str(text);
+                    shutdown
+                })
+                .map_err(|e| CliError::Io(format!("epoll transport: {e}")))?;
+                join_drivers(drivers)?;
+                ServeRun {
+                    stats: session.store.stats(),
+                    store: None,
+                }
+            } else {
+                let session = Arc::new(Mutex::new(session));
+                let handler = {
+                    let session = Arc::clone(&session);
+                    Arc::new(move |req: &str| session.lock().unwrap().handle(req))
+                };
+                let drivers = spawn_drivers(addr, clients);
+                serve_threaded_conns(&listener, clients, handler)?;
+                join_drivers(drivers)?;
+                let stats = session
+                    .lock()
+                    .map_err(|_| CliError::Io("session mutex poisoned".into()))?
+                    .store
+                    .stats();
+                ServeRun { stats, store: None }
+            }
+        }
+        StreamMode::PerShard => {
+            let store =
+                ConcurrentStore::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?;
+            if use_epoll {
+                let drivers = spawn_drivers(addr, clients);
+                serve_readiness_loop(listener, opts, |req, reply| store.handle_into(req, reply))
+                    .map_err(|e| CliError::Io(format!("epoll transport: {e}")))?;
+                join_drivers(drivers)?;
+                ServeRun {
+                    stats: store.stats(),
+                    store: Some(store),
+                }
+            } else {
+                let store = Arc::new(store);
+                let handler = {
+                    let store = Arc::clone(&store);
+                    Arc::new(move |req: &str| {
+                        let mut text = String::new();
+                        let shutdown = store.handle_into(req, &mut text);
+                        Reply { text, shutdown }
+                    })
+                };
+                let drivers = spawn_drivers(addr, clients);
+                serve_threaded_conns(&listener, clients, handler)?;
+                join_drivers(drivers)?;
+                let store = Arc::try_unwrap(store)
+                    .map_err(|_| CliError::Io("store still shared after the drain".into()))?;
+                ServeRun {
+                    stats: store.stats(),
+                    store: Some(store),
+                }
+            }
+        }
+    };
+    Ok(run)
+}
+
+/// Spawn the enumerated synthetic client threads for a self-driving drain.
+fn spawn_drivers(
+    addr: std::net::SocketAddr,
+    clients: usize,
+) -> Vec<(usize, std::thread::JoinHandle<std::io::Result<()>>)> {
+    (0..clients)
+        .map(|i| (i, std::thread::spawn(move || drive_client(addr))))
+        .collect()
 }
 
 /// One synthetic client: request work, return it immediately, repeat until
@@ -1189,71 +1503,159 @@ fn drive_client(addr: std::net::SocketAddr) -> std::io::Result<()> {
     }
 }
 
-/// Daemon mode: listen on a pinned port, thread per connection, until a
-/// client sends `shutdown`.
+/// Daemon mode: listen on a pinned port until a client sends `shutdown`.
 fn serve_tcp_daemon(
     specs: &[TaskSpec],
     campaign: &CampaignConfig,
     serve: &ServeConfig,
     seed: u64,
     port: u16,
-) -> Result<ServeStats, CliError> {
+    streams: StreamMode,
+    use_epoll: bool,
+) -> Result<ServeRun, CliError> {
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| CliError::Io(format!("binding the TCP listener: {e}")))?;
-    serve_daemon_on(listener, specs, campaign, serve, seed)
+    serve_daemon_on(listener, specs, campaign, serve, seed, streams, use_epoll)
 }
 
-/// The daemon's accept loop, split from the bind so tests can listen on an
-/// OS-assigned port.  `shutdown` from any client stops the loop; a
-/// throwaway self-connection unblocks the final `accept`.
+/// The daemon's serve loop, split from the bind so tests can listen on an
+/// OS-assigned port.  `shutdown` from any client stops the loop: the epoll
+/// loop stops accepting and drains its remaining connections itself, and
+/// the threaded fallback polls a nonblocking listener against the stop
+/// flag — no throwaway self-connection needed to unblock an `accept`.
 fn serve_daemon_on(
     listener: std::net::TcpListener,
     specs: &[TaskSpec],
     campaign: &CampaignConfig,
     serve: &ServeConfig,
     seed: u64,
-) -> Result<ServeStats, CliError> {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    streams: StreamMode,
+    use_epoll: bool,
+) -> Result<ServeRun, CliError> {
     use std::sync::{Arc, Mutex};
     let addr = listener
         .local_addr()
         .map_err(|e| CliError::Io(e.to_string()))?;
     eprintln!("[serving on {addr}; send `shutdown` to stop]");
-    let session = Arc::new(Mutex::new(
-        ServeSession::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?,
-    ));
+    let opts = LoopOptions {
+        expected_clients: None,
+    };
+    let run = match streams {
+        StreamMode::Single => {
+            let mut session =
+                ServeSession::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?;
+            if use_epoll {
+                serve_readiness_loop(listener, opts, |req, reply| {
+                    let (text, shutdown) = session.handle_buffered(req);
+                    reply.clear();
+                    reply.push_str(text);
+                    shutdown
+                })
+                .map_err(|e| CliError::Io(format!("epoll transport: {e}")))?;
+                ServeRun {
+                    stats: session.store.stats(),
+                    store: None,
+                }
+            } else {
+                let session = Arc::new(Mutex::new(session));
+                let handler = {
+                    let session = Arc::clone(&session);
+                    Arc::new(move |req: &str| session.lock().unwrap().handle(req))
+                };
+                serve_daemon_threads(&listener, handler)?;
+                let stats = session
+                    .lock()
+                    .map_err(|_| CliError::Io("session mutex poisoned".into()))?
+                    .store
+                    .stats();
+                ServeRun { stats, store: None }
+            }
+        }
+        StreamMode::PerShard => {
+            let store =
+                ConcurrentStore::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?;
+            if use_epoll {
+                serve_readiness_loop(listener, opts, |req, reply| store.handle_into(req, reply))
+                    .map_err(|e| CliError::Io(format!("epoll transport: {e}")))?;
+                ServeRun {
+                    stats: store.stats(),
+                    store: Some(store),
+                }
+            } else {
+                let store = Arc::new(store);
+                let handler = {
+                    let store = Arc::clone(&store);
+                    Arc::new(move |req: &str| {
+                        let mut text = String::new();
+                        let shutdown = store.handle_into(req, &mut text);
+                        Reply { text, shutdown }
+                    })
+                };
+                serve_daemon_threads(&listener, handler)?;
+                let store = Arc::try_unwrap(store)
+                    .map_err(|_| CliError::Io("store still shared after shutdown".into()))?;
+                ServeRun {
+                    stats: store.stats(),
+                    store: Some(store),
+                }
+            }
+        }
+    };
+    Ok(run)
+}
+
+/// The threaded daemon accept loop: poll a nonblocking listener, serve
+/// each connection on its own thread, and stop accepting once any of them
+/// sees `shutdown`.  In-flight connections are joined (drained), exactly
+/// like the epoll loop's shutdown semantics.
+fn serve_daemon_threads<F>(
+    listener: &std::net::TcpListener,
+    handler: std::sync::Arc<F>,
+) -> Result<(), CliError>
+where
+    F: Fn(&str) -> Reply + Send + Sync + 'static,
+{
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::Io(e.to_string()))?;
     let stop = Arc::new(AtomicBool::new(false));
     let mut conns: Vec<std::thread::JoinHandle<std::io::Result<()>>> = Vec::new();
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = stream.map_err(|e| CliError::Io(format!("accepting a client: {e}")))?;
-        let _ = stream.set_nodelay(true);
-        let session = Arc::clone(&session);
-        let stop = Arc::clone(&stop);
-        conns.push(std::thread::spawn(move || -> std::io::Result<()> {
-            let mut r = stream.try_clone()?;
-            let mut w = stream;
-            let end = serve_connection(&mut r, &mut w, |req| session.lock().unwrap().handle(req))?;
-            if end == SessionEnd::Shutdown {
-                stop.store(true, Ordering::SeqCst);
-                let _ = std::net::TcpStream::connect(addr);
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is nonblocking but each connection is served
+                // by a blocking read loop on its own thread.
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| CliError::Io(e.to_string()))?;
+                let _ = stream.set_nodelay(true);
+                let handler = Arc::clone(&handler);
+                let stop = Arc::clone(&stop);
+                conns.push(std::thread::spawn(move || -> std::io::Result<()> {
+                    let mut r = stream.try_clone()?;
+                    let mut w = stream;
+                    let end = serve_connection(&mut r, &mut w, |req| handler(req))?;
+                    if end == SessionEnd::Shutdown {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                    Ok(())
+                }));
             }
-            Ok(())
-        }));
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(CliError::Io(format!("accepting a client: {e}"))),
+        }
     }
     for c in conns {
         c.join()
             .map_err(|_| CliError::Io("a connection thread panicked".into()))?
             .map_err(|e| CliError::Io(format!("serving a connection: {e}")))?;
     }
-    let stats = session
-        .lock()
-        .map_err(|_| CliError::Io("session mutex poisoned".into()))?
-        .store
-        .stats();
-    Ok(stats)
+    Ok(())
 }
 
 fn solve_sm(
@@ -1732,38 +2134,215 @@ mod tests {
     #[test]
     fn serve_daemon_serves_a_scripted_tcp_client_until_shutdown() {
         use redundancy_sim::serve::{decode_frames, script_frames};
-        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
-        let addr = listener.local_addr().unwrap();
-        let client = std::thread::spawn(move || {
-            use std::io::{Read as _, Write as _};
-            let mut stream = std::net::TcpStream::connect(addr).unwrap();
-            stream
-                .write_all(&script_frames(&[
-                    "request-work",
-                    "stats",
-                    "bogus-verb",
-                    "shutdown",
-                ]))
-                .unwrap();
-            let mut bytes = Vec::new();
-            stream.read_to_end(&mut bytes).unwrap();
-            decode_frames(&bytes)
-        });
-        let plan = build_plan(SchemeName::Balanced, 200, 0.5, None, 0.0).unwrap();
-        let specs = redundancy_sim::task::expand_plan(&plan);
-        let campaign = CampaignConfig::new(
-            AdversaryModel::AssignmentFraction { p: 0.2 },
-            CheatStrategy::AtLeast { min_copies: 1 },
+        let mut combos = vec![(StreamMode::Single, false), (StreamMode::PerShard, false)];
+        if epoll::available() {
+            combos.push((StreamMode::Single, true));
+            combos.push((StreamMode::PerShard, true));
+        }
+        for (streams, use_epoll) in combos {
+            let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            let addr = listener.local_addr().unwrap();
+            let client = std::thread::spawn(move || {
+                use std::io::{Read as _, Write as _};
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                stream
+                    .write_all(&script_frames(&[
+                        "request-work",
+                        "stats",
+                        "bogus-verb",
+                        "shutdown",
+                    ]))
+                    .unwrap();
+                let mut bytes = Vec::new();
+                stream.read_to_end(&mut bytes).unwrap();
+                decode_frames(&bytes)
+            });
+            let plan = build_plan(SchemeName::Balanced, 200, 0.5, None, 0.0).unwrap();
+            let specs = redundancy_sim::task::expand_plan(&plan);
+            let campaign = CampaignConfig::new(
+                AdversaryModel::AssignmentFraction { p: 0.2 },
+                CheatStrategy::AtLeast { min_copies: 1 },
+            );
+            let run = serve_daemon_on(
+                listener,
+                &specs,
+                &campaign,
+                &ServeConfig::new(2),
+                7,
+                streams,
+                use_epoll,
+            )
+            .unwrap();
+            let tag = format!("{streams:?} epoll={use_epoll}");
+            let replies = client.join().unwrap();
+            assert_eq!(replies.len(), 4, "{tag}: {replies:?}");
+            assert!(replies[0].starts_with("work "), "{tag}: {replies:?}");
+            assert!(replies[1].contains("tasks-total 201"), "{tag}: {replies:?}");
+            assert_eq!(replies[2], "err unknown-verb bogus-verb", "{tag}");
+            assert_eq!(replies[3], "bye", "{tag}");
+            assert_eq!(run.stats.issued, 1, "{tag}");
+            assert_eq!(run.stats.in_flight, 1, "{tag}");
+            assert_eq!(
+                run.store.is_some(),
+                streams == StreamMode::PerShard,
+                "{tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_per_shard_default_drain_reports_the_sharded_oracle() {
+        let argv = [
+            "serve",
+            "--tasks",
+            "600",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.2",
+            "--seed",
+            "9",
+            "--shards",
+            "2",
+            "--streams",
+            "per-shard",
+        ];
+        let out = run(&argv).unwrap();
+        assert!(out.contains("streams per-shard"), "{out}");
+        assert!(
+            out.contains("sharded-stream oracle: bit-identical"),
+            "{out}"
         );
-        let stats = serve_daemon_on(listener, &specs, &campaign, &ServeConfig::new(2), 7).unwrap();
-        let replies = client.join().unwrap();
-        assert_eq!(replies.len(), 4);
-        assert!(replies[0].starts_with("work "), "{replies:?}");
-        assert!(replies[1].contains("tasks-total 201"), "{replies:?}");
-        assert_eq!(replies[2], "err unknown-verb bogus-verb");
-        assert_eq!(replies[3], "bye");
-        assert_eq!(stats.issued, 1);
-        assert_eq!(stats.in_flight, 1);
+        assert_eq!(stat(&out, "tasks-completed"), stat(&out, "tasks-total"));
+        assert_eq!(stat(&out, "in-flight"), 0);
+        // Deterministic: same configuration, same bytes.
+        assert_eq!(out, run(&argv).unwrap());
+    }
+
+    #[test]
+    fn serve_per_shard_tcp_drive_is_invariant_to_clients_and_io() {
+        // With per-shard streams and a timeout that can never fire, the
+        // drained report is a pure function of (seed, shard count): the
+        // client count and the io transport must not change a byte of it
+        // beyond the `drained by N` line.
+        let base = |clients: &'static str, io: &'static str| {
+            vec![
+                "serve",
+                "--tasks",
+                "300",
+                "--epsilon",
+                "0.5",
+                "--proportion",
+                "0.2",
+                "--seed",
+                "9",
+                "--shards",
+                "2",
+                "--streams",
+                "per-shard",
+                "--timeout",
+                "1000000000",
+                "--clients",
+                clients,
+                "--io",
+                io,
+            ]
+        };
+        let strip = |out: &str| -> Vec<String> {
+            out.lines()
+                .filter(|l| !l.starts_with("drained by "))
+                .map(str::to_owned)
+                .collect()
+        };
+        let two = run(&base("2", "threads")).unwrap();
+        let eight = run(&base("8", "threads")).unwrap();
+        assert!(
+            two.contains("sharded-stream oracle: bit-identical"),
+            "{two}"
+        );
+        assert_eq!(strip(&two), strip(&eight));
+        // Byte-identical across reruns of the same ladder point.
+        assert_eq!(eight, run(&base("8", "threads")).unwrap());
+        if epoll::available() {
+            let epolled = run(&base("8", "epoll")).unwrap();
+            assert_eq!(epolled, eight, "epoll and threaded reports must agree");
+        }
+    }
+
+    #[test]
+    fn serve_json_report_sums_per_shard_cells() {
+        let path = std::env::temp_dir().join(format!("serve_report_{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap().to_owned();
+        let argv = [
+            "serve",
+            "--tasks",
+            "300",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.2",
+            "--seed",
+            "9",
+            "--shards",
+            "4",
+            "--streams",
+            "per-shard",
+            "--timeout",
+            "1000000000",
+            "--clients",
+            "4",
+            "--json",
+            &path_str,
+        ];
+        run(&argv).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let doc = redundancy_json::parse(&body).unwrap();
+        assert_eq!(doc.field_str("schema").unwrap(), "serve-report/v1");
+        assert_eq!(doc.field_u64("shards").unwrap(), 4);
+        assert_eq!(doc.field_u64("clients").unwrap(), 4);
+        assert_eq!(doc.field_str("streams").unwrap(), "per-shard");
+        assert!(doc.field_str("stream_checksum").unwrap().starts_with("0x"));
+        let totals = doc.field("totals").unwrap();
+        let cells = doc.field_arr("per_shard").unwrap();
+        assert_eq!(cells.len(), 4);
+        for key in ["issued", "returned", "total_copies", "completed_tasks"] {
+            let sum: u64 = cells.iter().map(|c| c.field_u64(key).unwrap()).sum();
+            assert_eq!(totals.field_u64(key).unwrap(), sum, "{key}");
+        }
+        assert_eq!(
+            totals.field_u64("issued").unwrap(),
+            totals.field_u64("total_copies").unwrap(),
+            "a full drain with an unreachable timeout issues every copy once"
+        );
+        for (s, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.field_u64("shard").unwrap(), s as u64);
+            assert!(cell.field_str("checksum").unwrap().starts_with("0x"));
+        }
+    }
+
+    #[test]
+    fn serve_json_requires_per_shard_streams() {
+        let err = run(&["serve", "--tasks", "100", "--json", "x.json"]).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Invalid(m) if m.contains("--json")),
+            "{err:?}"
+        );
+        let err = run(&[
+            "serve",
+            "--tasks",
+            "100",
+            "--streams",
+            "per-shard",
+            "--stdio",
+            "--json",
+            "x.json",
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Invalid(m) if m.contains("--stdio")),
+            "{err:?}"
+        );
     }
 
     #[test]

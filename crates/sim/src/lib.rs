@@ -91,8 +91,8 @@ pub use rounds::{
     run_platform, run_platform_with_faults, PlatformConfig, PlatformHistory, RoundReport,
 };
 pub use serve::{
-    drain_session, serve_connection, serve_experiment, AssignmentStore, ServeConfig, ServeSession,
-    ServeStats,
+    drain_session, serve_connection, serve_experiment, serve_readiness_loop, AssignmentStore,
+    ConcurrentStore, LoopOptions, ServeConfig, ServeSession, ServeStats, StreamMode,
 };
 pub use supervisor::Supervisor;
 pub use survival::{survival_experiment, survival_experiment_with, SurvivalOutcome};

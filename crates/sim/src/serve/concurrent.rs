@@ -1,0 +1,972 @@
+//! The concurrent serve store: per-shard locks and per-shard RNG streams.
+//!
+//! [`AssignmentStore`](super::AssignmentStore) centralizes dispatch (and
+//! therefore RNG order) in one activation cursor, which is what makes a
+//! drained session bit-identical to the batch kernel — but it also means
+//! every client serializes on one lock.  [`ConcurrentStore`] trades the
+//! batch-kernel identity for genuine concurrency while keeping an equally
+//! strong determinism contract:
+//!
+//! * **Per-shard locking.**  Task state is partitioned over `shards`
+//!   sub-stores by the same FNV-1a id hash as the single-stream store.
+//!   Each shard sits behind its own [`Mutex`] and owns its free-list
+//!   (timeout re-queue), its sampler caches, its tick clock, its partial
+//!   [`CampaignOutcome`], and its counters; [`request_work`]
+//!   (ConcurrentStore::request_work) routes via a round-robin cursor and
+//!   touches one shard's lock at a time, and
+//!   [`return_result`](ConcurrentStore::return_result) locks exactly the
+//!   owning shard.  [`ServeStats`] is aggregated from the per-shard cells
+//!   on demand.
+//!
+//! * **Per-shard RNG streams.**  Shard `s` draws every activation from
+//!   `DeterministicRng::new(SeedSequence::new(seed).derive(s))` and
+//!   activates *its own* ids in id order, lazily skipping ids other
+//!   shards own.  A shard's activation sequence is therefore a pure
+//!   function of `(seed, shard count, s)` — no client interleaving can
+//!   perturb it, because no other shard ever touches its stream.  With a
+//!   timeout no client trips, a *drained* store's merged outcome, final
+//!   per-shard RNG states, and rendered stats are byte-identical across
+//!   any number of clients (1/2/4/8/...) and any request schedule at a
+//!   fixed shard count.
+//!
+//! The matching oracle is [`drain_shard_by_shard`]
+//! (ConcurrentStore::drain_shard_by_shard): draining shard 0 to
+//! completion, then shard 1, and so on exercises no concurrency at all,
+//! yet must land in the same final state as any interleaved or
+//! multi-threaded drain.  The serve proptests and the `serve_concurrent`
+//! bench pin this.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use super::protocol::{handle_request, WorkSource};
+use super::store::{
+    judge_completed, materialize_task, shard_hash, Assignment, CopyState, InFlightRec, Issue,
+    ReturnAck, ServeConfig, ServeError, ServeStats, TaskState,
+};
+use crate::engine::CampaignConfig;
+use crate::outcome::CampaignOutcome;
+use crate::supervisor::Supervisor;
+use crate::task::{grouped_specs, ResultValue, SpecGroup, TaskId, TaskSpec};
+use redundancy_stats::{BinomialCache, DeterministicRng, HypergeometricCache, SeedSequence};
+
+/// Which RNG-stream discipline a serve session runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamMode {
+    /// One session RNG, centralized dispatch: bit-identical to the batch
+    /// kernel (the `ext_serve` oracle), but clients serialize on one lock.
+    #[default]
+    Single,
+    /// One derived RNG stream per shard, per-shard locks: bit-identical
+    /// across client counts and interleavings at a fixed shard count.
+    PerShard,
+}
+
+impl std::str::FromStr for StreamMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "single" => Ok(StreamMode::Single),
+            "per-shard" => Ok(StreamMode::PerShard),
+            other => Err(format!(
+                "unknown stream mode '{other}' (expected single or per-shard)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for StreamMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StreamMode::Single => "single",
+            StreamMode::PerShard => "per-shard",
+        })
+    }
+}
+
+/// One shard of the concurrent store: its slice of task state, its own
+/// RNG stream, sampler caches, free-list, in-flight queue, tick clock,
+/// counters, and partial outcome.  Everything a request touches after
+/// routing lives behind this shard's lock.
+#[derive(Debug)]
+struct ShardStore {
+    /// This shard's index and the total shard count, for the id walk.
+    shard: u64,
+    nshards: u64,
+    config: CampaignConfig,
+    supervisor: Supervisor,
+    timeout: u64,
+    max_retries: u32,
+    /// This shard's derived RNG stream: `SeedSequence::derive(shard)`.
+    rng: DeterministicRng,
+    binomial: BinomialCache,
+    hypergeometric: HypergeometricCache,
+    /// Shared immutable description of the whole workload; each shard
+    /// walks it independently, activating only the ids it owns.
+    groups: std::sync::Arc<[SpecGroup]>,
+    group_cursor: usize,
+    group_offset: u64,
+    /// The task currently being dealt: (local slot, next copy, mult).
+    active: Option<(u32, u32, u32)>,
+    /// Activated tasks in id order (so return routing binary-searches).
+    tasks: Vec<TaskState>,
+    /// The timeout free-list: (local slot, copy, attempt).
+    requeue: VecDeque<(u32, u32, u32)>,
+    /// In-flight copies in deadline order; `task` is the local slot.
+    inflight: VecDeque<InFlightRec>,
+    now: u64,
+    issued: u64,
+    returned: u64,
+    in_flight_count: u64,
+    lost: u64,
+    activated_tasks: u64,
+    completed_tasks: u64,
+    /// How many tasks/copies of the workload this shard owns in total.
+    owned_tasks: u64,
+    owned_copies: u64,
+    outcome: CampaignOutcome,
+    results_buf: Vec<ResultValue>,
+}
+
+impl ShardStore {
+    fn is_drained(&self) -> bool {
+        self.completed_tasks == self.owned_tasks
+    }
+
+    /// Draw holdings and materialize values for the next task *this shard
+    /// owns*, in id order, from this shard's own stream.  Returns false
+    /// when the shard's slice is fully activated.
+    fn activate_next(&mut self) -> bool {
+        loop {
+            let Some(g) = self.groups.get(self.group_cursor) else {
+                return false;
+            };
+            if self.group_offset >= g.count {
+                self.group_cursor += 1;
+                self.group_offset = 0;
+                continue;
+            }
+            let id = TaskId(g.first_id.0 + self.group_offset);
+            self.group_offset += 1;
+            if shard_hash(id.0) % self.nshards != self.shard {
+                continue;
+            }
+            let mult = u64::from(g.multiplicity);
+            let (held, cheats, values) = materialize_task(
+                &self.config,
+                &mut self.binomial,
+                &mut self.hypergeometric,
+                id,
+                mult,
+                &mut self.rng,
+            );
+            self.outcome.tasks += 1;
+            self.outcome.assignments += mult;
+            self.outcome.holdings.record(held as usize);
+            let slot = self.tasks.len() as u32;
+            self.tasks.push(TaskState {
+                spec: TaskSpec {
+                    id,
+                    multiplicity: g.multiplicity,
+                    precomputed: g.precomputed,
+                },
+                held,
+                cheats,
+                values,
+                copies: vec![CopyState::Pending; g.multiplicity as usize],
+                returned: 0,
+                lost: 0,
+                judged: false,
+            });
+            self.active = Some((slot, 0, g.multiplicity));
+            self.activated_tasks += 1;
+            return true;
+        }
+    }
+
+    fn request_work(&mut self) -> Issue {
+        self.now += 1;
+        self.expire_overdue();
+        if let Some((slot, copy, attempt)) = self.requeue.pop_front() {
+            return Issue::Work(self.issue(slot, copy, attempt));
+        }
+        if self.active.is_none() {
+            self.activate_next();
+        }
+        if let Some((slot, copy, mult)) = self.active {
+            self.active = if copy + 1 < mult {
+                Some((slot, copy + 1, mult))
+            } else {
+                None
+            };
+            return Issue::Work(self.issue(slot, copy, 0));
+        }
+        if self.in_flight_count > 0 {
+            Issue::Idle
+        } else {
+            debug_assert!(self.is_drained(), "shard: no work, none in flight");
+            Issue::Drained
+        }
+    }
+
+    fn return_result(&mut self, task: TaskId, copy: u32) -> Result<ReturnAck, ServeError> {
+        let Ok(slot) = self.tasks.binary_search_by_key(&task.0, |t| t.spec.id.0) else {
+            // Owned by this shard but never activated: nothing issued yet.
+            return Err(ServeError::NotInFlight { task, copy });
+        };
+        let state = &mut self.tasks[slot];
+        if copy >= state.spec.multiplicity {
+            return Err(ServeError::CopyOutOfRange {
+                task,
+                copy,
+                multiplicity: state.spec.multiplicity,
+            });
+        }
+        if !matches!(state.copies[copy as usize], CopyState::InFlight { .. }) {
+            return Err(ServeError::NotInFlight { task, copy });
+        }
+        state.copies[copy as usize] = CopyState::Returned;
+        state.returned += 1;
+        self.returned += 1;
+        self.in_flight_count -= 1;
+        let complete = u64::from(state.returned + state.lost) == u64::from(state.spec.multiplicity);
+        if complete {
+            self.judge(slot);
+        }
+        Ok(ReturnAck {
+            task_complete: complete,
+        })
+    }
+
+    fn issue(&mut self, slot: u32, copy: u32, attempt: u32) -> Assignment {
+        let state = &mut self.tasks[slot as usize];
+        debug_assert_eq!(state.copies[copy as usize], CopyState::Pending);
+        state.copies[copy as usize] = CopyState::InFlight { attempt };
+        let spec = state.spec;
+        self.inflight.push_back(InFlightRec {
+            task: slot,
+            copy,
+            attempt,
+            deadline: self.now + self.timeout,
+        });
+        self.issued += 1;
+        self.in_flight_count += 1;
+        Assignment {
+            task: spec.id,
+            copy,
+            multiplicity: spec.multiplicity,
+        }
+    }
+
+    fn expire_overdue(&mut self) {
+        while let Some(rec) = self.inflight.front().copied() {
+            if rec.deadline > self.now {
+                break;
+            }
+            self.inflight.pop_front();
+            let state = &mut self.tasks[rec.task as usize];
+            let live = matches!(
+                state.copies[rec.copy as usize],
+                CopyState::InFlight { attempt } if attempt == rec.attempt
+            );
+            if !live {
+                continue;
+            }
+            self.in_flight_count -= 1;
+            self.outcome.timeouts += 1;
+            if rec.attempt >= self.max_retries {
+                state.copies[rec.copy as usize] = CopyState::Lost;
+                state.lost += 1;
+                self.lost += 1;
+                self.outcome.lost_assignments += 1;
+                if u64::from(state.returned + state.lost) == u64::from(state.spec.multiplicity) {
+                    self.judge(rec.task as usize);
+                }
+            } else {
+                self.outcome.retries += 1;
+                state.copies[rec.copy as usize] = CopyState::Pending;
+                self.requeue
+                    .push_back((rec.task, rec.copy, rec.attempt + 1));
+            }
+        }
+    }
+
+    fn judge(&mut self, slot: usize) {
+        let mut buf = std::mem::take(&mut self.results_buf);
+        self.completed_tasks += 1;
+        judge_completed(
+            &self.supervisor,
+            &mut self.tasks[slot],
+            &mut buf,
+            &mut self.outcome,
+        );
+        self.results_buf = buf;
+    }
+
+    /// This shard's stats cell, scoped to the slice of the workload it
+    /// owns; the session snapshot is the field-wise sum of these.
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            total_tasks: self.owned_tasks,
+            activated_tasks: self.activated_tasks,
+            completed_tasks: self.completed_tasks,
+            total_copies: self.owned_copies,
+            issued: self.issued,
+            returned: self.returned,
+            in_flight: self.in_flight_count,
+            requeued: self.requeue.len() as u64,
+            lost: self.lost,
+            timeouts: self.outcome.timeouts,
+            retries: self.outcome.retries,
+            cheats_attempted: self.outcome.total_attempted(),
+            cheats_detected: self.outcome.total_detected(),
+            wrong_accepted: self.outcome.wrong_accepted,
+            false_flags: self.outcome.false_flags,
+            unresolved_tasks: self.outcome.unresolved_tasks,
+        }
+    }
+
+    /// Drain this shard to completion with immediate returns — the
+    /// shard-by-shard oracle's inner loop.
+    fn drain(&mut self) {
+        loop {
+            match self.request_work() {
+                Issue::Work(a) => {
+                    self.return_result(a.task, a.copy)
+                        .expect("drain returned an issued copy");
+                }
+                Issue::Idle => unreachable!("immediate returns leave nothing in flight"),
+                Issue::Drained => break,
+            }
+        }
+    }
+
+    fn check_invariants(&self) {
+        let mut in_flight = 0u64;
+        let mut returned = 0u64;
+        let mut lost = 0u64;
+        let mut completed = 0u64;
+        let mut prev_id: Option<u64> = None;
+        for state in &self.tasks {
+            assert!(
+                prev_id.is_none_or(|p| p < state.spec.id.0),
+                "shard task ids not strictly increasing"
+            );
+            prev_id = Some(state.spec.id.0);
+            assert_eq!(
+                shard_hash(state.spec.id.0) % self.nshards,
+                self.shard,
+                "task {} on the wrong shard",
+                state.spec.id.0
+            );
+            let mult = state.spec.multiplicity as usize;
+            assert_eq!(state.copies.len(), mult, "copy vector length drifted");
+            let mut counts = [0u32; 4];
+            for c in &state.copies {
+                counts[match c {
+                    CopyState::Pending => 0,
+                    CopyState::InFlight { .. } => 1,
+                    CopyState::Returned => 2,
+                    CopyState::Lost => 3,
+                }] += 1;
+            }
+            assert_eq!(
+                counts.iter().map(|&c| c as usize).sum::<usize>(),
+                mult,
+                "copies of task {} not conserved",
+                state.spec.id.0
+            );
+            assert_eq!(counts[2], state.returned, "returned count drifted");
+            assert_eq!(counts[3], state.lost, "lost count drifted");
+            assert_eq!(
+                state.judged,
+                u64::from(state.returned + state.lost) == u64::from(state.spec.multiplicity),
+                "task {} judged flag inconsistent",
+                state.spec.id.0
+            );
+            in_flight += u64::from(counts[1]);
+            returned += u64::from(counts[2]);
+            lost += u64::from(counts[3]);
+            completed += u64::from(state.judged);
+        }
+        assert_eq!(in_flight, self.in_flight_count, "in-flight count drifted");
+        assert_eq!(returned, self.returned, "returned count drifted");
+        assert_eq!(lost, self.lost, "lost count drifted");
+        assert_eq!(
+            self.tasks.len() as u64,
+            self.activated_tasks,
+            "activation count drifted"
+        );
+        assert_eq!(completed, self.completed_tasks, "completion count drifted");
+        let mut seen = std::collections::HashSet::new();
+        for &(slot, copy, _) in &self.requeue {
+            assert!(seen.insert((slot, copy)), "copy re-queued twice");
+            assert_eq!(
+                self.tasks[slot as usize].copies[copy as usize],
+                CopyState::Pending,
+                "re-queued copy not pending"
+            );
+        }
+        assert_eq!(
+            self.issued,
+            self.returned + self.outcome.timeouts + self.in_flight_count,
+            "issues leaked"
+        );
+    }
+}
+
+/// The per-shard-locked, per-shard-stream serve store.  Every method takes
+/// `&self`: requests route to a shard and lock only that shard, so clients
+/// on different shards proceed in parallel.  See the module docs for the
+/// determinism contract.
+#[derive(Debug)]
+pub struct ConcurrentStore {
+    shards: Vec<Mutex<ShardStore>>,
+    /// Round-robin routing cursor for `request_work`.
+    router: AtomicUsize,
+    base_id: u64,
+    total_tasks: u64,
+    total_copies: u64,
+    seed: u64,
+}
+
+impl ConcurrentStore {
+    /// Build a store over `tasks` (contiguous ids, as
+    /// [`expand_plan`](crate::task::expand_plan) produces), with shard
+    /// `s`'s stream seeded from `SeedSequence::new(seed).derive(s)`.
+    pub fn new(
+        tasks: &[TaskSpec],
+        config: &CampaignConfig,
+        serve: &ServeConfig,
+        seed: u64,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        serve.validate()?;
+        let groups: Vec<SpecGroup> = grouped_specs(tasks).collect();
+        let mut expected = groups.first().map_or(0, |g| g.first_id.0);
+        let base_id = expected;
+        let mut total_copies = 0u64;
+        let nshards = serve.shards as u64;
+        let mut owned_tasks = vec![0u64; serve.shards];
+        let mut owned_copies = vec![0u64; serve.shards];
+        for g in &groups {
+            if g.multiplicity == 0 {
+                return Err(format!("task {} has multiplicity 0", g.first_id.0));
+            }
+            if g.first_id.0 != expected {
+                return Err(format!(
+                    "task ids must be contiguous: expected {expected}, found {}",
+                    g.first_id.0
+                ));
+            }
+            expected += g.count;
+            total_copies += g.count * u64::from(g.multiplicity);
+            for offset in 0..g.count {
+                let s = (shard_hash(g.first_id.0 + offset) % nshards) as usize;
+                owned_tasks[s] += 1;
+                owned_copies[s] += u64::from(g.multiplicity);
+            }
+        }
+        let total_tasks = expected - base_id;
+        let groups: std::sync::Arc<[SpecGroup]> = groups.into();
+        let seq = SeedSequence::new(seed);
+        let shards: Vec<Mutex<ShardStore>> = (0..serve.shards)
+            .map(|s| {
+                let mut outcome = CampaignOutcome::default();
+                if s == 0 {
+                    // The session is one campaign; the counter lives on
+                    // shard 0 and surfaces through the merged outcome.
+                    outcome.campaigns = 1;
+                }
+                Mutex::new(ShardStore {
+                    shard: s as u64,
+                    nshards,
+                    config: *config,
+                    supervisor: Supervisor::new(config.policy),
+                    timeout: serve.faults.timeout,
+                    max_retries: serve.faults.max_retries,
+                    rng: DeterministicRng::new(seq.derive(s as u64)),
+                    binomial: BinomialCache::default(),
+                    hypergeometric: HypergeometricCache::default(),
+                    groups: groups.clone(),
+                    group_cursor: 0,
+                    group_offset: 0,
+                    active: None,
+                    tasks: Vec::new(),
+                    requeue: VecDeque::new(),
+                    inflight: VecDeque::new(),
+                    now: 0,
+                    issued: 0,
+                    returned: 0,
+                    in_flight_count: 0,
+                    lost: 0,
+                    activated_tasks: 0,
+                    completed_tasks: 0,
+                    owned_tasks: owned_tasks[s],
+                    owned_copies: owned_copies[s],
+                    outcome,
+                    results_buf: Vec::new(),
+                })
+            })
+            .collect();
+        Ok(ConcurrentStore {
+            shards,
+            router: AtomicUsize::new(0),
+            base_id,
+            total_tasks,
+            total_copies,
+            seed,
+        })
+    }
+
+    fn lock(&self, s: usize) -> MutexGuard<'_, ShardStore> {
+        self.shards[s].lock().expect("shard lock poisoned")
+    }
+
+    /// Number of hash shards (= number of RNG streams and locks).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The seed the per-shard streams were derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Copies in the full workload (sum of multiplicities).
+    pub fn total_copies(&self) -> u64 {
+        self.total_copies
+    }
+
+    /// True once every task on every shard has been judged.
+    pub fn is_drained(&self) -> bool {
+        self.shards.iter().enumerate().all(|(s, _)| {
+            let g = self.lock(s);
+            g.is_drained()
+        })
+    }
+
+    /// Hand out the next copy of work, scanning shards round-robin from
+    /// the routing cursor and touching one shard lock at a time.
+    ///
+    /// `Drained` is only answered when *every* shard reported drained in
+    /// this scan — and drained-ness is monotone (a judged task never
+    /// un-judges), so the answer cannot be a stale race: any shard with
+    /// live work forces `Work` or `Idle`.
+    pub fn request_work(&self) -> Issue {
+        let n = self.shards.len();
+        let start = self.router.fetch_add(1, Ordering::Relaxed) % n;
+        let mut any_idle = false;
+        for k in 0..n {
+            let s = (start + k) % n;
+            match self.lock(s).request_work() {
+                Issue::Work(a) => return Issue::Work(a),
+                Issue::Idle => any_idle = true,
+                Issue::Drained => {}
+            }
+        }
+        if any_idle {
+            Issue::Idle
+        } else {
+            Issue::Drained
+        }
+    }
+
+    /// Accept the return of one in-flight copy, locking only the owning
+    /// shard.
+    pub fn return_result(&self, task: TaskId, copy: u32) -> Result<ReturnAck, ServeError> {
+        if task
+            .0
+            .checked_sub(self.base_id)
+            .filter(|&i| i < self.total_tasks)
+            .is_none()
+        {
+            return Err(ServeError::UnknownTask(task));
+        }
+        let s = (shard_hash(task.0) % self.shards.len() as u64) as usize;
+        self.lock(s).return_result(task, copy)
+    }
+
+    /// The live session snapshot: the field-wise sum of the per-shard
+    /// stats cells (each shard is locked once, in order).
+    pub fn stats(&self) -> ServeStats {
+        let mut total = ServeStats::default();
+        for cell in self.per_shard_stats() {
+            total.total_tasks += cell.total_tasks;
+            total.activated_tasks += cell.activated_tasks;
+            total.completed_tasks += cell.completed_tasks;
+            total.total_copies += cell.total_copies;
+            total.issued += cell.issued;
+            total.returned += cell.returned;
+            total.in_flight += cell.in_flight;
+            total.requeued += cell.requeued;
+            total.lost += cell.lost;
+            total.timeouts += cell.timeouts;
+            total.retries += cell.retries;
+            total.cheats_attempted += cell.cheats_attempted;
+            total.cheats_detected += cell.cheats_detected;
+            total.wrong_accepted += cell.wrong_accepted;
+            total.false_flags += cell.false_flags;
+            total.unresolved_tasks += cell.unresolved_tasks;
+        }
+        total
+    }
+
+    /// Each shard's own stats cell, scoped to the slice it owns.
+    pub fn per_shard_stats(&self) -> Vec<ServeStats> {
+        (0..self.shards.len())
+            .map(|s| self.lock(s).stats())
+            .collect()
+    }
+
+    /// Fold the shards' partial outcomes into one [`CampaignOutcome`].
+    pub fn merged_outcome(&self) -> CampaignOutcome {
+        let mut out = CampaignOutcome::default();
+        for s in 0..self.shards.len() {
+            out.merge(&self.lock(s).outcome);
+        }
+        out
+    }
+
+    /// A clone of each shard's current RNG state — the per-shard half of
+    /// the determinism contract (drained stores must agree on these).
+    pub fn final_rngs(&self) -> Vec<DeterministicRng> {
+        (0..self.shards.len())
+            .map(|s| self.lock(s).rng.clone())
+            .collect()
+    }
+
+    /// FNV-1a fold over every shard's RNG position (probed by drawing
+    /// from a clone): one number that differs whenever any stream does.
+    pub fn stream_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (s, rng) in self.final_rngs().iter_mut().enumerate() {
+            fold(s as u64);
+            fold(rng.next_raw());
+            fold(rng.next_raw());
+        }
+        h
+    }
+
+    /// Handle one protocol request against this store, formatting the
+    /// reply into caller-owned scratch (each connection brings its own
+    /// buffer, so concurrent sessions never contend on reply storage).
+    /// Returns true on `shutdown`.
+    pub fn handle_into(&self, request: &str, reply: &mut String) -> bool {
+        let mut src = self;
+        handle_request(&mut src, request, reply)
+    }
+
+    /// Drain the store to completion with immediate returns through the
+    /// round-robin router — the single-client interleaved drain.
+    pub fn drain(&self) {
+        loop {
+            match self.request_work() {
+                Issue::Work(a) => {
+                    self.return_result(a.task, a.copy)
+                        .expect("drain returned an issued copy");
+                }
+                Issue::Idle => unreachable!("immediate returns leave nothing in flight"),
+                Issue::Drained => break,
+            }
+        }
+    }
+
+    /// The sharded-stream oracle: drain shard 0 to completion, then shard
+    /// 1, and so on — no interleaving across shards at all.  Any drained
+    /// store on the same (tasks, config, serve, seed) must agree with
+    /// this one on merged outcome, per-shard final RNGs, and stats.
+    pub fn drain_shard_by_shard(&self) {
+        for s in 0..self.shards.len() {
+            self.lock(s).drain();
+        }
+    }
+
+    /// Exhaustively re-derive every counter from the per-copy states and
+    /// panic on any mismatch — conservation of multiplicity, per shard
+    /// and across shards.  Proptest support; never on the hot path.
+    pub fn check_invariants(&self) {
+        let mut owned = 0u64;
+        let mut copies = 0u64;
+        for s in 0..self.shards.len() {
+            let g = self.lock(s);
+            g.check_invariants();
+            owned += g.owned_tasks;
+            copies += g.owned_copies;
+        }
+        assert_eq!(owned, self.total_tasks, "shard ownership does not tile");
+        assert_eq!(copies, self.total_copies, "shard copies do not tile");
+    }
+}
+
+impl WorkSource for &ConcurrentStore {
+    fn request_work(&mut self) -> Issue {
+        ConcurrentStore::request_work(self)
+    }
+
+    fn return_result(&mut self, task: TaskId, copy: u32) -> Result<ReturnAck, ServeError> {
+        ConcurrentStore::return_result(self, task, copy)
+    }
+
+    fn stats(&self) -> ServeStats {
+        ConcurrentStore::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdversaryModel, CheatStrategy};
+    use crate::faults::FaultModel;
+    use crate::task::expand_plan;
+    use redundancy_core::RealizedPlan;
+
+    fn campaign() -> CampaignConfig {
+        CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        )
+    }
+
+    fn specs(n: u64) -> Vec<TaskSpec> {
+        expand_plan(&RealizedPlan::balanced(n, 0.5).unwrap())
+    }
+
+    /// A timeout no drain can trip.
+    fn patient(shards: usize) -> ServeConfig {
+        ServeConfig {
+            faults: FaultModel {
+                timeout: 1_000_000_000,
+                ..FaultModel::none()
+            },
+            ..ServeConfig::new(shards)
+        }
+    }
+
+    #[test]
+    fn interleaved_drain_matches_the_shard_by_shard_oracle() {
+        let tasks = specs(800);
+        for shards in [1usize, 2, 4] {
+            let oracle = ConcurrentStore::new(&tasks, &campaign(), &patient(shards), 42).unwrap();
+            oracle.drain_shard_by_shard();
+            let live = ConcurrentStore::new(&tasks, &campaign(), &patient(shards), 42).unwrap();
+            live.drain();
+            live.check_invariants();
+            assert!(live.is_drained());
+            assert_eq!(live.merged_outcome(), oracle.merged_outcome());
+            assert_eq!(live.final_rngs(), oracle.final_rngs());
+            assert_eq!(live.stats(), oracle.stats());
+            assert_eq!(live.per_shard_stats(), oracle.per_shard_stats());
+            assert_eq!(live.stream_checksum(), oracle.stream_checksum());
+        }
+    }
+
+    #[test]
+    fn threaded_drain_matches_the_oracle_at_every_client_count() {
+        let tasks = specs(600);
+        for shards in [1usize, 4] {
+            let oracle = ConcurrentStore::new(&tasks, &campaign(), &patient(shards), 7).unwrap();
+            oracle.drain_shard_by_shard();
+            for clients in [1usize, 2, 8] {
+                let live = ConcurrentStore::new(&tasks, &campaign(), &patient(shards), 7).unwrap();
+                std::thread::scope(|scope| {
+                    for _ in 0..clients {
+                        scope.spawn(|| loop {
+                            match live.request_work() {
+                                Issue::Work(a) => {
+                                    live.return_result(a.task, a.copy)
+                                        .expect("issued copy must return");
+                                }
+                                Issue::Idle => std::thread::yield_now(),
+                                Issue::Drained => break,
+                            }
+                        });
+                    }
+                });
+                live.check_invariants();
+                assert!(live.is_drained(), "{clients} clients left work behind");
+                assert_eq!(
+                    live.merged_outcome(),
+                    oracle.merged_outcome(),
+                    "outcome diverged at {shards} shards, {clients} clients"
+                );
+                assert_eq!(
+                    live.final_rngs(),
+                    oracle.final_rngs(),
+                    "streams diverged at {shards} shards, {clients} clients"
+                );
+                assert_eq!(live.stats().render(), oracle.stats().render());
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_stats_cells_sum_to_the_session_snapshot() {
+        let tasks = specs(500);
+        let store = ConcurrentStore::new(&tasks, &campaign(), &patient(3), 9).unwrap();
+        // Mid-session: issue a prefix without returning everything.
+        for i in 0..257 {
+            let Issue::Work(a) = store.request_work() else {
+                panic!("store drained too early");
+            };
+            if i % 3 != 0 {
+                store.return_result(a.task, a.copy).unwrap();
+            }
+        }
+        let cells = store.per_shard_stats();
+        let total = store.stats();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells.iter().map(|c| c.issued).sum::<u64>(), total.issued);
+        assert_eq!(
+            cells.iter().map(|c| c.returned).sum::<u64>(),
+            total.returned
+        );
+        assert_eq!(
+            cells.iter().map(|c| c.in_flight).sum::<u64>(),
+            total.in_flight
+        );
+        assert_eq!(
+            cells.iter().map(|c| c.total_tasks).sum::<u64>(),
+            total.total_tasks
+        );
+        assert_eq!(total.total_tasks, tasks.len() as u64);
+        store.check_invariants();
+    }
+
+    #[test]
+    fn returns_are_validated_per_shard() {
+        let tasks = specs(100);
+        let store = ConcurrentStore::new(&tasks, &campaign(), &patient(2), 1).unwrap();
+        assert_eq!(
+            store.return_result(TaskId(999_999), 0),
+            Err(ServeError::UnknownTask(TaskId(999_999)))
+        );
+        assert_eq!(
+            store.return_result(TaskId(0), 0),
+            Err(ServeError::NotInFlight {
+                task: TaskId(0),
+                copy: 0
+            })
+        );
+        let Issue::Work(a) = store.request_work() else {
+            panic!("fresh store must have work");
+        };
+        assert_eq!(
+            store.return_result(a.task, a.multiplicity),
+            Err(ServeError::CopyOutOfRange {
+                task: a.task,
+                copy: a.multiplicity,
+                multiplicity: a.multiplicity
+            })
+        );
+        assert!(store.return_result(a.task, a.copy).is_ok());
+        assert_eq!(
+            store.return_result(a.task, a.copy),
+            Err(ServeError::NotInFlight {
+                task: a.task,
+                copy: a.copy
+            })
+        );
+    }
+
+    #[test]
+    fn timeouts_conserve_every_copy_per_shard() {
+        let tasks = specs(60);
+        let serve = ServeConfig {
+            faults: FaultModel {
+                timeout: 2,
+                max_retries: 1,
+                ..FaultModel::none()
+            },
+            ..ServeConfig::new(3)
+        };
+        let store = ConcurrentStore::new(&tasks, &campaign(), &serve, 5).unwrap();
+        let mut guard = 0u64;
+        loop {
+            match store.request_work() {
+                Issue::Drained => break,
+                _ => {
+                    guard += 1;
+                    assert!(guard < 1_000_000, "drain did not terminate");
+                }
+            }
+        }
+        store.check_invariants();
+        let stats = store.stats();
+        assert_eq!(stats.completed_tasks, stats.total_tasks);
+        assert_eq!(stats.lost, stats.total_copies);
+        assert_eq!(stats.returned, 0);
+        assert_eq!(stats.unresolved_tasks, stats.total_tasks);
+        assert_eq!(stats.issued, 2 * stats.total_copies);
+        assert_eq!(stats.retries, stats.total_copies);
+        assert_eq!(stats.timeouts, 2 * stats.total_copies);
+    }
+
+    #[test]
+    fn protocol_replies_match_the_single_stream_formatter() {
+        // The same request script through handle_into and through a
+        // ServeSession must produce the same reply *shapes* (the payloads
+        // differ: different streams hand out different holdings) — and
+        // err/bad-request text must be byte-identical.
+        let tasks = specs(4);
+        let store = ConcurrentStore::new(&tasks, &campaign(), &patient(2), 3).unwrap();
+        let mut reply = String::new();
+        assert!(!store.handle_into("request-work", &mut reply));
+        assert!(reply.starts_with("work "));
+        assert!(!store.handle_into("return-result one two", &mut reply));
+        assert_eq!(reply, "err bad-request return-result expects <task> <copy>");
+        assert!(!store.handle_into("return-result 999999 0", &mut reply));
+        assert_eq!(
+            reply,
+            "err unknown-task task 999999 is not in this workload"
+        );
+        assert!(!store.handle_into("frobnicate", &mut reply));
+        assert_eq!(reply, "err unknown-verb frobnicate");
+        assert!(!store.handle_into("stats", &mut reply));
+        assert!(reply.contains("issued 1"));
+        assert!(reply.contains("checksum 0x"));
+        assert!(store.handle_into("shutdown", &mut reply));
+        assert_eq!(reply, "bye");
+    }
+
+    #[test]
+    fn stream_mode_parses_and_renders() {
+        assert_eq!("single".parse::<StreamMode>().unwrap(), StreamMode::Single);
+        assert_eq!(
+            "per-shard".parse::<StreamMode>().unwrap(),
+            StreamMode::PerShard
+        );
+        assert!("both".parse::<StreamMode>().is_err());
+        assert_eq!(StreamMode::PerShard.to_string(), "per-shard");
+        assert_eq!(StreamMode::default(), StreamMode::Single);
+    }
+
+    #[test]
+    fn empty_workload_drains_immediately() {
+        let store = ConcurrentStore::new(&[], &campaign(), &patient(4), 1).unwrap();
+        assert!(store.is_drained());
+        assert_eq!(store.request_work(), Issue::Drained);
+        assert_eq!(store.merged_outcome().campaigns, 1);
+        assert_eq!(store.stats().total_tasks, 0);
+    }
+
+    #[test]
+    fn shard_streams_are_independent_of_the_shard_count_of_other_work() {
+        // At different shard counts the streams legitimately differ; at
+        // the *same* shard count with a different seed they must differ
+        // too (the derive actually feeds the streams).
+        let tasks = specs(200);
+        let a = ConcurrentStore::new(&tasks, &campaign(), &patient(2), 1).unwrap();
+        let b = ConcurrentStore::new(&tasks, &campaign(), &patient(2), 2).unwrap();
+        a.drain();
+        b.drain();
+        assert_ne!(a.stream_checksum(), b.stream_checksum());
+        assert_ne!(a.final_rngs(), b.final_rngs());
+    }
+}

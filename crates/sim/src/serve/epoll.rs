@@ -1,0 +1,670 @@
+//! A dependency-free epoll readiness loop for the TCP serve transports.
+//!
+//! The threaded transports spend one OS thread per connection and park it
+//! in blocking reads; under the 8-client contention soak that is eight
+//! threads ping-ponging on socket wakeups.  This module replaces them
+//! with a single-threaded nonblocking accept + readiness loop over the
+//! raw `epoll_create1` / `epoll_ctl` / `epoll_wait` syscalls — declared
+//! here directly against libc's ABI, so the workspace stays free of
+//! external crates.  Everything is `#[cfg(target_os = "linux")]`-gated;
+//! other platforms keep the threaded fallback
+//! ([`available`] reports which world we are in).
+//!
+//! Per connection the loop owns a read buffer (frames are parsed greedily
+//! out of it, zero-copy) and a write buffer (replies are queued and
+//! flushed as the socket drains, with `EPOLLOUT` interest registered only
+//! while bytes are pending) — the same session-owned-buffer discipline as
+//! the PR 8 protocol hot path.  Malformed input earns the same structured
+//! `err` frames as [`serve_connection`](super::serve_connection): a
+//! truncated frame or an oversized prefix answers `err` and closes after
+//! the flush; invalid UTF-8 answers `err` and the session continues.
+//!
+//! Two run modes, chosen by [`LoopOptions::expected_clients`]:
+//!
+//! * `Some(n)` — **drive mode** (`--clients n`): accept exactly `n`
+//!   connections, stop listening, and return once all of them have
+//!   closed.
+//! * `None` — **daemon mode** (`--port`): accept until some client sends
+//!   the `shutdown` verb, then stop listening and return once the
+//!   remaining connections drain.  No throwaway self-connection is needed
+//!   to wake the acceptor: the listener is just dropped from the interest
+//!   set.
+
+#[cfg(not(target_os = "linux"))]
+use std::io;
+#[cfg(not(target_os = "linux"))]
+use std::net::TcpListener;
+
+/// How the readiness loop decides it is done.  See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoopOptions {
+    /// `Some(n)`: accept exactly `n` connections and return when all have
+    /// closed (drive mode).  `None`: run until a `shutdown` verb, then
+    /// drain (daemon mode).
+    pub expected_clients: Option<usize>,
+}
+
+/// True when this build carries the epoll loop (Linux targets).
+pub const fn available() -> bool {
+    cfg!(target_os = "linux")
+}
+
+/// Run the readiness loop on `listener`, dispatching every complete
+/// request frame to `handle` (which formats its reply into the provided
+/// scratch and returns true on `shutdown`).  See the module docs for the
+/// run modes; this is the non-Linux stub.
+#[cfg(not(target_os = "linux"))]
+pub fn serve_readiness_loop(
+    _listener: TcpListener,
+    _opts: LoopOptions,
+    _handle: impl FnMut(&str, &mut String) -> bool,
+) -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "the epoll readiness loop is only available on linux",
+    ))
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::serve_readiness_loop;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::LoopOptions;
+    use crate::serve::protocol::{write_frame, MAX_FRAME};
+    use std::collections::HashMap;
+    use std::io::{self, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::{AsRawFd, RawFd};
+
+    // The kernel ABI, declared directly: x86-64 packs epoll_event to
+    // match the 32-bit layout, other architectures use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// RAII wrapper over one epoll instance.
+    struct Epoll {
+        fd: RawFd,
+    }
+
+    impl Epoll {
+        fn new() -> io::Result<Epoll> {
+            // SAFETY: plain syscall, no pointers.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { fd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: fd as u64,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn add(&self, fd: RawFd, events: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events)
+        }
+
+        fn modify(&self, fd: RawFd, events: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events)
+        }
+
+        fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0)
+        }
+
+        /// Block until at least one fd is ready; retries EINTR.
+        fn wait(&self, events: &mut [EpollEvent]) -> io::Result<usize> {
+            loop {
+                // SAFETY: the buffer is valid for `len` entries for the
+                // duration of the call.
+                let rc =
+                    unsafe { epoll_wait(self.fd, events.as_mut_ptr(), events.len() as i32, -1) };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: we own the fd.
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// One connection's state: the socket plus its session-owned frame
+    /// buffers.  `inbuf` accumulates raw bytes until complete frames can
+    /// be parsed out; `outbuf`/`outpos` hold replies awaiting flush.
+    struct Conn {
+        stream: TcpStream,
+        inbuf: Vec<u8>,
+        outbuf: Vec<u8>,
+        outpos: usize,
+        /// Stop reading; close once the write buffer drains (set after a
+        /// malformed frame, a `shutdown` reply, or EOF).
+        closing: bool,
+        /// The interest mask currently registered with epoll.
+        interest: u32,
+    }
+
+    impl Conn {
+        fn new(stream: TcpStream) -> Conn {
+            Conn {
+                stream,
+                inbuf: Vec::new(),
+                outbuf: Vec::new(),
+                outpos: 0,
+                closing: false,
+                interest: EPOLLIN | EPOLLRDHUP,
+            }
+        }
+
+        fn queue_reply(&mut self, payload: &str) {
+            write_frame(&mut self.outbuf, payload).expect("writing to a Vec cannot fail");
+        }
+
+        /// Write queued bytes until the socket would block or the buffer
+        /// drains.  An I/O error here abandons the connection.
+        fn flush(&mut self) -> io::Result<()> {
+            while self.outpos < self.outbuf.len() {
+                match self.stream.write(&self.outbuf[self.outpos..]) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "socket accepted zero bytes",
+                        ))
+                    }
+                    Ok(n) => self.outpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            if self.outpos == self.outbuf.len() {
+                self.outbuf.clear();
+                self.outpos = 0;
+            }
+            Ok(())
+        }
+
+        fn has_pending_output(&self) -> bool {
+            self.outpos < self.outbuf.len()
+        }
+    }
+
+    /// One frame parsed out of a connection's read buffer.
+    enum Parsed {
+        /// `inbuf[range]` holds a complete payload.
+        Frame(std::ops::Range<usize>),
+        /// Not enough bytes yet.
+        NeedMore,
+        /// The prefix declared more than `MAX_FRAME` bytes.
+        Oversize(u32),
+    }
+
+    fn parse_frame(inbuf: &[u8], at: usize) -> Parsed {
+        let Some(prefix) = inbuf.get(at..at + 4) else {
+            return Parsed::NeedMore;
+        };
+        let len = u32::from_be_bytes(prefix.try_into().expect("4-byte slice"));
+        if len as usize > MAX_FRAME {
+            return Parsed::Oversize(len);
+        }
+        let start = at + 4;
+        let end = start + len as usize;
+        if inbuf.len() < end {
+            return Parsed::NeedMore;
+        }
+        Parsed::Frame(start..end)
+    }
+
+    /// Run the readiness loop on `listener`.  See the module docs for the
+    /// run modes and the error-frame semantics.
+    pub fn serve_readiness_loop(
+        listener: TcpListener,
+        opts: LoopOptions,
+        mut handle: impl FnMut(&str, &mut String) -> bool,
+    ) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let ep = Epoll::new()?;
+        let lfd = listener.as_raw_fd();
+        ep.add(lfd, EPOLLIN)?;
+        let mut conns: HashMap<RawFd, Conn> = HashMap::new();
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; 64];
+        let mut reply = String::new();
+        let mut accepted = 0usize;
+        let mut accepting = true;
+        let mut shutting_down = false;
+        loop {
+            let done = match opts.expected_clients {
+                Some(n) => accepted >= n && conns.is_empty(),
+                None => shutting_down && conns.is_empty(),
+            };
+            if done {
+                return Ok(());
+            }
+            let ready = ep.wait(&mut events)?;
+            for ev in &events[..ready] {
+                // Copy out of the (possibly packed) event before use.
+                let mask = ev.events;
+                let fd = ev.data as RawFd;
+                if fd == lfd {
+                    while accepting {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                stream.set_nonblocking(true)?;
+                                let _ = stream.set_nodelay(true);
+                                let cfd = stream.as_raw_fd();
+                                let conn = Conn::new(stream);
+                                ep.add(cfd, conn.interest)?;
+                                conns.insert(cfd, conn);
+                                accepted += 1;
+                                if opts.expected_clients == Some(accepted) {
+                                    accepting = false;
+                                    ep.delete(lfd)?;
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    continue;
+                }
+                let Some(conn) = conns.get_mut(&fd) else {
+                    continue;
+                };
+                let mut abandon = false;
+                if mask & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0 && !conn.closing {
+                    let mut eof = false;
+                    let mut scratch = [0u8; 4096];
+                    loop {
+                        match conn.stream.read(&mut scratch) {
+                            Ok(0) => {
+                                eof = true;
+                                break;
+                            }
+                            Ok(n) => conn.inbuf.extend_from_slice(&scratch[..n]),
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                abandon = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !abandon {
+                        // Greedily parse and answer every complete frame.
+                        let mut at = 0usize;
+                        while !conn.closing {
+                            match parse_frame(&conn.inbuf, at) {
+                                Parsed::NeedMore => break,
+                                Parsed::Oversize(len) => {
+                                    conn.queue_reply(&format!(
+                                        "err oversize-frame {len} exceeds {MAX_FRAME}"
+                                    ));
+                                    conn.closing = true;
+                                    at = conn.inbuf.len();
+                                }
+                                Parsed::Frame(range) => {
+                                    at = range.end;
+                                    match std::str::from_utf8(&conn.inbuf[range]) {
+                                        Err(_) => conn.queue_reply("err invalid-utf8"),
+                                        Ok(text) => {
+                                            let shutdown = handle(text, &mut reply);
+                                            conn.queue_reply(&reply);
+                                            if shutdown {
+                                                conn.closing = true;
+                                                if opts.expected_clients.is_none() {
+                                                    shutting_down = true;
+                                                    if accepting {
+                                                        accepting = false;
+                                                        ep.delete(lfd)?;
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        conn.inbuf.drain(..at);
+                        if eof && !conn.closing {
+                            if !conn.inbuf.is_empty() {
+                                // The stream ended mid-prefix or
+                                // mid-payload.
+                                conn.queue_reply("err truncated-frame");
+                            }
+                            conn.closing = true;
+                        }
+                    }
+                }
+                if !abandon && conn.flush().is_err() {
+                    abandon = true;
+                }
+                if abandon || (conn.closing && !conn.has_pending_output()) {
+                    // Dropping the stream closes the fd, which also
+                    // removes it from the epoll interest set.
+                    conns.remove(&fd);
+                    continue;
+                }
+                let mut want = 0u32;
+                if !conn.closing {
+                    want |= EPOLLIN | EPOLLRDHUP;
+                }
+                if conn.has_pending_output() {
+                    want |= EPOLLOUT;
+                }
+                if want != conn.interest {
+                    conn.interest = want;
+                    ep.modify(fd, want)?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdversaryModel, CheatStrategy};
+    use crate::engine::CampaignConfig;
+    use crate::serve::concurrent::ConcurrentStore;
+    use crate::serve::protocol::{decode_frames, script_frames, ServeSession, MAX_FRAME};
+    use crate::serve::store::ServeConfig;
+    use crate::task::expand_plan;
+    use redundancy_core::RealizedPlan;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    fn campaign() -> CampaignConfig {
+        CampaignConfig::new(
+            AdversaryModel::AssignmentFraction { p: 0.2 },
+            CheatStrategy::Always,
+        )
+    }
+
+    fn session(n: u64, mult: usize, seed: u64) -> ServeSession {
+        let tasks = expand_plan(&RealizedPlan::k_fold(n, mult, 0.5).unwrap());
+        ServeSession::new(&tasks, &campaign(), &ServeConfig::new(2), seed).unwrap()
+    }
+
+    /// Run a scripted client against a readiness loop in drive mode and
+    /// return the decoded reply frames.
+    fn scripted_exchange(script: &[&str], mut session: ServeSession) -> Vec<String> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let bytes = script_frames(script);
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&bytes).unwrap();
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut out = Vec::new();
+            stream.read_to_end(&mut out).unwrap();
+            out
+        });
+        serve_readiness_loop(
+            listener,
+            LoopOptions {
+                expected_clients: Some(1),
+            },
+            |req, reply| {
+                let (text, shutdown) = session.handle_buffered(req);
+                reply.clear();
+                reply.push_str(text);
+                shutdown
+            },
+        )
+        .unwrap();
+        decode_frames(&client.join().unwrap())
+    }
+
+    #[test]
+    fn drive_mode_serves_the_pinned_script() {
+        // Same script and session as the protocol test — the epoll
+        // transport must produce the same reply bytes as serve_connection.
+        let replies = scripted_exchange(
+            &[
+                "request-work",
+                "return-result 0 0",
+                "request-work",
+                "return-result 0 1",
+                "request-work",
+                "request-work",
+                "return-result 1 1",
+                "return-result 1 0",
+                "request-work",
+                "shutdown",
+            ],
+            session(2, 2, 1),
+        );
+        assert_eq!(
+            replies,
+            vec![
+                "work 0 0 2",
+                "ok",
+                "work 0 1 2",
+                "ok complete",
+                "work 1 0 2",
+                "work 1 1 2",
+                "ok",
+                "ok complete",
+                "drained",
+                "bye",
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_frames_answer_err_and_close() {
+        for (bytes, want) in [
+            (vec![0x00u8, 0x01], "err truncated-frame".to_string()),
+            (
+                vec![0xFFu8, 0xFF, 0xFF, 0xFF],
+                format!("err oversize-frame {} exceeds {MAX_FRAME}", u32::MAX),
+            ),
+        ] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let client = std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.write_all(&bytes).unwrap();
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut out = Vec::new();
+                stream.read_to_end(&mut out).unwrap();
+                out
+            });
+            let mut s = session(1, 2, 1);
+            serve_readiness_loop(
+                listener,
+                LoopOptions {
+                    expected_clients: Some(1),
+                },
+                |req, reply| {
+                    let (text, shutdown) = s.handle_buffered(req);
+                    reply.clear();
+                    reply.push_str(text);
+                    shutdown
+                },
+            )
+            .unwrap();
+            assert_eq!(decode_frames(&client.join().unwrap()), vec![want]);
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_answers_err_and_continues() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&3u32.to_be_bytes());
+            bytes.extend_from_slice(&[0xFF, 0xFE, 0xFD]);
+            bytes.extend_from_slice(&script_frames(&["shutdown"]));
+            stream.write_all(&bytes).unwrap();
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut out = Vec::new();
+            stream.read_to_end(&mut out).unwrap();
+            out
+        });
+        let mut s = session(1, 2, 1);
+        serve_readiness_loop(
+            listener,
+            LoopOptions {
+                expected_clients: Some(1),
+            },
+            |req, reply| {
+                let (text, shutdown) = s.handle_buffered(req);
+                reply.clear();
+                reply.push_str(text);
+                shutdown
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            decode_frames(&client.join().unwrap()),
+            vec!["err invalid-utf8", "bye"]
+        );
+    }
+
+    #[test]
+    fn daemon_mode_exits_on_shutdown_without_a_fake_client() {
+        // No expected client count: the loop must return purely because
+        // the shutdown verb stopped the acceptor and the last connection
+        // drained — the old threaded daemon needed a throwaway
+        // self-connection for this.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(&script_frames(&["request-work", "shutdown"]))
+                .unwrap();
+            let mut out = Vec::new();
+            stream.read_to_end(&mut out).unwrap();
+            out
+        });
+        let mut s = session(2, 2, 3);
+        serve_readiness_loop(listener, LoopOptions::default(), |req, reply| {
+            let (text, shutdown) = s.handle_buffered(req);
+            reply.clear();
+            reply.push_str(text);
+            shutdown
+        })
+        .unwrap();
+        let replies = decode_frames(&client.join().unwrap());
+        assert_eq!(replies.len(), 2);
+        assert!(replies[0].starts_with("work "));
+        assert_eq!(replies[1], "bye");
+    }
+
+    #[test]
+    fn concurrent_clients_drain_a_per_shard_store_to_the_oracle_state() {
+        let tasks = expand_plan(&RealizedPlan::balanced(400, 0.5).unwrap());
+        let patient = ServeConfig {
+            faults: crate::faults::FaultModel {
+                timeout: 1_000_000_000,
+                ..crate::faults::FaultModel::none()
+            },
+            ..ServeConfig::new(4)
+        };
+        let oracle = ConcurrentStore::new(&tasks, &campaign(), &patient, 11).unwrap();
+        oracle.drain_shard_by_shard();
+
+        let store = ConcurrentStore::new(&tasks, &campaign(), &patient, 11).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    loop {
+                        crate::serve::protocol::write_frame(&mut stream, "request-work").unwrap();
+                        let reply = match crate::serve::protocol::read_frame(&mut stream).unwrap() {
+                            crate::serve::protocol::Frame::Message(m) => {
+                                String::from_utf8(m).unwrap()
+                            }
+                            other => panic!("unexpected frame {other:?}"),
+                        };
+                        if reply == "drained" {
+                            break;
+                        }
+                        if reply == "idle" {
+                            continue;
+                        }
+                        let mut parts = reply.split_whitespace();
+                        assert_eq!(parts.next(), Some("work"));
+                        let task: u64 = parts.next().unwrap().parse().unwrap();
+                        let copy: u32 = parts.next().unwrap().parse().unwrap();
+                        crate::serve::protocol::write_frame(
+                            &mut stream,
+                            &format!("return-result {task} {copy}"),
+                        )
+                        .unwrap();
+                        match crate::serve::protocol::read_frame(&mut stream).unwrap() {
+                            crate::serve::protocol::Frame::Message(m) => {
+                                let ack = String::from_utf8(m).unwrap();
+                                assert!(ack.starts_with("ok"), "unexpected ack {ack}");
+                            }
+                            other => panic!("unexpected frame {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        serve_readiness_loop(
+            listener,
+            LoopOptions {
+                expected_clients: Some(4),
+            },
+            |req, reply| store.handle_into(req, reply),
+        )
+        .unwrap();
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert!(store.is_drained());
+        store.check_invariants();
+        assert_eq!(store.merged_outcome(), oracle.merged_outcome());
+        assert_eq!(store.final_rngs(), oracle.final_rngs());
+        assert_eq!(store.stats().render(), oracle.stats().render());
+    }
+}

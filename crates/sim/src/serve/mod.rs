@@ -4,22 +4,41 @@
 //! Everything else in this crate runs the paper's redundancy scheme as a
 //! *batch*: expand the plan, loop the kernel, read the tallies.  This
 //! module runs it as a *system* — a long-lived supervisor that hands out
-//! task copies on demand ([`store`]), tracks them in flight with
-//! tick-based timeouts, judges returns incrementally, and answers a tiny
-//! request/response protocol ([`protocol`]) over any byte stream.
+//! task copies on demand, tracks them in flight with tick-based timeouts,
+//! judges returns incrementally, and answers a tiny request/response
+//! protocol ([`protocol`]) over any byte stream.
 //!
-//! The design constraint throughout is the repo's standing oracle
-//! discipline: a drained serve session must reproduce the batch kernel
-//! **bit for bit** — same [`CampaignOutcome`](crate::CampaignOutcome),
-//! same final RNG state — at any shard count and under any client
-//! interleaving.  See [`store`] for how activation order makes that hold.
+//! Two store flavors implement the same [`WorkSource`] protocol surface,
+//! trading different determinism contracts for different concurrency:
+//!
+//! * [`store`] — the **single-stream** [`AssignmentStore`]: one session
+//!   RNG, centralized dispatch.  A drained session reproduces the batch
+//!   kernel **bit for bit** — same
+//!   [`CampaignOutcome`](crate::CampaignOutcome), same final RNG state —
+//!   at any shard count and under any client interleaving.  This is the
+//!   bit-compat oracle the `ext_serve` snapshots pin; clients serialize
+//!   on one lock.
+//! * [`concurrent`] — the **per-shard-stream** [`ConcurrentStore`]: each
+//!   shard owns its own lock, free-list, sampler caches, stats cell, and
+//!   a `SeedSequence::derive(shard)` RNG stream, so clients on different
+//!   shards proceed in parallel.  A drained store's merged outcome,
+//!   per-shard final RNGs, and stats are byte-identical across any
+//!   client count and request schedule at a fixed shard count; the
+//!   matching oracle drains shard-by-shard.
+//!
+//! [`epoll`] supplies the Linux readiness-loop transport both TCP serve
+//! modes run on (with the threaded loop kept as the portable fallback).
 
+pub mod concurrent;
+pub mod epoll;
 pub mod protocol;
 pub mod store;
 
+pub use concurrent::{ConcurrentStore, StreamMode};
+pub use epoll::{serve_readiness_loop, LoopOptions};
 pub use protocol::{
-    decode_frames, read_frame, read_frame_into, script_frames, serve_connection, write_frame,
-    Frame, FrameKind, Reply, ServeSession, SessionEnd, MAX_FRAME,
+    decode_frames, handle_request, read_frame, read_frame_into, script_frames, serve_connection,
+    write_frame, Frame, FrameKind, Reply, ServeSession, SessionEnd, WorkSource, MAX_FRAME,
 };
 pub use store::{
     drain_session, serve_experiment, Assignment, AssignmentStore, Issue, ReturnAck, ServeConfig,

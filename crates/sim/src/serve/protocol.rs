@@ -22,7 +22,7 @@
 
 use std::io::{self, Read, Write};
 
-use super::store::{AssignmentStore, Issue, ServeConfig};
+use super::store::{AssignmentStore, Issue, ReturnAck, ServeConfig, ServeError, ServeStats};
 use crate::engine::CampaignConfig;
 use crate::task::{TaskId, TaskSpec};
 use redundancy_stats::DeterministicRng;
@@ -138,6 +138,72 @@ pub enum SessionEnd {
     Malformed,
 }
 
+/// Anything the protocol can serve work from: the single-stream
+/// [`ServeSession`] (store + session RNG behind one lock) and the
+/// per-shard-stream [`ConcurrentStore`](super::ConcurrentStore) (which
+/// takes `&self` and locks per shard) both implement it, so
+/// [`handle_request`] is the *only* place request text is parsed and
+/// reply text is formatted — the two paths cannot drift byte-wise.
+pub trait WorkSource {
+    /// Hand out the next copy of work.
+    fn request_work(&mut self) -> Issue;
+    /// Accept the return of one in-flight copy.
+    fn return_result(&mut self, task: TaskId, copy: u32) -> Result<ReturnAck, ServeError>;
+    /// The live session snapshot.
+    fn stats(&self) -> ServeStats;
+}
+
+/// Parse one request line and format the response into `reply` (cleared
+/// first); returns true when the session should end (`shutdown`).  The
+/// reply bytes for every verb are pinned by the protocol tests and the
+/// golden snapshots, so every transport and both store flavors route
+/// through this single formatter.
+pub fn handle_request<S: WorkSource>(src: &mut S, request: &str, reply: &mut String) -> bool {
+    use std::fmt::Write as _;
+    reply.clear();
+    let mut shutdown = false;
+    let mut parts = request.split_whitespace();
+    match parts.next() {
+        Some("request-work") => match src.request_work() {
+            Issue::Work(a) => {
+                let _ = write!(reply, "work {} {} {}", a.task.0, a.copy, a.multiplicity);
+            }
+            Issue::Idle => reply.push_str("idle"),
+            Issue::Drained => reply.push_str("drained"),
+        },
+        Some("return-result") => {
+            if let (Some(task), Some(copy), None) = (
+                parts.next().and_then(|t| t.parse::<u64>().ok()),
+                parts.next().and_then(|c| c.parse::<u32>().ok()),
+                parts.next(),
+            ) {
+                match src.return_result(TaskId(task), copy) {
+                    Ok(ack) if ack.task_complete => reply.push_str("ok complete"),
+                    Ok(_) => reply.push_str("ok"),
+                    Err(e) => {
+                        let _ = write!(reply, "err {} {e}", e.code());
+                    }
+                }
+            } else {
+                reply.push_str("err bad-request return-result expects <task> <copy>");
+            }
+        }
+        Some("stats") => {
+            let stats = src.stats().render();
+            reply.push_str(&stats);
+        }
+        Some("shutdown") => {
+            reply.push_str("bye");
+            shutdown = true;
+        }
+        Some(verb) => {
+            let _ = write!(reply, "err unknown-verb {verb}");
+        }
+        None => reply.push_str("err unknown-verb"),
+    }
+    shutdown
+}
+
 /// A single-client session: the store plus the session RNG, with requests
 /// handled as protocol text.  The CLI's TCP listener shares one session
 /// across connections behind a mutex; the stdio and in-memory transports
@@ -184,54 +250,24 @@ impl ServeSession {
     /// The borrow ends at the next call, so hot loops (the bench drain,
     /// the transport loop) pay zero allocations per request.
     pub fn handle_buffered(&mut self, request: &str) -> (&str, bool) {
-        use std::fmt::Write as _;
-        self.reply_buf.clear();
-        let mut shutdown = false;
-        let mut parts = request.split_whitespace();
-        match parts.next() {
-            Some("request-work") => match self.store.request_work(&mut self.rng) {
-                Issue::Work(a) => {
-                    let _ = write!(
-                        self.reply_buf,
-                        "work {} {} {}",
-                        a.task.0, a.copy, a.multiplicity
-                    );
-                }
-                Issue::Idle => self.reply_buf.push_str("idle"),
-                Issue::Drained => self.reply_buf.push_str("drained"),
-            },
-            Some("return-result") => {
-                if let (Some(task), Some(copy), None) = (
-                    parts.next().and_then(|t| t.parse::<u64>().ok()),
-                    parts.next().and_then(|c| c.parse::<u32>().ok()),
-                    parts.next(),
-                ) {
-                    match self.store.return_result(TaskId(task), copy) {
-                        Ok(ack) if ack.task_complete => self.reply_buf.push_str("ok complete"),
-                        Ok(_) => self.reply_buf.push_str("ok"),
-                        Err(e) => {
-                            let _ = write!(self.reply_buf, "err {} {e}", e.code());
-                        }
-                    }
-                } else {
-                    self.reply_buf
-                        .push_str("err bad-request return-result expects <task> <copy>");
-                }
-            }
-            Some("stats") => {
-                let stats = self.store.stats().render();
-                self.reply_buf.push_str(&stats);
-            }
-            Some("shutdown") => {
-                self.reply_buf.push_str("bye");
-                shutdown = true;
-            }
-            Some(verb) => {
-                let _ = write!(self.reply_buf, "err unknown-verb {verb}");
-            }
-            None => self.reply_buf.push_str("err unknown-verb"),
-        }
+        let mut reply = std::mem::take(&mut self.reply_buf);
+        let shutdown = handle_request(self, request, &mut reply);
+        self.reply_buf = reply;
         (&self.reply_buf, shutdown)
+    }
+}
+
+impl WorkSource for ServeSession {
+    fn request_work(&mut self) -> Issue {
+        self.store.request_work(&mut self.rng)
+    }
+
+    fn return_result(&mut self, task: TaskId, copy: u32) -> Result<ReturnAck, ServeError> {
+        self.store.return_result(task, copy)
+    }
+
+    fn stats(&self) -> ServeStats {
+        self.store.stats()
     }
 }
 

@@ -301,7 +301,7 @@ impl ServeStats {
 
 /// State of one copy of one activated task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CopyState {
+pub(crate) enum CopyState {
     /// Not currently issued: never dealt, or re-queued after a timeout.
     Pending,
     /// Handed to a client; `attempt` counts prior re-issues.
@@ -314,17 +314,17 @@ enum CopyState {
 
 /// Per-task live state, owned by one shard.
 #[derive(Debug)]
-struct TaskState {
-    spec: TaskSpec,
-    held: u32,
-    cheats: bool,
+pub(crate) struct TaskState {
+    pub(crate) spec: TaskSpec,
+    pub(crate) held: u32,
+    pub(crate) cheats: bool,
     /// The value each copy will return, materialized at activation in the
     /// batch kernel's RNG order: adversary copies first, then honest ones.
-    values: Vec<ResultValue>,
-    copies: Vec<CopyState>,
-    returned: u32,
-    lost: u32,
-    judged: bool,
+    pub(crate) values: Vec<ResultValue>,
+    pub(crate) copies: Vec<CopyState>,
+    pub(crate) returned: u32,
+    pub(crate) lost: u32,
+    pub(crate) judged: bool,
 }
 
 /// One hash shard: its slice of task state plus its partial outcome.
@@ -351,21 +351,102 @@ const UNASSIGNED: SlotRef = SlotRef {
 /// the queue always expires first; records invalidated by a return are
 /// skipped lazily at expiry time.
 #[derive(Debug, Clone, Copy)]
-struct InFlightRec {
-    task: u32,
-    copy: u32,
-    attempt: u32,
-    deadline: u64,
+pub(crate) struct InFlightRec {
+    pub(crate) task: u32,
+    pub(crate) copy: u32,
+    pub(crate) attempt: u32,
+    pub(crate) deadline: u64,
 }
 
-/// FNV-1a over the task id's little-endian bytes — the shard hash.
-fn shard_hash(id: u64) -> u64 {
+/// FNV-1a over the task id's little-endian bytes — the shard hash.  Both
+/// the single-stream store and the per-shard-stream concurrent store
+/// partition ids with this hash, so a task lives on the same shard in
+/// either mode.
+pub(crate) fn shard_hash(id: u64) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in id.to_le_bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Draw one task's holdings and materialize the value each copy will
+/// return, consuming `rng` in exactly the batch kernel's order: one
+/// holdings draw through the shared sampler caches, then (only when
+/// `honest_error_rate > 0`) the honest copies' fault draws.  Shared by
+/// the single-stream [`AssignmentStore`] and the per-shard-stream
+/// [`ConcurrentStore`](super::ConcurrentStore) so both activation paths
+/// stay draw-for-draw identical.
+pub(crate) fn materialize_task(
+    config: &CampaignConfig,
+    binomial: &mut BinomialCache,
+    hypergeometric: &mut HypergeometricCache,
+    id: TaskId,
+    mult: u64,
+    rng: &mut DeterministicRng,
+) -> (u32, bool, Vec<ResultValue>) {
+    let sampler = prepare_holdings(
+        config,
+        mult,
+        binomial,
+        hypergeometric,
+        redundancy_stats::SamplerMode::BitCompat,
+    );
+    let held = sampler.sample(rng) as u32;
+    let cheats = config.strategy.cheats_on(held);
+    let wrong = colluded_wrong_result(id);
+    let right = correct_result(id);
+    let mut values = Vec::with_capacity(mult as usize);
+    for _ in 0..held {
+        values.push(if cheats { wrong } else { right });
+    }
+    for j in u64::from(held)..mult {
+        let faulty = config.honest_error_rate > 0.0 && rng.bernoulli(config.honest_error_rate);
+        values.push(if faulty {
+            faulty_result(id, j ^ rng.next_raw())
+        } else {
+            right
+        });
+    }
+    (held, cheats, values)
+}
+
+/// Judge a task whose copies have all returned or been abandoned, folding
+/// the verdict into `outcome` — the same tail as the batch kernels.
+/// `buf` is caller-owned scratch for the returned values.
+pub(crate) fn judge_completed(
+    supervisor: &Supervisor,
+    state: &mut TaskState,
+    buf: &mut Vec<ResultValue>,
+    outcome: &mut CampaignOutcome,
+) {
+    debug_assert!(!state.judged);
+    state.judged = true;
+    buf.clear();
+    for (value, copy) in state.values.iter().zip(&state.copies) {
+        if matches!(copy, CopyState::Returned) {
+            buf.push(*value);
+        }
+    }
+    let mult = u64::from(state.spec.multiplicity);
+    let returned = buf.len() as u64;
+    if returned < mult {
+        outcome.degraded.record((mult - returned) as usize);
+    }
+    if returned == 0 {
+        outcome.unresolved_tasks += 1;
+    } else {
+        judge_task(
+            supervisor,
+            &state.spec,
+            buf,
+            state.held,
+            state.cheats,
+            colluded_wrong_result(state.spec.id),
+            outcome,
+        );
+    }
 }
 
 /// The live sharded assignment store.  See the module docs for the
@@ -608,30 +689,14 @@ impl AssignmentStore {
         // Same sampler caches, same draw order as the batch kernel.
         // The live store promises bit-identity with the batch kernel, so
         // it always draws in bit-compat mode.
-        let sampler = prepare_holdings(
+        let (held, cheats, values) = materialize_task(
             &self.config,
-            mult,
             &mut self.binomial,
             &mut self.hypergeometric,
-            redundancy_stats::SamplerMode::BitCompat,
+            id,
+            mult,
+            rng,
         );
-        let held = sampler.sample(rng) as u32;
-        let cheats = self.config.strategy.cheats_on(held);
-        let wrong = colluded_wrong_result(id);
-        let right = correct_result(id);
-        let mut values = Vec::with_capacity(mult as usize);
-        for _ in 0..held {
-            values.push(if cheats { wrong } else { right });
-        }
-        for j in u64::from(held)..mult {
-            let faulty =
-                self.config.honest_error_rate > 0.0 && rng.bernoulli(self.config.honest_error_rate);
-            values.push(if faulty {
-                faulty_result(id, j ^ rng.next_raw())
-            } else {
-                right
-            });
-        }
         let shard_ix = (shard_hash(id.0) % self.shards.len() as u64) as u32;
         let shard = &mut self.shards[shard_ix as usize];
         shard.outcome.tasks += 1;
@@ -728,33 +793,8 @@ impl AssignmentStore {
         let mut buf = std::mem::take(&mut self.results_buf);
         let Shard { tasks, outcome } = &mut self.shards[slot.shard as usize];
         let state = &mut tasks[slot.slot as usize];
-        debug_assert!(!state.judged);
-        state.judged = true;
         self.completed_tasks += 1;
-        buf.clear();
-        for (value, copy) in state.values.iter().zip(&state.copies) {
-            if matches!(copy, CopyState::Returned) {
-                buf.push(*value);
-            }
-        }
-        let mult = u64::from(state.spec.multiplicity);
-        let returned = buf.len() as u64;
-        if returned < mult {
-            outcome.degraded.record((mult - returned) as usize);
-        }
-        if returned == 0 {
-            outcome.unresolved_tasks += 1;
-        } else {
-            judge_task(
-                &self.supervisor,
-                &state.spec,
-                &buf,
-                state.held,
-                state.cheats,
-                colluded_wrong_result(state.spec.id),
-                outcome,
-            );
-        }
+        judge_completed(&self.supervisor, state, &mut buf, outcome);
         self.results_buf = buf;
     }
 

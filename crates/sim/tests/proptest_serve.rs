@@ -14,7 +14,8 @@ use redundancy_sim::experiment::detection_experiment_with;
 use redundancy_sim::serve::{Assignment, Issue, ServeConfig};
 use redundancy_sim::{
     drain_session, run_campaign_with_scratch, serve_experiment, AdversaryModel, AssignmentStore,
-    CampaignConfig, CampaignOutcome, CampaignScratch, CheatStrategy, ExperimentConfig, FaultModel,
+    CampaignConfig, CampaignOutcome, CampaignScratch, CheatStrategy, ConcurrentStore,
+    ExperimentConfig, FaultModel,
 };
 use redundancy_stats::DeterministicRng;
 
@@ -241,5 +242,132 @@ proptest! {
         let out = store.merged_outcome();
         prop_assert_eq!(out.tasks, stats.total_tasks);
         prop_assert_eq!(out.lost_assignments, stats.lost);
+    }
+
+    /// Per-shard streams: any request/return interleaving against the
+    /// [`ConcurrentStore`] reaches the same drained state as the
+    /// shard-by-shard oracle drain — same merged outcome, same per-shard
+    /// final RNG states, same stats — at 1, 2, and 4 shards.  This is the
+    /// determinism contract that makes concurrent clients safe: the
+    /// drained session is a pure function of (seed, shard count).
+    #[test]
+    fn per_shard_drain_is_invariant_to_request_interleaving(
+        tasks in 50u64..600,
+        eps_pct in 10u32..90,
+        p_pct in 0u32..50,
+        strategy_ix in 0u32..4,
+        seed in 0u64..100_000,
+        decisions in vec(0u32..1_000_000, 64usize),
+    ) {
+        let (plan, config) = campaign_shape(tasks, eps_pct, p_pct, strategy_ix, false, 0);
+        let specs = redundancy_sim::task::expand_plan(&plan);
+        for shards in [1usize, 2, 4] {
+            // Reference: a fresh store drained one whole shard at a time.
+            let oracle = ConcurrentStore::new(&specs, &config, &patient(shards), seed).unwrap();
+            oracle.drain_shard_by_shard();
+
+            // Shuffled: buffer assignments and return them in an arbitrary
+            // drawn order, interleaved with further requests.
+            let store = ConcurrentStore::new(&specs, &config, &patient(shards), seed).unwrap();
+            let mut held: Vec<Assignment> = Vec::new();
+            let mut step = 0usize;
+            loop {
+                let d = decisions[step % decisions.len()] as usize;
+                step += 1;
+                let return_now = !held.is_empty() && (d.is_multiple_of(3) || held.len() > 200);
+                if return_now {
+                    let a = held.swap_remove(d % held.len());
+                    store.return_result(a.task, a.copy).unwrap();
+                    continue;
+                }
+                match store.request_work() {
+                    Issue::Work(a) => held.push(a),
+                    Issue::Idle => {
+                        let a = held.swap_remove(d % held.len());
+                        store.return_result(a.task, a.copy).unwrap();
+                    }
+                    Issue::Drained => break,
+                }
+            }
+            store.check_invariants();
+            prop_assert!(store.is_drained());
+            prop_assert_eq!(&store.merged_outcome(), &oracle.merged_outcome(),
+                "outcome diverged at {} shards", shards);
+            prop_assert_eq!(&store.final_rngs(), &oracle.final_rngs(),
+                "per-shard RNG diverged at {} shards", shards);
+            prop_assert_eq!(store.stats(), oracle.stats());
+            prop_assert_eq!(store.per_shard_stats(), oracle.per_shard_stats());
+        }
+    }
+
+    /// Conservation of multiplicity per shard: the sharded store under an
+    /// aggressive timeout and floor-dropped assignments still accounts for
+    /// every copy, shard-locally and in aggregate — the per-shard stats
+    /// cells obey the same identities as the session totals and sum to
+    /// them exactly.
+    #[test]
+    fn per_shard_timeouts_conserve_every_copy(
+        tasks in 20u64..300,
+        eps_pct in 10u32..90,
+        p_pct in 0u32..50,
+        timeout in 1u64..6,
+        max_retries in 0u32..4,
+        seed in 0u64..100_000,
+        drops in vec(0u32..2, 64usize),
+    ) {
+        let (plan, config) = campaign_shape(tasks, eps_pct, p_pct, 1, false, 0);
+        let specs = redundancy_sim::task::expand_plan(&plan);
+        let serve = ServeConfig {
+            faults: FaultModel {
+                timeout,
+                max_retries,
+                ..FaultModel::none()
+            },
+            ..ServeConfig::new(3)
+        };
+        let store = ConcurrentStore::new(&specs, &config, &serve, seed).unwrap();
+        let mut dispatched = 0u64;
+        let mut returned = 0u64;
+        let mut guard = 0u64;
+        loop {
+            match store.request_work() {
+                Issue::Work(a) => {
+                    if drops[(dispatched % drops.len() as u64) as usize] == 1 {
+                        // Dropped on the floor: only a timeout can recover it.
+                    } else {
+                        store.return_result(a.task, a.copy).unwrap();
+                        returned += 1;
+                    }
+                    dispatched += 1;
+                }
+                Issue::Idle => {}
+                Issue::Drained => break,
+            }
+            guard += 1;
+            prop_assert!(guard < 5_000_000, "drain did not terminate");
+            if guard.is_multiple_of(512) {
+                store.check_invariants();
+            }
+        }
+        store.check_invariants();
+        let stats = store.stats();
+        prop_assert_eq!(stats.completed_tasks, stats.total_tasks);
+        prop_assert_eq!(stats.returned + stats.lost, stats.total_copies);
+        prop_assert_eq!(stats.returned, returned);
+        prop_assert_eq!(stats.issued, stats.total_copies + stats.retries);
+        prop_assert_eq!(stats.timeouts, stats.retries + stats.lost);
+        prop_assert_eq!(stats.in_flight, 0);
+        prop_assert_eq!(stats.requeued, 0);
+        let cells = store.per_shard_stats();
+        for cell in &cells {
+            prop_assert_eq!(cell.completed_tasks, cell.total_tasks);
+            prop_assert_eq!(cell.returned + cell.lost, cell.total_copies);
+            prop_assert_eq!(cell.issued, cell.total_copies + cell.retries);
+            prop_assert_eq!(cell.timeouts, cell.retries + cell.lost);
+            prop_assert_eq!(cell.in_flight, 0);
+        }
+        prop_assert_eq!(cells.iter().map(|c| c.issued).sum::<u64>(), stats.issued);
+        prop_assert_eq!(cells.iter().map(|c| c.lost).sum::<u64>(), stats.lost);
+        prop_assert_eq!(cells.iter().map(|c| c.total_copies).sum::<u64>(), stats.total_copies);
     }
 }

@@ -164,3 +164,133 @@ fn stdio_clean_eof_ends_the_session_silently_after_serving() {
     let stdout = run_stdio(&script_frames(&["request-work"]));
     assert_eq!(stdout, script_frames(&["work 0 0 2"]));
 }
+
+#[test]
+fn stdio_per_shard_streams_serve_the_same_protocol() {
+    // The per-shard store speaks the identical verb set through the same
+    // formatter; on this tiny workload the dispatch order happens to
+    // match the single-stream script too (shard-owned ids are walked in
+    // id order and the driver returns each copy before asking again).
+    let path = binary_path("redundancy");
+    assert!(path.exists(), "{} not built", path.display());
+    let mut child = Command::new(&path)
+        .args([
+            "serve",
+            "--stdio",
+            "--scheme",
+            "simple",
+            "--tasks",
+            "3",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.2",
+            "--shards",
+            "1",
+            "--streams",
+            "per-shard",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning redundancy serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin is piped")
+        .write_all(&script_frames(&requests()))
+        .expect("writing the script");
+    let out = child.wait_with_output().expect("collecting serve output");
+    assert!(out.status.success(), "serve exited with {}", out.status);
+    assert_eq!(decode_frames(&out.stdout), replies());
+}
+
+/// `shutdown` must terminate a `--port` daemon process cleanly — no
+/// throwaway self-connection, no orphaned accept loop, a zero exit — on
+/// both io loops and both stream modes.
+#[test]
+fn port_daemon_shuts_down_cleanly_on_the_shutdown_verb() {
+    use redundancy_sim::serve::{read_frame, write_frame, Frame};
+    use std::io::{BufRead as _, BufReader, Read as _};
+    let mut combos = vec![("threads", "single"), ("threads", "per-shard")];
+    if cfg!(target_os = "linux") {
+        combos.push(("epoll", "single"));
+        combos.push(("epoll", "per-shard"));
+    }
+    for (io, streams) in combos {
+        let path = binary_path("redundancy");
+        assert!(path.exists(), "{} not built", path.display());
+        let mut child = Command::new(&path)
+            .args([
+                "serve",
+                "--scheme",
+                "simple",
+                "--tasks",
+                "3",
+                "--epsilon",
+                "0.5",
+                "--proportion",
+                "0.2",
+                "--seed",
+                "7",
+                "--port",
+                "0",
+                "--io",
+                io,
+                "--streams",
+                streams,
+            ])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawning the daemon");
+        let mut stderr = BufReader::new(child.stderr.take().expect("stderr is piped"));
+        let mut banner = String::new();
+        stderr.read_line(&mut banner).expect("reading the banner");
+        let addr = banner
+            .strip_prefix("[serving on ")
+            .and_then(|rest| rest.split(';').next())
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .to_owned();
+        let mut stream = std::net::TcpStream::connect(&addr)
+            .unwrap_or_else(|e| panic!("connecting to {addr}: {e}"));
+        write_frame(&mut stream, "request-work").unwrap();
+        let Frame::Message(reply) = read_frame(&mut stream).unwrap() else {
+            panic!("{io}/{streams}: no reply to request-work");
+        };
+        assert!(reply.starts_with(b"work "), "{io}/{streams}: {reply:?}");
+        write_frame(&mut stream, "shutdown").unwrap();
+        let Frame::Message(reply) = read_frame(&mut stream).unwrap() else {
+            panic!("{io}/{streams}: no reply to shutdown");
+        };
+        assert_eq!(reply, b"bye", "{io}/{streams}");
+        drop(stream);
+        // Watchdog: the daemon must exit on its own, promptly and cleanly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let status = loop {
+            if let Some(status) = child.try_wait().expect("polling the daemon") {
+                break status;
+            }
+            if std::time::Instant::now() >= deadline {
+                let _ = child.kill();
+                panic!("{io}/{streams}: daemon still running 30s after shutdown");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        assert!(
+            status.success(),
+            "{io}/{streams}: daemon exited with {status}"
+        );
+        let mut out = String::new();
+        child
+            .stdout
+            .take()
+            .expect("stdout is piped")
+            .read_to_string(&mut out)
+            .unwrap();
+        assert!(out.contains("issued 1\n"), "{io}/{streams}: {out}");
+        assert!(out.contains("in-flight 1\n"), "{io}/{streams}: {out}");
+    }
+}
