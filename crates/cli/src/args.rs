@@ -5,7 +5,7 @@
 //! silently ignored — because a supervisor mistyping `--epsilon` should
 //! not deploy an unprotected computation.
 
-use redundancy_sim::serve::StreamMode;
+use redundancy_sim::serve::{StreamMode, SyncPolicy};
 use redundancy_stats::SamplerMode;
 use std::collections::HashMap;
 use std::fmt;
@@ -242,6 +242,17 @@ pub enum Command {
         io: IoMode,
         /// Write a serve-report/v1 JSON document (per-shard mode only).
         json: Option<String>,
+        /// Append every state-mutating event to this journal file.
+        journal: Option<String>,
+        /// When the journal appender hands bytes to the OS / fsyncs.
+        sync: SyncPolicy,
+        /// Replay the journal first and resume the session from it.
+        recover: bool,
+    },
+    /// `redundancy journal-inspect`
+    JournalInspect {
+        /// The journal file to list and integrity-check.
+        journal: String,
     },
     /// `redundancy certify`
     Certify {
@@ -361,7 +372,12 @@ fn collect_flags(argv: &[String]) -> Result<HashMap<String, String>, ArgError> {
             return Err(ArgError::UnknownCommand(key.clone()));
         }
         // Boolean flags take no value.
-        if key == "--min-precompute" || key == "--smoke" || key == "--soak" || key == "--stdio" {
+        if key == "--min-precompute"
+            || key == "--smoke"
+            || key == "--soak"
+            || key == "--stdio"
+            || key == "--recover"
+        {
             flags.insert(key.clone(), "true".into());
             i += 1;
             continue;
@@ -805,8 +821,20 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                     "--streams",
                     "--io",
                     "--json",
+                    "--journal",
+                    "--sync",
+                    "--recover",
                 ],
             )?;
+            // `--recover` replays an existing journal; without one there is
+            // nothing to recover from.
+            if f.flags.contains_key("--recover") && !f.flags.contains_key("--journal") {
+                return Err(ArgError::BadValue {
+                    flag: "--recover".into(),
+                    value: "set".into(),
+                    expected: "a --journal path to recover from",
+                });
+            }
             // The port range is checked here (not left to u16 parsing) so
             // `--port 70000` names the flag and the accepted range.
             let port = match f.optional::<u64>("--port", "a TCP port in 0..=65535")? {
@@ -855,6 +883,15 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ArgError> {
                 streams: f.or_default("--streams", "single or per-shard", StreamMode::Single)?,
                 io: f.or_default("--io", "auto, epoll, or threads", IoMode::Auto)?,
                 json: f.optional("--json", "a file path")?,
+                journal: f.optional("--journal", "a file path")?,
+                sync: f.or_default("--sync", "always, batch, or off", SyncPolicy::Batch)?,
+                recover: f.flags.contains_key("--recover"),
+            })
+        }
+        "journal-inspect" => {
+            let f = FlagSet::new(rest, "journal-inspect", &["--journal"])?;
+            Ok(Command::JournalInspect {
+                journal: f.required("--journal", "a file path")?,
             })
         }
         "certify" => {
@@ -1386,6 +1423,9 @@ mod tests {
                 streams: StreamMode::Single,
                 io: IoMode::Auto,
                 json: None,
+                journal: None,
+                sync: SyncPolicy::Batch,
+                recover: false,
             }
         );
         let cmd = parse_args(&argv(&[
@@ -1446,6 +1486,61 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_journal_flags_parse() {
+        let cmd = parse_args(&argv(&[
+            "serve",
+            "--journal",
+            "serve.journal",
+            "--sync",
+            "always",
+            "--recover",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                journal,
+                sync,
+                recover,
+                ..
+            } => {
+                assert_eq!(journal.as_deref(), Some("serve.journal"));
+                assert_eq!(sync, SyncPolicy::Always);
+                assert!(recover);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --recover without --journal has nothing to replay.
+        let e = parse_args(&argv(&["serve", "--recover"])).unwrap_err();
+        assert!(matches!(&e, ArgError::BadValue { flag, .. } if flag == "--recover"));
+        assert!(e.to_string().contains("--journal"), "{e}");
+        // --sync takes one of the three policies.
+        let e = parse_args(&argv(&["serve", "--sync", "fsync"])).unwrap_err();
+        assert!(matches!(&e, ArgError::BadValue { flag, .. } if flag == "--sync"));
+    }
+
+    #[test]
+    fn journal_inspect_requires_the_journal_flag() {
+        let cmd = parse_args(&argv(&["journal-inspect", "--journal", "x.journal"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::JournalInspect {
+                journal: "x.journal".into()
+            }
+        );
+        let e = parse_args(&argv(&["journal-inspect"])).unwrap_err();
+        assert!(matches!(
+            &e,
+            ArgError::MissingFlag {
+                flag: "--journal",
+                ..
+            }
+        ));
+        assert!(e.to_string().contains("--journal"), "{e}");
+        let e = parse_args(&argv(&["journal-inspect", "--verbose", "1"])).unwrap_err();
+        assert!(matches!(&e, ArgError::UnknownFlag { .. }));
     }
 
     #[test]

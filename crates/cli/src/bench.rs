@@ -509,6 +509,82 @@ fn run_fixtures(
                 stats.checksum()
             }),
         ));
+
+        // The same framed drain with every state change appended to an
+        // on-disk journal (`--sync off`, so the fixture measures record
+        // encoding and buffered writes, not fsync).  The top-level
+        // `journal_overhead` field divides this median by the bare loop
+        // above; the acceptance bar keeps it at or under 2x.
+        let journal_path =
+            std::env::temp_dir().join(format!("bench_serve_journal_{}.bin", std::process::id()));
+        let drain_journaled = || -> ServeStats {
+            use redundancy_sim::serve::{
+                handle_request, workload_fingerprint, JournalWriter, JournaledStore, Record,
+                SessionHeader, StoreEnum, StreamMode, WorkStore as _,
+            };
+            let file = std::fs::File::create(&journal_path).expect("temp journal path is writable");
+            let mut writer = JournalWriter::new(file, redundancy_sim::serve::SyncPolicy::Off);
+            writer
+                .append(&Record::Header(SessionHeader {
+                    seed,
+                    shards: 2,
+                    mode: StreamMode::Single,
+                    timeout: FaultModel::none().timeout,
+                    max_retries: FaultModel::none().max_retries,
+                    fingerprint: workload_fingerprint(&serve_tasks, &cfg),
+                    total_tasks: serve_tasks.len() as u64,
+                }))
+                .expect("journal header append");
+            let store = StoreEnum::new(
+                &serve_tasks,
+                &cfg,
+                &ServeConfig::new(2),
+                seed,
+                StreamMode::Single,
+            )
+            .expect("pinned serve fixture is valid");
+            let mut session = JournaledStore::new(store, Some(writer));
+            let mut req = String::new();
+            let mut reply = String::new();
+            loop {
+                handle_request(&mut session, "request-work", &mut reply);
+                if reply == "drained" {
+                    break;
+                }
+                let mut parts = reply.split_whitespace();
+                let (Some("work"), Some(task), Some(copy)) = (
+                    parts.next(),
+                    parts.next().and_then(|t| t.parse::<u64>().ok()),
+                    parts.next().and_then(|c| c.parse::<u32>().ok()),
+                ) else {
+                    unreachable!("single-client drain only sees work frames: {reply}");
+                };
+                req.clear();
+                let _ = write!(req, "return-result {task} {copy}");
+                handle_request(&mut session, &req, &mut reply);
+                debug_assert!(reply.starts_with("ok"), "{reply}");
+            }
+            let stats = session.stats();
+            session.finish().expect("temp journal append cannot fail");
+            stats
+        };
+        let journaled_probe = drain_journaled();
+        debug_assert_eq!(
+            journaled_probe, probe,
+            "journaling must not change the drain"
+        );
+        records.push(record(
+            "serve_journal",
+            sizes.serve_reps,
+            journaled_probe.total_tasks,
+            journaled_probe.issued,
+            measure(sizes.serve_reps, || {
+                let stats = drain_journaled();
+                debug_assert_eq!(stats, journaled_probe);
+                stats.checksum()
+            }),
+        ));
+        std::fs::remove_file(&journal_path).ok();
     }
 
     // Concurrent supervisor: client threads hammer the per-shard-stream
@@ -651,6 +727,20 @@ fn speedup(records: &[BenchRecord], threads: usize) -> Option<f64> {
     Some(t1 as f64 / tn as f64)
 }
 
+/// Journal write overhead: the journaled serve drain's median over the
+/// bare protocol loop's (1.0 = free).  The acceptance bar for the serve
+/// journal keeps this at or under 2x with `--sync off`.
+fn journal_overhead(records: &[BenchRecord]) -> Option<f64> {
+    let median = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+            .filter(|&ns| ns > 0)
+    };
+    Some(median("serve_journal")? as f64 / median("serve_throughput")? as f64)
+}
+
 fn report_json(smoke: bool, seed: u64, records: &[BenchRecord]) -> Json {
     let mut fields = vec![
         ("schema", Json::Str("redundancy-bench/v1".into())),
@@ -662,6 +752,9 @@ fn report_json(smoke: bool, seed: u64, records: &[BenchRecord]) -> Json {
     }
     if let Some(s4) = speedup(records, 4) {
         fields.push(("speedup_t4", Json::Num(s4)));
+    }
+    if let Some(j) = journal_overhead(records) {
+        fields.push(("journal_overhead", Json::Num(j)));
     }
     fields.push((
         "benches",
@@ -807,6 +900,13 @@ pub fn bench(
             "thread scaling: speedup_t2 {} / speedup_t4 {} vs 1 thread",
             fnum(s2, 2),
             fnum(s4, 2)
+        );
+    }
+    if let Some(j) = journal_overhead(&records) {
+        let _ = writeln!(
+            text,
+            "journal overhead: {}x the bare serve loop (sync off)",
+            fnum(j, 2)
         );
     }
     let _ = writeln!(text, "[report written to {out}]");
@@ -965,11 +1065,13 @@ mod tests {
             "sweep_parallel",
             "churn_step",
             "serve_throughput",
+            "serve_journal",
             "serve_concurrent",
             "lp_sweep",
         ] {
             assert!(names.contains(&expected), "missing {expected}: {names:?}");
         }
+        assert!(json.field_f64("journal_overhead").unwrap() > 0.0);
         // The concurrency ladder covers the full (shards, clients) grid,
         // and every client count of a shard row reports the same drained
         // fingerprint — the per-shard-stream determinism contract.

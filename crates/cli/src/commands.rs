@@ -6,13 +6,18 @@ use redundancy_core::{
     advise, certify_sweep, AssignmentMinimizing, CoreError, ExtendedBalanced, RealizedPlan,
     Requirements, Scheme,
 };
-use redundancy_sim::serve::{epoll, read_frame, write_frame, Frame, Reply, SessionEnd};
+use redundancy_sim::serve::{
+    epoll, handle_request, parse_journal, read_frame, replay_with, workload_fingerprint,
+    write_frame, Frame, JournalWriter, JournaledStore, Record, ReplayOptions, Reply, SessionEnd,
+    SessionHeader, StoreEnum, SyncPolicy, WorkStore,
+};
 use redundancy_sim::task::TaskSpec;
 use redundancy_sim::{
-    churn_experiment, churn_soak, detection_experiment, drain_session, faulty_detection_experiment,
-    run_campaign_with_scratch, serve_connection, serve_readiness_loop, AdversaryModel,
-    CampaignConfig, CampaignOutcome, CampaignScratch, CheatStrategy, ChurnModel, ConcurrentStore,
-    ExperimentConfig, FaultModel, LoopOptions, ServeConfig, ServeSession, ServeStats, StreamMode,
+    churn_experiment, churn_soak, detection_experiment, drain_equivalence,
+    faulty_detection_experiment, run_campaign_with_scratch, serve_connection, serve_readiness_loop,
+    AdversaryModel, CampaignConfig, CampaignOutcome, CampaignScratch, CheatStrategy, ChurnModel,
+    ConcurrentStore, DrainState, ExperimentConfig, FaultModel, LoopOptions, ServeConfig,
+    ServeStats, StreamMode,
 };
 use redundancy_stats::table::{fnum, inum, Table};
 use redundancy_stats::{
@@ -233,6 +238,9 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             streams,
             io,
             json,
+            journal,
+            sync,
+            recover,
         } => serve_cmd(
             *scheme,
             *tasks,
@@ -248,7 +256,11 @@ pub fn dispatch(command: &Command) -> Result<String, CliError> {
             *streams,
             *io,
             json.clone(),
+            journal.clone(),
+            *sync,
+            *recover,
         ),
+        Command::JournalInspect { journal } => journal_inspect(journal),
         Command::Certify {
             tasks,
             epsilon,
@@ -476,7 +488,8 @@ identical bytes.
 redundancy serve [--tasks <N>] [--epsilon <E>] [--scheme S] [--proportion P]
                  [--seed SEED] [--shards K] [--timeout T] [--retries M]
                  [--streams single|per-shard] [--io auto|epoll|threads]
-                 [--json PATH]
+                 [--json PATH] [--journal PATH [--sync always|batch|off]
+                 [--recover]]
                  [--stdio | --clients C [--port PORT] | --port PORT]
 
 Runs the live supervisor: a sharded in-memory assignment store that deals
@@ -508,6 +521,28 @@ readiness loop or the portable thread-per-connection loop (auto prefers
 epoll where available; both produce identical reports).  --json PATH
 (per-shard only) writes a serve-report/v1 document with session totals
 and per-shard stats cells.
+
+--journal PATH appends every state-mutating event (issue, return, tick,
+timeout-requeue, shutdown) to a checksummed append-only log; --sync picks
+the fsync policy (always per record, batch every 8 KiB — the default —
+or off).  After a crash, rerun the same command line with --recover: the
+journal's verified prefix is replayed to a bit-identical store (a torn
+trailing record is truncated away), surviving in-flight copies are
+re-queued, and the session resumes appending — a recovered-then-drained
+run prints the same stats and report as an uninterrupted one.  See
+`redundancy help journal-inspect` for offline inspection.
+"
+        .into(),
+        Some("journal-inspect") => "\
+redundancy journal-inspect --journal <PATH>
+
+Lists a serve journal's records (one line per record, decoded) and prints
+an integrity verdict: `intact` when every record's checksum chain
+verifies to the last byte, or `TORN` naming the structured error and the
+number of unverified trailing bytes when the file ends in a torn write.
+A journal whose verified prefix is unusable (bad magic, missing header,
+mid-file corruption) is an error.  Inspection is workload-independent;
+replay verification against the task set happens in `serve --recover`.
 "
         .into(),
         Some("solve-sm") => "\
@@ -1022,12 +1057,127 @@ fn churn_soak_cmd(workers: u64, horizon: u64, tasks: u64, seed: u64) -> Result<S
     Ok(out)
 }
 
-/// A drained serve backend: aggregate stats, plus the [`ConcurrentStore`]
-/// itself when the session ran per-shard streams (the JSON report and the
-/// sharded-stream oracle both need the store, not just its counters).
+/// A drained serve backend: aggregate stats, the full drained-state
+/// snapshot (outcome + final RNG streams) the oracles compare, the
+/// [`ConcurrentStore`] itself when the session ran per-shard streams (the
+/// JSON report and the sharded-stream oracle both need the store, not
+/// just its counters), and the journal's closing summary when one was
+/// written.
 struct ServeRun {
     stats: ServeStats,
+    state: DrainState,
     store: Option<ConcurrentStore>,
+    journal: Option<JournalSummary>,
+}
+
+/// What a finished journal looked like, for the report tail and the JSON
+/// `journal` member.
+struct JournalSummary {
+    path: String,
+    policy: SyncPolicy,
+    records: u64,
+    bytes: u64,
+    synced: u64,
+    chain: u64,
+}
+
+/// How a session came back from `--recover`: what the replay consumed and
+/// what the reset re-queued.
+struct Recovery {
+    records: u64,
+    reverted: u64,
+    torn_tail: bool,
+}
+
+/// The serve backend every transport drives through one generic surface.
+///
+/// Journaling serializes events, so a journaled session of either store
+/// flavor runs behind one lock (`Locked`) — the journal's record order
+/// *is* the call order, which is what makes replay deterministic.  The
+/// single-stream session needs that lock anyway; the per-shard store
+/// keeps its full per-shard concurrency only while unjournaled
+/// (`Concurrent`).
+// One backend exists per serve run; the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    /// Either store flavor, serialized behind one lock, journaled or not.
+    Locked(std::sync::Mutex<JournaledStore<StoreEnum>>),
+    /// The per-shard store on its own per-shard locks (no journal).
+    Concurrent(ConcurrentStore),
+}
+
+impl Backend {
+    /// Answer one protocol request, formatting the reply into `reply`.
+    /// Returns true when the request was `shutdown`.
+    fn handle_into(&self, req: &str, reply: &mut String) -> bool {
+        match self {
+            Backend::Locked(m) => {
+                let mut js = m.lock().expect("serve backend poisoned");
+                handle_request(&mut *js, req, reply)
+            }
+            Backend::Concurrent(c) => c.handle_into(req, reply),
+        }
+    }
+
+    /// Answer one protocol request into an owned [`Reply`].
+    fn handle(&self, req: &str) -> Reply {
+        let mut text = String::new();
+        let shutdown = self.handle_into(req, &mut text);
+        Reply { text, shutdown }
+    }
+
+    /// Drain the store to completion in process.
+    fn drain(&self) {
+        match self {
+            Backend::Locked(m) => m.lock().expect("serve backend poisoned").drain(),
+            Backend::Concurrent(c) => c.drain(),
+        }
+    }
+
+    /// Tear down into the run summary: final stats, drained state, the
+    /// concurrent store (per-shard sessions), and the journal summary.
+    /// A journal append or flush failure surfaces here as an error — the
+    /// session itself finished, but its log cannot be trusted.
+    fn finish(self, journal_path: Option<&str>) -> Result<ServeRun, CliError> {
+        match self {
+            Backend::Locked(m) => {
+                let js = m
+                    .into_inner()
+                    .map_err(|_| CliError::Io("serve backend poisoned".into()))?;
+                let stats = js.stats();
+                let state = DrainState::of(&js);
+                let (store, writer) = js.finish().map_err(|e| {
+                    CliError::Io(format!(
+                        "journal {}: {e}",
+                        journal_path.unwrap_or("<unset>")
+                    ))
+                })?;
+                let journal = match (writer, journal_path) {
+                    (Some(w), Some(path)) => Some(JournalSummary {
+                        path: path.to_string(),
+                        policy: w.policy(),
+                        records: w.records(),
+                        bytes: w.bytes(),
+                        synced: w.synced(),
+                        chain: w.chain(),
+                    }),
+                    _ => None,
+                };
+                Ok(ServeRun {
+                    stats,
+                    state,
+                    store: store.into_concurrent(),
+                    journal,
+                })
+            }
+            Backend::Concurrent(c) => Ok(ServeRun {
+                stats: c.stats(),
+                state: DrainState::of(&&c),
+                store: Some(c),
+                journal: None,
+            }),
+        }
+    }
 }
 
 /// Resolve `--io` to a concrete transport.  `Auto` prefers the epoll
@@ -1073,6 +1223,9 @@ fn serve_cmd(
     streams: StreamMode,
     io: IoMode,
     json: Option<String>,
+    journal: Option<String>,
+    sync: SyncPolicy,
+    recover: bool,
 ) -> Result<String, CliError> {
     let plan = build_plan(scheme, tasks, epsilon, None, 0.0)?;
     let campaign = CampaignConfig::new(
@@ -1096,6 +1249,16 @@ fn serve_cmd(
         ));
     }
     let specs = redundancy_sim::task::expand_plan(&plan);
+    let (backend, recovery) = make_backend(
+        &specs,
+        &campaign,
+        &serve,
+        seed,
+        streams,
+        journal.as_deref(),
+        sync,
+        recover,
+    )?;
     if stdio {
         if json.is_some() {
             return Err(CliError::Invalid(
@@ -1107,23 +1270,10 @@ fn serve_cmd(
         let stdout = std::io::stdout();
         let mut r = stdin.lock();
         let mut w = stdout.lock();
-        match streams {
-            StreamMode::Single => {
-                let mut session = ServeSession::new(&specs, &campaign, &serve, seed)
-                    .map_err(CliError::Invalid)?;
-                serve_connection(&mut r, &mut w, |req| session.handle(req))
-            }
-            StreamMode::PerShard => {
-                let store = ConcurrentStore::new(&specs, &campaign, &serve, seed)
-                    .map_err(CliError::Invalid)?;
-                serve_connection(&mut r, &mut w, |req| {
-                    let mut text = String::new();
-                    let shutdown = store.handle_into(req, &mut text);
-                    Reply { text, shutdown }
-                })
-            }
-        }
-        .map_err(|e| CliError::Io(format!("stdio transport: {e}")))?;
+        serve_connection(&mut r, &mut w, |req| backend.handle(req))
+            .map_err(|e| CliError::Io(format!("stdio transport: {e}")))?;
+        // A journal append failure still surfaces, even with no report.
+        backend.finish(journal.as_deref())?;
         return Ok(String::new());
     }
     let mut out = String::new();
@@ -1139,66 +1289,234 @@ fn serve_cmd(
         // of the same configuration must print byte-identical reports.
         let _ = writeln!(out, "streams per-shard: one derived RNG stream per shard");
     }
-    if clients > 0 {
-        let run = serve_tcp_drive(
-            &specs, &campaign, &serve, seed, port, clients, streams, use_epoll,
-        )?;
+    let run = if clients > 0 {
+        let backend = serve_tcp_drive(backend, port, clients, use_epoll)?;
         let _ = writeln!(out, "drained by {clients} concurrent TCP clients");
+        let run = backend.finish(journal.as_deref())?;
         out.push_str(&run.stats.render());
         if let Some(store) = &run.store {
             append_sharded_oracle_verdict(&mut out, &specs, &campaign, &serve, seed, store);
             if let Some(path) = &json {
-                write_serve_json(path, &plan, seed, clients, store)?;
+                write_serve_json(path, &plan, seed, clients, store, run.journal.as_ref())?;
             }
         }
-        return Ok(out);
-    }
-    if let Some(port) = port {
-        let run = serve_tcp_daemon(&specs, &campaign, &serve, seed, port, streams, use_epoll)?;
+        run
+    } else if let Some(port) = port {
+        let backend = serve_tcp_daemon(backend, port, use_epoll)?;
+        let run = backend.finish(journal.as_deref())?;
         out.push_str(&run.stats.render());
         if let (Some(path), Some(store)) = (&json, &run.store) {
-            write_serve_json(path, &plan, seed, 0, store)?;
+            write_serve_json(path, &plan, seed, 0, store, run.journal.as_ref())?;
         }
-        return Ok(out);
-    }
-    match streams {
-        StreamMode::Single => {
-            // Default: drain in process and check the batched-kernel oracle.
-            let mut rng = DeterministicRng::new(seed);
-            let mut outcome = CampaignOutcome::default();
-            let stats = drain_session(&specs, &campaign, &serve, &mut rng, &mut outcome);
-            out.push_str(&stats.render());
-            let mut batch_rng = DeterministicRng::new(seed);
-            let mut batch_out = CampaignOutcome::default();
-            let mut scratch = CampaignScratch::new();
-            run_campaign_with_scratch(
-                &specs,
-                &campaign,
-                &mut batch_rng,
-                &mut batch_out,
-                &mut scratch,
-            );
-            let ok = batch_out == outcome && batch_rng == rng;
-            let _ = writeln!(
-                out,
-                "batched-kernel oracle: {}",
-                if ok { "bit-identical" } else { "DIVERGED" }
-            );
-        }
-        StreamMode::PerShard => {
-            // Per-shard default: drain in process and check the
-            // shard-by-shard oracle (the per-shard determinism contract).
-            let store =
-                ConcurrentStore::new(&specs, &campaign, &serve, seed).map_err(CliError::Invalid)?;
-            store.drain();
-            out.push_str(&store.stats().render());
-            append_sharded_oracle_verdict(&mut out, &specs, &campaign, &serve, seed, &store);
-            if let Some(path) = &json {
-                write_serve_json(path, &plan, seed, 0, &store)?;
+        run
+    } else {
+        // Default: drain in process and check the flavor's oracle.
+        backend.drain();
+        let run = backend.finish(journal.as_deref())?;
+        out.push_str(&run.stats.render());
+        match streams {
+            StreamMode::Single => {
+                // The batched-kernel oracle: the drained session must be
+                // bit-identical to the batch kernel on the same seed.
+                let mut batch_rng = DeterministicRng::new(seed);
+                let mut batch_out = CampaignOutcome::default();
+                let mut scratch = CampaignScratch::new();
+                run_campaign_with_scratch(
+                    &specs,
+                    &campaign,
+                    &mut batch_rng,
+                    &mut batch_out,
+                    &mut scratch,
+                );
+                let ok =
+                    drain_equivalence(&DrainState::batch(batch_out, batch_rng), &run.state).is_ok();
+                let _ = writeln!(
+                    out,
+                    "batched-kernel oracle: {}",
+                    if ok { "bit-identical" } else { "DIVERGED" }
+                );
+            }
+            StreamMode::PerShard => {
+                // The shard-by-shard oracle (the per-shard determinism
+                // contract).
+                let store = run.store.as_ref().expect("per-shard run keeps its store");
+                append_sharded_oracle_verdict(&mut out, &specs, &campaign, &serve, seed, store);
+                if let Some(path) = &json {
+                    write_serve_json(path, &plan, seed, 0, store, run.journal.as_ref())?;
+                }
             }
         }
-    }
+        run
+    };
+    append_journal_tail(&mut out, run.journal.as_ref(), recovery.as_ref());
     Ok(out)
+}
+
+/// Build the serve backend, creating or recovering the journal when
+/// `--journal` is given.  Returns the backend plus the recovery notes
+/// when `--recover` replayed an existing journal.
+#[allow(clippy::too_many_arguments)]
+fn make_backend(
+    specs: &[TaskSpec],
+    campaign: &CampaignConfig,
+    serve: &ServeConfig,
+    seed: u64,
+    streams: StreamMode,
+    journal: Option<&str>,
+    sync: SyncPolicy,
+    recover: bool,
+) -> Result<(Backend, Option<Recovery>), CliError> {
+    let Some(path) = journal else {
+        // No journal: the single-stream session serializes on one lock
+        // (as it always has); the per-shard store keeps its shard locks.
+        let backend = match streams {
+            StreamMode::Single => {
+                let store = StoreEnum::new(specs, campaign, serve, seed, streams)
+                    .map_err(CliError::Invalid)?;
+                Backend::Locked(std::sync::Mutex::new(JournaledStore::new(store, None)))
+            }
+            StreamMode::PerShard => Backend::Concurrent(
+                ConcurrentStore::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?,
+            ),
+        };
+        return Ok((backend, None));
+    };
+    if recover {
+        return recover_backend(specs, campaign, serve, seed, streams, path, sync);
+    }
+    let file = std::fs::File::create(path)
+        .map_err(|e| CliError::Invalid(format!("--journal {path}: {e}")))?;
+    let mut writer = JournalWriter::new(file, sync);
+    writer
+        .append(&Record::Header(SessionHeader {
+            seed,
+            shards: serve.shards as u32,
+            mode: streams,
+            timeout: serve.faults.timeout,
+            max_retries: serve.faults.max_retries,
+            fingerprint: workload_fingerprint(specs, campaign),
+            total_tasks: specs.len() as u64,
+        }))
+        .map_err(|e| CliError::Io(format!("journal {path}: {e}")))?;
+    let store = StoreEnum::new(specs, campaign, serve, seed, streams).map_err(CliError::Invalid)?;
+    Ok((
+        Backend::Locked(std::sync::Mutex::new(JournaledStore::new(
+            store,
+            Some(writer),
+        ))),
+        None,
+    ))
+}
+
+/// `--recover`: replay the journal (tolerating a torn tail), check its
+/// header against the command line, truncate the tail away, and resume
+/// both the store and the appender from the verified prefix.
+fn recover_backend(
+    specs: &[TaskSpec],
+    campaign: &CampaignConfig,
+    serve: &ServeConfig,
+    seed: u64,
+    streams: StreamMode,
+    path: &str,
+    sync: SyncPolicy,
+) -> Result<(Backend, Option<Recovery>), CliError> {
+    use std::io::Seek as _;
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Invalid(format!("--journal {path}: {e}")))?;
+    let replayed = replay_with(
+        &bytes,
+        specs,
+        campaign,
+        ReplayOptions {
+            allow_torn_tail: true,
+        },
+    )
+    .map_err(|e| CliError::Invalid(format!("--recover: journal {path}: {e}")))?;
+    let h = replayed.header;
+    if (h.seed, h.shards, h.mode, h.timeout, h.max_retries)
+        != (
+            seed,
+            serve.shards as u32,
+            streams,
+            serve.faults.timeout,
+            serve.faults.max_retries,
+        )
+    {
+        return Err(CliError::Invalid(format!(
+            "--recover: journal {path} was written by a different session \
+             (journal: seed {} shards {} streams {} timeout {} retries {}; \
+             command line: seed {seed} shards {} streams {streams} timeout {} retries {})",
+            h.seed,
+            h.shards,
+            h.mode,
+            h.timeout,
+            h.max_retries,
+            serve.shards,
+            serve.faults.timeout,
+            serve.faults.max_retries,
+        )));
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(|e| CliError::Invalid(format!("--journal {path}: {e}")))?;
+    file.set_len(replayed.valid_len)
+        .map_err(|e| CliError::Io(format!("truncating journal {path}: {e}")))?;
+    file.seek(std::io::SeekFrom::End(0))
+        .map_err(|e| CliError::Io(format!("journal {path}: {e}")))?;
+    let writer = JournalWriter::resume(
+        file,
+        sync,
+        replayed.chain,
+        replayed.records,
+        replayed.valid_len,
+    );
+    let mut js = JournaledStore::new(replayed.store, Some(writer));
+    // The copies issued before the crash died with their clients: revert
+    // them to pending (journaled as a reset record) so the resumed drain
+    // ends exactly where an uninterrupted one would have.
+    let reverted = js.reset_in_flight();
+    if let Some(e) = js.error() {
+        return Err(CliError::Io(format!("journal {path}: {e}")));
+    }
+    Ok((
+        Backend::Locked(std::sync::Mutex::new(js)),
+        Some(Recovery {
+            records: replayed.records,
+            reverted,
+            torn_tail: replayed.torn_tail,
+        }),
+    ))
+}
+
+/// The journal's closing report lines — present only when `--journal`
+/// was given, so journal-free reports stay byte-identical to previous
+/// releases.
+fn append_journal_tail(
+    out: &mut String,
+    journal: Option<&JournalSummary>,
+    recovery: Option<&Recovery>,
+) {
+    let Some(j) = journal else { return };
+    if let Some(r) = recovery {
+        let _ = writeln!(
+            out,
+            "journal recovered: {} records replayed, {} copies re-queued{}",
+            r.records,
+            r.reverted,
+            if r.torn_tail {
+                ", torn tail truncated"
+            } else {
+                ""
+            },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "journal: {} (sync {}): {} records, {} bytes, {} syncs, chain {:#018x}",
+        j.path, j.policy, j.records, j.bytes, j.synced, j.chain
+    );
 }
 
 /// Re-drain a fresh [`ConcurrentStore`] shard by shard and compare it to
@@ -1258,13 +1576,16 @@ fn stats_members(stats: &ServeStats) -> Vec<(&'static str, redundancy_json::Json
 
 /// Write the `serve-report/v1` document for a drained per-shard store:
 /// session totals plus one stats cell per shard, so consumers can verify
-/// the cells sum to the totals.
+/// the cells sum to the totals.  A `journal` member is appended only when
+/// the session was journaled, so journal-free reports are unchanged and
+/// `jq 'del(.journal)'` compares a recovered run to an uninterrupted one.
 fn write_serve_json(
     path: &str,
     plan: &RealizedPlan,
     seed: u64,
     clients: usize,
     store: &ConcurrentStore,
+    journal: Option<&JournalSummary>,
 ) -> Result<(), CliError> {
     use redundancy_json::{num_u64, obj, Json};
     let per_shard: Vec<Json> = store
@@ -1277,7 +1598,7 @@ fn write_serve_json(
             obj(members)
         })
         .collect();
-    let doc = obj(vec![
+    let mut members = vec![
         ("schema", Json::Str("serve-report/v1".into())),
         ("scheme", Json::Str(plan.scheme().to_string())),
         ("seed", num_u64(seed)),
@@ -1290,10 +1611,67 @@ fn write_serve_json(
         ),
         ("totals", obj(stats_members(&store.stats()))),
         ("per_shard", Json::Arr(per_shard)),
-    ]);
+    ];
+    if let Some(j) = journal {
+        members.push((
+            "journal",
+            obj(vec![
+                ("path", Json::Str(j.path.clone())),
+                ("sync", Json::Str(j.policy.to_string())),
+                ("records", num_u64(j.records)),
+                ("bytes", num_u64(j.bytes)),
+                ("synced", num_u64(j.synced)),
+                ("replay_checksum", Json::Str(format!("{:#018x}", j.chain))),
+            ]),
+        ));
+    }
+    let doc = obj(members);
     let mut body = redundancy_json::to_string_pretty(&doc);
     body.push('\n');
     std::fs::write(path, body).map_err(|e| CliError::Io(format!("writing {path}: {e}")))
+}
+
+/// `redundancy journal-inspect`: list a serve journal's records and
+/// report an integrity verdict — `intact`, or `TORN` with the verified
+/// prefix listed and the tail's structured error named.  Workload-level
+/// checks (fingerprint, replay) need the task set and are done by
+/// `serve --recover`; inspection only needs the bytes.
+fn journal_inspect(path: &str) -> Result<String, CliError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Invalid(format!("--journal {path}: {e}")))?;
+    let strict_err = parse_journal(&bytes, ReplayOptions::default()).err();
+    let parsed = parse_journal(
+        &bytes,
+        ReplayOptions {
+            allow_torn_tail: true,
+        },
+    )
+    .map_err(|e| CliError::Invalid(format!("journal {path}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "journal {path}: {} bytes", bytes.len());
+    for (i, rec) in parsed.records.iter().enumerate() {
+        let _ = writeln!(out, "{i:>6}  {rec}");
+    }
+    let _ = writeln!(
+        out,
+        "{} records over {} verified bytes, chain {:#018x}",
+        parsed.records.len(),
+        parsed.valid_len,
+        parsed.chain
+    );
+    match strict_err {
+        None => {
+            let _ = writeln!(out, "integrity: intact");
+        }
+        Some(e) => {
+            let _ = writeln!(
+                out,
+                "integrity: TORN ({} trailing bytes unverified: {e})",
+                bytes.len() as u64 - parsed.valid_len
+            );
+        }
+    }
+    Ok(out)
 }
 
 /// Accept exactly `clients` connections off a blocking listener and serve
@@ -1356,21 +1734,16 @@ fn join_drivers(
 
 /// Self-driving TCP drain: bind (an ephemeral port unless `--port` pins
 /// one), spawn `clients` synthetic client threads, and serve exactly that
-/// many connections off one shared store — on the epoll readiness loop or
-/// a thread per connection.
-#[allow(clippy::too_many_arguments)]
+/// many connections off the shared backend — on the epoll readiness loop
+/// or a thread per connection.
 fn serve_tcp_drive(
-    specs: &[TaskSpec],
-    campaign: &CampaignConfig,
-    serve: &ServeConfig,
-    seed: u64,
+    backend: Backend,
     port: Option<u16>,
     clients: usize,
-    streams: StreamMode,
     use_epoll: bool,
-) -> Result<ServeRun, CliError> {
+) -> Result<Backend, CliError> {
     use std::net::TcpListener;
-    use std::sync::{Arc, Mutex};
+    use std::sync::Arc;
     let listener = TcpListener::bind(("127.0.0.1", port.unwrap_or(0)))
         .map_err(|e| CliError::Io(format!("binding the TCP listener: {e}")))?;
     let addr = listener
@@ -1380,78 +1753,24 @@ fn serve_tcp_drive(
     let opts = LoopOptions {
         expected_clients: Some(clients),
     };
-    // Build the store before spawning drivers so a bad configuration
-    // fails fast instead of stranding connected clients.
-    let run = match streams {
-        StreamMode::Single => {
-            let mut session =
-                ServeSession::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?;
-            if use_epoll {
-                let drivers = spawn_drivers(addr, clients);
-                serve_readiness_loop(listener, opts, |req, reply| {
-                    let (text, shutdown) = session.handle_buffered(req);
-                    reply.clear();
-                    reply.push_str(text);
-                    shutdown
-                })
-                .map_err(|e| CliError::Io(format!("epoll transport: {e}")))?;
-                join_drivers(drivers)?;
-                ServeRun {
-                    stats: session.store.stats(),
-                    store: None,
-                }
-            } else {
-                let session = Arc::new(Mutex::new(session));
-                let handler = {
-                    let session = Arc::clone(&session);
-                    Arc::new(move |req: &str| session.lock().unwrap().handle(req))
-                };
-                let drivers = spawn_drivers(addr, clients);
-                serve_threaded_conns(&listener, clients, handler)?;
-                join_drivers(drivers)?;
-                let stats = session
-                    .lock()
-                    .map_err(|_| CliError::Io("session mutex poisoned".into()))?
-                    .store
-                    .stats();
-                ServeRun { stats, store: None }
-            }
-        }
-        StreamMode::PerShard => {
-            let store =
-                ConcurrentStore::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?;
-            if use_epoll {
-                let drivers = spawn_drivers(addr, clients);
-                serve_readiness_loop(listener, opts, |req, reply| store.handle_into(req, reply))
-                    .map_err(|e| CliError::Io(format!("epoll transport: {e}")))?;
-                join_drivers(drivers)?;
-                ServeRun {
-                    stats: store.stats(),
-                    store: Some(store),
-                }
-            } else {
-                let store = Arc::new(store);
-                let handler = {
-                    let store = Arc::clone(&store);
-                    Arc::new(move |req: &str| {
-                        let mut text = String::new();
-                        let shutdown = store.handle_into(req, &mut text);
-                        Reply { text, shutdown }
-                    })
-                };
-                let drivers = spawn_drivers(addr, clients);
-                serve_threaded_conns(&listener, clients, handler)?;
-                join_drivers(drivers)?;
-                let store = Arc::try_unwrap(store)
-                    .map_err(|_| CliError::Io("store still shared after the drain".into()))?;
-                ServeRun {
-                    stats: store.stats(),
-                    store: Some(store),
-                }
-            }
-        }
-    };
-    Ok(run)
+    if use_epoll {
+        let drivers = spawn_drivers(addr, clients);
+        serve_readiness_loop(listener, opts, |req, reply| backend.handle_into(req, reply))
+            .map_err(|e| CliError::Io(format!("epoll transport: {e}")))?;
+        join_drivers(drivers)?;
+        Ok(backend)
+    } else {
+        let backend = Arc::new(backend);
+        let handler = {
+            let backend = Arc::clone(&backend);
+            Arc::new(move |req: &str| backend.handle(req))
+        };
+        let drivers = spawn_drivers(addr, clients);
+        serve_threaded_conns(&listener, clients, handler)?;
+        join_drivers(drivers)?;
+        Arc::try_unwrap(backend)
+            .map_err(|_| CliError::Io("backend still shared after the drain".into()))
+    }
 }
 
 /// Spawn the enumerated synthetic client threads for a self-driving drain.
@@ -1504,18 +1823,10 @@ fn drive_client(addr: std::net::SocketAddr) -> std::io::Result<()> {
 }
 
 /// Daemon mode: listen on a pinned port until a client sends `shutdown`.
-fn serve_tcp_daemon(
-    specs: &[TaskSpec],
-    campaign: &CampaignConfig,
-    serve: &ServeConfig,
-    seed: u64,
-    port: u16,
-    streams: StreamMode,
-    use_epoll: bool,
-) -> Result<ServeRun, CliError> {
+fn serve_tcp_daemon(backend: Backend, port: u16, use_epoll: bool) -> Result<Backend, CliError> {
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| CliError::Io(format!("binding the TCP listener: {e}")))?;
-    serve_daemon_on(listener, specs, campaign, serve, seed, streams, use_epoll)
+    serve_daemon_on(listener, backend, use_epoll)
 }
 
 /// The daemon's serve loop, split from the bind so tests can listen on an
@@ -1525,14 +1836,10 @@ fn serve_tcp_daemon(
 /// flag — no throwaway self-connection needed to unblock an `accept`.
 fn serve_daemon_on(
     listener: std::net::TcpListener,
-    specs: &[TaskSpec],
-    campaign: &CampaignConfig,
-    serve: &ServeConfig,
-    seed: u64,
-    streams: StreamMode,
+    backend: Backend,
     use_epoll: bool,
-) -> Result<ServeRun, CliError> {
-    use std::sync::{Arc, Mutex};
+) -> Result<Backend, CliError> {
+    use std::sync::Arc;
     let addr = listener
         .local_addr()
         .map_err(|e| CliError::Io(e.to_string()))?;
@@ -1540,68 +1847,20 @@ fn serve_daemon_on(
     let opts = LoopOptions {
         expected_clients: None,
     };
-    let run = match streams {
-        StreamMode::Single => {
-            let mut session =
-                ServeSession::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?;
-            if use_epoll {
-                serve_readiness_loop(listener, opts, |req, reply| {
-                    let (text, shutdown) = session.handle_buffered(req);
-                    reply.clear();
-                    reply.push_str(text);
-                    shutdown
-                })
-                .map_err(|e| CliError::Io(format!("epoll transport: {e}")))?;
-                ServeRun {
-                    stats: session.store.stats(),
-                    store: None,
-                }
-            } else {
-                let session = Arc::new(Mutex::new(session));
-                let handler = {
-                    let session = Arc::clone(&session);
-                    Arc::new(move |req: &str| session.lock().unwrap().handle(req))
-                };
-                serve_daemon_threads(&listener, handler)?;
-                let stats = session
-                    .lock()
-                    .map_err(|_| CliError::Io("session mutex poisoned".into()))?
-                    .store
-                    .stats();
-                ServeRun { stats, store: None }
-            }
-        }
-        StreamMode::PerShard => {
-            let store =
-                ConcurrentStore::new(specs, campaign, serve, seed).map_err(CliError::Invalid)?;
-            if use_epoll {
-                serve_readiness_loop(listener, opts, |req, reply| store.handle_into(req, reply))
-                    .map_err(|e| CliError::Io(format!("epoll transport: {e}")))?;
-                ServeRun {
-                    stats: store.stats(),
-                    store: Some(store),
-                }
-            } else {
-                let store = Arc::new(store);
-                let handler = {
-                    let store = Arc::clone(&store);
-                    Arc::new(move |req: &str| {
-                        let mut text = String::new();
-                        let shutdown = store.handle_into(req, &mut text);
-                        Reply { text, shutdown }
-                    })
-                };
-                serve_daemon_threads(&listener, handler)?;
-                let store = Arc::try_unwrap(store)
-                    .map_err(|_| CliError::Io("store still shared after shutdown".into()))?;
-                ServeRun {
-                    stats: store.stats(),
-                    store: Some(store),
-                }
-            }
-        }
-    };
-    Ok(run)
+    if use_epoll {
+        serve_readiness_loop(listener, opts, |req, reply| backend.handle_into(req, reply))
+            .map_err(|e| CliError::Io(format!("epoll transport: {e}")))?;
+        Ok(backend)
+    } else {
+        let backend = Arc::new(backend);
+        let handler = {
+            let backend = Arc::clone(&backend);
+            Arc::new(move |req: &str| backend.handle(req))
+        };
+        serve_daemon_threads(&listener, handler)?;
+        Arc::try_unwrap(backend)
+            .map_err(|_| CliError::Io("backend still shared after shutdown".into()))
+    }
 }
 
 /// The threaded daemon accept loop: poll a nonblocking listener, serve
@@ -2163,16 +2422,21 @@ mod tests {
                 AdversaryModel::AssignmentFraction { p: 0.2 },
                 CheatStrategy::AtLeast { min_copies: 1 },
             );
-            let run = serve_daemon_on(
-                listener,
+            let (backend, _) = make_backend(
                 &specs,
                 &campaign,
                 &ServeConfig::new(2),
                 7,
                 streams,
-                use_epoll,
+                None,
+                SyncPolicy::Batch,
+                false,
             )
             .unwrap();
+            let run = serve_daemon_on(listener, backend, use_epoll)
+                .unwrap()
+                .finish(None)
+                .unwrap();
             let tag = format!("{streams:?} epoll={use_epoll}");
             let replies = client.join().unwrap();
             assert_eq!(replies.len(), 4, "{tag}: {replies:?}");
@@ -2319,6 +2583,137 @@ mod tests {
             assert_eq!(cell.field_u64("shard").unwrap(), s as u64);
             assert!(cell.field_str("checksum").unwrap().starts_with("0x"));
         }
+    }
+
+    #[test]
+    fn serve_journal_roundtrip_inspect_and_recover() {
+        let path = std::env::temp_dir().join(format!("serve_journal_{}.log", std::process::id()));
+        let path_str = path.to_str().unwrap().to_owned();
+        let base = [
+            "serve",
+            "--tasks",
+            "400",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.2",
+            "--seed",
+            "11",
+            "--shards",
+            "2",
+            "--timeout",
+            "6",
+            "--journal",
+            &path_str,
+        ];
+        let journaled = run(&base).unwrap();
+        assert!(
+            journaled.contains("batched-kernel oracle: bit-identical"),
+            "{journaled}"
+        );
+        assert!(
+            journaled.lines().any(|l| l.starts_with("journal: ")),
+            "{journaled}"
+        );
+        // The journal lines are a pure suffix: everything above them is
+        // byte-identical to the journal-free report.
+        let plain = run(&base[..base.len() - 2]).unwrap();
+        let stripped: String = journaled
+            .lines()
+            .filter(|l| !l.starts_with("journal"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, plain);
+        // The completed journal inspects as intact, records decoded.
+        let inspect = run(&["journal-inspect", "--journal", &path_str]).unwrap();
+        assert!(inspect.contains("integrity: intact"), "{inspect}");
+        assert!(inspect.contains("header seed=11"), "{inspect}");
+        assert!(inspect.contains("tick drained"), "{inspect}");
+        // --recover replays it to the drained store: re-draining changes
+        // nothing and the stats block matches the original run.
+        let mut rec_argv: Vec<&str> = base.to_vec();
+        rec_argv.push("--recover");
+        let recovered = run(&rec_argv).unwrap();
+        assert!(
+            recovered
+                .lines()
+                .any(|l| l.starts_with("journal recovered: ")),
+            "{recovered}"
+        );
+        let sans_journal = |out: &str| -> Vec<String> {
+            out.lines()
+                .filter(|l| !l.starts_with("journal"))
+                .map(str::to_owned)
+                .collect()
+        };
+        assert_eq!(sans_journal(&recovered), sans_journal(&journaled));
+        // Recovering under a different configuration is a named error.
+        let mut wrong: Vec<&str> = rec_argv.clone();
+        wrong[12] = "9"; // the --timeout value
+        let err = run(&wrong).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Invalid(m) if m.contains("different session")),
+            "{err:?}"
+        );
+        // A torn tail is detected and named by the inspector.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let inspect = run(&["journal-inspect", "--journal", &path_str]).unwrap();
+        assert!(inspect.contains("integrity: TORN"), "{inspect}");
+        // ...and --recover truncates it away and still drains to the
+        // same stats.
+        let retorn = run(&rec_argv).unwrap();
+        assert!(retorn.contains("torn tail truncated"), "{retorn}");
+        assert_eq!(sans_journal(&retorn), sans_journal(&journaled));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_journal_per_shard_report_carries_the_journal_member() {
+        let dir = std::env::temp_dir();
+        let journal = dir.join(format!("serve_journal_ps_{}.log", std::process::id()));
+        let report = dir.join(format!("serve_journal_ps_{}.json", std::process::id()));
+        let (journal_str, report_str) = (
+            journal.to_str().unwrap().to_owned(),
+            report.to_str().unwrap().to_owned(),
+        );
+        let out = run(&[
+            "serve",
+            "--tasks",
+            "300",
+            "--epsilon",
+            "0.5",
+            "--proportion",
+            "0.2",
+            "--seed",
+            "9",
+            "--shards",
+            "2",
+            "--streams",
+            "per-shard",
+            "--journal",
+            &journal_str,
+            "--sync",
+            "off",
+            "--json",
+            &report_str,
+        ])
+        .unwrap();
+        assert!(
+            out.contains("sharded-stream oracle: bit-identical"),
+            "{out}"
+        );
+        assert!(out.contains("(sync off)"), "{out}");
+        let body = std::fs::read_to_string(&report).unwrap();
+        let doc = redundancy_json::parse(&body).unwrap();
+        let j = doc.field("journal").unwrap();
+        assert_eq!(j.field_str("path").unwrap(), journal_str);
+        assert_eq!(j.field_str("sync").unwrap(), "off");
+        assert_eq!(j.field_u64("synced").unwrap(), 0);
+        assert!(j.field_u64("records").unwrap() > 0);
+        assert!(j.field_str("replay_checksum").unwrap().starts_with("0x"));
+        std::fs::remove_file(&journal).ok();
+        std::fs::remove_file(&report).ok();
     }
 
     #[test]
@@ -2484,6 +2879,7 @@ mod tests {
             Some("certify"),
             Some("bench"),
             Some("repro"),
+            Some("journal-inspect"),
             Some("unknown"),
         ] {
             let out = help(topic);

@@ -54,6 +54,7 @@ COMMANDS:
     certify    Certify S_m optima with the exact-rational LP oracle
     bench      Pinned performance fixtures with a BENCH JSON report
     repro      Regenerate the paper's tables and figures from the registry
+    journal-inspect  List a serve journal's records and verify its integrity
     help       Show this message
 
 COMMON OPTIONS:

@@ -184,7 +184,79 @@ impl Exhibit for ExtServe {
                 && served.final_rngs() == oracle.final_rngs()
                 && served.stats() == oracle.stats()
         };
-        report.passed = all_identical && session_ok && sharded_ok;
+        // The crash-recovery contract, also folded into `passed` with no
+        // printed output: journal a partially drained session, tear the
+        // log mid-append as a crash would, replay the verified prefix,
+        // finish the drain, and require bitwise equality with a session
+        // that never crashed.
+        let recovery_ok = {
+            use redundancy_sim::serve::{
+                drain_equivalence, replay_with, workload_fingerprint, DrainState, Issue,
+                JournalWriter, JournaledStore, Record, ReplayOptions, SessionHeader, SharedBuf,
+                StoreEnum, StreamMode, SyncPolicy, WorkStore,
+            };
+            // The same withholding drive on both sides: hold every third
+            // copy in flight so the crash leaves real recovery work
+            // (timeouts fire on the default 8-tick clock).
+            fn partial_drive<S: WorkStore>(store: &mut S) {
+                let mut held = Vec::new();
+                for step in 0..240usize {
+                    match store.request_work() {
+                        Issue::Work(a) if step % 3 == 0 => held.push((a.task, a.copy)),
+                        Issue::Work(a) => {
+                            let _ = store.return_result(a.task, a.copy);
+                        }
+                        Issue::Idle | Issue::Drained => {
+                            if let Some((task, copy)) = held.pop() {
+                                let _ = store.return_result(task, copy);
+                            }
+                        }
+                    }
+                }
+            }
+            let specs = expand_plan(&plan);
+            let serve = ServeConfig::new(2);
+            let fresh_store = || {
+                StoreEnum::new(&specs, &campaign, &serve, ctx.seed, StreamMode::Single)
+                    .expect("balanced workload is valid")
+            };
+            let buf = SharedBuf::new();
+            let mut writer = JournalWriter::new(buf.clone(), SyncPolicy::Always);
+            writer
+                .append(&Record::Header(SessionHeader {
+                    seed: ctx.seed,
+                    shards: 2,
+                    mode: StreamMode::Single,
+                    timeout: serve.faults.timeout,
+                    max_retries: serve.faults.max_retries,
+                    fingerprint: workload_fingerprint(&specs, &campaign),
+                    total_tasks: specs.len() as u64,
+                }))
+                .expect("in-memory journal cannot fail");
+            let mut live = JournaledStore::new(fresh_store(), Some(writer));
+            partial_drive(&mut live);
+            let (_crashed, _) = live.finish().expect("in-memory journal cannot fail");
+            // The crash: the log ends in a half-written record.
+            let mut torn = buf.snapshot();
+            torn.extend_from_slice(&[0x13, 0x37, 0x00]);
+            let opts = ReplayOptions {
+                allow_torn_tail: true,
+            };
+            let replayed = replay_with(&torn, &specs, &campaign, opts)
+                .expect("the verified prefix must replay");
+            let mut recovered = replayed.store;
+            let reverted = recovered.reset_in_flight();
+            recovered.drain();
+            // The session that never crashed, resumed the same way.
+            let mut oracle = fresh_store();
+            partial_drive(&mut oracle);
+            let oracle_reverted = oracle.reset_in_flight();
+            oracle.drain();
+            replayed.torn_tail
+                && reverted == oracle_reverted
+                && drain_equivalence(&DrainState::of(&recovered), &DrainState::of(&oracle)).is_ok()
+        };
+        report.passed = all_identical && session_ok && sharded_ok && recovery_ok;
         report.text(format!(
             "Session end: {end:?}; store drained: {}.",
             if session_ok { "yes" } else { "NO" }

@@ -91,8 +91,12 @@ pub use rounds::{
     run_platform, run_platform_with_faults, PlatformConfig, PlatformHistory, RoundReport,
 };
 pub use serve::{
-    drain_session, serve_connection, serve_experiment, serve_readiness_loop, AssignmentStore,
-    ConcurrentStore, LoopOptions, ServeConfig, ServeSession, ServeStats, StreamMode,
+    assert_drain_equivalent, drain_equivalence, drain_session, parse_journal, replay, replay_with,
+    serve_connection, serve_experiment, serve_readiness_loop, workload_fingerprint,
+    AssignmentStore, ConcurrentStore, DrainState, JournalError, JournalSink, JournalWriter,
+    JournaledStore, LoopOptions, ParsedJournal, Record, ReplayOptions, Replayed, ServeConfig,
+    ServeSession, ServeStats, SessionHeader, SharedBuf, StoreEnum, StreamMode, SyncPolicy,
+    WorkStore,
 };
 pub use supervisor::Supervisor;
 pub use survival::{survival_experiment, survival_experiment_with, SurvivalOutcome};

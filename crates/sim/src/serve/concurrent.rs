@@ -40,11 +40,12 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
-use super::protocol::{handle_request, WorkSource};
+use super::protocol::handle_request;
 use super::store::{
     judge_completed, materialize_task, shard_hash, Assignment, CopyState, InFlightRec, Issue,
     ReturnAck, ServeConfig, ServeError, ServeStats, TaskState,
 };
+use super::WorkStore;
 use crate::engine::CampaignConfig;
 use crate::outcome::CampaignOutcome;
 use crate::supervisor::Supervisor;
@@ -303,6 +304,30 @@ impl ShardStore {
             &mut self.outcome,
         );
         self.results_buf = buf;
+    }
+
+    /// Revert this shard's in-flight copies to pending, re-queueing each
+    /// under its current attempt number (no timeout or retry charged);
+    /// both `issued` and the in-flight count roll back so the
+    /// conservation invariant holds.
+    fn reset_in_flight(&mut self) -> u64 {
+        let mut reverted = 0u64;
+        while let Some(rec) = self.inflight.pop_front() {
+            let state = &mut self.tasks[rec.task as usize];
+            let live = matches!(
+                state.copies[rec.copy as usize],
+                CopyState::InFlight { attempt } if attempt == rec.attempt
+            );
+            if !live {
+                continue;
+            }
+            state.copies[rec.copy as usize] = CopyState::Pending;
+            self.requeue.push_back((rec.task, rec.copy, rec.attempt));
+            reverted += 1;
+        }
+        self.in_flight_count -= reverted;
+        self.issued -= reverted;
+        reverted
     }
 
     /// This shard's stats cell, scoped to the slice of the workload it
@@ -654,6 +679,28 @@ impl ConcurrentStore {
         h
     }
 
+    /// Running `(timeouts, lost)` totals summed over the shard cells.
+    pub fn expiry_counters(&self) -> (u64, u64) {
+        let mut timeouts = 0u64;
+        let mut lost = 0u64;
+        for s in 0..self.shards.len() {
+            let g = self.lock(s);
+            timeouts += g.outcome.timeouts;
+            lost += g.lost;
+        }
+        (timeouts, lost)
+    }
+
+    /// Revert every shard's in-flight copies to pending (shard 0 first,
+    /// then shard 1, ...), returning the total reverted.  See
+    /// [`AssignmentStore::reset_in_flight`](super::AssignmentStore::reset_in_flight)
+    /// for the recovery contract.
+    pub fn reset_in_flight(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|s| self.lock(s).reset_in_flight())
+            .sum()
+    }
+
     /// Handle one protocol request against this store, formatting the
     /// reply into caller-owned scratch (each connection brings its own
     /// buffer, so concurrent sessions never contend on reply storage).
@@ -705,7 +752,7 @@ impl ConcurrentStore {
     }
 }
 
-impl WorkSource for &ConcurrentStore {
+impl WorkStore for &ConcurrentStore {
     fn request_work(&mut self) -> Issue {
         ConcurrentStore::request_work(self)
     }
@@ -717,10 +764,31 @@ impl WorkSource for &ConcurrentStore {
     fn stats(&self) -> ServeStats {
         ConcurrentStore::stats(self)
     }
+
+    fn merged_outcome(&self) -> CampaignOutcome {
+        ConcurrentStore::merged_outcome(self)
+    }
+
+    fn final_rngs(&self) -> Vec<DeterministicRng> {
+        ConcurrentStore::final_rngs(self)
+    }
+
+    fn is_drained(&self) -> bool {
+        ConcurrentStore::is_drained(self)
+    }
+
+    fn expiry_counters(&self) -> (u64, u64) {
+        ConcurrentStore::expiry_counters(self)
+    }
+
+    fn reset_in_flight(&mut self) -> u64 {
+        ConcurrentStore::reset_in_flight(self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::{assert_drain_equivalent, DrainState};
     use super::*;
     use crate::adversary::{AdversaryModel, CheatStrategy};
     use crate::faults::FaultModel;
@@ -759,9 +827,7 @@ mod tests {
             live.drain();
             live.check_invariants();
             assert!(live.is_drained());
-            assert_eq!(live.merged_outcome(), oracle.merged_outcome());
-            assert_eq!(live.final_rngs(), oracle.final_rngs());
-            assert_eq!(live.stats(), oracle.stats());
+            assert_drain_equivalent(&DrainState::of(&&live), &DrainState::of(&&oracle));
             assert_eq!(live.per_shard_stats(), oracle.per_shard_stats());
             assert_eq!(live.stream_checksum(), oracle.stream_checksum());
         }
@@ -791,16 +857,7 @@ mod tests {
                 });
                 live.check_invariants();
                 assert!(live.is_drained(), "{clients} clients left work behind");
-                assert_eq!(
-                    live.merged_outcome(),
-                    oracle.merged_outcome(),
-                    "outcome diverged at {shards} shards, {clients} clients"
-                );
-                assert_eq!(
-                    live.final_rngs(),
-                    oracle.final_rngs(),
-                    "streams diverged at {shards} shards, {clients} clients"
-                );
+                assert_drain_equivalent(&DrainState::of(&&live), &DrainState::of(&&oracle));
                 assert_eq!(live.stats().render(), oracle.stats().render());
             }
         }
@@ -933,6 +990,33 @@ mod tests {
         assert!(reply.contains("checksum 0x"));
         assert!(store.handle_into("shutdown", &mut reply));
         assert_eq!(reply, "bye");
+    }
+
+    #[test]
+    fn reset_in_flight_recovers_to_the_uninterrupted_endpoint() {
+        let tasks = specs(500);
+        for shards in [1usize, 3] {
+            let oracle = ConcurrentStore::new(&tasks, &campaign(), &patient(shards), 31).unwrap();
+            oracle.drain();
+            // Crash scenario: issue a prefix, return a third, lose the rest.
+            let store = ConcurrentStore::new(&tasks, &campaign(), &patient(shards), 31).unwrap();
+            for i in 0..257 {
+                let Issue::Work(a) = store.request_work() else {
+                    panic!("store drained too early");
+                };
+                if i % 3 == 0 {
+                    store.return_result(a.task, a.copy).unwrap();
+                }
+            }
+            let before = store.stats();
+            let reverted = store.reset_in_flight();
+            assert_eq!(reverted, before.in_flight);
+            store.check_invariants();
+            assert_eq!(store.stats().in_flight, 0);
+            store.drain();
+            store.check_invariants();
+            assert_drain_equivalent(&DrainState::of(&&store), &DrainState::of(&&oracle));
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@
 use std::io::{self, Read, Write};
 
 use super::store::{AssignmentStore, Issue, ReturnAck, ServeConfig, ServeError, ServeStats};
+use super::WorkStore;
 use crate::engine::CampaignConfig;
+use crate::outcome::CampaignOutcome;
 use crate::task::{TaskId, TaskSpec};
 use redundancy_stats::DeterministicRng;
 
@@ -138,27 +140,15 @@ pub enum SessionEnd {
     Malformed,
 }
 
-/// Anything the protocol can serve work from: the single-stream
-/// [`ServeSession`] (store + session RNG behind one lock) and the
-/// per-shard-stream [`ConcurrentStore`](super::ConcurrentStore) (which
-/// takes `&self` and locks per shard) both implement it, so
-/// [`handle_request`] is the *only* place request text is parsed and
-/// reply text is formatted — the two paths cannot drift byte-wise.
-pub trait WorkSource {
-    /// Hand out the next copy of work.
-    fn request_work(&mut self) -> Issue;
-    /// Accept the return of one in-flight copy.
-    fn return_result(&mut self, task: TaskId, copy: u32) -> Result<ReturnAck, ServeError>;
-    /// The live session snapshot.
-    fn stats(&self) -> ServeStats;
-}
-
 /// Parse one request line and format the response into `reply` (cleared
-/// first); returns true when the session should end (`shutdown`).  The
-/// reply bytes for every verb are pinned by the protocol tests and the
-/// golden snapshots, so every transport and both store flavors route
-/// through this single formatter.
-pub fn handle_request<S: WorkSource>(src: &mut S, request: &str, reply: &mut String) -> bool {
+/// first); returns true when the session should end (`shutdown`).  Any
+/// [`WorkStore`] — the single-stream [`ServeSession`], the
+/// per-shard-stream [`&ConcurrentStore`](super::ConcurrentStore), or a
+/// journaling wrapper over either — can sit behind it, and this is the
+/// *only* place request text is parsed and reply text is formatted, so
+/// the store flavors cannot drift byte-wise.  The reply bytes for every
+/// verb are pinned by the protocol tests and the golden snapshots.
+pub fn handle_request<S: WorkStore>(src: &mut S, request: &str, reply: &mut String) -> bool {
     use std::fmt::Write as _;
     reply.clear();
     let mut shutdown = false;
@@ -193,6 +183,7 @@ pub fn handle_request<S: WorkSource>(src: &mut S, request: &str, reply: &mut Str
             reply.push_str(&stats);
         }
         Some("shutdown") => {
+            src.note_shutdown();
             reply.push_str("bye");
             shutdown = true;
         }
@@ -257,7 +248,7 @@ impl ServeSession {
     }
 }
 
-impl WorkSource for ServeSession {
+impl WorkStore for ServeSession {
     fn request_work(&mut self) -> Issue {
         self.store.request_work(&mut self.rng)
     }
@@ -268,6 +259,26 @@ impl WorkSource for ServeSession {
 
     fn stats(&self) -> ServeStats {
         self.store.stats()
+    }
+
+    fn merged_outcome(&self) -> CampaignOutcome {
+        self.store.merged_outcome()
+    }
+
+    fn final_rngs(&self) -> Vec<DeterministicRng> {
+        vec![self.rng.clone()]
+    }
+
+    fn is_drained(&self) -> bool {
+        self.store.is_drained()
+    }
+
+    fn expiry_counters(&self) -> (u64, u64) {
+        self.store.expiry_counters()
+    }
+
+    fn reset_in_flight(&mut self) -> u64 {
+        self.store.reset_in_flight()
     }
 }
 

@@ -798,6 +798,43 @@ impl AssignmentStore {
         self.results_buf = buf;
     }
 
+    /// Running `(timeouts, lost)` totals — the deltas the journal layer
+    /// logs around `request_work` to make timeout expiries replayable.
+    pub fn expiry_counters(&self) -> (u64, u64) {
+        let timeouts: u64 = self.shards.iter().map(|s| s.outcome.timeouts).sum();
+        (timeouts, self.lost)
+    }
+
+    /// Revert every in-flight copy to pending and re-queue it under its
+    /// current attempt number, returning how many copies were reverted.
+    ///
+    /// No timeout or retry is charged: the copies didn't expire, their
+    /// clients died with a crashed session.  Both `issued` and the
+    /// in-flight count are rolled back so re-issuing the re-queued copies
+    /// lands the drained session in exactly the counters an uninterrupted
+    /// drain reaches (conservation: `issued = returned + timeouts +
+    /// in-flight` holds before and after).
+    pub fn reset_in_flight(&mut self) -> u64 {
+        let mut reverted = 0u64;
+        while let Some(rec) = self.inflight.pop_front() {
+            let slot = self.slots[rec.task as usize];
+            let state = &mut self.shards[slot.shard as usize].tasks[slot.slot as usize];
+            let live = matches!(
+                state.copies[rec.copy as usize],
+                CopyState::InFlight { attempt } if attempt == rec.attempt
+            );
+            if !live {
+                continue;
+            }
+            state.copies[rec.copy as usize] = CopyState::Pending;
+            self.requeue.push_back((rec.task, rec.copy, rec.attempt));
+            reverted += 1;
+        }
+        self.in_flight_count -= reverted;
+        self.issued -= reverted;
+        reverted
+    }
+
     /// Exhaustively re-derive every counter from the per-copy states and
     /// panic on any mismatch — conservation of multiplicity.  Used by the
     /// serve proptests after arbitrary interleavings; cheap enough to call
@@ -938,6 +975,7 @@ pub fn serve_experiment(
 
 #[cfg(test)]
 mod tests {
+    use super::super::{assert_drain_equivalent, DrainState};
     use super::*;
     use crate::adversary::{AdversaryModel, CheatStrategy};
     use crate::engine::{run_campaign_with_scratch, CampaignScratch};
@@ -985,10 +1023,9 @@ mod tests {
                     &mut serve_rng,
                     &mut serve_out,
                 );
-                assert_eq!(batch_out, serve_out, "outcome diverged at {shards} shards");
-                assert_eq!(
-                    batch_rng, serve_rng,
-                    "RNG stream diverged at {shards} shards"
+                assert_drain_equivalent(
+                    &DrainState::batch(batch_out, batch_rng),
+                    &DrainState::batch(serve_out, serve_rng),
                 );
             }
         }
@@ -1055,8 +1092,75 @@ mod tests {
         // out; here everything was returned.
         assert!(store.is_drained());
         store.check_invariants();
-        assert_eq!(store.merged_outcome(), batch_out);
-        assert_eq!(batch_rng, serve_rng);
+        assert_drain_equivalent(
+            &DrainState::batch(batch_out, batch_rng),
+            &DrainState::batch(store.merged_outcome(), serve_rng),
+        );
+    }
+
+    #[test]
+    fn reset_in_flight_requeues_and_recovered_drain_matches_uninterrupted() {
+        let tasks = specs(400);
+        let serve = ServeConfig {
+            faults: FaultModel {
+                timeout: 1_000_000,
+                ..FaultModel::none()
+            },
+            ..ServeConfig::new(3)
+        };
+        // Reference: one uninterrupted drain.
+        let mut ref_rng = DeterministicRng::new(23);
+        let mut ref_out = CampaignOutcome::default();
+        let ref_stats = drain_session(&tasks, &campaign(), &serve, &mut ref_rng, &mut ref_out);
+
+        // Crash scenario: issue a prefix, return a third of it, then lose
+        // the clients — reset and drain the rest.
+        let mut rng = DeterministicRng::new(23);
+        let mut store = AssignmentStore::new(&tasks, &campaign(), &serve).unwrap();
+        let mut outstanding = Vec::new();
+        for i in 0..300 {
+            let Issue::Work(a) = store.request_work(&mut rng) else {
+                panic!("store drained too early");
+            };
+            if i % 3 == 0 {
+                store.return_result(a.task, a.copy).unwrap();
+            } else {
+                outstanding.push(a);
+            }
+        }
+        let before = store.stats();
+        let reverted = store.reset_in_flight();
+        assert_eq!(reverted, outstanding.len() as u64);
+        store.check_invariants();
+        let after = store.stats();
+        assert_eq!(after.in_flight, 0);
+        assert_eq!(after.requeued, before.requeued + reverted);
+        assert_eq!(after.issued, before.issued - reverted);
+        // Stale returns of reverted copies are rejected, not double-counted.
+        let a = outstanding[0];
+        assert_eq!(
+            store.return_result(a.task, a.copy),
+            Err(ServeError::NotInFlight {
+                task: a.task,
+                copy: a.copy
+            })
+        );
+        // Finish the drain; the endpoint must match the uninterrupted run.
+        loop {
+            match store.request_work(&mut rng) {
+                Issue::Work(a) => {
+                    store.return_result(a.task, a.copy).unwrap();
+                }
+                Issue::Idle => unreachable!("immediate returns leave nothing in flight"),
+                Issue::Drained => break,
+            }
+        }
+        store.check_invariants();
+        let mut recovered = DrainState::batch(store.merged_outcome(), rng);
+        recovered.stats = Some(store.stats());
+        let mut reference = DrainState::batch(ref_out, ref_rng);
+        reference.stats = Some(ref_stats);
+        assert_drain_equivalent(&reference, &recovered);
     }
 
     #[test]

@@ -370,4 +370,108 @@ proptest! {
         prop_assert_eq!(cells.iter().map(|c| c.lost).sum::<u64>(), stats.lost);
         prop_assert_eq!(cells.iter().map(|c| c.total_copies).sum::<u64>(), stats.total_copies);
     }
+
+    /// Crash/corruption safety of the serve journal: record a full
+    /// journaled session, then flip one drawn bit or truncate at one
+    /// drawn offset.  Strict replay must return a structured error —
+    /// never panic, never silently diverge — except for a truncation at
+    /// an exact record boundary, which *is* a valid journal and must
+    /// replay to a store that recovers and drains cleanly.
+    #[test]
+    fn corrupted_journals_replay_to_structured_errors_never_panics(
+        tasks in 20u64..200,
+        eps_pct in 10u32..90,
+        p_pct in 0u32..50,
+        timeout in 2u64..8,
+        seed in 0u64..100_000,
+        mode_ix in 0u32..2,
+        cut_sel in 0u32..1_000_000,
+        flip_sel in 0u32..1_000_000,
+        flip_bit in 0u32..8,
+    ) {
+        use redundancy_sim::serve::{
+            replay_with, workload_fingerprint, JournalWriter, JournaledStore, Record,
+            ReplayOptions, SessionHeader, SharedBuf, StoreEnum, StreamMode, SyncPolicy, WorkStore,
+        };
+        let (plan, config) = campaign_shape(tasks, eps_pct, p_pct, 1, false, 0);
+        let specs = redundancy_sim::task::expand_plan(&plan);
+        let mode = if mode_ix == 0 { StreamMode::Single } else { StreamMode::PerShard };
+        let serve = ServeConfig {
+            faults: FaultModel { timeout, ..FaultModel::none() },
+            ..ServeConfig::new(2)
+        };
+
+        // Record the session: withhold every third copy so timeouts,
+        // re-queues, and lost copies all land in the journal.
+        let buf = SharedBuf::new();
+        let mut writer = JournalWriter::new(buf.clone(), SyncPolicy::Always);
+        writer.append(&Record::Header(SessionHeader {
+            seed,
+            shards: 2,
+            mode,
+            timeout: serve.faults.timeout,
+            max_retries: serve.faults.max_retries,
+            fingerprint: workload_fingerprint(&specs, &config),
+            total_tasks: specs.len() as u64,
+        })).unwrap();
+        let store = StoreEnum::new(&specs, &config, &serve, seed, mode).unwrap();
+        let mut live = JournaledStore::new(store, Some(writer));
+        let mut held: Vec<(redundancy_sim::TaskId, u32)> = Vec::new();
+        let mut guard = 0u64;
+        loop {
+            match live.request_work() {
+                Issue::Work(a) if a.task.0.is_multiple_of(3) => held.push((a.task, a.copy)),
+                Issue::Work(a) => { let _ = live.return_result(a.task, a.copy); }
+                Issue::Idle => {
+                    if let Some((task, copy)) = held.pop() {
+                        let _ = live.return_result(task, copy);
+                    }
+                }
+                Issue::Drained => break,
+            }
+            guard += 1;
+            prop_assert!(guard < 2_000_000, "journaled drain did not terminate");
+        }
+        live.finish().unwrap();
+        let bytes = buf.snapshot();
+
+        // Frame walk: every valid truncation point (after each record).
+        let mut ends = Vec::new();
+        let mut off = 0usize;
+        while off + 4 <= bytes.len() {
+            let len = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            off += 4 + len + 8;
+            ends.push(off);
+        }
+        prop_assert_eq!(*ends.last().unwrap(), bytes.len());
+
+        // Truncation at a drawn offset: a record boundary is a valid
+        // journal that recovers and drains; anything else is a
+        // structured error.
+        let cut = cut_sel as usize % (bytes.len() + 1);
+        let opts = ReplayOptions::default();
+        match replay_with(&bytes[..cut], &specs, &config, opts) {
+            Ok(replayed) => {
+                prop_assert!(ends.contains(&cut), "mid-record cut {} replayed", cut);
+                let mut recovered = replayed.store;
+                recovered.reset_in_flight();
+                recovered.drain();
+                let stats = recovered.stats();
+                prop_assert_eq!(stats.completed_tasks, stats.total_tasks);
+                prop_assert_eq!(stats.in_flight, 0);
+            }
+            Err(e) => {
+                prop_assert!(!ends.contains(&cut), "boundary cut {} errored: {}", cut, e);
+                // Structured: the error renders and names a position.
+                prop_assert!(!format!("{}", e).is_empty());
+            }
+        }
+
+        // A single flipped bit anywhere is always detected.
+        let pos = flip_sel as usize % bytes.len();
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 1u8 << flip_bit;
+        let verdict = replay_with(&flipped, &specs, &config, opts);
+        prop_assert!(verdict.is_err(), "flipped bit {} at {} went undetected", flip_bit, pos);
+    }
 }

@@ -233,6 +233,44 @@ fn serve_flag_validation_exits_2_naming_the_flag() {
     }
 }
 
+/// Journal flag validation at the process level, matching the exit-code
+/// convention above: a missing or unreadable journal path — and
+/// `--recover` without a journal at all — exits 2 with an error naming
+/// the flag, before any session is built; nothing is printed to stdout.
+#[test]
+fn journal_flag_validation_exits_2_naming_the_flag() {
+    let path = binary_path("redundancy");
+    assert!(path.exists(), "{} not built", path.display());
+    let missing = "/nonexistent/journal.bin";
+    let cases: [(&[&str], &str); 4] = [
+        (&["journal-inspect", "--journal", missing], "--journal"),
+        (&["journal-inspect"], "--journal"),
+        (
+            &["serve", "--tasks", "100", "--journal", missing, "--recover"],
+            "--journal",
+        ),
+        (&["serve", "--tasks", "100", "--recover"], "--recover"),
+    ];
+    for (args, flag) in cases {
+        let out = Command::new(&path)
+            .args(args)
+            .output()
+            .unwrap_or_else(|e| panic!("spawning redundancy: {e}"));
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} should exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag),
+            "stderr must name the flag {flag}: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "must not print a report");
+    }
+}
+
 #[test]
 fn churn_rejects_invalid_parameters_with_messages() {
     let err = cli(&["churn", "--leave-rate", "1.5"]).unwrap_err();

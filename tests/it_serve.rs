@@ -294,3 +294,127 @@ fn port_daemon_shuts_down_cleanly_on_the_shutdown_verb() {
         assert!(out.contains("in-flight 1\n"), "{io}/{streams}: {out}");
     }
 }
+
+/// The crash-recovery contract, end to end at the process level: a
+/// journaled `--port` daemon is SIGKILLed mid-session, `--recover`
+/// replays the journal and finishes the drain, and the final report is
+/// byte-identical (journal lines aside) to a run that never crashed.
+#[test]
+fn killed_journaled_daemon_recovers_to_the_uninterrupted_report() {
+    use redundancy_sim::serve::{read_frame, write_frame, Frame};
+    use std::io::{BufRead as _, BufReader};
+    let path = binary_path("redundancy");
+    assert!(path.exists(), "{} not built", path.display());
+    let journal =
+        std::env::temp_dir().join(format!("it_serve_crash_{}.journal", std::process::id()));
+    let journal_str = journal.to_str().unwrap().to_owned();
+    let base = [
+        "serve",
+        "--tasks",
+        "500",
+        "--epsilon",
+        "0.5",
+        "--proportion",
+        "0.2",
+        "--seed",
+        "11",
+        "--shards",
+        "2",
+        "--timeout",
+        "1000000000",
+    ];
+
+    // The reference: the same workload drained with no journal at all.
+    let plain = Command::new(&path)
+        .args(base)
+        .output()
+        .expect("running the uninterrupted drain");
+    assert!(plain.status.success(), "{}", plain.status);
+
+    // The victim: a journaled daemon, killed mid-session with copies in
+    // flight.  --sync always means every reply the client saw is backed
+    // by a durable journal record.
+    let mut child = Command::new(&path)
+        .args(base)
+        .args(["--port", "0", "--journal", &journal_str, "--sync", "always"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning the daemon");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr is piped"));
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("reading the banner");
+    let addr = banner
+        .strip_prefix("[serving on ")
+        .and_then(|rest| rest.split(';').next())
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_owned();
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connecting to the daemon");
+    let mut held = Vec::new();
+    for i in 0..12 {
+        write_frame(&mut stream, "request-work").unwrap();
+        let Frame::Message(reply) = read_frame(&mut stream).unwrap() else {
+            panic!("no reply to request-work");
+        };
+        let text = String::from_utf8(reply).unwrap();
+        let rest = text.strip_prefix("work ").expect("a fresh store has work");
+        let mut parts = rest.split_whitespace();
+        let (task, copy) = (parts.next().unwrap(), parts.next().unwrap());
+        if i % 2 == 0 {
+            held.push((task.to_owned(), copy.to_owned()));
+        } else {
+            write_frame(&mut stream, &format!("return-result {task} {copy}")).unwrap();
+            let Frame::Message(ack) = read_frame(&mut stream).unwrap() else {
+                panic!("no reply to return-result");
+            };
+            assert!(ack.starts_with(b"ok"), "{ack:?}");
+        }
+    }
+    child.kill().expect("killing the daemon");
+    child.wait().expect("reaping the daemon");
+
+    // Recovery: same command line plus --recover, drained in process.
+    let recovered = Command::new(&path)
+        .args(base)
+        .args(["--journal", &journal_str, "--sync", "always", "--recover"])
+        .output()
+        .expect("running the recovery");
+    assert!(
+        recovered.status.success(),
+        "recovery exited with {}: {}",
+        recovered.status,
+        String::from_utf8_lossy(&recovered.stderr)
+    );
+    let recovered_out = String::from_utf8(recovered.stdout).unwrap();
+    assert!(
+        recovered_out
+            .lines()
+            .any(|l| l.starts_with("journal recovered: ")),
+        "{recovered_out}"
+    );
+    assert!(
+        recovered_out.contains("batched-kernel oracle: bit-identical"),
+        "{recovered_out}"
+    );
+    // Journal lines aside, the recovered report is byte-identical to the
+    // run that never crashed — including the stats block and checksum.
+    let sans_journal: String = recovered_out
+        .lines()
+        .filter(|l| !l.starts_with("journal"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(sans_journal, String::from_utf8(plain.stdout).unwrap());
+
+    // The finished journal passes offline inspection as intact.
+    let inspect = Command::new(&path)
+        .args(["journal-inspect", "--journal", &journal_str])
+        .output()
+        .expect("running journal-inspect");
+    assert!(inspect.status.success(), "{}", inspect.status);
+    let inspect_out = String::from_utf8(inspect.stdout).unwrap();
+    assert!(inspect_out.contains("integrity: intact"), "{inspect_out}");
+    assert!(inspect_out.contains("header seed=11"), "{inspect_out}");
+    assert!(inspect_out.contains("reset reverted="), "{inspect_out}");
+    std::fs::remove_file(&journal).ok();
+}
